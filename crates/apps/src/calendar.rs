@@ -1,0 +1,459 @@
+//! A group calendar modelled on **PHP-Calendar** (the paper's second case study).
+//!
+//! Users create events (a text description, a date); the key security concern is
+//! "appropriately limiting the capabilities of events inside the web application"
+//! (Table 4). Application content may modify the page, use the session cookie and call
+//! `XMLHttpRequest`; events may not. The ESCUDO configuration implementing this is
+//! Table 5 and is reproduced by [`CalendarApp::escudo_config`].
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use escudo_core::config::{ApiPolicy, CookiePolicy, NativeApi};
+use escudo_core::{Acl, Ring};
+use escudo_net::{Request, Response, Server, SetCookie, StatusCode};
+use serde::{Deserialize, Serialize};
+
+use crate::forum::{EscudoConfigRow, RequirementRow};
+use crate::markup::AcMarkup;
+use crate::session::SessionStore;
+use crate::template::html_escape;
+
+/// The session cookie name.
+pub const SESSION_COOKIE: &str = "phpc_session";
+
+/// Configuration of the calendar application (same switches as the forum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CalendarConfig {
+    /// Emit the ESCUDO configuration.
+    pub escudo: bool,
+    /// Server-side input validation of event text.
+    pub input_validation: bool,
+    /// Whether state-changing requests require a secret token. PHP-Calendar, per the
+    /// paper, "had no protection mechanisms for CSRF attacks", so this defaults off.
+    pub csrf_tokens: bool,
+    /// Seed for nonces and session identifiers.
+    pub seed: u64,
+}
+
+impl Default for CalendarConfig {
+    fn default() -> Self {
+        CalendarConfig {
+            escudo: true,
+            input_validation: true,
+            csrf_tokens: false,
+            seed: 0xCA1E,
+        }
+    }
+}
+
+impl CalendarConfig {
+    /// The §6.4 attack configuration: conventional defenses off.
+    #[must_use]
+    pub fn vulnerable() -> Self {
+        CalendarConfig {
+            escudo: true,
+            input_validation: false,
+            csrf_tokens: false,
+            seed: 0xCA1E,
+        }
+    }
+
+    /// A legacy application without ESCUDO configuration.
+    #[must_use]
+    pub fn legacy() -> Self {
+        CalendarConfig {
+            escudo: false,
+            input_validation: true,
+            csrf_tokens: false,
+            seed: 0xCA1E,
+        }
+    }
+}
+
+/// A calendar event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Event id.
+    pub id: usize,
+    /// Day the event is scheduled on (1–31; the experiments only need a label).
+    pub day: u8,
+    /// Event title.
+    pub title: String,
+    /// Event description (raw, as submitted).
+    pub description: String,
+    /// The user who created the event.
+    pub author: String,
+}
+
+/// The calendar's server-side state.
+#[derive(Debug)]
+pub struct CalendarState {
+    /// Events, oldest first.
+    pub events: Vec<Event>,
+    /// Live sessions.
+    pub sessions: SessionStore,
+}
+
+impl CalendarState {
+    fn new(seed: u64) -> Self {
+        CalendarState {
+            events: Vec::new(),
+            sessions: SessionStore::new(seed),
+        }
+    }
+
+    /// Events created by `user`.
+    #[must_use]
+    pub fn events_by(&self, user: &str) -> Vec<&Event> {
+        self.events.iter().filter(|e| e.author == user).collect()
+    }
+}
+
+/// The PHP-Calendar-like application.
+pub struct CalendarApp {
+    config: CalendarConfig,
+    state: Rc<RefCell<CalendarState>>,
+}
+
+impl fmt::Debug for CalendarApp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CalendarApp").field("config", &self.config).finish()
+    }
+}
+
+impl CalendarApp {
+    /// Creates a calendar with the given configuration.
+    #[must_use]
+    pub fn new(config: CalendarConfig) -> Self {
+        CalendarApp {
+            config,
+            state: Rc::new(RefCell::new(CalendarState::new(config.seed))),
+        }
+    }
+
+    /// A handle to the server-side state.
+    #[must_use]
+    pub fn state(&self) -> Rc<RefCell<CalendarState>> {
+        Rc::clone(&self.state)
+    }
+
+    /// The Table 4 security requirements.
+    #[must_use]
+    pub fn security_requirements() -> Vec<RequirementRow> {
+        vec![
+            RequirementRow {
+                principal: "Application content",
+                modify_dom: true,
+                access_cookies: true,
+                access_xhr: true,
+            },
+            RequirementRow {
+                principal: "Calendar events",
+                modify_dom: false,
+                access_cookies: false,
+                access_xhr: false,
+            },
+        ]
+    }
+
+    /// The Table 5 ESCUDO configuration.
+    #[must_use]
+    pub fn escudo_config() -> Vec<EscudoConfigRow> {
+        vec![
+            EscudoConfigRow { resource: "Cookies", ring: 1, read: 1, write: 1 },
+            EscudoConfigRow { resource: "XMLHttpRequest", ring: 1, read: 1, write: 1 },
+            EscudoConfigRow { resource: "Application content", ring: 1, read: 1, write: 1 },
+            EscudoConfigRow { resource: "Calendar events", ring: 3, read: 2, write: 2 },
+        ]
+    }
+
+    fn sanitize(&self, input: &str) -> String {
+        if self.config.input_validation {
+            html_escape(input)
+        } else {
+            input.to_string()
+        }
+    }
+
+    fn session_user(&self, request: &Request) -> Option<String> {
+        let sid = request.cookie(SESSION_COOKIE)?;
+        self.state.borrow().sessions.get(&sid).map(|s| s.user.clone())
+    }
+
+    fn with_policies(&self, response: Response) -> Response {
+        if !self.config.escudo {
+            return response;
+        }
+        response
+            .with_cookie_policy(
+                &CookiePolicy::new(SESSION_COOKIE, Ring::new(1)).with_acl(Acl::uniform(Ring::new(1))),
+            )
+            .with_api_policy(&ApiPolicy::new(NativeApi::XmlHttpRequest, Ring::new(1)))
+            .with_api_policy(&ApiPolicy::new(NativeApi::CookieApi, Ring::new(1)))
+    }
+
+    fn page(&self, title: &str, inner: String) -> Response {
+        let mut markup = AcMarkup::new(self.config.seed, self.config.escudo);
+        let app_region = markup.region(
+            Ring::new(1),
+            Acl::uniform(Ring::new(1)),
+            "id=\"app\"",
+            &format!(
+                "<h1>{title}</h1>\
+                 <div id=\"app-status\">loading</div>\
+                 <script>\
+                   var el = document.getElementById('app-status');\
+                   if (el != null) {{ el.innerHTML = 'calendar ready'; }}\
+                 </script>\
+                 <form id=\"add-event\" method=\"post\" action=\"/index.php?action=add\">\
+                   <input type=\"hidden\" name=\"action\" value=\"add\">\
+                   <input type=\"text\" name=\"title\" value=\"\">\
+                   <input type=\"text\" name=\"day\" value=\"1\">\
+                   <textarea name=\"description\"></textarea>\
+                   <input type=\"submit\" value=\"Add event\">\
+                 </form>\
+                 <div id=\"month-view\">{inner}</div>"
+            ),
+        );
+        let body = markup.region_with_tag("body", Ring::new(1), Acl::uniform(Ring::new(1)), "", &app_region);
+        let html =
+            format!("<!DOCTYPE html><html><head><title>{title}</title></head>{body}</html>");
+        self.with_policies(Response::ok_html(html))
+    }
+
+    fn event_region(&self, markup: &mut AcMarkup, event: &Event) -> String {
+        markup.region(
+            Ring::new(3),
+            Acl::new(Ring::new(2), Ring::new(2), Ring::new(2)),
+            &format!("id=\"event-{}\" class=\"event\"", event.id),
+            &format!(
+                "<span class=\"day\">day {}</span> <span class=\"title\">{}</span>\
+                 <div class=\"description\">{}</div><span class=\"author\">{}</span>",
+                event.day,
+                self.sanitize(&event.title),
+                self.sanitize(&event.description),
+                html_escape(&event.author)
+            ),
+        )
+    }
+
+    fn handle_login(&mut self, request: &Request) -> Response {
+        let user = request.param("user").unwrap_or_else(|| "guest".to_string());
+        let sid = self.state.borrow_mut().sessions.create(&user);
+        self.with_policies(
+            Response::redirect("/index.php").with_cookie(SetCookie::new(SESSION_COOKIE, sid)),
+        )
+    }
+
+    fn handle_index(&mut self, request: &Request) -> Response {
+        match request.param("action").as_deref() {
+            Some("add") => self.handle_add(request),
+            Some("edit") => self.handle_edit(request),
+            _ => {
+                let mut markup = AcMarkup::new(self.config.seed, self.config.escudo);
+                let state = self.state.borrow();
+                let mut inner = String::new();
+                for event in &state.events {
+                    inner.push_str(&self.event_region(&mut markup, event));
+                }
+                drop(state);
+                self.page("PHP-Calendar", inner)
+            }
+        }
+    }
+
+    fn handle_add(&mut self, request: &Request) -> Response {
+        let Some(user) = self.session_user(request) else {
+            return Response::error(StatusCode::FORBIDDEN, "not logged in");
+        };
+        let title = request.param("title").unwrap_or_else(|| "untitled".to_string());
+        let description = request.param("description").unwrap_or_default();
+        let day = request
+            .param("day")
+            .and_then(|d| d.parse::<u8>().ok())
+            .unwrap_or(1)
+            .clamp(1, 31);
+        let mut state = self.state.borrow_mut();
+        let id = state.events.len() + 1;
+        state.events.push(Event {
+            id,
+            day,
+            title,
+            description,
+            author: user,
+        });
+        drop(state);
+        self.with_policies(Response::redirect("/index.php"))
+    }
+
+    fn handle_edit(&mut self, request: &Request) -> Response {
+        let Some(user) = self.session_user(request) else {
+            return Response::error(StatusCode::FORBIDDEN, "not logged in");
+        };
+        let Some(id) = request.param("id").and_then(|i| i.parse::<usize>().ok()) else {
+            return Response::error(StatusCode::BAD_REQUEST, "missing event id");
+        };
+        let description = request.param("description").unwrap_or_default();
+        let mut state = self.state.borrow_mut();
+        let Some(event) = state.events.iter_mut().find(|e| e.id == id) else {
+            return Response::error(StatusCode::NOT_FOUND, "no such event");
+        };
+        event.description = description;
+        event.author = user;
+        drop(state);
+        self.with_policies(Response::redirect("/index.php"))
+    }
+}
+
+impl Server for CalendarApp {
+    fn handle(&mut self, request: &Request) -> Response {
+        match request.url.path() {
+            "/login.php" | "/login" => self.handle_login(request),
+            "/" | "/index.php" => self.handle_index(request),
+            _ => Response::error(StatusCode::NOT_FOUND, "not found"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn login(app: &mut CalendarApp, user: &str) -> String {
+        let response = app.handle(
+            &Request::get(&format!("http://calendar.example/login.php?user={user}")).unwrap(),
+        );
+        response
+            .set_cookies()
+            .iter()
+            .find(|c| c.name == SESSION_COOKIE)
+            .map(|c| c.value.clone())
+            .expect("login sets a session cookie")
+    }
+
+    fn with_session(mut request: Request, sid: &str) -> Request {
+        request.headers.set("Cookie", format!("{SESSION_COOKIE}={sid}"));
+        request
+    }
+
+    #[test]
+    fn add_and_edit_events_with_a_session() {
+        let mut app = CalendarApp::new(CalendarConfig::vulnerable());
+        assert_eq!(
+            app.handle(
+                &Request::post_form("http://calendar.example/index.php", &[("action", "add"), ("title", "x")]).unwrap()
+            )
+            .status,
+            StatusCode::FORBIDDEN
+        );
+
+        let sid = login(&mut app, "alice");
+        app.handle(&with_session(
+            Request::post_form(
+                "http://calendar.example/index.php",
+                &[("action", "add"), ("title", "Standup"), ("day", "5"), ("description", "daily sync")],
+            )
+            .unwrap(),
+            &sid,
+        ));
+        assert_eq!(app.state().borrow().events.len(), 1);
+        assert_eq!(app.state().borrow().events[0].day, 5);
+
+        app.handle(&with_session(
+            Request::post_form(
+                "http://calendar.example/index.php",
+                &[("action", "edit"), ("id", "1"), ("description", "moved to 10am")],
+            )
+            .unwrap(),
+            &sid,
+        ));
+        assert_eq!(app.state().borrow().events[0].description, "moved to 10am");
+    }
+
+    #[test]
+    fn month_view_wraps_events_in_ring_3_regions() {
+        let mut app = CalendarApp::new(CalendarConfig::vulnerable());
+        let sid = login(&mut app, "alice");
+        app.handle(&with_session(
+            Request::post_form(
+                "http://calendar.example/index.php",
+                &[("action", "add"), ("title", "T"), ("description", "<i>markup</i>")],
+            )
+            .unwrap(),
+            &sid,
+        ));
+        let page = app.handle(&with_session(
+            Request::get("http://calendar.example/index.php").unwrap(),
+            &sid,
+        ));
+        assert!(page.body.contains("id=\"event-1\""));
+        assert!(page.body.contains("ring=\"3\""));
+        assert!(page.body.contains("<i>markup</i>"));
+        assert_eq!(page.cookie_policies().len(), 1);
+        assert_eq!(page.api_policies().len(), 2);
+    }
+
+    #[test]
+    fn input_validation_escapes_event_markup_when_enabled() {
+        let mut app = CalendarApp::new(CalendarConfig::default());
+        let sid = login(&mut app, "alice");
+        app.handle(&with_session(
+            Request::post_form(
+                "http://calendar.example/index.php",
+                &[("action", "add"), ("title", "T"), ("description", "<script>x()</script>")],
+            )
+            .unwrap(),
+            &sid,
+        ));
+        let page = app.handle(&with_session(
+            Request::get("http://calendar.example/index.php").unwrap(),
+            &sid,
+        ));
+        assert!(page.body.contains("&lt;script&gt;"));
+        assert!(!page.body.contains("<script>x()"));
+    }
+
+    #[test]
+    fn legacy_configuration_has_no_escudo_markers() {
+        let mut app = CalendarApp::new(CalendarConfig::legacy());
+        let sid = login(&mut app, "alice");
+        let page = app.handle(&with_session(
+            Request::get("http://calendar.example/index.php").unwrap(),
+            &sid,
+        ));
+        assert!(page.cookie_policies().is_empty());
+        assert!(!page.body.contains("ring="));
+    }
+
+    #[test]
+    fn tables_4_and_5_match_the_paper() {
+        let requirements = CalendarApp::security_requirements();
+        assert_eq!(requirements.len(), 2);
+        assert!(requirements[0].access_xhr);
+        assert!(!requirements[1].access_xhr);
+        let config = CalendarApp::escudo_config();
+        let events = config.iter().find(|r| r.resource == "Calendar events").unwrap();
+        assert_eq!((events.ring, events.read, events.write), (3, 2, 2));
+    }
+
+    #[test]
+    fn unknown_routes_and_missing_events() {
+        let mut app = CalendarApp::new(CalendarConfig::default());
+        assert_eq!(
+            app.handle(&Request::get("http://calendar.example/nope.php").unwrap()).status,
+            StatusCode::NOT_FOUND
+        );
+        let sid = login(&mut app, "alice");
+        let response = app.handle(&with_session(
+            Request::post_form(
+                "http://calendar.example/index.php",
+                &[("action", "edit"), ("id", "42"), ("description", "x")],
+            )
+            .unwrap(),
+            &sid,
+        ));
+        assert_eq!(response.status, StatusCode::NOT_FOUND);
+    }
+}

@@ -1,0 +1,408 @@
+//! The defense-effectiveness harness (§6.4).
+//!
+//! Every attack from [`crate::attacks`] is staged end-to-end: the victim logs into the
+//! vulnerable application, attacker-controlled content is planted (XSS) or a malicious
+//! site is visited (CSRF), and the harness then inspects the *server-side state* and
+//! the attacker's exfiltration log to decide whether the attack achieved its goal.
+//! Running the same staging under [`PolicyMode::SameOriginOnly`] and
+//! [`PolicyMode::Escudo`] reproduces the paper's result: every attack that succeeds
+//! under the same-origin policy is neutralized by ESCUDO.
+
+use std::fmt;
+
+use escudo_browser::{Browser, PolicyMode};
+use escudo_dom::EventType;
+use serde::{Deserialize, Serialize};
+
+use crate::attacker::{AttackerSite, CsrfVector};
+use crate::attacks::{
+    all_csrf_attacks, all_xss_attacks, AttackKind, CsrfAttack, TargetApp, XssAttack, XssGoal,
+};
+use crate::calendar::{CalendarApp, CalendarConfig, Event, SESSION_COOKIE};
+use crate::forum::{ForumApp, ForumConfig, Reply, Topic, SID_COOKIE};
+
+/// The outcome of staging one attack under one policy mode.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackResult {
+    /// Attack identifier (e.g. `forum-xss-1`).
+    pub id: String,
+    /// Human-readable attack name.
+    pub name: String,
+    /// XSS or CSRF.
+    pub kind: AttackKind,
+    /// Target application.
+    pub app: TargetApp,
+    /// The policy mode the browser enforced.
+    pub mode: PolicyMode,
+    /// Did the attack achieve its goal?
+    pub succeeded: bool,
+    /// How many reference-monitor denials were recorded while staging the attack.
+    pub denials: u64,
+}
+
+impl fmt::Display for AttackResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<16} [{:<11}] {:>12}: {}",
+            self.id,
+            self.mode,
+            if self.succeeded { "SUCCEEDED" } else { "neutralized" },
+            self.name
+        )
+    }
+}
+
+/// The full §6.4 experiment: every attack under both policy modes.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DefenseReport {
+    /// All results (one per attack per mode).
+    pub results: Vec<AttackResult>,
+}
+
+impl DefenseReport {
+    /// Stages the complete corpus under both policy modes.
+    #[must_use]
+    pub fn run_full() -> Self {
+        let mut results = Vec::new();
+        for mode in [PolicyMode::SameOriginOnly, PolicyMode::Escudo] {
+            for attack in all_xss_attacks() {
+                results.push(run_xss(mode, &attack));
+            }
+            for attack in all_csrf_attacks() {
+                results.push(run_csrf(mode, &attack));
+            }
+        }
+        DefenseReport { results }
+    }
+
+    /// Results for one policy mode.
+    #[must_use]
+    pub fn for_mode(&self, mode: PolicyMode) -> Vec<&AttackResult> {
+        self.results.iter().filter(|r| r.mode == mode).collect()
+    }
+
+    /// Number of attacks that succeed under the given mode.
+    #[must_use]
+    pub fn successes(&self, mode: PolicyMode) -> usize {
+        self.for_mode(mode).iter().filter(|r| r.succeeded).count()
+    }
+
+    /// Number of attacks neutralized under the given mode.
+    #[must_use]
+    pub fn neutralized(&self, mode: PolicyMode) -> usize {
+        self.for_mode(mode).iter().filter(|r| !r.succeeded).count()
+    }
+}
+
+// --------------------------------------------------------------------- XSS staging
+
+/// Stages one XSS attack under one policy mode.
+#[must_use]
+pub fn run_xss(mode: PolicyMode, attack: &XssAttack) -> AttackResult {
+    match attack.app {
+        TargetApp::Forum => run_forum_xss(mode, attack),
+        TargetApp::Calendar => run_calendar_xss(mode, attack),
+    }
+}
+
+fn run_forum_xss(mode: PolicyMode, attack: &XssAttack) -> AttackResult {
+    let forum = ForumApp::new(ForumConfig::vulnerable());
+    let state = forum.state();
+    let attacker = AttackerSite::new();
+    let stolen = attacker.stolen();
+
+    let mut browser = Browser::new(mode);
+    browser.network_mut().register("http://forum.example", forum);
+    browser.network_mut().register("http://evil.example", attacker);
+
+    // The victim logs in, establishing the session cookie ESCUDO protects.
+    browser
+        .navigate("http://forum.example/login.php?user=victim")
+        .expect("victim login");
+
+    // Seed a topic authored by the victim and plant the attacker's payload as a reply
+    // (input validation is off, as in the paper's staging).
+    {
+        let mut forum_state = state.borrow_mut();
+        forum_state.topics.push(Topic {
+            id: 1,
+            title: "Welcome".to_string(),
+            author: "victim".to_string(),
+            body: "original message".to_string(),
+        });
+        forum_state.replies.push(Reply {
+            id: 1,
+            topic_id: 1,
+            author: "mallory".to_string(),
+            body: attack.payload.clone(),
+        });
+    }
+
+    // The victim views the topic, which executes whatever the payload injected.
+    let page = browser
+        .navigate("http://forum.example/viewtopic.php?t=1")
+        .expect("victim views the topic");
+    if let Some((element, event)) = attack.trigger_event {
+        let event: EventType = event.parse().expect("known event type");
+        let _ = browser.fire_event(page, element, event);
+    }
+
+    let succeeded = match attack.goal {
+        XssGoal::ActOnBehalfOfVictim => state
+            .borrow()
+            .topics
+            .iter()
+            .any(|t| t.title == "xss-spam" && t.author == "victim"),
+        XssGoal::ModifyExistingContent => browser
+            .page(page)
+            .text_of("topic-1")
+            .is_some_and(|text| text.contains("defaced by xss")),
+        XssGoal::StealSessionCookie => stolen
+            .borrow()
+            .iter()
+            .any(|query| query.contains(SID_COOKIE)),
+        XssGoal::HandlerDefacement => browser
+            .page(page)
+            .text_of("app-status")
+            .is_some_and(|text| text.contains("xss-by-handler")),
+    };
+
+    result(attack, mode, succeeded, browser.erm().denials())
+}
+
+fn run_calendar_xss(mode: PolicyMode, attack: &XssAttack) -> AttackResult {
+    let calendar = CalendarApp::new(CalendarConfig::vulnerable());
+    let state = calendar.state();
+    let attacker = AttackerSite::new();
+    let stolen = attacker.stolen();
+
+    let mut browser = Browser::new(mode);
+    browser
+        .network_mut()
+        .register("http://calendar.example", calendar);
+    browser.network_mut().register("http://evil.example", attacker);
+
+    browser
+        .navigate("http://calendar.example/login.php?user=victim")
+        .expect("victim login");
+
+    {
+        let mut calendar_state = state.borrow_mut();
+        calendar_state.events.push(Event {
+            id: 1,
+            day: 10,
+            title: "Welcome party".to_string(),
+            description: "original description".to_string(),
+            author: "victim".to_string(),
+        });
+        calendar_state.events.push(Event {
+            id: 2,
+            day: 11,
+            title: "Potluck".to_string(),
+            description: attack.payload.clone(),
+            author: "mallory".to_string(),
+        });
+    }
+
+    let page = browser
+        .navigate("http://calendar.example/index.php")
+        .expect("victim views the calendar");
+    if let Some((element, event)) = attack.trigger_event {
+        let event: EventType = event.parse().expect("known event type");
+        let _ = browser.fire_event(page, element, event);
+    }
+
+    let succeeded = match attack.goal {
+        XssGoal::ActOnBehalfOfVictim => state
+            .borrow()
+            .events
+            .iter()
+            .any(|e| e.title == "xss-event" && e.author == "victim"),
+        XssGoal::ModifyExistingContent => browser
+            .page(page)
+            .text_of("event-1")
+            .is_some_and(|text| text.contains("defaced by xss")),
+        XssGoal::StealSessionCookie => stolen
+            .borrow()
+            .iter()
+            .any(|query| query.contains(SESSION_COOKIE)),
+        XssGoal::HandlerDefacement => browser
+            .page(page)
+            .text_of("app-status")
+            .is_some_and(|text| text.contains("xss-by-handler")),
+    };
+
+    result(attack, mode, succeeded, browser.erm().denials())
+}
+
+// --------------------------------------------------------------------- CSRF staging
+
+/// Stages one CSRF attack under one policy mode.
+#[must_use]
+pub fn run_csrf(mode: PolicyMode, attack: &CsrfAttack) -> AttackResult {
+    match attack.app {
+        TargetApp::Forum => run_forum_csrf(mode, attack),
+        TargetApp::Calendar => run_calendar_csrf(mode, attack),
+    }
+}
+
+fn run_forum_csrf(mode: PolicyMode, attack: &CsrfAttack) -> AttackResult {
+    let forum = ForumApp::new(ForumConfig::vulnerable());
+    let state = forum.state();
+    let attacker = AttackerSite::with_csrf(attack.vector.clone());
+
+    let mut browser = Browser::new(mode);
+    browser.network_mut().register("http://forum.example", forum);
+    browser.network_mut().register("http://evil.example", attacker);
+
+    // The victim has an active session with the trusted site…
+    browser
+        .navigate("http://forum.example/login.php?user=victim")
+        .expect("victim login");
+    state.borrow_mut().topics.push(Topic {
+        id: 1,
+        title: "Welcome".to_string(),
+        author: "victim".to_string(),
+        body: "original message".to_string(),
+    });
+
+    // …and then visits the malicious site, which forges a request for the trusted one.
+    let page = browser
+        .navigate("http://evil.example/csrf")
+        .expect("victim visits the attacker page");
+    if matches!(attack.vector, CsrfVector::FormPost { .. }) {
+        let _ = browser.submit_form(page, "csrf-form", &[]);
+    }
+
+    let forum_state = state.borrow();
+    let marker = attack.marker;
+    let succeeded = forum_state
+        .topics
+        .iter()
+        .any(|t| t.title.contains(marker) && t.author == "victim")
+        || forum_state
+            .replies
+            .iter()
+            .any(|r| r.body.contains(marker) && r.author == "victim")
+        || forum_state
+            .private_messages
+            .iter()
+            .any(|p| p.body.contains(marker) && p.from == "victim");
+    drop(forum_state);
+
+    result_csrf(attack, mode, succeeded, browser.erm().denials())
+}
+
+fn run_calendar_csrf(mode: PolicyMode, attack: &CsrfAttack) -> AttackResult {
+    let calendar = CalendarApp::new(CalendarConfig::vulnerable());
+    let state = calendar.state();
+    let attacker = AttackerSite::with_csrf(attack.vector.clone());
+
+    let mut browser = Browser::new(mode);
+    browser
+        .network_mut()
+        .register("http://calendar.example", calendar);
+    browser.network_mut().register("http://evil.example", attacker);
+
+    browser
+        .navigate("http://calendar.example/login.php?user=victim")
+        .expect("victim login");
+    state.borrow_mut().events.push(Event {
+        id: 1,
+        day: 10,
+        title: "Welcome party".to_string(),
+        description: "original description".to_string(),
+        author: "victim".to_string(),
+    });
+
+    let page = browser
+        .navigate("http://evil.example/csrf")
+        .expect("victim visits the attacker page");
+    if matches!(attack.vector, CsrfVector::FormPost { .. }) {
+        let _ = browser.submit_form(page, "csrf-form", &[]);
+    }
+
+    let calendar_state = state.borrow();
+    let marker = attack.marker;
+    let succeeded = calendar_state.events.iter().any(|e| {
+        e.author == "victim" && (e.title.contains(marker) || e.description.contains(marker))
+    });
+    drop(calendar_state);
+
+    result_csrf(attack, mode, succeeded, browser.erm().denials())
+}
+
+fn result(attack: &XssAttack, mode: PolicyMode, succeeded: bool, denials: u64) -> AttackResult {
+    AttackResult {
+        id: attack.id.to_string(),
+        name: attack.name.to_string(),
+        kind: AttackKind::Xss,
+        app: attack.app,
+        mode,
+        succeeded,
+        denials,
+    }
+}
+
+fn result_csrf(
+    attack: &CsrfAttack,
+    mode: PolicyMode,
+    succeeded: bool,
+    denials: u64,
+) -> AttackResult {
+    AttackResult {
+        id: attack.id.to_string(),
+        name: attack.name.to_string(),
+        kind: AttackKind::Csrf,
+        app: attack.app,
+        mode,
+        succeeded,
+        denials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attacks::{calendar_xss_attacks, forum_csrf_attacks, forum_xss_attacks};
+
+    #[test]
+    fn forum_xss_attacks_succeed_under_sop_and_are_neutralized_by_escudo() {
+        for attack in forum_xss_attacks() {
+            let sop = run_xss(PolicyMode::SameOriginOnly, &attack);
+            assert!(sop.succeeded, "{} should succeed under the SOP baseline", attack.id);
+            let escudo = run_xss(PolicyMode::Escudo, &attack);
+            assert!(!escudo.succeeded, "{} should be neutralized by ESCUDO", attack.id);
+            assert!(escudo.denials > 0, "{} should record a denial", attack.id);
+        }
+    }
+
+    #[test]
+    fn calendar_xss_attacks_succeed_under_sop_and_are_neutralized_by_escudo() {
+        for attack in calendar_xss_attacks() {
+            let sop = run_xss(PolicyMode::SameOriginOnly, &attack);
+            assert!(sop.succeeded, "{} should succeed under the SOP baseline", attack.id);
+            let escudo = run_xss(PolicyMode::Escudo, &attack);
+            assert!(!escudo.succeeded, "{} should be neutralized by ESCUDO", attack.id);
+        }
+    }
+
+    #[test]
+    fn forum_csrf_attacks_succeed_under_sop_and_are_neutralized_by_escudo() {
+        for attack in forum_csrf_attacks() {
+            let sop = run_csrf(PolicyMode::SameOriginOnly, &attack);
+            assert!(sop.succeeded, "{} should succeed under the SOP baseline", attack.id);
+            let escudo = run_csrf(PolicyMode::Escudo, &attack);
+            assert!(!escudo.succeeded, "{} should be neutralized by ESCUDO", attack.id);
+        }
+    }
+
+    #[test]
+    fn attack_result_display_is_readable() {
+        let attack = &forum_xss_attacks()[0];
+        let line = run_xss(PolicyMode::Escudo, attack).to_string();
+        assert!(line.contains("forum-xss-1"));
+        assert!(line.contains("neutralized"));
+    }
+}

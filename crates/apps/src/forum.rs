@@ -1,0 +1,736 @@
+//! A multi-user message board modelled on **phpBB** (the paper's first case study).
+//!
+//! Users create topics, reply to them and exchange private messages. The key security
+//! concern — quoted from the paper — is "appropriately limiting the capabilities of
+//! messages posted by users": application content may modify the page, use the session
+//! cookies and call `XMLHttpRequest`; topics, replies and private messages may not
+//! (Table 2). The ESCUDO configuration implementing that policy is Table 3 and is
+//! reproduced by [`ForumApp::escudo_config`].
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use escudo_core::config::{ApiPolicy, CookiePolicy, NativeApi};
+use escudo_core::{Acl, Ring};
+use escudo_net::{Request, Response, Server, SetCookie, StatusCode};
+use serde::{Deserialize, Serialize};
+
+use crate::markup::AcMarkup;
+use crate::session::SessionStore;
+use crate::template::html_escape;
+
+/// The session-identifier cookie name (as in phpBB).
+pub const SID_COOKIE: &str = "phpbb2mysql_sid";
+/// The user-data cookie name (as in phpBB).
+pub const DATA_COOKIE: &str = "phpbb2mysql_data";
+
+/// Configuration of the forum application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForumConfig {
+    /// Emit the ESCUDO configuration (AC tags + policy headers). When `false` the
+    /// application is a plain legacy application.
+    pub escudo: bool,
+    /// Server-side input validation (HTML-escaping of user content). §6.4 removes it
+    /// to stage the XSS attacks.
+    pub input_validation: bool,
+    /// Secret-token CSRF validation on state-changing requests. §6.4 removes it to
+    /// stage the CSRF attacks.
+    pub csrf_tokens: bool,
+    /// Seed for nonces and session identifiers (reproducible pages).
+    pub seed: u64,
+}
+
+impl Default for ForumConfig {
+    fn default() -> Self {
+        ForumConfig {
+            escudo: true,
+            input_validation: true,
+            csrf_tokens: true,
+            seed: 0xF0F0,
+        }
+    }
+}
+
+impl ForumConfig {
+    /// The configuration used by the §6.4 attack experiments: conventional defenses
+    /// off, ESCUDO configuration on (whether it is *enforced* depends on the browser).
+    #[must_use]
+    pub fn vulnerable() -> Self {
+        ForumConfig {
+            escudo: true,
+            input_validation: false,
+            csrf_tokens: false,
+            seed: 0xF0F0,
+        }
+    }
+
+    /// A legacy application: no ESCUDO configuration at all.
+    #[must_use]
+    pub fn legacy() -> Self {
+        ForumConfig {
+            escudo: false,
+            input_validation: true,
+            csrf_tokens: true,
+            seed: 0xF0F0,
+        }
+    }
+}
+
+/// A discussion topic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topic {
+    /// Topic id.
+    pub id: usize,
+    /// Topic title.
+    pub title: String,
+    /// Author user name.
+    pub author: String,
+    /// Message body (raw, as submitted).
+    pub body: String,
+}
+
+/// A reply to a topic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Reply {
+    /// Reply id.
+    pub id: usize,
+    /// The topic this reply belongs to.
+    pub topic_id: usize,
+    /// Author user name.
+    pub author: String,
+    /// Message body (raw, as submitted).
+    pub body: String,
+}
+
+/// A private message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrivateMessage {
+    /// Message id.
+    pub id: usize,
+    /// Sender.
+    pub from: String,
+    /// Recipient.
+    pub to: String,
+    /// Message body (raw, as submitted).
+    pub body: String,
+}
+
+/// The forum's server-side state (shared with tests/experiments via `Rc<RefCell<_>>`).
+#[derive(Debug)]
+pub struct ForumState {
+    /// Topics, oldest first.
+    pub topics: Vec<Topic>,
+    /// Replies, oldest first.
+    pub replies: Vec<Reply>,
+    /// Private messages, oldest first.
+    pub private_messages: Vec<PrivateMessage>,
+    /// Live sessions.
+    pub sessions: SessionStore,
+}
+
+impl ForumState {
+    fn new(seed: u64) -> Self {
+        ForumState {
+            topics: Vec::new(),
+            replies: Vec::new(),
+            private_messages: Vec::new(),
+            sessions: SessionStore::new(seed),
+        }
+    }
+
+    /// Topics authored by `user`.
+    #[must_use]
+    pub fn topics_by(&self, user: &str) -> Vec<&Topic> {
+        self.topics.iter().filter(|t| t.author == user).collect()
+    }
+
+    /// Replies authored by `user`.
+    #[must_use]
+    pub fn replies_by(&self, user: &str) -> Vec<&Reply> {
+        self.replies.iter().filter(|r| r.author == user).collect()
+    }
+}
+
+/// One row of the Table 2 requirements matrix.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequirementRow {
+    /// The principal class.
+    pub principal: &'static str,
+    /// May it modify messages through the DOM?
+    pub modify_dom: bool,
+    /// May it access the session cookies?
+    pub access_cookies: bool,
+    /// May it use XMLHttpRequest?
+    pub access_xhr: bool,
+}
+
+/// The Table 3 configuration, as data.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EscudoConfigRow {
+    /// The resource being configured.
+    pub resource: &'static str,
+    /// Its ring.
+    pub ring: u16,
+    /// Read bound.
+    pub read: u16,
+    /// Write bound.
+    pub write: u16,
+}
+
+/// The phpBB-like forum application.
+pub struct ForumApp {
+    config: ForumConfig,
+    state: Rc<RefCell<ForumState>>,
+}
+
+impl fmt::Debug for ForumApp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ForumApp").field("config", &self.config).finish()
+    }
+}
+
+impl ForumApp {
+    /// Creates a forum with the given configuration.
+    #[must_use]
+    pub fn new(config: ForumConfig) -> Self {
+        ForumApp {
+            config,
+            state: Rc::new(RefCell::new(ForumState::new(config.seed))),
+        }
+    }
+
+    /// A handle to the server-side state, for tests and experiments.
+    #[must_use]
+    pub fn state(&self) -> Rc<RefCell<ForumState>> {
+        Rc::clone(&self.state)
+    }
+
+    /// The Table 2 security requirements.
+    #[must_use]
+    pub fn security_requirements() -> Vec<RequirementRow> {
+        vec![
+            RequirementRow {
+                principal: "Application contents",
+                modify_dom: true,
+                access_cookies: true,
+                access_xhr: true,
+            },
+            RequirementRow {
+                principal: "Topics and replies",
+                modify_dom: false,
+                access_cookies: false,
+                access_xhr: false,
+            },
+            RequirementRow {
+                principal: "Private messages",
+                modify_dom: false,
+                access_cookies: false,
+                access_xhr: false,
+            },
+        ]
+    }
+
+    /// The Table 3 ESCUDO configuration.
+    #[must_use]
+    pub fn escudo_config() -> Vec<EscudoConfigRow> {
+        vec![
+            EscudoConfigRow { resource: "Cookies", ring: 1, read: 1, write: 1 },
+            EscudoConfigRow { resource: "XMLHttpRequest", ring: 1, read: 1, write: 1 },
+            EscudoConfigRow { resource: "Application contents", ring: 1, read: 1, write: 1 },
+            EscudoConfigRow { resource: "Topics & Replies", ring: 3, read: 2, write: 2 },
+            EscudoConfigRow { resource: "Private Messages", ring: 3, read: 2, write: 2 },
+        ]
+    }
+
+    // ------------------------------------------------------------------ helpers
+
+    fn sanitize(&self, input: &str) -> String {
+        if self.config.input_validation {
+            html_escape(input)
+        } else {
+            input.to_string()
+        }
+    }
+
+    fn session_user(&self, request: &Request) -> Option<String> {
+        let sid = request.cookie(SID_COOKIE)?;
+        self.state
+            .borrow()
+            .sessions
+            .get(&sid)
+            .map(|s| s.user.clone())
+    }
+
+    fn csrf_token_for(&self, request: &Request) -> Option<String> {
+        let sid = request.cookie(SID_COOKIE)?;
+        self.state
+            .borrow()
+            .sessions
+            .get(&sid)
+            .map(|s| s.csrf_token.clone())
+    }
+
+    fn token_ok(&self, request: &Request) -> bool {
+        if !self.config.csrf_tokens {
+            return true;
+        }
+        match (self.csrf_token_for(request), request.param("token")) {
+            (Some(expected), Some(offered)) => expected == offered,
+            _ => false,
+        }
+    }
+
+    fn with_policies(&self, response: Response) -> Response {
+        if !self.config.escudo {
+            return response;
+        }
+        let cookie_acl = Acl::uniform(Ring::new(1));
+        response
+            .with_cookie_policy(&CookiePolicy::new(SID_COOKIE, Ring::new(1)).with_acl(cookie_acl))
+            .with_cookie_policy(&CookiePolicy::new(DATA_COOKIE, Ring::new(1)).with_acl(cookie_acl))
+            .with_api_policy(&ApiPolicy::new(NativeApi::XmlHttpRequest, Ring::new(1)))
+            .with_api_policy(&ApiPolicy::new(NativeApi::CookieApi, Ring::new(1)))
+    }
+
+    fn markup(&self) -> AcMarkup {
+        AcMarkup::new(self.config.seed, self.config.escudo)
+    }
+
+    /// Wraps body content in the standard page chrome: ring-0 head (trusted scripts),
+    /// ring-1 body, ring-1 application content.
+    fn page(&self, title: &str, body_inner: String, token: Option<&str>) -> Response {
+        let mut markup = self.markup();
+        let head_script = markup.region(
+            Ring::INNERMOST,
+            Acl::uniform(Ring::INNERMOST),
+            "id=\"head-app\"",
+            "<script>var forumVersion = '2.0';</script>",
+        );
+        // The application's own client-side code: updates the status line and talks to
+        // the server over XMLHttpRequest — the "Yes" row of Table 2.
+        let app_script = format!(
+            "<script>\
+             var statusEl = document.getElementById('app-status');\
+             if (statusEl != null) {{ statusEl.innerHTML = 'ready'; }}\
+             </script>"
+        );
+        let token_field = token
+            .map(|t| format!("<input type=\"hidden\" name=\"token\" value=\"{t}\">"))
+            .unwrap_or_default();
+        let app_region = markup.region(
+            Ring::new(1),
+            Acl::uniform(Ring::new(1)),
+            "id=\"app\"",
+            &format!(
+                "<h1>{title}</h1>\
+                 <div id=\"app-status\">loading</div>\
+                 <form id=\"new-topic\" method=\"post\" action=\"/posting.php\">\
+                   <input type=\"hidden\" name=\"mode\" value=\"post\">\
+                   {token_field}\
+                   <input type=\"text\" name=\"subject\" value=\"\">\
+                   <textarea name=\"message\"></textarea>\
+                   <input type=\"submit\" value=\"New topic\">\
+                 </form>\
+                 {app_script}\
+                 <div id=\"content-root\">{body_inner}</div>"
+            ),
+        );
+        let body = markup.region_with_tag(
+            "body",
+            Ring::new(1),
+            Acl::uniform(Ring::new(1)),
+            "",
+            &app_region,
+        );
+        let html = format!(
+            "<!DOCTYPE html><html><head><title>{title}</title>{head_script}</head>{body}</html>"
+        );
+        self.with_policies(Response::ok_html(html))
+    }
+
+    /// A user-content region (topic, reply or private message): ring 3, manipulable
+    /// only from rings 0–2 — the Table 3 row for user content.
+    fn user_region(&self, markup: &mut AcMarkup, id: &str, inner: &str) -> String {
+        markup.region(
+            Ring::new(3),
+            Acl::new(Ring::new(2), Ring::new(2), Ring::new(2)),
+            &format!("id=\"{id}\" class=\"user-content\""),
+            inner,
+        )
+    }
+
+    // ------------------------------------------------------------------ handlers
+
+    fn handle_login(&mut self, request: &Request) -> Response {
+        let user = request.param("user").unwrap_or_else(|| "guest".to_string());
+        let sid = self.state.borrow_mut().sessions.create(&user);
+        let response = Response::redirect("/index.php")
+            .with_cookie(SetCookie::new(SID_COOKIE, sid))
+            .with_cookie(SetCookie::new(DATA_COOKIE, format!("user={user}")));
+        self.with_policies(response)
+    }
+
+    fn handle_index(&mut self, request: &Request) -> Response {
+        let token = self.csrf_token_for(request);
+        let mut markup = self.markup();
+        let state = self.state.borrow();
+        let mut listing = String::new();
+        for topic in &state.topics {
+            let inner = format!(
+                "<a id=\"topic-link-{id}\" href=\"/viewtopic.php?t={id}\">{title}</a> by {author}",
+                id = topic.id,
+                title = html_escape(&topic.title),
+                author = html_escape(&topic.author),
+            );
+            listing.push_str(&self.user_region(&mut markup, &format!("topic-row-{}", topic.id), &inner));
+        }
+        drop(state);
+        self.page("Forum index", listing, token.as_deref())
+    }
+
+    fn handle_view_topic(&mut self, request: &Request) -> Response {
+        let Some(topic_id) = request.param("t").and_then(|t| t.parse::<usize>().ok()) else {
+            return Response::error(StatusCode::BAD_REQUEST, "missing topic id");
+        };
+        let token = self.csrf_token_for(request);
+        let mut markup = self.markup();
+        let state = self.state.borrow();
+        let Some(topic) = state.topics.iter().find(|t| t.id == topic_id) else {
+            return Response::error(StatusCode::NOT_FOUND, "no such topic");
+        };
+        let mut inner = self.user_region(
+            &mut markup,
+            &format!("topic-{}", topic.id),
+            &format!(
+                "<h2>{}</h2><div class=\"post-body\">{}</div><span class=\"author\">{}</span>",
+                self.sanitize(&topic.title),
+                self.sanitize(&topic.body),
+                html_escape(&topic.author)
+            ),
+        );
+        for reply in state.replies.iter().filter(|r| r.topic_id == topic_id) {
+            inner.push_str(&self.user_region(
+                &mut markup,
+                &format!("reply-{}", reply.id),
+                &format!(
+                    "<div class=\"post-body\">{}</div><span class=\"author\">{}</span>",
+                    self.sanitize(&reply.body),
+                    html_escape(&reply.author)
+                ),
+            ));
+        }
+        let token_field = token
+            .as_deref()
+            .map(|t| format!("<input type=\"hidden\" name=\"token\" value=\"{t}\">"))
+            .unwrap_or_default();
+        inner.push_str(&format!(
+            "<form id=\"reply-form\" method=\"post\" action=\"/posting.php\">\
+               <input type=\"hidden\" name=\"mode\" value=\"reply\">\
+               <input type=\"hidden\" name=\"t\" value=\"{topic_id}\">\
+               {token_field}\
+               <textarea name=\"message\"></textarea>\
+               <input type=\"submit\" value=\"Reply\">\
+             </form>"
+        ));
+        drop(state);
+        self.page(&format!("Topic {topic_id}"), inner, token.as_deref())
+    }
+
+    fn handle_posting(&mut self, request: &Request) -> Response {
+        let Some(user) = self.session_user(request) else {
+            return Response::error(StatusCode::FORBIDDEN, "not logged in");
+        };
+        if !self.token_ok(request) {
+            return Response::error(StatusCode::FORBIDDEN, "invalid anti-csrf token");
+        }
+        let mode = request.param("mode").unwrap_or_else(|| "post".to_string());
+        let message = request.param("message").unwrap_or_default();
+        let mut state = self.state.borrow_mut();
+        match mode.as_str() {
+            "post" => {
+                let id = state.topics.len() + 1;
+                let title = request.param("subject").unwrap_or_else(|| "untitled".to_string());
+                state.topics.push(Topic {
+                    id,
+                    title,
+                    author: user,
+                    body: message,
+                });
+                self.with_policies(Response::redirect(&format!("/viewtopic.php?t={id}")))
+            }
+            "reply" => {
+                let Some(topic_id) = request.param("t").and_then(|t| t.parse::<usize>().ok()) else {
+                    return Response::error(StatusCode::BAD_REQUEST, "missing topic id");
+                };
+                let id = state.replies.len() + 1;
+                state.replies.push(Reply {
+                    id,
+                    topic_id,
+                    author: user,
+                    body: message,
+                });
+                self.with_policies(Response::redirect(&format!("/viewtopic.php?t={topic_id}")))
+            }
+            other => Response::error(StatusCode::BAD_REQUEST, format!("unknown mode {other}")),
+        }
+    }
+
+    fn handle_pm(&mut self, request: &Request) -> Response {
+        let Some(user) = self.session_user(request) else {
+            return Response::error(StatusCode::FORBIDDEN, "not logged in");
+        };
+        if request.method == escudo_net::Method::Post
+            || request.param("message").is_some()
+        {
+            if !self.token_ok(request) {
+                return Response::error(StatusCode::FORBIDDEN, "invalid anti-csrf token");
+            }
+            let to = request.param("to").unwrap_or_else(|| "admin".to_string());
+            let body = request.param("message").unwrap_or_default();
+            let mut state = self.state.borrow_mut();
+            let id = state.private_messages.len() + 1;
+            state.private_messages.push(PrivateMessage {
+                id,
+                from: user,
+                to,
+                body,
+            });
+            return self.with_policies(Response::redirect("/pm.php"));
+        }
+        let token = self.csrf_token_for(request);
+        let mut markup = self.markup();
+        let state = self.state.borrow();
+        let mut inner = String::new();
+        for pm in state.private_messages.iter().filter(|p| p.to == user) {
+            inner.push_str(&self.user_region(
+                &mut markup,
+                &format!("pm-{}", pm.id),
+                &format!(
+                    "<span class=\"from\">{}</span><div class=\"post-body\">{}</div>",
+                    html_escape(&pm.from),
+                    self.sanitize(&pm.body)
+                ),
+            ));
+        }
+        drop(state);
+        self.page("Private messages", inner, token.as_deref())
+    }
+}
+
+impl Server for ForumApp {
+    fn handle(&mut self, request: &Request) -> Response {
+        match request.url.path() {
+            "/login.php" | "/login" => self.handle_login(request),
+            "/" | "/index.php" => self.handle_index(request),
+            "/viewtopic.php" => self.handle_view_topic(request),
+            "/posting.php" => self.handle_posting(request),
+            "/pm.php" => self.handle_pm(request),
+            _ => Response::error(StatusCode::NOT_FOUND, "not found"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use escudo_net::Method;
+
+    fn login(app: &mut ForumApp, user: &str) -> String {
+        let response = app.handle(&Request::get(&format!("http://forum.example/login.php?user={user}")).unwrap());
+        let cookies = response.set_cookies();
+        cookies
+            .iter()
+            .find(|c| c.name == SID_COOKIE)
+            .map(|c| c.value.clone())
+            .expect("login sets a session cookie")
+    }
+
+    fn with_session(mut request: Request, sid: &str) -> Request {
+        request
+            .headers
+            .set("Cookie", format!("{SID_COOKIE}={sid}"));
+        request
+    }
+
+    #[test]
+    fn login_issues_session_and_policy_headers() {
+        let mut app = ForumApp::new(ForumConfig::default());
+        let response = app.handle(&Request::get("http://forum.example/login.php?user=alice").unwrap());
+        assert!(response.status.is_redirect());
+        assert_eq!(response.set_cookies().len(), 2);
+        assert_eq!(response.cookie_policies().len(), 2);
+        assert_eq!(response.api_policies().len(), 2);
+        assert_eq!(app.state().borrow().sessions.len(), 1);
+    }
+
+    #[test]
+    fn legacy_configuration_emits_no_escudo_headers_or_attributes() {
+        let mut app = ForumApp::new(ForumConfig::legacy());
+        let sid = login(&mut app, "alice");
+        let page = app.handle(&with_session(
+            Request::get("http://forum.example/index.php").unwrap(),
+            &sid,
+        ));
+        assert!(page.cookie_policies().is_empty());
+        assert!(page.api_policies().is_empty());
+        assert!(!page.body.contains("ring="));
+        assert!(!page.body.contains("nonce="));
+    }
+
+    #[test]
+    fn posting_and_replying_require_a_session() {
+        let mut app = ForumApp::new(ForumConfig::vulnerable());
+        let denied = app.handle(
+            &Request::post_form("http://forum.example/posting.php", &[("mode", "post"), ("subject", "x"), ("message", "y")]).unwrap(),
+        );
+        assert_eq!(denied.status, StatusCode::FORBIDDEN);
+        assert!(app.state().borrow().topics.is_empty());
+
+        let sid = login(&mut app, "alice");
+        let ok = app.handle(&with_session(
+            Request::post_form(
+                "http://forum.example/posting.php",
+                &[("mode", "post"), ("subject", "Hello"), ("message", "First post")],
+            )
+            .unwrap(),
+            &sid,
+        ));
+        assert!(ok.status.is_redirect());
+        assert_eq!(app.state().borrow().topics.len(), 1);
+        assert_eq!(app.state().borrow().topics[0].author, "alice");
+
+        let reply = app.handle(&with_session(
+            Request::post_form(
+                "http://forum.example/posting.php",
+                &[("mode", "reply"), ("t", "1"), ("message", "A reply")],
+            )
+            .unwrap(),
+            &sid,
+        ));
+        assert!(reply.status.is_redirect());
+        assert_eq!(app.state().borrow().replies.len(), 1);
+    }
+
+    #[test]
+    fn csrf_tokens_are_enforced_when_enabled() {
+        let mut app = ForumApp::new(ForumConfig::default());
+        let sid = login(&mut app, "alice");
+        // Without the token the post is rejected.
+        let rejected = app.handle(&with_session(
+            Request::post_form(
+                "http://forum.example/posting.php",
+                &[("mode", "post"), ("subject", "x"), ("message", "y")],
+            )
+            .unwrap(),
+            &sid,
+        ));
+        assert_eq!(rejected.status, StatusCode::FORBIDDEN);
+        // With the correct token it succeeds.
+        let token = app
+            .state()
+            .borrow()
+            .sessions
+            .get(&sid)
+            .unwrap()
+            .csrf_token
+            .clone();
+        let accepted = app.handle(&with_session(
+            Request::post_form(
+                "http://forum.example/posting.php",
+                &[("mode", "post"), ("subject", "x"), ("message", "y"), ("token", &token)],
+            )
+            .unwrap(),
+            &sid,
+        ));
+        assert!(accepted.status.is_redirect());
+    }
+
+    #[test]
+    fn topic_pages_wrap_user_content_in_ring_3_regions() {
+        let mut app = ForumApp::new(ForumConfig::vulnerable());
+        let sid = login(&mut app, "mallory");
+        app.handle(&with_session(
+            Request::post_form(
+                "http://forum.example/posting.php",
+                &[("mode", "post"), ("subject", "Title"), ("message", "<b>hello</b>")],
+            )
+            .unwrap(),
+            &sid,
+        ));
+        let page = app.handle(&with_session(
+            Request::get("http://forum.example/viewtopic.php?t=1").unwrap(),
+            &sid,
+        ));
+        assert!(page.body.contains("id=\"topic-1\""));
+        assert!(page.body.contains("ring=\"3\""));
+        // Input validation is off in the vulnerable configuration, so the markup is raw.
+        assert!(page.body.contains("<b>hello</b>"));
+
+        // With validation on, the same content is escaped.
+        let mut safe_app = ForumApp::new(ForumConfig::default());
+        let sid = login(&mut safe_app, "mallory");
+        let token = safe_app.state().borrow().sessions.get(&sid).unwrap().csrf_token.clone();
+        safe_app.handle(&with_session(
+            Request::post_form(
+                "http://forum.example/posting.php",
+                &[("mode", "post"), ("subject", "t"), ("message", "<b>hello</b>"), ("token", &token)],
+            )
+            .unwrap(),
+            &sid,
+        ));
+        let page = safe_app.handle(&with_session(
+            Request::get("http://forum.example/viewtopic.php?t=1").unwrap(),
+            &sid,
+        ));
+        assert!(page.body.contains("&lt;b&gt;hello&lt;/b&gt;"));
+    }
+
+    #[test]
+    fn private_messages_are_delivered_to_the_recipient() {
+        let mut app = ForumApp::new(ForumConfig::vulnerable());
+        let alice = login(&mut app, "alice");
+        let bob = login(&mut app, "bob");
+        app.handle(&with_session(
+            Request::post_form(
+                "http://forum.example/pm.php",
+                &[("to", "bob"), ("message", "secret plan")],
+            )
+            .unwrap(),
+            &alice,
+        ));
+        assert_eq!(app.state().borrow().private_messages.len(), 1);
+        let inbox = app.handle(&with_session(
+            Request::get("http://forum.example/pm.php").unwrap(),
+            &bob,
+        ));
+        assert!(inbox.body.contains("secret plan"));
+        assert!(inbox.body.contains("id=\"pm-1\""));
+    }
+
+    #[test]
+    fn unknown_routes_are_404() {
+        let mut app = ForumApp::new(ForumConfig::default());
+        let response = app.handle(&Request::get("http://forum.example/admin.php").unwrap());
+        assert_eq!(response.status, StatusCode::NOT_FOUND);
+        let response = app.handle(&Request::new(
+            Method::Get,
+            escudo_net::Url::parse("http://forum.example/viewtopic.php?t=99").unwrap(),
+        ));
+        assert_eq!(response.status, StatusCode::NOT_FOUND);
+    }
+
+    #[test]
+    fn requirement_and_configuration_tables_match_the_paper() {
+        let requirements = ForumApp::security_requirements();
+        assert_eq!(requirements.len(), 3);
+        assert!(requirements[0].modify_dom && requirements[0].access_xhr);
+        assert!(!requirements[1].modify_dom && !requirements[1].access_cookies);
+
+        let config = ForumApp::escudo_config();
+        let cookies = config.iter().find(|r| r.resource == "Cookies").unwrap();
+        assert_eq!((cookies.ring, cookies.read, cookies.write), (1, 1, 1));
+        let user = config.iter().find(|r| r.resource == "Topics & Replies").unwrap();
+        assert_eq!((user.ring, user.read, user.write), (3, 2, 2));
+    }
+}

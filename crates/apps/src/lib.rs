@@ -1,0 +1,42 @@
+//! # escudo-apps
+//!
+//! The web applications used in the paper's evaluation, rebuilt as in-memory Rust
+//! servers so the whole evaluation is reproducible on a laptop:
+//!
+//! * [`forum`] — a multi-user message board modelled on **phpBB** (topics, replies,
+//!   private messages, sessions), with the exact ESCUDO configuration of Table 3,
+//! * [`calendar`] — a group calendar modelled on **PHP-Calendar** (events, sessions)
+//!   with the configuration of Table 5,
+//! * [`blog`] — the blog page of Figure 3 (trusted post, untrusted comments, an
+//!   advertising slot), used by the quickstart example,
+//! * [`attacker`] — a malicious site that mounts the cross-site request forgeries,
+//! * [`attacks`] — the §6.4 attack corpus: 4 XSS and 5 CSRF attacks per application,
+//! * [`evaluate`] — the harness that stages each attack against a browser in either
+//!   policy mode and reports whether it succeeded or was neutralized,
+//! * [`template`] / [`markup`] / [`session`] — the supporting pieces (a small template
+//!   engine, AC-tag emission with markup-randomization nonces, session management).
+//!
+//! Both applications support switching their conventional defenses off (input
+//! validation, secret-token CSRF checks), mirroring §6.4: "For the purpose of
+//! evaluation, we removed some protection mechanisms in the applications to facilitate
+//! the attacks."
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod attacker;
+pub mod attacks;
+pub mod blog;
+pub mod calendar;
+pub mod evaluate;
+pub mod forum;
+pub mod markup;
+pub mod session;
+pub mod template;
+
+pub use attacks::{AttackKind, CsrfAttack, XssAttack};
+pub use blog::BlogApp;
+pub use calendar::{CalendarApp, CalendarConfig, CalendarState};
+pub use evaluate::{AttackResult, DefenseReport};
+pub use forum::{ForumApp, ForumConfig, ForumState};

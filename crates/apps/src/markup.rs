@@ -1,0 +1,149 @@
+//! Server-side emission of ESCUDO access-control tags.
+//!
+//! Applications wrap each region of their pages in an AC tag whose `ring`/`r`/`w`/`x`
+//! attributes carry the configuration and whose `nonce` implements markup
+//! randomization: the nonce is repeated on the end tag and unpredictable to content
+//! authors, which is what defeats node-splitting (§5).
+
+use escudo_core::{Acl, Nonce, Ring};
+use escudo_core::nonce::NonceGenerator;
+
+/// A helper that emits AC-tagged regions with fresh nonces.
+#[derive(Debug, Clone)]
+pub struct AcMarkup {
+    nonces: NonceGenerator,
+    /// When `false`, no ESCUDO attributes are emitted at all — used to generate the
+    /// "legacy application" variant of each page for the compatibility experiments.
+    enabled: bool,
+}
+
+impl AcMarkup {
+    /// Creates a generator seeded for reproducible page construction.
+    #[must_use]
+    pub fn new(seed: u64, enabled: bool) -> Self {
+        AcMarkup {
+            nonces: NonceGenerator::from_seed(seed),
+            enabled,
+        }
+    }
+
+    /// Whether ESCUDO attributes are being emitted.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Wraps `inner` in an AC-tagged `<div>` with the given ring and ACL.
+    pub fn region(&mut self, ring: Ring, acl: Acl, extra_attrs: &str, inner: &str) -> String {
+        self.region_with_tag("div", ring, acl, extra_attrs, inner)
+    }
+
+    /// Wraps `inner` in an AC-tagged element with the given tag name, ring and ACL.
+    pub fn region_with_tag(
+        &mut self,
+        tag: &str,
+        ring: Ring,
+        acl: Acl,
+        extra_attrs: &str,
+        inner: &str,
+    ) -> String {
+        if !self.enabled {
+            return format!("<{tag} {extra_attrs}>{inner}</{tag}>");
+        }
+        let nonce = self.nonces.next_nonce();
+        format!(
+            "<{tag} ring=\"{}\" r=\"{}\" w=\"{}\" x=\"{}\" nonce=\"{nonce}\" {extra_attrs}>{inner}</{tag} nonce=\"{nonce}\">",
+            ring.level(),
+            acl.read.level(),
+            acl.write.level(),
+            acl.use_.level(),
+        )
+    }
+
+    /// The ESCUDO attribute string (without nonce) for embedding in a custom tag.
+    #[must_use]
+    pub fn attributes(ring: Ring, acl: Acl) -> String {
+        format!(
+            "ring=\"{}\" r=\"{}\" w=\"{}\" x=\"{}\"",
+            ring.level(),
+            acl.read.level(),
+            acl.write.level(),
+            acl.use_.level()
+        )
+    }
+
+    /// Draws a fresh nonce (for applications that hand-build a tag).
+    pub fn next_nonce(&mut self) -> Nonce {
+        self.nonces.next_nonce()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_carry_ring_acl_and_matching_nonces() {
+        let mut markup = AcMarkup::new(7, true);
+        let html = markup.region(
+            Ring::new(3),
+            Acl::new(Ring::new(2), Ring::new(2), Ring::new(2)),
+            "id=\"comment\"",
+            "user text",
+        );
+        assert!(html.contains("ring=\"3\""));
+        assert!(html.contains("r=\"2\""));
+        assert!(html.contains("w=\"2\""));
+        assert!(html.contains("x=\"2\""));
+        assert!(html.contains("id=\"comment\""));
+        // The nonce appears exactly twice: once on the open tag, once on the close tag.
+        let nonce_count = html.matches("nonce=\"").count();
+        assert_eq!(nonce_count, 2);
+        let first = html.find("nonce=\"").unwrap();
+        let nonce_value: String = html[first + 7..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        assert!(html.ends_with(&format!("</div nonce=\"{nonce_value}\">")));
+    }
+
+    #[test]
+    fn nonces_differ_between_regions() {
+        let mut markup = AcMarkup::new(7, true);
+        let a = markup.region(Ring::new(1), Acl::uniform(Ring::new(1)), "", "a");
+        let b = markup.region(Ring::new(1), Acl::uniform(Ring::new(1)), "", "b");
+        let nonce_of = |s: &str| -> String {
+            let i = s.find("nonce=\"").unwrap();
+            s[i + 7..].chars().take_while(char::is_ascii_digit).collect()
+        };
+        assert_ne!(nonce_of(&a), nonce_of(&b));
+    }
+
+    #[test]
+    fn disabled_markup_emits_plain_tags() {
+        let mut markup = AcMarkup::new(7, false);
+        let html = markup.region(Ring::new(3), Acl::uniform(Ring::new(3)), "id=\"x\"", "text");
+        assert_eq!(html, "<div id=\"x\">text</div>");
+        assert!(!markup.enabled());
+    }
+
+    #[test]
+    fn custom_tags_are_supported() {
+        let mut markup = AcMarkup::new(9, true);
+        let html = markup.region_with_tag(
+            "body",
+            Ring::new(1),
+            Acl::uniform(Ring::new(1)),
+            "",
+            "content",
+        );
+        assert!(html.starts_with("<body ring=\"1\""));
+        assert!(html.contains("</body nonce=\""));
+    }
+
+    #[test]
+    fn attribute_helper_matches_the_header_free_form() {
+        let attrs = AcMarkup::attributes(Ring::new(2), Acl::new(Ring::new(1), Ring::new(0), Ring::new(2)));
+        assert_eq!(attrs, "ring=\"2\" r=\"1\" w=\"0\" x=\"2\"");
+    }
+}

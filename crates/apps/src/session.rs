@@ -1,0 +1,120 @@
+//! Server-side session management.
+//!
+//! Both case-study applications track logged-in users with a session-identifier cookie
+//! — the resource whose confidentiality and "use" ESCUDO protects (Table 3/5 assign
+//! the session cookies to ring 1).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A logged-in session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Session {
+    /// The user name the session belongs to.
+    pub user: String,
+    /// The anti-CSRF secret token issued to this session (used only when the
+    /// application's token defense is enabled).
+    pub csrf_token: String,
+}
+
+/// The server-side session store.
+#[derive(Debug, Default)]
+pub struct SessionStore {
+    sessions: HashMap<String, Session>,
+    counter: u64,
+    seed: u64,
+}
+
+impl SessionStore {
+    /// Creates a store whose identifiers derive from `seed` (deterministic for tests).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SessionStore {
+            sessions: HashMap::new(),
+            counter: 0,
+            seed,
+        }
+    }
+
+    /// Creates a session for `user` and returns its identifier.
+    pub fn create(&mut self, user: &str) -> String {
+        self.counter += 1;
+        let raw = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.counter.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        let sid = format!("sid{raw:016x}");
+        let csrf_token = format!("tok{:016x}", raw.rotate_left(17) ^ 0xA5A5_5A5A_DEAD_BEEF);
+        self.sessions.insert(
+            sid.clone(),
+            Session {
+                user: user.to_string(),
+                csrf_token,
+            },
+        );
+        sid
+    }
+
+    /// Looks up the session for a session identifier.
+    #[must_use]
+    pub fn get(&self, sid: &str) -> Option<&Session> {
+        self.sessions.get(sid)
+    }
+
+    /// Destroys a session. Returns `true` if it existed.
+    pub fn destroy(&mut self, sid: &str) -> bool {
+        self.sessions.remove(sid).is_some()
+    }
+
+    /// Number of live sessions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// `true` when no sessions exist.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+}
+
+impl fmt::Display for SessionStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} active sessions", self.sessions.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_lookup_destroy() {
+        let mut store = SessionStore::new(42);
+        let sid = store.create("alice");
+        assert_eq!(store.get(&sid).unwrap().user, "alice");
+        assert!(!store.get(&sid).unwrap().csrf_token.is_empty());
+        assert_eq!(store.len(), 1);
+        assert!(store.destroy(&sid));
+        assert!(!store.destroy(&sid));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn identifiers_are_unique_and_seed_dependent() {
+        let mut a = SessionStore::new(1);
+        let mut b = SessionStore::new(2);
+        let sid_a1 = a.create("u");
+        let sid_a2 = a.create("u");
+        let sid_b1 = b.create("u");
+        assert_ne!(sid_a1, sid_a2);
+        assert_ne!(sid_a1, sid_b1);
+    }
+
+    #[test]
+    fn unknown_sessions_are_not_found() {
+        let store = SessionStore::new(1);
+        assert!(store.get("sid-forged").is_none());
+    }
+}

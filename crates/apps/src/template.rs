@@ -1,0 +1,225 @@
+//! A miniature HTML template engine.
+//!
+//! The paper recommends specifying the ESCUDO configuration in templates ("HTML
+//! template engines provide a structured method for isolating the view elements from
+//! the business logic … The ESCUDO configuration can be specified in the template").
+//! This engine supports exactly what the bundled applications need:
+//!
+//! * `{{name}}` — HTML-escaped substitution,
+//! * `{{{name}}}` — raw (unescaped) substitution, used deliberately where the
+//!   applications embed user-supplied markup (the XSS experiments rely on it),
+//! * `{{#each name}} … {{/each}}` — iteration over a list of nested variable maps.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A value usable in a template context.
+#[derive(Debug, Clone)]
+pub enum TemplateValue {
+    /// A text value.
+    Text(String),
+    /// A list of nested contexts, used by `{{#each}}`.
+    List(Vec<TemplateContext>),
+}
+
+/// A set of named template values.
+pub type TemplateContext = HashMap<String, TemplateValue>;
+
+/// Errors produced while rendering a template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemplateError {
+    /// An `{{#each}}` block was not closed.
+    UnclosedEach(String),
+    /// `{{#each}}` referred to a value that is not a list.
+    NotAList(String),
+}
+
+impl fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemplateError::UnclosedEach(name) => write!(f, "unclosed {{{{#each {name}}}}} block"),
+            TemplateError::NotAList(name) => write!(f, "`{name}` is not a list"),
+        }
+    }
+}
+
+impl std::error::Error for TemplateError {}
+
+/// Convenience constructor for a text value.
+#[must_use]
+pub fn text(value: impl Into<String>) -> TemplateValue {
+    TemplateValue::Text(value.into())
+}
+
+/// Escapes text for safe inclusion in HTML (the "input validation / sanitization"
+/// first-line defense the paper discusses — applications can switch it off for the
+/// attack experiments).
+#[must_use]
+pub fn html_escape(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for c in input.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a template against a context.
+///
+/// # Errors
+///
+/// Returns a [`TemplateError`] for unclosed `{{#each}}` blocks or when an `{{#each}}`
+/// target is not a list. Unknown variables render as empty strings (a forgiving
+/// behaviour matching typical PHP template engines).
+pub fn render(template: &str, context: &TemplateContext) -> Result<String, TemplateError> {
+    let mut output = String::with_capacity(template.len());
+    let mut rest = template;
+    while let Some(start) = rest.find("{{") {
+        output.push_str(&rest[..start]);
+        let after = &rest[start + 2..];
+
+        if let Some(each_name) = after.strip_prefix("#each ") {
+            let name_end = each_name
+                .find("}}")
+                .ok_or_else(|| TemplateError::UnclosedEach(each_name.to_string()))?;
+            let name = each_name[..name_end].trim().to_string();
+            let body_start = start + 2 + 6 + name_end + 2;
+            let body_and_rest = &rest[body_start..];
+            let close_tag = "{{/each}}";
+            let close = body_and_rest
+                .find(close_tag)
+                .ok_or_else(|| TemplateError::UnclosedEach(name.clone()))?;
+            let body = &body_and_rest[..close];
+            match context.get(&name) {
+                Some(TemplateValue::List(items)) => {
+                    for item in items {
+                        // Nested contexts inherit the outer variables.
+                        let mut merged = context.clone();
+                        merged.extend(item.clone());
+                        output.push_str(&render(body, &merged)?);
+                    }
+                }
+                Some(TemplateValue::Text(_)) => return Err(TemplateError::NotAList(name)),
+                None => {}
+            }
+            rest = &body_and_rest[close + close_tag.len()..];
+            continue;
+        }
+
+        // Raw substitution {{{name}}}.
+        if let Some(raw) = after.strip_prefix('{') {
+            if let Some(end) = raw.find("}}}") {
+                let name = raw[..end].trim();
+                if let Some(TemplateValue::Text(value)) = context.get(name) {
+                    output.push_str(value);
+                }
+                rest = &raw[end + 3..];
+                continue;
+            }
+        }
+
+        // Escaped substitution {{name}}.
+        if let Some(end) = after.find("}}") {
+            let name = after[..end].trim();
+            if let Some(TemplateValue::Text(value)) = context.get(name) {
+                output.push_str(&html_escape(value));
+            }
+            rest = &after[end + 2..];
+        } else {
+            output.push_str("{{");
+            rest = after;
+        }
+    }
+    output.push_str(rest);
+    Ok(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(pairs: &[(&str, &str)]) -> TemplateContext {
+        pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), text(*v)))
+            .collect()
+    }
+
+    #[test]
+    fn substitution_is_escaped_by_default() {
+        let out = render("<p>{{msg}}</p>", &ctx(&[("msg", "<script>alert(1)</script>")])).unwrap();
+        assert_eq!(out, "<p>&lt;script&gt;alert(1)&lt;/script&gt;</p>");
+    }
+
+    #[test]
+    fn raw_substitution_is_not_escaped() {
+        let out = render("<div>{{{markup}}}</div>", &ctx(&[("markup", "<b>bold</b>")])).unwrap();
+        assert_eq!(out, "<div><b>bold</b></div>");
+    }
+
+    #[test]
+    fn unknown_variables_render_empty() {
+        let out = render("[{{missing}}]", &ctx(&[])).unwrap();
+        assert_eq!(out, "[]");
+    }
+
+    #[test]
+    fn each_blocks_iterate() {
+        let mut context = TemplateContext::new();
+        context.insert("title".to_string(), text("Topics"));
+        context.insert(
+            "topics".to_string(),
+            TemplateValue::List(vec![
+                ctx(&[("name", "First"), ("author", "alice")]),
+                ctx(&[("name", "Second & third"), ("author", "bob")]),
+            ]),
+        );
+        let out = render(
+            "<h1>{{title}}</h1><ul>{{#each topics}}<li>{{name}} by {{author}}</li>{{/each}}</ul>",
+            &context,
+        )
+        .unwrap();
+        assert_eq!(
+            out,
+            "<h1>Topics</h1><ul><li>First by alice</li><li>Second &amp; third by bob</li></ul>"
+        );
+    }
+
+    #[test]
+    fn each_over_missing_or_scalar_values() {
+        let out = render("{{#each nothing}}x{{/each}}done", &ctx(&[])).unwrap();
+        assert_eq!(out, "done");
+        let err = render("{{#each name}}x{{/each}}", &ctx(&[("name", "scalar")])).unwrap_err();
+        assert_eq!(err, TemplateError::NotAList("name".to_string()));
+    }
+
+    #[test]
+    fn unclosed_blocks_are_errors() {
+        let mut context = TemplateContext::new();
+        context.insert("items".to_string(), TemplateValue::List(vec![]));
+        assert!(matches!(
+            render("{{#each items}}never closed", &context),
+            Err(TemplateError::UnclosedEach(_))
+        ));
+    }
+
+    #[test]
+    fn literal_braces_survive() {
+        let out = render("a {{ b", &ctx(&[])).unwrap();
+        assert_eq!(out, "a {{ b");
+    }
+
+    #[test]
+    fn escaping_helper_covers_the_usual_suspects() {
+        assert_eq!(
+            html_escape(r#"<img src="x" onerror='go()'>&"#),
+            "&lt;img src=&quot;x&quot; onerror=&#39;go()&#39;&gt;&amp;"
+        );
+    }
+}

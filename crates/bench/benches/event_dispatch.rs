@@ -1,0 +1,49 @@
+//! Criterion bench for §6.5's second measurement: UI-event handling with and without
+//! ESCUDO (event delivery is an implicit `use` of the target element, and the handler
+//! runs as a ring-labelled principal).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use escudo_bench::workload::{figure4_scenarios, generate_page};
+use escudo_browser::{Browser, PolicyMode};
+use escudo_dom::EventType;
+use escudo_net::{Request, Response};
+
+fn browser_with_page(mode: PolicyMode, html: &str) -> (Browser, escudo_browser::PageId) {
+    let mut browser = Browser::new(mode);
+    let page_html = html.to_string();
+    browser
+        .network_mut()
+        .register("http://workload.example", move |_req: &Request| {
+            Response::ok_html(page_html.clone())
+        });
+    let page = browser.navigate("http://workload.example/").unwrap();
+    (browser, page)
+}
+
+fn event_dispatch(c: &mut Criterion) {
+    let html = generate_page(&figure4_scenarios()[4]);
+    let mut group = c.benchmark_group("event_dispatch");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let (mut sop_browser, sop_page) = browser_with_page(PolicyMode::SameOriginOnly, &html);
+    group.bench_function("without_escudo", |b| {
+        b.iter(|| sop_browser.fire_event(sop_page, "action-0", EventType::Click).unwrap())
+    });
+
+    let (mut escudo_browser, escudo_page) = browser_with_page(PolicyMode::Escudo, &html);
+    group.bench_function("with_escudo", |b| {
+        b.iter(|| {
+            escudo_browser
+                .fire_event(escudo_page, "action-0", EventType::Click)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, event_dispatch);
+criterion_main!(benches);

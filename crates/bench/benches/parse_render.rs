@@ -1,0 +1,34 @@
+//! Criterion bench for Figure 4: parsing + rendering each of the eight workload pages
+//! with and without ESCUDO.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use escudo_bench::measure::load_once;
+use escudo_bench::workload::{figure4_scenarios, generate_page};
+use escudo_browser::PolicyMode;
+
+fn parse_render(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure4_parse_render");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for scenario in figure4_scenarios() {
+        let html = generate_page(&scenario);
+        group.bench_with_input(
+            BenchmarkId::new("without_escudo", scenario.id),
+            &html,
+            |b, html| b.iter(|| load_once(PolicyMode::SameOriginOnly, html)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("with_escudo", scenario.id),
+            &html,
+            |b, html| b.iter(|| load_once(PolicyMode::Escudo, html)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, parse_render);
+criterion_main!(benches);

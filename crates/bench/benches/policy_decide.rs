@@ -1,0 +1,39 @@
+//! Microbenchmark of the ESCUDO decision procedure itself (the cost the reference
+//! monitor adds to every mediated operation).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use escudo_core::context::{ObjectContext, ObjectKind, PrincipalContext, PrincipalKind};
+use escudo_core::{decide, Acl, Operation, Origin, PolicyMode, Ring};
+
+fn policy_decide(c: &mut Criterion) {
+    let origin = Origin::new("http", "forum.example", 80);
+    let other = Origin::new("http", "evil.example", 80);
+    let allow_principal = PrincipalContext::new(PrincipalKind::Script, origin.clone(), Ring::new(1));
+    let deny_ring_principal = PrincipalContext::new(PrincipalKind::Script, origin.clone(), Ring::new(3));
+    let deny_origin_principal = PrincipalContext::new(PrincipalKind::Script, other, Ring::new(0));
+    let object = ObjectContext::new(ObjectKind::Cookie, origin, Ring::new(1))
+        .with_acl(Acl::uniform(Ring::new(1)));
+
+    let mut group = c.benchmark_group("policy_decide");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("escudo_allow", |b| {
+        b.iter(|| decide(PolicyMode::Escudo, &allow_principal, &object, Operation::Use))
+    });
+    group.bench_function("escudo_deny_ring_rule", |b| {
+        b.iter(|| decide(PolicyMode::Escudo, &deny_ring_principal, &object, Operation::Use))
+    });
+    group.bench_function("escudo_deny_origin_rule", |b| {
+        b.iter(|| decide(PolicyMode::Escudo, &deny_origin_principal, &object, Operation::Use))
+    });
+    group.bench_function("sop_allow", |b| {
+        b.iter(|| decide(PolicyMode::SameOriginOnly, &allow_principal, &object, Operation::Use))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, policy_decide);
+criterion_main!(benches);

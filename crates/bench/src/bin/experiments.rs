@@ -1,0 +1,108 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release --bin experiments              # everything, 90 runs (the paper's count)
+//! cargo run --release --bin experiments figure4      # only Figure 4
+//! cargo run --release --bin experiments defense      # only §6.4
+//! cargo run --release --bin experiments -- --runs 30 # fewer timed runs
+//! cargo run --release --bin experiments -- --json    # machine-readable output
+//! ```
+
+use std::env;
+
+use escudo_apps::evaluate::DefenseReport;
+use escudo_bench::experiments::{
+    format_case_study_tables, format_defense_report, format_table1, CompatReport, EventReport,
+    Figure4Report,
+};
+
+#[derive(Debug)]
+struct Options {
+    runs: usize,
+    json: bool,
+    sections: Vec<String>,
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        runs: 90,
+        json: false,
+        sections: Vec::new(),
+    };
+    let mut args = env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--runs" => {
+                if let Some(value) = args.next() {
+                    options.runs = value.parse().unwrap_or(90);
+                }
+            }
+            "--json" => options.json = true,
+            "--" => {}
+            section => options.sections.push(section.to_string()),
+        }
+    }
+    if options.sections.is_empty() {
+        options.sections = vec![
+            "taxonomy".to_string(),
+            "tables".to_string(),
+            "figure4".to_string(),
+            "events".to_string(),
+            "defense".to_string(),
+            "compat".to_string(),
+        ];
+    }
+    options
+}
+
+fn main() {
+    let options = parse_args();
+
+    for section in &options.sections {
+        match section.as_str() {
+            "taxonomy" | "table1" => {
+                println!("{}", format_table1());
+            }
+            "tables" => {
+                println!("{}", format_case_study_tables());
+            }
+            "figure4" => {
+                let report = Figure4Report::run(options.runs);
+                if options.json {
+                    println!("{}", serde_json::to_string_pretty(&report).expect("serialize"));
+                } else {
+                    println!("{report}");
+                }
+            }
+            "events" => {
+                let report = EventReport::run(options.runs.max(100));
+                if options.json {
+                    println!("{}", serde_json::to_string_pretty(&report).expect("serialize"));
+                } else {
+                    println!("{report}");
+                }
+            }
+            "defense" => {
+                let report = DefenseReport::run_full();
+                if options.json {
+                    println!("{}", serde_json::to_string_pretty(&report).expect("serialize"));
+                } else {
+                    println!("{}", format_defense_report(&report));
+                }
+            }
+            "compat" => {
+                let report = CompatReport::run();
+                if options.json {
+                    println!("{}", serde_json::to_string_pretty(&report).expect("serialize"));
+                } else {
+                    println!("{report}");
+                }
+            }
+            other => {
+                eprintln!("unknown section `{other}` (expected taxonomy, tables, figure4, events, defense, compat)");
+                std::process::exit(2);
+            }
+        }
+        println!();
+    }
+}

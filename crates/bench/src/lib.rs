@@ -1,0 +1,23 @@
+//! # escudo-bench
+//!
+//! The experiment harness that regenerates the ESCUDO paper's evaluation:
+//!
+//! * [`workload`] — the Figure 4 page generator: eight scenarios with varying numbers
+//!   of AC-tagged regions and dynamic content,
+//! * [`measure`] — timed page loads and event dispatches under either policy mode,
+//! * [`experiments`] — the report types printed by the `experiments` binary and
+//!   recorded in `EXPERIMENTS.md` (Figure 4, UI events, §6.3, §6.4, Tables 1–5).
+//!
+//! The Criterion benches in `benches/` use the same workload and measurement code, so
+//! `cargo bench` and `cargo run --bin experiments` agree on what is being measured.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod measure;
+pub mod workload;
+
+pub use experiments::{CompatReport, EventReport, Figure4Report, Figure4Row};
+pub use measure::{load_once, LoadSample};
+pub use workload::{figure4_scenarios, generate_page, Scenario};

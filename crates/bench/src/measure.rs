@@ -1,0 +1,165 @@
+//! Timed page loads and event dispatches.
+
+use escudo_browser::{Browser, PolicyMode};
+use escudo_dom::EventType;
+use escudo_net::{Request, Response};
+use serde::{Deserialize, Serialize};
+
+/// The timing sample of one page load.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct LoadSample {
+    /// Parse time in nanoseconds.
+    pub parse_ns: u128,
+    /// ESCUDO bookkeeping (label extraction) time in nanoseconds.
+    pub label_ns: u128,
+    /// Script execution time in nanoseconds.
+    pub script_ns: u128,
+    /// Layout/render time in nanoseconds.
+    pub render_ns: u128,
+}
+
+impl LoadSample {
+    /// The quantity Figure 4 plots: parse + ESCUDO bookkeeping + render.
+    #[must_use]
+    pub fn parse_and_render_ns(&self) -> u128 {
+        self.parse_ns + self.label_ns + self.render_ns
+    }
+}
+
+/// Loads `html` once in a fresh browser under `mode` and returns the timing sample.
+#[must_use]
+pub fn load_once(mode: PolicyMode, html: &str) -> LoadSample {
+    let mut browser = Browser::new(mode);
+    let page_html = html.to_string();
+    browser
+        .network_mut()
+        .register("http://workload.example", move |_req: &Request| {
+            Response::ok_html(page_html.clone())
+        });
+    let page = browser
+        .navigate("http://workload.example/")
+        .expect("workload page loads");
+    let stats = browser.page(page).stats;
+    LoadSample {
+        parse_ns: stats.parse_ns,
+        label_ns: stats.label_ns,
+        script_ns: stats.script_ns,
+        render_ns: stats.render_ns,
+    }
+}
+
+/// Statistics over repeated samples of one quantity (nanoseconds).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct SampleStats {
+    /// Number of samples.
+    pub runs: usize,
+    /// Mean in nanoseconds.
+    pub mean_ns: f64,
+    /// Median in nanoseconds (robust against scheduler noise on sub-millisecond loads).
+    pub median_ns: u128,
+    /// Minimum in nanoseconds.
+    pub min_ns: u128,
+    /// Maximum in nanoseconds.
+    pub max_ns: u128,
+}
+
+impl SampleStats {
+    /// Computes statistics from raw samples.
+    #[must_use]
+    pub fn from_samples(samples: &[u128]) -> Self {
+        if samples.is_empty() {
+            return SampleStats::default();
+        }
+        let sum: u128 = samples.iter().sum();
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        SampleStats {
+            runs: samples.len(),
+            mean_ns: sum as f64 / samples.len() as f64,
+            median_ns: sorted[sorted.len() / 2],
+            min_ns: sorted[0],
+            max_ns: *sorted.last().expect("non-empty"),
+        }
+    }
+
+    /// Mean in milliseconds.
+    #[must_use]
+    pub fn mean_ms(&self) -> f64 {
+        self.mean_ns / 1_000_000.0
+    }
+
+    /// Median in milliseconds.
+    #[must_use]
+    pub fn median_ms(&self) -> f64 {
+        self.median_ns as f64 / 1_000_000.0
+    }
+}
+
+/// Measures the parse+render time of `html` over `runs` loads under `mode`.
+#[must_use]
+pub fn measure_parse_render(mode: PolicyMode, html: &str, runs: usize) -> SampleStats {
+    let samples: Vec<u128> = (0..runs)
+        .map(|_| load_once(mode, html).parse_and_render_ns())
+        .collect();
+    SampleStats::from_samples(&samples)
+}
+
+/// Measures UI-event dispatch time: fires `click` on a handler-carrying element `runs`
+/// times and reports per-dispatch statistics.
+#[must_use]
+pub fn measure_event_dispatch(mode: PolicyMode, html: &str, element_id: &str, runs: usize) -> SampleStats {
+    let mut browser = Browser::new(mode);
+    let page_html = html.to_string();
+    browser
+        .network_mut()
+        .register("http://workload.example", move |_req: &Request| {
+            Response::ok_html(page_html.clone())
+        });
+    let page = browser
+        .navigate("http://workload.example/")
+        .expect("workload page loads");
+    let samples: Vec<u128> = (0..runs)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            let _ = browser.fire_event(page, element_id, EventType::Click);
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    SampleStats::from_samples(&samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{figure4_scenarios, generate_page};
+
+    #[test]
+    fn load_once_produces_nonzero_timings() {
+        let html = generate_page(&figure4_scenarios()[2]);
+        let escudo = load_once(PolicyMode::Escudo, &html);
+        assert!(escudo.parse_ns > 0);
+        assert!(escudo.render_ns > 0);
+        assert!(escudo.label_ns > 0);
+        let sop = load_once(PolicyMode::SameOriginOnly, &html);
+        // The baseline browser does no ESCUDO bookkeeping at all.
+        assert_eq!(sop.label_ns, 0);
+    }
+
+    #[test]
+    fn sample_stats_summarize_correctly() {
+        let stats = SampleStats::from_samples(&[10, 20, 30]);
+        assert_eq!(stats.runs, 3);
+        assert!((stats.mean_ns - 20.0).abs() < f64::EPSILON);
+        assert_eq!(stats.min_ns, 10);
+        assert_eq!(stats.max_ns, 30);
+        assert_eq!(SampleStats::from_samples(&[]).runs, 0);
+    }
+
+    #[test]
+    fn event_dispatch_measurement_runs() {
+        let html = generate_page(&figure4_scenarios()[1]);
+        let stats = measure_event_dispatch(PolicyMode::Escudo, &html, "action-0", 5);
+        assert_eq!(stats.runs, 5);
+        assert!(stats.mean_ns > 0.0);
+    }
+}

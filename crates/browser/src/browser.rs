@@ -1,0 +1,714 @@
+//! The browser: navigation, script execution, request issuance, event dispatch,
+//! history and visited links.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use escudo_core::config::CookiePolicy;
+use escudo_core::{Operation, PolicyMode, PrincipalContext, PrincipalKind};
+use escudo_dom::EventType;
+use escudo_net::{CookieJar, Method, Network, Request, Response, Url};
+use escudo_script::Interpreter;
+
+use crate::context::SecurityContextTable;
+use crate::erm::Erm;
+use crate::error::BrowserError;
+use crate::host::BrowserHost;
+use crate::loader::{LoadOptions, PageLoader};
+use crate::page::{Page, ScriptOutcome};
+use crate::render::Renderer;
+
+/// A handle to a loaded page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PageId(usize);
+
+/// The browser. One instance corresponds to one browsing session (cookie jar, history,
+/// visited links) enforcing one [`PolicyMode`].
+pub struct Browser {
+    mode: PolicyMode,
+    network: Network,
+    jar: CookieJar,
+    erm: Erm,
+    history: Vec<Url>,
+    visited: HashSet<String>,
+    pages: Vec<Option<Page>>,
+    viewport_width: u32,
+    /// Cookie policies remembered per (host, cookie name), so a policy declared when a
+    /// cookie was set keeps protecting it on later pages of the same application.
+    cookie_policies: Vec<(String, CookiePolicy)>,
+}
+
+impl std::fmt::Debug for Browser {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Browser")
+            .field("mode", &self.mode)
+            .field("pages", &self.pages.len())
+            .field("cookies", &self.jar.len())
+            .field("history", &self.history.len())
+            .finish()
+    }
+}
+
+impl Browser {
+    /// Creates a browser enforcing the given policy mode.
+    #[must_use]
+    pub fn new(mode: PolicyMode) -> Self {
+        Browser {
+            mode,
+            network: Network::new(),
+            jar: CookieJar::new(),
+            erm: Erm::new(mode),
+            history: Vec::new(),
+            visited: HashSet::new(),
+            pages: Vec::new(),
+            viewport_width: 1024,
+            cookie_policies: Vec::new(),
+        }
+    }
+
+    /// The policy mode in force.
+    #[must_use]
+    pub fn mode(&self) -> PolicyMode {
+        self.mode
+    }
+
+    /// Mutable access to the in-memory network (for registering servers).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.network
+    }
+
+    /// The in-memory network (for inspecting the request log).
+    #[must_use]
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The cookie jar.
+    #[must_use]
+    pub fn cookie_jar(&self) -> &CookieJar {
+        &self.jar
+    }
+
+    /// The reference monitor (audit log, counters).
+    #[must_use]
+    pub fn erm(&self) -> &Erm {
+        &self.erm
+    }
+
+    /// Navigation history (oldest first).
+    #[must_use]
+    pub fn history(&self) -> &[Url] {
+        &self.history
+    }
+
+    /// `true` when the given URL has been visited in this session.
+    #[must_use]
+    pub fn is_visited(&self, url: &str) -> bool {
+        Url::parse(url)
+            .map(|u| self.visited.contains(&u.to_string()))
+            .unwrap_or(false)
+    }
+
+    /// A loaded page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a loaded page (page ids come from this
+    /// browser's own navigation methods, so an invalid id is a programming error).
+    #[must_use]
+    pub fn page(&self, id: PageId) -> &Page {
+        self.pages[id.0].as_ref().expect("page id is valid")
+    }
+
+    // ------------------------------------------------------------- navigation
+
+    /// Navigates to a URL as a user action (address bar / bookmark): the request is
+    /// issued by the browser itself, so session cookies are attached.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the URL is invalid or no server is registered for its origin.
+    pub fn navigate(&mut self, url: &str) -> Result<PageId, BrowserError> {
+        let url = Url::parse(url)?;
+        let principal = PrincipalContext::browser(url.origin());
+        self.load_page(url, Method::Get, String::new(), principal)
+    }
+
+    /// Follows a link (`a href`) in a loaded page. The anchor element is the
+    /// HTTP-request-issuing principal, so cookie attachment is subject to its ring.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the element does not exist, has no `href`, or the target host is
+    /// unreachable.
+    pub fn click_link(&mut self, page: PageId, element_id: &str) -> Result<PageId, BrowserError> {
+        let (target, principal) = {
+            let page = self.page(page);
+            let node = page
+                .document
+                .get_element_by_id(element_id)
+                .ok_or_else(|| BrowserError::NoSuchElement(element_id.to_string()))?;
+            let href = page
+                .document
+                .attribute(node, "href")
+                .ok_or_else(|| BrowserError::NoSuchElement(format!("{element_id}[href]")))?;
+            let target = page.url.join(href)?;
+            let principal = page
+                .contexts
+                .request_issuer_principal(node, &format!("anchor #{element_id}"));
+            (target, principal)
+        };
+        self.load_page(target, Method::Get, String::new(), principal)
+    }
+
+    /// Submits a form in a loaded page, optionally overriding/adding fields. The form
+    /// element is the HTTP-request-issuing principal.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the form does not exist or the target host is unreachable.
+    pub fn submit_form(
+        &mut self,
+        page: PageId,
+        form_id: &str,
+        overrides: &[(&str, &str)],
+    ) -> Result<PageId, BrowserError> {
+        let (target, method, body, principal) = {
+            let page = self.page(page);
+            let form = page
+                .document
+                .get_element_by_id(form_id)
+                .ok_or_else(|| BrowserError::NoSuchElement(form_id.to_string()))?;
+            let action = page.document.attribute(form, "action").unwrap_or("");
+            let target = page.url.join(action)?;
+            let method = page
+                .document
+                .attribute(form, "method")
+                .unwrap_or("post")
+                .parse::<Method>()
+                .unwrap_or(Method::Post);
+
+            // Collect input/textarea fields inside the form.
+            let mut fields: Vec<(String, String)> = Vec::new();
+            for node in page.document.descendants(form) {
+                let Some(tag) = page.document.tag_name(node) else {
+                    continue;
+                };
+                if tag != "input" && tag != "textarea" && tag != "select" {
+                    continue;
+                }
+                let Some(name) = page.document.attribute(node, "name") else {
+                    continue;
+                };
+                let value = if tag == "textarea" {
+                    page.document.text_content(node)
+                } else {
+                    page.document.attribute(node, "value").unwrap_or("").to_string()
+                };
+                fields.push((name.to_string(), value));
+            }
+            for (name, value) in overrides {
+                match fields.iter_mut().find(|(n, _)| n == name) {
+                    Some(entry) => entry.1 = (*value).to_string(),
+                    None => fields.push(((*name).to_string(), (*value).to_string())),
+                }
+            }
+            let body = fields
+                .iter()
+                .map(|(k, v)| {
+                    format!(
+                        "{}={}",
+                        escudo_net::url::percent_encode(k),
+                        escudo_net::url::percent_encode(v)
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("&");
+            let principal = page
+                .contexts
+                .request_issuer_principal(form, &format!("form #{form_id}"));
+            (target, method, body, principal)
+        };
+        self.load_page(target, method, body, principal)
+    }
+
+    fn load_page(
+        &mut self,
+        url: Url,
+        method: Method,
+        body: String,
+        principal: PrincipalContext,
+    ) -> Result<PageId, BrowserError> {
+        let mut response = self.fetch(url.clone(), method, body, &principal)?;
+        let mut final_url = url;
+        // Follow a small number of redirects (form POST → see-other → GET).
+        let mut redirects = 0;
+        while response.status.is_redirect() && redirects < 5 {
+            let Some(location) = response.headers.get("Location").map(str::to_string) else {
+                break;
+            };
+            final_url = final_url.join(&location)?;
+            let browser_principal = PrincipalContext::browser(final_url.origin());
+            response = self.fetch(final_url.clone(), Method::Get, String::new(), &browser_principal)?;
+            redirects += 1;
+        }
+
+        // Build the page.
+        let options = LoadOptions {
+            mode: self.mode,
+            viewport_width: self.viewport_width,
+        };
+        let mut page = PageLoader::load(&final_url, &response, &options);
+
+        // Remember the cookie policies this application declared, and make previously
+        // remembered policies for the same origin available to this page.
+        for policy in page.contexts.cookie_policies().to_vec() {
+            self.remember_cookie_policy(final_url.host(), policy);
+        }
+        let host = final_url.host().to_string();
+        for (policy_host, policy) in &self.cookie_policies {
+            if policy_host.eq_ignore_ascii_case(&host)
+                && page.contexts.cookie_policy(&policy.name).is_none()
+            {
+                page.contexts.add_cookie_policy(policy.clone());
+            }
+        }
+
+        // Browser state: history and visited links (mandatorily ring 0).
+        self.history.push(final_url.clone());
+        self.visited.insert(final_url.to_string());
+
+        // Execute the page's scripts in document order.
+        self.execute_scripts(&mut page);
+
+        // Issue subresource requests (img). These are HTTP-request-issuing principals.
+        self.load_subresources(&mut page);
+
+        // Re-render to account for script-driven DOM changes.
+        if !page.scripts.is_empty() {
+            let start = Instant::now();
+            let renderer = Renderer::new(self.viewport_width);
+            let (_, stats) = renderer.layout(&page.document);
+            page.render_stats = stats;
+            page.stats.render_ns += start.elapsed().as_nanos();
+        }
+
+        page.stats.policy_checks = self.erm.checks();
+        page.stats.policy_denials = self.erm.denials();
+
+        self.pages.push(Some(page));
+        Ok(PageId(self.pages.len() - 1))
+    }
+
+    /// Issues one HTTP request with policy-mediated cookie attachment and stores any
+    /// cookies (and cookie policies) the response carries.
+    fn fetch(
+        &mut self,
+        url: Url,
+        method: Method,
+        body: String,
+        principal: &PrincipalContext,
+    ) -> Result<Response, BrowserError> {
+        let mut request = Request::new(method, url.clone());
+        if !body.is_empty() {
+            request.body = body;
+            request
+                .headers
+                .set("Content-Type", "application/x-www-form-urlencoded");
+        }
+        self.attach_cookies(&mut request, principal, None);
+        let response = self.network.dispatch(request)?;
+        for directive in response.set_cookies() {
+            self.jar.store(&url, &directive);
+        }
+        for policy in response.cookie_policies() {
+            self.remember_cookie_policy(url.host(), policy);
+        }
+        Ok(response)
+    }
+
+    fn remember_cookie_policy(&mut self, host: &str, policy: CookiePolicy) {
+        if let Some(entry) = self
+            .cookie_policies
+            .iter_mut()
+            .find(|(h, p)| h.eq_ignore_ascii_case(host) && p.name == policy.name)
+        {
+            entry.1 = policy;
+        } else {
+            self.cookie_policies.push((host.to_string(), policy));
+        }
+    }
+
+    /// Cookie attachment — the `use` operation. `page_contexts` supplies per-cookie
+    /// ring assignments when the request originates from a loaded page; otherwise the
+    /// browser-wide remembered policies are used.
+    fn attach_cookies(
+        &mut self,
+        request: &mut Request,
+        principal: &PrincipalContext,
+        page_contexts: Option<&SecurityContextTable>,
+    ) {
+        let candidates: Vec<(String, String, escudo_core::Origin)> = self
+            .jar
+            .candidates_for(&request.url)
+            .into_iter()
+            .map(|c| (c.name.clone(), c.value.clone(), c.origin()))
+            .collect();
+        let mut attached = Vec::new();
+        for (name, value, cookie_origin) in candidates {
+            let allowed = match self.mode {
+                // The legacy behaviour: every in-scope cookie rides along, no matter
+                // who caused the request. This is exactly the CSRF weakness.
+                PolicyMode::SameOriginOnly => true,
+                PolicyMode::Escudo => {
+                    let object = match page_contexts {
+                        Some(contexts) => contexts.cookie_object(&name, cookie_origin.clone()),
+                        None => self.cookie_object_from_store(&name, cookie_origin.clone()),
+                    };
+                    self.erm
+                        .check(principal, &object, Operation::Use)
+                        .is_allowed()
+                }
+            };
+            if allowed {
+                attached.push(format!("{name}={value}"));
+            }
+        }
+        if !attached.is_empty() {
+            request.headers.set("Cookie", attached.join("; "));
+        }
+    }
+
+    fn cookie_object_from_store(
+        &self,
+        name: &str,
+        cookie_origin: escudo_core::Origin,
+    ) -> escudo_core::ObjectContext {
+        let policy = self.cookie_policies.iter().find(|(host, policy)| {
+            host.eq_ignore_ascii_case(cookie_origin.host()) && policy.applies_to(name)
+        });
+        match policy {
+            Some((_, policy)) => escudo_core::ObjectContext {
+                kind: escudo_core::ObjectKind::Cookie,
+                origin: cookie_origin,
+                ring: policy.ring,
+                acl: policy.acl,
+                label: format!("cookie {name}"),
+            },
+            None => escudo_core::ObjectContext {
+                kind: escudo_core::ObjectKind::Cookie,
+                origin: cookie_origin,
+                ring: escudo_core::Ring::INNERMOST,
+                acl: escudo_core::Acl::permissive(),
+                label: format!("cookie {name}"),
+            },
+        }
+    }
+
+    // ------------------------------------------------------------- scripts & events
+
+    fn execute_scripts(&mut self, page: &mut Page) {
+        let scripts = page.scripts.clone();
+        for unit in scripts {
+            let start = Instant::now();
+            let principal = page
+                .contexts
+                .script_principal(unit.node, &format!("script in {}", unit.ring));
+            let outcome = {
+                let mut host = BrowserHost::new(
+                    self.mode,
+                    &mut self.erm,
+                    &mut page.document,
+                    &mut page.contexts,
+                    &mut self.jar,
+                    &mut self.network,
+                    self.history.len(),
+                    page.url.clone(),
+                    principal,
+                );
+                let mut interpreter = Interpreter::new(&mut host);
+                let result = interpreter.run(&unit.source);
+                match result {
+                    Ok(value) => ScriptOutcome {
+                        node: unit.node,
+                        ring: unit.ring,
+                        result: Ok(value.to_string()),
+                        denied: false,
+                    },
+                    Err(error) => ScriptOutcome {
+                        node: unit.node,
+                        ring: unit.ring,
+                        denied: error.is_access_denied(),
+                        result: Err(error.to_string()),
+                    },
+                }
+            };
+            page.stats.script_ns += start.elapsed().as_nanos();
+            page.script_outcomes.push(outcome);
+        }
+    }
+
+    /// Delivers a UI event to the element with the given `id`. Delivery is an implicit
+    /// `use` of the element; if the element carries an inline handler (`onclick`, …)
+    /// the handler runs as a script principal in the element's ring.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the page or element does not exist.
+    pub fn fire_event(
+        &mut self,
+        page_id: PageId,
+        element_id: &str,
+        event: EventType,
+    ) -> Result<Option<ScriptOutcome>, BrowserError> {
+        let mut page = self.pages[page_id.0]
+            .take()
+            .ok_or(BrowserError::NoSuchPage(page_id.0))?;
+        let result = self.fire_event_inner(&mut page, element_id, event);
+        self.pages[page_id.0] = Some(page);
+        result
+    }
+
+    fn fire_event_inner(
+        &mut self,
+        page: &mut Page,
+        element_id: &str,
+        event: EventType,
+    ) -> Result<Option<ScriptOutcome>, BrowserError> {
+        let node = page
+            .document
+            .get_element_by_id(element_id)
+            .ok_or_else(|| BrowserError::NoSuchElement(element_id.to_string()))?;
+
+        // Event delivery is a `use` of the target element, performed here on behalf of
+        // the user (browser chrome), so it is always permitted — but it is still a
+        // mediated operation and shows up in the audit trail and the timing numbers.
+        let chrome = PrincipalContext::browser(page.origin.clone());
+        let object = page.contexts.dom_object(node, &format!("#{element_id}"));
+        let decision = self.erm.check(&chrome, &object, Operation::Use);
+        debug_assert!(decision.is_allowed());
+
+        let Some(source) = page
+            .document
+            .attribute(node, &event.handler_attribute())
+            .map(str::to_string)
+        else {
+            return Ok(None);
+        };
+
+        let start = Instant::now();
+        let principal = PrincipalContext {
+            kind: PrincipalKind::EventHandler,
+            origin: page.origin.clone(),
+            ring: page.contexts.node_label(node).ring,
+            label: format!("on{event} handler of #{element_id}"),
+        };
+        let ring = principal.ring;
+        let outcome = {
+            let mut host = BrowserHost::new(
+                self.mode,
+                &mut self.erm,
+                &mut page.document,
+                &mut page.contexts,
+                &mut self.jar,
+                &mut self.network,
+                self.history.len(),
+                page.url.clone(),
+                principal,
+            );
+            let mut interpreter = Interpreter::new(&mut host);
+            match interpreter.run(&source) {
+                Ok(value) => ScriptOutcome {
+                    node,
+                    ring,
+                    result: Ok(value.to_string()),
+                    denied: false,
+                },
+                Err(error) => ScriptOutcome {
+                    node,
+                    ring,
+                    denied: error.is_access_denied(),
+                    result: Err(error.to_string()),
+                },
+            }
+        };
+        page.stats.script_ns += start.elapsed().as_nanos();
+        page.script_outcomes.push(outcome.clone());
+        Ok(Some(outcome))
+    }
+
+    // ------------------------------------------------------------- subresources
+
+    /// Issues the HTTP requests for `img` elements. Each image element is an
+    /// HTTP-request-issuing principal; cookie attachment for its request is mediated
+    /// exactly like any other `use` of the cookies. This is the CSRF-by-image vector.
+    fn load_subresources(&mut self, page: &mut Page) {
+        let images: Vec<(escudo_dom::NodeId, String)> = page
+            .document
+            .elements_by_tag_name("img")
+            .into_iter()
+            .filter_map(|node| {
+                page.document
+                    .attribute(node, "src")
+                    .map(|src| (node, src.to_string()))
+            })
+            .collect();
+        for (node, src) in images {
+            let Ok(target) = page.url.join(&src) else {
+                continue;
+            };
+            if !self.network.knows(&target) {
+                continue;
+            }
+            let principal = page
+                .contexts
+                .request_issuer_principal(node, &format!("img src={src}"));
+            let mut request = Request::new(Method::Get, target.clone());
+            self.attach_cookies(&mut request, &principal, Some(&page.contexts));
+            let _ = self.network.dispatch(request);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use escudo_net::{Response, Server};
+
+    struct Static(String);
+    impl Server for Static {
+        fn handle(&mut self, _req: &Request) -> Response {
+            Response::ok_html(self.0.clone())
+        }
+    }
+
+    fn browser_with(mode: PolicyMode, html: &str) -> Browser {
+        let mut browser = Browser::new(mode);
+        browser
+            .network_mut()
+            .register("http://app.example", Static(html.to_string()));
+        browser
+    }
+
+    #[test]
+    fn navigation_loads_a_page_and_updates_history() {
+        let mut browser = browser_with(
+            PolicyMode::Escudo,
+            "<html><body ring=1><p id=hello>hi</p></body></html>",
+        );
+        let page = browser.navigate("http://app.example/index.php").unwrap();
+        assert_eq!(browser.page(page).text_of("hello").as_deref(), Some("hi"));
+        assert_eq!(browser.history().len(), 1);
+        assert!(browser.is_visited("http://app.example/index.php"));
+        assert!(!browser.is_visited("http://app.example/other.php"));
+    }
+
+    #[test]
+    fn low_ring_script_cannot_modify_high_ring_region() {
+        let html = r#"<html><body ring=1 r=1 w=1 x=1>
+            <div ring=1 r=1 w=1 x=1 id=post>Original</div>
+            <div ring=3 r=3 w=3 x=3 id=comment>
+              <script>document.getElementById('post').innerHTML = 'defaced';</script>
+            </div>
+        </body></html>"#;
+        let mut browser = browser_with(PolicyMode::Escudo, html);
+        let page = browser.navigate("http://app.example/").unwrap();
+        assert!(browser.page(page).any_script_denied());
+        assert_eq!(browser.page(page).text_of("post").as_deref(), Some("Original"));
+
+        // Under the same-origin baseline the same attack succeeds.
+        let mut sop = browser_with(PolicyMode::SameOriginOnly, html);
+        let page = sop.navigate("http://app.example/").unwrap();
+        assert!(!sop.page(page).any_script_denied());
+        assert_eq!(sop.page(page).text_of("post").as_deref(), Some("defaced"));
+    }
+
+    #[test]
+    fn high_ring_script_may_modify_lower_ring_regions() {
+        let html = r#"<html><body ring=1 r=1 w=1 x=1>
+            <div ring=3 r=2 w=2 x=2 id=message>old</div>
+            <div ring=1 r=1 w=1 x=1>
+              <script>document.getElementById('message').innerHTML = 'moderated';</script>
+            </div>
+        </body></html>"#;
+        let mut browser = browser_with(PolicyMode::Escudo, html);
+        let page = browser.navigate("http://app.example/").unwrap();
+        assert!(browser.page(page).all_scripts_succeeded());
+        assert_eq!(browser.page(page).text_of("message").as_deref(), Some("moderated"));
+    }
+
+    #[test]
+    fn legacy_pages_behave_like_sop_under_escudo() {
+        let html = r#"<html><body>
+            <div id=target>old</div>
+            <script>document.getElementById('target').innerHTML = 'changed';</script>
+        </body></html>"#;
+        let mut browser = browser_with(PolicyMode::Escudo, html);
+        let page = browser.navigate("http://app.example/").unwrap();
+        assert!(browser.page(page).legacy);
+        assert!(browser.page(page).all_scripts_succeeded());
+        assert_eq!(browser.page(page).text_of("target").as_deref(), Some("changed"));
+    }
+
+    #[test]
+    fn event_handlers_run_in_the_elements_ring() {
+        let html = r#"<html><body ring=1 r=1 w=1 x=1>
+            <div id=status>idle</div>
+            <button id=good onclick="document.getElementById('status').innerHTML = 'clicked';">ok</button>
+            <div ring=3 r=3 w=3 x=3>
+              <button id=evil onclick="document.getElementById('status').innerHTML = 'pwned';">x</button>
+            </div>
+        </body></html>"#;
+        let mut browser = browser_with(PolicyMode::Escudo, html);
+        let page = browser.navigate("http://app.example/").unwrap();
+
+        let ok = browser.fire_event(page, "good", EventType::Click).unwrap().unwrap();
+        assert!(ok.succeeded());
+        assert_eq!(browser.page(page).text_of("status").as_deref(), Some("clicked"));
+
+        let evil = browser.fire_event(page, "evil", EventType::Click).unwrap().unwrap();
+        assert!(evil.was_denied());
+        assert_eq!(browser.page(page).text_of("status").as_deref(), Some("clicked"));
+
+        // Firing an event on an element without a handler is a no-op.
+        assert!(browser
+            .fire_event(page, "status", EventType::Click)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn setting_configuration_attributes_from_scripts_is_denied() {
+        let html = r#"<html><body ring=1 r=1 w=1 x=1>
+            <div ring=3 r=3 w=3 x=3 id=user>
+              <script>document.getElementById('user').setAttribute('ring', '0');</script>
+            </div>
+        </body></html>"#;
+        let mut browser = browser_with(PolicyMode::Escudo, html);
+        let page = browser.navigate("http://app.example/").unwrap();
+        assert!(browser.page(page).any_script_denied());
+        // The label table still holds ring 3 for the element.
+        let doc = &browser.page(page).document;
+        let user = doc.get_element_by_id("user").unwrap();
+        assert_eq!(
+            browser.page(page).contexts.node_label(user).ring,
+            escudo_core::Ring::new(3)
+        );
+    }
+
+    #[test]
+    fn missing_pages_and_elements_are_reported() {
+        let mut browser = browser_with(PolicyMode::Escudo, "<html><body ring=1></body></html>");
+        let page = browser.navigate("http://app.example/").unwrap();
+        assert!(matches!(
+            browser.fire_event(page, "ghost", EventType::Click),
+            Err(BrowserError::NoSuchElement(_))
+        ));
+        assert!(matches!(
+            browser.click_link(page, "ghost"),
+            Err(BrowserError::NoSuchElement(_))
+        ));
+        assert!(browser.navigate("http://unregistered.example/").is_err());
+        assert!(browser.navigate("not a url").is_err());
+    }
+}

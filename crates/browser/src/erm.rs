@@ -1,0 +1,186 @@
+//! The ESCUDO Reference Monitor (ERM).
+//!
+//! The prototype's ERM "enforces access-decisions based on the security contexts" and
+//! "is spread over several places because the places to embed the checks is specific
+//! to the object type". In this reproduction every enforcement point funnels into
+//! [`Erm::check`], which applies [`escudo_core::decide`] and records an audit trail —
+//! so experiments can show not just *that* an attack was stopped but *which rule*
+//! stopped it.
+
+use escudo_core::policy::AuditRecord;
+use escudo_core::{decide, Decision, ObjectContext, Operation, PolicyMode, PrincipalContext};
+
+/// The reference monitor: policy mode, decision procedure, audit log and counters.
+#[derive(Debug, Clone)]
+pub struct Erm {
+    mode: PolicyMode,
+    audit: Vec<AuditRecord>,
+    checks: u64,
+    denials: u64,
+    /// When `false`, the audit log is not retained (used by the performance benchmarks
+    /// so bookkeeping measures only what the enforcement itself costs).
+    record_audit: bool,
+}
+
+impl Erm {
+    /// Creates a reference monitor enforcing the given policy mode.
+    #[must_use]
+    pub fn new(mode: PolicyMode) -> Self {
+        Erm {
+            mode,
+            audit: Vec::new(),
+            checks: 0,
+            denials: 0,
+            record_audit: true,
+        }
+    }
+
+    /// Disables audit-record retention (counters are still kept).
+    #[must_use]
+    pub fn without_audit(mut self) -> Self {
+        self.record_audit = false;
+        self
+    }
+
+    /// The policy mode in force.
+    #[must_use]
+    pub fn mode(&self) -> PolicyMode {
+        self.mode
+    }
+
+    /// Mediates one access. Returns the decision and records it.
+    pub fn check(
+        &mut self,
+        principal: &PrincipalContext,
+        object: &ObjectContext,
+        operation: Operation,
+    ) -> Decision {
+        let decision = decide(self.mode, principal, object, operation);
+        self.checks += 1;
+        if decision.is_denied() {
+            self.denials += 1;
+        }
+        if self.record_audit {
+            self.audit.push(AuditRecord {
+                principal: principal.clone(),
+                object: object.clone(),
+                operation,
+                mode: self.mode,
+                decision: decision.clone(),
+            });
+        }
+        decision
+    }
+
+    /// Convenience: mediate and convert a denial into an `Err(String)` describing the
+    /// violated rule (used by the script host, where a denial becomes an exception).
+    pub fn require(
+        &mut self,
+        principal: &PrincipalContext,
+        object: &ObjectContext,
+        operation: Operation,
+    ) -> Result<(), String> {
+        match self.check(principal, object, operation) {
+            Decision::Allow => Ok(()),
+            Decision::Deny(reason) => Err(format!(
+                "{operation} on {label} denied ({reason})",
+                label = if object.label.is_empty() {
+                    object.kind.to_string()
+                } else {
+                    object.label.clone()
+                }
+            )),
+        }
+    }
+
+    /// Number of checks performed so far.
+    #[must_use]
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Number of denials so far.
+    #[must_use]
+    pub fn denials(&self) -> u64 {
+        self.denials
+    }
+
+    /// The audit log (empty when audit retention is disabled).
+    #[must_use]
+    pub fn audit(&self) -> &[AuditRecord] {
+        &self.audit
+    }
+
+    /// Drains the audit log, returning the records accumulated so far.
+    pub fn take_audit(&mut self) -> Vec<AuditRecord> {
+        std::mem::take(&mut self.audit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use escudo_core::context::{ObjectKind, PrincipalKind};
+    use escudo_core::{Acl, Origin, Ring};
+
+    fn site() -> Origin {
+        Origin::new("http", "forum.example", 80)
+    }
+
+    fn script(ring: u16) -> PrincipalContext {
+        PrincipalContext::new(PrincipalKind::Script, site(), Ring::new(ring))
+    }
+
+    fn cookie() -> ObjectContext {
+        ObjectContext::new(ObjectKind::Cookie, site(), Ring::new(1))
+            .with_acl(Acl::uniform(Ring::new(1)))
+            .with_label("cookie sid")
+    }
+
+    #[test]
+    fn checks_and_denials_are_counted_and_audited() {
+        let mut erm = Erm::new(PolicyMode::Escudo);
+        assert!(erm.check(&script(1), &cookie(), Operation::Read).is_allowed());
+        assert!(erm.check(&script(3), &cookie(), Operation::Read).is_denied());
+        assert_eq!(erm.checks(), 2);
+        assert_eq!(erm.denials(), 1);
+        assert_eq!(erm.audit().len(), 2);
+        assert!(erm.audit()[1].decision.is_denied());
+        let drained = erm.take_audit();
+        assert_eq!(drained.len(), 2);
+        assert!(erm.audit().is_empty());
+    }
+
+    #[test]
+    fn require_names_the_object_and_rule() {
+        let mut erm = Erm::new(PolicyMode::Escudo);
+        let err = erm
+            .require(&script(3), &cookie(), Operation::Use)
+            .unwrap_err();
+        assert!(err.contains("cookie sid"), "got: {err}");
+        assert!(err.contains("ring rule"), "got: {err}");
+        assert!(erm.require(&script(0), &cookie(), Operation::Use).is_ok());
+    }
+
+    #[test]
+    fn sop_mode_only_applies_the_origin_rule() {
+        let mut erm = Erm::new(PolicyMode::SameOriginOnly);
+        assert!(erm.check(&script(9), &cookie(), Operation::Write).is_allowed());
+        let foreign = PrincipalContext::new(
+            PrincipalKind::Script,
+            Origin::new("http", "evil.example", 80),
+            Ring::new(0),
+        );
+        assert!(erm.check(&foreign, &cookie(), Operation::Read).is_denied());
+        assert_eq!(erm.mode(), PolicyMode::SameOriginOnly);
+    }
+
+    #[test]
+    fn audit_can_be_disabled_for_benchmarks() {
+        let mut erm = Erm::new(PolicyMode::Escudo).without_audit();
+        erm.check(&script(3), &cookie(), Operation::Read);
+        assert_eq!(erm.checks(), 1);
+        assert_eq!(erm.denials(), 1);
+        assert!(erm.audit().is_empty());
+    }
+}

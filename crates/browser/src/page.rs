@@ -1,0 +1,157 @@
+//! A loaded page: the DOM, its security contexts, its scripts and its statistics.
+
+use escudo_core::{Origin, Ring};
+use escudo_dom::{Document, NodeId};
+use escudo_html::ParseReport;
+use escudo_net::Url;
+
+use crate::context::SecurityContextTable;
+use crate::render::RenderStats;
+
+/// A script collected from the page, in document order, with the ring it runs in.
+#[derive(Debug, Clone)]
+pub struct ScriptUnit {
+    /// The `script` element (or handler-carrying element) the code came from.
+    pub node: NodeId,
+    /// The script source.
+    pub source: String,
+    /// The ring the script executes in (the ring of the AC scope it appears in).
+    pub ring: Ring,
+}
+
+/// The result of executing one script.
+#[derive(Debug, Clone)]
+pub struct ScriptOutcome {
+    /// The element the script came from.
+    pub node: NodeId,
+    /// The ring the script ran in.
+    pub ring: Ring,
+    /// `Ok(final value as text)` or `Err(error message)`.
+    pub result: Result<String, String>,
+    /// `true` when the script was aborted by a reference-monitor denial.
+    pub denied: bool,
+}
+
+impl ScriptOutcome {
+    /// `true` when the script was stopped by the ESCUDO reference monitor.
+    #[must_use]
+    pub fn was_denied(&self) -> bool {
+        self.denied
+    }
+
+    /// `true` when the script ran to completion without error.
+    #[must_use]
+    pub fn succeeded(&self) -> bool {
+        self.result.is_ok()
+    }
+}
+
+/// Timing and bookkeeping collected while loading a page — the quantities behind the
+/// paper's Figure 4 ("parsing and rendering time") and the UI-event measurements.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PageLoadStats {
+    /// Time spent parsing the HTML into a DOM, in nanoseconds.
+    pub parse_ns: u128,
+    /// Time spent extracting security contexts (ESCUDO bookkeeping), in nanoseconds.
+    pub label_ns: u128,
+    /// Time spent executing the page's scripts, in nanoseconds.
+    pub script_ns: u128,
+    /// Time spent in layout/rendering, in nanoseconds.
+    pub render_ns: u128,
+    /// Reference-monitor checks performed during the load.
+    pub policy_checks: u64,
+    /// Denials issued during the load.
+    pub policy_denials: u64,
+}
+
+impl PageLoadStats {
+    /// Parse + label + render time: the quantity Figure 4 plots.
+    #[must_use]
+    pub fn parse_and_render_ns(&self) -> u128 {
+        self.parse_ns + self.label_ns + self.render_ns
+    }
+
+    /// Total accounted time including script execution.
+    #[must_use]
+    pub fn total_ns(&self) -> u128 {
+        self.parse_and_render_ns() + self.script_ns
+    }
+}
+
+/// A fully loaded page.
+#[derive(Debug, Clone)]
+pub struct Page {
+    /// The URL the page was loaded from.
+    pub url: Url,
+    /// The page's origin.
+    pub origin: Origin,
+    /// The DOM.
+    pub document: Document,
+    /// The security-context table (node labels, cookie policies, API rings).
+    pub contexts: SecurityContextTable,
+    /// Scripts found in the page, in document order.
+    pub scripts: Vec<ScriptUnit>,
+    /// Outcomes of the scripts executed so far.
+    pub script_outcomes: Vec<ScriptOutcome>,
+    /// The parser's report (including rejected node-splitting end tags).
+    pub parse_report: ParseReport,
+    /// Rendering statistics from the last layout pass.
+    pub render_stats: RenderStats,
+    /// Load timing and policy counters.
+    pub stats: PageLoadStats,
+    /// `true` when the page carried no ESCUDO configuration and is treated as a legacy
+    /// (same-origin-policy) page.
+    pub legacy: bool,
+}
+
+impl Page {
+    /// Shorthand: the text content of the element with the given `id` attribute.
+    #[must_use]
+    pub fn text_of(&self, id: &str) -> Option<String> {
+        let node = self.document.get_element_by_id(id)?;
+        Some(self.document.text_content(node))
+    }
+
+    /// Shorthand: whether any script in the page was denied by the reference monitor.
+    #[must_use]
+    pub fn any_script_denied(&self) -> bool {
+        self.script_outcomes.iter().any(ScriptOutcome::was_denied)
+    }
+
+    /// Shorthand: whether every script ran to completion.
+    #[must_use]
+    pub fn all_scripts_succeeded(&self) -> bool {
+        self.script_outcomes.iter().all(ScriptOutcome::succeeded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_compose() {
+        let stats = PageLoadStats {
+            parse_ns: 10,
+            label_ns: 5,
+            script_ns: 20,
+            render_ns: 15,
+            policy_checks: 3,
+            policy_denials: 1,
+        };
+        assert_eq!(stats.parse_and_render_ns(), 30);
+        assert_eq!(stats.total_ns(), 50);
+    }
+
+    #[test]
+    fn script_outcome_flags() {
+        let denied = ScriptOutcome {
+            node: escudo_dom::Document::new().create_element("script"),
+            ring: Ring::new(3),
+            result: Err("access denied: ring rule".into()),
+            denied: true,
+        };
+        assert!(denied.was_denied());
+        assert!(!denied.succeeded());
+    }
+}

@@ -1,0 +1,224 @@
+//! Per-object access-control lists.
+//!
+//! In addition to the ring an object lives in, ESCUDO lets an object carry an ACL that
+//! names, for each of the three operations, the **outermost (least privileged) ring**
+//! that may perform the operation. The ACL can only ever *tighten* the ring rule —
+//! an ACL more permissive than the object's own ring is ineffective because the ring
+//! rule is evaluated as well.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::operation::Operation;
+use crate::ring::Ring;
+
+/// An object's access-control list: the least-privileged ring admitted for each
+/// operation (the paper's `r=`, `w=`, `x=` attributes, i.e. `⊓(O, ▷)`).
+///
+/// The fail-safe default (`Acl::default()`) admits **only ring 0** for every operation,
+/// matching the paper: "the ACL will be set to `r=0, w=0, x=0`, allowing only the
+/// principals in ring 0 to access it".
+///
+/// # Example
+///
+/// ```
+/// use escudo_core::{Acl, Operation, Ring};
+///
+/// // Readable and usable from ring ≤ 2, writable only from ring 0.
+/// let acl = Acl::new(Ring::new(2), Ring::new(0), Ring::new(2));
+/// assert!(acl.admits(Ring::new(1), Operation::Read));
+/// assert!(!acl.admits(Ring::new(1), Operation::Write));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Acl {
+    /// Least-privileged ring allowed to read the object.
+    pub read: Ring,
+    /// Least-privileged ring allowed to write the object.
+    pub write: Ring,
+    /// Least-privileged ring allowed to (implicitly) use the object.
+    pub use_: Ring,
+}
+
+impl Acl {
+    /// Creates an ACL from the three per-operation bounds.
+    #[must_use]
+    pub const fn new(read: Ring, write: Ring, use_: Ring) -> Self {
+        Acl { read, write, use_ }
+    }
+
+    /// An ACL where every operation admits rings up to and including `ring`.
+    ///
+    /// ```
+    /// use escudo_core::{Acl, Operation, Ring};
+    /// let acl = Acl::uniform(Ring::new(1));
+    /// for op in Operation::ALL {
+    ///     assert!(acl.admits(Ring::new(1), op));
+    ///     assert!(!acl.admits(Ring::new(2), op));
+    /// }
+    /// ```
+    #[must_use]
+    pub const fn uniform(ring: Ring) -> Self {
+        Acl {
+            read: ring,
+            write: ring,
+            use_: ring,
+        }
+    }
+
+    /// The fail-safe ACL: only ring 0 may read, write or use the object.
+    #[must_use]
+    pub const fn ring_zero_only() -> Self {
+        Acl::uniform(Ring::INNERMOST)
+    }
+
+    /// A fully permissive ACL (every ring admitted). Useful as the implicit ACL of
+    /// legacy content where only the ring rule and origin rule should apply.
+    #[must_use]
+    pub const fn permissive() -> Self {
+        Acl::uniform(Ring::OUTERMOST)
+    }
+
+    /// The bound `⊓(O, ▷)` for a given operation.
+    #[must_use]
+    pub const fn bound(&self, op: Operation) -> Ring {
+        match op {
+            Operation::Read => self.read,
+            Operation::Write => self.write,
+            Operation::Use => self.use_,
+        }
+    }
+
+    /// Returns a copy of the ACL with the bound for `op` replaced.
+    #[must_use]
+    pub fn with_bound(mut self, op: Operation, ring: Ring) -> Self {
+        match op {
+            Operation::Read => self.read = ring,
+            Operation::Write => self.write = ring,
+            Operation::Use => self.use_ = ring,
+        }
+        self
+    }
+
+    /// The ACL rule: does a principal in `principal_ring` satisfy this ACL for `op`?
+    #[must_use]
+    pub fn admits(&self, principal_ring: Ring, op: Operation) -> bool {
+        principal_ring.is_at_least_as_privileged_as(self.bound(op))
+    }
+
+    /// Clamps every bound so it is no more permissive than `ring` (used when an object
+    /// in ring `n` declares an ACL admitting rings beyond `n`; the paper notes the ring
+    /// rule already makes such an ACL ineffective, this normalizes the stored value).
+    #[must_use]
+    pub fn clamped_to_ring(&self, ring: Ring) -> Self {
+        Acl {
+            read: self.read.most_privileged(ring),
+            write: self.write.most_privileged(ring),
+            use_: self.use_.most_privileged(ring),
+        }
+    }
+}
+
+impl Default for Acl {
+    /// The fail-safe default: `r=0, w=0, x=0`.
+    fn default() -> Self {
+        Acl::ring_zero_only()
+    }
+}
+
+impl fmt::Display for Acl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "r={} w={} x={}",
+            self.read.level(),
+            self.write.level(),
+            self.use_.level()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn default_is_ring_zero_only() {
+        let acl = Acl::default();
+        assert!(acl.admits(Ring::INNERMOST, Operation::Read));
+        assert!(!acl.admits(Ring::new(1), Operation::Read));
+        assert!(!acl.admits(Ring::new(1), Operation::Write));
+        assert!(!acl.admits(Ring::new(1), Operation::Use));
+    }
+
+    #[test]
+    fn permissive_admits_everything() {
+        let acl = Acl::permissive();
+        for op in Operation::ALL {
+            assert!(acl.admits(Ring::OUTERMOST, op));
+            assert!(acl.admits(Ring::INNERMOST, op));
+        }
+    }
+
+    #[test]
+    fn per_operation_bounds_are_independent() {
+        let acl = Acl::new(Ring::new(2), Ring::new(0), Ring::new(1));
+        assert!(acl.admits(Ring::new(2), Operation::Read));
+        assert!(!acl.admits(Ring::new(2), Operation::Use));
+        assert!(!acl.admits(Ring::new(1), Operation::Write));
+        assert!(acl.admits(Ring::new(1), Operation::Use));
+    }
+
+    #[test]
+    fn with_bound_replaces_a_single_entry() {
+        let acl = Acl::uniform(Ring::new(3)).with_bound(Operation::Write, Ring::new(0));
+        assert_eq!(acl.bound(Operation::Write), Ring::new(0));
+        assert_eq!(acl.bound(Operation::Read), Ring::new(3));
+        assert_eq!(acl.bound(Operation::Use), Ring::new(3));
+    }
+
+    #[test]
+    fn clamping_never_loosens() {
+        let acl = Acl::new(Ring::new(5), Ring::new(1), Ring::new(3));
+        let clamped = acl.clamped_to_ring(Ring::new(2));
+        assert_eq!(clamped.read, Ring::new(2));
+        assert_eq!(clamped.write, Ring::new(1));
+        assert_eq!(clamped.use_, Ring::new(2));
+    }
+
+    #[test]
+    fn display_matches_attribute_syntax() {
+        let acl = Acl::new(Ring::new(1), Ring::new(0), Ring::new(2));
+        assert_eq!(acl.to_string(), "r=1 w=0 x=2");
+    }
+
+    proptest! {
+        #[test]
+        fn admits_is_monotone_in_principal_privilege(
+            bound in 0u16..100, p1 in 0u16..100, p2 in 0u16..100, op_idx in 0usize..3
+        ) {
+            let op = Operation::ALL[op_idx];
+            let acl = Acl::uniform(Ring::new(bound));
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            // If the less privileged principal is admitted, the more privileged one is too.
+            if acl.admits(Ring::new(hi), op) {
+                prop_assert!(acl.admits(Ring::new(lo), op));
+            }
+        }
+
+        #[test]
+        fn clamped_bounds_are_at_least_as_strict(
+            r in 0u16..100, w in 0u16..100, x in 0u16..100, clamp in 0u16..100
+        ) {
+            let acl = Acl::new(Ring::new(r), Ring::new(w), Ring::new(x));
+            let clamped = acl.clamped_to_ring(Ring::new(clamp));
+            for op in Operation::ALL {
+                // The clamped bound is never less privileged (never admits more rings).
+                prop_assert!(clamped.bound(op).is_at_least_as_privileged_as(acl.bound(op))
+                    || clamped.bound(op) == acl.bound(op));
+                prop_assert!(clamped.bound(op).is_at_least_as_privileged_as(Ring::new(clamp)));
+            }
+        }
+    }
+}

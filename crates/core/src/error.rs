@@ -1,0 +1,89 @@
+//! Error types for the ESCUDO policy core.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while parsing ESCUDO configuration (AC-tag attributes, HTTP headers,
+/// origins).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A ring label was not a non-negative integer in range.
+    InvalidRing(String),
+    /// An ACL attribute (`r`, `w`, `x`) could not be parsed.
+    InvalidAcl(String),
+    /// A nonce attribute was malformed.
+    InvalidNonce(String),
+    /// An ESCUDO HTTP header was malformed.
+    InvalidHeader {
+        /// The header name.
+        header: String,
+        /// Why parsing failed.
+        reason: String,
+    },
+    /// A URL or origin string could not be parsed.
+    InvalidOrigin(String),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::InvalidRing(s) => write!(f, "invalid ring label `{s}`"),
+            ConfigError::InvalidAcl(s) => write!(f, "invalid ACL attribute `{s}`"),
+            ConfigError::InvalidNonce(s) => write!(f, "invalid nonce `{s}`"),
+            ConfigError::InvalidHeader { header, reason } => {
+                write!(f, "invalid `{header}` header: {reason}")
+            }
+            ConfigError::InvalidOrigin(s) => write!(f, "invalid origin `{s}`"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Errors raised by policy evaluation itself (not by a denial — denials are ordinary
+/// [`Decision`](crate::policy::Decision) values).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyError {
+    /// The requested object has no security context registered.
+    UnknownObject(String),
+    /// The requesting principal has no security context registered.
+    UnknownPrincipal(String),
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::UnknownObject(what) => write!(f, "no security context for object {what}"),
+            PolicyError::UnknownPrincipal(what) => {
+                write!(f, "no security context for principal {what}")
+            }
+        }
+    }
+}
+
+impl Error for PolicyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_name_the_input() {
+        let e = ConfigError::InvalidRing("abc".into());
+        assert_eq!(e.to_string(), "invalid ring label `abc`");
+        let e = ConfigError::InvalidHeader {
+            header: "X-Escudo-Cookie-Policy".into(),
+            reason: "missing ring".into(),
+        };
+        assert!(e.to_string().contains("X-Escudo-Cookie-Policy"));
+        let e = PolicyError::UnknownObject("cookie sid".into());
+        assert!(e.to_string().contains("cookie sid"));
+    }
+
+    #[test]
+    fn errors_are_std_errors_and_sendable() {
+        fn assert_good<E: Error + Send + Sync + 'static>() {}
+        assert_good::<ConfigError>();
+        assert_good::<PolicyError>();
+    }
+}

@@ -1,0 +1,75 @@
+//! The operations mediated by ESCUDO.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An operation a principal attempts on an object (`▷` in the paper).
+///
+/// `Read` and `Write` are the obvious DOM/cookie accesses. `Use` covers *implicit*
+/// accesses performed by the browser on behalf of a principal — attaching cookies to an
+/// HTTP request the principal initiated, or delivering a UI event to a DOM element —
+/// which the principal never names explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operation {
+    /// Observe the object (e.g. read `document.cookie`, read `innerHTML`).
+    Read,
+    /// Modify the object (e.g. `setAttribute`, set `document.cookie`, `appendChild`).
+    Write,
+    /// Implicit use of the object by the browser on behalf of the principal
+    /// (cookie attachment to an outgoing request, UI-event delivery, API invocation).
+    Use,
+}
+
+impl Operation {
+    /// All operations, in a stable order (useful for exhaustive policy tables).
+    pub const ALL: [Operation; 3] = [Operation::Read, Operation::Write, Operation::Use];
+
+    /// The attribute letter used in AC tags: `r`, `w`, or `x`.
+    #[must_use]
+    pub const fn attribute_letter(self) -> &'static str {
+        match self {
+            Operation::Read => "r",
+            Operation::Write => "w",
+            Operation::Use => "x",
+        }
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Operation::Read => "read",
+            Operation::Write => "write",
+            Operation::Use => "use",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribute_letters_match_the_paper() {
+        assert_eq!(Operation::Read.attribute_letter(), "r");
+        assert_eq!(Operation::Write.attribute_letter(), "w");
+        assert_eq!(Operation::Use.attribute_letter(), "x");
+    }
+
+    #[test]
+    fn all_lists_every_operation_once() {
+        assert_eq!(Operation::ALL.len(), 3);
+        assert!(Operation::ALL.contains(&Operation::Read));
+        assert!(Operation::ALL.contains(&Operation::Write));
+        assert!(Operation::ALL.contains(&Operation::Use));
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(Operation::Use.to_string(), "use");
+        assert_eq!(Operation::Read.to_string(), "read");
+        assert_eq!(Operation::Write.to_string(), "write");
+    }
+}

@@ -1,0 +1,237 @@
+//! Web origins — the `⟨protocol, domain, port⟩` triple of the same-origin policy.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ConfigError;
+
+/// A web origin: the unique combination of scheme ("protocol"), host ("domain") and
+/// port, as used by both the same-origin policy and ESCUDO's origin rule.
+///
+/// Origins compare case-insensitively on scheme and host; the port is significant.
+/// When a URL omits the port, the scheme's default port is used (80 for `http`,
+/// 443 for `https`).
+///
+/// # Example
+///
+/// ```
+/// use escudo_core::Origin;
+///
+/// let a: Origin = "http://www.amazon.com/index.php".parse()?;
+/// let b: Origin = "http://www.amazon.com:80/search.php".parse()?;
+/// let c: Origin = "https://www.amazon.com/".parse()?;
+/// assert_eq!(a, b);
+/// assert_ne!(a, c); // different scheme ⇒ different origin
+/// # Ok::<(), escudo_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Origin {
+    scheme: String,
+    host: String,
+    port: u16,
+}
+
+impl Origin {
+    /// Creates an origin from its components. Scheme and host are lower-cased.
+    #[must_use]
+    pub fn new(scheme: &str, host: &str, port: u16) -> Self {
+        Origin {
+            scheme: scheme.to_ascii_lowercase(),
+            host: host.to_ascii_lowercase(),
+            port,
+        }
+    }
+
+    /// Parses the origin of a URL string.
+    ///
+    /// Accepts full URLs (`http://host:port/path?query`) as well as bare origins
+    /// (`https://host`). This is a purpose-built parser for the subset of URL syntax
+    /// the reproduction needs; it is not a general-purpose WHATWG URL parser.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidOrigin`] when the scheme is missing, the host is
+    /// empty, or the port is not numeric.
+    pub fn parse_url(url: &str) -> Result<Self, ConfigError> {
+        let url = url.trim();
+        let (scheme, rest) = url
+            .split_once("://")
+            .ok_or_else(|| ConfigError::InvalidOrigin(url.to_string()))?;
+        if scheme.is_empty() || !scheme.chars().all(|c| c.is_ascii_alphanumeric() || c == '+' || c == '-' || c == '.') {
+            return Err(ConfigError::InvalidOrigin(url.to_string()));
+        }
+        // Authority ends at the first '/', '?' or '#'.
+        let authority_end = rest
+            .find(['/', '?', '#'])
+            .unwrap_or(rest.len());
+        let authority = &rest[..authority_end];
+        if authority.is_empty() {
+            return Err(ConfigError::InvalidOrigin(url.to_string()));
+        }
+        // Strip userinfo if present (rare, but cheap to support).
+        let authority = authority.rsplit('@').next().unwrap_or(authority);
+        let (host, port) = match authority.rsplit_once(':') {
+            Some((h, p)) if !p.is_empty() && p.chars().all(|c| c.is_ascii_digit()) => {
+                let port: u16 = p
+                    .parse()
+                    .map_err(|_| ConfigError::InvalidOrigin(url.to_string()))?;
+                (h, port)
+            }
+            Some((_, p)) if p.chars().any(|c| !c.is_ascii_digit()) => {
+                return Err(ConfigError::InvalidOrigin(url.to_string()))
+            }
+            _ => (authority, default_port(scheme)),
+        };
+        if host.is_empty() {
+            return Err(ConfigError::InvalidOrigin(url.to_string()));
+        }
+        Ok(Origin::new(scheme, host, port))
+    }
+
+    /// The scheme ("protocol") component, lower-cased.
+    #[must_use]
+    pub fn scheme(&self) -> &str {
+        &self.scheme
+    }
+
+    /// The host ("domain") component, lower-cased.
+    #[must_use]
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// The port component.
+    #[must_use]
+    pub const fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// The same-origin check used by both the SOP baseline and ESCUDO's origin rule.
+    #[must_use]
+    pub fn same_origin_as(&self, other: &Origin) -> bool {
+        self == other
+    }
+
+    /// Serializes the origin as `scheme://host:port`.
+    #[must_use]
+    pub fn to_url_base(&self) -> String {
+        format!("{}://{}:{}", self.scheme, self.host, self.port)
+    }
+}
+
+/// The default port for a scheme (80 for http, 443 for https, 0 otherwise).
+#[must_use]
+pub fn default_port(scheme: &str) -> u16 {
+    match scheme.to_ascii_lowercase().as_str() {
+        "http" | "ws" => 80,
+        "https" | "wss" => 443,
+        "ftp" => 21,
+        _ => 0,
+    }
+}
+
+impl fmt::Display for Origin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}://{}:{}", self.scheme, self.host, self.port)
+    }
+}
+
+impl FromStr for Origin {
+    type Err = ConfigError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Origin::parse_url(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn same_path_same_origin() {
+        let a = Origin::parse_url("http://www.amazon.com/index.php").unwrap();
+        let b = Origin::parse_url("http://www.amazon.com/search.php").unwrap();
+        assert!(a.same_origin_as(&b));
+    }
+
+    #[test]
+    fn different_domain_different_origin() {
+        let a = Origin::parse_url("http://www.gmail.com").unwrap();
+        let b = Origin::parse_url("http://www.amazon.com").unwrap();
+        assert!(!a.same_origin_as(&b));
+    }
+
+    #[test]
+    fn different_scheme_different_origin() {
+        let a = Origin::parse_url("http://www.gmail.com").unwrap();
+        let b = Origin::parse_url("https://www.gmail.com").unwrap();
+        assert!(!a.same_origin_as(&b));
+    }
+
+    #[test]
+    fn default_ports_are_filled_in() {
+        let a = Origin::parse_url("http://example.com").unwrap();
+        assert_eq!(a.port(), 80);
+        let b = Origin::parse_url("https://example.com/x").unwrap();
+        assert_eq!(b.port(), 443);
+        let c = Origin::parse_url("http://example.com:8080/x").unwrap();
+        assert_eq!(c.port(), 8080);
+    }
+
+    #[test]
+    fn explicit_default_port_equals_implicit() {
+        let a = Origin::parse_url("http://example.com:80/a").unwrap();
+        let b = Origin::parse_url("http://example.com/b").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn case_is_normalized() {
+        let a = Origin::parse_url("HTTP://Example.COM/x").unwrap();
+        let b = Origin::parse_url("http://example.com").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn query_and_fragment_are_ignored() {
+        let a = Origin::parse_url("http://example.com?x=1").unwrap();
+        let b = Origin::parse_url("http://example.com#frag").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.host(), "example.com");
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        assert!(Origin::parse_url("example.com").is_err());
+        assert!(Origin::parse_url("http://").is_err());
+        assert!(Origin::parse_url("://host").is_err());
+        assert!(Origin::parse_url("http://host:notaport/").is_err());
+        assert!(Origin::parse_url("").is_err());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let a = Origin::new("http", "example.com", 8080);
+        assert_eq!(a.to_string(), "http://example.com:8080");
+        let parsed = Origin::parse_url(&a.to_string()).unwrap();
+        assert_eq!(parsed, a);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_through_display(host in "[a-z][a-z0-9.-]{0,20}", port in 1u16..=u16::MAX) {
+            let origin = Origin::new("http", &host, port);
+            let parsed = Origin::parse_url(&origin.to_string()).unwrap();
+            prop_assert_eq!(parsed, origin);
+        }
+
+        #[test]
+        fn parser_never_panics(s in ".{0,64}") {
+            let _ = Origin::parse_url(&s);
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! The ESCUDO mandatory access-control decision procedure, and the same-origin-policy
+//! baseline used for backwards compatibility and for every "without ESCUDO" experiment.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::context::{ObjectContext, PrincipalContext, PrincipalKind};
+use crate::operation::Operation;
+use crate::origin::Origin;
+use crate::ring::Ring;
+
+/// Which protection model the browser enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyMode {
+    /// The full ESCUDO model: origin rule ∧ ring rule ∧ ACL rule.
+    Escudo,
+    /// The legacy same-origin policy: only the origin rule is enforced. This is both
+    /// the backwards-compatibility mode for pages that carry no ESCUDO configuration
+    /// and the baseline in the paper's evaluation ("without Escudo").
+    SameOriginOnly,
+}
+
+impl Default for PolicyMode {
+    fn default() -> Self {
+        PolicyMode::Escudo
+    }
+}
+
+impl fmt::Display for PolicyMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyMode::Escudo => f.write_str("escudo"),
+            PolicyMode::SameOriginOnly => f.write_str("same-origin"),
+        }
+    }
+}
+
+/// Why an access was denied — named after the violated rule so audit logs and the
+/// defense-effectiveness experiments can attribute every denial.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DenyReason {
+    /// The origin rule failed: `O(P) ≠ O(O)`.
+    OriginMismatch {
+        /// Principal origin.
+        principal: Origin,
+        /// Object origin.
+        object: Origin,
+    },
+    /// The ring rule failed: `R(P) > R(O)`.
+    RingRule {
+        /// Principal ring.
+        principal: Ring,
+        /// Object ring.
+        object: Ring,
+    },
+    /// The ACL rule failed: `R(P) > ⊓(O, ▷)`.
+    AclRule {
+        /// Principal ring.
+        principal: Ring,
+        /// The ACL bound for the attempted operation.
+        bound: Ring,
+        /// The attempted operation.
+        operation: Operation,
+    },
+}
+
+impl fmt::Display for DenyReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DenyReason::OriginMismatch { principal, object } => {
+                write!(f, "origin rule: principal {principal} ≠ object {object}")
+            }
+            DenyReason::RingRule { principal, object } => {
+                write!(f, "ring rule: principal {principal} is outside object {object}")
+            }
+            DenyReason::AclRule {
+                principal,
+                bound,
+                operation,
+            } => write!(
+                f,
+                "acl rule: {operation} requires {bound} or better, principal is in {principal}"
+            ),
+        }
+    }
+}
+
+/// The outcome of a mediated access.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Decision {
+    /// The access is permitted.
+    Allow,
+    /// The access is denied for the given reason.
+    Deny(DenyReason),
+}
+
+impl Decision {
+    /// `true` when the access is permitted.
+    #[must_use]
+    pub fn is_allowed(&self) -> bool {
+        matches!(self, Decision::Allow)
+    }
+
+    /// `true` when the access is denied.
+    #[must_use]
+    pub fn is_denied(&self) -> bool {
+        !self.is_allowed()
+    }
+
+    /// The deny reason, if the decision is a denial.
+    #[must_use]
+    pub fn deny_reason(&self) -> Option<&DenyReason> {
+        match self {
+            Decision::Allow => None,
+            Decision::Deny(r) => Some(r),
+        }
+    }
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Decision::Allow => f.write_str("allow"),
+            Decision::Deny(reason) => write!(f, "deny ({reason})"),
+        }
+    }
+}
+
+/// Decides whether `principal` may perform `op` on `object` under the given policy
+/// mode.
+///
+/// * In [`PolicyMode::SameOriginOnly`] only the origin rule is evaluated — this is the
+///   same-origin policy, where every principal of an origin wields the origin's full
+///   authority.
+/// * In [`PolicyMode::Escudo`] the access must additionally satisfy the ring rule and
+///   the ACL rule. The rules are evaluated in the paper's order and the **first**
+///   violated rule is reported.
+///
+/// The browser-chrome principal ([`PrincipalKind::Browser`]) is exempt: it is the
+/// trusted computing base that implements the monitor itself.
+///
+/// # Example
+///
+/// ```
+/// use escudo_core::{decide, Acl, Operation, Origin, PolicyMode, Ring};
+/// use escudo_core::context::{ObjectContext, ObjectKind, PrincipalContext, PrincipalKind};
+///
+/// let site = Origin::new("http", "forum.example", 80);
+/// let evil = Origin::new("http", "evil.example", 80);
+///
+/// let cookie = ObjectContext::new(ObjectKind::Cookie, site.clone(), Ring::new(1))
+///     .with_acl(Acl::uniform(Ring::new(1)));
+/// let cross_site_img = PrincipalContext::new(PrincipalKind::RequestIssuer, evil, Ring::new(0));
+///
+/// // A CSRF request from another origin may not "use" (attach) the session cookie.
+/// assert!(decide(PolicyMode::Escudo, &cross_site_img, &cookie, Operation::Use).is_denied());
+/// ```
+#[must_use]
+pub fn decide(
+    mode: PolicyMode,
+    principal: &PrincipalContext,
+    object: &ObjectContext,
+    op: Operation,
+) -> Decision {
+    if principal.kind == PrincipalKind::Browser {
+        return Decision::Allow;
+    }
+
+    // Rule 1: the origin rule (enforced in both modes).
+    if !principal.origin.same_origin_as(&object.origin) {
+        return Decision::Deny(DenyReason::OriginMismatch {
+            principal: principal.origin.clone(),
+            object: object.origin.clone(),
+        });
+    }
+
+    if mode == PolicyMode::SameOriginOnly {
+        return Decision::Allow;
+    }
+
+    // Rule 2: the ring rule.
+    if !principal.ring.is_at_least_as_privileged_as(object.ring) {
+        return Decision::Deny(DenyReason::RingRule {
+            principal: principal.ring,
+            object: object.ring,
+        });
+    }
+
+    // Rule 3: the ACL rule.
+    let bound = object.acl.bound(op);
+    if !principal.ring.is_at_least_as_privileged_as(bound) {
+        return Decision::Deny(DenyReason::AclRule {
+            principal: principal.ring,
+            bound,
+            operation: op,
+        });
+    }
+
+    Decision::Allow
+}
+
+/// A single audited access: the inputs and the decision. The browser's reference
+/// monitor records these so experiments and examples can explain *why* an attack was
+/// neutralized.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuditRecord {
+    /// The principal that attempted the access.
+    pub principal: PrincipalContext,
+    /// The object that was the target.
+    pub object: ObjectContext,
+    /// The attempted operation.
+    pub operation: Operation,
+    /// The policy mode in force.
+    pub mode: PolicyMode,
+    /// The decision that was made.
+    pub decision: Decision,
+}
+
+impl fmt::Display for AuditRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} {} on {} -> {}",
+            self.mode, self.principal, self.operation, self.object, self.decision
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acl::Acl;
+    use crate::context::ObjectKind;
+    use proptest::prelude::*;
+
+    fn site() -> Origin {
+        Origin::new("http", "app.example", 80)
+    }
+
+    fn other_site() -> Origin {
+        Origin::new("http", "evil.example", 80)
+    }
+
+    fn script(ring: u16) -> PrincipalContext {
+        PrincipalContext::new(PrincipalKind::Script, site(), Ring::new(ring))
+    }
+
+    fn dom(ring: u16, acl: Acl) -> ObjectContext {
+        ObjectContext::new(ObjectKind::DomElement, site(), Ring::new(ring)).with_acl(acl)
+    }
+
+    #[test]
+    fn all_three_rules_must_pass() {
+        let object = dom(2, Acl::uniform(Ring::new(1)));
+        // Ring 1 principal: origin ok, ring ok (1 ≤ 2), ACL ok (1 ≤ 1).
+        assert!(decide(PolicyMode::Escudo, &script(1), &object, Operation::Write).is_allowed());
+        // Ring 2 principal: ring ok (2 ≤ 2) but ACL requires ≤ 1.
+        let d = decide(PolicyMode::Escudo, &script(2), &object, Operation::Write);
+        assert!(matches!(d, Decision::Deny(DenyReason::AclRule { .. })));
+        // Ring 3 principal: ring rule fails first.
+        let d = decide(PolicyMode::Escudo, &script(3), &object, Operation::Write);
+        assert!(matches!(d, Decision::Deny(DenyReason::RingRule { .. })));
+    }
+
+    #[test]
+    fn origin_rule_is_checked_first() {
+        let object = dom(3, Acl::permissive());
+        let foreign = PrincipalContext::new(PrincipalKind::Script, other_site(), Ring::new(0));
+        let d = decide(PolicyMode::Escudo, &foreign, &object, Operation::Read);
+        assert!(matches!(d, Decision::Deny(DenyReason::OriginMismatch { .. })));
+    }
+
+    #[test]
+    fn same_origin_mode_ignores_rings_and_acls() {
+        let object = dom(0, Acl::ring_zero_only());
+        // Under the SOP baseline even the least privileged principal succeeds.
+        assert!(decide(
+            PolicyMode::SameOriginOnly,
+            &script(u16::MAX),
+            &object,
+            Operation::Write
+        )
+        .is_allowed());
+        // But cross-origin still fails.
+        let foreign = PrincipalContext::new(PrincipalKind::Script, other_site(), Ring::new(0));
+        assert!(decide(PolicyMode::SameOriginOnly, &foreign, &object, Operation::Read).is_denied());
+    }
+
+    #[test]
+    fn browser_chrome_is_exempt() {
+        let object = dom(0, Acl::ring_zero_only());
+        let chrome = PrincipalContext::browser(other_site());
+        assert!(decide(PolicyMode::Escudo, &chrome, &object, Operation::Write).is_allowed());
+    }
+
+    #[test]
+    fn acl_distinguishes_operations() {
+        // Readable by ring ≤ 2, writable only by ring 0.
+        let object = dom(3, Acl::new(Ring::new(2), Ring::new(0), Ring::new(2)));
+        assert!(decide(PolicyMode::Escudo, &script(2), &object, Operation::Read).is_allowed());
+        assert!(decide(PolicyMode::Escudo, &script(2), &object, Operation::Write).is_denied());
+        assert!(decide(PolicyMode::Escudo, &script(0), &object, Operation::Write).is_allowed());
+    }
+
+    #[test]
+    fn deny_reasons_render_usefully() {
+        let object = dom(1, Acl::uniform(Ring::new(1)));
+        let d = decide(PolicyMode::Escudo, &script(3), &object, Operation::Use);
+        let msg = d.to_string();
+        assert!(msg.contains("ring rule"), "got: {msg}");
+    }
+
+    #[test]
+    fn escudo_with_single_ring_reduces_to_sop() {
+        // Backwards compatibility: when everything is in one ring with a permissive
+        // ACL, Escudo allows exactly what the SOP allows.
+        let object = ObjectContext::new(ObjectKind::DomElement, site(), Ring::new(0))
+            .with_acl(Acl::permissive());
+        let p_same = PrincipalContext::new(PrincipalKind::Script, site(), Ring::new(0));
+        let p_cross = PrincipalContext::new(PrincipalKind::Script, other_site(), Ring::new(0));
+        for op in Operation::ALL {
+            assert_eq!(
+                decide(PolicyMode::Escudo, &p_same, &object, op).is_allowed(),
+                decide(PolicyMode::SameOriginOnly, &p_same, &object, op).is_allowed()
+            );
+            assert_eq!(
+                decide(PolicyMode::Escudo, &p_cross, &object, op).is_allowed(),
+                decide(PolicyMode::SameOriginOnly, &p_cross, &object, op).is_allowed()
+            );
+        }
+    }
+
+    proptest! {
+        /// Escudo never allows an access that the same-origin policy would deny:
+        /// it only ever *adds* restrictions.
+        #[test]
+        fn escudo_is_a_refinement_of_sop(
+            p_ring in 0u16..10, o_ring in 0u16..10,
+            r in 0u16..10, w in 0u16..10, x in 0u16..10,
+            cross in proptest::bool::ANY, op_idx in 0usize..3
+        ) {
+            let op = Operation::ALL[op_idx];
+            let origin_p = if cross { other_site() } else { site() };
+            let principal = PrincipalContext::new(PrincipalKind::Script, origin_p, Ring::new(p_ring));
+            let object = ObjectContext::new(ObjectKind::DomElement, site(), Ring::new(o_ring))
+                .with_acl(Acl::new(Ring::new(r), Ring::new(w), Ring::new(x)));
+            let escudo = decide(PolicyMode::Escudo, &principal, &object, op);
+            let sop = decide(PolicyMode::SameOriginOnly, &principal, &object, op);
+            if escudo.is_allowed() {
+                prop_assert!(sop.is_allowed());
+            }
+        }
+
+        /// Granting more privilege (a smaller ring number) never turns an allow into a deny.
+        #[test]
+        fn decision_is_monotone_in_principal_privilege(
+            p_ring in 1u16..10, o_ring in 0u16..10,
+            r in 0u16..10, w in 0u16..10, x in 0u16..10, op_idx in 0usize..3
+        ) {
+            let op = Operation::ALL[op_idx];
+            let object = ObjectContext::new(ObjectKind::DomElement, site(), Ring::new(o_ring))
+                .with_acl(Acl::new(Ring::new(r), Ring::new(w), Ring::new(x)));
+            let weaker = PrincipalContext::new(PrincipalKind::Script, site(), Ring::new(p_ring));
+            let stronger = PrincipalContext::new(PrincipalKind::Script, site(), Ring::new(p_ring - 1));
+            if decide(PolicyMode::Escudo, &weaker, &object, op).is_allowed() {
+                prop_assert!(decide(PolicyMode::Escudo, &stronger, &object, op).is_allowed());
+            }
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Hierarchical protection rings.
+//!
+//! ESCUDO adapts Multics-style hierarchical protection rings (HPR) to the web page.
+//! Rings are labelled `0, 1, …, N` where `N` is application dependent; **ring 0 is the
+//! most privileged** and ring `N` the least. The number of rings is chosen by each web
+//! application — the model does not fix `N`, it only defines the ordering.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ConfigError;
+
+/// A protection-ring label.
+///
+/// Smaller numbers denote **more** privilege: ring 0 is the most privileged ring. The
+/// `Ord` implementation is numeric (`Ring::new(0) < Ring::new(3)`); use
+/// [`Ring::is_at_least_as_privileged_as`] when the intent is a privilege comparison so
+/// call sites read like the paper's ring rule `R(P) ≤ R(O)`.
+///
+/// # Example
+///
+/// ```
+/// use escudo_core::Ring;
+///
+/// let kernel = Ring::new(0);
+/// let user_content = Ring::new(3);
+/// assert!(kernel.is_at_least_as_privileged_as(user_content));
+/// assert!(!user_content.is_at_least_as_privileged_as(kernel));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Ring(u16);
+
+impl Ring {
+    /// The most privileged ring (ring 0). Browser state and, by default, cookies and
+    /// native-code APIs live here (fail-safe defaults).
+    pub const INNERMOST: Ring = Ring(0);
+
+    /// The least privileged ring expressible by this implementation.
+    ///
+    /// The paper leaves `N` application-defined; we use the full `u16` range and treat
+    /// `u16::MAX` as "less privileged than anything an application will assign", which
+    /// is the fail-safe default for unlabeled DOM regions.
+    pub const OUTERMOST: Ring = Ring(u16::MAX);
+
+    /// Creates a ring with the given label. `0` is most privileged.
+    ///
+    /// ```
+    /// use escudo_core::Ring;
+    /// assert_eq!(Ring::new(2).level(), 2);
+    /// ```
+    #[must_use]
+    pub const fn new(level: u16) -> Self {
+        Ring(level)
+    }
+
+    /// Returns the numeric ring label.
+    #[must_use]
+    pub const fn level(self) -> u16 {
+        self.0
+    }
+
+    /// The paper's ring-rule comparison: `self` is at least as privileged as `other`
+    /// when its label is numerically less than or equal (`R(P) ≤ R(O)`).
+    ///
+    /// ```
+    /// use escudo_core::Ring;
+    /// assert!(Ring::new(1).is_at_least_as_privileged_as(Ring::new(1)));
+    /// assert!(Ring::new(1).is_at_least_as_privileged_as(Ring::new(3)));
+    /// assert!(!Ring::new(3).is_at_least_as_privileged_as(Ring::new(1)));
+    /// ```
+    #[must_use]
+    pub const fn is_at_least_as_privileged_as(self, other: Ring) -> bool {
+        self.0 <= other.0
+    }
+
+    /// Strictly more privileged than `other`.
+    #[must_use]
+    pub const fn is_more_privileged_than(self, other: Ring) -> bool {
+        self.0 < other.0
+    }
+
+    /// Returns the less privileged (numerically larger) of two rings.
+    ///
+    /// This is the primitive used by the scoping rule: a child's effective ring is
+    /// `least_privileged(child_declared, parent_effective)`.
+    ///
+    /// ```
+    /// use escudo_core::Ring;
+    /// assert_eq!(Ring::new(1).least_privileged(Ring::new(3)), Ring::new(3));
+    /// ```
+    #[must_use]
+    pub fn least_privileged(self, other: Ring) -> Ring {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the more privileged (numerically smaller) of two rings.
+    #[must_use]
+    pub fn most_privileged(self, other: Ring) -> Ring {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for Ring {
+    /// The fail-safe default for unlabeled content is the **least** privileged ring.
+    fn default() -> Self {
+        Ring::OUTERMOST
+    }
+}
+
+impl fmt::Display for Ring {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ring {}", self.0)
+    }
+}
+
+impl From<u16> for Ring {
+    fn from(level: u16) -> Self {
+        Ring(level)
+    }
+}
+
+impl FromStr for Ring {
+    type Err = ConfigError;
+
+    /// Parses a ring label as it appears in AC-tag attributes (`ring=2`) or ESCUDO
+    /// HTTP headers. Leading/trailing whitespace is accepted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidRing`] when the string is not a non-negative
+    /// integer that fits the ring range.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trimmed = s.trim();
+        trimmed
+            .parse::<u16>()
+            .map(Ring)
+            .map_err(|_| ConfigError::InvalidRing(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ring_zero_is_most_privileged() {
+        assert!(Ring::INNERMOST.is_at_least_as_privileged_as(Ring::new(1)));
+        assert!(Ring::INNERMOST.is_at_least_as_privileged_as(Ring::OUTERMOST));
+        assert!(Ring::INNERMOST.is_at_least_as_privileged_as(Ring::INNERMOST));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Ring::new(0) < Ring::new(1));
+        assert!(Ring::new(3) > Ring::new(2));
+        assert_eq!(Ring::new(7), Ring::new(7));
+    }
+
+    #[test]
+    fn default_is_outermost() {
+        assert_eq!(Ring::default(), Ring::OUTERMOST);
+    }
+
+    #[test]
+    fn least_and_most_privileged_pick_extremes() {
+        let a = Ring::new(1);
+        let b = Ring::new(3);
+        assert_eq!(a.least_privileged(b), b);
+        assert_eq!(b.least_privileged(a), b);
+        assert_eq!(a.most_privileged(b), a);
+        assert_eq!(b.most_privileged(a), a);
+    }
+
+    #[test]
+    fn parse_accepts_whitespace() {
+        assert_eq!(" 2 ".parse::<Ring>().unwrap(), Ring::new(2));
+        assert_eq!("0".parse::<Ring>().unwrap(), Ring::INNERMOST);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<Ring>().is_err());
+        assert!("-1".parse::<Ring>().is_err());
+        assert!("ring".parse::<Ring>().is_err());
+        assert!("1.5".parse::<Ring>().is_err());
+        assert!("70000".parse::<Ring>().is_err());
+    }
+
+    #[test]
+    fn display_names_the_ring() {
+        assert_eq!(Ring::new(2).to_string(), "ring 2");
+    }
+
+    proptest! {
+        #[test]
+        fn privilege_relation_is_total_and_antisymmetric(a in 0u16..=u16::MAX, b in 0u16..=u16::MAX) {
+            let (ra, rb) = (Ring::new(a), Ring::new(b));
+            // Totality: at least one direction holds.
+            prop_assert!(ra.is_at_least_as_privileged_as(rb) || rb.is_at_least_as_privileged_as(ra));
+            // Antisymmetry: both directions only when equal.
+            if ra.is_at_least_as_privileged_as(rb) && rb.is_at_least_as_privileged_as(ra) {
+                prop_assert_eq!(ra, rb);
+            }
+        }
+
+        #[test]
+        fn least_privileged_is_commutative_and_idempotent(a in 0u16..200, b in 0u16..200) {
+            let (ra, rb) = (Ring::new(a), Ring::new(b));
+            prop_assert_eq!(ra.least_privileged(rb), rb.least_privileged(ra));
+            prop_assert_eq!(ra.least_privileged(ra), ra);
+            // The result is never more privileged than either input.
+            let r = ra.least_privileged(rb);
+            prop_assert!(ra.is_at_least_as_privileged_as(r));
+            prop_assert!(rb.is_at_least_as_privileged_as(r));
+        }
+
+        #[test]
+        fn parse_roundtrip(level in 0u16..=u16::MAX) {
+            let ring = Ring::new(level);
+            let parsed: Ring = ring.level().to_string().parse().unwrap();
+            prop_assert_eq!(parsed, ring);
+        }
+    }
+}

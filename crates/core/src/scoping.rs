@@ -1,0 +1,151 @@
+//! The scoping rule.
+//!
+//! "When a div tag is labeled with `ring="n"`, then the privileges of the principals
+//! within the scope of this div tag, including all sub scopes, are bounded by ring
+//! level n. Escudo's implementation strictly enforces this even if the ring
+//! specification of the sub scope violates this rule."
+//!
+//! The same clamp applies to DOM elements added later through the DOM API: a principal
+//! can never create content more privileged than itself.
+
+use crate::acl::Acl;
+use crate::ring::Ring;
+
+/// Computes the *effective* ring of a nested scope given the effective ring of its
+/// parent scope and the ring the nested scope declared (if any).
+///
+/// * With no declaration the child simply inherits the parent's ring.
+/// * With a declaration the child gets the **less privileged** of the two, so a nested
+///   AC tag can only drop privilege, never raise it.
+///
+/// ```
+/// use escudo_core::scoping::effective_ring;
+/// use escudo_core::Ring;
+///
+/// // An inner scope may further restrict itself…
+/// assert_eq!(effective_ring(Ring::new(2), Some(Ring::new(3))), Ring::new(3));
+/// // …but a declaration of a *more* privileged ring is clamped to the parent.
+/// assert_eq!(effective_ring(Ring::new(2), Some(Ring::new(0))), Ring::new(2));
+/// // No declaration: inherit.
+/// assert_eq!(effective_ring(Ring::new(2), None), Ring::new(2));
+/// ```
+#[must_use]
+pub fn effective_ring(parent_effective: Ring, declared: Option<Ring>) -> Ring {
+    match declared {
+        Some(declared) => declared.least_privileged(parent_effective),
+        None => parent_effective,
+    }
+}
+
+/// Clamps content created *dynamically* by a principal (via the DOM API) so the new
+/// content is never more privileged than its creator: the effective ring is the less
+/// privileged of the creator's ring, the insertion parent's ring, and any declared
+/// ring.
+#[must_use]
+pub fn effective_ring_for_dynamic_content(
+    creator_ring: Ring,
+    parent_effective: Ring,
+    declared: Option<Ring>,
+) -> Ring {
+    let base = creator_ring.least_privileged(parent_effective);
+    effective_ring(base, declared)
+}
+
+/// Clamps a declared ACL to an effective ring: no bound may admit rings beyond the
+/// effective ring of the scope it labels.
+#[must_use]
+pub fn effective_acl(effective_ring: Ring, declared: Option<Acl>) -> Acl {
+    match declared {
+        Some(acl) => acl.clamped_to_ring(effective_ring),
+        // Fail-safe default from the paper: r=0, w=0, x=0.
+        None => Acl::ring_zero_only(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operation::Operation;
+    use proptest::prelude::*;
+
+    #[test]
+    fn inner_scope_may_only_drop_privilege() {
+        assert_eq!(effective_ring(Ring::new(2), Some(Ring::new(3))), Ring::new(3));
+        assert_eq!(effective_ring(Ring::new(2), Some(Ring::new(2))), Ring::new(2));
+        assert_eq!(effective_ring(Ring::new(2), Some(Ring::new(1))), Ring::new(2));
+        assert_eq!(effective_ring(Ring::new(2), Some(Ring::new(0))), Ring::new(2));
+    }
+
+    #[test]
+    fn missing_declaration_inherits() {
+        assert_eq!(effective_ring(Ring::new(1), None), Ring::new(1));
+        assert_eq!(effective_ring(Ring::OUTERMOST, None), Ring::OUTERMOST);
+    }
+
+    #[test]
+    fn dynamic_content_is_bounded_by_its_creator() {
+        // A ring-3 script appending into a ring-1 region: the new node is ring 3.
+        assert_eq!(
+            effective_ring_for_dynamic_content(Ring::new(3), Ring::new(1), None),
+            Ring::new(3)
+        );
+        // Even if the script declares ring 0 on the new AC tag.
+        assert_eq!(
+            effective_ring_for_dynamic_content(Ring::new(3), Ring::new(1), Some(Ring::new(0))),
+            Ring::new(3)
+        );
+        // A ring-0 script creating content in a ring-2 region: bounded by the region.
+        assert_eq!(
+            effective_ring_for_dynamic_content(Ring::new(0), Ring::new(2), None),
+            Ring::new(2)
+        );
+    }
+
+    #[test]
+    fn missing_acl_defaults_to_ring_zero_only() {
+        let acl = effective_acl(Ring::new(3), None);
+        assert_eq!(acl, Acl::ring_zero_only());
+    }
+
+    #[test]
+    fn declared_acl_is_clamped() {
+        let declared = Acl::new(Ring::new(9), Ring::new(0), Ring::new(9));
+        let acl = effective_acl(Ring::new(3), Some(declared));
+        assert_eq!(acl.bound(Operation::Read), Ring::new(3));
+        assert_eq!(acl.bound(Operation::Write), Ring::new(0));
+        assert_eq!(acl.bound(Operation::Use), Ring::new(3));
+    }
+
+    proptest! {
+        /// The effective ring of a nested scope is never more privileged than the parent's.
+        #[test]
+        fn scoping_never_elevates(parent in 0u16..100, declared in proptest::option::of(0u16..100)) {
+            let eff = effective_ring(Ring::new(parent), declared.map(Ring::new));
+            prop_assert!(Ring::new(parent).is_at_least_as_privileged_as(eff));
+        }
+
+        /// Dynamically created content is never more privileged than its creator.
+        #[test]
+        fn dynamic_content_never_exceeds_creator(
+            creator in 0u16..100, parent in 0u16..100, declared in proptest::option::of(0u16..100)
+        ) {
+            let eff = effective_ring_for_dynamic_content(
+                Ring::new(creator), Ring::new(parent), declared.map(Ring::new));
+            prop_assert!(Ring::new(creator).is_at_least_as_privileged_as(eff));
+            prop_assert!(Ring::new(parent).is_at_least_as_privileged_as(eff));
+        }
+
+        /// Chained clamping is associative with respect to nesting order: applying the
+        /// clamp level by level equals clamping against the least privileged ancestor.
+        #[test]
+        fn nested_clamp_equals_single_clamp(chain in proptest::collection::vec(0u16..50, 1..6)) {
+            let mut eff = Ring::INNERMOST;
+            let mut least = Ring::INNERMOST;
+            for declared in &chain {
+                eff = effective_ring(eff, Some(Ring::new(*declared)));
+                least = least.least_privileged(Ring::new(*declared));
+            }
+            prop_assert_eq!(eff, least);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! The principal/object taxonomy of the paper's Table 1, expressed as data so the
+//! experiment harness can regenerate the table from the implemented model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::context::{ObjectKind, PrincipalKind};
+
+/// Whether an entry of Table 1 is a principal, an object, or can act as both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Role {
+    /// Acts only as a principal.
+    Principal,
+    /// Acts only as an object.
+    Object,
+    /// Acts as both (DOM elements: principals when instantiated, objects when targeted
+    /// through the DOM API).
+    Both,
+}
+
+/// One row of the Table 1 inventory.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaxonomyEntry {
+    /// The category heading used in the paper.
+    pub category: &'static str,
+    /// The concrete entity.
+    pub entity: &'static str,
+    /// Principal, object, or both.
+    pub role: Role,
+    /// Whether web applications can control this entity through ESCUDO configuration.
+    pub controllable_by_application: bool,
+    /// The model type this entity maps to in this implementation.
+    pub principal_kind: Option<PrincipalKind>,
+    /// The model type this entity maps to in this implementation.
+    pub object_kind: Option<ObjectKind>,
+}
+
+/// The full Table 1 inventory: principals and objects inside the web browser.
+#[must_use]
+pub fn table1() -> Vec<TaxonomyEntry> {
+    use ObjectKind as O;
+    use PrincipalKind as P;
+    vec![
+        // HTTP-request issuing principals.
+        entry("HTTP-request issuing principals", "HTML form", Role::Both, true, Some(P::RequestIssuer), Some(O::DomElement)),
+        entry("HTTP-request issuing principals", "HTML anchor", Role::Both, true, Some(P::RequestIssuer), Some(O::DomElement)),
+        entry("HTTP-request issuing principals", "HTML img", Role::Both, true, Some(P::RequestIssuer), Some(O::DomElement)),
+        entry("HTTP-request issuing principals", "HTML iframe", Role::Both, true, Some(P::RequestIssuer), Some(O::DomElement)),
+        entry("HTTP-request issuing principals", "HTML embed", Role::Both, true, Some(P::RequestIssuer), Some(O::DomElement)),
+        // Script-invoking principals.
+        entry("Script-invoking principals", "JavaScript programs", Role::Both, true, Some(P::Script), Some(O::DomElement)),
+        entry("Script-invoking principals", "UI event handlers", Role::Principal, true, Some(P::EventHandler), None),
+        // Plugins: outside the application's control, listed for completeness.
+        entry("Plugins", "Plugins / extensions (Flash, PDF, …)", Role::Principal, false, None, None),
+        // Objects.
+        entry("Objects", "Document object model (DOM)", Role::Object, true, None, Some(O::DomElement)),
+        entry("Objects", "Cookies", Role::Object, true, None, Some(O::Cookie)),
+        entry("Objects", "XMLHttpRequest API", Role::Object, true, None, Some(O::NativeApi)),
+        entry("Objects", "DOM API", Role::Object, true, None, Some(O::NativeApi)),
+        entry("Objects", "Browser history", Role::Object, false, None, Some(O::BrowserState)),
+        entry("Objects", "Visited-link information", Role::Object, false, None, Some(O::BrowserState)),
+    ]
+}
+
+fn entry(
+    category: &'static str,
+    entity: &'static str,
+    role: Role,
+    controllable_by_application: bool,
+    principal_kind: Option<PrincipalKind>,
+    object_kind: Option<ObjectKind>,
+) -> TaxonomyEntry {
+    TaxonomyEntry {
+        category,
+        entity,
+        role,
+        controllable_by_application,
+        principal_kind,
+        object_kind,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_covers_all_paper_categories() {
+        let table = table1();
+        let categories: Vec<&str> = table.iter().map(|e| e.category).collect();
+        for expected in [
+            "HTTP-request issuing principals",
+            "Script-invoking principals",
+            "Plugins",
+            "Objects",
+        ] {
+            assert!(categories.contains(&expected), "missing category {expected}");
+        }
+    }
+
+    #[test]
+    fn request_issuing_principals_match_the_paper_list() {
+        let table = table1();
+        let issuers: Vec<&str> = table
+            .iter()
+            .filter(|e| e.principal_kind == Some(PrincipalKind::RequestIssuer))
+            .map(|e| e.entity)
+            .collect();
+        for tag in ["HTML form", "HTML anchor", "HTML img", "HTML iframe", "HTML embed"] {
+            assert!(issuers.contains(&tag), "missing {tag}");
+        }
+    }
+
+    #[test]
+    fn plugins_are_not_controllable_by_applications() {
+        let table = table1();
+        let plugins: Vec<&TaxonomyEntry> =
+            table.iter().filter(|e| e.category == "Plugins").collect();
+        assert!(!plugins.is_empty());
+        assert!(plugins.iter().all(|e| !e.controllable_by_application));
+    }
+
+    #[test]
+    fn browser_state_objects_are_present_and_uncontrollable() {
+        let table = table1();
+        let state: Vec<&TaxonomyEntry> = table
+            .iter()
+            .filter(|e| e.object_kind == Some(ObjectKind::BrowserState))
+            .collect();
+        assert_eq!(state.len(), 2);
+        assert!(state.iter().all(|e| !e.controllable_by_application));
+    }
+
+    #[test]
+    fn dom_elements_act_as_both_principals_and_objects() {
+        let table = table1();
+        let both = table
+            .iter()
+            .filter(|e| e.role == Role::Both)
+            .count();
+        assert!(both >= 6, "DOM elements and scripts should be dual-role");
+    }
+}

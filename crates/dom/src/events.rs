@@ -1,0 +1,149 @@
+//! The UI event vocabulary.
+//!
+//! The paper identifies "UI event handlers" (`onload`, `onmouseover`, …) as
+//! script-invoking principals, and event *delivery* to a DOM element as an implicit
+//! `use` of that element. This module enumerates the events the browser's dispatcher
+//! understands and maps them to their handler attributes.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// A UI event type the browser can deliver to a DOM element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventType {
+    /// Mouse click.
+    Click,
+    /// Page or element finished loading.
+    Load,
+    /// Pointer entered the element.
+    MouseOver,
+    /// Pointer left the element.
+    MouseOut,
+    /// Form control value changed.
+    Change,
+    /// Form submission.
+    Submit,
+    /// Keyboard key pressed.
+    KeyPress,
+    /// Element lost focus.
+    Blur,
+    /// Element gained focus.
+    Focus,
+    /// Image or resource failed to load (a favourite XSS vector via `onerror`).
+    Error,
+}
+
+impl EventType {
+    /// All supported event types.
+    pub const ALL: [EventType; 10] = [
+        EventType::Click,
+        EventType::Load,
+        EventType::MouseOver,
+        EventType::MouseOut,
+        EventType::Change,
+        EventType::Submit,
+        EventType::KeyPress,
+        EventType::Blur,
+        EventType::Focus,
+        EventType::Error,
+    ];
+
+    /// The event name (without the `on` prefix), e.g. `click`.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            EventType::Click => "click",
+            EventType::Load => "load",
+            EventType::MouseOver => "mouseover",
+            EventType::MouseOut => "mouseout",
+            EventType::Change => "change",
+            EventType::Submit => "submit",
+            EventType::KeyPress => "keypress",
+            EventType::Blur => "blur",
+            EventType::Focus => "focus",
+            EventType::Error => "error",
+        }
+    }
+
+    /// The inline handler attribute for this event, e.g. `onclick`.
+    #[must_use]
+    pub fn handler_attribute(self) -> String {
+        format!("on{}", self.name())
+    }
+
+    /// Parses a handler attribute name (`onclick`) or event name (`click`).
+    #[must_use]
+    pub fn from_attribute(name: &str) -> Option<Self> {
+        let name = name.to_ascii_lowercase();
+        let name = name.strip_prefix("on").unwrap_or(&name);
+        Self::ALL.iter().copied().find(|e| e.name() == name)
+    }
+
+    /// `true` when `attribute` names any inline event handler (`on…`) we recognize.
+    #[must_use]
+    pub fn is_handler_attribute(attribute: &str) -> bool {
+        attribute.len() > 2
+            && attribute[..2].eq_ignore_ascii_case("on")
+            && Self::from_attribute(attribute).is_some()
+    }
+}
+
+impl fmt::Display for EventType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for EventType {
+    type Err = UnknownEvent;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        EventType::from_attribute(s).ok_or_else(|| UnknownEvent(s.to_string()))
+    }
+}
+
+/// Error returned when parsing an unknown event name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownEvent(pub String);
+
+impl fmt::Display for UnknownEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown event type `{}`", self.0)
+    }
+}
+
+impl std::error::Error for UnknownEvent {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribute_names_roundtrip() {
+        for event in EventType::ALL {
+            let attr = event.handler_attribute();
+            assert!(attr.starts_with("on"));
+            assert_eq!(EventType::from_attribute(&attr), Some(event));
+            assert_eq!(attr.parse::<EventType>().unwrap(), event);
+            assert_eq!(event.name().parse::<EventType>().unwrap(), event);
+        }
+    }
+
+    #[test]
+    fn unknown_events_are_rejected() {
+        assert_eq!(EventType::from_attribute("onteleport"), None);
+        assert!("teleport".parse::<EventType>().is_err());
+        assert!(!EventType::is_handler_attribute("href"));
+        assert!(!EventType::is_handler_attribute("on"));
+    }
+
+    #[test]
+    fn handler_attribute_detection() {
+        assert!(EventType::is_handler_attribute("onclick"));
+        assert!(EventType::is_handler_attribute("ONLOAD"));
+        assert!(EventType::is_handler_attribute("onerror"));
+        assert!(!EventType::is_handler_attribute("online-status"));
+    }
+}

@@ -1,0 +1,53 @@
+//! # escudo-dom
+//!
+//! The document object model used by the ESCUDO browser reproduction.
+//!
+//! The DOM is an arena: every node lives in a [`Document`]-owned vector and is referred
+//! to by a copyable [`NodeId`]. Node slots are **never reused**, which keeps ids stable
+//! for the lifetime of the page — important because the browser keeps its ESCUDO
+//! security contexts in a side table keyed by `NodeId` (the paper requires that the
+//! configuration "is not exposed to JavaScript programs", so labels are deliberately
+//! not stored on the nodes themselves).
+//!
+//! The crate provides:
+//!
+//! * [`Document`] — creation, mutation (append/insert/remove/attributes), queries
+//!   (`get_element_by_id`, by tag, by attribute), traversal iterators, text content,
+//! * [`serialize`] — HTML serialization (`outer_html` / `inner_html`),
+//! * [`events`] — the UI event vocabulary (`onclick`, `onload`, …) the browser's event
+//!   dispatcher understands.
+//!
+//! # Example
+//!
+//! ```
+//! use escudo_dom::{Document, NodeData};
+//!
+//! let mut doc = Document::new();
+//! let html = doc.create_element("html");
+//! doc.append_child(doc.root(), html).unwrap();
+//! let body = doc.create_element("body");
+//! doc.append_child(html, body).unwrap();
+//! let p = doc.create_element("p");
+//! doc.set_attribute(p, "id", "greeting");
+//! doc.append_child(body, p).unwrap();
+//! let text = doc.create_text("hello");
+//! doc.append_child(p, text).unwrap();
+//!
+//! assert_eq!(doc.get_element_by_id("greeting"), Some(p));
+//! assert_eq!(doc.text_content(body), "hello");
+//! assert_eq!(doc.outer_html(p), "<p id=\"greeting\">hello</p>");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod document;
+pub mod events;
+pub mod iter;
+pub mod node;
+pub mod serialize;
+
+pub use document::{Document, DomError};
+pub use events::EventType;
+pub use node::{ElementData, NodeData, NodeId};

@@ -1,0 +1,109 @@
+//! Character-reference (entity) decoding.
+
+/// Decodes the named and numeric character references that appear in the pages this
+/// repo generates and parses. Unknown references are left verbatim (browser-like
+/// recovery rather than an error).
+#[must_use]
+pub fn decode_entities(input: &str) -> String {
+    if !input.contains('&') {
+        return input.to_string();
+    }
+    let mut out = String::with_capacity(input.len());
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] != '&' {
+            out.push(chars[i]);
+            i += 1;
+            continue;
+        }
+        // Find the terminating ';' within a reasonable distance.
+        let end = chars[i + 1..]
+            .iter()
+            .take(32)
+            .position(|&c| c == ';')
+            .map(|offset| i + 1 + offset);
+        let Some(end) = end else {
+            out.push('&');
+            i += 1;
+            continue;
+        };
+        let entity: String = chars[i + 1..end].iter().collect();
+        match decode_one(&entity) {
+            Some(decoded) => {
+                out.push_str(&decoded);
+                i = end + 1;
+            }
+            None => {
+                out.push('&');
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn decode_one(entity: &str) -> Option<String> {
+    if let Some(rest) = entity.strip_prefix('#') {
+        let code = if let Some(hex) = rest.strip_prefix('x').or_else(|| rest.strip_prefix('X')) {
+            u32::from_str_radix(hex, 16).ok()?
+        } else {
+            rest.parse::<u32>().ok()?
+        };
+        return char::from_u32(code).map(|c| c.to_string());
+    }
+    let named = match entity {
+        "amp" => "&",
+        "lt" => "<",
+        "gt" => ">",
+        "quot" => "\"",
+        "apos" => "'",
+        "nbsp" => "\u{a0}",
+        "copy" => "\u{a9}",
+        "reg" => "\u{ae}",
+        "hellip" => "\u{2026}",
+        "mdash" => "\u{2014}",
+        "ndash" => "\u{2013}",
+        "lsquo" => "\u{2018}",
+        "rsquo" => "\u{2019}",
+        "ldquo" => "\u{201c}",
+        "rdquo" => "\u{201d}",
+        _ => return None,
+    };
+    Some(named.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_entities_decode() {
+        assert_eq!(decode_entities("a &amp; b"), "a & b");
+        assert_eq!(decode_entities("&lt;script&gt;"), "<script>");
+        assert_eq!(decode_entities("&quot;x&quot; &apos;y&apos;"), "\"x\" 'y'");
+        assert_eq!(decode_entities("no entities here"), "no entities here");
+    }
+
+    #[test]
+    fn numeric_entities_decode() {
+        assert_eq!(decode_entities("&#65;&#66;"), "AB");
+        assert_eq!(decode_entities("&#x41;&#X42;"), "AB");
+        assert_eq!(decode_entities("&#x1F600;"), "😀");
+    }
+
+    #[test]
+    fn unknown_or_malformed_entities_pass_through() {
+        assert_eq!(decode_entities("&unknown;"), "&unknown;");
+        assert_eq!(decode_entities("AT&T"), "AT&T");
+        assert_eq!(decode_entities("100% &"), "100% &");
+        assert_eq!(decode_entities("&#xZZ;"), "&#xZZ;");
+        assert_eq!(decode_entities("&#1114112;"), "&#1114112;"); // out of Unicode range
+    }
+
+    #[test]
+    fn adjacent_and_repeated_entities() {
+        assert_eq!(decode_entities("&amp;&amp;&amp;"), "&&&");
+        assert_eq!(decode_entities("&lt;&#47;div&gt;"), "</div>");
+    }
+}

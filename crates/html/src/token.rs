@@ -1,0 +1,128 @@
+//! Tokens produced by the [`Tokenizer`](crate::Tokenizer).
+
+use std::fmt;
+
+/// One HTML token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `<!DOCTYPE name>`
+    Doctype(String),
+    /// A start tag: `<name attr="value" …>` (or `<name … />` when `self_closing`).
+    StartTag {
+        /// Lower-cased tag name.
+        name: String,
+        /// Attributes in source order; names lower-cased, values entity-decoded.
+        attrs: Vec<(String, String)>,
+        /// `true` for `<name … />`.
+        self_closing: bool,
+    },
+    /// An end tag: `</name …>`. ESCUDO end tags may carry attributes (the nonce).
+    EndTag {
+        /// Lower-cased tag name.
+        name: String,
+        /// Attributes on the end tag (normally empty; ESCUDO uses `nonce=`).
+        attrs: Vec<(String, String)>,
+    },
+    /// A run of character data (entity-decoded unless inside a raw-text element).
+    Text(String),
+    /// `<!-- … -->`
+    Comment(String),
+    /// End of input.
+    Eof,
+}
+
+impl Token {
+    /// Looks up an attribute on a start or end tag.
+    #[must_use]
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        let attrs = match self {
+            Token::StartTag { attrs, .. } | Token::EndTag { attrs, .. } => attrs,
+            _ => return None,
+        };
+        attrs
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The tag name for start/end tags.
+    #[must_use]
+    pub fn tag_name(&self) -> Option<&str> {
+        match self {
+            Token::StartTag { name, .. } | Token::EndTag { name, .. } => Some(name.as_str()),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Doctype(name) => write!(f, "<!DOCTYPE {name}>"),
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => {
+                write!(f, "<{name}")?;
+                for (attr_name, value) in attrs {
+                    write!(f, " {attr_name}=\"{value}\"")?;
+                }
+                if *self_closing {
+                    write!(f, "/")?;
+                }
+                write!(f, ">")
+            }
+            Token::EndTag { name, attrs } => {
+                write!(f, "</{name}")?;
+                for (attr_name, value) in attrs {
+                    write!(f, " {attr_name}=\"{value}\"")?;
+                }
+                write!(f, ">")
+            }
+            Token::Text(text) => write!(f, "{text}"),
+            Token::Comment(text) => write!(f, "<!--{text}-->"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attr_lookup_works_on_both_tag_kinds() {
+        let start = Token::StartTag {
+            name: "div".into(),
+            attrs: vec![("ring".into(), "2".into())],
+            self_closing: false,
+        };
+        assert_eq!(start.attr("ring"), Some("2"));
+        assert_eq!(start.attr("RING"), Some("2"));
+        assert_eq!(start.attr("r"), None);
+        assert_eq!(start.tag_name(), Some("div"));
+
+        let end = Token::EndTag {
+            name: "div".into(),
+            attrs: vec![("nonce".into(), "7".into())],
+        };
+        assert_eq!(end.attr("nonce"), Some("7"));
+        assert_eq!(end.tag_name(), Some("div"));
+
+        assert_eq!(Token::Text("x".into()).attr("a"), None);
+        assert_eq!(Token::Eof.tag_name(), None);
+    }
+
+    #[test]
+    fn display_is_html_like() {
+        let start = Token::StartTag {
+            name: "img".into(),
+            attrs: vec![("src".into(), "/a.png".into())],
+            self_closing: true,
+        };
+        assert_eq!(start.to_string(), "<img src=\"/a.png\"/>");
+        assert_eq!(Token::Comment(" c ".into()).to_string(), "<!-- c -->");
+        assert_eq!(Token::Doctype("html".into()).to_string(), "<!DOCTYPE html>");
+    }
+}

@@ -1,0 +1,473 @@
+//! The HTML tokenizer.
+
+use crate::entities::decode_entities;
+use crate::token::Token;
+
+/// Tags whose content is treated as raw text up to the matching end tag.
+const RAW_TEXT_TAGS: [&str; 4] = ["script", "style", "textarea", "title"];
+
+fn is_raw_text_tag(tag: &str) -> bool {
+    RAW_TEXT_TAGS.iter().any(|t| t.eq_ignore_ascii_case(tag))
+}
+
+/// A streaming HTML tokenizer.
+///
+/// The tokenizer is browser-like: it never fails, it recovers from malformed markup by
+/// emitting the closest sensible token (or plain text), and it supports the two ESCUDO
+/// extensions described in the [crate docs](crate) — attributes on end tags and
+/// raw-text handling that keeps scripts opaque to the markup around them.
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    chars: Vec<char>,
+    pos: usize,
+    /// When inside a raw-text element, the tag name whose end tag terminates the run.
+    raw_text_until: Option<String>,
+    finished: bool,
+}
+
+impl Tokenizer {
+    /// Creates a tokenizer over the given input.
+    #[must_use]
+    pub fn new(input: &str) -> Self {
+        Tokenizer {
+            chars: input.chars().collect(),
+            pos: 0,
+            raw_text_until: None,
+            finished: false,
+        }
+    }
+
+    /// Tokenizes the entire input (convenience for tests).
+    #[must_use]
+    pub fn tokenize_all(input: &str) -> Vec<Token> {
+        Tokenizer::new(input).collect()
+    }
+
+    /// Produces the next token, or [`Token::Eof`] exactly once at the end of input.
+    pub fn next_token(&mut self) -> Token {
+        if let Some(tag) = self.raw_text_until.clone() {
+            if let Some(token) = self.raw_text(&tag) {
+                return token;
+            }
+        }
+        if self.pos >= self.chars.len() {
+            self.finished = true;
+            return Token::Eof;
+        }
+        if self.peek() == Some('<') {
+            self.tag_or_markup()
+        } else {
+            self.text()
+        }
+    }
+
+    // ------------------------------------------------------------- primitives
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<char> {
+        self.chars.get(self.pos + offset).copied()
+    }
+
+    fn starts_with_ci(&self, needle: &str) -> bool {
+        needle.chars().enumerate().all(|(idx, expected)| {
+            self.peek_at(idx)
+                .map(|c| c.eq_ignore_ascii_case(&expected))
+                .unwrap_or(false)
+        })
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    // ------------------------------------------------------------- text modes
+
+    /// Raw-text mode: collect everything up to `</tag` (case-insensitive). Returns
+    /// `None` once the raw text has been consumed so the caller falls through to
+    /// normal tag tokenization for the end tag itself.
+    fn raw_text(&mut self, tag: &str) -> Option<Token> {
+        let close = format!("</{tag}");
+        let start = self.pos;
+        while self.pos < self.chars.len() {
+            if self.peek() == Some('<') && self.starts_with_ci(&close) {
+                break;
+            }
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        // Whether or not we found the closing tag, raw-text mode is over: either the
+        // end tag follows, or we hit EOF.
+        self.raw_text_until = None;
+        if text.is_empty() {
+            None
+        } else {
+            Some(Token::Text(text))
+        }
+    }
+
+    fn text(&mut self) -> Token {
+        let start = self.pos;
+        while self.pos < self.chars.len() && self.peek() != Some('<') {
+            self.pos += 1;
+        }
+        let raw: String = self.chars[start..self.pos].iter().collect();
+        Token::Text(decode_entities(&raw))
+    }
+
+    // ------------------------------------------------------------- tags
+
+    fn tag_or_markup(&mut self) -> Token {
+        debug_assert_eq!(self.peek(), Some('<'));
+        match self.peek_at(1) {
+            Some('!') => self.markup_declaration(),
+            Some('/') => self.end_tag(),
+            Some(c) if c.is_ascii_alphabetic() => self.start_tag(),
+            _ => {
+                // A stray '<' is just text.
+                self.pos += 1;
+                Token::Text("<".to_string())
+            }
+        }
+    }
+
+    fn markup_declaration(&mut self) -> Token {
+        if self.starts_with_ci("<!--") {
+            self.pos += 4;
+            let start = self.pos;
+            while self.pos < self.chars.len() && !self.starts_with_ci("-->") {
+                self.pos += 1;
+            }
+            let text: String = self.chars[start..self.pos].iter().collect();
+            if self.starts_with_ci("-->") {
+                self.pos += 3;
+            }
+            return Token::Comment(text);
+        }
+        if self.starts_with_ci("<!doctype") {
+            self.pos += "<!doctype".len();
+            self.skip_whitespace();
+            let start = self.pos;
+            while self.pos < self.chars.len() && self.peek() != Some('>') {
+                self.pos += 1;
+            }
+            let name: String = self.chars[start..self.pos].iter().collect();
+            if self.peek() == Some('>') {
+                self.pos += 1;
+            }
+            return Token::Doctype(name.trim().to_string());
+        }
+        // Bogus comment: `<!…>`.
+        self.pos += 2;
+        let start = self.pos;
+        while self.pos < self.chars.len() && self.peek() != Some('>') {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        if self.peek() == Some('>') {
+            self.pos += 1;
+        }
+        Token::Comment(text)
+    }
+
+    fn tag_name(&mut self) -> String {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == ':')
+        {
+            self.pos += 1;
+        }
+        self.chars[start..self.pos]
+            .iter()
+            .collect::<String>()
+            .to_ascii_lowercase()
+    }
+
+    fn start_tag(&mut self) -> Token {
+        self.pos += 1; // consume '<'
+        let name = self.tag_name();
+        let (attrs, self_closing) = self.attributes();
+        if !self_closing && is_raw_text_tag(&name) {
+            self.raw_text_until = Some(name.clone());
+        }
+        Token::StartTag {
+            name,
+            attrs,
+            self_closing,
+        }
+    }
+
+    fn end_tag(&mut self) -> Token {
+        self.pos += 2; // consume '</'
+        let name = self.tag_name();
+        if name.is_empty() {
+            // `</>` or `</ …>`: skip to '>' and treat as a comment-like no-op text.
+            while self.pos < self.chars.len() && self.peek() != Some('>') {
+                self.pos += 1;
+            }
+            if self.peek() == Some('>') {
+                self.pos += 1;
+            }
+            return Token::Text(String::new());
+        }
+        let (attrs, _) = self.attributes();
+        Token::EndTag { name, attrs }
+    }
+
+    /// Parses the attribute list of a tag up to and including the terminating `>`.
+    /// Returns the attributes and whether the tag was self-closing.
+    fn attributes(&mut self) -> (Vec<(String, String)>, bool) {
+        let mut attrs: Vec<(String, String)> = Vec::new();
+        let mut self_closing = false;
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                None => break,
+                Some('>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some('/') => {
+                    self.pos += 1;
+                    if self.peek() == Some('>') {
+                        self.pos += 1;
+                        self_closing = true;
+                        break;
+                    }
+                }
+                Some(_) => {
+                    let name = self.attribute_name();
+                    if name.is_empty() {
+                        // Skip a character we cannot interpret to guarantee progress.
+                        self.pos += 1;
+                        continue;
+                    }
+                    self.skip_whitespace();
+                    let value = if self.peek() == Some('=') {
+                        self.pos += 1;
+                        self.skip_whitespace();
+                        self.attribute_value()
+                    } else {
+                        String::new()
+                    };
+                    if !attrs.iter().any(|(existing, _)| *existing == name) {
+                        attrs.push((name, value));
+                    }
+                }
+            }
+        }
+        (attrs, self_closing)
+    }
+
+    fn attribute_name(&mut self) -> String {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if !c.is_whitespace() && c != '=' && c != '>' && c != '/')
+        {
+            self.pos += 1;
+        }
+        self.chars[start..self.pos]
+            .iter()
+            .collect::<String>()
+            .to_ascii_lowercase()
+    }
+
+    fn attribute_value(&mut self) -> String {
+        match self.peek() {
+            Some(quote @ ('"' | '\'')) => {
+                self.pos += 1;
+                let start = self.pos;
+                while self.pos < self.chars.len() && self.peek() != Some(quote) {
+                    self.pos += 1;
+                }
+                let value: String = self.chars[start..self.pos].iter().collect();
+                if self.peek() == Some(quote) {
+                    self.pos += 1;
+                }
+                decode_entities(&value)
+            }
+            _ => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(c) if !c.is_whitespace() && c != '>') {
+                    self.pos += 1;
+                }
+                let value: String = self.chars[start..self.pos].iter().collect();
+                decode_entities(&value)
+            }
+        }
+    }
+
+    /// `true` once [`Token::Eof`] has been produced.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+}
+
+impl Iterator for Tokenizer {
+    type Item = Token;
+
+    fn next(&mut self) -> Option<Token> {
+        if self.finished {
+            return None;
+        }
+        let token = self.next_token();
+        if token == Token::Eof {
+            self.finished = true;
+            return None;
+        }
+        Some(token)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(name: &str, attrs: &[(&str, &str)]) -> Token {
+        Token::StartTag {
+            name: name.to_string(),
+            attrs: attrs
+                .iter()
+                .map(|(n, v)| (n.to_string(), v.to_string()))
+                .collect(),
+            self_closing: false,
+        }
+    }
+
+    fn end(name: &str) -> Token {
+        Token::EndTag {
+            name: name.to_string(),
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn simple_markup() {
+        let tokens = Tokenizer::tokenize_all("<p class=\"x\">hello</p>");
+        assert_eq!(
+            tokens,
+            vec![
+                start("p", &[("class", "x")]),
+                Token::Text("hello".into()),
+                end("p"),
+            ]
+        );
+    }
+
+    #[test]
+    fn attribute_quoting_styles() {
+        let tokens = Tokenizer::tokenize_all("<div ring=2 r='1' w=\"0\" disabled>");
+        assert_eq!(
+            tokens,
+            vec![start(
+                "div",
+                &[("ring", "2"), ("r", "1"), ("w", "0"), ("disabled", "")]
+            )]
+        );
+    }
+
+    #[test]
+    fn duplicate_attributes_keep_the_first() {
+        let tokens = Tokenizer::tokenize_all("<div ring=2 ring=0>");
+        assert_eq!(tokens, vec![start("div", &[("ring", "2")])]);
+    }
+
+    #[test]
+    fn end_tags_may_carry_attributes() {
+        let tokens = Tokenizer::tokenize_all("<div nonce=12>x</div nonce=12>");
+        assert_eq!(tokens[0], start("div", &[("nonce", "12")]));
+        assert_eq!(
+            tokens[2],
+            Token::EndTag {
+                name: "div".into(),
+                attrs: vec![("nonce".into(), "12".into())],
+            }
+        );
+    }
+
+    #[test]
+    fn self_closing_and_void_style_tags() {
+        let tokens = Tokenizer::tokenize_all("<br/><img src=a.png />");
+        assert_eq!(
+            tokens,
+            vec![
+                Token::StartTag {
+                    name: "br".into(),
+                    attrs: vec![],
+                    self_closing: true
+                },
+                Token::StartTag {
+                    name: "img".into(),
+                    attrs: vec![("src".into(), "a.png".into())],
+                    self_closing: true
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn text_entities_are_decoded_but_script_content_is_raw() {
+        let tokens = Tokenizer::tokenize_all("<p>a &amp; b</p><script>if (a &amp;&amp; b < c) {}</script>");
+        assert_eq!(tokens[1], Token::Text("a & b".into()));
+        // The script body is raw text: no entity decoding, '<' does not open a tag.
+        assert_eq!(tokens[4], Token::Text("if (a &amp;&amp; b < c) {}".into()));
+        assert_eq!(tokens[5], end("script"));
+    }
+
+    #[test]
+    fn script_end_tag_is_found_case_insensitively() {
+        let tokens = Tokenizer::tokenize_all("<SCRIPT>var x = '</div>';</ScRiPt>after");
+        assert_eq!(tokens[0], start("script", &[]));
+        assert_eq!(tokens[1], Token::Text("var x = '</div>';".into()));
+        assert_eq!(tokens[2], end("script"));
+        assert_eq!(tokens[3], Token::Text("after".into()));
+    }
+
+    #[test]
+    fn comments_and_doctype() {
+        let tokens = Tokenizer::tokenize_all("<!DOCTYPE html><!-- a comment --><p>x</p>");
+        assert_eq!(tokens[0], Token::Doctype("html".into()));
+        assert_eq!(tokens[1], Token::Comment(" a comment ".into()));
+    }
+
+    #[test]
+    fn malformed_markup_degrades_to_text() {
+        let tokens = Tokenizer::tokenize_all("a < b and 1 <2 <> <3");
+        let text: String = tokens
+            .iter()
+            .filter_map(|t| match t {
+                Token::Text(t) => Some(t.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(text.contains("a "));
+        assert!(text.contains(" b and 1 "));
+        // No panic and no tags were hallucinated.
+        assert!(tokens.iter().all(|t| matches!(t, Token::Text(_))));
+    }
+
+    #[test]
+    fn unterminated_structures_do_not_hang() {
+        for input in ["<div", "<div attr", "<div attr=\"x", "<!-- never closed", "<script>never closed"] {
+            let tokens = Tokenizer::tokenize_all(input);
+            assert!(!tokens.is_empty() || input.is_empty());
+        }
+    }
+
+    #[test]
+    fn eof_is_reported_once() {
+        let mut tokenizer = Tokenizer::new("x");
+        assert_eq!(tokenizer.next_token(), Token::Text("x".into()));
+        assert_eq!(tokenizer.next_token(), Token::Eof);
+        assert!(tokenizer.is_finished());
+    }
+
+    #[test]
+    fn iterator_stops_at_eof() {
+        let tokens: Vec<Token> = Tokenizer::new("<p>x</p>").collect();
+        assert_eq!(tokens.len(), 3);
+    }
+}

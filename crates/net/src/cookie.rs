@@ -1,0 +1,329 @@
+//! Cookies and `Set-Cookie` parsing.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NetError;
+
+/// A `Set-Cookie` directive as sent by a server.
+///
+/// Only the attributes the reproduction needs are modelled: `Domain`, `Path`,
+/// `Secure` and `HttpOnly`. (Expiry is irrelevant for in-memory sessions.)
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SetCookie {
+    /// Cookie name.
+    pub name: String,
+    /// Cookie value.
+    pub value: String,
+    /// Optional `Domain` attribute.
+    pub domain: Option<String>,
+    /// `Path` attribute (defaults to `/`).
+    pub path: String,
+    /// `Secure` attribute.
+    pub secure: bool,
+    /// `HttpOnly` attribute.
+    pub http_only: bool,
+}
+
+impl SetCookie {
+    /// Creates a host-wide (`Path=/`) cookie.
+    #[must_use]
+    pub fn new(name: impl Into<String>, value: impl Into<String>) -> Self {
+        SetCookie {
+            name: name.into(),
+            value: value.into(),
+            domain: None,
+            path: "/".to_string(),
+            secure: false,
+            http_only: false,
+        }
+    }
+
+    /// Sets the `Path` attribute (builder style).
+    #[must_use]
+    pub fn with_path(mut self, path: impl Into<String>) -> Self {
+        self.path = path.into();
+        self
+    }
+
+    /// Sets the `HttpOnly` attribute (builder style).
+    #[must_use]
+    pub fn http_only(mut self) -> Self {
+        self.http_only = true;
+        self
+    }
+
+    /// Parses a `Set-Cookie` header value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidCookie`] when the leading `name=value` pair is
+    /// missing or the name is empty.
+    pub fn parse(header_value: &str) -> Result<Self, NetError> {
+        let mut parts = header_value.split(';');
+        let first = parts
+            .next()
+            .ok_or_else(|| NetError::InvalidCookie(header_value.to_string()))?;
+        let (name, value) = first
+            .split_once('=')
+            .ok_or_else(|| NetError::InvalidCookie(header_value.to_string()))?;
+        let name = name.trim();
+        if name.is_empty() {
+            return Err(NetError::InvalidCookie(header_value.to_string()));
+        }
+        let mut cookie = SetCookie::new(name, value.trim());
+        for attr in parts {
+            let attr = attr.trim();
+            let (key, val) = attr.split_once('=').unwrap_or((attr, ""));
+            match key.to_ascii_lowercase().as_str() {
+                "domain" => cookie.domain = Some(val.trim().trim_start_matches('.').to_string()),
+                "path" => cookie.path = val.trim().to_string(),
+                "secure" => cookie.secure = true,
+                "httponly" => cookie.http_only = true,
+                _ => {}
+            }
+        }
+        if cookie.path.is_empty() {
+            cookie.path = "/".to_string();
+        }
+        Ok(cookie)
+    }
+
+    /// Serializes the directive as a `Set-Cookie` header value.
+    #[must_use]
+    pub fn to_header_value(&self) -> String {
+        let mut out = format!("{}={}", self.name, self.value);
+        if let Some(domain) = &self.domain {
+            out.push_str("; Domain=");
+            out.push_str(domain);
+        }
+        out.push_str("; Path=");
+        out.push_str(&self.path);
+        if self.secure {
+            out.push_str("; Secure");
+        }
+        if self.http_only {
+            out.push_str("; HttpOnly");
+        }
+        out
+    }
+}
+
+impl fmt::Display for SetCookie {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_header_value())
+    }
+}
+
+/// A cookie as stored in the jar: the `Set-Cookie` data plus the host that set it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cookie {
+    /// Cookie name.
+    pub name: String,
+    /// Cookie value.
+    pub value: String,
+    /// The host the cookie belongs to (from the setting response's URL, or the
+    /// `Domain` attribute).
+    pub host: String,
+    /// The scheme of the setting response (used with `Secure`).
+    pub scheme: String,
+    /// The port of the setting origin. Classic cookies ignore the port; it is kept for
+    /// bookkeeping and for deriving the cookie's ESCUDO origin.
+    pub port: u16,
+    /// `Path` scope.
+    pub path: String,
+    /// `Secure` attribute.
+    pub secure: bool,
+    /// `HttpOnly` attribute.
+    pub http_only: bool,
+}
+
+impl Cookie {
+    /// Builds a stored cookie from a `Set-Cookie` directive and the origin that sent it.
+    #[must_use]
+    pub fn from_set_cookie(directive: &SetCookie, scheme: &str, host: &str, port: u16) -> Self {
+        Cookie {
+            name: directive.name.clone(),
+            value: directive.value.clone(),
+            host: directive
+                .domain
+                .clone()
+                .unwrap_or_else(|| host.to_string())
+                .to_ascii_lowercase(),
+            scheme: scheme.to_ascii_lowercase(),
+            port,
+            path: directive.path.clone(),
+            secure: directive.secure,
+            http_only: directive.http_only,
+        }
+    }
+
+    /// Whether this cookie is in scope for a request to `host` + `path` over `scheme`.
+    /// (This is *scope matching only* — whether the cookie is actually attached is a
+    /// separate, policy-mediated decision.)
+    #[must_use]
+    pub fn in_scope(&self, scheme: &str, host: &str, path: &str) -> bool {
+        if self.secure && !scheme.eq_ignore_ascii_case("https") {
+            return false;
+        }
+        if !domain_matches(&self.host, host) {
+            return false;
+        }
+        path_matches(&self.path, path)
+    }
+
+    /// The cookie's ESCUDO origin (the origin of the application that created it).
+    #[must_use]
+    pub fn origin(&self) -> escudo_core::Origin {
+        escudo_core::Origin::new(&self.scheme, &self.host, self.port)
+    }
+
+    /// The `name=value` pair used in the `Cookie` request header.
+    #[must_use]
+    pub fn to_cookie_pair(&self) -> String {
+        format!("{}={}", self.name, self.value)
+    }
+}
+
+/// RFC-6265-style domain matching: exact match, or the request host is a subdomain of
+/// the cookie domain.
+fn domain_matches(cookie_host: &str, request_host: &str) -> bool {
+    let cookie_host = cookie_host.to_ascii_lowercase();
+    let request_host = request_host.to_ascii_lowercase();
+    request_host == cookie_host || request_host.ends_with(&format!(".{cookie_host}"))
+}
+
+/// RFC-6265-style path matching.
+fn path_matches(cookie_path: &str, request_path: &str) -> bool {
+    if cookie_path == "/" || cookie_path == request_path {
+        return true;
+    }
+    if let Some(rest) = request_path.strip_prefix(cookie_path) {
+        return cookie_path.ends_with('/') || rest.starts_with('/');
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parse_simple_set_cookie() {
+        let c = SetCookie::parse("phpbb2mysql_sid=abc123; Path=/; HttpOnly").unwrap();
+        assert_eq!(c.name, "phpbb2mysql_sid");
+        assert_eq!(c.value, "abc123");
+        assert_eq!(c.path, "/");
+        assert!(c.http_only);
+        assert!(!c.secure);
+    }
+
+    #[test]
+    fn parse_handles_domain_and_secure() {
+        let c = SetCookie::parse("sid=1; Domain=.example.com; Secure; Path=/app").unwrap();
+        assert_eq!(c.domain.as_deref(), Some("example.com"));
+        assert!(c.secure);
+        assert_eq!(c.path, "/app");
+    }
+
+    #[test]
+    fn parse_rejects_nameless_cookies() {
+        assert!(SetCookie::parse("=value").is_err());
+        assert!(SetCookie::parse("no-equals-sign").is_err());
+        assert!(SetCookie::parse("").is_err());
+    }
+
+    #[test]
+    fn header_value_roundtrip() {
+        let original = SetCookie::new("data", "x1").with_path("/forum").http_only();
+        let parsed = SetCookie::parse(&original.to_header_value()).unwrap();
+        assert_eq!(parsed.name, original.name);
+        assert_eq!(parsed.value, original.value);
+        assert_eq!(parsed.path, original.path);
+        assert_eq!(parsed.http_only, original.http_only);
+    }
+
+    #[test]
+    fn scope_matching_domain() {
+        let c = Cookie::from_set_cookie(&SetCookie::new("sid", "1"), "http", "forum.example", 80);
+        assert!(c.in_scope("http", "forum.example", "/"));
+        assert!(!c.in_scope("http", "evil.example", "/"));
+        assert!(!c.in_scope("http", "notforum.example", "/"));
+
+        let wide = Cookie::from_set_cookie(
+            &SetCookie {
+                domain: Some("example.com".into()),
+                ..SetCookie::new("sid", "1")
+            },
+            "http",
+            "www.example.com",
+            80,
+        );
+        assert!(wide.in_scope("http", "www.example.com", "/"));
+        assert!(wide.in_scope("http", "shop.example.com", "/"));
+        assert!(!wide.in_scope("http", "example.org", "/"));
+    }
+
+    #[test]
+    fn scope_matching_path_and_secure() {
+        let c = Cookie::from_set_cookie(
+            &SetCookie::new("sid", "1").with_path("/forum"),
+            "http",
+            "x.example",
+            80,
+        );
+        assert!(c.in_scope("http", "x.example", "/forum"));
+        assert!(c.in_scope("http", "x.example", "/forum/view"));
+        assert!(!c.in_scope("http", "x.example", "/forumother"));
+        assert!(!c.in_scope("http", "x.example", "/"));
+
+        let secure = Cookie::from_set_cookie(
+            &SetCookie {
+                secure: true,
+                ..SetCookie::new("sid", "1")
+            },
+            "https",
+            "x.example",
+            443,
+        );
+        assert!(secure.in_scope("https", "x.example", "/"));
+        assert!(!secure.in_scope("http", "x.example", "/"));
+    }
+
+    #[test]
+    fn cookie_origin_reflects_the_setting_site() {
+        let c = Cookie::from_set_cookie(&SetCookie::new("sid", "1"), "http", "Forum.Example", 80);
+        assert_eq!(c.origin(), escudo_core::Origin::new("http", "forum.example", 80));
+        assert_eq!(c.to_cookie_pair(), "sid=1");
+    }
+
+    proptest! {
+        #[test]
+        fn set_cookie_parser_never_panics(s in ".{0,80}") {
+            let _ = SetCookie::parse(&s);
+        }
+
+        #[test]
+        fn roundtrip_for_simple_cookies(
+            name in "[A-Za-z_][A-Za-z0-9_]{0,10}",
+            value in "[A-Za-z0-9]{0,16}",
+            path in "(/[a-z0-9]{0,5}){0,2}",
+            secure in proptest::bool::ANY,
+            http_only in proptest::bool::ANY
+        ) {
+            let path = if path.is_empty() { "/".to_string() } else { path };
+            let cookie = SetCookie {
+                name: name.clone(),
+                value: value.clone(),
+                domain: None,
+                path,
+                secure,
+                http_only,
+            };
+            let parsed = SetCookie::parse(&cookie.to_header_value()).unwrap();
+            prop_assert_eq!(parsed, cookie);
+        }
+    }
+}

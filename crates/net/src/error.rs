@@ -1,0 +1,66 @@
+//! Error types for the network substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use escudo_core::ConfigError;
+
+/// Errors produced by the in-memory network layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// A URL could not be parsed.
+    InvalidUrl(String),
+    /// A cookie string (`Set-Cookie` or `Cookie`) could not be parsed.
+    InvalidCookie(String),
+    /// No server is registered for the requested host.
+    HostUnreachable(String),
+    /// An HTTP method string was not recognized.
+    InvalidMethod(String),
+    /// An ESCUDO configuration carried in headers was malformed.
+    Config(ConfigError),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::InvalidUrl(s) => write!(f, "invalid url `{s}`"),
+            NetError::InvalidCookie(s) => write!(f, "invalid cookie `{s}`"),
+            NetError::HostUnreachable(host) => write!(f, "no server registered for `{host}`"),
+            NetError::InvalidMethod(m) => write!(f, "invalid http method `{m}`"),
+            NetError::Config(e) => write!(f, "configuration error: {e}"),
+        }
+    }
+}
+
+impl Error for NetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NetError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for NetError {
+    fn from(e: ConfigError) -> Self {
+        NetError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_good<E: Error + Send + Sync + 'static>() {}
+        assert_good::<NetError>();
+    }
+
+    #[test]
+    fn config_errors_are_wrapped_with_a_source() {
+        let e: NetError = ConfigError::InvalidRing("x".into()).into();
+        assert!(e.to_string().contains("invalid ring"));
+        assert!(e.source().is_some());
+    }
+}

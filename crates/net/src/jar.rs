@@ -1,0 +1,188 @@
+//! The browser's cookie store.
+//!
+//! The jar stores cookies and answers *scope* questions ("which cookies are candidates
+//! for this request?"). Whether a candidate is actually **attached** is the `use`
+//! operation of the ESCUDO model and is decided by the caller (the browser's reference
+//! monitor) through the filter passed to [`CookieJar::cookie_header_for`]. Under the
+//! same-origin-policy baseline the filter simply accepts everything, reproducing the
+//! legacy behaviour that makes CSRF possible.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cookie::{Cookie, SetCookie};
+use crate::url::Url;
+
+/// The browser-wide cookie store.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CookieJar {
+    cookies: Vec<Cookie>,
+}
+
+impl CookieJar {
+    /// Creates an empty jar.
+    #[must_use]
+    pub fn new() -> Self {
+        CookieJar::default()
+    }
+
+    /// Stores (or replaces) a cookie delivered by a response from `url`.
+    pub fn store(&mut self, url: &Url, directive: &SetCookie) {
+        let cookie = Cookie::from_set_cookie(directive, url.scheme(), url.host(), url.port());
+        // Replace an existing cookie with the same (name, host, path) triple.
+        if let Some(existing) = self.cookies.iter_mut().find(|c| {
+            c.name == cookie.name && c.host == cookie.host && c.path == cookie.path
+        }) {
+            *existing = cookie;
+        } else {
+            self.cookies.push(cookie);
+        }
+    }
+
+    /// All cookies whose scope matches a request to `url`, regardless of policy.
+    #[must_use]
+    pub fn candidates_for(&self, url: &Url) -> Vec<&Cookie> {
+        self.cookies
+            .iter()
+            .filter(|c| c.in_scope(url.scheme(), url.host(), url.path()))
+            .collect()
+    }
+
+    /// Builds the `Cookie` request-header value for a request to `url`, attaching only
+    /// the candidates accepted by `attach_filter` — the hook through which the ESCUDO
+    /// reference monitor enforces the `use` operation on each cookie.
+    ///
+    /// Returns `None` when no cookie survives the filter (no header should be sent).
+    pub fn cookie_header_for<F>(&self, url: &Url, mut attach_filter: F) -> Option<String>
+    where
+        F: FnMut(&Cookie) -> bool,
+    {
+        let attached: Vec<String> = self
+            .candidates_for(url)
+            .into_iter()
+            .filter(|c| attach_filter(c))
+            .map(Cookie::to_cookie_pair)
+            .collect();
+        if attached.is_empty() {
+            None
+        } else {
+            Some(attached.join("; "))
+        }
+    }
+
+    /// Looks up a stored cookie by host and name.
+    #[must_use]
+    pub fn get(&self, host: &str, name: &str) -> Option<&Cookie> {
+        self.cookies
+            .iter()
+            .find(|c| c.host.eq_ignore_ascii_case(host) && c.name == name)
+    }
+
+    /// Removes a cookie by host and name. Returns `true` if one was removed.
+    pub fn remove(&mut self, host: &str, name: &str) -> bool {
+        let before = self.cookies.len();
+        self.cookies
+            .retain(|c| !(c.host.eq_ignore_ascii_case(host) && c.name == name));
+        before != self.cookies.len()
+    }
+
+    /// Iterates over every stored cookie.
+    pub fn iter(&self) -> impl Iterator<Item = &Cookie> {
+        self.cookies.iter()
+    }
+
+    /// The number of stored cookies.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cookies.len()
+    }
+
+    /// `true` when no cookies are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cookies.is_empty()
+    }
+}
+
+impl fmt::Display for CookieJar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cookie jar with {} cookies", self.cookies.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn store_and_candidates() {
+        let mut jar = CookieJar::new();
+        jar.store(&url("http://forum.example/login"), &SetCookie::new("sid", "s1"));
+        jar.store(&url("http://forum.example/login"), &SetCookie::new("data", "d1"));
+        jar.store(&url("http://other.example/"), &SetCookie::new("sid", "o1"));
+
+        let candidates = jar.candidates_for(&url("http://forum.example/viewtopic.php"));
+        let names: Vec<&str> = candidates.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["sid", "data"]);
+        assert_eq!(jar.len(), 3);
+    }
+
+    #[test]
+    fn storing_again_replaces_the_value() {
+        let mut jar = CookieJar::new();
+        jar.store(&url("http://a.example/"), &SetCookie::new("sid", "old"));
+        jar.store(&url("http://a.example/"), &SetCookie::new("sid", "new"));
+        assert_eq!(jar.len(), 1);
+        assert_eq!(jar.get("a.example", "sid").unwrap().value, "new");
+    }
+
+    #[test]
+    fn header_respects_the_attach_filter() {
+        let mut jar = CookieJar::new();
+        jar.store(&url("http://forum.example/"), &SetCookie::new("sid", "s1"));
+        jar.store(&url("http://forum.example/"), &SetCookie::new("tracking", "t1"));
+
+        // Permissive filter (the SOP baseline): everything in scope is attached.
+        let header = jar
+            .cookie_header_for(&url("http://forum.example/post"), |_| true)
+            .unwrap();
+        assert!(header.contains("sid=s1"));
+        assert!(header.contains("tracking=t1"));
+
+        // Policy filter that only admits the tracking cookie.
+        let header = jar
+            .cookie_header_for(&url("http://forum.example/post"), |c| c.name == "tracking")
+            .unwrap();
+        assert_eq!(header, "tracking=t1");
+
+        // Filter that rejects everything: no Cookie header at all.
+        assert!(jar
+            .cookie_header_for(&url("http://forum.example/post"), |_| false)
+            .is_none());
+    }
+
+    #[test]
+    fn cross_site_requests_see_no_candidates() {
+        let mut jar = CookieJar::new();
+        jar.store(&url("http://forum.example/"), &SetCookie::new("sid", "s1"));
+        assert!(jar.candidates_for(&url("http://evil.example/")).is_empty());
+        // …but a request *to* forum.example triggered by evil.example still has the
+        // cookie in scope — that is exactly the CSRF problem ESCUDO's `use` check fixes.
+        assert_eq!(jar.candidates_for(&url("http://forum.example/post")).len(), 1);
+    }
+
+    #[test]
+    fn remove_and_empty() {
+        let mut jar = CookieJar::new();
+        assert!(jar.is_empty());
+        jar.store(&url("http://a.example/"), &SetCookie::new("x", "1"));
+        assert!(jar.remove("a.example", "x"));
+        assert!(!jar.remove("a.example", "x"));
+        assert!(jar.is_empty());
+    }
+}

@@ -1,0 +1,243 @@
+//! The in-memory network: a registry of servers keyed by origin, plus a request log.
+//!
+//! The log records every dispatched request together with the names of the cookies the
+//! browser attached; the defense-effectiveness experiments (§6.4) read it to determine
+//! whether a forged cross-site request carried the victim's session cookie.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use escudo_core::Origin;
+use serde::{Deserialize, Serialize};
+
+use crate::error::NetError;
+use crate::message::{Method, Request, Response};
+use crate::url::Url;
+
+/// A server-side request handler registered with the [`Network`].
+///
+/// The in-memory applications (`escudo-apps`) implement this to stand in for the
+/// PHP applications the paper modified.
+pub trait Server {
+    /// Handles one request and produces a response.
+    fn handle(&mut self, request: &Request) -> Response;
+}
+
+impl<F> Server for F
+where
+    F: FnMut(&Request) -> Response,
+{
+    fn handle(&mut self, request: &Request) -> Response {
+        self(request)
+    }
+}
+
+/// A log entry recorded for every dispatched request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoggedRequest {
+    /// The request method.
+    pub method: Method,
+    /// The full request URL.
+    pub url: Url,
+    /// Names of the cookies the browser attached to the request.
+    pub cookie_names: Vec<String>,
+    /// The response status that was returned.
+    pub status: u16,
+}
+
+impl fmt::Display for LoggedRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} [cookies: {}] -> {}",
+            self.method,
+            self.url,
+            if self.cookie_names.is_empty() {
+                "none".to_string()
+            } else {
+                self.cookie_names.join(", ")
+            },
+            self.status
+        )
+    }
+}
+
+/// The in-memory network: maps origins to servers and logs traffic.
+#[derive(Default)]
+pub struct Network {
+    servers: HashMap<Origin, Box<dyn Server>>,
+    log: Vec<LoggedRequest>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    #[must_use]
+    pub fn new() -> Self {
+        Network::default()
+    }
+
+    /// Registers a server for an origin given as a URL string (the path is ignored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin_url` cannot be parsed — registration happens at setup time
+    /// with literal URLs, so a parse failure is a programming error.
+    pub fn register<S: Server + 'static>(&mut self, origin_url: &str, server: S) {
+        let origin =
+            Origin::parse_url(origin_url).expect("network registration requires a valid origin URL");
+        self.servers.insert(origin, Box::new(server));
+    }
+
+    /// Registers a server for an already-parsed origin.
+    pub fn register_origin<S: Server + 'static>(&mut self, origin: Origin, server: S) {
+        self.servers.insert(origin, Box::new(server));
+    }
+
+    /// `true` when a server is registered for the origin of `url`.
+    #[must_use]
+    pub fn knows(&self, url: &Url) -> bool {
+        self.servers.contains_key(&url.origin())
+    }
+
+    /// Dispatches a request to the server registered for its origin, logging it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::HostUnreachable`] when no server is registered for the
+    /// request's origin.
+    pub fn dispatch(&mut self, request: Request) -> Result<Response, NetError> {
+        let origin = request.url.origin();
+        let server = self
+            .servers
+            .get_mut(&origin)
+            .ok_or_else(|| NetError::HostUnreachable(origin.to_string()))?;
+        let response = server.handle(&request);
+        self.log.push(LoggedRequest {
+            method: request.method,
+            url: request.url.clone(),
+            cookie_names: request.cookie_names(),
+            status: response.status.0,
+        });
+        Ok(response)
+    }
+
+    /// The request log, oldest first.
+    #[must_use]
+    pub fn log(&self) -> &[LoggedRequest] {
+        &self.log
+    }
+
+    /// Clears the request log (e.g. between experiment trials).
+    pub fn clear_log(&mut self) {
+        self.log.clear();
+    }
+
+    /// Convenience query: the log entries for requests sent to `host`.
+    #[must_use]
+    pub fn requests_to(&self, host: &str) -> Vec<&LoggedRequest> {
+        self.log
+            .iter()
+            .filter(|entry| entry.url.host().eq_ignore_ascii_case(host))
+            .collect()
+    }
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("origins", &self.servers.keys().collect::<Vec<_>>())
+            .field("logged_requests", &self.log.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::StatusCode;
+
+    fn echo_server(req: &Request) -> Response {
+        Response::ok_text(format!("{} {}", req.method, req.url.path()))
+    }
+
+    #[test]
+    fn dispatch_routes_by_origin() {
+        let mut net = Network::new();
+        net.register("http://a.example", echo_server);
+        net.register("http://b.example", |_req: &Request| {
+            Response::error(StatusCode::FORBIDDEN, "nope")
+        });
+
+        let ra = net.dispatch(Request::get("http://a.example/x").unwrap()).unwrap();
+        assert_eq!(ra.body, "GET /x");
+        let rb = net.dispatch(Request::get("http://b.example/y").unwrap()).unwrap();
+        assert_eq!(rb.status, StatusCode::FORBIDDEN);
+    }
+
+    #[test]
+    fn unknown_hosts_are_unreachable() {
+        let mut net = Network::new();
+        let err = net
+            .dispatch(Request::get("http://nowhere.example/").unwrap())
+            .unwrap_err();
+        assert!(matches!(err, NetError::HostUnreachable(_)));
+    }
+
+    #[test]
+    fn different_port_is_a_different_origin() {
+        let mut net = Network::new();
+        net.register("http://a.example:8080", echo_server);
+        assert!(net.dispatch(Request::get("http://a.example/").unwrap()).is_err());
+        assert!(net.dispatch(Request::get("http://a.example:8080/").unwrap()).is_ok());
+    }
+
+    #[test]
+    fn the_log_records_cookies_and_status() {
+        let mut net = Network::new();
+        net.register("http://forum.example", echo_server);
+        let req = Request::get("http://forum.example/post")
+            .unwrap()
+            .with_header("Cookie", "sid=abc; data=1");
+        net.dispatch(req).unwrap();
+        net.dispatch(Request::get("http://forum.example/plain").unwrap()).unwrap();
+
+        assert_eq!(net.log().len(), 2);
+        assert_eq!(net.log()[0].cookie_names, vec!["sid", "data"]);
+        assert!(net.log()[1].cookie_names.is_empty());
+        assert_eq!(net.requests_to("forum.example").len(), 2);
+        assert!(net.requests_to("other.example").is_empty());
+
+        net.clear_log();
+        assert!(net.log().is_empty());
+    }
+
+    #[test]
+    fn closures_can_be_servers_and_knows_reports_registration() {
+        let mut net = Network::new();
+        let mut hits = 0usize;
+        net.register("http://count.example", move |_req: &Request| {
+            hits += 1;
+            Response::ok_text(hits.to_string())
+        });
+        assert!(net.knows(&Url::parse("http://count.example/a").unwrap()));
+        assert!(!net.knows(&Url::parse("http://other.example/").unwrap()));
+        let first = net.dispatch(Request::get("http://count.example/").unwrap()).unwrap();
+        let second = net.dispatch(Request::get("http://count.example/").unwrap()).unwrap();
+        assert_eq!(first.body, "1");
+        assert_eq!(second.body, "2");
+    }
+
+    #[test]
+    fn logged_request_display_is_readable() {
+        let entry = LoggedRequest {
+            method: Method::Get,
+            url: Url::parse("http://forum.example/post?x=1").unwrap(),
+            cookie_names: vec!["sid".into()],
+            status: 200,
+        };
+        let s = entry.to_string();
+        assert!(s.contains("GET"));
+        assert!(s.contains("sid"));
+        assert!(s.contains("200"));
+    }
+}

@@ -1,0 +1,376 @@
+//! URL parsing for the subset of syntax the reproduction needs.
+
+use std::fmt;
+use std::str::FromStr;
+
+use escudo_core::Origin;
+use serde::{Deserialize, Serialize};
+
+use crate::error::NetError;
+
+/// A parsed absolute URL: `scheme://host[:port]/path[?query]`.
+///
+/// Fragments (`#…`) are parsed and discarded (they never reach the server). This is a
+/// purpose-built parser, not a WHATWG implementation; it covers everything the paper's
+/// applications and attacks use.
+///
+/// # Example
+///
+/// ```
+/// use escudo_net::Url;
+///
+/// let url = Url::parse("http://forum.example/posting.php?mode=reply&t=42")?;
+/// assert_eq!(url.host(), "forum.example");
+/// assert_eq!(url.path(), "/posting.php");
+/// assert_eq!(url.query_param("mode").as_deref(), Some("reply"));
+/// assert_eq!(url.origin().port(), 80);
+/// # Ok::<(), escudo_net::NetError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Url {
+    scheme: String,
+    host: String,
+    port: u16,
+    path: String,
+    query: String,
+}
+
+impl Url {
+    /// Parses an absolute URL.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidUrl`] when the scheme/host are missing or the port is
+    /// not numeric.
+    pub fn parse(input: &str) -> Result<Self, NetError> {
+        let input = input.trim();
+        let origin = Origin::parse_url(input).map_err(|_| NetError::InvalidUrl(input.to_string()))?;
+        let after_scheme = &input[input.find("://").map(|i| i + 3).unwrap_or(0)..];
+        let path_start = after_scheme.find(['/', '?', '#']);
+        let (path, query) = match path_start {
+            None => ("/".to_string(), String::new()),
+            Some(idx) => {
+                let rest = &after_scheme[idx..];
+                // Strip the fragment first.
+                let rest = rest.split('#').next().unwrap_or("");
+                match rest.split_once('?') {
+                    Some((p, q)) => (normalize_path(p), q.to_string()),
+                    None => (normalize_path(rest), String::new()),
+                }
+            }
+        };
+        Ok(Url {
+            scheme: origin.scheme().to_string(),
+            host: origin.host().to_string(),
+            port: origin.port(),
+            path,
+            query,
+        })
+    }
+
+    /// Builds a URL from components (used by page generators and tests).
+    #[must_use]
+    pub fn from_parts(scheme: &str, host: &str, port: u16, path: &str, query: &str) -> Self {
+        Url {
+            scheme: scheme.to_ascii_lowercase(),
+            host: host.to_ascii_lowercase(),
+            port,
+            path: normalize_path(path),
+            query: query.trim_start_matches('?').to_string(),
+        }
+    }
+
+    /// Resolves a possibly relative reference against this URL (enough of RFC 3986 for
+    /// the applications in this repo: absolute URLs, absolute paths, and relative
+    /// paths without `..` handling beyond simple cases).
+    #[must_use]
+    pub fn join(&self, reference: &str) -> Result<Url, NetError> {
+        let reference = reference.trim();
+        if reference.contains("://") {
+            return Url::parse(reference);
+        }
+        if let Some(rest) = reference.strip_prefix("//") {
+            return Url::parse(&format!("{}://{}", self.scheme, rest));
+        }
+        if reference.is_empty() {
+            return Ok(self.clone());
+        }
+        let (path_ref, query) = match reference.split_once('?') {
+            Some((p, q)) => (p, q.to_string()),
+            None => (reference, String::new()),
+        };
+        let path = if path_ref.starts_with('/') {
+            path_ref.to_string()
+        } else {
+            // Relative to the current directory.
+            let base = match self.path.rfind('/') {
+                Some(idx) => &self.path[..=idx],
+                None => "/",
+            };
+            format!("{base}{path_ref}")
+        };
+        Ok(Url {
+            scheme: self.scheme.clone(),
+            host: self.host.clone(),
+            port: self.port,
+            path: normalize_path(&path),
+            query,
+        })
+    }
+
+    /// The scheme, lower-cased.
+    #[must_use]
+    pub fn scheme(&self) -> &str {
+        &self.scheme
+    }
+
+    /// The host, lower-cased.
+    #[must_use]
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// The port (explicit or scheme default).
+    #[must_use]
+    pub const fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// The path, always starting with `/`.
+    #[must_use]
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// The raw query string (without the leading `?`).
+    #[must_use]
+    pub fn query(&self) -> &str {
+        &self.query
+    }
+
+    /// Looks up a query parameter by name (first occurrence), percent-decoding `+` to a
+    /// space and `%XX` escapes.
+    #[must_use]
+    pub fn query_param(&self, name: &str) -> Option<String> {
+        parse_query(&self.query)
+            .into_iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// All query parameters in order.
+    #[must_use]
+    pub fn query_params(&self) -> Vec<(String, String)> {
+        parse_query(&self.query)
+    }
+
+    /// The URL's origin.
+    #[must_use]
+    pub fn origin(&self) -> Origin {
+        Origin::new(&self.scheme, &self.host, self.port)
+    }
+}
+
+impl fmt::Display for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}://{}", self.scheme, self.host)?;
+        if self.port != escudo_core::origin::default_port(&self.scheme) {
+            write!(f, ":{}", self.port)?;
+        }
+        write!(f, "{}", self.path)?;
+        if !self.query.is_empty() {
+            write!(f, "?{}", self.query)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Url {
+    type Err = NetError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Url::parse(s)
+    }
+}
+
+fn normalize_path(path: &str) -> String {
+    if path.is_empty() {
+        "/".to_string()
+    } else if path.starts_with('/') {
+        path.to_string()
+    } else {
+        format!("/{path}")
+    }
+}
+
+/// Parses an `application/x-www-form-urlencoded` string into key/value pairs.
+#[must_use]
+pub fn parse_query(query: &str) -> Vec<(String, String)> {
+    query
+        .split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            let (k, v) = part.split_once('=').unwrap_or((part, ""));
+            (percent_decode(k), percent_decode(v))
+        })
+        .collect()
+}
+
+/// Encodes a string for use in a query string or form body.
+#[must_use]
+pub fn percent_encode(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for byte in input.bytes() {
+        match byte {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(byte as char)
+            }
+            b' ' => out.push('+'),
+            _ => out.push_str(&format!("%{byte:02X}")),
+        }
+    }
+    out
+}
+
+/// Decodes `+` and `%XX` escapes. Invalid escapes are passed through verbatim.
+#[must_use]
+pub fn percent_decode(input: &str) -> String {
+    let bytes = input.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() => {
+                let high = (bytes[i + 1] as char).to_digit(16);
+                let low = (bytes[i + 2] as char).to_digit(16);
+                match (high, low) {
+                    (Some(h), Some(l)) => {
+                        out.push((h * 16 + l) as u8);
+                        i += 3;
+                    }
+                    _ => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parses_full_urls() {
+        let url = Url::parse("https://shop.example:8443/cart/add?item=7&qty=2#frag").unwrap();
+        assert_eq!(url.scheme(), "https");
+        assert_eq!(url.host(), "shop.example");
+        assert_eq!(url.port(), 8443);
+        assert_eq!(url.path(), "/cart/add");
+        assert_eq!(url.query_param("item").as_deref(), Some("7"));
+        assert_eq!(url.query_param("qty").as_deref(), Some("2"));
+        assert_eq!(url.query_param("missing"), None);
+    }
+
+    #[test]
+    fn bare_host_gets_root_path_and_default_port() {
+        let url = Url::parse("http://example.com").unwrap();
+        assert_eq!(url.path(), "/");
+        assert_eq!(url.port(), 80);
+        assert_eq!(url.to_string(), "http://example.com/");
+    }
+
+    #[test]
+    fn display_omits_default_port_but_keeps_explicit_nonstandard_ports() {
+        let url = Url::parse("http://example.com:8080/a?b=c").unwrap();
+        assert_eq!(url.to_string(), "http://example.com:8080/a?b=c");
+        let url = Url::parse("https://example.com:443/a").unwrap();
+        assert_eq!(url.to_string(), "https://example.com/a");
+    }
+
+    #[test]
+    fn join_handles_absolute_and_relative_references() {
+        let base = Url::parse("http://forum.example/viewtopic.php?t=1").unwrap();
+        assert_eq!(
+            base.join("http://other.example/x").unwrap().host(),
+            "other.example"
+        );
+        assert_eq!(base.join("/posting.php").unwrap().path(), "/posting.php");
+        assert_eq!(base.join("style.css").unwrap().path(), "/style.css");
+        assert_eq!(
+            base.join("posting.php?mode=reply").unwrap().query_param("mode").as_deref(),
+            Some("reply")
+        );
+        assert_eq!(base.join("").unwrap(), base);
+    }
+
+    #[test]
+    fn origin_matches_core_origin_semantics() {
+        let url = Url::parse("HTTP://Example.COM/path").unwrap();
+        assert_eq!(url.origin(), Origin::new("http", "example.com", 80));
+    }
+
+    #[test]
+    fn invalid_urls_are_rejected() {
+        assert!(Url::parse("not a url").is_err());
+        assert!(Url::parse("http://").is_err());
+        assert!(Url::parse("").is_err());
+    }
+
+    #[test]
+    fn query_decoding_handles_plus_and_percent() {
+        let url = Url::parse("http://x.example/s?q=hello+world&msg=a%26b%3Dc").unwrap();
+        assert_eq!(url.query_param("q").as_deref(), Some("hello world"));
+        assert_eq!(url.query_param("msg").as_deref(), Some("a&b=c"));
+    }
+
+    #[test]
+    fn percent_encode_decode_roundtrip_examples() {
+        for s in ["hello world", "a&b=c", "<script>alert(1)</script>", "100%"] {
+            assert_eq!(percent_decode(&percent_encode(s)), s);
+        }
+    }
+
+    #[test]
+    fn malformed_percent_escapes_pass_through() {
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+        assert_eq!(percent_decode("%4"), "%4");
+    }
+
+    proptest! {
+        #[test]
+        fn percent_roundtrip(s in ".{0,40}") {
+            prop_assert_eq!(percent_decode(&percent_encode(&s)), s);
+        }
+
+        #[test]
+        fn parser_never_panics(s in ".{0,80}") {
+            let _ = Url::parse(&s);
+        }
+
+        #[test]
+        fn display_parse_roundtrip(
+            host in "[a-z][a-z0-9.]{0,15}",
+            port in 1u16..=u16::MAX,
+            path in "(/[a-z0-9._-]{0,8}){0,3}",
+            q in "[a-z0-9=&]{0,12}"
+        ) {
+            let url = Url::from_parts("http", &host, port, &path, &q);
+            let reparsed = Url::parse(&url.to_string()).unwrap();
+            prop_assert_eq!(reparsed, url);
+        }
+    }
+}

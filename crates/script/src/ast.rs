@@ -1,0 +1,279 @@
+//! The abstract syntax tree for the ECMAScript subset.
+
+use std::rc::Rc;
+
+/// Binary arithmetic / comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` (numeric addition or string concatenation)
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==` (loose)
+    Eq,
+    /// `!=` (loose)
+    NotEq,
+    /// `===`
+    StrictEq,
+    /// `!==`
+    StrictNotEq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+}
+
+/// Short-circuiting logical operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogicalOp {
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+    /// `typeof`
+    Typeof,
+    /// unary `+`
+    Plus,
+}
+
+/// Compound-assignment flavours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignOp {
+    /// `=`
+    Assign,
+    /// `+=`
+    Add,
+    /// `-=`
+    Sub,
+}
+
+/// `++` / `--`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// `++`
+    Increment,
+    /// `--`
+    Decrement,
+}
+
+/// A property key in a member expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemberKey {
+    /// `obj.name`
+    Static(String),
+    /// `obj[expr]`
+    Computed(Box<Expr>),
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Number(f64),
+    /// String literal.
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// `undefined`.
+    Undefined,
+    /// Identifier reference.
+    Ident(String),
+    /// Assignment to an identifier or member expression.
+    Assign {
+        /// The assignment target (identifier or member expression).
+        target: Box<Expr>,
+        /// The flavour (`=`, `+=`, `-=`).
+        op: AssignOp,
+        /// The right-hand side.
+        value: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Short-circuiting logical operation.
+    Logical {
+        /// Operator.
+        op: LogicalOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// `++x`, `x++`, `--x`, `x--`.
+    Update {
+        /// `++` or `--`.
+        op: UpdateOp,
+        /// `true` for the prefix form.
+        prefix: bool,
+        /// The target (identifier or member expression).
+        target: Box<Expr>,
+    },
+    /// Function call.
+    Call {
+        /// The callee expression (identifier or member expression).
+        callee: Box<Expr>,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// `new Callee(args)`.
+    New {
+        /// The constructor expression.
+        callee: Box<Expr>,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// Member access.
+    Member {
+        /// The object expression.
+        object: Box<Expr>,
+        /// The property key.
+        property: MemberKey,
+    },
+    /// `cond ? then : else`.
+    Conditional {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when truthy.
+        then: Box<Expr>,
+        /// Value when falsy.
+        otherwise: Box<Expr>,
+    },
+    /// Array literal.
+    Array(Vec<Expr>),
+    /// Object literal (`{key: value, …}`).
+    Object(Vec<(String, Expr)>),
+    /// Function expression.
+    Function {
+        /// Parameter names.
+        params: Vec<String>,
+        /// Body statements (shared so closures are cheap to clone).
+        body: Rc<Vec<Stmt>>,
+    },
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// An expression evaluated for its effects.
+    Expr(Expr),
+    /// `var` / `let` / `const` declaration (all treated as function-scoped `var`).
+    VarDecl {
+        /// Variable name.
+        name: String,
+        /// Optional initializer.
+        init: Option<Expr>,
+    },
+    /// Named function declaration.
+    FunctionDecl {
+        /// Function name.
+        name: String,
+        /// Parameter names.
+        params: Vec<String>,
+        /// Body statements.
+        body: Rc<Vec<Stmt>>,
+    },
+    /// `return` with an optional value.
+    Return(Option<Expr>),
+    /// `if` / `else`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Vec<Stmt>,
+        /// Optional else branch.
+        otherwise: Option<Vec<Stmt>>,
+    },
+    /// `while` loop.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// Classic `for (init; cond; update)` loop.
+    For {
+        /// Initializer statement.
+        init: Option<Box<Stmt>>,
+        /// Loop condition (defaults to true when omitted).
+        cond: Option<Expr>,
+        /// Update expression.
+        update: Option<Expr>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// A `{ … }` block.
+    Block(Vec<Stmt>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// An empty statement (`;`).
+    Empty,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ast_nodes_are_cloneable_and_comparable() {
+        let expr = Expr::Binary {
+            op: BinOp::Add,
+            left: Box::new(Expr::Number(1.0)),
+            right: Box::new(Expr::Str("x".into())),
+        };
+        assert_eq!(expr.clone(), expr);
+        let stmt = Stmt::Return(Some(expr));
+        assert_eq!(stmt.clone(), stmt);
+    }
+
+    #[test]
+    fn function_bodies_are_shared() {
+        let body = Rc::new(vec![Stmt::Return(None)]);
+        let f1 = Expr::Function {
+            params: vec!["a".into()],
+            body: Rc::clone(&body),
+        };
+        let f2 = f1.clone();
+        match (&f1, &f2) {
+            (Expr::Function { body: b1, .. }, Expr::Function { body: b2, .. }) => {
+                assert!(Rc::ptr_eq(b1, b2));
+            }
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,404 @@
+//! The tokenizer for the ECMAScript subset.
+
+use std::fmt;
+
+use crate::error::ScriptError;
+
+/// A script token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Numeric literal.
+    Number(f64),
+    /// String literal (quotes removed, escapes processed).
+    Str(String),
+    /// Identifier (not a keyword).
+    Ident(String),
+    // Keywords.
+    /// `var`
+    Var,
+    /// `let`
+    Let,
+    /// `const`
+    Const,
+    /// `function`
+    Function,
+    /// `return`
+    Return,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `null`
+    Null,
+    /// `undefined`
+    Undefined,
+    /// `new`
+    New,
+    /// `typeof`
+    Typeof,
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:`
+    Colon,
+    /// `?`
+    Question,
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `===`
+    EqEqEq,
+    /// `!==`
+    NotEqEq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Number(n) => write!(f, "{n}"),
+            Tok::Str(s) => write!(f, "\"{s}\""),
+            Tok::Ident(name) => write!(f, "{name}"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// Tokenizes a complete script.
+///
+/// # Errors
+///
+/// Returns [`ScriptError::Lex`] for unterminated strings/comments or unexpected
+/// characters.
+pub fn tokenize(source: &str) -> Result<Vec<Tok>, ScriptError> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+
+    while i < chars.len() {
+        let c = chars[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let start = i;
+            i += 2;
+            loop {
+                if i + 1 >= chars.len() {
+                    return Err(ScriptError::Lex {
+                        message: "unterminated block comment".into(),
+                        position: start,
+                    });
+                }
+                if chars[i] == '*' && chars[i + 1] == '/' {
+                    i += 2;
+                    break;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        // Strings.
+        if c == '"' || c == '\'' {
+            let quote = c;
+            let start = i;
+            i += 1;
+            let mut value = String::new();
+            loop {
+                if i >= chars.len() {
+                    return Err(ScriptError::Lex {
+                        message: "unterminated string literal".into(),
+                        position: start,
+                    });
+                }
+                let sc = chars[i];
+                if sc == quote {
+                    i += 1;
+                    break;
+                }
+                if sc == '\\' {
+                    i += 1;
+                    let escaped = chars.get(i).copied().ok_or(ScriptError::Lex {
+                        message: "unterminated escape sequence".into(),
+                        position: start,
+                    })?;
+                    value.push(match escaped {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        '0' => '\0',
+                        other => other,
+                    });
+                    i += 1;
+                    continue;
+                }
+                value.push(sc);
+                i += 1;
+            }
+            tokens.push(Tok::Str(value));
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() || (c == '.' && chars.get(i + 1).map_or(false, |d| d.is_ascii_digit()))
+        {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            let number = text.parse::<f64>().map_err(|_| ScriptError::Lex {
+                message: format!("invalid number literal `{text}`"),
+                position: start,
+            })?;
+            tokens.push(Tok::Number(number));
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' || c == '$' {
+            let start = i;
+            while i < chars.len()
+                && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '$')
+            {
+                i += 1;
+            }
+            let word: String = chars[start..i].iter().collect();
+            tokens.push(keyword_or_ident(&word));
+            continue;
+        }
+        // Operators and punctuation (longest match first).
+        let three: String = chars[i..chars.len().min(i + 3)].iter().collect();
+        if three == "===" {
+            tokens.push(Tok::EqEqEq);
+            i += 3;
+            continue;
+        }
+        if three == "!==" {
+            tokens.push(Tok::NotEqEq);
+            i += 3;
+            continue;
+        }
+        let two: String = chars[i..chars.len().min(i + 2)].iter().collect();
+        let matched_two = match two.as_str() {
+            "==" => Some(Tok::EqEq),
+            "!=" => Some(Tok::NotEq),
+            "<=" => Some(Tok::Le),
+            ">=" => Some(Tok::Ge),
+            "&&" => Some(Tok::AndAnd),
+            "||" => Some(Tok::OrOr),
+            "++" => Some(Tok::PlusPlus),
+            "--" => Some(Tok::MinusMinus),
+            "+=" => Some(Tok::PlusAssign),
+            "-=" => Some(Tok::MinusAssign),
+            _ => None,
+        };
+        if let Some(token) = matched_two {
+            tokens.push(token);
+            i += 2;
+            continue;
+        }
+        let single = match c {
+            '(' => Tok::LParen,
+            ')' => Tok::RParen,
+            '{' => Tok::LBrace,
+            '}' => Tok::RBrace,
+            '[' => Tok::LBracket,
+            ']' => Tok::RBracket,
+            ';' => Tok::Semi,
+            ',' => Tok::Comma,
+            '.' => Tok::Dot,
+            ':' => Tok::Colon,
+            '?' => Tok::Question,
+            '=' => Tok::Assign,
+            '+' => Tok::Plus,
+            '-' => Tok::Minus,
+            '*' => Tok::Star,
+            '/' => Tok::Slash,
+            '%' => Tok::Percent,
+            '<' => Tok::Lt,
+            '>' => Tok::Gt,
+            '!' => Tok::Not,
+            other => {
+                return Err(ScriptError::Lex {
+                    message: format!("unexpected character `{other}`"),
+                    position: i,
+                })
+            }
+        };
+        tokens.push(single);
+        i += 1;
+    }
+
+    tokens.push(Tok::Eof);
+    Ok(tokens)
+}
+
+fn keyword_or_ident(word: &str) -> Tok {
+    match word {
+        "var" => Tok::Var,
+        "let" => Tok::Let,
+        "const" => Tok::Const,
+        "function" => Tok::Function,
+        "return" => Tok::Return,
+        "if" => Tok::If,
+        "else" => Tok::Else,
+        "while" => Tok::While,
+        "for" => Tok::For,
+        "break" => Tok::Break,
+        "continue" => Tok::Continue,
+        "true" => Tok::True,
+        "false" => Tok::False,
+        "null" => Tok::Null,
+        "undefined" => Tok::Undefined,
+        "new" => Tok::New,
+        "typeof" => Tok::Typeof,
+        _ => Tok::Ident(word.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_representative_script() {
+        let tokens = tokenize("var x = document.getElementById('main'); x.innerHTML += \"<b>hi</b>\";").unwrap();
+        assert!(tokens.contains(&Tok::Var));
+        assert!(tokens.contains(&Tok::Ident("document".into())));
+        assert!(tokens.contains(&Tok::Dot));
+        assert!(tokens.contains(&Tok::Str("main".into())));
+        assert!(tokens.contains(&Tok::PlusAssign));
+        assert_eq!(*tokens.last().unwrap(), Tok::Eof);
+    }
+
+    #[test]
+    fn numbers_and_operators() {
+        let tokens = tokenize("1 + 2.5 * 3 === 8.5").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Tok::Number(1.0),
+                Tok::Plus,
+                Tok::Number(2.5),
+                Tok::Star,
+                Tok::Number(3.0),
+                Tok::EqEqEq,
+                Tok::Number(8.5),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        let tokens = tokenize(r#"'a\'b' "c\n\t\\d""#).unwrap();
+        assert_eq!(tokens[0], Tok::Str("a'b".into()));
+        assert_eq!(tokens[1], Tok::Str("c\n\t\\d".into()));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let tokens = tokenize("var a = 1; // trailing\n/* block\ncomment */ var b = 2;").unwrap();
+        let idents: Vec<&Tok> = tokens.iter().filter(|t| matches!(t, Tok::Ident(_))).collect();
+        assert_eq!(idents.len(), 2);
+    }
+
+    #[test]
+    fn keywords_are_distinguished_from_identifiers() {
+        let tokens = tokenize("function functionName(newValue) { return typeof newValue; }").unwrap();
+        assert_eq!(tokens[0], Tok::Function);
+        assert_eq!(tokens[1], Tok::Ident("functionName".into()));
+        assert!(tokens.contains(&Tok::Ident("newValue".into())));
+        assert!(tokens.contains(&Tok::Typeof));
+    }
+
+    #[test]
+    fn errors_for_unterminated_constructs() {
+        assert!(matches!(tokenize("'open"), Err(ScriptError::Lex { .. })));
+        assert!(matches!(tokenize("/* open"), Err(ScriptError::Lex { .. })));
+        assert!(matches!(tokenize("var x = @;"), Err(ScriptError::Lex { .. })));
+    }
+
+    #[test]
+    fn increment_decrement_and_comparisons() {
+        let tokens = tokenize("i++; j--; a <= b; c >= d; e != f; g !== h;").unwrap();
+        assert!(tokens.contains(&Tok::PlusPlus));
+        assert!(tokens.contains(&Tok::MinusMinus));
+        assert!(tokens.contains(&Tok::Le));
+        assert!(tokens.contains(&Tok::Ge));
+        assert!(tokens.contains(&Tok::NotEq));
+        assert!(tokens.contains(&Tok::NotEqEq));
+    }
+}

@@ -1,0 +1,48 @@
+//! The introduction's advertising scenario.
+//!
+//! A publisher leases part of the blog page to an advertising network. With the
+//! same-origin policy the publisher "has no further control over what appears in that
+//! ad space"; with ESCUDO the ad slot is simply placed in ring 2, so a malicious
+//! advertisement can restyle itself but cannot rewrite the publisher's content, read
+//! the session cookie, or talk to the server with the reader's authority.
+//!
+//! Run with: `cargo run --example ad_sandbox`
+
+use escudo::apps::BlogApp;
+use escudo::browser::{Browser, PolicyMode};
+
+const MALICIOUS_AD: &str = "\
+    var slot = document.getElementById('ad-slot-text');\
+    if (slot != null) { slot.innerHTML = 'TOTALLY LEGIT AD'; }\
+    document.getElementById('post-body').innerHTML = 'The publisher endorses our pills!';";
+
+fn main() {
+    for mode in [PolicyMode::SameOriginOnly, PolicyMode::Escudo] {
+        println!("== {mode} ==");
+        let mut browser = Browser::new(mode);
+        browser
+            .network_mut()
+            .register("http://blog.example", BlogApp::new().with_ad_script(MALICIOUS_AD));
+        browser.navigate("http://blog.example/login?user=reader").unwrap();
+        let page = browser.navigate("http://blog.example/").unwrap();
+
+        println!(
+            "  ad slot text:  {:?}",
+            browser.page(page).text_of("ad-slot-text").unwrap_or_default()
+        );
+        println!(
+            "  post body:     {:?}",
+            browser.page(page).text_of("post-body").unwrap_or_default()
+        );
+        for outcome in &browser.page(page).script_outcomes {
+            if let Err(error) = &outcome.result {
+                println!("  ad script stopped: {error}");
+            }
+        }
+        println!();
+    }
+
+    println!("The ring-2 advertisement may update its own slot, but the moment it reaches for");
+    println!("the publisher's ring-1 content the write is denied — the publisher no longer has");
+    println!("to trust the advertising network's verifier.");
+}

@@ -1,0 +1,43 @@
+//! The §6.4 defense-effectiveness experiment, narrated for the phpBB-like forum.
+//!
+//! Stages the four XSS attacks and five CSRF attacks against the forum under both the
+//! same-origin-policy baseline and ESCUDO, and prints what happened to the server-side
+//! state in each case.
+//!
+//! Run with: `cargo run --example forum_attack_demo`
+
+use escudo::apps::attacks::{forum_csrf_attacks, forum_xss_attacks};
+use escudo::apps::evaluate::{run_csrf, run_xss};
+use escudo::browser::PolicyMode;
+
+fn main() {
+    println!("phpBB-like forum: staged attacks (input validation and token checks disabled)");
+    println!("{}", "-".repeat(78));
+
+    println!("\nCross-site scripting (4 attacks):");
+    for attack in forum_xss_attacks() {
+        let sop = run_xss(PolicyMode::SameOriginOnly, &attack);
+        let escudo = run_xss(PolicyMode::Escudo, &attack);
+        print_pair(attack.name, sop.succeeded, escudo.succeeded, escudo.denials);
+    }
+
+    println!("\nCross-site request forgery (5 attacks):");
+    for attack in forum_csrf_attacks() {
+        let sop = run_csrf(PolicyMode::SameOriginOnly, &attack);
+        let escudo = run_csrf(PolicyMode::Escudo, &attack);
+        print_pair(attack.name, sop.succeeded, escudo.succeeded, escudo.denials);
+    }
+
+    println!("\nEvery attack that succeeds under the same-origin policy is neutralized by ESCUDO,");
+    println!("matching the paper: \"All the attacks were neutralized in the presence of ESCUDO.\"");
+}
+
+fn print_pair(name: &str, sop_succeeded: bool, escudo_succeeded: bool, denials: u64) {
+    println!(
+        "  {:<62} SOP: {:<9} ESCUDO: {} ({} denials)",
+        name,
+        if sop_succeeded { "succeeds" } else { "blocked" },
+        if escudo_succeeded { "SUCCEEDS (unexpected!)" } else { "neutralized" },
+        denials
+    );
+}
