@@ -106,7 +106,9 @@ impl Server for AttackerSite {
         match request.url.path() {
             "/" | "/csrf" => Response::ok_html(self.csrf_page()),
             "/steal" => {
-                self.stolen.borrow_mut().push(request.url.query().to_string());
+                self.stolen
+                    .borrow_mut()
+                    .push(request.url.query().to_string());
                 Response::ok_text("thanks")
             }
             _ => Response::error(StatusCode::NOT_FOUND, "not found"),
@@ -129,7 +131,10 @@ mod tests {
 
         let mut form_site = AttackerSite::with_csrf(CsrfVector::FormPost {
             target: "http://forum.example/posting.php".to_string(),
-            fields: vec![("mode".into(), "post".into()), ("subject".into(), "spam".into())],
+            fields: vec![
+                ("mode".into(), "post".into()),
+                ("subject".into(), "spam".into()),
+            ],
         });
         let page = form_site.handle(&Request::get("http://evil.example/csrf").unwrap());
         assert!(page.body.contains("id=\"csrf-form\""));
@@ -145,7 +150,8 @@ mod tests {
         assert_eq!(stolen.borrow().len(), 2);
         assert!(stolen.borrow()[0].contains("phpbb2mysql_sid"));
         assert_eq!(
-            site.handle(&Request::get("http://evil.example/other").unwrap()).status,
+            site.handle(&Request::get("http://evil.example/other").unwrap())
+                .status,
             StatusCode::NOT_FOUND
         );
     }

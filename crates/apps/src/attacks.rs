@@ -6,12 +6,10 @@
 //! defenses (input validation, secret tokens) switched off so the attacks actually
 //! reach the browser.
 
-use serde::{Deserialize, Serialize};
-
 use crate::attacker::CsrfVector;
 
 /// Which application an attack targets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TargetApp {
     /// The phpBB-like forum.
     Forum,
@@ -20,7 +18,7 @@ pub enum TargetApp {
 }
 
 /// The class of attack.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AttackKind {
     /// Cross-site scripting.
     Xss,
@@ -29,7 +27,7 @@ pub enum AttackKind {
 }
 
 /// What an XSS payload tries to achieve — and how the harness checks whether it did.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum XssGoal {
     /// Issue a state-changing request (new topic / new event) on behalf of the victim
     /// via `XMLHttpRequest`, riding on the victim's session.
@@ -378,8 +376,12 @@ mod tests {
     #[test]
     fn csrf_attacks_use_both_get_and_post_vectors() {
         for attacks in [forum_csrf_attacks(), calendar_csrf_attacks()] {
-            assert!(attacks.iter().any(|a| matches!(a.vector, CsrfVector::ImageGet { .. })));
-            assert!(attacks.iter().any(|a| matches!(a.vector, CsrfVector::FormPost { .. })));
+            assert!(attacks
+                .iter()
+                .any(|a| matches!(a.vector, CsrfVector::ImageGet { .. })));
+            assert!(attacks
+                .iter()
+                .any(|a| matches!(a.vector, CsrfVector::FormPost { .. })));
         }
     }
 }

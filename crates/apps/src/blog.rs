@@ -124,7 +124,10 @@ impl BlogApp {
             Ring::new(1),
             Acl::uniform(Ring::new(1)),
             "id=\"post\"",
-            &format!("<h1>Today's post</h1><p id=\"post-body\">{}</p>", html_escape(&state.post)),
+            &format!(
+                "<h1>Today's post</h1><p id=\"post-body\">{}</p>",
+                html_escape(&state.post)
+            ),
         );
 
         // The leased advertising slot: ring 2 — it may restyle itself but cannot touch
@@ -151,7 +154,11 @@ impl BlogApp {
                 Ring::new(3),
                 Acl::new(Ring::new(2), Ring::new(2), Ring::new(2)),
                 &format!("id=\"comment-{}\" class=\"comment\"", comment.id),
-                &format!("<span class=\"author\">{}</span>: {}", html_escape(&comment.author), body),
+                &format!(
+                    "<span class=\"author\">{}</span>: {}",
+                    html_escape(&comment.author),
+                    body
+                ),
             ));
         }
 
@@ -168,7 +175,13 @@ impl BlogApp {
                  </form>"
             ),
         );
-        let body = markup.region_with_tag("body", Ring::new(1), Acl::uniform(Ring::new(1)), "", &app_region);
+        let body = markup.region_with_tag(
+            "body",
+            Ring::new(1),
+            Acl::uniform(Ring::new(1)),
+            "",
+            &app_region,
+        );
         drop(state);
         self.with_policies(Response::ok_html(format!(
             "<!DOCTYPE html><html><head><title>Blog</title></head>{body}</html>"
@@ -186,7 +199,9 @@ impl Server for BlogApp {
     fn handle(&mut self, request: &Request) -> Response {
         match request.url.path() {
             "/login" | "/login.php" => {
-                let user = request.param("user").unwrap_or_else(|| "reader".to_string());
+                let user = request
+                    .param("user")
+                    .unwrap_or_else(|| "reader".to_string());
                 let sid = self.state.borrow_mut().sessions.create(&user);
                 self.with_policies(
                     Response::redirect("/").with_cookie(SetCookie::new(BLOG_COOKIE, sid)),
@@ -194,7 +209,9 @@ impl Server for BlogApp {
             }
             "/" | "/index.php" => self.render_page(),
             "/comment" => {
-                let author = request.param("author").unwrap_or_else(|| "anonymous".to_string());
+                let author = request
+                    .param("author")
+                    .unwrap_or_else(|| "anonymous".to_string());
                 let body = request.param("body").unwrap_or_default();
                 let mut state = self.state.borrow_mut();
                 let id = state.comments.len() + 1;
@@ -227,8 +244,11 @@ mod tests {
     fn comments_are_stored_and_rendered_in_ring_3() {
         let mut app = BlogApp::new();
         app.handle(
-            &Request::post_form("http://blog.example/comment", &[("author", "eve"), ("body", "<script>x()</script>")])
-                .unwrap(),
+            &Request::post_form(
+                "http://blog.example/comment",
+                &[("author", "eve"), ("body", "<script>x()</script>")],
+            )
+            .unwrap(),
         );
         assert_eq!(app.state().borrow().comments.len(), 1);
         let page = app.handle(&Request::get("http://blog.example/").unwrap());
@@ -256,7 +276,8 @@ mod tests {
         let response = app.handle(&Request::get("http://blog.example/login?user=reader").unwrap());
         assert_eq!(response.set_cookies().len(), 1);
         assert_eq!(
-            app.handle(&Request::get("http://blog.example/missing").unwrap()).status,
+            app.handle(&Request::get("http://blog.example/missing").unwrap())
+                .status,
             StatusCode::NOT_FOUND
         );
     }

@@ -13,7 +13,6 @@ use std::rc::Rc;
 use escudo_core::config::{ApiPolicy, CookiePolicy, NativeApi};
 use escudo_core::{Acl, Ring};
 use escudo_net::{Request, Response, Server, SetCookie, StatusCode};
-use serde::{Deserialize, Serialize};
 
 use crate::forum::{EscudoConfigRow, RequirementRow};
 use crate::markup::AcMarkup;
@@ -24,7 +23,7 @@ use crate::template::html_escape;
 pub const SESSION_COOKIE: &str = "phpc_session";
 
 /// Configuration of the calendar application (same switches as the forum).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CalendarConfig {
     /// Emit the ESCUDO configuration.
     pub escudo: bool,
@@ -73,7 +72,7 @@ impl CalendarConfig {
 }
 
 /// A calendar event.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Event {
     /// Event id.
     pub id: usize,
@@ -119,7 +118,9 @@ pub struct CalendarApp {
 
 impl fmt::Debug for CalendarApp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("CalendarApp").field("config", &self.config).finish()
+        f.debug_struct("CalendarApp")
+            .field("config", &self.config)
+            .finish()
     }
 }
 
@@ -162,10 +163,30 @@ impl CalendarApp {
     #[must_use]
     pub fn escudo_config() -> Vec<EscudoConfigRow> {
         vec![
-            EscudoConfigRow { resource: "Cookies", ring: 1, read: 1, write: 1 },
-            EscudoConfigRow { resource: "XMLHttpRequest", ring: 1, read: 1, write: 1 },
-            EscudoConfigRow { resource: "Application content", ring: 1, read: 1, write: 1 },
-            EscudoConfigRow { resource: "Calendar events", ring: 3, read: 2, write: 2 },
+            EscudoConfigRow {
+                resource: "Cookies",
+                ring: 1,
+                read: 1,
+                write: 1,
+            },
+            EscudoConfigRow {
+                resource: "XMLHttpRequest",
+                ring: 1,
+                read: 1,
+                write: 1,
+            },
+            EscudoConfigRow {
+                resource: "Application content",
+                ring: 1,
+                read: 1,
+                write: 1,
+            },
+            EscudoConfigRow {
+                resource: "Calendar events",
+                ring: 3,
+                read: 2,
+                write: 2,
+            },
         ]
     }
 
@@ -179,7 +200,11 @@ impl CalendarApp {
 
     fn session_user(&self, request: &Request) -> Option<String> {
         let sid = request.cookie(SESSION_COOKIE)?;
-        self.state.borrow().sessions.get(&sid).map(|s| s.user.clone())
+        self.state
+            .borrow()
+            .sessions
+            .get(&sid)
+            .map(|s| s.user.clone())
     }
 
     fn with_policies(&self, response: Response) -> Response {
@@ -188,7 +213,8 @@ impl CalendarApp {
         }
         response
             .with_cookie_policy(
-                &CookiePolicy::new(SESSION_COOKIE, Ring::new(1)).with_acl(Acl::uniform(Ring::new(1))),
+                &CookiePolicy::new(SESSION_COOKIE, Ring::new(1))
+                    .with_acl(Acl::uniform(Ring::new(1))),
             )
             .with_api_policy(&ApiPolicy::new(NativeApi::XmlHttpRequest, Ring::new(1)))
             .with_api_policy(&ApiPolicy::new(NativeApi::CookieApi, Ring::new(1)))
@@ -217,9 +243,14 @@ impl CalendarApp {
                  <div id=\"month-view\">{inner}</div>"
             ),
         );
-        let body = markup.region_with_tag("body", Ring::new(1), Acl::uniform(Ring::new(1)), "", &app_region);
-        let html =
-            format!("<!DOCTYPE html><html><head><title>{title}</title></head>{body}</html>");
+        let body = markup.region_with_tag(
+            "body",
+            Ring::new(1),
+            Acl::uniform(Ring::new(1)),
+            "",
+            &app_region,
+        );
+        let html = format!("<!DOCTYPE html><html><head><title>{title}</title></head>{body}</html>");
         self.with_policies(Response::ok_html(html))
     }
 
@@ -268,7 +299,9 @@ impl CalendarApp {
         let Some(user) = self.session_user(request) else {
             return Response::error(StatusCode::FORBIDDEN, "not logged in");
         };
-        let title = request.param("title").unwrap_or_else(|| "untitled".to_string());
+        let title = request
+            .param("title")
+            .unwrap_or_else(|| "untitled".to_string());
         let description = request.param("description").unwrap_or_default();
         let day = request
             .param("day")
@@ -334,7 +367,9 @@ mod tests {
     }
 
     fn with_session(mut request: Request, sid: &str) -> Request {
-        request.headers.set("Cookie", format!("{SESSION_COOKIE}={sid}"));
+        request
+            .headers
+            .set("Cookie", format!("{SESSION_COOKIE}={sid}"));
         request
     }
 
@@ -343,7 +378,11 @@ mod tests {
         let mut app = CalendarApp::new(CalendarConfig::vulnerable());
         assert_eq!(
             app.handle(
-                &Request::post_form("http://calendar.example/index.php", &[("action", "add"), ("title", "x")]).unwrap()
+                &Request::post_form(
+                    "http://calendar.example/index.php",
+                    &[("action", "add"), ("title", "x")]
+                )
+                .unwrap()
             )
             .status,
             StatusCode::FORBIDDEN
@@ -353,7 +392,12 @@ mod tests {
         app.handle(&with_session(
             Request::post_form(
                 "http://calendar.example/index.php",
-                &[("action", "add"), ("title", "Standup"), ("day", "5"), ("description", "daily sync")],
+                &[
+                    ("action", "add"),
+                    ("title", "Standup"),
+                    ("day", "5"),
+                    ("description", "daily sync"),
+                ],
             )
             .unwrap(),
             &sid,
@@ -364,7 +408,11 @@ mod tests {
         app.handle(&with_session(
             Request::post_form(
                 "http://calendar.example/index.php",
-                &[("action", "edit"), ("id", "1"), ("description", "moved to 10am")],
+                &[
+                    ("action", "edit"),
+                    ("id", "1"),
+                    ("description", "moved to 10am"),
+                ],
             )
             .unwrap(),
             &sid,
@@ -379,7 +427,11 @@ mod tests {
         app.handle(&with_session(
             Request::post_form(
                 "http://calendar.example/index.php",
-                &[("action", "add"), ("title", "T"), ("description", "<i>markup</i>")],
+                &[
+                    ("action", "add"),
+                    ("title", "T"),
+                    ("description", "<i>markup</i>"),
+                ],
             )
             .unwrap(),
             &sid,
@@ -402,7 +454,11 @@ mod tests {
         app.handle(&with_session(
             Request::post_form(
                 "http://calendar.example/index.php",
-                &[("action", "add"), ("title", "T"), ("description", "<script>x()</script>")],
+                &[
+                    ("action", "add"),
+                    ("title", "T"),
+                    ("description", "<script>x()</script>"),
+                ],
             )
             .unwrap(),
             &sid,
@@ -434,7 +490,10 @@ mod tests {
         assert!(requirements[0].access_xhr);
         assert!(!requirements[1].access_xhr);
         let config = CalendarApp::escudo_config();
-        let events = config.iter().find(|r| r.resource == "Calendar events").unwrap();
+        let events = config
+            .iter()
+            .find(|r| r.resource == "Calendar events")
+            .unwrap();
         assert_eq!((events.ring, events.read, events.write), (3, 2, 2));
     }
 
@@ -442,7 +501,8 @@ mod tests {
     fn unknown_routes_and_missing_events() {
         let mut app = CalendarApp::new(CalendarConfig::default());
         assert_eq!(
-            app.handle(&Request::get("http://calendar.example/nope.php").unwrap()).status,
+            app.handle(&Request::get("http://calendar.example/nope.php").unwrap())
+                .status,
             StatusCode::NOT_FOUND
         );
         let sid = login(&mut app, "alice");

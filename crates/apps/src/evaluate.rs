@@ -12,7 +12,6 @@ use std::fmt;
 
 use escudo_browser::{Browser, PolicyMode};
 use escudo_dom::EventType;
-use serde::{Deserialize, Serialize};
 
 use crate::attacker::{AttackerSite, CsrfVector};
 use crate::attacks::{
@@ -22,7 +21,7 @@ use crate::calendar::{CalendarApp, CalendarConfig, Event, SESSION_COOKIE};
 use crate::forum::{ForumApp, ForumConfig, Reply, Topic, SID_COOKIE};
 
 /// The outcome of staging one attack under one policy mode.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AttackResult {
     /// Attack identifier (e.g. `forum-xss-1`).
     pub id: String,
@@ -47,14 +46,18 @@ impl fmt::Display for AttackResult {
             "{:<16} [{:<11}] {:>12}: {}",
             self.id,
             self.mode,
-            if self.succeeded { "SUCCEEDED" } else { "neutralized" },
+            if self.succeeded {
+                "SUCCEEDED"
+            } else {
+                "neutralized"
+            },
             self.name
         )
     }
 }
 
 /// The full §6.4 experiment: every attack under both policy modes.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DefenseReport {
     /// All results (one per attack per mode).
     pub results: Vec<AttackResult>,
@@ -113,8 +116,12 @@ fn run_forum_xss(mode: PolicyMode, attack: &XssAttack) -> AttackResult {
     let stolen = attacker.stolen();
 
     let mut browser = Browser::new(mode);
-    browser.network_mut().register("http://forum.example", forum);
-    browser.network_mut().register("http://evil.example", attacker);
+    browser
+        .network_mut()
+        .register("http://forum.example", forum);
+    browser
+        .network_mut()
+        .register("http://evil.example", attacker);
 
     // The victim logs in, establishing the session cookie ESCUDO protects.
     browser
@@ -181,7 +188,9 @@ fn run_calendar_xss(mode: PolicyMode, attack: &XssAttack) -> AttackResult {
     browser
         .network_mut()
         .register("http://calendar.example", calendar);
-    browser.network_mut().register("http://evil.example", attacker);
+    browser
+        .network_mut()
+        .register("http://evil.example", attacker);
 
     browser
         .navigate("http://calendar.example/login.php?user=victim")
@@ -253,8 +262,12 @@ fn run_forum_csrf(mode: PolicyMode, attack: &CsrfAttack) -> AttackResult {
     let attacker = AttackerSite::with_csrf(attack.vector.clone());
 
     let mut browser = Browser::new(mode);
-    browser.network_mut().register("http://forum.example", forum);
-    browser.network_mut().register("http://evil.example", attacker);
+    browser
+        .network_mut()
+        .register("http://forum.example", forum);
+    browser
+        .network_mut()
+        .register("http://evil.example", attacker);
 
     // The victim has an active session with the trusted site…
     browser
@@ -303,7 +316,9 @@ fn run_calendar_csrf(mode: PolicyMode, attack: &CsrfAttack) -> AttackResult {
     browser
         .network_mut()
         .register("http://calendar.example", calendar);
-    browser.network_mut().register("http://evil.example", attacker);
+    browser
+        .network_mut()
+        .register("http://evil.example", attacker);
 
     browser
         .navigate("http://calendar.example/login.php?user=victim")
@@ -371,9 +386,17 @@ mod tests {
     fn forum_xss_attacks_succeed_under_sop_and_are_neutralized_by_escudo() {
         for attack in forum_xss_attacks() {
             let sop = run_xss(PolicyMode::SameOriginOnly, &attack);
-            assert!(sop.succeeded, "{} should succeed under the SOP baseline", attack.id);
+            assert!(
+                sop.succeeded,
+                "{} should succeed under the SOP baseline",
+                attack.id
+            );
             let escudo = run_xss(PolicyMode::Escudo, &attack);
-            assert!(!escudo.succeeded, "{} should be neutralized by ESCUDO", attack.id);
+            assert!(
+                !escudo.succeeded,
+                "{} should be neutralized by ESCUDO",
+                attack.id
+            );
             assert!(escudo.denials > 0, "{} should record a denial", attack.id);
         }
     }
@@ -382,9 +405,17 @@ mod tests {
     fn calendar_xss_attacks_succeed_under_sop_and_are_neutralized_by_escudo() {
         for attack in calendar_xss_attacks() {
             let sop = run_xss(PolicyMode::SameOriginOnly, &attack);
-            assert!(sop.succeeded, "{} should succeed under the SOP baseline", attack.id);
+            assert!(
+                sop.succeeded,
+                "{} should succeed under the SOP baseline",
+                attack.id
+            );
             let escudo = run_xss(PolicyMode::Escudo, &attack);
-            assert!(!escudo.succeeded, "{} should be neutralized by ESCUDO", attack.id);
+            assert!(
+                !escudo.succeeded,
+                "{} should be neutralized by ESCUDO",
+                attack.id
+            );
         }
     }
 
@@ -392,9 +423,17 @@ mod tests {
     fn forum_csrf_attacks_succeed_under_sop_and_are_neutralized_by_escudo() {
         for attack in forum_csrf_attacks() {
             let sop = run_csrf(PolicyMode::SameOriginOnly, &attack);
-            assert!(sop.succeeded, "{} should succeed under the SOP baseline", attack.id);
+            assert!(
+                sop.succeeded,
+                "{} should succeed under the SOP baseline",
+                attack.id
+            );
             let escudo = run_csrf(PolicyMode::Escudo, &attack);
-            assert!(!escudo.succeeded, "{} should be neutralized by ESCUDO", attack.id);
+            assert!(
+                !escudo.succeeded,
+                "{} should be neutralized by ESCUDO",
+                attack.id
+            );
         }
     }
 

@@ -14,7 +14,6 @@ use std::rc::Rc;
 use escudo_core::config::{ApiPolicy, CookiePolicy, NativeApi};
 use escudo_core::{Acl, Ring};
 use escudo_net::{Request, Response, Server, SetCookie, StatusCode};
-use serde::{Deserialize, Serialize};
 
 use crate::markup::AcMarkup;
 use crate::session::SessionStore;
@@ -26,7 +25,7 @@ pub const SID_COOKIE: &str = "phpbb2mysql_sid";
 pub const DATA_COOKIE: &str = "phpbb2mysql_data";
 
 /// Configuration of the forum application.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ForumConfig {
     /// Emit the ESCUDO configuration (AC tags + policy headers). When `false` the
     /// application is a plain legacy application.
@@ -78,7 +77,7 @@ impl ForumConfig {
 }
 
 /// A discussion topic.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Topic {
     /// Topic id.
     pub id: usize,
@@ -91,7 +90,7 @@ pub struct Topic {
 }
 
 /// A reply to a topic.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Reply {
     /// Reply id.
     pub id: usize,
@@ -104,7 +103,7 @@ pub struct Reply {
 }
 
 /// A private message.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PrivateMessage {
     /// Message id.
     pub id: usize,
@@ -153,7 +152,7 @@ impl ForumState {
 }
 
 /// One row of the Table 2 requirements matrix.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RequirementRow {
     /// The principal class.
     pub principal: &'static str,
@@ -166,7 +165,7 @@ pub struct RequirementRow {
 }
 
 /// The Table 3 configuration, as data.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EscudoConfigRow {
     /// The resource being configured.
     pub resource: &'static str,
@@ -186,7 +185,9 @@ pub struct ForumApp {
 
 impl fmt::Debug for ForumApp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ForumApp").field("config", &self.config).finish()
+        f.debug_struct("ForumApp")
+            .field("config", &self.config)
+            .finish()
     }
 }
 
@@ -235,11 +236,36 @@ impl ForumApp {
     #[must_use]
     pub fn escudo_config() -> Vec<EscudoConfigRow> {
         vec![
-            EscudoConfigRow { resource: "Cookies", ring: 1, read: 1, write: 1 },
-            EscudoConfigRow { resource: "XMLHttpRequest", ring: 1, read: 1, write: 1 },
-            EscudoConfigRow { resource: "Application contents", ring: 1, read: 1, write: 1 },
-            EscudoConfigRow { resource: "Topics & Replies", ring: 3, read: 2, write: 2 },
-            EscudoConfigRow { resource: "Private Messages", ring: 3, read: 2, write: 2 },
+            EscudoConfigRow {
+                resource: "Cookies",
+                ring: 1,
+                read: 1,
+                write: 1,
+            },
+            EscudoConfigRow {
+                resource: "XMLHttpRequest",
+                ring: 1,
+                read: 1,
+                write: 1,
+            },
+            EscudoConfigRow {
+                resource: "Application contents",
+                ring: 1,
+                read: 1,
+                write: 1,
+            },
+            EscudoConfigRow {
+                resource: "Topics & Replies",
+                ring: 3,
+                read: 2,
+                write: 2,
+            },
+            EscudoConfigRow {
+                resource: "Private Messages",
+                ring: 3,
+                read: 2,
+                write: 2,
+            },
         ]
     }
 
@@ -309,12 +335,11 @@ impl ForumApp {
         );
         // The application's own client-side code: updates the status line and talks to
         // the server over XMLHttpRequest — the "Yes" row of Table 2.
-        let app_script = format!(
-            "<script>\
+        let app_script = "<script>\
              var statusEl = document.getElementById('app-status');\
-             if (statusEl != null) {{ statusEl.innerHTML = 'ready'; }}\
+             if (statusEl != null) { statusEl.innerHTML = 'ready'; }\
              </script>"
-        );
+            .to_string();
         let token_field = token
             .map(|t| format!("<input type=\"hidden\" name=\"token\" value=\"{t}\">"))
             .unwrap_or_default();
@@ -383,7 +408,11 @@ impl ForumApp {
                 title = html_escape(&topic.title),
                 author = html_escape(&topic.author),
             );
-            listing.push_str(&self.user_region(&mut markup, &format!("topic-row-{}", topic.id), &inner));
+            listing.push_str(&self.user_region(
+                &mut markup,
+                &format!("topic-row-{}", topic.id),
+                &inner,
+            ));
         }
         drop(state);
         self.page("Forum index", listing, token.as_deref())
@@ -450,7 +479,9 @@ impl ForumApp {
         match mode.as_str() {
             "post" => {
                 let id = state.topics.len() + 1;
-                let title = request.param("subject").unwrap_or_else(|| "untitled".to_string());
+                let title = request
+                    .param("subject")
+                    .unwrap_or_else(|| "untitled".to_string());
                 state.topics.push(Topic {
                     id,
                     title,
@@ -460,7 +491,8 @@ impl ForumApp {
                 self.with_policies(Response::redirect(&format!("/viewtopic.php?t={id}")))
             }
             "reply" => {
-                let Some(topic_id) = request.param("t").and_then(|t| t.parse::<usize>().ok()) else {
+                let Some(topic_id) = request.param("t").and_then(|t| t.parse::<usize>().ok())
+                else {
                     return Response::error(StatusCode::BAD_REQUEST, "missing topic id");
                 };
                 let id = state.replies.len() + 1;
@@ -480,9 +512,7 @@ impl ForumApp {
         let Some(user) = self.session_user(request) else {
             return Response::error(StatusCode::FORBIDDEN, "not logged in");
         };
-        if request.method == escudo_net::Method::Post
-            || request.param("message").is_some()
-        {
+        if request.method == escudo_net::Method::Post || request.param("message").is_some() {
             if !self.token_ok(request) {
                 return Response::error(StatusCode::FORBIDDEN, "invalid anti-csrf token");
             }
@@ -537,7 +567,8 @@ mod tests {
     use escudo_net::Method;
 
     fn login(app: &mut ForumApp, user: &str) -> String {
-        let response = app.handle(&Request::get(&format!("http://forum.example/login.php?user={user}")).unwrap());
+        let response = app
+            .handle(&Request::get(&format!("http://forum.example/login.php?user={user}")).unwrap());
         let cookies = response.set_cookies();
         cookies
             .iter()
@@ -547,16 +578,15 @@ mod tests {
     }
 
     fn with_session(mut request: Request, sid: &str) -> Request {
-        request
-            .headers
-            .set("Cookie", format!("{SID_COOKIE}={sid}"));
+        request.headers.set("Cookie", format!("{SID_COOKIE}={sid}"));
         request
     }
 
     #[test]
     fn login_issues_session_and_policy_headers() {
         let mut app = ForumApp::new(ForumConfig::default());
-        let response = app.handle(&Request::get("http://forum.example/login.php?user=alice").unwrap());
+        let response =
+            app.handle(&Request::get("http://forum.example/login.php?user=alice").unwrap());
         assert!(response.status.is_redirect());
         assert_eq!(response.set_cookies().len(), 2);
         assert_eq!(response.cookie_policies().len(), 2);
@@ -582,7 +612,11 @@ mod tests {
     fn posting_and_replying_require_a_session() {
         let mut app = ForumApp::new(ForumConfig::vulnerable());
         let denied = app.handle(
-            &Request::post_form("http://forum.example/posting.php", &[("mode", "post"), ("subject", "x"), ("message", "y")]).unwrap(),
+            &Request::post_form(
+                "http://forum.example/posting.php",
+                &[("mode", "post"), ("subject", "x"), ("message", "y")],
+            )
+            .unwrap(),
         );
         assert_eq!(denied.status, StatusCode::FORBIDDEN);
         assert!(app.state().borrow().topics.is_empty());
@@ -591,7 +625,11 @@ mod tests {
         let ok = app.handle(&with_session(
             Request::post_form(
                 "http://forum.example/posting.php",
-                &[("mode", "post"), ("subject", "Hello"), ("message", "First post")],
+                &[
+                    ("mode", "post"),
+                    ("subject", "Hello"),
+                    ("message", "First post"),
+                ],
             )
             .unwrap(),
             &sid,
@@ -638,7 +676,12 @@ mod tests {
         let accepted = app.handle(&with_session(
             Request::post_form(
                 "http://forum.example/posting.php",
-                &[("mode", "post"), ("subject", "x"), ("message", "y"), ("token", &token)],
+                &[
+                    ("mode", "post"),
+                    ("subject", "x"),
+                    ("message", "y"),
+                    ("token", &token),
+                ],
             )
             .unwrap(),
             &sid,
@@ -653,7 +696,11 @@ mod tests {
         app.handle(&with_session(
             Request::post_form(
                 "http://forum.example/posting.php",
-                &[("mode", "post"), ("subject", "Title"), ("message", "<b>hello</b>")],
+                &[
+                    ("mode", "post"),
+                    ("subject", "Title"),
+                    ("message", "<b>hello</b>"),
+                ],
             )
             .unwrap(),
             &sid,
@@ -670,11 +717,23 @@ mod tests {
         // With validation on, the same content is escaped.
         let mut safe_app = ForumApp::new(ForumConfig::default());
         let sid = login(&mut safe_app, "mallory");
-        let token = safe_app.state().borrow().sessions.get(&sid).unwrap().csrf_token.clone();
+        let token = safe_app
+            .state()
+            .borrow()
+            .sessions
+            .get(&sid)
+            .unwrap()
+            .csrf_token
+            .clone();
         safe_app.handle(&with_session(
             Request::post_form(
                 "http://forum.example/posting.php",
-                &[("mode", "post"), ("subject", "t"), ("message", "<b>hello</b>"), ("token", &token)],
+                &[
+                    ("mode", "post"),
+                    ("subject", "t"),
+                    ("message", "<b>hello</b>"),
+                    ("token", &token),
+                ],
             )
             .unwrap(),
             &sid,
@@ -730,7 +789,10 @@ mod tests {
         let config = ForumApp::escudo_config();
         let cookies = config.iter().find(|r| r.resource == "Cookies").unwrap();
         assert_eq!((cookies.ring, cookies.read, cookies.write), (1, 1, 1));
-        let user = config.iter().find(|r| r.resource == "Topics & Replies").unwrap();
+        let user = config
+            .iter()
+            .find(|r| r.resource == "Topics & Replies")
+            .unwrap();
         assert_eq!((user.ring, user.read, user.write), (3, 2, 2));
     }
 }

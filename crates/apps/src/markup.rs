@@ -5,8 +5,8 @@
 //! randomization: the nonce is repeated on the end tag and unpredictable to content
 //! authors, which is what defeats node-splitting (§5).
 
-use escudo_core::{Acl, Nonce, Ring};
 use escudo_core::nonce::NonceGenerator;
+use escudo_core::{Acl, Nonce, Ring};
 
 /// A helper that emits AC-tagged regions with fresh nonces.
 #[derive(Debug, Clone)]
@@ -114,7 +114,10 @@ mod tests {
         let b = markup.region(Ring::new(1), Acl::uniform(Ring::new(1)), "", "b");
         let nonce_of = |s: &str| -> String {
             let i = s.find("nonce=\"").unwrap();
-            s[i + 7..].chars().take_while(char::is_ascii_digit).collect()
+            s[i + 7..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect()
         };
         assert_ne!(nonce_of(&a), nonce_of(&b));
     }
@@ -143,7 +146,10 @@ mod tests {
 
     #[test]
     fn attribute_helper_matches_the_header_free_form() {
-        let attrs = AcMarkup::attributes(Ring::new(2), Acl::new(Ring::new(1), Ring::new(0), Ring::new(2)));
+        let attrs = AcMarkup::attributes(
+            Ring::new(2),
+            Acl::new(Ring::new(1), Ring::new(0), Ring::new(2)),
+        );
         assert_eq!(attrs, "ring=\"2\" r=\"1\" w=\"0\" x=\"2\"");
     }
 }

@@ -153,13 +153,21 @@ mod tests {
 
     #[test]
     fn substitution_is_escaped_by_default() {
-        let out = render("<p>{{msg}}</p>", &ctx(&[("msg", "<script>alert(1)</script>")])).unwrap();
+        let out = render(
+            "<p>{{msg}}</p>",
+            &ctx(&[("msg", "<script>alert(1)</script>")]),
+        )
+        .unwrap();
         assert_eq!(out, "<p>&lt;script&gt;alert(1)&lt;/script&gt;</p>");
     }
 
     #[test]
     fn raw_substitution_is_not_escaped() {
-        let out = render("<div>{{{markup}}}</div>", &ctx(&[("markup", "<b>bold</b>")])).unwrap();
+        let out = render(
+            "<div>{{{markup}}}</div>",
+            &ctx(&[("markup", "<b>bold</b>")]),
+        )
+        .unwrap();
         assert_eq!(out, "<div><b>bold</b></div>");
     }
 

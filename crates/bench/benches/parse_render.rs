@@ -1,34 +1,40 @@
-//! Criterion bench for Figure 4: parsing + rendering each of the eight workload pages
-//! with and without ESCUDO.
+//! Bench for Figure 4: parsing + rendering each of the eight workload pages with and
+//! without ESCUDO.
+//!
+//! Run with `cargo bench --bench parse_render` (plain `harness = false` binary).
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use escudo_bench::measure::load_once;
 use escudo_bench::workload::{figure4_scenarios, generate_page};
 use escudo_browser::PolicyMode;
 
-fn parse_render(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figure4_parse_render");
-    group
-        .sample_size(20)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
-    for scenario in figure4_scenarios() {
-        let html = generate_page(&scenario);
-        group.bench_with_input(
-            BenchmarkId::new("without_escudo", scenario.id),
-            &html,
-            |b, html| b.iter(|| load_once(PolicyMode::SameOriginOnly, html)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("with_escudo", scenario.id),
-            &html,
-            |b, html| b.iter(|| load_once(PolicyMode::Escudo, html)),
-        );
-    }
-    group.finish();
+/// Best-of-`reps` parse+render nanoseconds for one page under one mode.
+fn time_load(mode: PolicyMode, html: &str, reps: usize) -> u128 {
+    let _ = load_once(mode, html); // warm-up
+    (0..reps)
+        .map(|_| load_once(mode, html).parse_and_render_ns())
+        .min()
+        .unwrap_or(0)
 }
 
-criterion_group!(benches, parse_render);
-criterion_main!(benches);
+fn main() {
+    const REPS: usize = 15;
+    println!("figure4_parse_render (best of {REPS} loads, parse+label+render ns):");
+    println!(
+        "  {:<28} {:>14} {:>14} {:>9}",
+        "scenario", "without", "with", "overhead"
+    );
+    for scenario in figure4_scenarios() {
+        let html = generate_page(&scenario);
+        let without = time_load(PolicyMode::SameOriginOnly, &html, REPS);
+        let with = time_load(PolicyMode::Escudo, &html, REPS);
+        let overhead = if without > 0 {
+            (with as f64 - without as f64) / without as f64 * 100.0
+        } else {
+            0.0
+        };
+        println!(
+            "  {:<28} {without:>14} {with:>14} {overhead:>8.1}%",
+            scenario.name
+        );
+    }
+}

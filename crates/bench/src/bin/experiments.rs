@@ -5,7 +5,7 @@
 //! cargo run --release --bin experiments figure4      # only Figure 4
 //! cargo run --release --bin experiments defense      # only §6.4
 //! cargo run --release --bin experiments -- --runs 30 # fewer timed runs
-//! cargo run --release --bin experiments -- --json    # machine-readable output
+//! cargo run --release --bin experiments -- --raw     # machine-readable (Debug) output
 //! ```
 
 use std::env;
@@ -19,14 +19,14 @@ use escudo_bench::experiments::{
 #[derive(Debug)]
 struct Options {
     runs: usize,
-    json: bool,
+    raw: bool,
     sections: Vec<String>,
 }
 
 fn parse_args() -> Options {
     let mut options = Options {
         runs: 90,
-        json: false,
+        raw: false,
         sections: Vec::new(),
     };
     let mut args = env::args().skip(1).peekable();
@@ -37,7 +37,14 @@ fn parse_args() -> Options {
                     options.runs = value.parse().unwrap_or(90);
                 }
             }
-            "--json" => options.json = true,
+            "--raw" => options.raw = true,
+            "--json" => {
+                eprintln!(
+                    "--json was removed (no JSON serializer in this build); \
+                     use --raw for machine-readable Debug output"
+                );
+                std::process::exit(2);
+            }
             "--" => {}
             section => options.sections.push(section.to_string()),
         }
@@ -68,32 +75,32 @@ fn main() {
             }
             "figure4" => {
                 let report = Figure4Report::run(options.runs);
-                if options.json {
-                    println!("{}", serde_json::to_string_pretty(&report).expect("serialize"));
+                if options.raw {
+                    println!("{report:#?}");
                 } else {
                     println!("{report}");
                 }
             }
             "events" => {
                 let report = EventReport::run(options.runs.max(100));
-                if options.json {
-                    println!("{}", serde_json::to_string_pretty(&report).expect("serialize"));
+                if options.raw {
+                    println!("{report:#?}");
                 } else {
                     println!("{report}");
                 }
             }
             "defense" => {
                 let report = DefenseReport::run_full();
-                if options.json {
-                    println!("{}", serde_json::to_string_pretty(&report).expect("serialize"));
+                if options.raw {
+                    println!("{report:#?}");
                 } else {
                     println!("{}", format_defense_report(&report));
                 }
             }
             "compat" => {
                 let report = CompatReport::run();
-                if options.json {
-                    println!("{}", serde_json::to_string_pretty(&report).expect("serialize"));
+                if options.raw {
+                    println!("{report:#?}");
                 } else {
                     println!("{report}");
                 }

@@ -6,7 +6,6 @@ use escudo_apps::evaluate::DefenseReport;
 use escudo_apps::{CalendarApp, ForumApp, ForumConfig};
 use escudo_browser::{Browser, PolicyMode};
 use escudo_core::taxonomy;
-use serde::{Deserialize, Serialize};
 
 use crate::measure::{measure_event_dispatch, measure_parse_render, SampleStats};
 use crate::workload::{figure4_scenarios, generate_page};
@@ -14,7 +13,7 @@ use crate::workload::{figure4_scenarios, generate_page};
 // ------------------------------------------------------------------------ Figure 4
 
 /// One scenario's row of Figure 4.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Figure4Row {
     /// Scenario index (x axis).
     pub scenario: usize,
@@ -29,7 +28,7 @@ pub struct Figure4Row {
 }
 
 /// The Figure 4 report: parse+render time per scenario, with and without ESCUDO.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Figure4Report {
     /// Per-scenario rows.
     pub rows: Vec<Figure4Row>,
@@ -110,7 +109,7 @@ impl fmt::Display for Figure4Report {
 // ------------------------------------------------------------------------ UI events
 
 /// The §6.5 UI-event measurement: per-dispatch time with and without ESCUDO.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EventReport {
     /// Per-dispatch statistics without ESCUDO.
     pub without_escudo: SampleStats,
@@ -142,7 +141,11 @@ impl EventReport {
 
 impl fmt::Display for EventReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "UI-event handling (§6.5), {} dispatches per mode", self.without_escudo.runs)?;
+        writeln!(
+            f,
+            "UI-event handling (§6.5), {} dispatches per mode",
+            self.without_escudo.runs
+        )?;
         writeln!(
             f,
             "  without ESCUDO: {:>10.1} µs/dispatch",
@@ -164,7 +167,7 @@ impl fmt::Display for EventReport {
 // ------------------------------------------------------------------------ §6.3 compat
 
 /// The §6.3 compatibility experiment.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CompatReport {
     /// ESCUDO-configured application on a non-ESCUDO browser: did it work?
     pub escudo_app_on_legacy_browser_works: bool,
@@ -181,9 +184,10 @@ impl CompatReport {
         let mut denials = 0;
 
         let mut legacy_browser = Browser::new(PolicyMode::SameOriginOnly);
-        legacy_browser
-            .network_mut()
-            .register("http://forum.example", ForumApp::new(ForumConfig::default()));
+        legacy_browser.network_mut().register(
+            "http://forum.example",
+            ForumApp::new(ForumConfig::default()),
+        );
         legacy_browser
             .navigate("http://forum.example/login.php?user=alice")
             .expect("login");
@@ -223,14 +227,26 @@ impl fmt::Display for CompatReport {
         writeln!(
             f,
             "  ESCUDO application on a non-ESCUDO browser: {}",
-            if self.escudo_app_on_legacy_browser_works { "works (configuration ignored)" } else { "BROKEN" }
+            if self.escudo_app_on_legacy_browser_works {
+                "works (configuration ignored)"
+            } else {
+                "BROKEN"
+            }
         )?;
         writeln!(
             f,
             "  legacy application on the ESCUDO browser:   {}",
-            if self.legacy_app_on_escudo_browser_works { "works (collapses to the SOP)" } else { "BROKEN" }
+            if self.legacy_app_on_escudo_browser_works {
+                "works (collapses to the SOP)"
+            } else {
+                "BROKEN"
+            }
         )?;
-        writeln!(f, "  reference-monitor denials in either direction: {}", self.denials)
+        writeln!(
+            f,
+            "  reference-monitor denials in either direction: {}",
+            self.denials
+        )
     }
 }
 
@@ -246,7 +262,11 @@ pub fn format_table1() -> String {
             entry.category,
             entry.entity,
             entry.role,
-            if entry.controllable_by_application { "" } else { "  (outside application control)" }
+            if entry.controllable_by_application {
+                ""
+            } else {
+                "  (outside application control)"
+            }
         ));
     }
     out

@@ -19,5 +19,5 @@ pub mod measure;
 pub mod workload;
 
 pub use experiments::{CompatReport, EventReport, Figure4Report, Figure4Row};
-pub use measure::{load_once, LoadSample};
-pub use workload::{figure4_scenarios, generate_page, Scenario};
+pub use measure::{load_once, measure_decision_paths, DecisionReport, LoadSample};
+pub use workload::{decision_workload, figure4_scenarios, generate_page, DecisionCheck, Scenario};

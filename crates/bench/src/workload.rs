@@ -6,12 +6,12 @@
 //! a small static page up to a large page with many AC-tagged user regions, several
 //! inline scripts and event handlers.
 
-use escudo_core::{Acl, Ring};
 use escudo_apps::markup::AcMarkup;
-use serde::{Deserialize, Serialize};
+use escudo_core::context::{ObjectContext, ObjectKind, PrincipalContext, PrincipalKind};
+use escudo_core::{Acl, Operation, Origin, Ring};
 
 /// One Figure 4 scenario.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Scenario {
     /// Scenario index (1-based, matching the figure's x axis).
     pub id: usize,
@@ -33,14 +33,78 @@ pub struct Scenario {
 #[must_use]
 pub fn figure4_scenarios() -> Vec<Scenario> {
     vec![
-        Scenario { id: 1, name: "tiny static page", ac_regions: 2, paragraphs_per_region: 1, words_per_paragraph: 20, scripts: 0, handlers: 0 },
-        Scenario { id: 2, name: "small page, few regions", ac_regions: 5, paragraphs_per_region: 2, words_per_paragraph: 30, scripts: 1, handlers: 1 },
-        Scenario { id: 3, name: "forum thread, short", ac_regions: 10, paragraphs_per_region: 2, words_per_paragraph: 40, scripts: 2, handlers: 2 },
-        Scenario { id: 4, name: "forum thread, medium", ac_regions: 20, paragraphs_per_region: 3, words_per_paragraph: 40, scripts: 3, handlers: 4 },
-        Scenario { id: 5, name: "calendar month view", ac_regions: 31, paragraphs_per_region: 2, words_per_paragraph: 25, scripts: 3, handlers: 6 },
-        Scenario { id: 6, name: "long discussion", ac_regions: 40, paragraphs_per_region: 4, words_per_paragraph: 50, scripts: 4, handlers: 8 },
-        Scenario { id: 7, name: "heavy dynamic content", ac_regions: 25, paragraphs_per_region: 3, words_per_paragraph: 40, scripts: 10, handlers: 10 },
-        Scenario { id: 8, name: "large portal page", ac_regions: 60, paragraphs_per_region: 4, words_per_paragraph: 50, scripts: 6, handlers: 12 },
+        Scenario {
+            id: 1,
+            name: "tiny static page",
+            ac_regions: 2,
+            paragraphs_per_region: 1,
+            words_per_paragraph: 20,
+            scripts: 0,
+            handlers: 0,
+        },
+        Scenario {
+            id: 2,
+            name: "small page, few regions",
+            ac_regions: 5,
+            paragraphs_per_region: 2,
+            words_per_paragraph: 30,
+            scripts: 1,
+            handlers: 1,
+        },
+        Scenario {
+            id: 3,
+            name: "forum thread, short",
+            ac_regions: 10,
+            paragraphs_per_region: 2,
+            words_per_paragraph: 40,
+            scripts: 2,
+            handlers: 2,
+        },
+        Scenario {
+            id: 4,
+            name: "forum thread, medium",
+            ac_regions: 20,
+            paragraphs_per_region: 3,
+            words_per_paragraph: 40,
+            scripts: 3,
+            handlers: 4,
+        },
+        Scenario {
+            id: 5,
+            name: "calendar month view",
+            ac_regions: 31,
+            paragraphs_per_region: 2,
+            words_per_paragraph: 25,
+            scripts: 3,
+            handlers: 6,
+        },
+        Scenario {
+            id: 6,
+            name: "long discussion",
+            ac_regions: 40,
+            paragraphs_per_region: 4,
+            words_per_paragraph: 50,
+            scripts: 4,
+            handlers: 8,
+        },
+        Scenario {
+            id: 7,
+            name: "heavy dynamic content",
+            ac_regions: 25,
+            paragraphs_per_region: 3,
+            words_per_paragraph: 40,
+            scripts: 10,
+            handlers: 10,
+        },
+        Scenario {
+            id: 8,
+            name: "large portal page",
+            ac_regions: 60,
+            paragraphs_per_region: 4,
+            words_per_paragraph: 50,
+            scripts: 6,
+            handlers: 12,
+        },
     ]
 }
 
@@ -48,8 +112,18 @@ pub fn figure4_scenarios() -> Vec<Scenario> {
 /// bytes).
 fn lorem(words: usize, salt: usize) -> String {
     const WORDS: [&str; 12] = [
-        "escudo", "ring", "browser", "policy", "origin", "cookie", "script", "mandatory",
-        "access", "control", "page", "principal",
+        "escudo",
+        "ring",
+        "browser",
+        "policy",
+        "origin",
+        "cookie",
+        "script",
+        "mandatory",
+        "access",
+        "control",
+        "page",
+        "principal",
     ];
     let mut out = String::with_capacity(words * 8);
     for i in 0..words {
@@ -122,11 +196,85 @@ pub fn generate_page(scenario: &Scenario) -> String {
         ));
     }
 
-    let body = markup.region_with_tag("body", Ring::new(1), Acl::uniform(Ring::new(1)), "", &body_inner);
+    let body = markup.region_with_tag(
+        "body",
+        Ring::new(1),
+        Acl::uniform(Ring::new(1)),
+        "",
+        &body_inner,
+    );
     format!(
         "<!DOCTYPE html><html><head><title>scenario {}</title></head>{body}</html>",
         scenario.id
     )
+}
+
+/// One mediation request of a decision workload.
+pub type DecisionCheck = (PrincipalContext, ObjectContext, Operation);
+
+/// Generates a deterministic decision workload: `principals` distinct principal
+/// contexts crossed with `objects` distinct object contexts, cycling through the
+/// three operations.
+///
+/// The contexts vary in ring, origin and ACL the way a multi-page forum session does
+/// (a few origins, a handful of rings, many distinctly-labelled DOM regions), so the
+/// engine's interner and decision cache see realistic key diversity: every pair is
+/// distinct on first touch (the *cold* path) and identical on every later pass (the
+/// *cached* path).
+#[must_use]
+pub fn decision_workload(principals: usize, objects: usize) -> Vec<DecisionCheck> {
+    let origins = [
+        Origin::new("http", "forum.example", 80),
+        Origin::new("http", "calendar.example", 80),
+        Origin::new("https", "blog.example", 443),
+    ];
+    let principal_kinds = [
+        PrincipalKind::Script,
+        PrincipalKind::EventHandler,
+        PrincipalKind::RequestIssuer,
+    ];
+    let object_kinds = [
+        ObjectKind::DomElement,
+        ObjectKind::Cookie,
+        ObjectKind::NativeApi,
+    ];
+    // Every principal gets a distinct (origin, ring) pair and every object a distinct
+    // (origin, ring, acl) triple, so the engine interns exactly `principals` and
+    // `objects` ids and a first pass over the checks is genuinely cold — no pair is a
+    // disguised repeat of an earlier one.
+    let principal_contexts: Vec<PrincipalContext> = (0..principals)
+        .map(|i| {
+            PrincipalContext::new(
+                principal_kinds[i % principal_kinds.len()],
+                origins[i % origins.len()].clone(),
+                Ring::new(u16::try_from(i / origins.len()).expect("workload fits u16")),
+            )
+            .with_label(format!("workload principal #{i}"))
+        })
+        .collect();
+    let object_contexts: Vec<ObjectContext> = (0..objects)
+        .map(|j| {
+            let ring = Ring::new(u16::try_from(j / origins.len()).expect("workload fits u16"));
+            ObjectContext::new(
+                object_kinds[j % object_kinds.len()],
+                origins[j % origins.len()].clone(),
+                ring,
+            )
+            .with_acl(Acl::uniform(ring))
+            .with_label(format!("workload object #{j}"))
+        })
+        .collect();
+    let mut checks = Vec::with_capacity(principals * objects);
+    for (i, principal) in principal_contexts.iter().enumerate() {
+        for (j, object) in object_contexts.iter().enumerate() {
+            checks.push((
+                principal.clone(),
+                object.clone(),
+                Operation::ALL[(i + j) % Operation::ALL.len()],
+            ));
+        }
+    }
+    checks
 }
 
 #[cfg(test)]
@@ -134,11 +282,38 @@ mod tests {
     use super::*;
 
     #[test]
+    fn decision_workload_has_requested_shape() {
+        let checks = decision_workload(6, 7);
+        assert_eq!(checks.len(), 42);
+        // Deterministic: two generations are identical.
+        assert_eq!(decision_workload(6, 7), checks);
+        // Every principal/object interns to a distinct id — a first pass really is
+        // cold (this is what the cold-path benchmark relies on).
+        let mut table = escudo_core::ContextTable::new();
+        let big = decision_workload(24, 24);
+        for (p, o, _) in &big {
+            table.intern_principal(p);
+            table.intern_object(o);
+        }
+        assert_eq!(table.principal_count(), 24);
+        assert_eq!(table.object_count(), 24);
+        // It exercises same- and cross-origin pairs and all three operations.
+        assert!(checks.iter().any(|(p, o, _)| p.origin == o.origin));
+        assert!(checks.iter().any(|(p, o, _)| p.origin != o.origin));
+        for op in Operation::ALL {
+            assert!(checks.iter().any(|(_, _, o)| *o == op));
+        }
+    }
+
+    #[test]
     fn there_are_eight_scenarios_of_increasing_size() {
         let scenarios = figure4_scenarios();
         assert_eq!(scenarios.len(), 8);
         let sizes: Vec<usize> = scenarios.iter().map(|s| generate_page(s).len()).collect();
-        assert!(sizes[0] < sizes[7], "scenario 8 should be the largest: {sizes:?}");
+        assert!(
+            sizes[0] < sizes[7],
+            "scenario 8 should be the largest: {sizes:?}"
+        );
     }
 
     #[test]
@@ -147,12 +322,17 @@ mod tests {
         let a = generate_page(&scenario);
         let b = generate_page(&scenario);
         assert_eq!(a, b);
-        assert_eq!(a.matches("class=\"user-content\"").count(), scenario.ac_regions);
+        assert_eq!(
+            a.matches("class=\"user-content\"").count(),
+            scenario.ac_regions
+        );
         assert_eq!(a.matches("<script>").count(), scenario.scripts);
         assert_eq!(a.matches("onclick=").count(), scenario.handlers);
         // Every AC region closes with a nonce-carrying end tag.
-        assert_eq!(a.matches("</div nonce=").count() + a.matches("</body nonce=").count(),
-                   a.matches(" nonce=\"").count() / 2);
+        assert_eq!(
+            a.matches("</div nonce=").count() + a.matches("</body nonce=").count(),
+            a.matches(" nonce=\"").count() / 2
+        );
     }
 
     #[test]

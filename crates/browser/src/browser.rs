@@ -2,10 +2,13 @@
 //! history and visited links.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::Instant;
 
 use escudo_core::config::CookiePolicy;
-use escudo_core::{Operation, PolicyMode, PrincipalContext, PrincipalKind};
+use escudo_core::{
+    engine_for_mode, Operation, PolicyEngine, PolicyMode, PrincipalContext, PrincipalKind,
+};
 use escudo_dom::EventType;
 use escudo_net::{CookieJar, Method, Network, Request, Response, Url};
 use escudo_script::Interpreter;
@@ -26,6 +29,7 @@ pub struct PageId(usize);
 /// visited links) enforcing one [`PolicyMode`].
 pub struct Browser {
     mode: PolicyMode,
+    engine: Arc<dyn PolicyEngine>,
     network: Network,
     jar: CookieJar,
     erm: Erm,
@@ -50,14 +54,23 @@ impl std::fmt::Debug for Browser {
 }
 
 impl Browser {
-    /// Creates a browser enforcing the given policy mode.
+    /// Creates a browser enforcing the given policy mode with a fresh decision engine.
     #[must_use]
     pub fn new(mode: PolicyMode) -> Self {
+        Browser::with_engine(engine_for_mode(mode))
+    }
+
+    /// Creates a browser enforcing through an existing (possibly shared) decision
+    /// engine. Several browsers — e.g. one per simulated user session against the same
+    /// application — can share one engine and therefore one warm decision cache.
+    #[must_use]
+    pub fn with_engine(engine: Arc<dyn PolicyEngine>) -> Self {
         Browser {
-            mode,
+            mode: engine.mode(),
+            erm: Erm::with_engine(Arc::clone(&engine)),
+            engine,
             network: Network::new(),
             jar: CookieJar::new(),
-            erm: Erm::new(mode),
             history: Vec::new(),
             visited: HashSet::new(),
             pages: Vec::new(),
@@ -70,6 +83,12 @@ impl Browser {
     #[must_use]
     pub fn mode(&self) -> PolicyMode {
         self.mode
+    }
+
+    /// The shared policy engine backing every enforcement point of this browser.
+    #[must_use]
+    pub fn engine(&self) -> &Arc<dyn PolicyEngine> {
+        &self.engine
     }
 
     /// Mutable access to the in-memory network (for registering servers).
@@ -203,7 +222,10 @@ impl Browser {
                 let value = if tag == "textarea" {
                     page.document.text_content(node)
                 } else {
-                    page.document.attribute(node, "value").unwrap_or("").to_string()
+                    page.document
+                        .attribute(node, "value")
+                        .unwrap_or("")
+                        .to_string()
                 };
                 fields.push((name.to_string(), value));
             }
@@ -249,7 +271,12 @@ impl Browser {
             };
             final_url = final_url.join(&location)?;
             let browser_principal = PrincipalContext::browser(final_url.origin());
-            response = self.fetch(final_url.clone(), Method::Get, String::new(), &browser_principal)?;
+            response = self.fetch(
+                final_url.clone(),
+                Method::Get,
+                String::new(),
+                &browser_principal,
+            )?;
             redirects += 1;
         }
 
@@ -295,6 +322,7 @@ impl Browser {
 
         page.stats.policy_checks = self.erm.checks();
         page.stats.policy_denials = self.erm.denials();
+        page.stats.policy_cache_hits = self.engine.stats().cache_hits;
 
         self.pages.push(Some(page));
         Ok(PageId(self.pages.len() - 1))
@@ -341,70 +369,64 @@ impl Browser {
 
     /// Cookie attachment — the `use` operation. `page_contexts` supplies per-cookie
     /// ring assignments when the request originates from a loaded page; otherwise the
-    /// browser-wide remembered policies are used.
+    /// browser-wide remembered policies are used. Mediation itself is the shared
+    /// [`Erm::mediate_cookies`] batch path.
     fn attach_cookies(
         &mut self,
         request: &mut Request,
         principal: &PrincipalContext,
         page_contexts: Option<&SecurityContextTable>,
     ) {
-        let candidates: Vec<(String, String, escudo_core::Origin)> = self
+        let candidates: Vec<crate::erm::CookieCandidate> = self
             .jar
             .candidates_for(&request.url)
             .into_iter()
             .map(|c| (c.name.clone(), c.value.clone(), c.origin()))
             .collect();
-        let mut attached = Vec::new();
-        for (name, value, cookie_origin) in candidates {
-            let allowed = match self.mode {
-                // The legacy behaviour: every in-scope cookie rides along, no matter
-                // who caused the request. This is exactly the CSRF weakness.
-                PolicyMode::SameOriginOnly => true,
-                PolicyMode::Escudo => {
-                    let object = match page_contexts {
-                        Some(contexts) => contexts.cookie_object(&name, cookie_origin.clone()),
-                        None => self.cookie_object_from_store(&name, cookie_origin.clone()),
-                    };
-                    self.erm
-                        .check(principal, &object, Operation::Use)
-                        .is_allowed()
-                }
-            };
-            if allowed {
-                attached.push(format!("{name}={value}"));
-            }
-        }
+        let cookie_policies = &self.cookie_policies;
+        let attached =
+            self.erm
+                .mediate_cookies(&candidates, Operation::Use, principal, |name, origin| {
+                    match page_contexts {
+                        Some(contexts) => contexts.cookie_object(name, origin),
+                        None => cookie_object_from_store(cookie_policies, name, origin),
+                    }
+                });
         if !attached.is_empty() {
             request.headers.set("Cookie", attached.join("; "));
         }
     }
+}
 
-    fn cookie_object_from_store(
-        &self,
-        name: &str,
-        cookie_origin: escudo_core::Origin,
-    ) -> escudo_core::ObjectContext {
-        let policy = self.cookie_policies.iter().find(|(host, policy)| {
-            host.eq_ignore_ascii_case(cookie_origin.host()) && policy.applies_to(name)
-        });
-        match policy {
-            Some((_, policy)) => escudo_core::ObjectContext {
-                kind: escudo_core::ObjectKind::Cookie,
-                origin: cookie_origin,
-                ring: policy.ring,
-                acl: policy.acl,
-                label: format!("cookie {name}"),
-            },
-            None => escudo_core::ObjectContext {
-                kind: escudo_core::ObjectKind::Cookie,
-                origin: cookie_origin,
-                ring: escudo_core::Ring::INNERMOST,
-                acl: escudo_core::Acl::permissive(),
-                label: format!("cookie {name}"),
-            },
-        }
+/// The security context of a cookie when no page is loaded: the browser-wide
+/// remembered policies, falling back to the ring-0 default.
+fn cookie_object_from_store(
+    cookie_policies: &[(String, CookiePolicy)],
+    name: &str,
+    cookie_origin: escudo_core::Origin,
+) -> escudo_core::ObjectContext {
+    let policy = cookie_policies.iter().find(|(host, policy)| {
+        host.eq_ignore_ascii_case(cookie_origin.host()) && policy.applies_to(name)
+    });
+    match policy {
+        Some((_, policy)) => escudo_core::ObjectContext {
+            kind: escudo_core::ObjectKind::Cookie,
+            origin: cookie_origin,
+            ring: policy.ring,
+            acl: policy.acl,
+            label: format!("cookie {name}"),
+        },
+        None => escudo_core::ObjectContext {
+            kind: escudo_core::ObjectKind::Cookie,
+            origin: cookie_origin,
+            ring: escudo_core::Ring::INNERMOST,
+            acl: escudo_core::Acl::permissive(),
+            label: format!("cookie {name}"),
+        },
     }
+}
 
+impl Browser {
     // ------------------------------------------------------------- scripts & events
 
     fn execute_scripts(&mut self, page: &mut Page) {
@@ -614,7 +636,10 @@ mod tests {
         let mut browser = browser_with(PolicyMode::Escudo, html);
         let page = browser.navigate("http://app.example/").unwrap();
         assert!(browser.page(page).any_script_denied());
-        assert_eq!(browser.page(page).text_of("post").as_deref(), Some("Original"));
+        assert_eq!(
+            browser.page(page).text_of("post").as_deref(),
+            Some("Original")
+        );
 
         // Under the same-origin baseline the same attack succeeds.
         let mut sop = browser_with(PolicyMode::SameOriginOnly, html);
@@ -634,7 +659,10 @@ mod tests {
         let mut browser = browser_with(PolicyMode::Escudo, html);
         let page = browser.navigate("http://app.example/").unwrap();
         assert!(browser.page(page).all_scripts_succeeded());
-        assert_eq!(browser.page(page).text_of("message").as_deref(), Some("moderated"));
+        assert_eq!(
+            browser.page(page).text_of("message").as_deref(),
+            Some("moderated")
+        );
     }
 
     #[test]
@@ -647,7 +675,10 @@ mod tests {
         let page = browser.navigate("http://app.example/").unwrap();
         assert!(browser.page(page).legacy);
         assert!(browser.page(page).all_scripts_succeeded());
-        assert_eq!(browser.page(page).text_of("target").as_deref(), Some("changed"));
+        assert_eq!(
+            browser.page(page).text_of("target").as_deref(),
+            Some("changed")
+        );
     }
 
     #[test]
@@ -662,13 +693,25 @@ mod tests {
         let mut browser = browser_with(PolicyMode::Escudo, html);
         let page = browser.navigate("http://app.example/").unwrap();
 
-        let ok = browser.fire_event(page, "good", EventType::Click).unwrap().unwrap();
+        let ok = browser
+            .fire_event(page, "good", EventType::Click)
+            .unwrap()
+            .unwrap();
         assert!(ok.succeeded());
-        assert_eq!(browser.page(page).text_of("status").as_deref(), Some("clicked"));
+        assert_eq!(
+            browser.page(page).text_of("status").as_deref(),
+            Some("clicked")
+        );
 
-        let evil = browser.fire_event(page, "evil", EventType::Click).unwrap().unwrap();
+        let evil = browser
+            .fire_event(page, "evil", EventType::Click)
+            .unwrap()
+            .unwrap();
         assert!(evil.was_denied());
-        assert_eq!(browser.page(page).text_of("status").as_deref(), Some("clicked"));
+        assert_eq!(
+            browser.page(page).text_of("status").as_deref(),
+            Some("clicked")
+        );
 
         // Firing an event on an element without a handler is a no-op.
         assert!(browser

@@ -1,20 +1,41 @@
-//! The ESCUDO Reference Monitor (ERM).
+//! The ESCUDO Reference Monitor (ERM) — a thin enforcement facade.
 //!
 //! The prototype's ERM "enforces access-decisions based on the security contexts" and
 //! "is spread over several places because the places to embed the checks is specific
 //! to the object type". In this reproduction every enforcement point funnels into
-//! [`Erm::check`], which applies [`escudo_core::decide`] and records an audit trail —
-//! so experiments can show not just *that* an attack was stopped but *which rule*
-//! stopped it.
+//! [`Erm::check`], but the *decision* itself is made by a shared
+//! [`PolicyEngine`](escudo_core::PolicyEngine) — the ERM only enforces, audits and
+//! counts. One engine (with its context-interning table and decision cache) can back
+//! every page of a session, so hot paths hit warm caches instead of recomputing the
+//! origin/ring/ACL rules.
+//!
+//! The audit log is a **bounded ring buffer**: long-running workloads keep the most
+//! recent [`Erm::audit_capacity`] records and count what was dropped, so memory no
+//! longer grows without limit.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
 
 use escudo_core::policy::AuditRecord;
-use escudo_core::{decide, Decision, ObjectContext, Operation, PolicyMode, PrincipalContext};
+use escudo_core::{
+    engine_for_mode, Decision, EngineStats, ObjectContext, Operation, Origin, PolicyEngine,
+    PolicyMode, PrincipalContext,
+};
 
-/// The reference monitor: policy mode, decision procedure, audit log and counters.
+/// A cookie candidate for batch mediation: `(name, value, origin)`.
+pub type CookieCandidate = (String, String, Origin);
+
+/// Default bound on retained audit records.
+pub const DEFAULT_AUDIT_CAPACITY: usize = 4096;
+
+/// The reference monitor: a facade over a shared [`PolicyEngine`] plus a bounded
+/// audit ring buffer and plain counters.
 #[derive(Debug, Clone)]
 pub struct Erm {
-    mode: PolicyMode,
-    audit: Vec<AuditRecord>,
+    engine: Arc<dyn PolicyEngine>,
+    audit: VecDeque<AuditRecord>,
+    audit_capacity: usize,
+    audit_dropped: u64,
     checks: u64,
     denials: u64,
     /// When `false`, the audit log is not retained (used by the performance benchmarks
@@ -23,12 +44,24 @@ pub struct Erm {
 }
 
 impl Erm {
-    /// Creates a reference monitor enforcing the given policy mode.
+    /// Creates a reference monitor enforcing the given policy mode with a fresh engine
+    /// ([`EscudoEngine`](escudo_core::EscudoEngine) for [`PolicyMode::Escudo`], the
+    /// [`SameOriginEngine`](escudo_core::SameOriginEngine) baseline otherwise).
     #[must_use]
     pub fn new(mode: PolicyMode) -> Self {
+        Erm::with_engine(engine_for_mode(mode))
+    }
+
+    /// Creates a reference monitor enforcing through an existing (possibly shared)
+    /// engine — this is how several pages, sessions or tenants share one decision
+    /// cache.
+    #[must_use]
+    pub fn with_engine(engine: Arc<dyn PolicyEngine>) -> Self {
         Erm {
-            mode,
-            audit: Vec::new(),
+            engine,
+            audit: VecDeque::new(),
+            audit_capacity: DEFAULT_AUDIT_CAPACITY,
+            audit_dropped: 0,
             checks: 0,
             denials: 0,
             record_audit: true,
@@ -42,10 +75,47 @@ impl Erm {
         self
     }
 
+    /// Bounds the audit ring buffer to `capacity` records (builder style). The oldest
+    /// records are dropped first; [`Erm::audit_dropped`] counts them. A capacity of 0
+    /// retains nothing (like [`Erm::without_audit`], but still counts drops).
+    #[must_use]
+    pub fn with_audit_capacity(mut self, capacity: usize) -> Self {
+        self.audit_capacity = capacity;
+        while self.audit.len() > capacity {
+            self.audit.pop_front();
+            self.audit_dropped += 1;
+        }
+        self
+    }
+
     /// The policy mode in force.
     #[must_use]
     pub fn mode(&self) -> PolicyMode {
-        self.mode
+        self.engine.mode()
+    }
+
+    /// The shared decision engine.
+    #[must_use]
+    pub fn engine(&self) -> &Arc<dyn PolicyEngine> {
+        &self.engine
+    }
+
+    /// Interning/cache statistics of the underlying engine.
+    #[must_use]
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engine.stats()
+    }
+
+    fn record(&mut self, record: AuditRecord) {
+        if self.audit.len() >= self.audit_capacity {
+            if self.audit_capacity == 0 {
+                self.audit_dropped += 1;
+                return;
+            }
+            self.audit.pop_front();
+            self.audit_dropped += 1;
+        }
+        self.audit.push_back(record);
     }
 
     /// Mediates one access. Returns the decision and records it.
@@ -55,21 +125,85 @@ impl Erm {
         object: &ObjectContext,
         operation: Operation,
     ) -> Decision {
-        let decision = decide(self.mode, principal, object, operation);
+        let decision = self.engine.decide(principal, object, operation);
         self.checks += 1;
         if decision.is_denied() {
             self.denials += 1;
         }
         if self.record_audit {
-            self.audit.push(AuditRecord {
+            self.record(AuditRecord {
                 principal: principal.clone(),
                 object: object.clone(),
                 operation,
-                mode: self.mode,
+                mode: self.engine.mode(),
                 decision: decision.clone(),
             });
         }
         decision
+    }
+
+    /// Batch mediation: one engine-lock acquisition for the whole slice. Returns the
+    /// decisions in order, with counting and auditing identical to repeated
+    /// [`Erm::check`] calls.
+    pub fn check_many(
+        &mut self,
+        checks: &[(&PrincipalContext, &ObjectContext, Operation)],
+    ) -> Vec<Decision> {
+        let decisions = self.engine.decide_many(checks);
+        self.checks += checks.len() as u64;
+        for ((principal, object, operation), decision) in checks.iter().zip(&decisions) {
+            if decision.is_denied() {
+                self.denials += 1;
+            }
+            if self.record_audit {
+                self.record(AuditRecord {
+                    principal: (*principal).clone(),
+                    object: (*object).clone(),
+                    operation: *operation,
+                    mode: self.engine.mode(),
+                    decision: decision.clone(),
+                });
+            }
+        }
+        decisions
+    }
+
+    /// Batch-mediates `operation` over cookie candidates, returning the `name=value`
+    /// pairs the policy admits (in candidate order). `object_for` supplies the
+    /// cookie's security context — the page's context table, or the browser-wide
+    /// policy store when no page is loaded. Under the same-origin baseline every
+    /// in-scope cookie is admitted without consulting the engine: that is exactly
+    /// the legacy behaviour CSRF exploits.
+    ///
+    /// This is the single implementation behind both browser-initiated and
+    /// script-initiated requests, so enforcement can never diverge between them.
+    pub fn mediate_cookies(
+        &mut self,
+        candidates: &[CookieCandidate],
+        operation: Operation,
+        principal: &PrincipalContext,
+        object_for: impl Fn(&str, Origin) -> ObjectContext,
+    ) -> Vec<String> {
+        if self.mode() == PolicyMode::SameOriginOnly {
+            return candidates
+                .iter()
+                .map(|(name, value, _)| format!("{name}={value}"))
+                .collect();
+        }
+        let objects: Vec<ObjectContext> = candidates
+            .iter()
+            .map(|(name, _, origin)| object_for(name, origin.clone()))
+            .collect();
+        let checks: Vec<(&PrincipalContext, &ObjectContext, Operation)> = objects
+            .iter()
+            .map(|object| (principal, object, operation))
+            .collect();
+        self.check_many(&checks)
+            .iter()
+            .zip(candidates)
+            .filter(|(decision, _)| decision.is_allowed())
+            .map(|(_, (name, value, _))| format!("{name}={value}"))
+            .collect()
     }
 
     /// Convenience: mediate and convert a denial into an `Err(String)` describing the
@@ -105,15 +239,28 @@ impl Erm {
         self.denials
     }
 
-    /// The audit log (empty when audit retention is disabled).
+    /// The retained audit records, oldest first (empty when audit retention is
+    /// disabled). At most [`Erm::audit_capacity`] records are retained.
     #[must_use]
-    pub fn audit(&self) -> &[AuditRecord] {
+    pub fn audit(&self) -> &VecDeque<AuditRecord> {
         &self.audit
     }
 
-    /// Drains the audit log, returning the records accumulated so far.
+    /// The bound on retained audit records.
+    #[must_use]
+    pub fn audit_capacity(&self) -> usize {
+        self.audit_capacity
+    }
+
+    /// Number of audit records dropped because the ring buffer was full.
+    #[must_use]
+    pub fn audit_dropped(&self) -> u64 {
+        self.audit_dropped
+    }
+
+    /// Drains the audit log, returning the records retained so far (oldest first).
     pub fn take_audit(&mut self) -> Vec<AuditRecord> {
-        std::mem::take(&mut self.audit)
+        self.audit.drain(..).collect()
     }
 }
 
@@ -121,7 +268,7 @@ impl Erm {
 mod tests {
     use super::*;
     use escudo_core::context::{ObjectKind, PrincipalKind};
-    use escudo_core::{Acl, Origin, Ring};
+    use escudo_core::{Acl, EscudoEngine, Origin, Ring};
 
     fn site() -> Origin {
         Origin::new("http", "forum.example", 80)
@@ -140,8 +287,12 @@ mod tests {
     #[test]
     fn checks_and_denials_are_counted_and_audited() {
         let mut erm = Erm::new(PolicyMode::Escudo);
-        assert!(erm.check(&script(1), &cookie(), Operation::Read).is_allowed());
-        assert!(erm.check(&script(3), &cookie(), Operation::Read).is_denied());
+        assert!(erm
+            .check(&script(1), &cookie(), Operation::Read)
+            .is_allowed());
+        assert!(erm
+            .check(&script(3), &cookie(), Operation::Read)
+            .is_denied());
         assert_eq!(erm.checks(), 2);
         assert_eq!(erm.denials(), 1);
         assert_eq!(erm.audit().len(), 2);
@@ -165,7 +316,9 @@ mod tests {
     #[test]
     fn sop_mode_only_applies_the_origin_rule() {
         let mut erm = Erm::new(PolicyMode::SameOriginOnly);
-        assert!(erm.check(&script(9), &cookie(), Operation::Write).is_allowed());
+        assert!(erm
+            .check(&script(9), &cookie(), Operation::Write)
+            .is_allowed());
         let foreign = PrincipalContext::new(
             PrincipalKind::Script,
             Origin::new("http", "evil.example", 80),
@@ -182,5 +335,51 @@ mod tests {
         assert_eq!(erm.checks(), 1);
         assert_eq!(erm.denials(), 1);
         assert!(erm.audit().is_empty());
+    }
+
+    #[test]
+    fn audit_ring_buffer_is_bounded_and_counts_drops() {
+        let mut erm = Erm::new(PolicyMode::Escudo).with_audit_capacity(3);
+        for _ in 0..10 {
+            erm.check(&script(1), &cookie(), Operation::Read);
+        }
+        assert_eq!(erm.checks(), 10);
+        assert_eq!(erm.audit().len(), 3);
+        assert_eq!(erm.audit_dropped(), 7);
+        assert_eq!(erm.audit_capacity(), 3);
+        // Zero capacity retains nothing but keeps counting.
+        let mut none = Erm::new(PolicyMode::Escudo).with_audit_capacity(0);
+        none.check(&script(1), &cookie(), Operation::Read);
+        assert!(none.audit().is_empty());
+        assert_eq!(none.audit_dropped(), 1);
+    }
+
+    #[test]
+    fn shared_engine_caches_across_monitors() {
+        let engine: Arc<dyn PolicyEngine> = Arc::new(EscudoEngine::new());
+        let mut a = Erm::with_engine(Arc::clone(&engine));
+        let mut b = Erm::with_engine(Arc::clone(&engine));
+        a.check(&script(1), &cookie(), Operation::Read);
+        // Same decision through a different monitor: served from the shared cache.
+        b.check(&script(1), &cookie(), Operation::Read);
+        assert_eq!(engine.stats().cache_hits, 1);
+        assert_eq!(a.engine_stats().decisions, 2);
+    }
+
+    #[test]
+    fn check_many_counts_and_audits_like_check() {
+        let mut erm = Erm::new(PolicyMode::Escudo);
+        let p1 = script(1);
+        let p3 = script(3);
+        let object = cookie();
+        let decisions = erm.check_many(&[
+            (&p1, &object, Operation::Read),
+            (&p3, &object, Operation::Read),
+        ]);
+        assert!(decisions[0].is_allowed());
+        assert!(decisions[1].is_denied());
+        assert_eq!(erm.checks(), 2);
+        assert_eq!(erm.denials(), 1);
+        assert_eq!(erm.audit().len(), 2);
     }
 }

@@ -159,8 +159,20 @@ impl<'a> BrowserHost<'a> {
                     }
                     let is_void = matches!(
                         name.as_str(),
-                        "area" | "base" | "br" | "col" | "embed" | "hr" | "img" | "input"
-                            | "link" | "meta" | "param" | "source" | "track" | "wbr"
+                        "area"
+                            | "base"
+                            | "br"
+                            | "col"
+                            | "embed"
+                            | "hr"
+                            | "img"
+                            | "input"
+                            | "link"
+                            | "meta"
+                            | "param"
+                            | "source"
+                            | "track"
+                            | "wbr"
                     );
                     if !self_closing && !is_void {
                         stack.push(node);
@@ -191,32 +203,28 @@ impl<'a> BrowserHost<'a> {
 
     /// Attaches cookies to an outgoing request according to the policy mode: the
     /// legacy baseline attaches everything in scope (which is what CSRF exploits),
-    /// ESCUDO performs a `use` check per cookie.
+    /// ESCUDO performs a `use` check per cookie — decided as one batch so the engine
+    /// lock is taken once per request, not once per cookie.
     fn attach_cookies(&mut self, request: &mut Request, principal: &PrincipalContext) {
-        let candidates: Vec<(String, String, escudo_core::Origin)> = self
-            .jar
-            .candidates_for(&request.url)
-            .into_iter()
-            .map(|c| (c.name.clone(), c.value.clone(), c.origin()))
-            .collect();
-        let mut attached = Vec::new();
-        for (name, value, cookie_origin) in candidates {
-            let allowed = match self.mode {
-                PolicyMode::SameOriginOnly => true,
-                PolicyMode::Escudo => {
-                    let object = self.contexts.cookie_object(&name, cookie_origin);
-                    self.erm
-                        .check(principal, &object, Operation::Use)
-                        .is_allowed()
-                }
-            };
-            if allowed {
-                attached.push(format!("{name}={value}"));
-            }
-        }
+        let candidates = self.cookie_candidates(&request.url);
+        let attached =
+            self.erm
+                .mediate_cookies(&candidates, Operation::Use, principal, |name, origin| {
+                    self.contexts.cookie_object(name, origin)
+                });
         if !attached.is_empty() {
             request.headers.set("Cookie", attached.join("; "));
         }
+    }
+
+    /// One pass over the jar: `(name, value, origin)` per in-scope cookie, so
+    /// mediation can never pair one cookie's name with another's origin.
+    fn cookie_candidates(&self, url: &Url) -> Vec<crate::erm::CookieCandidate> {
+        self.jar
+            .candidates_for(url)
+            .into_iter()
+            .map(|c| (c.name.clone(), c.value.clone(), c.origin()))
+            .collect()
     }
 }
 
@@ -322,11 +330,7 @@ impl Host for BrowserHost<'_> {
         Ok(())
     }
 
-    fn get_attribute(
-        &mut self,
-        node: HostNodeId,
-        name: &str,
-    ) -> Result<Option<String>, HostError> {
+    fn get_attribute(&mut self, node: HostNodeId, name: &str) -> Result<Option<String>, HostError> {
         let node = self.node(node)?;
         self.check_dom(node, Operation::Read)?;
         Ok(self.document.attribute(node, name).map(str::to_string))
@@ -362,28 +366,13 @@ impl Host for BrowserHost<'_> {
 
     fn cookie_get(&mut self) -> Result<String, HostError> {
         self.check_api(NativeApi::CookieApi)?;
-        let candidates: Vec<(String, String, escudo_core::Origin)> = self
-            .jar
-            .candidates_for(&self.page_url)
-            .into_iter()
-            .map(|c| (c.name.clone(), c.value.clone(), c.origin()))
-            .collect();
-        let mut visible = Vec::new();
-        for (name, value, cookie_origin) in candidates {
-            let allowed = match self.mode {
-                PolicyMode::SameOriginOnly => true,
-                PolicyMode::Escudo => {
-                    let object = self.contexts.cookie_object(&name, cookie_origin);
-                    let principal = self.principal.clone();
-                    self.erm
-                        .check(&principal, &object, Operation::Read)
-                        .is_allowed()
-                }
-            };
-            if allowed {
-                visible.push(format!("{name}={value}"));
-            }
-        }
+        let candidates = self.cookie_candidates(&self.page_url.clone());
+        let visible = self.erm.mediate_cookies(
+            &candidates,
+            Operation::Read,
+            &self.principal,
+            |name, origin| self.contexts.cookie_object(name, origin),
+        );
         Ok(visible.join("; "))
     }
 

@@ -76,9 +76,10 @@ impl PageLoader {
                     !response.cookie_policies().is_empty() || !response.api_policies().is_empty();
                 // Cheap scan: an AC tag declares at least one of ring/r/w/x.
                 let has_ac_tags = document.all_elements().iter().any(|&node| {
-                    document.attributes(node).iter().any(|(name, _)| {
-                        matches!(name.as_str(), "ring" | "r" | "w" | "x")
-                    })
+                    document
+                        .attributes(node)
+                        .iter()
+                        .any(|(name, _)| matches!(name.as_str(), "ring" | "r" | "w" | "x"))
                 });
                 let legacy = !(has_ac_tags || has_header_config);
                 let mut contexts = SecurityContextTable::new(origin.clone(), legacy);
@@ -123,6 +124,7 @@ impl PageLoader {
                 render_ns,
                 policy_checks: 0,
                 policy_denials: 0,
+                policy_cache_hits: 0,
             },
             legacy,
         }
@@ -191,11 +193,8 @@ pub(crate) fn label_dynamic_subtree(
     creator_ring: Ring,
     parent_ring: Ring,
 ) {
-    let base = escudo_core::scoping::effective_ring_for_dynamic_content(
-        creator_ring,
-        parent_ring,
-        None,
-    );
+    let base =
+        escudo_core::scoping::effective_ring_for_dynamic_content(creator_ring, parent_ring, None);
     let mut stack = vec![(root, base)];
     while let Some((node, bound)) = stack.pop() {
         let ring = if document.element(node).is_some() {
@@ -265,7 +264,10 @@ mod tests {
 
     #[test]
     fn legacy_pages_collapse_to_a_single_privileged_ring() {
-        let page = load("<html><body><p id=x>hi</p><script>var a = 1;</script></body></html>", PolicyMode::Escudo);
+        let page = load(
+            "<html><body><p id=x>hi</p><script>var a = 1;</script></body></html>",
+            PolicyMode::Escudo,
+        );
         assert!(page.legacy);
         let x = page.document.get_element_by_id("x").unwrap();
         let label = page.contexts.node_label(x);
@@ -288,7 +290,10 @@ mod tests {
         // Non-AC children inherit the enclosing scope.
         let app = page.document.get_element_by_id("app").unwrap();
         assert_eq!(page.contexts.node_label(app).ring, Ring::new(1));
-        assert_eq!(page.contexts.node_label(app).acl, Acl::uniform(Ring::new(1)));
+        assert_eq!(
+            page.contexts.node_label(app).acl,
+            Acl::uniform(Ring::new(1))
+        );
         // Nested AC tag takes its declared (less privileged) ring and ACL.
         let user = page.document.get_element_by_id("user").unwrap();
         assert_eq!(page.contexts.node_label(user).ring, Ring::new(3));
@@ -335,9 +340,13 @@ mod tests {
             ));
         let page = PageLoader::load(&url, &response, &LoadOptions::default());
         assert!(!page.legacy);
-        assert_eq!(page.contexts.cookie_policy("sid").unwrap().ring, Ring::new(1));
         assert_eq!(
-            page.contexts.api_ring(escudo_core::config::NativeApi::XmlHttpRequest),
+            page.contexts.cookie_policy("sid").unwrap().ring,
+            Ring::new(1)
+        );
+        assert_eq!(
+            page.contexts
+                .api_ring(escudo_core::config::NativeApi::XmlHttpRequest),
             Ring::new(1)
         );
     }
@@ -373,7 +382,9 @@ mod tests {
         let mut page = load(html, PolicyMode::Escudo);
         let target = page.document.get_element_by_id("target").unwrap();
         // Simulate a ring-3 script creating <div ring=0><b>x</b></div> under target.
-        let injected = page.document.create_element_with_attrs("div", &[("ring", "0")]);
+        let injected = page
+            .document
+            .create_element_with_attrs("div", &[("ring", "0")]);
         let bold = page.document.create_element("b");
         page.document.append_child(injected, bold).unwrap();
         page.document.append_child(target, injected).unwrap();
@@ -391,7 +402,10 @@ mod tests {
 
     #[test]
     fn load_stats_are_populated() {
-        let page = load("<html><body ring=1><p>text</p></body></html>", PolicyMode::Escudo);
+        let page = load(
+            "<html><body ring=1><p>text</p></body></html>",
+            PolicyMode::Escudo,
+        );
         assert!(page.stats.parse_ns > 0);
         assert!(page.render_stats.boxes > 0);
     }

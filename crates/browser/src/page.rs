@@ -62,6 +62,9 @@ pub struct PageLoadStats {
     pub policy_checks: u64,
     /// Denials issued during the load.
     pub policy_denials: u64,
+    /// Decisions the shared engine served from its memoization cache (cumulative for
+    /// the engine, like `policy_checks`).
+    pub policy_cache_hits: u64,
 }
 
 impl PageLoadStats {
@@ -138,6 +141,7 @@ mod tests {
             render_ns: 15,
             policy_checks: 3,
             policy_denials: 1,
+            policy_cache_hits: 2,
         };
         assert_eq!(stats.parse_and_render_ns(), 30);
         assert_eq!(stats.total_ns(), 50);

@@ -9,7 +9,6 @@
 //! in the prototype, where enforcement hooks wrap the existing pipeline.
 
 use escudo_dom::{Document, NodeData, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// Horizontal pixels assumed per character (fixed-width text model).
 const CHAR_WIDTH: u32 = 8;
@@ -22,7 +21,7 @@ const BLOCK_PADDING: u32 = 4;
 const INVISIBLE: [&str; 6] = ["head", "script", "style", "title", "meta", "link"];
 
 /// One box in the display list.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LayoutBox {
     /// The node this box renders (element or text run).
     pub node: usize,
@@ -39,7 +38,7 @@ pub struct LayoutBox {
 }
 
 /// Aggregate statistics of one layout pass.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RenderStats {
     /// Number of boxes produced.
     pub boxes: usize,
@@ -187,7 +186,8 @@ mod tests {
 
     #[test]
     fn invisible_elements_are_skipped() {
-        let (_, with_script) = layout("<head><script>var x = 'not rendered';</script></head><body><p>hi</p></body>");
+        let (_, with_script) =
+            layout("<head><script>var x = 'not rendered';</script></head><body><p>hi</p></body>");
         let (_, without) = layout("<body><p>hi</p></body>");
         assert_eq!(with_script.lines, without.lines);
         assert_eq!(with_script.characters, without.characters);

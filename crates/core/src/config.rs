@@ -13,8 +13,6 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 use crate::acl::Acl;
 use crate::error::ConfigError;
 use crate::nonce::Nonce;
@@ -34,7 +32,7 @@ pub const AC_ATTRIBUTES: [&str; 5] = ["ring", "r", "w", "x", "nonce"];
 
 /// The ESCUDO attributes found on a single AC (`div`) tag, exactly as declared by the
 /// application — before the scoping rule and fail-safe defaults are applied.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct AcAttributes {
     /// The declared ring (`ring=`), if any.
     pub ring: Option<Ring>,
@@ -67,16 +65,25 @@ impl AcAttributes {
             match name.to_ascii_lowercase().as_str() {
                 "ring" => out.ring = Some(value.parse()?),
                 "r" => {
-                    out.read =
-                        Some(value.parse().map_err(|_| ConfigError::InvalidAcl(value.into()))?)
+                    out.read = Some(
+                        value
+                            .parse()
+                            .map_err(|_| ConfigError::InvalidAcl(value.into()))?,
+                    )
                 }
                 "w" => {
-                    out.write =
-                        Some(value.parse().map_err(|_| ConfigError::InvalidAcl(value.into()))?)
+                    out.write = Some(
+                        value
+                            .parse()
+                            .map_err(|_| ConfigError::InvalidAcl(value.into()))?,
+                    )
                 }
                 "x" => {
-                    out.use_ =
-                        Some(value.parse().map_err(|_| ConfigError::InvalidAcl(value.into()))?)
+                    out.use_ = Some(
+                        value
+                            .parse()
+                            .map_err(|_| ConfigError::InvalidAcl(value.into()))?,
+                    )
                 }
                 "nonce" => out.nonce = Some(value.parse()?),
                 _ => {}
@@ -140,7 +147,7 @@ impl AcAttributes {
 }
 
 /// A ring + ACL pair after defaults and the scoping rule have been applied.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResolvedLabel {
     /// The effective ring.
     pub ring: Ring,
@@ -149,7 +156,7 @@ pub struct ResolvedLabel {
 }
 
 /// The native-code APIs whose invocation ESCUDO gates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NativeApi {
     /// The `XMLHttpRequest` API used by AJAX code to talk to the server.
     XmlHttpRequest,
@@ -201,7 +208,7 @@ impl fmt::Display for NativeApi {
 }
 
 /// A per-cookie ESCUDO policy communicated via [`COOKIE_POLICY_HEADER`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CookiePolicy {
     /// The cookie name this policy applies to (`*` matches every cookie).
     pub name: String,
@@ -282,7 +289,7 @@ impl fmt::Display for CookiePolicy {
 }
 
 /// A native-API ESCUDO policy communicated via [`API_POLICY_HEADER`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ApiPolicy {
     /// The API being labelled.
     pub api: NativeApi,
@@ -318,10 +325,11 @@ impl FromStr for ApiPolicy {
                 header: API_POLICY_HEADER.to_string(),
                 reason: "missing `api=` field".to_string(),
             })?;
-        let api = NativeApi::from_header_name(&api_name).ok_or_else(|| ConfigError::InvalidHeader {
-            header: API_POLICY_HEADER.to_string(),
-            reason: format!("unknown api `{api_name}`"),
-        })?;
+        let api =
+            NativeApi::from_header_name(&api_name).ok_or_else(|| ConfigError::InvalidHeader {
+                header: API_POLICY_HEADER.to_string(),
+                reason: format!("unknown api `{api_name}`"),
+            })?;
         let ring = lookup_ring(&fields, "ring")?.unwrap_or(Ring::INNERMOST);
         Ok(ApiPolicy { api, ring })
     }
@@ -341,10 +349,12 @@ fn parse_directive_fields(s: &str, header: &str) -> Result<Vec<(String, String)>
         if part.is_empty() {
             continue;
         }
-        let (k, v) = part.split_once('=').ok_or_else(|| ConfigError::InvalidHeader {
-            header: header.to_string(),
-            reason: format!("field `{part}` is not of the form key=value"),
-        })?;
+        let (k, v) = part
+            .split_once('=')
+            .ok_or_else(|| ConfigError::InvalidHeader {
+                header: header.to_string(),
+                reason: format!("field `{part}` is not of the form key=value"),
+            })?;
         fields.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
     }
     if fields.is_empty() {
@@ -367,7 +377,6 @@ fn lookup_ring(fields: &[(String, String)], key: &str) -> Result<Option<Ring>, C
 mod tests {
     use super::*;
     use crate::operation::Operation;
-    use proptest::prelude::*;
 
     #[test]
     fn parses_the_figure_2_example() {
@@ -506,49 +515,81 @@ mod tests {
         assert_eq!(parsed.ring, Ring::INNERMOST);
     }
 
-    proptest! {
-        #[test]
-        fn ac_attribute_parser_never_panics(
-            names in proptest::collection::vec("[a-z]{1,6}", 0..6),
-            values in proptest::collection::vec(".{0,12}", 0..6)
-        ) {
-            let pairs: Vec<(&str, &str)> = names
-                .iter()
-                .zip(values.iter())
-                .map(|(n, v)| (n.as_str(), v.as_str()))
-                .collect();
-            let _ = AcAttributes::parse(pairs);
+    #[test]
+    fn ac_attribute_parser_never_panics() {
+        let names = ["ring", "r", "w", "x", "nonce", "zzz", "", "RING"];
+        let values = [
+            "",
+            "0",
+            "3",
+            "-1",
+            "abc",
+            "65536",
+            "  2  ",
+            "\u{0}",
+            "1.5",
+            "🦀",
+            "9999999999",
+        ];
+        for name in names {
+            for value in values {
+                let _ = AcAttributes::parse([(name, value)]);
+                let _ = AcAttributes::parse([(name, value), ("ring", "2"), (name, value)]);
+            }
         }
+        let _ = AcAttributes::parse(std::iter::empty::<(&str, &str)>());
+    }
 
-        #[test]
-        fn cookie_policy_roundtrips_for_valid_inputs(
-            name in "[A-Za-z_][A-Za-z0-9_]{0,12}",
-            ring in 0u16..10, r in 0u16..10, w in 0u16..10, x in 0u16..10
-        ) {
-            let policy = CookiePolicy::new(name, Ring::new(ring))
-                .with_acl(Acl::new(Ring::new(r), Ring::new(w), Ring::new(x)));
-            let parsed: CookiePolicy = policy.to_header_value().parse().unwrap();
-            prop_assert_eq!(parsed, policy);
+    #[test]
+    fn cookie_policy_roundtrips_for_valid_inputs() {
+        let names = [
+            "sid",
+            "phpbb2mysql_sid",
+            "_x",
+            "A9",
+            "name_with_underscores",
+        ];
+        for name in names {
+            for ring in 0u16..10 {
+                for acl_base in 0u16..10 {
+                    let policy = CookiePolicy::new(name, Ring::new(ring)).with_acl(Acl::new(
+                        Ring::new(acl_base),
+                        Ring::new((acl_base + 3) % 10),
+                        Ring::new((acl_base + 7) % 10),
+                    ));
+                    let parsed: CookiePolicy = policy.to_header_value().parse().unwrap();
+                    assert_eq!(parsed, policy);
+                }
+            }
         }
+    }
 
-        #[test]
-        fn resolve_never_escapes_the_parent_ring(
-            parent in 0u16..20,
-            ring in proptest::option::of(0u16..20),
-            r in proptest::option::of(0u16..20)
-        ) {
-            let attrs = AcAttributes {
-                ring: ring.map(Ring::new),
-                read: r.map(Ring::new),
-                write: None,
-                use_: None,
-                nonce: None,
-            };
-            let resolved = attrs.resolve(Ring::new(parent));
-            prop_assert!(Ring::new(parent).is_at_least_as_privileged_as(resolved.ring));
-            for op in Operation::ALL {
-                prop_assert!(resolved.acl.bound(op).is_at_least_as_privileged_as(resolved.ring)
-                    || resolved.acl.bound(op) == resolved.ring);
+    #[test]
+    fn resolve_never_escapes_the_parent_ring() {
+        let options =
+            |limit: u16| std::iter::once(None).chain((0..limit).map(|v| Some(Ring::new(v))));
+        for parent in 0u16..20 {
+            for ring in options(20) {
+                for read in options(20) {
+                    let attrs = AcAttributes {
+                        ring,
+                        read,
+                        write: None,
+                        use_: None,
+                        nonce: None,
+                    };
+                    let resolved = attrs.resolve(Ring::new(parent));
+                    assert!(Ring::new(parent).is_at_least_as_privileged_as(resolved.ring));
+                    for op in Operation::ALL {
+                        assert!(
+                            resolved
+                                .acl
+                                .bound(op)
+                                .is_at_least_as_privileged_as(resolved.ring)
+                                || resolved.acl.bound(op) == resolved.ring
+                        );
+                    }
+                }
             }
         }
     }

@@ -9,15 +9,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::acl::Acl;
 use crate::operation::Operation;
 use crate::origin::Origin;
 use crate::ring::Ring;
 
 /// The kind of principal attempting an access (Table 1, left column).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PrincipalKind {
     /// A JavaScript program (inline `<script>`, external script, or `javascript:` URL).
     Script,
@@ -44,7 +42,7 @@ impl fmt::Display for PrincipalKind {
 }
 
 /// The kind of object being accessed (Table 1, right column).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ObjectKind {
     /// A DOM element (or subtree) of the web page.
     DomElement,
@@ -70,7 +68,7 @@ impl fmt::Display for ObjectKind {
 
 /// The security context of a principal: who it is, where it came from, and which ring
 /// it executes in.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PrincipalContext {
     /// What kind of principal this is.
     pub kind: PrincipalKind,
@@ -124,7 +122,7 @@ impl fmt::Display for PrincipalContext {
 }
 
 /// The security context of an object: its origin, its ring, and its (optional) ACL.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ObjectContext {
     /// What kind of object this is.
     pub kind: ObjectKind,

@@ -1,0 +1,767 @@
+//! The pluggable policy engine: one decision core shared by every enforcement point.
+//!
+//! The paper's prototype spreads the ESCUDO Reference Monitor "over several places
+//! because the places to embed the checks is specific to the object type". That is
+//! fine for *enforcement* — the checks must live where the objects live — but the
+//! *decision procedure* itself should exist exactly once, behind one interface, so it
+//! can be shared, swapped and accelerated independently of the enforcement points
+//! (WebSpec argues for a single machine-checkable decision core; WebPol shows
+//! fine-grained policies only scale when evaluation is factored out of enforcement).
+//!
+//! This module provides that factoring:
+//!
+//! * [`PolicyEngine`] — the trait every decision core implements: [`decide`]
+//!   (one mediation) and [`decide_many`] (batch mediation, one lock acquisition),
+//! * [`EscudoEngine`] — the production engine: it **interns** principal and object
+//!   contexts into small integer ids ([`PrincipalId`], [`ObjectId`]) via a
+//!   [`ContextTable`], and **memoizes** decisions in a hash cache keyed on
+//!   `(principal_id, object_id, operation)` so hot DOM/event paths skip the
+//!   origin/ring/ACL recomputation entirely,
+//! * [`SameOriginEngine`] — the legacy same-origin baseline behind the same trait,
+//! * [`engine_for_mode`] — the factory the browser uses to pick an engine.
+//!
+//! Both engines take `&self` and are `Send + Sync`, so one engine can be shared by
+//! every page of a browsing session (or every session of a multi-tenant server) via
+//! `Arc<dyn PolicyEngine>`.
+//!
+//! [`decide`]: PolicyEngine::decide
+//! [`decide_many`]: PolicyEngine::decide_many
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use escudo_core::engine::{engine_for_mode, EscudoEngine, PolicyEngine};
+//! use escudo_core::context::{ObjectContext, ObjectKind, PrincipalContext, PrincipalKind};
+//! use escudo_core::{Acl, Operation, Origin, PolicyMode, Ring};
+//!
+//! let engine: Arc<dyn PolicyEngine> = engine_for_mode(PolicyMode::Escudo);
+//! let origin = Origin::new("http", "blog.example", 80);
+//! let script = PrincipalContext::new(PrincipalKind::Script, origin.clone(), Ring::new(3));
+//! let post = ObjectContext::new(ObjectKind::DomElement, origin, Ring::new(1))
+//!     .with_acl(Acl::uniform(Ring::new(1)));
+//!
+//! // First check computes the three rules; the second is served from the cache.
+//! assert!(engine.decide(&script, &post, Operation::Write).is_denied());
+//! assert!(engine.decide(&script, &post, Operation::Write).is_denied());
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::acl::Acl;
+use crate::context::{ObjectContext, PrincipalContext, PrincipalKind};
+use crate::operation::Operation;
+use crate::origin::Origin;
+use crate::policy::{decide, Decision, PolicyMode};
+use crate::ring::Ring;
+
+/// A fast non-cryptographic hasher (the rustc `FxHash` multiply-xor scheme) for the
+/// interner and decision-cache maps. Decision keys are attacker-influenced only
+/// through page markup the application already trusts itself to serve, and the maps
+/// are bounded, so DoS-grade collision resistance (SipHash) buys nothing here —
+/// while string hashing sits directly on the mediation hot path.
+#[derive(Debug, Default, Clone, Copy)]
+struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while let Some(chunk) = bytes.first_chunk::<8>() {
+            self.add_to_hash(u64::from_le_bytes(*chunk));
+            bytes = &bytes[8..];
+        }
+        if let Some(chunk) = bytes.first_chunk::<4>() {
+            self.add_to_hash(u64::from(u32::from_le_bytes(*chunk)));
+            bytes = &bytes[4..];
+        }
+        for &byte in bytes {
+            self.add_to_hash(u64::from(byte));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// Interned id of a principal's decision-relevant context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PrincipalId(u32);
+
+impl PrincipalId {
+    /// The raw interned index.
+    #[must_use]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// Interned id of an object's decision-relevant context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(u32);
+
+impl ObjectId {
+    /// The raw interned index.
+    #[must_use]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// The decision-relevant part of a [`PrincipalContext`].
+///
+/// The decision procedure never looks at the free-form `label`, and of the `kind` it
+/// only distinguishes the browser chrome (which is exempt from mediation). Dropping
+/// the irrelevant fields here is what makes interning effective: thousands of
+/// distinctly-labelled principals collapse onto a handful of ids.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PrincipalKey {
+    is_browser: bool,
+    origin: Origin,
+    ring: Ring,
+}
+
+impl PrincipalKey {
+    fn of(principal: &PrincipalContext) -> Self {
+        PrincipalKey {
+            is_browser: principal.kind == PrincipalKind::Browser,
+            origin: principal.origin.clone(),
+            ring: principal.ring,
+        }
+    }
+
+    /// Field-wise comparison against a borrowed context — the alloc-free probe.
+    fn matches(&self, principal: &PrincipalContext) -> bool {
+        self.is_browser == (principal.kind == PrincipalKind::Browser)
+            && self.ring == principal.ring
+            && self.origin == principal.origin
+    }
+}
+
+/// Hashes the decision-relevant fields of a principal context without building a
+/// [`PrincipalKey`] (no clones on the probe path).
+fn hash_principal(principal: &PrincipalContext) -> u64 {
+    let mut hasher = FxHasher::default();
+    hasher.write_u8(u8::from(principal.kind == PrincipalKind::Browser));
+    hasher.write(principal.origin.scheme().as_bytes());
+    hasher.write(principal.origin.host().as_bytes());
+    hasher.write_u16(principal.origin.port());
+    hasher.write_u16(principal.ring.level());
+    hasher.finish()
+}
+
+/// The decision-relevant part of an [`ObjectContext`] (origin, ring, ACL — the
+/// object's kind and label never influence the three rules).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ObjectKey {
+    origin: Origin,
+    ring: Ring,
+    acl: Acl,
+}
+
+impl ObjectKey {
+    fn of(object: &ObjectContext) -> Self {
+        ObjectKey {
+            origin: object.origin.clone(),
+            ring: object.ring,
+            acl: object.acl,
+        }
+    }
+
+    /// Field-wise comparison against a borrowed context — the alloc-free probe.
+    fn matches(&self, object: &ObjectContext) -> bool {
+        self.ring == object.ring && self.acl == object.acl && self.origin == object.origin
+    }
+}
+
+/// Hashes the decision-relevant fields of an object context without building an
+/// [`ObjectKey`] (no clones on the probe path).
+fn hash_object(object: &ObjectContext) -> u64 {
+    let mut hasher = FxHasher::default();
+    hasher.write(object.origin.scheme().as_bytes());
+    hasher.write(object.origin.host().as_bytes());
+    hasher.write_u16(object.origin.port());
+    hasher.write_u16(object.ring.level());
+    hasher.write_u16(object.acl.read.level());
+    hasher.write_u16(object.acl.write.level());
+    hasher.write_u16(object.acl.use_.level());
+    hasher.finish()
+}
+
+/// Interning table mapping security contexts onto dense small-integer ids.
+///
+/// Two contexts receive the same id exactly when the decision procedure cannot
+/// distinguish them — same origin, same ring, same ACL (and, for principals, the same
+/// browser-chrome exemption). Ids are dense (`0, 1, 2, …`), so downstream layers can
+/// index arrays with them.
+#[derive(Debug, Default)]
+pub struct ContextTable {
+    // Keyed by the 64-bit fx hash of the borrowed context fields; the bucket holds the
+    // owned keys for exact comparison. Probing therefore never clones a context —
+    // only a genuinely new context pays the key allocation.
+    principals: FxHashMap<u64, Vec<(PrincipalKey, PrincipalId)>>,
+    objects: FxHashMap<u64, Vec<(ObjectKey, ObjectId)>>,
+    principal_count: usize,
+    object_count: usize,
+}
+
+impl ContextTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        ContextTable::default()
+    }
+
+    /// Interns a principal context, returning its stable id.
+    pub fn intern_principal(&mut self, principal: &PrincipalContext) -> PrincipalId {
+        let bucket = self
+            .principals
+            .entry(hash_principal(principal))
+            .or_default();
+        if let Some((_, id)) = bucket.iter().find(|(key, _)| key.matches(principal)) {
+            return *id;
+        }
+        let id = PrincipalId(u32::try_from(self.principal_count).expect("≤ u32::MAX principals"));
+        self.principal_count += 1;
+        bucket.push((PrincipalKey::of(principal), id));
+        id
+    }
+
+    /// Interns an object context, returning its stable id.
+    pub fn intern_object(&mut self, object: &ObjectContext) -> ObjectId {
+        let bucket = self.objects.entry(hash_object(object)).or_default();
+        if let Some((_, id)) = bucket.iter().find(|(key, _)| key.matches(object)) {
+            return *id;
+        }
+        let id = ObjectId(u32::try_from(self.object_count).expect("≤ u32::MAX objects"));
+        self.object_count += 1;
+        bucket.push((ObjectKey::of(object), id));
+        id
+    }
+
+    /// Number of distinct principal contexts interned so far.
+    #[must_use]
+    pub fn principal_count(&self) -> usize {
+        self.principal_count
+    }
+
+    /// Number of distinct object contexts interned so far.
+    #[must_use]
+    pub fn object_count(&self) -> usize {
+        self.object_count
+    }
+}
+
+/// Counters describing how an engine's cache is performing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Total decisions requested.
+    pub decisions: u64,
+    /// Decisions served from the memoization cache.
+    pub cache_hits: u64,
+    /// Decisions that had to run the full origin/ring/ACL procedure.
+    pub cache_misses: u64,
+    /// Distinct principal contexts interned.
+    pub interned_principals: u64,
+    /// Distinct object contexts interned.
+    pub interned_objects: u64,
+}
+
+impl EngineStats {
+    /// Cache hit rate in `[0, 1]` (0 when no decisions were made).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.decisions == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.decisions as f64
+        }
+    }
+}
+
+/// The single decision interface every enforcement point goes through.
+///
+/// Implementations must be cheap to share: `decide` takes `&self` and the trait
+/// requires `Send + Sync`, so one engine instance can serve every page, thread and
+/// tenant of a deployment behind an `Arc<dyn PolicyEngine>`.
+pub trait PolicyEngine: Send + Sync + fmt::Debug {
+    /// The policy mode this engine enforces.
+    fn mode(&self) -> PolicyMode;
+
+    /// Decides whether `principal` may perform `op` on `object`.
+    ///
+    /// Must return exactly what [`crate::policy::decide`] returns for this engine's
+    /// mode — engines may cache or precompute, never diverge.
+    fn decide(
+        &self,
+        principal: &PrincipalContext,
+        object: &ObjectContext,
+        op: Operation,
+    ) -> Decision;
+
+    /// Batch mediation: decides a slice of checks in order.
+    ///
+    /// Engines with shared internal state can acquire their locks once for the whole
+    /// batch, which is what makes bulk paths (cookie attachment across a jar, event
+    /// floods) cheaper than `n` individual `decide` calls.
+    fn decide_many(
+        &self,
+        checks: &[(&PrincipalContext, &ObjectContext, Operation)],
+    ) -> Vec<Decision> {
+        checks
+            .iter()
+            .map(|(p, o, op)| self.decide(p, o, *op))
+            .collect()
+    }
+
+    /// Cache/interning statistics. Engines without a cache report zeros besides
+    /// `decisions`.
+    fn stats(&self) -> EngineStats;
+}
+
+/// Interning + memoization state of an [`EscudoEngine`], behind one mutex so a
+/// decision costs at most one lock acquisition.
+#[derive(Debug, Default)]
+struct EscudoEngineInner {
+    table: ContextTable,
+    cache: FxHashMap<(PrincipalId, ObjectId, Operation), Decision>,
+}
+
+/// The production ESCUDO engine: context interning plus a shared decision cache.
+///
+/// The three MAC rules are pure functions of `(principal context, object context,
+/// operation)`, so their outcome can be memoized. The engine interns both contexts
+/// into small ids and keys the cache on `(principal_id, object_id, op)`; repeated
+/// checks on hot DOM and event-dispatch paths are then a hash probe instead of an
+/// origin-string comparison cascade.
+///
+/// The cache is bounded ([`EscudoEngine::with_cache_capacity`]); when full it is
+/// cleared wholesale (decisions are pure, so eviction can never produce a wrong
+/// answer — only a recomputation).
+#[derive(Debug)]
+pub struct EscudoEngine {
+    inner: Mutex<EscudoEngineInner>,
+    cache_capacity: usize,
+    decisions: AtomicU64,
+    hits: AtomicU64,
+}
+
+/// Default bound on the number of memoized decisions.
+pub const DEFAULT_CACHE_CAPACITY: usize = 64 * 1024;
+
+impl Default for EscudoEngine {
+    fn default() -> Self {
+        EscudoEngine::new()
+    }
+}
+
+impl EscudoEngine {
+    /// Creates an engine with the default cache capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        EscudoEngine::with_cache_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Creates an engine bounding the decision cache to `capacity` entries.
+    ///
+    /// A capacity of `0` disables memoization entirely (every decision recomputes the
+    /// rules — the configuration the cold-path benchmarks measure).
+    #[must_use]
+    pub fn with_cache_capacity(capacity: usize) -> Self {
+        EscudoEngine {
+            inner: Mutex::new(EscudoEngineInner::default()),
+            cache_capacity: capacity,
+            decisions: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Drops every memoized decision (interned ids survive — they are still valid).
+    pub fn clear_cache(&self) {
+        self.inner.lock().expect("engine lock").cache.clear();
+    }
+
+    /// Decides with the lock already held — shared by `decide` and `decide_many`.
+    fn decide_locked(
+        inner: &mut EscudoEngineInner,
+        cache_capacity: usize,
+        principal: &PrincipalContext,
+        object: &ObjectContext,
+        op: Operation,
+    ) -> (Decision, bool) {
+        let pid = inner.table.intern_principal(principal);
+        let oid = inner.table.intern_object(object);
+        if let Some(cached) = inner.cache.get(&(pid, oid, op)) {
+            return (cached.clone(), true);
+        }
+        let decision = decide(PolicyMode::Escudo, principal, object, op);
+        if cache_capacity > 0 {
+            if inner.cache.len() >= cache_capacity {
+                // Decisions are pure: a wholesale clear is always safe and keeps the
+                // eviction policy trivial (no LRU bookkeeping on the hot path).
+                inner.cache.clear();
+            }
+            inner.cache.insert((pid, oid, op), decision.clone());
+        }
+        (decision, false)
+    }
+}
+
+impl PolicyEngine for EscudoEngine {
+    fn mode(&self) -> PolicyMode {
+        PolicyMode::Escudo
+    }
+
+    fn decide(
+        &self,
+        principal: &PrincipalContext,
+        object: &ObjectContext,
+        op: Operation,
+    ) -> Decision {
+        let (decision, hit) = {
+            let mut inner = self.inner.lock().expect("engine lock");
+            Self::decide_locked(&mut inner, self.cache_capacity, principal, object, op)
+        };
+        self.decisions.fetch_add(1, Ordering::Relaxed);
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        decision
+    }
+
+    fn decide_many(
+        &self,
+        checks: &[(&PrincipalContext, &ObjectContext, Operation)],
+    ) -> Vec<Decision> {
+        let mut hits = 0u64;
+        let decisions = {
+            let mut inner = self.inner.lock().expect("engine lock");
+            checks
+                .iter()
+                .map(|(p, o, op)| {
+                    let (decision, hit) =
+                        Self::decide_locked(&mut inner, self.cache_capacity, p, o, *op);
+                    hits += u64::from(hit);
+                    decision
+                })
+                .collect()
+        };
+        self.decisions
+            .fetch_add(checks.len() as u64, Ordering::Relaxed);
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        decisions
+    }
+
+    fn stats(&self) -> EngineStats {
+        let (principals, objects) = {
+            let inner = self.inner.lock().expect("engine lock");
+            (
+                inner.table.principal_count() as u64,
+                inner.table.object_count() as u64,
+            )
+        };
+        let decisions = self.decisions.load(Ordering::Relaxed);
+        let hits = self.hits.load(Ordering::Relaxed);
+        EngineStats {
+            decisions,
+            cache_hits: hits,
+            // The two relaxed loads are not a snapshot; saturate rather than wrap if a
+            // concurrent decide lands between them.
+            cache_misses: decisions.saturating_sub(hits),
+            interned_principals: principals,
+            interned_objects: objects,
+        }
+    }
+}
+
+/// The legacy same-origin baseline behind the [`PolicyEngine`] trait.
+///
+/// The origin rule is a handful of string comparisons, so this engine neither interns
+/// nor caches — it exists so the "without ESCUDO" configuration runs through exactly
+/// the same enforcement plumbing as the full model.
+#[derive(Debug, Default)]
+pub struct SameOriginEngine {
+    decisions: AtomicU64,
+}
+
+impl SameOriginEngine {
+    /// Creates the baseline engine.
+    #[must_use]
+    pub fn new() -> Self {
+        SameOriginEngine::default()
+    }
+}
+
+impl PolicyEngine for SameOriginEngine {
+    fn mode(&self) -> PolicyMode {
+        PolicyMode::SameOriginOnly
+    }
+
+    fn decide(
+        &self,
+        principal: &PrincipalContext,
+        object: &ObjectContext,
+        op: Operation,
+    ) -> Decision {
+        self.decisions.fetch_add(1, Ordering::Relaxed);
+        decide(PolicyMode::SameOriginOnly, principal, object, op)
+    }
+
+    fn stats(&self) -> EngineStats {
+        EngineStats {
+            decisions: self.decisions.load(Ordering::Relaxed),
+            ..EngineStats::default()
+        }
+    }
+}
+
+/// The factory enforcement layers use: the full engine for [`PolicyMode::Escudo`],
+/// the baseline for [`PolicyMode::SameOriginOnly`].
+#[must_use]
+pub fn engine_for_mode(mode: PolicyMode) -> Arc<dyn PolicyEngine> {
+    match mode {
+        PolicyMode::Escudo => Arc::new(EscudoEngine::new()),
+        PolicyMode::SameOriginOnly => Arc::new(SameOriginEngine::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{ObjectKind, PrincipalKind};
+
+    fn site() -> Origin {
+        Origin::new("http", "app.example", 80)
+    }
+
+    fn other_site() -> Origin {
+        Origin::new("http", "evil.example", 80)
+    }
+
+    fn script(ring: u16) -> PrincipalContext {
+        PrincipalContext::new(PrincipalKind::Script, site(), Ring::new(ring))
+    }
+
+    fn dom(ring: u16, acl: Acl) -> ObjectContext {
+        ObjectContext::new(ObjectKind::DomElement, site(), Ring::new(ring)).with_acl(acl)
+    }
+
+    #[test]
+    fn interning_collapses_label_variants() {
+        let mut table = ContextTable::new();
+        let a = script(3).with_label("inline script #1");
+        let b = script(3).with_label("inline script #2");
+        let c = script(2);
+        assert_eq!(table.intern_principal(&a), table.intern_principal(&b));
+        assert_ne!(table.intern_principal(&a), table.intern_principal(&c));
+        assert_eq!(table.principal_count(), 2);
+
+        let x = dom(1, Acl::uniform(Ring::new(1))).with_label("post");
+        let y = dom(1, Acl::uniform(Ring::new(1))).with_label("other post");
+        let z = dom(1, Acl::uniform(Ring::new(0)));
+        assert_eq!(table.intern_object(&x), table.intern_object(&y));
+        assert_ne!(table.intern_object(&x), table.intern_object(&z));
+        assert_eq!(table.object_count(), 2);
+    }
+
+    #[test]
+    fn interning_distinguishes_browser_chrome() {
+        let mut table = ContextTable::new();
+        let chrome = PrincipalContext::browser(site());
+        let ring0_script = script(0);
+        // Same origin and ring, but only one of them enjoys the chrome exemption.
+        assert_ne!(
+            table.intern_principal(&chrome),
+            table.intern_principal(&ring0_script)
+        );
+    }
+
+    #[test]
+    fn cached_decisions_match_the_free_function() {
+        let engine = EscudoEngine::new();
+        let object = dom(2, Acl::uniform(Ring::new(1)));
+        for ring in 0u16..5 {
+            for op in Operation::ALL {
+                let expected = decide(PolicyMode::Escudo, &script(ring), &object, op);
+                // Cold, then cached: both must be byte-identical to `decide`.
+                assert_eq!(engine.decide(&script(ring), &object, op), expected);
+                assert_eq!(engine.decide(&script(ring), &object, op), expected);
+            }
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.decisions, 30);
+        assert_eq!(stats.cache_hits, 15);
+        assert_eq!(stats.cache_misses, 15);
+        assert!(stats.hit_rate() > 0.49 && stats.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn decide_many_matches_individual_decides() {
+        let engine = EscudoEngine::new();
+        let p1 = script(1);
+        let p3 = script(3);
+        let foreign = PrincipalContext::new(PrincipalKind::Script, other_site(), Ring::new(0));
+        let object = dom(2, Acl::uniform(Ring::new(1)));
+        let batch: Vec<(&PrincipalContext, &ObjectContext, Operation)> = vec![
+            (&p1, &object, Operation::Read),
+            (&p3, &object, Operation::Write),
+            (&foreign, &object, Operation::Read),
+            (&p1, &object, Operation::Read), // repeat → served from cache
+        ];
+        let results = engine.decide_many(&batch);
+        for ((p, o, op), got) in batch.iter().zip(&results) {
+            assert_eq!(*got, decide(PolicyMode::Escudo, p, o, *op));
+        }
+        assert_eq!(engine.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_memoization() {
+        let engine = EscudoEngine::with_cache_capacity(0);
+        let object = dom(1, Acl::uniform(Ring::new(1)));
+        engine.decide(&script(1), &object, Operation::Read);
+        engine.decide(&script(1), &object, Operation::Read);
+        let stats = engine.stats();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.cache_misses, 2);
+    }
+
+    #[test]
+    fn bounded_cache_clears_instead_of_growing() {
+        let engine = EscudoEngine::with_cache_capacity(8);
+        let object = dom(3, Acl::uniform(Ring::new(3)));
+        // 20 distinct principals → more keys than capacity; every decision stays correct.
+        for ring in 0u16..20 {
+            let p = script(ring);
+            let expected = decide(PolicyMode::Escudo, &p, &object, Operation::Read);
+            assert_eq!(engine.decide(&p, &object, Operation::Read), expected);
+        }
+        // And cache hits still happen for re-checks after the clears.
+        let before = engine.stats().cache_hits;
+        engine.decide(&script(19), &object, Operation::Read);
+        assert_eq!(engine.stats().cache_hits, before + 1);
+    }
+
+    #[test]
+    fn clear_cache_forces_recomputation_but_not_wrong_answers() {
+        let engine = EscudoEngine::new();
+        let object = dom(2, Acl::uniform(Ring::new(2)));
+        let expected = decide(PolicyMode::Escudo, &script(2), &object, Operation::Write);
+        assert_eq!(
+            engine.decide(&script(2), &object, Operation::Write),
+            expected
+        );
+        engine.clear_cache();
+        assert_eq!(
+            engine.decide(&script(2), &object, Operation::Write),
+            expected
+        );
+        assert_eq!(engine.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn same_origin_engine_is_the_sop_baseline() {
+        let engine = SameOriginEngine::new();
+        let object = dom(0, Acl::ring_zero_only());
+        // Ring is irrelevant under the SOP…
+        assert!(engine
+            .decide(&script(u16::MAX), &object, Operation::Write)
+            .is_allowed());
+        // …but a cross-origin principal is still denied.
+        let foreign = PrincipalContext::new(PrincipalKind::Script, other_site(), Ring::new(0));
+        assert!(engine
+            .decide(&foreign, &object, Operation::Read)
+            .is_denied());
+        assert_eq!(engine.mode(), PolicyMode::SameOriginOnly);
+        assert_eq!(engine.stats().decisions, 2);
+        assert_eq!(engine.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn factory_picks_the_engine_by_mode() {
+        assert_eq!(
+            engine_for_mode(PolicyMode::Escudo).mode(),
+            PolicyMode::Escudo
+        );
+        assert_eq!(
+            engine_for_mode(PolicyMode::SameOriginOnly).mode(),
+            PolicyMode::SameOriginOnly
+        );
+    }
+
+    #[test]
+    fn engine_is_shareable_across_threads() {
+        let engine: Arc<dyn PolicyEngine> = Arc::new(EscudoEngine::new());
+        let mut handles = Vec::new();
+        for ring in 0u16..4 {
+            let engine = Arc::clone(&engine);
+            handles.push(std::thread::spawn(move || {
+                let object = ObjectContext::new(
+                    ObjectKind::DomElement,
+                    Origin::new("http", "app.example", 80),
+                    Ring::new(2),
+                )
+                .with_acl(Acl::uniform(Ring::new(1)));
+                let p = PrincipalContext::new(
+                    PrincipalKind::Script,
+                    Origin::new("http", "app.example", 80),
+                    Ring::new(ring),
+                );
+                for _ in 0..100 {
+                    let got = engine.decide(&p, &object, Operation::Read);
+                    assert_eq!(
+                        got,
+                        decide(PolicyMode::Escudo, &p, &object, Operation::Read)
+                    );
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("thread");
+        }
+        assert_eq!(engine.stats().decisions, 400);
+    }
+}

@@ -21,6 +21,8 @@
 //! * [`ObjectContext`] / [`PrincipalContext`] — the security contexts the browser
 //!   extracts at parse time and tracks for the lifetime of the page,
 //! * [`policy`] — the decision procedure (and the same-origin-policy baseline),
+//! * [`engine`] — the pluggable [`PolicyEngine`] with context interning and a shared
+//!   decision cache, the single decision core every enforcement point goes through,
 //! * [`config`] — the AC-tag attribute format and the optional HTTP headers used to
 //!   label cookies and native APIs,
 //! * [`scoping`] — the scoping rule that clamps children to their parent's privilege,
@@ -57,6 +59,7 @@
 pub mod acl;
 pub mod config;
 pub mod context;
+pub mod engine;
 pub mod error;
 pub mod nonce;
 pub mod operation;
@@ -68,6 +71,10 @@ pub mod taxonomy;
 
 pub use acl::Acl;
 pub use context::{ObjectContext, ObjectKind, PrincipalContext, PrincipalKind};
+pub use engine::{
+    engine_for_mode, ContextTable, EngineStats, EscudoEngine, ObjectId, PolicyEngine, PrincipalId,
+    SameOriginEngine,
+};
 pub use error::{ConfigError, PolicyError};
 pub use nonce::Nonce;
 pub use operation::Operation;

@@ -9,15 +9,13 @@
 
 use std::fmt;
 use std::str::FromStr;
-
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
 
 use crate::error::ConfigError;
 
 /// A markup-randomization nonce carried by AC tags.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Nonce(u64);
 
 impl Nonce {
@@ -67,20 +65,31 @@ pub struct NonceGenerator {
 }
 
 impl NonceGenerator {
-    /// Creates a generator seeded with OS randomness — what a real server would use
-    /// when constructing a page.
+    /// Creates a generator seeded from the environment — what a real server would use
+    /// when constructing a page. The seed mixes the wall clock, a process-wide
+    /// monotonically increasing counter and address-space entropy, then whitens the
+    /// result through splitmix64. Production servers would use a CSPRNG; for the
+    /// reproduction unpredictability across generators is what matters.
     #[must_use]
     pub fn new() -> Self {
-        let seed: u64 = rand::thread_rng().gen();
-        NonceGenerator::from_seed(seed | 1)
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let clock = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5EED_5EED);
+        let count = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let aslr = &COUNTER as *const _ as u64;
+        // One splitmix64 round whitens the correlated sources into a full-width seed.
+        let mut z = clock ^ count.rotate_left(32) ^ aslr;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        NonceGenerator::from_seed((z ^ (z >> 31)) | 1)
     }
 
     /// Creates a deterministic generator for reproducible page construction.
     #[must_use]
     pub fn from_seed(seed: u64) -> Self {
-        NonceGenerator {
-            state: seed.max(1),
-        }
+        NonceGenerator { state: seed.max(1) }
     }
 
     /// Produces the next nonce (splitmix64 over the internal state — uniform, fast and

@@ -2,15 +2,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// An operation a principal attempts on an object (`▷` in the paper).
 ///
 /// `Read` and `Write` are the obvious DOM/cookie accesses. `Use` covers *implicit*
 /// accesses performed by the browser on behalf of a principal — attaching cookies to an
 /// HTTP request the principal initiated, or delivering a UI event to a DOM element —
 /// which the principal never names explicitly.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Operation {
     /// Observe the object (e.g. read `document.cookie`, read `innerHTML`).
     Read,

@@ -3,8 +3,6 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::ConfigError;
 
 /// A web origin: the unique combination of scheme ("protocol"), host ("domain") and
@@ -26,7 +24,7 @@ use crate::error::ConfigError;
 /// assert_ne!(a, c); // different scheme ⇒ different origin
 /// # Ok::<(), escudo_core::ConfigError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Origin {
     scheme: String,
     host: String,
@@ -59,13 +57,15 @@ impl Origin {
         let (scheme, rest) = url
             .split_once("://")
             .ok_or_else(|| ConfigError::InvalidOrigin(url.to_string()))?;
-        if scheme.is_empty() || !scheme.chars().all(|c| c.is_ascii_alphanumeric() || c == '+' || c == '-' || c == '.') {
+        if scheme.is_empty()
+            || !scheme
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '+' || c == '-' || c == '.')
+        {
             return Err(ConfigError::InvalidOrigin(url.to_string()));
         }
         // Authority ends at the first '/', '?' or '#'.
-        let authority_end = rest
-            .find(['/', '?', '#'])
-            .unwrap_or(rest.len());
+        let authority_end = rest.find(['/', '?', '#']).unwrap_or(rest.len());
         let authority = &rest[..authority_end];
         if authority.is_empty() {
             return Err(ConfigError::InvalidOrigin(url.to_string()));
@@ -149,7 +149,6 @@ impl FromStr for Origin {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn same_path_same_origin() {
@@ -221,17 +220,50 @@ mod tests {
         assert_eq!(parsed, a);
     }
 
-    proptest! {
-        #[test]
-        fn roundtrip_through_display(host in "[a-z][a-z0-9.-]{0,20}", port in 1u16..=u16::MAX) {
-            let origin = Origin::new("http", &host, port);
-            let parsed = Origin::parse_url(&origin.to_string()).unwrap();
-            prop_assert_eq!(parsed, origin);
+    #[test]
+    fn roundtrip_through_display() {
+        let hosts = [
+            "a",
+            "app.example",
+            "x9.y-z.example",
+            "very.long.sub.domain.example.com",
+        ];
+        let ports = [1u16, 80, 443, 8080, u16::MAX];
+        for host in hosts {
+            for port in ports {
+                let origin = Origin::new("http", host, port);
+                let parsed = Origin::parse_url(&origin.to_string()).unwrap();
+                assert_eq!(parsed, origin);
+            }
         }
+    }
 
-        #[test]
-        fn parser_never_panics(s in ".{0,64}") {
-            let _ = Origin::parse_url(&s);
+    #[test]
+    fn parser_never_panics() {
+        let adversarial = [
+            "",
+            "://",
+            "http://",
+            "http://:",
+            "http://:80",
+            "http://h:",
+            "http://h:x",
+            "http://h:99999",
+            "a://b:1/c?d#e",
+            "http://@",
+            "http://u@h",
+            "http://[::1]:80",
+            "http//missing.colon",
+            "http:///path",
+            "\u{0}\u{ffff}",
+            "🦀://🦀",
+            "http://h:1:2",
+            "http://h#frag",
+            "scheme+x-y.z://host",
+            "   http://pad.example   ",
+        ];
+        for s in adversarial {
+            let _ = Origin::parse_url(s);
         }
     }
 }

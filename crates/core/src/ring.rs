@@ -8,8 +8,6 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::ConfigError;
 
 /// A protection-ring label.
@@ -29,8 +27,7 @@ use crate::error::ConfigError;
 /// assert!(kernel.is_at_least_as_privileged_as(user_content));
 /// assert!(!user_content.is_at_least_as_privileged_as(kernel));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Ring(u16);
 
 impl Ring {
@@ -152,7 +149,10 @@ impl FromStr for Ring {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+
+    /// Representative ring levels including the extremes — used by the exhaustive
+    /// property checks below (the full u16×u16 grid is too large to enumerate).
+    const SAMPLE_LEVELS: [u16; 12] = [0, 1, 2, 3, 4, 7, 100, 255, 256, 32_767, 65_534, u16::MAX];
 
     #[test]
     fn ring_zero_is_most_privileged() {
@@ -203,34 +203,42 @@ mod tests {
         assert_eq!(Ring::new(2).to_string(), "ring 2");
     }
 
-    proptest! {
-        #[test]
-        fn privilege_relation_is_total_and_antisymmetric(a in 0u16..=u16::MAX, b in 0u16..=u16::MAX) {
-            let (ra, rb) = (Ring::new(a), Ring::new(b));
-            // Totality: at least one direction holds.
-            prop_assert!(ra.is_at_least_as_privileged_as(rb) || rb.is_at_least_as_privileged_as(ra));
-            // Antisymmetry: both directions only when equal.
-            if ra.is_at_least_as_privileged_as(rb) && rb.is_at_least_as_privileged_as(ra) {
-                prop_assert_eq!(ra, rb);
+    #[test]
+    fn privilege_relation_is_total_and_antisymmetric() {
+        for &a in &SAMPLE_LEVELS {
+            for &b in &SAMPLE_LEVELS {
+                let (ra, rb) = (Ring::new(a), Ring::new(b));
+                // Totality: at least one direction holds.
+                assert!(ra.is_at_least_as_privileged_as(rb) || rb.is_at_least_as_privileged_as(ra));
+                // Antisymmetry: both directions only when equal.
+                if ra.is_at_least_as_privileged_as(rb) && rb.is_at_least_as_privileged_as(ra) {
+                    assert_eq!(ra, rb);
+                }
             }
         }
+    }
 
-        #[test]
-        fn least_privileged_is_commutative_and_idempotent(a in 0u16..200, b in 0u16..200) {
-            let (ra, rb) = (Ring::new(a), Ring::new(b));
-            prop_assert_eq!(ra.least_privileged(rb), rb.least_privileged(ra));
-            prop_assert_eq!(ra.least_privileged(ra), ra);
-            // The result is never more privileged than either input.
-            let r = ra.least_privileged(rb);
-            prop_assert!(ra.is_at_least_as_privileged_as(r));
-            prop_assert!(rb.is_at_least_as_privileged_as(r));
+    #[test]
+    fn least_privileged_is_commutative_and_idempotent() {
+        for a in 0u16..200 {
+            for b in 0u16..200 {
+                let (ra, rb) = (Ring::new(a), Ring::new(b));
+                assert_eq!(ra.least_privileged(rb), rb.least_privileged(ra));
+                assert_eq!(ra.least_privileged(ra), ra);
+                // The result is never more privileged than either input.
+                let r = ra.least_privileged(rb);
+                assert!(ra.is_at_least_as_privileged_as(r));
+                assert!(rb.is_at_least_as_privileged_as(r));
+            }
         }
+    }
 
-        #[test]
-        fn parse_roundtrip(level in 0u16..=u16::MAX) {
+    #[test]
+    fn parse_roundtrip() {
+        for level in (0..=u16::MAX).step_by(97).chain([u16::MAX]) {
             let ring = Ring::new(level);
             let parsed: Ring = ring.level().to_string().parse().unwrap();
-            prop_assert_eq!(parsed, ring);
+            assert_eq!(parsed, ring);
         }
     }
 }

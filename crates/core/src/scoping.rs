@@ -66,14 +66,25 @@ pub fn effective_acl(effective_ring: Ring, declared: Option<Acl>) -> Acl {
 mod tests {
     use super::*;
     use crate::operation::Operation;
-    use proptest::prelude::*;
 
     #[test]
     fn inner_scope_may_only_drop_privilege() {
-        assert_eq!(effective_ring(Ring::new(2), Some(Ring::new(3))), Ring::new(3));
-        assert_eq!(effective_ring(Ring::new(2), Some(Ring::new(2))), Ring::new(2));
-        assert_eq!(effective_ring(Ring::new(2), Some(Ring::new(1))), Ring::new(2));
-        assert_eq!(effective_ring(Ring::new(2), Some(Ring::new(0))), Ring::new(2));
+        assert_eq!(
+            effective_ring(Ring::new(2), Some(Ring::new(3))),
+            Ring::new(3)
+        );
+        assert_eq!(
+            effective_ring(Ring::new(2), Some(Ring::new(2))),
+            Ring::new(2)
+        );
+        assert_eq!(
+            effective_ring(Ring::new(2), Some(Ring::new(1))),
+            Ring::new(2)
+        );
+        assert_eq!(
+            effective_ring(Ring::new(2), Some(Ring::new(0))),
+            Ring::new(2)
+        );
     }
 
     #[test]
@@ -116,36 +127,61 @@ mod tests {
         assert_eq!(acl.bound(Operation::Use), Ring::new(3));
     }
 
-    proptest! {
-        /// The effective ring of a nested scope is never more privileged than the parent's.
-        #[test]
-        fn scoping_never_elevates(parent in 0u16..100, declared in proptest::option::of(0u16..100)) {
-            let eff = effective_ring(Ring::new(parent), declared.map(Ring::new));
-            prop_assert!(Ring::new(parent).is_at_least_as_privileged_as(eff));
-        }
+    /// Enumerates `None` plus every declared ring in `0..limit`.
+    fn declared_options(limit: u16) -> impl Iterator<Item = Option<Ring>> {
+        std::iter::once(None).chain((0..limit).map(|r| Some(Ring::new(r))))
+    }
 
-        /// Dynamically created content is never more privileged than its creator.
-        #[test]
-        fn dynamic_content_never_exceeds_creator(
-            creator in 0u16..100, parent in 0u16..100, declared in proptest::option::of(0u16..100)
-        ) {
-            let eff = effective_ring_for_dynamic_content(
-                Ring::new(creator), Ring::new(parent), declared.map(Ring::new));
-            prop_assert!(Ring::new(creator).is_at_least_as_privileged_as(eff));
-            prop_assert!(Ring::new(parent).is_at_least_as_privileged_as(eff));
+    /// The effective ring of a nested scope is never more privileged than the parent's.
+    #[test]
+    fn scoping_never_elevates() {
+        for parent in 0u16..100 {
+            for declared in declared_options(100) {
+                let eff = effective_ring(Ring::new(parent), declared);
+                assert!(Ring::new(parent).is_at_least_as_privileged_as(eff));
+            }
         }
+    }
 
-        /// Chained clamping is associative with respect to nesting order: applying the
-        /// clamp level by level equals clamping against the least privileged ancestor.
-        #[test]
-        fn nested_clamp_equals_single_clamp(chain in proptest::collection::vec(0u16..50, 1..6)) {
+    /// Dynamically created content is never more privileged than its creator.
+    #[test]
+    fn dynamic_content_never_exceeds_creator() {
+        for creator in 0u16..40 {
+            for parent in 0u16..40 {
+                for declared in declared_options(40) {
+                    let eff = effective_ring_for_dynamic_content(
+                        Ring::new(creator),
+                        Ring::new(parent),
+                        declared,
+                    );
+                    assert!(Ring::new(creator).is_at_least_as_privileged_as(eff));
+                    assert!(Ring::new(parent).is_at_least_as_privileged_as(eff));
+                }
+            }
+        }
+    }
+
+    /// Chained clamping is associative with respect to nesting order: applying the
+    /// clamp level by level equals clamping against the least privileged ancestor.
+    #[test]
+    fn nested_clamp_equals_single_clamp() {
+        // A deterministic walk over ring chains of length 1..=5.
+        let chains: Vec<Vec<u16>> = (0u64..200)
+            .map(|seed| {
+                let len = 1 + (seed % 5) as usize;
+                (0..len)
+                    .map(|i| ((seed * 31 + i as u64 * 17) % 50) as u16)
+                    .collect()
+            })
+            .collect();
+        for chain in chains {
             let mut eff = Ring::INNERMOST;
             let mut least = Ring::INNERMOST;
             for declared in &chain {
                 eff = effective_ring(eff, Some(Ring::new(*declared)));
                 least = least.least_privileged(Ring::new(*declared));
             }
-            prop_assert_eq!(eff, least);
+            assert_eq!(eff, least);
         }
     }
 }

@@ -1,12 +1,10 @@
 //! The principal/object taxonomy of the paper's Table 1, expressed as data so the
 //! experiment harness can regenerate the table from the implemented model.
 
-use serde::{Deserialize, Serialize};
-
 use crate::context::{ObjectKind, PrincipalKind};
 
 /// Whether an entry of Table 1 is a principal, an object, or can act as both.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Role {
     /// Acts only as a principal.
     Principal,
@@ -18,7 +16,7 @@ pub enum Role {
 }
 
 /// One row of the Table 1 inventory.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaxonomyEntry {
     /// The category heading used in the paper.
     pub category: &'static str,
@@ -41,23 +39,121 @@ pub fn table1() -> Vec<TaxonomyEntry> {
     use PrincipalKind as P;
     vec![
         // HTTP-request issuing principals.
-        entry("HTTP-request issuing principals", "HTML form", Role::Both, true, Some(P::RequestIssuer), Some(O::DomElement)),
-        entry("HTTP-request issuing principals", "HTML anchor", Role::Both, true, Some(P::RequestIssuer), Some(O::DomElement)),
-        entry("HTTP-request issuing principals", "HTML img", Role::Both, true, Some(P::RequestIssuer), Some(O::DomElement)),
-        entry("HTTP-request issuing principals", "HTML iframe", Role::Both, true, Some(P::RequestIssuer), Some(O::DomElement)),
-        entry("HTTP-request issuing principals", "HTML embed", Role::Both, true, Some(P::RequestIssuer), Some(O::DomElement)),
+        entry(
+            "HTTP-request issuing principals",
+            "HTML form",
+            Role::Both,
+            true,
+            Some(P::RequestIssuer),
+            Some(O::DomElement),
+        ),
+        entry(
+            "HTTP-request issuing principals",
+            "HTML anchor",
+            Role::Both,
+            true,
+            Some(P::RequestIssuer),
+            Some(O::DomElement),
+        ),
+        entry(
+            "HTTP-request issuing principals",
+            "HTML img",
+            Role::Both,
+            true,
+            Some(P::RequestIssuer),
+            Some(O::DomElement),
+        ),
+        entry(
+            "HTTP-request issuing principals",
+            "HTML iframe",
+            Role::Both,
+            true,
+            Some(P::RequestIssuer),
+            Some(O::DomElement),
+        ),
+        entry(
+            "HTTP-request issuing principals",
+            "HTML embed",
+            Role::Both,
+            true,
+            Some(P::RequestIssuer),
+            Some(O::DomElement),
+        ),
         // Script-invoking principals.
-        entry("Script-invoking principals", "JavaScript programs", Role::Both, true, Some(P::Script), Some(O::DomElement)),
-        entry("Script-invoking principals", "UI event handlers", Role::Principal, true, Some(P::EventHandler), None),
+        entry(
+            "Script-invoking principals",
+            "JavaScript programs",
+            Role::Both,
+            true,
+            Some(P::Script),
+            Some(O::DomElement),
+        ),
+        entry(
+            "Script-invoking principals",
+            "UI event handlers",
+            Role::Principal,
+            true,
+            Some(P::EventHandler),
+            None,
+        ),
         // Plugins: outside the application's control, listed for completeness.
-        entry("Plugins", "Plugins / extensions (Flash, PDF, …)", Role::Principal, false, None, None),
+        entry(
+            "Plugins",
+            "Plugins / extensions (Flash, PDF, …)",
+            Role::Principal,
+            false,
+            None,
+            None,
+        ),
         // Objects.
-        entry("Objects", "Document object model (DOM)", Role::Object, true, None, Some(O::DomElement)),
-        entry("Objects", "Cookies", Role::Object, true, None, Some(O::Cookie)),
-        entry("Objects", "XMLHttpRequest API", Role::Object, true, None, Some(O::NativeApi)),
-        entry("Objects", "DOM API", Role::Object, true, None, Some(O::NativeApi)),
-        entry("Objects", "Browser history", Role::Object, false, None, Some(O::BrowserState)),
-        entry("Objects", "Visited-link information", Role::Object, false, None, Some(O::BrowserState)),
+        entry(
+            "Objects",
+            "Document object model (DOM)",
+            Role::Object,
+            true,
+            None,
+            Some(O::DomElement),
+        ),
+        entry(
+            "Objects",
+            "Cookies",
+            Role::Object,
+            true,
+            None,
+            Some(O::Cookie),
+        ),
+        entry(
+            "Objects",
+            "XMLHttpRequest API",
+            Role::Object,
+            true,
+            None,
+            Some(O::NativeApi),
+        ),
+        entry(
+            "Objects",
+            "DOM API",
+            Role::Object,
+            true,
+            None,
+            Some(O::NativeApi),
+        ),
+        entry(
+            "Objects",
+            "Browser history",
+            Role::Object,
+            false,
+            None,
+            Some(O::BrowserState),
+        ),
+        entry(
+            "Objects",
+            "Visited-link information",
+            Role::Object,
+            false,
+            None,
+            Some(O::BrowserState),
+        ),
     ]
 }
 
@@ -93,7 +189,10 @@ mod tests {
             "Plugins",
             "Objects",
         ] {
-            assert!(categories.contains(&expected), "missing category {expected}");
+            assert!(
+                categories.contains(&expected),
+                "missing category {expected}"
+            );
         }
     }
 
@@ -105,7 +204,13 @@ mod tests {
             .filter(|e| e.principal_kind == Some(PrincipalKind::RequestIssuer))
             .map(|e| e.entity)
             .collect();
-        for tag in ["HTML form", "HTML anchor", "HTML img", "HTML iframe", "HTML embed"] {
+        for tag in [
+            "HTML form",
+            "HTML anchor",
+            "HTML img",
+            "HTML iframe",
+            "HTML embed",
+        ] {
             assert!(issuers.contains(&tag), "missing {tag}");
         }
     }
@@ -133,10 +238,7 @@ mod tests {
     #[test]
     fn dom_elements_act_as_both_principals_and_objects() {
         let table = table1();
-        let both = table
-            .iter()
-            .filter(|e| e.role == Role::Both)
-            .count();
+        let both = table.iter().filter(|e| e.role == Role::Both).count();
         assert!(both >= 6, "DOM elements and scripts should be dual-role");
     }
 }

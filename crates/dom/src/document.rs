@@ -3,8 +3,6 @@
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::iter::{Ancestors, Children, Descendants};
 use crate::node::{ElementData, Node, NodeData, NodeId};
 
@@ -38,7 +36,7 @@ impl Error for DomError {}
 /// An HTML document held in an arena.
 ///
 /// See the [crate-level documentation](crate) for an overview and example.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Document {
     nodes: Vec<Node>,
     root: NodeId,
@@ -93,11 +91,7 @@ impl Document {
     }
 
     /// Creates a detached element node with attributes.
-    pub fn create_element_with_attrs(
-        &mut self,
-        tag: &str,
-        attrs: &[(&str, &str)],
-    ) -> NodeId {
+    pub fn create_element_with_attrs(&mut self, tag: &str, attrs: &[(&str, &str)]) -> NodeId {
         let mut data = ElementData::new(tag);
         for (name, value) in attrs {
             data.set_attr(name, value);
@@ -509,7 +503,10 @@ mod tests {
         assert_eq!(doc.append_child(text, other), Err(DomError::NotAContainer));
         assert_eq!(doc.remove(doc.root()), Err(DomError::CannotMoveRoot));
         let stray = doc.create_element("span");
-        assert_eq!(doc.insert_before(body, other, stray), Err(DomError::NotAChild));
+        assert_eq!(
+            doc.insert_before(body, other, stray),
+            Err(DomError::NotAChild)
+        );
     }
 
     #[test]

@@ -2,13 +2,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A stable handle to a node inside a [`Document`](crate::Document).
 ///
 /// Ids are indices into the document's arena; slots are never reused, so an id remains
 /// valid (though possibly *detached* from the tree) for the document's lifetime.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub(crate) usize);
 
 impl NodeId {
@@ -26,7 +24,7 @@ impl fmt::Display for NodeId {
 }
 
 /// The payload of an element node: its tag name and attributes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ElementData {
     /// Lower-cased tag name (`div`, `script`, …).
     pub tag: String,
@@ -73,7 +71,7 @@ impl ElementData {
 }
 
 /// The payload of a DOM node.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NodeData {
     /// The document root (exactly one per document).
     Document,
@@ -115,7 +113,7 @@ impl NodeData {
 
 /// A node in the arena: tree links plus payload. Internal to the crate; navigate
 /// through [`Document`](crate::Document) methods.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub(crate) struct Node {
     pub(crate) parent: Option<NodeId>,
     pub(crate) first_child: Option<NodeId>,

@@ -5,8 +5,8 @@ use crate::node::{NodeData, NodeId};
 
 /// Tags serialized without a closing tag and never given children.
 pub const VOID_ELEMENTS: [&str; 14] = [
-    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param",
-    "source", "track", "wbr",
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param", "source",
+    "track", "wbr",
 ];
 
 /// Tags whose text content is serialized raw (no entity escaping), matching how the
@@ -22,7 +22,9 @@ pub fn is_void_element(tag: &str) -> bool {
 /// `true` when `tag` is a raw-text element.
 #[must_use]
 pub fn is_raw_text_element(tag: &str) -> bool {
-    RAW_TEXT_ELEMENTS.iter().any(|t| t.eq_ignore_ascii_case(tag))
+    RAW_TEXT_ELEMENTS
+        .iter()
+        .any(|t| t.eq_ignore_ascii_case(tag))
 }
 
 /// Escapes text-node content.

@@ -9,12 +9,12 @@ use crate::tokenizer::Tokenizer;
 
 /// Elements that never take children.
 const VOID_ELEMENTS: [&str; 14] = [
-    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param",
-    "source", "track", "wbr",
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param", "source",
+    "track", "wbr",
 ];
 
 fn is_void(tag: &str) -> bool {
-    VOID_ELEMENTS.iter().any(|t| *t == tag)
+    VOID_ELEMENTS.contains(&tag)
 }
 
 /// Options controlling parsing.
@@ -303,7 +303,8 @@ mod tests {
 
     #[test]
     fn builds_a_simple_page() {
-        let result = parse("<html><head><title>t</title></head><body><p id=\"x\">hi</p></body></html>");
+        let result =
+            parse("<html><head><title>t</title></head><body><p id=\"x\">hi</p></body></html>");
         let doc = &result.document;
         let p = doc.get_element_by_id("x").unwrap();
         assert_eq!(doc.text_content(p), "hi");
@@ -380,7 +381,10 @@ mod tests {
         let result = parse(html);
         let doc = &result.document;
         assert_eq!(result.report.rejected_end_tags, 1);
-        assert_eq!(result.report.nonce_violations[0].expected, Nonce::from_raw(42));
+        assert_eq!(
+            result.report.nonce_violations[0].expected,
+            Nonce::from_raw(42)
+        );
         assert_eq!(result.report.nonce_violations[0].offered, None);
         // The injected div stays *inside* the original AC region.
         let injected = doc.get_element_by_id("injected").unwrap();

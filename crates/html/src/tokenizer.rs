@@ -410,7 +410,8 @@ mod tests {
 
     #[test]
     fn text_entities_are_decoded_but_script_content_is_raw() {
-        let tokens = Tokenizer::tokenize_all("<p>a &amp; b</p><script>if (a &amp;&amp; b < c) {}</script>");
+        let tokens =
+            Tokenizer::tokenize_all("<p>a &amp; b</p><script>if (a &amp;&amp; b < c) {}</script>");
         assert_eq!(tokens[1], Token::Text("a & b".into()));
         // The script body is raw text: no entity decoding, '<' does not open a tag.
         assert_eq!(tokens[4], Token::Text("if (a &amp;&amp; b < c) {}".into()));
@@ -451,7 +452,13 @@ mod tests {
 
     #[test]
     fn unterminated_structures_do_not_hang() {
-        for input in ["<div", "<div attr", "<div attr=\"x", "<!-- never closed", "<script>never closed"] {
+        for input in [
+            "<div",
+            "<div attr",
+            "<div attr=\"x",
+            "<!-- never closed",
+            "<script>never closed",
+        ] {
             let tokens = Tokenizer::tokenize_all(input);
             assert!(!tokens.is_empty() || input.is_empty());
         }

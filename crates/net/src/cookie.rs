@@ -2,15 +2,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::NetError;
 
 /// A `Set-Cookie` directive as sent by a server.
 ///
 /// Only the attributes the reproduction needs are modelled: `Domain`, `Path`,
 /// `Secure` and `HttpOnly`. (Expiry is irrelevant for in-memory sessions.)
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SetCookie {
     /// Cookie name.
     pub name: String,
@@ -117,7 +115,7 @@ impl fmt::Display for SetCookie {
 }
 
 /// A cookie as stored in the jar: the `Set-Cookie` data plus the host that set it.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cookie {
     /// Cookie name.
     pub name: String,
@@ -208,7 +206,6 @@ fn path_matches(cookie_path: &str, request_path: &str) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn parse_simple_set_cookie() {
@@ -295,35 +292,61 @@ mod tests {
     #[test]
     fn cookie_origin_reflects_the_setting_site() {
         let c = Cookie::from_set_cookie(&SetCookie::new("sid", "1"), "http", "Forum.Example", 80);
-        assert_eq!(c.origin(), escudo_core::Origin::new("http", "forum.example", 80));
+        assert_eq!(
+            c.origin(),
+            escudo_core::Origin::new("http", "forum.example", 80)
+        );
         assert_eq!(c.to_cookie_pair(), "sid=1");
     }
 
-    proptest! {
-        #[test]
-        fn set_cookie_parser_never_panics(s in ".{0,80}") {
-            let _ = SetCookie::parse(&s);
+    #[test]
+    fn set_cookie_parser_never_panics() {
+        let adversarial = [
+            "",
+            "=",
+            "=v",
+            "n=",
+            ";;;",
+            "name",
+            "name=value; Path",
+            "name=value; Path=",
+            "a=b; Secure; HttpOnly; Domain=; Path=/",
+            "  spaced = out  ",
+            "a=b=c=d",
+            "n=v; Unknown=Attr",
+            "🦀=🦀",
+            "n=v;Secure;secure;SECURE",
+            "x=y; Max-Age=notanum",
+        ];
+        for s in adversarial {
+            let _ = SetCookie::parse(s);
         }
+    }
 
-        #[test]
-        fn roundtrip_for_simple_cookies(
-            name in "[A-Za-z_][A-Za-z0-9_]{0,10}",
-            value in "[A-Za-z0-9]{0,16}",
-            path in "(/[a-z0-9]{0,5}){0,2}",
-            secure in proptest::bool::ANY,
-            http_only in proptest::bool::ANY
-        ) {
-            let path = if path.is_empty() { "/".to_string() } else { path };
-            let cookie = SetCookie {
-                name: name.clone(),
-                value: value.clone(),
-                domain: None,
-                path,
-                secure,
-                http_only,
-            };
-            let parsed = SetCookie::parse(&cookie.to_header_value()).unwrap();
-            prop_assert_eq!(parsed, cookie);
+    #[test]
+    fn roundtrip_for_simple_cookies() {
+        let names = ["sid", "_tok", "A", "phpbb2mysql_data"];
+        let values = ["", "abc123", "ZZZZZZZZZZZZZZZZ"];
+        let paths = ["/", "/app", "/a/b"];
+        for name in names {
+            for value in values {
+                for path in paths {
+                    for secure in [false, true] {
+                        for http_only in [false, true] {
+                            let cookie = SetCookie {
+                                name: name.to_string(),
+                                value: value.to_string(),
+                                domain: None,
+                                path: path.to_string(),
+                                secure,
+                                http_only,
+                            };
+                            let parsed = SetCookie::parse(&cookie.to_header_value()).unwrap();
+                            assert_eq!(parsed, cookie);
+                        }
+                    }
+                }
+            }
         }
     }
 }

@@ -2,12 +2,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// An ordered, case-insensitive collection of HTTP headers. Multiple values per name
 /// are supported (needed for `Set-Cookie` and the ESCUDO policy headers, which may
 /// repeat).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Headers {
     entries: Vec<(String, String)>,
 }

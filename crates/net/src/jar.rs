@@ -9,13 +9,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::cookie::{Cookie, SetCookie};
 use crate::url::Url;
 
 /// The browser-wide cookie store.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct CookieJar {
     cookies: Vec<Cookie>,
 }
@@ -31,9 +29,11 @@ impl CookieJar {
     pub fn store(&mut self, url: &Url, directive: &SetCookie) {
         let cookie = Cookie::from_set_cookie(directive, url.scheme(), url.host(), url.port());
         // Replace an existing cookie with the same (name, host, path) triple.
-        if let Some(existing) = self.cookies.iter_mut().find(|c| {
-            c.name == cookie.name && c.host == cookie.host && c.path == cookie.path
-        }) {
+        if let Some(existing) = self
+            .cookies
+            .iter_mut()
+            .find(|c| c.name == cookie.name && c.host == cookie.host && c.path == cookie.path)
+        {
             *existing = cookie;
         } else {
             self.cookies.push(cookie);
@@ -122,8 +122,14 @@ mod tests {
     #[test]
     fn store_and_candidates() {
         let mut jar = CookieJar::new();
-        jar.store(&url("http://forum.example/login"), &SetCookie::new("sid", "s1"));
-        jar.store(&url("http://forum.example/login"), &SetCookie::new("data", "d1"));
+        jar.store(
+            &url("http://forum.example/login"),
+            &SetCookie::new("sid", "s1"),
+        );
+        jar.store(
+            &url("http://forum.example/login"),
+            &SetCookie::new("data", "d1"),
+        );
         jar.store(&url("http://other.example/"), &SetCookie::new("sid", "o1"));
 
         let candidates = jar.candidates_for(&url("http://forum.example/viewtopic.php"));
@@ -145,7 +151,10 @@ mod tests {
     fn header_respects_the_attach_filter() {
         let mut jar = CookieJar::new();
         jar.store(&url("http://forum.example/"), &SetCookie::new("sid", "s1"));
-        jar.store(&url("http://forum.example/"), &SetCookie::new("tracking", "t1"));
+        jar.store(
+            &url("http://forum.example/"),
+            &SetCookie::new("tracking", "t1"),
+        );
 
         // Permissive filter (the SOP baseline): everything in scope is attached.
         let header = jar
@@ -173,7 +182,10 @@ mod tests {
         assert!(jar.candidates_for(&url("http://evil.example/")).is_empty());
         // …but a request *to* forum.example triggered by evil.example still has the
         // cookie in scope — that is exactly the CSRF problem ESCUDO's `use` check fixes.
-        assert_eq!(jar.candidates_for(&url("http://forum.example/post")).len(), 1);
+        assert_eq!(
+            jar.candidates_for(&url("http://forum.example/post")).len(),
+            1
+        );
     }
 
     #[test]

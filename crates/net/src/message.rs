@@ -4,7 +4,6 @@ use std::fmt;
 use std::str::FromStr;
 
 use escudo_core::config::{ApiPolicy, CookiePolicy, API_POLICY_HEADER, COOKIE_POLICY_HEADER};
-use serde::{Deserialize, Serialize};
 
 use crate::cookie::SetCookie;
 use crate::error::NetError;
@@ -12,7 +11,7 @@ use crate::headers::Headers;
 use crate::url::{parse_query, Url};
 
 /// The HTTP request methods the applications in this repo use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Method {
     /// `GET`
     Get,
@@ -54,7 +53,7 @@ impl FromStr for Method {
 }
 
 /// An HTTP status code (only the handful the in-memory applications emit).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct StatusCode(pub u16);
 
 impl StatusCode {
@@ -93,7 +92,7 @@ impl fmt::Display for StatusCode {
 }
 
 /// An HTTP request as issued by the browser (or forged by an attacker page).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// The request method.
     pub method: Method,
@@ -135,7 +134,13 @@ impl Request {
         let mut req = Request::new(Method::Post, Url::parse(url)?);
         req.body = form
             .iter()
-            .map(|(k, v)| format!("{}={}", crate::url::percent_encode(k), crate::url::percent_encode(v)))
+            .map(|(k, v)| {
+                format!(
+                    "{}={}",
+                    crate::url::percent_encode(k),
+                    crate::url::percent_encode(v)
+                )
+            })
             .collect::<Vec<_>>()
             .join("&");
         req.headers
@@ -166,7 +171,7 @@ impl Request {
             .into_iter()
             .find(|(k, _)| k == name)
             .map(|(_, v)| v)
-        .or_else(|| self.url.query_param(name))
+            .or_else(|| self.url.query_param(name))
     }
 
     /// The names of the cookies attached to this request (parsed from the `Cookie`
@@ -209,7 +214,7 @@ impl fmt::Display for Request {
 }
 
 /// An HTTP response as produced by one of the in-memory servers.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// The status code.
     pub status: StatusCode,
@@ -390,7 +395,11 @@ mod tests {
     #[test]
     fn response_builders_set_expected_headers() {
         let resp = Response::ok_html("<html></html>");
-        assert!(resp.headers.get("Content-Type").unwrap().contains("text/html"));
+        assert!(resp
+            .headers
+            .get("Content-Type")
+            .unwrap()
+            .contains("text/html"));
         let resp = Response::redirect("/index.php");
         assert_eq!(resp.status, StatusCode::SEE_OTHER);
         assert_eq!(resp.headers.get("Location"), Some("/index.php"));

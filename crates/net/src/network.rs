@@ -8,7 +8,6 @@ use std::collections::HashMap;
 use std::fmt;
 
 use escudo_core::Origin;
-use serde::{Deserialize, Serialize};
 
 use crate::error::NetError;
 use crate::message::{Method, Request, Response};
@@ -33,7 +32,7 @@ where
 }
 
 /// A log entry recorded for every dispatched request.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoggedRequest {
     /// The request method.
     pub method: Method,
@@ -83,8 +82,8 @@ impl Network {
     /// Panics if `origin_url` cannot be parsed — registration happens at setup time
     /// with literal URLs, so a parse failure is a programming error.
     pub fn register<S: Server + 'static>(&mut self, origin_url: &str, server: S) {
-        let origin =
-            Origin::parse_url(origin_url).expect("network registration requires a valid origin URL");
+        let origin = Origin::parse_url(origin_url)
+            .expect("network registration requires a valid origin URL");
         self.servers.insert(origin, Box::new(server));
     }
 
@@ -168,9 +167,13 @@ mod tests {
             Response::error(StatusCode::FORBIDDEN, "nope")
         });
 
-        let ra = net.dispatch(Request::get("http://a.example/x").unwrap()).unwrap();
+        let ra = net
+            .dispatch(Request::get("http://a.example/x").unwrap())
+            .unwrap();
         assert_eq!(ra.body, "GET /x");
-        let rb = net.dispatch(Request::get("http://b.example/y").unwrap()).unwrap();
+        let rb = net
+            .dispatch(Request::get("http://b.example/y").unwrap())
+            .unwrap();
         assert_eq!(rb.status, StatusCode::FORBIDDEN);
     }
 
@@ -187,8 +190,12 @@ mod tests {
     fn different_port_is_a_different_origin() {
         let mut net = Network::new();
         net.register("http://a.example:8080", echo_server);
-        assert!(net.dispatch(Request::get("http://a.example/").unwrap()).is_err());
-        assert!(net.dispatch(Request::get("http://a.example:8080/").unwrap()).is_ok());
+        assert!(net
+            .dispatch(Request::get("http://a.example/").unwrap())
+            .is_err());
+        assert!(net
+            .dispatch(Request::get("http://a.example:8080/").unwrap())
+            .is_ok());
     }
 
     #[test]
@@ -199,7 +206,8 @@ mod tests {
             .unwrap()
             .with_header("Cookie", "sid=abc; data=1");
         net.dispatch(req).unwrap();
-        net.dispatch(Request::get("http://forum.example/plain").unwrap()).unwrap();
+        net.dispatch(Request::get("http://forum.example/plain").unwrap())
+            .unwrap();
 
         assert_eq!(net.log().len(), 2);
         assert_eq!(net.log()[0].cookie_names, vec!["sid", "data"]);
@@ -221,8 +229,12 @@ mod tests {
         });
         assert!(net.knows(&Url::parse("http://count.example/a").unwrap()));
         assert!(!net.knows(&Url::parse("http://other.example/").unwrap()));
-        let first = net.dispatch(Request::get("http://count.example/").unwrap()).unwrap();
-        let second = net.dispatch(Request::get("http://count.example/").unwrap()).unwrap();
+        let first = net
+            .dispatch(Request::get("http://count.example/").unwrap())
+            .unwrap();
+        let second = net
+            .dispatch(Request::get("http://count.example/").unwrap())
+            .unwrap();
         assert_eq!(first.body, "1");
         assert_eq!(second.body, "2");
     }

@@ -78,8 +78,7 @@ pub trait Host {
     fn set_attribute(&mut self, node: HostNodeId, name: &str, value: &str)
         -> Result<(), HostError>;
     /// `node.getAttribute(name)`.
-    fn get_attribute(&mut self, node: HostNodeId, name: &str)
-        -> Result<Option<String>, HostError>;
+    fn get_attribute(&mut self, node: HostNodeId, name: &str) -> Result<Option<String>, HostError>;
     /// The `node.innerHTML` getter.
     fn get_inner_html(&mut self, node: HostNodeId) -> Result<String, HostError>;
     /// The `node.innerHTML` setter.
@@ -271,11 +270,7 @@ impl Host for MockHost {
         Ok(())
     }
 
-    fn get_attribute(
-        &mut self,
-        node: HostNodeId,
-        name: &str,
-    ) -> Result<Option<String>, HostError> {
+    fn get_attribute(&mut self, node: HostNodeId, name: &str) -> Result<Option<String>, HostError> {
         Ok(self
             .node_mut(node)?
             .attrs
@@ -379,7 +374,10 @@ mod tests {
 
         let div = host.create_element("div").unwrap();
         host.set_attribute(div, "Class", "x").unwrap();
-        assert_eq!(host.get_attribute(div, "class").unwrap().as_deref(), Some("x"));
+        assert_eq!(
+            host.get_attribute(div, "class").unwrap().as_deref(),
+            Some("x")
+        );
         host.append_child(body, div).unwrap();
         host.set_inner_html(div, "<b>hi</b>").unwrap();
         assert_eq!(host.get_inner_html(div).unwrap(), "<b>hi</b>");
@@ -412,7 +410,10 @@ mod tests {
             host.set_attribute(42, "a", "b"),
             Err(HostError::NotFound(_))
         ));
-        assert!(matches!(host.get_inner_html(42), Err(HostError::NotFound(_))));
+        assert!(matches!(
+            host.get_inner_html(42),
+            Err(HostError::NotFound(_))
+        ));
     }
 
     #[test]
@@ -420,6 +421,8 @@ mod tests {
         assert!(HostError::AccessDenied("ring rule".into())
             .to_string()
             .contains("access denied"));
-        assert!(HostError::Network("no route".into()).to_string().contains("network"));
+        assert!(HostError::Network("no route".into())
+            .to_string()
+            .contains("network"));
     }
 }

@@ -97,7 +97,10 @@ impl<'h> Interpreter<'h> {
                 Flow::Return(value) => return Ok(value),
                 Flow::Normal => {
                     if let Stmt::Expr(_) = stmt {
-                        last = self.last_expression_value.take().unwrap_or(Value::Undefined);
+                        last = self
+                            .last_expression_value
+                            .take()
+                            .unwrap_or(Value::Undefined);
                     }
                 }
                 Flow::Break | Flow::Continue => {}
@@ -213,7 +216,11 @@ impl<'h> Interpreter<'h> {
                 Ok(Flow::Return(value))
             }
             Stmt::Block(statements) => self.exec_block(statements, scope),
-            Stmt::If { cond, then, otherwise } => {
+            Stmt::If {
+                cond,
+                then,
+                otherwise,
+            } => {
                 if self.eval(cond, scope)?.is_truthy() {
                     self.exec_block(then, scope)
                 } else if let Some(otherwise) = otherwise {
@@ -511,7 +518,9 @@ impl<'h> Interpreter<'h> {
                         ..Obj::default()
                     });
                     if let Value::Object(id) = bound {
-                        self.obj_mut(id).props.insert("__this".into(), Value::Str(s));
+                        self.obj_mut(id)
+                            .props
+                            .insert("__this".into(), Value::Str(s));
                     }
                     Ok(bound)
                 }
@@ -583,7 +592,9 @@ impl<'h> Interpreter<'h> {
         args: Vec<Value>,
     ) -> Result<Value, ScriptError> {
         let Value::Object(id) = function else {
-            return Err(ScriptError::Runtime(format!("{function} is not a function")));
+            return Err(ScriptError::Runtime(format!(
+                "{function} is not a function"
+            )));
         };
         let callable = self
             .obj(id)
@@ -618,7 +629,9 @@ impl<'h> Interpreter<'h> {
 
     fn construct(&mut self, function: Value, args: Vec<Value>) -> Result<Value, ScriptError> {
         let Value::Object(id) = function else {
-            return Err(ScriptError::Runtime(format!("{function} is not a constructor")));
+            return Err(ScriptError::Runtime(format!(
+                "{function} is not a constructor"
+            )));
         };
         match self.obj(id).callable.clone() {
             Some(Callable::Native(NativeFn::XhrConstructor)) => {
@@ -680,9 +693,7 @@ impl<'h> Interpreter<'h> {
             )),
             (NativeTag::Xhr(_), "open") => make_fn(self, NativeFn::XhrOpen),
             (NativeTag::Xhr(_), "send") => make_fn(self, NativeFn::XhrSend),
-            (NativeTag::Xhr(_), "setRequestHeader") => {
-                make_fn(self, NativeFn::XhrSetRequestHeader)
-            }
+            (NativeTag::Xhr(_), "setRequestHeader") => make_fn(self, NativeFn::XhrSetRequestHeader),
             (NativeTag::History, "length") => {
                 Some(Value::Number(self.host.history_length()? as f64))
             }
@@ -808,8 +819,10 @@ impl<'h> Interpreter<'h> {
                 // `xhr.status` and `xhr.responseText`.
                 if let Value::Object(id) = &this {
                     let obj = self.obj_mut(*id);
-                    obj.props
-                        .insert("status".to_string(), Value::Number(f64::from(outcome.status)));
+                    obj.props.insert(
+                        "status".to_string(),
+                        Value::Number(f64::from(outcome.status)),
+                    );
                     obj.props
                         .insert("responseText".to_string(), Value::Str(outcome.body));
                 }
@@ -1008,14 +1021,21 @@ mod tests {
             document.body.appendChild(p);
             p.getAttribute('id');
         "#;
-        assert_eq!(run_with(&mut host, source).unwrap(), Value::Str("new".into()));
+        assert_eq!(
+            run_with(&mut host, source).unwrap(),
+            Value::Str("new".into())
+        );
     }
 
     #[test]
     fn cookie_read_and_write() {
         let mut host = MockHost::new();
         host.set_cookie_string("sid=abc");
-        let value = run_with(&mut host, "document.cookie = 'theme=dark'; document.cookie;").unwrap();
+        let value = run_with(
+            &mut host,
+            "document.cookie = 'theme=dark'; document.cookie;",
+        )
+        .unwrap();
         assert_eq!(value, Value::Str("sid=abc; theme=dark".into()));
     }
 
@@ -1217,7 +1237,10 @@ mod tests {
     fn console_log_and_alert_reach_the_host() {
         let mut host = MockHost::new();
         run_with(&mut host, "console.log('a', 1); alert('danger');").unwrap();
-        assert_eq!(host.messages, vec!["a 1".to_string(), "alert: danger".to_string()]);
+        assert_eq!(
+            host.messages,
+            vec!["a 1".to_string(), "alert: danger".to_string()]
+        );
     }
 
     #[test]

@@ -212,7 +212,7 @@ pub fn tokenize(source: &str) -> Result<Vec<Tok>, ScriptError> {
             continue;
         }
         // Numbers.
-        if c.is_ascii_digit() || (c == '.' && chars.get(i + 1).map_or(false, |d| d.is_ascii_digit()))
+        if c.is_ascii_digit() || (c == '.' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()))
         {
             let start = i;
             while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
@@ -334,7 +334,9 @@ mod tests {
 
     #[test]
     fn tokenizes_a_representative_script() {
-        let tokens = tokenize("var x = document.getElementById('main'); x.innerHTML += \"<b>hi</b>\";").unwrap();
+        let tokens =
+            tokenize("var x = document.getElementById('main'); x.innerHTML += \"<b>hi</b>\";")
+                .unwrap();
         assert!(tokens.contains(&Tok::Var));
         assert!(tokens.contains(&Tok::Ident("document".into())));
         assert!(tokens.contains(&Tok::Dot));
@@ -371,13 +373,17 @@ mod tests {
     #[test]
     fn comments_are_skipped() {
         let tokens = tokenize("var a = 1; // trailing\n/* block\ncomment */ var b = 2;").unwrap();
-        let idents: Vec<&Tok> = tokens.iter().filter(|t| matches!(t, Tok::Ident(_))).collect();
+        let idents: Vec<&Tok> = tokens
+            .iter()
+            .filter(|t| matches!(t, Tok::Ident(_)))
+            .collect();
         assert_eq!(idents.len(), 2);
     }
 
     #[test]
     fn keywords_are_distinguished_from_identifiers() {
-        let tokens = tokenize("function functionName(newValue) { return typeof newValue; }").unwrap();
+        let tokens =
+            tokenize("function functionName(newValue) { return typeof newValue; }").unwrap();
         assert_eq!(tokens[0], Tok::Function);
         assert_eq!(tokens[1], Tok::Ident("functionName".into()));
         assert!(tokens.contains(&Tok::Ident("newValue".into())));
@@ -388,7 +394,10 @@ mod tests {
     fn errors_for_unterminated_constructs() {
         assert!(matches!(tokenize("'open"), Err(ScriptError::Lex { .. })));
         assert!(matches!(tokenize("/* open"), Err(ScriptError::Lex { .. })));
-        assert!(matches!(tokenize("var x = @;"), Err(ScriptError::Lex { .. })));
+        assert!(matches!(
+            tokenize("var x = @;"),
+            Err(ScriptError::Lex { .. })
+        ));
     }
 
     #[test]

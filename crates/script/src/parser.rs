@@ -60,7 +60,10 @@ impl Parser {
         if self.eat(expected) {
             Ok(())
         } else {
-            Err(self.error(format!("expected {expected:?} {context}, found {:?}", self.peek())))
+            Err(self.error(format!(
+                "expected {expected:?} {context}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -118,7 +121,11 @@ impl Parser {
                 } else {
                     None
                 };
-                Ok(Stmt::If { cond, then, otherwise })
+                Ok(Stmt::If {
+                    cond,
+                    then,
+                    otherwise,
+                })
             }
             Tok::While => {
                 self.advance();
@@ -156,7 +163,12 @@ impl Parser {
                 };
                 self.expect(&Tok::RParen, "after for-loop clauses")?;
                 let body = self.block_or_single()?;
-                Ok(Stmt::For { init, cond, update, body })
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    update,
+                    body,
+                })
             }
             Tok::Break => {
                 self.advance();
@@ -576,7 +588,9 @@ mod tests {
 
     #[test]
     fn parses_variable_declarations_and_calls() {
-        let program = parse_program("var el = document.getElementById('x'); el.setAttribute('a', 1);").unwrap();
+        let program =
+            parse_program("var el = document.getElementById('x'); el.setAttribute('a', 1);")
+                .unwrap();
         assert_eq!(program.len(), 2);
         assert!(matches!(&program[0], Stmt::VarDecl { name, .. } if name == "el"));
         assert!(matches!(&program[1], Stmt::Expr(Expr::Call { .. })));
@@ -585,7 +599,12 @@ mod tests {
     #[test]
     fn operator_precedence() {
         let program = parse_program("1 + 2 * 3;").unwrap();
-        let Stmt::Expr(Expr::Binary { op: BinOp::Add, right, .. }) = &program[0] else {
+        let Stmt::Expr(Expr::Binary {
+            op: BinOp::Add,
+            right,
+            ..
+        }) = &program[0]
+        else {
             panic!("expected addition at the top");
         };
         assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
@@ -620,7 +639,10 @@ mod tests {
         assert_eq!(program.len(), 4);
         assert!(matches!(
             &program[0],
-            Stmt::VarDecl { init: Some(Expr::New { .. }), .. }
+            Stmt::VarDecl {
+                init: Some(Expr::New { .. }),
+                ..
+            }
         ));
     }
 
@@ -629,18 +651,23 @@ mod tests {
         let program = parse_program("var x = a && b || c ? 'yes' : 'no';").unwrap();
         assert!(matches!(
             &program[0],
-            Stmt::VarDecl { init: Some(Expr::Conditional { .. }), .. }
+            Stmt::VarDecl {
+                init: Some(Expr::Conditional { .. }),
+                ..
+            }
         ));
     }
 
     #[test]
     fn parses_function_expressions_and_typeof() {
-        let program =
-            parse_program("var cb = function(e) { return typeof e; }; cb(1);").unwrap();
+        let program = parse_program("var cb = function(e) { return typeof e; }; cb(1);").unwrap();
         assert_eq!(program.len(), 2);
         assert!(matches!(
             &program[0],
-            Stmt::VarDecl { init: Some(Expr::Function { .. }), .. }
+            Stmt::VarDecl {
+                init: Some(Expr::Function { .. }),
+                ..
+            }
         ));
     }
 
@@ -659,15 +686,27 @@ mod tests {
         let program = parse_program("i++; ++j; k--;").unwrap();
         assert!(matches!(
             &program[0],
-            Stmt::Expr(Expr::Update { prefix: false, op: UpdateOp::Increment, .. })
+            Stmt::Expr(Expr::Update {
+                prefix: false,
+                op: UpdateOp::Increment,
+                ..
+            })
         ));
         assert!(matches!(
             &program[1],
-            Stmt::Expr(Expr::Update { prefix: true, op: UpdateOp::Increment, .. })
+            Stmt::Expr(Expr::Update {
+                prefix: true,
+                op: UpdateOp::Increment,
+                ..
+            })
         ));
         assert!(matches!(
             &program[2],
-            Stmt::Expr(Expr::Update { prefix: false, op: UpdateOp::Decrement, .. })
+            Stmt::Expr(Expr::Update {
+                prefix: false,
+                op: UpdateOp::Decrement,
+                ..
+            })
         ));
     }
 

@@ -291,6 +291,9 @@ mod tests {
         let doc = Obj::native(NativeTag::Document);
         assert_eq!(doc.native, Some(NativeTag::Document));
         let f = Obj::native_fn(NativeFn::Alert);
-        assert!(matches!(f.callable, Some(Callable::Native(NativeFn::Alert))));
+        assert!(matches!(
+            f.callable,
+            Some(Callable::Native(NativeFn::Alert))
+        ));
     }
 }

@@ -20,15 +20,21 @@ fn main() {
     for mode in [PolicyMode::SameOriginOnly, PolicyMode::Escudo] {
         println!("== {mode} ==");
         let mut browser = Browser::new(mode);
+        browser.network_mut().register(
+            "http://blog.example",
+            BlogApp::new().with_ad_script(MALICIOUS_AD),
+        );
         browser
-            .network_mut()
-            .register("http://blog.example", BlogApp::new().with_ad_script(MALICIOUS_AD));
-        browser.navigate("http://blog.example/login?user=reader").unwrap();
+            .navigate("http://blog.example/login?user=reader")
+            .unwrap();
         let page = browser.navigate("http://blog.example/").unwrap();
 
         println!(
             "  ad slot text:  {:?}",
-            browser.page(page).text_of("ad-slot-text").unwrap_or_default()
+            browser
+                .page(page)
+                .text_of("ad-slot-text")
+                .unwrap_or_default()
         );
         println!(
             "  post body:     {:?}",

@@ -23,15 +23,23 @@ fn main() {
     browser
         .navigate("http://calendar.example/login.php?user=alice")
         .unwrap();
-    let page = browser.navigate("http://calendar.example/index.php").unwrap();
+    let page = browser
+        .navigate("http://calendar.example/index.php")
+        .unwrap();
     browser
         .submit_form(
             page,
             "add-event",
-            &[("title", "Standup"), ("day", "3"), ("description", "daily sync")],
+            &[
+                ("title", "Standup"),
+                ("day", "3"),
+                ("description", "daily sync"),
+            ],
         )
         .unwrap();
-    let page = browser.navigate("http://calendar.example/index.php").unwrap();
+    let page = browser
+        .navigate("http://calendar.example/index.php")
+        .unwrap();
     browser
         .submit_form(
             page,
@@ -39,14 +47,19 @@ fn main() {
             &[
                 ("title", "Retro"),
                 ("day", "7"),
-                ("description", "<script>document.getElementById('event-1').innerHTML = 'cancelled';</script>"),
+                (
+                    "description",
+                    "<script>document.getElementById('event-1').innerHTML = 'cancelled';</script>",
+                ),
             ],
         )
         .unwrap();
 
     // View the month. The second event carries a script that tries to rewrite the
     // first event — a cross-user integrity violation the ESCUDO configuration forbids.
-    let page = browser.navigate("http://calendar.example/index.php").unwrap();
+    let page = browser
+        .navigate("http://calendar.example/index.php")
+        .unwrap();
 
     println!("Table 5 configuration in force:");
     for row in CalendarApp::escudo_config() {
@@ -58,7 +71,10 @@ fn main() {
     println!();
     println!("Events stored on the server:");
     for event in &state.borrow().events {
-        println!("  #{} day {} {:?} by {}", event.id, event.day, event.title, event.author);
+        println!(
+            "  #{} day {} {:?} by {}",
+            event.id, event.day, event.title, event.author
+        );
     }
     println!();
     println!(

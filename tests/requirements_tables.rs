@@ -2,8 +2,8 @@
 //! case studies, verified end to end. For every "Yes" cell the corresponding access
 //! must succeed through the real pipeline; for every "No" cell it must be denied.
 
-use escudo::apps::forum::{ForumApp, ForumConfig, Reply, Topic};
 use escudo::apps::calendar::{CalendarApp, CalendarConfig, Event};
+use escudo::apps::forum::{ForumApp, ForumConfig, Reply, Topic};
 use escudo::browser::{Browser, PolicyMode};
 
 /// Builds a forum, logs the victim in, seeds a topic and a reply whose body is the
@@ -12,8 +12,12 @@ fn forum_with_user_script(script: &str) -> (Browser, escudo::browser::PageId) {
     let forum = ForumApp::new(ForumConfig::vulnerable());
     let state = forum.state();
     let mut browser = Browser::new(PolicyMode::Escudo);
-    browser.network_mut().register("http://forum.example", forum);
-    browser.navigate("http://forum.example/login.php?user=victim").unwrap();
+    browser
+        .network_mut()
+        .register("http://forum.example", forum);
+    browser
+        .navigate("http://forum.example/login.php?user=victim")
+        .unwrap();
     {
         let mut s = state.borrow_mut();
         s.topics.push(Topic {
@@ -29,7 +33,9 @@ fn forum_with_user_script(script: &str) -> (Browser, escudo::browser::PageId) {
             body: format!("<script>{script}</script>"),
         });
     }
-    let page = browser.navigate("http://forum.example/viewtopic.php?t=1").unwrap();
+    let page = browser
+        .navigate("http://forum.example/viewtopic.php?t=1")
+        .unwrap();
     (browser, page)
 }
 
@@ -41,8 +47,12 @@ fn table2_application_content_has_all_three_privileges() {
     let forum = ForumApp::new(ForumConfig::vulnerable());
     let state = forum.state();
     let mut browser = Browser::new(PolicyMode::Escudo);
-    browser.network_mut().register("http://forum.example", forum);
-    browser.navigate("http://forum.example/login.php?user=victim").unwrap();
+    browser
+        .network_mut()
+        .register("http://forum.example", forum);
+    browser
+        .navigate("http://forum.example/login.php?user=victim")
+        .unwrap();
     state.borrow_mut().topics.push(Topic {
         id: 1,
         title: "Welcome".into(),
@@ -51,15 +61,21 @@ fn table2_application_content_has_all_three_privileges() {
     });
 
     // The application's own status script (ring 1) already modifies the DOM on load.
-    let page = browser.navigate("http://forum.example/viewtopic.php?t=1").unwrap();
-    assert_eq!(browser.page(page).text_of("app-status").as_deref(), Some("ready"));
+    let page = browser
+        .navigate("http://forum.example/viewtopic.php?t=1")
+        .unwrap();
+    assert_eq!(
+        browser.page(page).text_of("app-status").as_deref(),
+        Some("ready")
+    );
 
     // A ring-1 handler can also read the cookie and use XMLHttpRequest.
     let mut b2 = Browser::new(PolicyMode::Escudo);
     let forum2 = ForumApp::new(ForumConfig::vulnerable());
     let state2 = forum2.state();
     b2.network_mut().register("http://forum.example", forum2);
-    b2.navigate("http://forum.example/login.php?user=victim").unwrap();
+    b2.navigate("http://forum.example/login.php?user=victim")
+        .unwrap();
     state2.borrow_mut().topics.push(Topic {
         id: 1,
         title: "Welcome".into(),
@@ -75,7 +91,9 @@ fn table2_application_content_has_all_three_privileges() {
     // Simulate trusted application code by planting it inside the ring-1 app region:
     // the index page's own script slot is ring 1, so we exercise the same privilege by
     // firing an event handler on a ring-1 element.
-    let page = b2.navigate("http://forum.example/viewtopic.php?t=1").unwrap();
+    let page = b2
+        .navigate("http://forum.example/viewtopic.php?t=1")
+        .unwrap();
     let app_node = b2.page(page).document.get_element_by_id("app").unwrap();
     assert_eq!(
         b2.page(page).contexts.node_label(app_node).ring,
@@ -90,7 +108,10 @@ fn table2_topics_and_replies_have_none_of_the_privileges() {
         forum_with_user_script("document.getElementById('topic-1').innerHTML = 'x';");
     assert!(browser.page(page).any_script_denied());
     assert_eq!(
-        browser.page(page).text_of("topic-1").map(|t| t.contains("original")),
+        browser
+            .page(page)
+            .text_of("topic-1")
+            .map(|t| t.contains("original")),
         Some(true)
     );
 
@@ -112,8 +133,12 @@ fn table3_user_content_is_isolated_between_users() {
     let forum = ForumApp::new(ForumConfig::vulnerable());
     let state = forum.state();
     let mut browser = Browser::new(PolicyMode::Escudo);
-    browser.network_mut().register("http://forum.example", forum);
-    browser.navigate("http://forum.example/login.php?user=victim").unwrap();
+    browser
+        .network_mut()
+        .register("http://forum.example", forum);
+    browser
+        .navigate("http://forum.example/login.php?user=victim")
+        .unwrap();
     {
         let mut s = state.borrow_mut();
         s.topics.push(Topic {
@@ -126,7 +151,8 @@ fn table3_user_content_is_isolated_between_users() {
             id: 1,
             topic_id: 1,
             author: "mallory".into(),
-            body: "<script>document.getElementById('reply-2').innerHTML = 'overwritten';</script>".into(),
+            body: "<script>document.getElementById('reply-2').innerHTML = 'overwritten';</script>"
+                .into(),
         });
         s.replies.push(Reply {
             id: 2,
@@ -135,7 +161,9 @@ fn table3_user_content_is_isolated_between_users() {
             body: "an honest reply".into(),
         });
     }
-    let page = browser.navigate("http://forum.example/viewtopic.php?t=1").unwrap();
+    let page = browser
+        .navigate("http://forum.example/viewtopic.php?t=1")
+        .unwrap();
     assert!(browser.page(page).any_script_denied());
     assert!(browser
         .page(page)
@@ -156,8 +184,12 @@ fn table4_events_cannot_touch_dom_cookies_or_xhr() {
         let calendar = CalendarApp::new(CalendarConfig::vulnerable());
         let state = calendar.state();
         let mut browser = Browser::new(PolicyMode::Escudo);
-        browser.network_mut().register("http://calendar.example", calendar);
-        browser.navigate("http://calendar.example/login.php?user=victim").unwrap();
+        browser
+            .network_mut()
+            .register("http://calendar.example", calendar);
+        browser
+            .navigate("http://calendar.example/login.php?user=victim")
+            .unwrap();
         {
             let mut s = state.borrow_mut();
             s.events.push(Event {
@@ -175,7 +207,9 @@ fn table4_events_cannot_touch_dom_cookies_or_xhr() {
                 author: "mallory".into(),
             });
         }
-        let page = browser.navigate("http://calendar.example/index.php").unwrap();
+        let page = browser
+            .navigate("http://calendar.example/index.php")
+            .unwrap();
         assert!(
             browser.page(page).any_script_denied(),
             "event script `{script}` should have been denied"
@@ -192,9 +226,15 @@ fn table4_events_cannot_touch_dom_cookies_or_xhr() {
 fn table4_application_content_keeps_working() {
     let calendar = CalendarApp::new(CalendarConfig::vulnerable());
     let mut browser = Browser::new(PolicyMode::Escudo);
-    browser.network_mut().register("http://calendar.example", calendar);
-    browser.navigate("http://calendar.example/login.php?user=alice").unwrap();
-    let page = browser.navigate("http://calendar.example/index.php").unwrap();
+    browser
+        .network_mut()
+        .register("http://calendar.example", calendar);
+    browser
+        .navigate("http://calendar.example/login.php?user=alice")
+        .unwrap();
+    let page = browser
+        .navigate("http://calendar.example/index.php")
+        .unwrap();
     assert!(browser.page(page).all_scripts_succeeded());
     assert_eq!(
         browser.page(page).text_of("app-status").as_deref(),
@@ -215,7 +255,11 @@ fn table_data_matches_the_paper_exactly() {
         ("Private Messages", 3, 2),
     ] {
         let row = t3.iter().find(|r| r.resource == resource).unwrap();
-        assert_eq!((row.ring, row.read, row.write), (ring, rw, rw), "{resource}");
+        assert_eq!(
+            (row.ring, row.read, row.write),
+            (ring, rw, rw),
+            "{resource}"
+        );
     }
 
     let t5 = CalendarApp::escudo_config();
@@ -226,6 +270,10 @@ fn table_data_matches_the_paper_exactly() {
         ("Calendar events", 3, 2),
     ] {
         let row = t5.iter().find(|r| r.resource == resource).unwrap();
-        assert_eq!((row.ring, row.read, row.write), (ring, rw, rw), "{resource}");
+        assert_eq!(
+            (row.ring, row.read, row.write),
+            (ring, rw, rw),
+            "{resource}"
+        );
     }
 }
