@@ -1,0 +1,170 @@
+//! Concurrent decision throughput of the sharded engine: N OS threads hammering one
+//! shared [`EscudoEngine`] with the standard decision workload, plus the end-to-end
+//! multi-session (forum/blog/calendar) workload.
+//!
+//! Run with `cargo bench --bench policy_concurrent` (optionally
+//! `-- --threads N --passes K`). This is a plain `harness = false` binary; it reports
+//! aggregate decisions/second at 1/2/4/8 threads and exits non-zero if the
+//! behavioural gate fails:
+//!
+//! * steady-state cache hit rate must be ≥ 95% at every thread count (the shared
+//!   warm cache really is shared), and
+//! * multi-thread aggregate throughput must not collapse below single-thread
+//!   throughput (no global-lock convoy: the sharded engine keeps threads off each
+//!   other's locks). A small tolerance absorbs scheduler noise on starved CI
+//!   runners; the strict comparison is printed either way.
+
+use std::sync::Arc;
+
+use escudo_bench::concurrent::{best_throughput, run_concurrent_sessions, ThroughputSample};
+use escudo_bench::workload::decision_workload;
+use escudo_core::EscudoEngine;
+
+/// Fraction of single-thread throughput the multi-thread aggregate must retain.
+/// A global-mutex engine loses far more than this to lock convoying once threads
+/// contend; scheduler noise on a shared runner loses far less.
+const NO_COLLAPSE_FRACTION: f64 = 0.85;
+const MIN_STEADY_STATE_HIT_RATE: f64 = 0.95;
+
+/// Parses `--flag value` or `--flag=value`; exits with a diagnostic on a malformed
+/// value rather than silently benchmarking a different configuration.
+fn parse_flag(args: &[String], flag: &str, default: usize) -> usize {
+    for (i, arg) in args.iter().enumerate() {
+        let value = if arg == flag {
+            args.get(i + 1).map(String::as_str)
+        } else if let Some(rest) = arg.strip_prefix(flag) {
+            rest.strip_prefix('=')
+        } else {
+            continue;
+        };
+        return match value.map(str::parse) {
+            Some(Ok(parsed)) => parsed,
+            _ => {
+                eprintln!("error: {flag} requires a numeric value (got {value:?})");
+                std::process::exit(2);
+            }
+        };
+    }
+    default
+}
+
+fn report_line(sample: &ThroughputSample) {
+    println!(
+        "  {: >2} thread(s)  {: >9.1} ns/decision  {: >12.0} decisions/s  hit rate {:5.1}%",
+        sample.threads,
+        sample.ns_per_decision(),
+        sample.decisions_per_sec(),
+        sample.hit_rate * 100.0
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let max_threads = parse_flag(&args, "--threads", 8).max(1);
+    // Total passes over the workload per timed window, *split across* the threads —
+    // every thread count does the same total work, so the timed windows have equal
+    // duration and best-of-N sampling is unbiased across configurations (shorter
+    // windows have noisier minima, which would flatter the single-thread baseline).
+    let total_passes = parse_flag(&args, "--passes", 800).max(1);
+
+    // Same shape as `policy_decide`: 24 × 24 distinct context pairs, 3 ops.
+    let workload = decision_workload(24, 24);
+    let thread_counts: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|t| *t <= max_threads)
+        .collect();
+    println!(
+        "policy_concurrent: {} checks/pass, {total_passes} passes split per thread count, \
+         threads {:?}",
+        workload.len(),
+        thread_counts
+    );
+
+    // Warm-up pass for allocator and branch predictors before any timed window.
+    let _ = best_throughput(&workload, 1, total_passes / 4, 1);
+
+    println!("aggregate cached-decision throughput (shared sharded engine):");
+    let mut samples = Vec::new();
+    for &threads in &thread_counts {
+        let sample = best_throughput(&workload, threads, (total_passes / threads).max(1), 5);
+        report_line(&sample);
+        samples.push(sample);
+    }
+
+    // ------------------------------------------------------------- behavioural gate
+    let mut failed = false;
+    for sample in &samples {
+        if sample.hit_rate < MIN_STEADY_STATE_HIT_RATE {
+            eprintln!(
+                "FAIL: steady-state hit rate {:.1}% < {:.0}% at {} thread(s) — the shared \
+                 warm cache is not being hit",
+                sample.hit_rate * 100.0,
+                MIN_STEADY_STATE_HIT_RATE * 100.0,
+                sample.threads
+            );
+            failed = true;
+        }
+    }
+
+    let single = samples[0].decisions_per_sec();
+    for sample in &samples[1..] {
+        let aggregate = sample.decisions_per_sec();
+        if aggregate < single * NO_COLLAPSE_FRACTION {
+            eprintln!(
+                "FAIL: aggregate throughput at {} threads ({aggregate:.0}/s) collapsed below \
+                 {:.0}% of single-thread ({single:.0}/s) — global-lock convoy",
+                sample.threads,
+                NO_COLLAPSE_FRACTION * 100.0
+            );
+            failed = true;
+        } else if aggregate >= single {
+            println!(
+                "ok: {} threads sustain {:.2}x single-thread aggregate throughput",
+                sample.threads,
+                aggregate / single
+            );
+        } else {
+            println!(
+                "WARN: {} threads at {:.2}x single-thread aggregate (within the {:.0}% \
+                 no-collapse tolerance; timing noise on a starved runner?)",
+                sample.threads,
+                aggregate / single,
+                NO_COLLAPSE_FRACTION * 100.0
+            );
+        }
+    }
+
+    // --------------------------------------------- end-to-end multi-session workload
+    let session_threads = max_threads.clamp(2, 4);
+    let engine = Arc::new(EscudoEngine::new());
+    let report = run_concurrent_sessions(&engine, session_threads, 3);
+    let stats = &report.stats;
+    println!(
+        "multi-session workload: {} sessions × {} rounds, {} page loads, {} checks \
+         ({} denials), engine hit rate {:.1}% over {} shards ({} evictions)",
+        report.threads,
+        report.rounds,
+        report.page_loads(),
+        report.checks(),
+        report.denials(),
+        stats.hit_rate() * 100.0,
+        stats.shards.len(),
+        stats.evictions,
+    );
+    if stats.decisions != stats.cache_hits + stats.cache_misses {
+        eprintln!(
+            "FAIL: inconsistent engine stats after concurrent sessions: {} decisions vs \
+             {} hits + {} misses",
+            stats.decisions, stats.cache_hits, stats.cache_misses
+        );
+        failed = true;
+    }
+    if report.checks() == 0 {
+        eprintln!("FAIL: the multi-session workload performed no mediation at all");
+        failed = true;
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -5,6 +5,9 @@
 //! * [`workload`] — the Figure 4 page generator: eight scenarios with varying numbers
 //!   of AC-tagged regions and dynamic content,
 //! * [`measure`] — timed page loads and event dispatches under either policy mode,
+//! * [`concurrent`] — the multi-session workload: N OS threads driving independent
+//!   forum/blog/calendar sessions against one shared sharded engine, plus the
+//!   concurrent decision-throughput measurement behind `policy_concurrent`,
 //! * [`experiments`] — the report types printed by the `experiments` binary and
 //!   recorded in `EXPERIMENTS.md` (Figure 4, UI events, §6.3, §6.4, Tables 1–5).
 //!
@@ -14,10 +17,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod concurrent;
 pub mod experiments;
 pub mod measure;
 pub mod workload;
 
+pub use concurrent::{
+    best_throughput, measure_concurrent_throughput, run_concurrent_sessions, SessionWorkloadReport,
+    ThroughputSample,
+};
 pub use experiments::{CompatReport, EventReport, Figure4Report, Figure4Row};
 pub use measure::{load_once, measure_decision_paths, DecisionReport, LoadSample};
 pub use workload::{decision_workload, figure4_scenarios, generate_page, DecisionCheck, Scenario};

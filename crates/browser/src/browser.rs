@@ -322,7 +322,9 @@ impl Browser {
 
         page.stats.policy_checks = self.erm.checks();
         page.stats.policy_denials = self.erm.denials();
-        page.stats.policy_cache_hits = self.engine.stats().cache_hits;
+        // Lock-free counter read: a full `stats()` snapshot sweeps every cache
+        // shard, which would serialize concurrent sessions once per page load.
+        page.stats.policy_cache_hits = self.engine.cache_hits();
 
         self.pages.push(Some(page));
         Ok(PageId(self.pages.len() - 1))

@@ -11,18 +11,40 @@
 //! This module provides that factoring:
 //!
 //! * [`PolicyEngine`] — the trait every decision core implements: [`decide`]
-//!   (one mediation) and [`decide_many`] (batch mediation, one lock acquisition),
+//!   (one mediation) and [`decide_many`] (batch mediation: shared state is
+//!   acquired per batch where the engine's structure allows, e.g. one interner
+//!   read-lock acquisition for a whole slice),
 //! * [`EscudoEngine`] — the production engine: it **interns** principal and object
 //!   contexts into small integer ids ([`PrincipalId`], [`ObjectId`]) via a
-//!   [`ContextTable`], and **memoizes** decisions in a hash cache keyed on
-//!   `(principal_id, object_id, operation)` so hot DOM/event paths skip the
-//!   origin/ring/ACL recomputation entirely,
+//!   read-mostly [`ContextTable`], and **memoizes** decisions in a **sharded** hash
+//!   cache keyed on `(principal_id, object_id, operation)` so hot DOM/event paths
+//!   skip the origin/ring/ACL recomputation entirely,
 //! * [`SameOriginEngine`] — the legacy same-origin baseline behind the same trait,
 //! * [`engine_for_mode`] — the factory the browser uses to pick an engine.
 //!
 //! Both engines take `&self` and are `Send + Sync`, so one engine can be shared by
 //! every page of a browsing session (or every session of a multi-tenant server) via
 //! `Arc<dyn PolicyEngine>`.
+//!
+//! # Concurrency architecture
+//!
+//! The engine is **lock-striped** so concurrent sessions never serialize on one
+//! global mutex:
+//!
+//! * the interning table sits behind an [`RwLock`]; the overwhelmingly common case —
+//!   a context already interned — takes only the read lock, so any number of threads
+//!   probe it in parallel. The write lock is taken only on first-touch interning of a
+//!   genuinely new context.
+//! * the decision cache is split into [`EscudoEngine::shard_count`] independent
+//!   shards, each behind its own small mutex, selected by `hash(pid, oid, op)`.
+//!   Two threads checking different decisions almost always land on different
+//!   shards and proceed without contending.
+//! * every shard is bounded independently; when one shard fills up only *that*
+//!   shard is cleared ([`ShardStats::evictions`] counts these), so a burst of new
+//!   contexts can no longer wipe the whole warm cache at once.
+//! * statistics are per-shard relaxed counters. [`EngineStats`] is derived as
+//!   `decisions = hits + misses`, which keeps a concurrent `stats()` reader
+//!   self-consistent by construction (`cache_hits` can never exceed `decisions`).
 //!
 //! [`decide`]: PolicyEngine::decide
 //! [`decide_many`]: PolicyEngine::decide_many
@@ -50,7 +72,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 use crate::acl::Acl;
 use crate::context::{ObjectContext, PrincipalContext, PrincipalKind};
@@ -255,6 +277,29 @@ impl ContextTable {
         ContextTable::default()
     }
 
+    /// Looks up an already-interned principal context without mutating the table.
+    ///
+    /// This is the read-locked fast path of a sharded engine: once a context has been
+    /// seen, any number of threads can resolve its id concurrently.
+    #[must_use]
+    pub fn lookup_principal(&self, principal: &PrincipalContext) -> Option<PrincipalId> {
+        self.principals
+            .get(&hash_principal(principal))?
+            .iter()
+            .find(|(key, _)| key.matches(principal))
+            .map(|(_, id)| *id)
+    }
+
+    /// Looks up an already-interned object context without mutating the table.
+    #[must_use]
+    pub fn lookup_object(&self, object: &ObjectContext) -> Option<ObjectId> {
+        self.objects
+            .get(&hash_object(object))?
+            .iter()
+            .find(|(key, _)| key.matches(object))
+            .map(|(_, id)| *id)
+    }
+
     /// Interns a principal context, returning its stable id.
     pub fn intern_principal(&mut self, principal: &PrincipalContext) -> PrincipalId {
         let bucket = self
@@ -295,10 +340,27 @@ impl ContextTable {
     }
 }
 
-/// Counters describing how an engine's cache is performing.
+/// Counters of one decision-cache shard.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Decisions this shard served from its cache.
+    pub hits: u64,
+    /// Decisions this shard had to compute (and, capacity permitting, fill).
+    pub misses: u64,
+    /// Times this shard was cleared wholesale because it reached its bound.
+    pub evictions: u64,
+    /// Entries resident in the shard when the snapshot was taken.
+    pub entries: u64,
+}
+
+/// Counters describing how an engine's cache is performing.
+///
+/// Snapshots are **self-consistent**: `decisions` is derived as
+/// `cache_hits + cache_misses` from the same per-shard counter reads, so a reader
+/// racing concurrent `decide` calls can never observe `cache_hits > decisions`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EngineStats {
-    /// Total decisions requested.
+    /// Total decisions requested (always `cache_hits + cache_misses`).
     pub decisions: u64,
     /// Decisions served from the memoization cache.
     pub cache_hits: u64,
@@ -308,6 +370,10 @@ pub struct EngineStats {
     pub interned_principals: u64,
     /// Distinct object contexts interned.
     pub interned_objects: u64,
+    /// Total capacity-triggered wholesale shard clears.
+    pub evictions: u64,
+    /// Per-shard breakdown (empty for engines without a cache).
+    pub shards: Vec<ShardStats>,
 }
 
 impl EngineStats {
@@ -357,40 +423,59 @@ pub trait PolicyEngine: Send + Sync + fmt::Debug {
             .collect()
     }
 
-    /// Cache/interning statistics. Engines without a cache report zeros besides
-    /// `decisions`.
+    /// Cache/interning statistics. Every implementation must uphold
+    /// `decisions == cache_hits + cache_misses`; engines without a cache report
+    /// every decision as a miss.
     fn stats(&self) -> EngineStats;
+
+    /// Decisions served from the cache so far — for hot callers that only need the
+    /// hit counter. The default derives it from [`stats`](PolicyEngine::stats);
+    /// engines with cheaper reads (lock-free counters) should override it.
+    fn cache_hits(&self) -> u64 {
+        self.stats().cache_hits
+    }
 }
 
-/// Interning + memoization state of an [`EscudoEngine`], behind one mutex so a
-/// decision costs at most one lock acquisition.
+/// One lock stripe of the decision cache: a small bounded map plus its counters.
 #[derive(Debug, Default)]
-struct EscudoEngineInner {
-    table: ContextTable,
-    cache: FxHashMap<(PrincipalId, ObjectId, Operation), Decision>,
+struct CacheShard {
+    cache: Mutex<FxHashMap<(PrincipalId, ObjectId, Operation), Decision>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
-/// The production ESCUDO engine: context interning plus a shared decision cache.
+/// The production ESCUDO engine: context interning plus a sharded decision cache.
 ///
 /// The three MAC rules are pure functions of `(principal context, object context,
 /// operation)`, so their outcome can be memoized. The engine interns both contexts
-/// into small ids and keys the cache on `(principal_id, object_id, op)`; repeated
-/// checks on hot DOM and event-dispatch paths are then a hash probe instead of an
-/// origin-string comparison cascade.
+/// into small ids through a read-mostly [`RwLock`]-guarded [`ContextTable`] and keys
+/// the cache on `(principal_id, object_id, op)`; repeated checks on hot DOM and
+/// event-dispatch paths are then a read-lock probe plus one shard-local hash lookup
+/// instead of an origin-string comparison cascade behind a global mutex.
 ///
-/// The cache is bounded ([`EscudoEngine::with_cache_capacity`]); when full it is
-/// cleared wholesale (decisions are pure, so eviction can never produce a wrong
-/// answer — only a recomputation).
+/// The cache is split into [`EscudoEngine::shard_count`] lock stripes selected by
+/// `hash(pid, oid, op)`, so concurrent sessions contend only when they race on the
+/// *same* decisions. Each shard is bounded independently
+/// ([`EscudoEngine::with_cache_capacity`] divides the total bound across shards);
+/// a full shard is cleared wholesale, evicting only its own slice of the cache
+/// (decisions are pure, so eviction can never produce a wrong answer — only a
+/// recomputation).
 #[derive(Debug)]
 pub struct EscudoEngine {
-    inner: Mutex<EscudoEngineInner>,
-    cache_capacity: usize,
-    decisions: AtomicU64,
-    hits: AtomicU64,
+    table: RwLock<ContextTable>,
+    shards: Vec<CacheShard>,
+    /// Bound on entries per shard; 0 disables memoization entirely.
+    shard_capacity: usize,
 }
 
-/// Default bound on the number of memoized decisions.
+/// Default bound on the number of memoized decisions (divided across the shards;
+/// see [`EscudoEngine::with_cache_capacity`] for the exact shard-granular bound).
 pub const DEFAULT_CACHE_CAPACITY: usize = 64 * 1024;
+
+/// Default number of decision-cache shards (a power of two so shard selection is a
+/// mask, sized to keep same-shard collisions rare at realistic thread counts).
+pub const DEFAULT_SHARD_COUNT: usize = 16;
 
 impl Default for EscudoEngine {
     fn default() -> Self {
@@ -399,54 +484,138 @@ impl Default for EscudoEngine {
 }
 
 impl EscudoEngine {
-    /// Creates an engine with the default cache capacity.
+    /// Creates an engine with the default shard count and cache capacity.
     #[must_use]
     pub fn new() -> Self {
         EscudoEngine::with_cache_capacity(DEFAULT_CACHE_CAPACITY)
     }
 
-    /// Creates an engine bounding the decision cache to `capacity` entries.
+    /// Creates an engine bounding the decision cache to roughly `capacity` entries,
+    /// spread over [`DEFAULT_SHARD_COUNT`] shards.
+    ///
+    /// The bound is shard-granular: `capacity` is divided across the shards rounding
+    /// up, so the total resident entries can exceed `capacity` by up to
+    /// `shard_count - 1` (each shard holds at least one entry when memoization is
+    /// enabled at all).
     ///
     /// A capacity of `0` disables memoization entirely (every decision recomputes the
     /// rules — the configuration the cold-path benchmarks measure).
     #[must_use]
     pub fn with_cache_capacity(capacity: usize) -> Self {
+        EscudoEngine::with_shards(DEFAULT_SHARD_COUNT, capacity)
+    }
+
+    /// Creates an engine with an explicit shard count and cache capacity.
+    ///
+    /// `shard_count` is rounded up to a power of two (and at least 1) so shard
+    /// selection is a mask; `capacity` is divided across the shards as described on
+    /// [`EscudoEngine::with_cache_capacity`].
+    #[must_use]
+    pub fn with_shards(shard_count: usize, capacity: usize) -> Self {
+        let shard_count = shard_count.max(1).next_power_of_two();
+        let shard_capacity = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(shard_count)
+        };
         EscudoEngine {
-            inner: Mutex::new(EscudoEngineInner::default()),
-            cache_capacity: capacity,
-            decisions: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
+            table: RwLock::new(ContextTable::new()),
+            shards: (0..shard_count).map(|_| CacheShard::default()).collect(),
+            shard_capacity,
         }
+    }
+
+    /// Number of lock stripes in the decision cache.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Bound on memoized decisions per shard (0 when memoization is disabled).
+    #[must_use]
+    pub fn shard_capacity(&self) -> usize {
+        self.shard_capacity
     }
 
     /// Drops every memoized decision (interned ids survive — they are still valid).
+    /// Explicit clears are not counted as evictions.
     pub fn clear_cache(&self) {
-        self.inner.lock().expect("engine lock").cache.clear();
+        for shard in &self.shards {
+            shard.cache.lock().expect("shard lock").clear();
+        }
     }
 
-    /// Decides with the lock already held — shared by `decide` and `decide_many`.
-    fn decide_locked(
-        inner: &mut EscudoEngineInner,
-        cache_capacity: usize,
+    /// Resolves the interned ids of a context pair: a shared read lock when both are
+    /// already known (the steady-state path), a write lock only on first touch.
+    fn intern_pair(
+        &self,
+        principal: &PrincipalContext,
+        object: &ObjectContext,
+    ) -> (PrincipalId, ObjectId) {
+        {
+            let table = self.table.read().expect("context table lock");
+            if let (Some(pid), Some(oid)) = (
+                table.lookup_principal(principal),
+                table.lookup_object(object),
+            ) {
+                return (pid, oid);
+            }
+        }
+        let mut table = self.table.write().expect("context table lock");
+        // `intern_*` re-probes under the write lock, so a racing thread that interned
+        // the same context between our two lock acquisitions is handled correctly.
+        (
+            table.intern_principal(principal),
+            table.intern_object(object),
+        )
+    }
+
+    /// Picks the cache shard for a decision key.
+    ///
+    /// The shard index comes from the *high* hash bits: the shard's own `FxHashMap`
+    /// derives its bucket index from the low bits of this same hash scheme, so
+    /// masking the low bits here would leave every key in shard `i` congruent to
+    /// `i` modulo the shard count — stranding all of them on a fraction of the
+    /// map's slots and turning the warm path into long probe chains.
+    fn shard_for(&self, pid: PrincipalId, oid: ObjectId, op: Operation) -> &CacheShard {
+        let mut hasher = FxHasher::default();
+        hasher.write_u32(pid.0);
+        hasher.write_u32(oid.0);
+        hasher.write_u8(op as u8);
+        &self.shards[((hasher.finish() >> 32) as usize) & (self.shards.len() - 1)]
+    }
+
+    /// Decides for an already-interned context pair: shard probe, then compute + fill
+    /// on a miss. The decision itself is computed outside any lock (it is pure).
+    fn decide_interned(
+        &self,
+        pid: PrincipalId,
+        oid: ObjectId,
         principal: &PrincipalContext,
         object: &ObjectContext,
         op: Operation,
-    ) -> (Decision, bool) {
-        let pid = inner.table.intern_principal(principal);
-        let oid = inner.table.intern_object(object);
-        if let Some(cached) = inner.cache.get(&(pid, oid, op)) {
-            return (cached.clone(), true);
+    ) -> Decision {
+        let shard = self.shard_for(pid, oid, op);
+        let key = (pid, oid, op);
+        if let Some(cached) = shard.cache.lock().expect("shard lock").get(&key) {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+            return cached.clone();
         }
         let decision = decide(PolicyMode::Escudo, principal, object, op);
-        if cache_capacity > 0 {
-            if inner.cache.len() >= cache_capacity {
-                // Decisions are pure: a wholesale clear is always safe and keeps the
-                // eviction policy trivial (no LRU bookkeeping on the hot path).
-                inner.cache.clear();
+        shard.misses.fetch_add(1, Ordering::Relaxed);
+        if self.shard_capacity > 0 {
+            let mut cache = shard.cache.lock().expect("shard lock");
+            if cache.len() >= self.shard_capacity && !cache.contains_key(&key) {
+                // Decisions are pure: a wholesale clear is always safe, keeps the
+                // eviction policy trivial (no LRU bookkeeping on the hot path), and —
+                // because shards are bounded independently — only evicts this shard's
+                // slice of the cache.
+                cache.clear();
+                shard.evictions.fetch_add(1, Ordering::Relaxed);
             }
-            inner.cache.insert((pid, oid, op), decision.clone());
+            cache.insert(key, decision.clone());
         }
-        (decision, false)
+        decision
     }
 }
 
@@ -461,59 +630,81 @@ impl PolicyEngine for EscudoEngine {
         object: &ObjectContext,
         op: Operation,
     ) -> Decision {
-        let (decision, hit) = {
-            let mut inner = self.inner.lock().expect("engine lock");
-            Self::decide_locked(&mut inner, self.cache_capacity, principal, object, op)
-        };
-        self.decisions.fetch_add(1, Ordering::Relaxed);
-        if hit {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-        }
-        decision
+        let (pid, oid) = self.intern_pair(principal, object);
+        self.decide_interned(pid, oid, principal, object, op)
     }
 
     fn decide_many(
         &self,
         checks: &[(&PrincipalContext, &ObjectContext, Operation)],
     ) -> Vec<Decision> {
-        let mut hits = 0u64;
-        let decisions = {
-            let mut inner = self.inner.lock().expect("engine lock");
-            checks
-                .iter()
-                .map(|(p, o, op)| {
-                    let (decision, hit) =
-                        Self::decide_locked(&mut inner, self.cache_capacity, p, o, *op);
-                    hits += u64::from(hit);
-                    decision
-                })
-                .collect()
-        };
-        self.decisions
-            .fetch_add(checks.len() as u64, Ordering::Relaxed);
-        self.hits.fetch_add(hits, Ordering::Relaxed);
-        decisions
+        // Resolve every id under a single read-lock acquisition (the steady-state
+        // batch path); only genuinely new contexts fall back to the write lock.
+        let mut ids: Vec<(Option<PrincipalId>, Option<ObjectId>)> =
+            Vec::with_capacity(checks.len());
+        {
+            let table = self.table.read().expect("context table lock");
+            for (principal, object, _) in checks {
+                ids.push((
+                    table.lookup_principal(principal),
+                    table.lookup_object(object),
+                ));
+            }
+        }
+        checks
+            .iter()
+            .zip(ids)
+            .map(|((principal, object, op), resolved)| {
+                let (pid, oid) = match resolved {
+                    (Some(pid), Some(oid)) => (pid, oid),
+                    _ => self.intern_pair(principal, object),
+                };
+                self.decide_interned(pid, oid, principal, object, *op)
+            })
+            .collect()
     }
 
     fn stats(&self) -> EngineStats {
         let (principals, objects) = {
-            let inner = self.inner.lock().expect("engine lock");
-            (
-                inner.table.principal_count() as u64,
-                inner.table.object_count() as u64,
-            )
+            let table = self.table.read().expect("context table lock");
+            (table.principal_count() as u64, table.object_count() as u64)
         };
-        let decisions = self.decisions.load(Ordering::Relaxed);
-        let hits = self.hits.load(Ordering::Relaxed);
+        let mut shards = Vec::with_capacity(self.shards.len());
+        let (mut hits, mut misses, mut evictions) = (0u64, 0u64, 0u64);
+        for shard in &self.shards {
+            let snapshot = ShardStats {
+                hits: shard.hits.load(Ordering::Relaxed),
+                misses: shard.misses.load(Ordering::Relaxed),
+                evictions: shard.evictions.load(Ordering::Relaxed),
+                entries: shard.cache.lock().expect("shard lock").len() as u64,
+            };
+            hits += snapshot.hits;
+            misses += snapshot.misses;
+            evictions += snapshot.evictions;
+            shards.push(snapshot);
+        }
         EngineStats {
-            decisions,
+            // Derived from the same counter reads, so `cache_hits ≤ decisions` and
+            // `decisions == cache_hits + cache_misses` hold in every snapshot, even
+            // with decides racing this reader.
+            decisions: hits + misses,
             cache_hits: hits,
-            // The two relaxed loads are not a snapshot; saturate rather than wrap if a
-            // concurrent decide lands between them.
-            cache_misses: decisions.saturating_sub(hits),
+            cache_misses: misses,
             interned_principals: principals,
             interned_objects: objects,
+            evictions,
+            shards,
         }
+    }
+
+    /// Lock-free: sums the per-shard hit counters without touching the interner
+    /// lock, the shard mutexes or the heap (unlike a full
+    /// [`stats`](PolicyEngine::stats) snapshot).
+    fn cache_hits(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|shard| shard.hits.load(Ordering::Relaxed))
+            .sum()
     }
 }
 
@@ -551,8 +742,12 @@ impl PolicyEngine for SameOriginEngine {
     }
 
     fn stats(&self) -> EngineStats {
+        let decisions = self.decisions.load(Ordering::Relaxed);
         EngineStats {
-            decisions: self.decisions.load(Ordering::Relaxed),
+            decisions,
+            // No cache: every decision runs the full procedure, i.e. is a miss —
+            // which also preserves the `decisions == hits + misses` invariant.
+            cache_misses: decisions,
             ..EngineStats::default()
         }
     }
@@ -729,6 +924,127 @@ mod tests {
         assert_eq!(
             engine_for_mode(PolicyMode::SameOriginOnly).mode(),
             PolicyMode::SameOriginOnly
+        );
+    }
+
+    #[test]
+    fn lookup_is_the_readonly_face_of_interning() {
+        let mut table = ContextTable::new();
+        let p = script(2);
+        let o = dom(1, Acl::uniform(Ring::new(1)));
+        assert_eq!(table.lookup_principal(&p), None);
+        assert_eq!(table.lookup_object(&o), None);
+        let pid = table.intern_principal(&p);
+        let oid = table.intern_object(&o);
+        assert_eq!(table.lookup_principal(&p), Some(pid));
+        assert_eq!(table.lookup_object(&o), Some(oid));
+        // A context differing only in its label resolves to the same id.
+        assert_eq!(
+            table.lookup_principal(&script(2).with_label("renamed")),
+            Some(pid)
+        );
+    }
+
+    #[test]
+    fn shard_count_is_a_power_of_two_and_at_least_one() {
+        assert_eq!(EscudoEngine::with_shards(0, 64).shard_count(), 1);
+        assert_eq!(EscudoEngine::with_shards(1, 64).shard_count(), 1);
+        assert_eq!(EscudoEngine::with_shards(5, 64).shard_count(), 8);
+        assert_eq!(EscudoEngine::with_shards(16, 64).shard_count(), 16);
+        assert_eq!(EscudoEngine::new().shard_count(), DEFAULT_SHARD_COUNT);
+        // Capacity is divided across shards; zero disables memoization everywhere.
+        assert_eq!(EscudoEngine::with_shards(4, 64).shard_capacity(), 16);
+        assert_eq!(EscudoEngine::with_shards(4, 0).shard_capacity(), 0);
+    }
+
+    #[test]
+    fn per_shard_stats_sum_to_the_aggregates() {
+        let engine = EscudoEngine::with_shards(4, 1024);
+        let object = dom(2, Acl::uniform(Ring::new(1)));
+        for ring in 0u16..12 {
+            for op in Operation::ALL {
+                engine.decide(&script(ring), &object, op);
+                engine.decide(&script(ring), &object, op);
+            }
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.shards.len(), 4);
+        assert_eq!(
+            stats.shards.iter().map(|s| s.hits).sum::<u64>(),
+            stats.cache_hits
+        );
+        assert_eq!(
+            stats.shards.iter().map(|s| s.misses).sum::<u64>(),
+            stats.cache_misses
+        );
+        assert_eq!(
+            stats.shards.iter().map(|s| s.evictions).sum::<u64>(),
+            stats.evictions
+        );
+        assert_eq!(stats.decisions, stats.cache_hits + stats.cache_misses);
+        assert_eq!(
+            stats.shards.iter().map(|s| s.entries).sum::<u64>(),
+            stats.cache_misses,
+            "every distinct decision should be resident (no evictions at this size)"
+        );
+        // The key space is spread over more than one stripe.
+        assert!(
+            stats.shards.iter().filter(|s| s.entries > 0).count() > 1,
+            "decisions should not all collapse onto one shard: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn a_full_shard_evicts_only_its_own_slice() {
+        // 2 shards × 8 entries each. A witness decision parked in one shard must
+        // survive the other shard overflowing and being cleared.
+        let engine = EscudoEngine::with_shards(2, 16);
+        let object = dom(3, Acl::uniform(Ring::new(3)));
+        let oid = engine.table.write().unwrap().intern_object(&object);
+        let lands_in_shard0 = |ring: u16| {
+            let pid = engine
+                .table
+                .write()
+                .unwrap()
+                .intern_principal(&script(ring));
+            std::ptr::eq(
+                engine.shard_for(pid, oid, Operation::Read),
+                &engine.shards[0],
+            )
+        };
+        let witness = (0u16..200)
+            .find(|ring| lands_in_shard0(*ring))
+            .expect("some key hashes to shard 0");
+        engine.decide(&script(witness), &object, Operation::Read);
+
+        // Overflow the *other* shard with distinct keys until it has evicted.
+        let mut filled = 0;
+        for ring in 200u16..2000 {
+            if !lands_in_shard0(ring) {
+                let p = script(ring);
+                let expected = decide(PolicyMode::Escudo, &p, &object, Operation::Read);
+                assert_eq!(engine.decide(&p, &object, Operation::Read), expected);
+                filled += 1;
+                if filled == 20 {
+                    break;
+                }
+            }
+        }
+        let stats = engine.stats();
+        assert!(stats.evictions > 0, "20 keys into 8 slots must evict");
+        for shard in &stats.shards {
+            assert!(
+                shard.entries <= engine.shard_capacity() as u64,
+                "shard exceeded its bound: {shard:?}"
+            );
+        }
+        // The witness sat in the untouched shard: still a cache hit.
+        let hits_before = engine.stats().cache_hits;
+        engine.decide(&script(witness), &object, Operation::Read);
+        assert_eq!(
+            engine.stats().cache_hits,
+            hits_before + 1,
+            "eviction in one shard must not clear the other"
         );
     }
 

@@ -73,7 +73,7 @@ pub use acl::Acl;
 pub use context::{ObjectContext, ObjectKind, PrincipalContext, PrincipalKind};
 pub use engine::{
     engine_for_mode, ContextTable, EngineStats, EscudoEngine, ObjectId, PolicyEngine, PrincipalId,
-    SameOriginEngine,
+    SameOriginEngine, ShardStats, DEFAULT_CACHE_CAPACITY, DEFAULT_SHARD_COUNT,
 };
 pub use error::{ConfigError, PolicyError};
 pub use nonce::Nonce;

@@ -75,7 +75,16 @@ impl SetCookie {
             let attr = attr.trim();
             let (key, val) = attr.split_once('=').unwrap_or((attr, ""));
             match key.to_ascii_lowercase().as_str() {
-                "domain" => cookie.domain = Some(val.trim().trim_start_matches('.').to_string()),
+                // RFC 6265 §5.2.3: an empty `Domain` value (including a bare `.`)
+                // must be ignored entirely — the cookie stays host-only. Mapping it
+                // to `Some("")` would store a cookie whose host matches no request.
+                // Domains are case-insensitive; normalize once here.
+                "domain" => {
+                    let domain = val.trim().trim_start_matches('.');
+                    if !domain.is_empty() {
+                        cookie.domain = Some(domain.to_ascii_lowercase());
+                    }
+                }
                 "path" => cookie.path = val.trim().to_string(),
                 "secure" => cookie.secure = true,
                 "httponly" => cookie.http_only = true,
@@ -86,6 +95,18 @@ impl SetCookie {
             cookie.path = "/".to_string();
         }
         Ok(cookie)
+    }
+
+    /// The effective `Domain` attribute after RFC 6265 §5.2.3 normalization: leading
+    /// dots and surrounding whitespace are ignored, and an empty value means "no
+    /// attribute at all" (host-only cookie). [`SetCookie::parse`] normalizes while
+    /// parsing; this also covers programmatically-built directives whose public
+    /// `domain` field was set raw — the jar's store path and
+    /// [`Cookie::from_set_cookie`] both go through here so they can never disagree.
+    #[must_use]
+    pub fn normalized_domain(&self) -> Option<&str> {
+        let domain = self.domain.as_deref()?.trim().trim_start_matches('.');
+        (!domain.is_empty()).then_some(domain)
     }
 
     /// Serializes the directive as a `Set-Cookie` header value.
@@ -124,6 +145,10 @@ pub struct Cookie {
     /// The host the cookie belongs to (from the setting response's URL, or the
     /// `Domain` attribute).
     pub host: String,
+    /// Whether the cookie is host-only (no `Domain` attribute was given, so it is
+    /// scoped to exactly the setting host — RFC 6265 §5.4 — rather than to the
+    /// host and its subdomains).
+    pub host_only: bool,
     /// The scheme of the setting response (used with `Secure`).
     pub scheme: String,
     /// The port of the setting origin. Classic cookies ignore the port; it is kept for
@@ -141,14 +166,15 @@ impl Cookie {
     /// Builds a stored cookie from a `Set-Cookie` directive and the origin that sent it.
     #[must_use]
     pub fn from_set_cookie(directive: &SetCookie, scheme: &str, host: &str, port: u16) -> Self {
+        let domain = directive.normalized_domain();
         Cookie {
             name: directive.name.clone(),
             value: directive.value.clone(),
-            host: directive
-                .domain
-                .clone()
-                .unwrap_or_else(|| host.to_string())
-                .to_ascii_lowercase(),
+            // One allocation: borrow whichever source applies, lowercase into the
+            // owned field. (The parser already lowercases `Domain`, but a
+            // programmatically-built directive may not be normalized.)
+            host: domain.unwrap_or(host).to_ascii_lowercase(),
+            host_only: domain.is_none(),
             scheme: scheme.to_ascii_lowercase(),
             port,
             path: directive.path.clone(),
@@ -165,7 +191,13 @@ impl Cookie {
         if self.secure && !scheme.eq_ignore_ascii_case("https") {
             return false;
         }
-        if !domain_matches(&self.host, host) {
+        // RFC 6265 §5.4: a host-only cookie matches exactly the host that set it;
+        // only a cookie with an explicit `Domain` extends to subdomains.
+        if self.host_only {
+            if !host.eq_ignore_ascii_case(&self.host) {
+                return false;
+            }
+        } else if !domain_matches(&self.host, host) {
             return false;
         }
         path_matches(&self.path, path)
@@ -185,11 +217,27 @@ impl Cookie {
 }
 
 /// RFC-6265-style domain matching: exact match, or the request host is a subdomain of
-/// the cookie domain.
-fn domain_matches(cookie_host: &str, request_host: &str) -> bool {
-    let cookie_host = cookie_host.to_ascii_lowercase();
-    let request_host = request_host.to_ascii_lowercase();
-    request_host == cookie_host || request_host.ends_with(&format!(".{cookie_host}"))
+/// the cookie domain. Also used by the jar's store path to enforce §5.3 step 6 (a
+/// `Domain` attribute must cover the setting host, or the cookie is rejected).
+///
+/// Allocation-free: the stored cookie host is already lowercased
+/// ([`Cookie::from_set_cookie`] normalizes at store time), and the request host is
+/// compared case-insensitively in place — this runs once per cookie per request.
+pub(crate) fn domain_matches(cookie_host: &str, request_host: &str) -> bool {
+    if cookie_host.is_empty() {
+        return false;
+    }
+    if request_host.eq_ignore_ascii_case(cookie_host) {
+        return true;
+    }
+    // Dot-suffix match: `request_host` ends with `.{cookie_host}`.
+    match request_host.len().checked_sub(cookie_host.len() + 1) {
+        Some(dot) => {
+            request_host.as_bytes()[dot] == b'.'
+                && request_host[dot + 1..].eq_ignore_ascii_case(cookie_host)
+        }
+        None => false,
+    }
 }
 
 /// RFC-6265-style path matching.
@@ -226,6 +274,68 @@ mod tests {
     }
 
     #[test]
+    fn empty_domain_attribute_is_ignored() {
+        // Regression: `Domain=` used to parse as `Some("")`, storing a cookie whose
+        // host was `""` — which matched no request host at all. RFC 6265 §5.2.3 says
+        // an empty value means "ignore the attribute" (host-only cookie).
+        for header in [
+            "sid=1; Domain=",
+            "sid=1; Domain=.",
+            "sid=1; Domain=..",
+            "sid=1; Domain=   ",
+        ] {
+            let parsed = SetCookie::parse(header).unwrap();
+            assert_eq!(parsed.domain, None, "for header {header:?}");
+            let stored = Cookie::from_set_cookie(&parsed, "http", "forum.example", 80);
+            assert_eq!(stored.host, "forum.example");
+            assert!(stored.host_only, "for header {header:?}");
+            assert!(
+                stored.in_scope("http", "forum.example", "/"),
+                "a host-only cookie must match its own host (header {header:?})"
+            );
+            assert!(!stored.in_scope("http", "evil.example", "/"));
+            // RFC 6265 §5.4: host-only means *exactly* that host — not subdomains.
+            assert!(
+                !stored.in_scope("http", "a.forum.example", "/"),
+                "a host-only cookie must not leak to subdomains (header {header:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_case_domains_match_case_insensitively() {
+        let parsed = SetCookie::parse("sid=1; Domain=.ExAmPlE.CoM").unwrap();
+        assert_eq!(parsed.domain.as_deref(), Some("example.com"));
+        let stored = Cookie::from_set_cookie(&parsed, "http", "WWW.Example.COM", 80);
+        assert_eq!(stored.host, "example.com");
+        assert!(stored.in_scope("http", "www.example.com", "/"));
+        assert!(stored.in_scope("http", "Shop.EXAMPLE.com", "/"));
+        assert!(!stored.in_scope("http", "example.org", "/"));
+
+        // Host-only cookie set from a mixed-case origin host.
+        let host_only =
+            Cookie::from_set_cookie(&SetCookie::new("sid", "1"), "HTTP", "Forum.Example", 80);
+        assert_eq!(host_only.host, "forum.example");
+        assert!(host_only.in_scope("http", "FORUM.example", "/"));
+    }
+
+    #[test]
+    fn domain_matching_is_exact_or_dot_suffix() {
+        assert!(domain_matches("example.com", "example.com"));
+        assert!(domain_matches("example.com", "a.example.com"));
+        assert!(domain_matches("example.com", "a.b.example.com"));
+        assert!(domain_matches("example.com", "A.EXAMPLE.COM"));
+        // Not a label boundary: `notexample.com` is not a subdomain.
+        assert!(!domain_matches("example.com", "notexample.com"));
+        assert!(!domain_matches("example.com", "example.com.evil"));
+        assert!(!domain_matches("example.com", "com"));
+        assert!(!domain_matches("example.com", ""));
+        // A defensively-rejected empty cookie host matches nothing.
+        assert!(!domain_matches("", "example.com"));
+        assert!(!domain_matches("", ""));
+    }
+
+    #[test]
     fn parse_rejects_nameless_cookies() {
         assert!(SetCookie::parse("=value").is_err());
         assert!(SetCookie::parse("no-equals-sign").is_err());
@@ -245,9 +355,11 @@ mod tests {
     #[test]
     fn scope_matching_domain() {
         let c = Cookie::from_set_cookie(&SetCookie::new("sid", "1"), "http", "forum.example", 80);
+        assert!(c.host_only);
         assert!(c.in_scope("http", "forum.example", "/"));
         assert!(!c.in_scope("http", "evil.example", "/"));
         assert!(!c.in_scope("http", "notforum.example", "/"));
+        assert!(!c.in_scope("http", "sub.forum.example", "/"));
 
         let wide = Cookie::from_set_cookie(
             &SetCookie {
@@ -258,6 +370,7 @@ mod tests {
             "www.example.com",
             80,
         );
+        assert!(!wide.host_only);
         assert!(wide.in_scope("http", "www.example.com", "/"));
         assert!(wide.in_scope("http", "shop.example.com", "/"));
         assert!(!wide.in_scope("http", "example.org", "/"));

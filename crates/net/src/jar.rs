@@ -26,7 +26,23 @@ impl CookieJar {
     }
 
     /// Stores (or replaces) a cookie delivered by a response from `url`.
+    ///
+    /// A directive whose explicit `Domain` attribute does not cover the setting host
+    /// is ignored entirely (RFC 6265 §5.3 step 6) — otherwise any origin could plant
+    /// session cookies for any other domain (cookie injection / session fixation).
+    /// Single-label domains (`Domain=example`, `Domain=com`) are likewise rejected
+    /// unless they *are* the setting host: without a public-suffix list, a shared
+    /// top-level label would still let `attacker.example` set a cookie that scopes
+    /// over every `*.example` site.
     pub fn store(&mut self, url: &Url, directive: &SetCookie) {
+        if let Some(domain) = directive.normalized_domain() {
+            if !domain.contains('.') && !domain.eq_ignore_ascii_case(url.host()) {
+                return;
+            }
+            if !crate::cookie::domain_matches(domain, url.host()) {
+                return;
+            }
+        }
         let cookie = Cookie::from_set_cookie(directive, url.scheme(), url.host(), url.port());
         // Replace an existing cookie with the same (name, host, path) triple.
         if let Some(existing) = self
@@ -186,6 +202,103 @@ mod tests {
             jar.candidates_for(&url("http://forum.example/post")).len(),
             1
         );
+    }
+
+    #[test]
+    fn foreign_domain_attribute_is_rejected_at_store_time() {
+        let mut jar = CookieJar::new();
+        // RFC 6265 §5.3 step 6: attacker.example cannot plant a cookie for
+        // forum.example.
+        jar.store(
+            &url("http://attacker.example/"),
+            &SetCookie {
+                domain: Some("forum.example".into()),
+                ..SetCookie::new("sid", "evil")
+            },
+        );
+        assert!(jar.is_empty(), "foreign-domain cookie must be ignored");
+        assert!(jar.candidates_for(&url("http://forum.example/")).is_empty());
+
+        // A Domain covering the setting host (parent domain) is legitimate…
+        jar.store(
+            &url("http://www.example.com/"),
+            &SetCookie {
+                domain: Some("example.com".into()),
+                ..SetCookie::new("sid", "ok")
+            },
+        );
+        assert_eq!(jar.len(), 1);
+        assert_eq!(
+            jar.candidates_for(&url("http://shop.example.com/")).len(),
+            1
+        );
+
+        // …but a *sibling* or unrelated domain is not.
+        jar.store(
+            &url("http://www.example.com/"),
+            &SetCookie {
+                domain: Some("shop.example.com".into()),
+                ..SetCookie::new("x", "1")
+            },
+        );
+        assert_eq!(jar.len(), 1);
+    }
+
+    #[test]
+    fn single_label_domain_cannot_scope_over_a_whole_tld() {
+        let mut jar = CookieJar::new();
+        // attacker.example suffix-matches `example`, but a single-label Domain is a
+        // registrable suffix here (no public-suffix list) — rejected, or the cookie
+        // would reach forum.example, blog.example, every *.example site.
+        jar.store(
+            &url("http://attacker.example/"),
+            &SetCookie {
+                domain: Some("example".into()),
+                ..SetCookie::new("sid", "evil")
+            },
+        );
+        assert!(jar.is_empty());
+        assert!(jar.candidates_for(&url("http://forum.example/")).is_empty());
+
+        // A single-label *host* may still name itself (intranet/localhost style).
+        jar.store(
+            &url("http://intranet/"),
+            &SetCookie {
+                domain: Some("intranet".into()),
+                ..SetCookie::new("sid", "ok")
+            },
+        );
+        assert_eq!(jar.candidates_for(&url("http://intranet/")).len(), 1);
+    }
+
+    #[test]
+    fn programmatic_directives_are_normalized_at_store_time() {
+        let mut jar = CookieJar::new();
+        // A raw leading-dot Domain built in code (bypassing the parser) is
+        // normalized, not silently dropped.
+        jar.store(
+            &url("http://www.example.com/"),
+            &SetCookie {
+                domain: Some(".example.com".into()),
+                ..SetCookie::new("sid", "s1")
+            },
+        );
+        assert_eq!(
+            jar.candidates_for(&url("http://shop.example.com/")).len(),
+            1
+        );
+
+        // A raw empty Domain means "no attribute": stored host-only, not rejected.
+        jar.store(
+            &url("http://forum.example/"),
+            &SetCookie {
+                domain: Some(String::new()),
+                ..SetCookie::new("sid", "s2")
+            },
+        );
+        let stored = jar.get("forum.example", "sid").expect("stored host-only");
+        assert!(stored.host_only);
+        assert_eq!(jar.candidates_for(&url("http://a.forum.example/")).len(), 0);
     }
 
     #[test]
