@@ -16,6 +16,7 @@
 
 use std::sync::Arc;
 
+use escudo_bench::cli::{no_collapse_gate, parse_flag};
 use escudo_bench::concurrent::{best_throughput, run_concurrent_sessions, ThroughputSample};
 use escudo_bench::workload::decision_workload;
 use escudo_core::EscudoEngine;
@@ -25,28 +26,6 @@ use escudo_core::EscudoEngine;
 /// contend; scheduler noise on a shared runner loses far less.
 const NO_COLLAPSE_FRACTION: f64 = 0.85;
 const MIN_STEADY_STATE_HIT_RATE: f64 = 0.95;
-
-/// Parses `--flag value` or `--flag=value`; exits with a diagnostic on a malformed
-/// value rather than silently benchmarking a different configuration.
-fn parse_flag(args: &[String], flag: &str, default: usize) -> usize {
-    for (i, arg) in args.iter().enumerate() {
-        let value = if arg == flag {
-            args.get(i + 1).map(String::as_str)
-        } else if let Some(rest) = arg.strip_prefix(flag) {
-            rest.strip_prefix('=')
-        } else {
-            continue;
-        };
-        return match value.map(str::parse) {
-            Some(Ok(parsed)) => parsed,
-            _ => {
-                eprintln!("error: {flag} requires a numeric value (got {value:?})");
-                std::process::exit(2);
-            }
-        };
-    }
-    default
-}
 
 fn report_line(sample: &ThroughputSample) {
     println!(
@@ -106,33 +85,11 @@ fn main() {
         }
     }
 
-    let single = samples[0].decisions_per_sec();
-    for sample in &samples[1..] {
-        let aggregate = sample.decisions_per_sec();
-        if aggregate < single * NO_COLLAPSE_FRACTION {
-            eprintln!(
-                "FAIL: aggregate throughput at {} threads ({aggregate:.0}/s) collapsed below \
-                 {:.0}% of single-thread ({single:.0}/s) — global-lock convoy",
-                sample.threads,
-                NO_COLLAPSE_FRACTION * 100.0
-            );
-            failed = true;
-        } else if aggregate >= single {
-            println!(
-                "ok: {} threads sustain {:.2}x single-thread aggregate throughput",
-                sample.threads,
-                aggregate / single
-            );
-        } else {
-            println!(
-                "WARN: {} threads at {:.2}x single-thread aggregate (within the {:.0}% \
-                 no-collapse tolerance; timing noise on a starved runner?)",
-                sample.threads,
-                aggregate / single,
-                NO_COLLAPSE_FRACTION * 100.0
-            );
-        }
-    }
+    let gate_samples: Vec<(usize, f64)> = samples
+        .iter()
+        .map(|s| (s.threads, s.decisions_per_sec()))
+        .collect();
+    failed |= no_collapse_gate("decision", &gate_samples, NO_COLLAPSE_FRACTION);
 
     // --------------------------------------------- end-to-end multi-session workload
     let session_threads = max_threads.clamp(2, 4);

@@ -1,0 +1,89 @@
+//! Shared scaffolding for the `harness = false` bench binaries: flag parsing and
+//! the multi-thread no-collapse gate, kept in one place so `policy_concurrent` and
+//! `jar_concurrent` cannot drift apart.
+
+/// Parses `--flag value` or `--flag=value`; exits with a diagnostic on a malformed
+/// value rather than silently benchmarking a different configuration.
+#[must_use]
+pub fn parse_flag(args: &[String], flag: &str, default: usize) -> usize {
+    for (i, arg) in args.iter().enumerate() {
+        let value = if arg == flag {
+            args.get(i + 1).map(String::as_str)
+        } else if let Some(rest) = arg.strip_prefix(flag) {
+            rest.strip_prefix('=')
+        } else {
+            continue;
+        };
+        return match value.map(str::parse) {
+            Some(Ok(parsed)) => parsed,
+            _ => {
+                eprintln!("error: {flag} requires a numeric value (got {value:?})");
+                std::process::exit(2);
+            }
+        };
+    }
+    default
+}
+
+/// Applies the multi-thread no-collapse gate to `(threads, aggregate-per-second)`
+/// samples, the first of which is the single-thread baseline. Prints `ok` when a
+/// thread count beats single-thread, `WARN` when it lands inside the tolerance
+/// (on a starved single-core runner a multi-thread aggregate can only tie), and
+/// `FAIL` when the aggregate collapsed below `fraction` of single-thread — the
+/// global-lock convoy signature. Returns `true` when any sample failed.
+///
+/// `unit` names what is being counted (e.g. `"decision"`, `"header"`).
+#[must_use]
+pub fn no_collapse_gate(unit: &str, samples: &[(usize, f64)], fraction: f64) -> bool {
+    let single = samples[0].1;
+    let mut failed = false;
+    for &(threads, aggregate) in &samples[1..] {
+        if aggregate < single * fraction {
+            eprintln!(
+                "FAIL: aggregate {unit} throughput at {threads} threads ({aggregate:.0}/s) \
+                 collapsed below {:.0}% of single-thread ({single:.0}/s) — global-lock convoy",
+                fraction * 100.0
+            );
+            failed = true;
+        } else if aggregate >= single {
+            println!(
+                "ok: {threads} threads sustain {:.2}x single-thread aggregate {unit} throughput",
+                aggregate / single
+            );
+        } else {
+            println!(
+                "WARN: {threads} threads at {:.2}x single-thread aggregate (within the {:.0}% \
+                 no-collapse tolerance; timing noise on a starved runner?)",
+                aggregate / single,
+                fraction * 100.0
+            );
+        }
+    }
+    failed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_flag_accepts_both_spellings_and_defaults() {
+        let args: Vec<String> = ["bench", "--threads", "4", "--passes=200"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(parse_flag(&args, "--threads", 8), 4);
+        assert_eq!(parse_flag(&args, "--passes", 800), 200);
+        assert_eq!(parse_flag(&args, "--missing", 7), 7);
+    }
+
+    #[test]
+    fn no_collapse_gate_flags_only_real_collapses() {
+        // Beats single-thread, ties within tolerance, collapses below it.
+        assert!(!no_collapse_gate("widget", &[(1, 100.0), (2, 150.0)], 0.85));
+        assert!(!no_collapse_gate("widget", &[(1, 100.0), (2, 90.0)], 0.85));
+        assert!(no_collapse_gate("widget", &[(1, 100.0), (2, 50.0)], 0.85));
+        // The baseline itself is never gated.
+        assert!(!no_collapse_gate("widget", &[(1, 100.0)], 0.85));
+    }
+}

@@ -4,6 +4,8 @@
 //!
 //! * [`workload`] — the Figure 4 page generator: eight scenarios with varying numbers
 //!   of AC-tagged regions and dynamic content,
+//! * [`cli`] — flag parsing and the no-collapse gate shared by the `harness = false`
+//!   bench binaries,
 //! * [`measure`] — timed page loads and event dispatches under either policy mode,
 //! * [`concurrent`] — the multi-session workload: N OS threads driving independent
 //!   forum/blog/calendar sessions against one shared sharded engine, plus the
@@ -17,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod concurrent;
 pub mod experiments;
 pub mod measure;

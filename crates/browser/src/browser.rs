@@ -10,7 +10,7 @@ use escudo_core::{
     engine_for_mode, Operation, PolicyEngine, PolicyMode, PrincipalContext, PrincipalKind,
 };
 use escudo_dom::EventType;
-use escudo_net::{CookieJar, Method, Network, Request, Response, Url};
+use escudo_net::{Method, Network, Request, Response, SharedCookieJar, Url};
 use escudo_script::Interpreter;
 
 use crate::context::SecurityContextTable;
@@ -27,11 +27,16 @@ pub struct PageId(usize);
 
 /// The browser. One instance corresponds to one browsing session (cookie jar, history,
 /// visited links) enforcing one [`PolicyMode`].
+///
+/// The cookie jar is held through an `Arc<SharedCookieJar>` handle: by default each
+/// browser gets a private jar, but [`Browser::with_jar`] lets many concurrent
+/// sessions share one host-sharded store (the server-side multi-session deployment),
+/// exactly as [`Browser::with_engine`] shares one decision cache.
 pub struct Browser {
     mode: PolicyMode,
     engine: Arc<dyn PolicyEngine>,
     network: Network,
-    jar: CookieJar,
+    jar: Arc<SharedCookieJar>,
     erm: Erm,
     history: Vec<Url>,
     visited: HashSet<String>,
@@ -62,15 +67,26 @@ impl Browser {
 
     /// Creates a browser enforcing through an existing (possibly shared) decision
     /// engine. Several browsers — e.g. one per simulated user session against the same
-    /// application — can share one engine and therefore one warm decision cache.
+    /// application — can share one engine and therefore one warm decision cache. The
+    /// cookie jar stays private to this browser.
     #[must_use]
     pub fn with_engine(engine: Arc<dyn PolicyEngine>) -> Self {
+        Browser::with_jar(engine, Arc::new(SharedCookieJar::new()))
+    }
+
+    /// Creates a browser enforcing through an existing engine *and* storing cookies
+    /// in an existing (possibly shared) jar. This is the multi-session deployment:
+    /// N sessions share one warm decision cache and one host-sharded cookie store,
+    /// and every browser- or script-initiated request of every session mediates its
+    /// cookie `use` through the same reference-monitor path.
+    #[must_use]
+    pub fn with_jar(engine: Arc<dyn PolicyEngine>, jar: Arc<SharedCookieJar>) -> Self {
         Browser {
             mode: engine.mode(),
             erm: Erm::with_engine(Arc::clone(&engine)),
             engine,
             network: Network::new(),
-            jar: CookieJar::new(),
+            jar,
             history: Vec::new(),
             visited: HashSet::new(),
             pages: Vec::new(),
@@ -102,9 +118,9 @@ impl Browser {
         &self.network
     }
 
-    /// The cookie jar.
+    /// The cookie jar handle (clone the `Arc` to share it with another session).
     #[must_use]
-    pub fn cookie_jar(&self) -> &CookieJar {
+    pub fn cookie_jar(&self) -> &Arc<SharedCookieJar> {
         &self.jar
     }
 
@@ -379,21 +395,17 @@ impl Browser {
         principal: &PrincipalContext,
         page_contexts: Option<&SecurityContextTable>,
     ) {
-        let candidates: Vec<crate::erm::CookieCandidate> = self
-            .jar
-            .candidates_for(&request.url)
-            .into_iter()
-            .map(|c| (c.name.clone(), c.value.clone(), c.origin()))
-            .collect();
         let cookie_policies = &self.cookie_policies;
-        let attached =
-            self.erm
-                .mediate_cookies(&candidates, Operation::Use, principal, |name, origin| {
-                    match page_contexts {
-                        Some(contexts) => contexts.cookie_object(name, origin),
-                        None => cookie_object_from_store(cookie_policies, name, origin),
-                    }
-                });
+        let attached = self.erm.mediate_jar(
+            &self.jar,
+            &request.url,
+            Operation::Use,
+            principal,
+            |name, origin| match page_contexts {
+                Some(contexts) => contexts.cookie_object(name, origin),
+                None => cookie_object_from_store(cookie_policies, name, origin),
+            },
+        );
         if !attached.is_empty() {
             request.headers.set("Cookie", attached.join("; "));
         }
@@ -444,7 +456,7 @@ impl Browser {
                     &mut self.erm,
                     &mut page.document,
                     &mut page.contexts,
-                    &mut self.jar,
+                    &self.jar,
                     &mut self.network,
                     self.history.len(),
                     page.url.clone(),
@@ -534,7 +546,7 @@ impl Browser {
                 &mut self.erm,
                 &mut page.document,
                 &mut page.contexts,
-                &mut self.jar,
+                &self.jar,
                 &mut self.network,
                 self.history.len(),
                 page.url.clone(),
@@ -739,6 +751,48 @@ mod tests {
             browser.page(page).contexts.node_label(user).ring,
             escudo_core::Ring::new(3)
         );
+    }
+
+    #[test]
+    fn sessions_sharing_a_jar_see_each_others_cookies() {
+        use escudo_core::engine_for_mode;
+        use escudo_net::SharedCookieJar;
+
+        struct SetThenEcho;
+        impl Server for SetThenEcho {
+            fn handle(&mut self, req: &Request) -> Response {
+                if req.url.path() == "/login.php" {
+                    Response::ok_html("<html><body ring=1>in</body></html>")
+                        .with_cookie(escudo_net::SetCookie::new("sid", "shared"))
+                } else {
+                    Response::ok_html("<html><body ring=1>page</body></html>")
+                }
+            }
+        }
+
+        let jar = Arc::new(SharedCookieJar::new());
+        let engine = engine_for_mode(PolicyMode::Escudo);
+
+        // Session A logs in; the cookie lands in the shared jar.
+        let mut a = Browser::with_jar(Arc::clone(&engine), Arc::clone(&jar));
+        a.network_mut().register("http://app.example", SetThenEcho);
+        a.navigate("http://app.example/login.php").unwrap();
+        assert_eq!(jar.get("app.example", "sid").unwrap().value, "shared");
+
+        // Session B (own browser, own network) shares the jar: its request to the
+        // same host attaches the session cookie session A established.
+        let mut b = Browser::with_jar(engine, jar);
+        b.network_mut().register("http://app.example", SetThenEcho);
+        b.navigate("http://app.example/index.php").unwrap();
+        let log = b.network().log();
+        assert_eq!(log.last().unwrap().cookie_names, vec!["sid"]);
+
+        // A browser built through `with_engine` keeps a private jar.
+        let mut lone = Browser::new(PolicyMode::Escudo);
+        lone.network_mut()
+            .register("http://app.example", SetThenEcho);
+        lone.navigate("http://app.example/index.php").unwrap();
+        assert!(lone.network().log().last().unwrap().cookie_names.is_empty());
     }
 
     #[test]

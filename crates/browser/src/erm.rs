@@ -21,6 +21,7 @@ use escudo_core::{
     engine_for_mode, Decision, EngineStats, ObjectContext, Operation, Origin, PolicyEngine,
     PolicyMode, PrincipalContext,
 };
+use escudo_net::{SharedCookieJar, Url};
 
 /// A cookie candidate for batch mediation: `(name, value, origin)`.
 pub type CookieCandidate = (String, String, Origin);
@@ -206,6 +207,31 @@ impl Erm {
             .collect()
     }
 
+    /// Batch-mediates `operation` over every cookie the shared jar holds in scope for
+    /// a request to `url`, in RFC 6265 §5.4 attach order (longest path first, then
+    /// earliest creation). One snapshot pass over the jar's shards collects the
+    /// candidates, then one [`Erm::mediate_cookies`] batch decides them — the jar's
+    /// scope answer and the engine's `use` decision stay cleanly split, and both
+    /// browser- and script-initiated requests funnel through this same path.
+    pub fn mediate_jar(
+        &mut self,
+        jar: &SharedCookieJar,
+        url: &Url,
+        operation: Operation,
+        principal: &PrincipalContext,
+        object_for: impl Fn(&str, Origin) -> ObjectContext,
+    ) -> Vec<String> {
+        let candidates: Vec<CookieCandidate> = jar
+            .candidates_for(url)
+            .into_iter()
+            .map(|c| {
+                let origin = c.origin();
+                (c.name, c.value, origin)
+            })
+            .collect();
+        self.mediate_cookies(&candidates, operation, principal, object_for)
+    }
+
     /// Convenience: mediate and convert a denial into an `Err(String)` describing the
     /// violated rule (used by the script host, where a denial becomes an exception).
     pub fn require(
@@ -364,6 +390,37 @@ mod tests {
         b.check(&script(1), &cookie(), Operation::Read);
         assert_eq!(engine.stats().cache_hits, 1);
         assert_eq!(a.engine_stats().decisions, 2);
+    }
+
+    #[test]
+    fn mediate_jar_collects_in_attach_order_and_applies_the_policy() {
+        use escudo_net::SetCookie;
+
+        let jar = SharedCookieJar::new();
+        let setting = Url::parse("http://forum.example/login.php").unwrap();
+        jar.store(&setting, &SetCookie::new("sid", "s1"));
+        jar.store(
+            &setting,
+            &SetCookie::new("admin", "a1").with_path("/forum/admin"),
+        );
+        jar.store(&setting, &SetCookie::new("data", "d1"));
+
+        let mut erm = Erm::new(PolicyMode::Escudo);
+        let request = Url::parse("http://forum.example/forum/admin/tool.php").unwrap();
+        let ring1 = |_: &str, origin: Origin| {
+            ObjectContext::new(ObjectKind::Cookie, origin, Ring::new(1))
+                .with_acl(Acl::uniform(Ring::new(1)))
+        };
+
+        // §5.4 order: the longest-path cookie first, then creation order.
+        let attached = erm.mediate_jar(&jar, &request, Operation::Use, &script(1), ring1);
+        assert_eq!(attached, vec!["admin=a1", "sid=s1", "data=d1"]);
+        assert_eq!(erm.checks(), 3);
+
+        // A ring-3 principal is denied every ring-1 cookie — same batch path.
+        let attached = erm.mediate_jar(&jar, &request, Operation::Use, &script(3), ring1);
+        assert!(attached.is_empty());
+        assert_eq!(erm.denials(), 3);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use escudo_core::config::{NativeApi, AC_ATTRIBUTES};
 use escudo_core::{Operation, PolicyMode, PrincipalContext};
 use escudo_dom::{Document, NodeId};
 use escudo_html::{Token, Tokenizer};
-use escudo_net::{CookieJar, Method, Network, Request, SetCookie, Url};
+use escudo_net::{Method, Network, Request, SetCookie, SharedCookieJar, Url};
 use escudo_script::{Host, HostError, HostNodeId, HostXhrId, XhrOutcome};
 
 use crate::context::SecurityContextTable;
@@ -25,7 +25,7 @@ pub struct BrowserHost<'a> {
     pub(crate) erm: &'a mut Erm,
     pub(crate) document: &'a mut Document,
     pub(crate) contexts: &'a mut SecurityContextTable,
-    pub(crate) jar: &'a mut CookieJar,
+    pub(crate) jar: &'a SharedCookieJar,
     pub(crate) network: &'a mut Network,
     pub(crate) history_len: usize,
     pub(crate) page_url: Url,
@@ -53,7 +53,7 @@ impl<'a> BrowserHost<'a> {
         erm: &'a mut Erm,
         document: &'a mut Document,
         contexts: &'a mut SecurityContextTable,
-        jar: &'a mut CookieJar,
+        jar: &'a SharedCookieJar,
         network: &'a mut Network,
         history_len: usize,
         page_url: Url,
@@ -204,27 +204,20 @@ impl<'a> BrowserHost<'a> {
     /// Attaches cookies to an outgoing request according to the policy mode: the
     /// legacy baseline attaches everything in scope (which is what CSRF exploits),
     /// ESCUDO performs a `use` check per cookie — decided as one batch so the engine
-    /// lock is taken once per request, not once per cookie.
+    /// lock is taken once per request, not once per cookie. The candidates come from
+    /// the (possibly session-shared) jar through [`Erm::mediate_jar`], the same path
+    /// browser-initiated requests take.
     fn attach_cookies(&mut self, request: &mut Request, principal: &PrincipalContext) {
-        let candidates = self.cookie_candidates(&request.url);
-        let attached =
-            self.erm
-                .mediate_cookies(&candidates, Operation::Use, principal, |name, origin| {
-                    self.contexts.cookie_object(name, origin)
-                });
+        let attached = self.erm.mediate_jar(
+            self.jar,
+            &request.url,
+            Operation::Use,
+            principal,
+            |name, origin| self.contexts.cookie_object(name, origin),
+        );
         if !attached.is_empty() {
             request.headers.set("Cookie", attached.join("; "));
         }
-    }
-
-    /// One pass over the jar: `(name, value, origin)` per in-scope cookie, so
-    /// mediation can never pair one cookie's name with another's origin.
-    fn cookie_candidates(&self, url: &Url) -> Vec<crate::erm::CookieCandidate> {
-        self.jar
-            .candidates_for(url)
-            .into_iter()
-            .map(|c| (c.name.clone(), c.value.clone(), c.origin()))
-            .collect()
     }
 }
 
@@ -366,9 +359,9 @@ impl Host for BrowserHost<'_> {
 
     fn cookie_get(&mut self) -> Result<String, HostError> {
         self.check_api(NativeApi::CookieApi)?;
-        let candidates = self.cookie_candidates(&self.page_url.clone());
-        let visible = self.erm.mediate_cookies(
-            &candidates,
+        let visible = self.erm.mediate_jar(
+            self.jar,
+            &self.page_url,
             Operation::Read,
             &self.principal,
             |name, origin| self.contexts.cookie_object(name, origin),

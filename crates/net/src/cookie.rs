@@ -3,6 +3,7 @@
 use std::fmt;
 
 use crate::error::NetError;
+use crate::url::Url;
 
 /// A `Set-Cookie` directive as sent by a server.
 ///
@@ -16,8 +17,10 @@ pub struct SetCookie {
     pub value: String,
     /// Optional `Domain` attribute.
     pub domain: Option<String>,
-    /// `Path` attribute (defaults to `/`).
-    pub path: String,
+    /// Optional `Path` attribute. `None` (or a value not starting with `/`) means the
+    /// stored cookie takes the RFC 6265 §5.1.4 *default-path* of the setting URL —
+    /// the directory prefix of the setting request's path, **not** `/`.
+    pub path: Option<String>,
     /// `Secure` attribute.
     pub secure: bool,
     /// `HttpOnly` attribute.
@@ -25,14 +28,16 @@ pub struct SetCookie {
 }
 
 impl SetCookie {
-    /// Creates a host-wide (`Path=/`) cookie.
+    /// Creates a cookie with no attributes: host-only, scoped to the setting URL's
+    /// default-path (for the root-level pages the paper's applications serve, that
+    /// is `/`).
     #[must_use]
     pub fn new(name: impl Into<String>, value: impl Into<String>) -> Self {
         SetCookie {
             name: name.into(),
             value: value.into(),
             domain: None,
-            path: "/".to_string(),
+            path: None,
             secure: false,
             http_only: false,
         }
@@ -41,7 +46,7 @@ impl SetCookie {
     /// Sets the `Path` attribute (builder style).
     #[must_use]
     pub fn with_path(mut self, path: impl Into<String>) -> Self {
-        self.path = path.into();
+        self.path = Some(path.into());
         self
     }
 
@@ -85,14 +90,16 @@ impl SetCookie {
                         cookie.domain = Some(domain.to_ascii_lowercase());
                     }
                 }
-                "path" => cookie.path = val.trim().to_string(),
+                // An empty `Path=` means "no attribute" (the stored cookie takes the
+                // setting URL's default-path, exactly like a missing attribute).
+                "path" => {
+                    let path = val.trim();
+                    cookie.path = (!path.is_empty()).then(|| path.to_string());
+                }
                 "secure" => cookie.secure = true,
                 "httponly" => cookie.http_only = true,
                 _ => {}
             }
-        }
-        if cookie.path.is_empty() {
-            cookie.path = "/".to_string();
         }
         Ok(cookie)
     }
@@ -109,6 +116,17 @@ impl SetCookie {
         (!domain.is_empty()).then_some(domain)
     }
 
+    /// The path the stored cookie will carry when set from a request whose URL path
+    /// is `setting_path`: the `Path` attribute when present and absolute, otherwise
+    /// the RFC 6265 §5.1.4 default-path of the setting URL.
+    #[must_use]
+    pub fn effective_path(&self, setting_path: &str) -> String {
+        match self.path.as_deref() {
+            Some(path) if path.starts_with('/') => path.to_string(),
+            _ => default_path(setting_path),
+        }
+    }
+
     /// Serializes the directive as a `Set-Cookie` header value.
     #[must_use]
     pub fn to_header_value(&self) -> String {
@@ -117,8 +135,10 @@ impl SetCookie {
             out.push_str("; Domain=");
             out.push_str(domain);
         }
-        out.push_str("; Path=");
-        out.push_str(&self.path);
+        if let Some(path) = &self.path {
+            out.push_str("; Path=");
+            out.push_str(path);
+        }
         if self.secure {
             out.push_str("; Secure");
         }
@@ -163,9 +183,12 @@ pub struct Cookie {
 }
 
 impl Cookie {
-    /// Builds a stored cookie from a `Set-Cookie` directive and the origin that sent it.
+    /// Builds a stored cookie from a `Set-Cookie` directive and the URL of the
+    /// response that delivered it. The setting URL supplies the origin *and* the
+    /// RFC 6265 §5.1.4 default-path a directive without an absolute `Path` falls
+    /// back to (set from `/forum/login.php` → scope `/forum`, not `/`).
     #[must_use]
-    pub fn from_set_cookie(directive: &SetCookie, scheme: &str, host: &str, port: u16) -> Self {
+    pub fn from_set_cookie(directive: &SetCookie, url: &Url) -> Self {
         let domain = directive.normalized_domain();
         Cookie {
             name: directive.name.clone(),
@@ -173,11 +196,11 @@ impl Cookie {
             // One allocation: borrow whichever source applies, lowercase into the
             // owned field. (The parser already lowercases `Domain`, but a
             // programmatically-built directive may not be normalized.)
-            host: domain.unwrap_or(host).to_ascii_lowercase(),
+            host: domain.unwrap_or(url.host()).to_ascii_lowercase(),
             host_only: domain.is_none(),
-            scheme: scheme.to_ascii_lowercase(),
-            port,
-            path: directive.path.clone(),
+            scheme: url.scheme().to_ascii_lowercase(),
+            port: url.port(),
+            path: directive.effective_path(url.path()),
             secure: directive.secure,
             http_only: directive.http_only,
         }
@@ -240,6 +263,21 @@ pub(crate) fn domain_matches(cookie_host: &str, request_host: &str) -> bool {
     }
 }
 
+/// The RFC 6265 §5.1.4 default-path of a request URL: the directory prefix of the
+/// URL's path (`/forum/login.php` → `/forum`, `/forum/` → `/forum`), or `/` when the
+/// path is root-level, relative, or empty. This is the scope a `Set-Cookie` without
+/// an absolute `Path` attribute takes — **not** the whole host.
+#[must_use]
+pub fn default_path(uri_path: &str) -> String {
+    if !uri_path.starts_with('/') {
+        return "/".to_string();
+    }
+    match uri_path.rfind('/') {
+        Some(0) | None => "/".to_string(),
+        Some(last_slash) => uri_path[..last_slash].to_string(),
+    }
+}
+
 /// RFC-6265-style path matching.
 fn path_matches(cookie_path: &str, request_path: &str) -> bool {
     if cookie_path == "/" || cookie_path == request_path {
@@ -255,12 +293,16 @@ fn path_matches(cookie_path: &str, request_path: &str) -> bool {
 mod tests {
     use super::*;
 
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
     #[test]
     fn parse_simple_set_cookie() {
         let c = SetCookie::parse("phpbb2mysql_sid=abc123; Path=/; HttpOnly").unwrap();
         assert_eq!(c.name, "phpbb2mysql_sid");
         assert_eq!(c.value, "abc123");
-        assert_eq!(c.path, "/");
+        assert_eq!(c.path.as_deref(), Some("/"));
         assert!(c.http_only);
         assert!(!c.secure);
     }
@@ -270,7 +312,73 @@ mod tests {
         let c = SetCookie::parse("sid=1; Domain=.example.com; Secure; Path=/app").unwrap();
         assert_eq!(c.domain.as_deref(), Some("example.com"));
         assert!(c.secure);
-        assert_eq!(c.path, "/app");
+        assert_eq!(c.path.as_deref(), Some("/app"));
+    }
+
+    #[test]
+    fn default_path_is_the_directory_prefix() {
+        // RFC 6265 §5.1.4 table: uri-path → default-path.
+        for (uri_path, expected) in [
+            ("/forum/login.php", "/forum"),
+            ("/forum/", "/forum"),
+            ("/forum/admin/index.php", "/forum/admin"),
+            ("/login.php", "/"),
+            ("/", "/"),
+            ("", "/"),
+            ("relative", "/"),
+        ] {
+            assert_eq!(
+                default_path(uri_path),
+                expected,
+                "for uri-path {uri_path:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_or_relative_path_attribute_takes_the_default_path() {
+        // Regression: a `Set-Cookie` without `Path` used to be stored with `/`,
+        // matching every request to the host. RFC 6265 §5.1.4 scopes it to the
+        // setting URL's directory instead.
+        let setting_urls = [
+            ("http://forum.example/forum/login.php", "/forum"),
+            ("http://forum.example/login.php", "/"),
+            ("http://forum.example/", "/"),
+            ("http://forum.example/forum/admin/tool.php", "/forum/admin"),
+        ];
+        let path_attrs: [(Option<&str>, Option<&str>); 5] = [
+            // (Path attribute, explicit stored path — None means "use default-path")
+            (None, None),
+            (Some(""), None),
+            (Some("noslash"), None), // §5.1.4: not absolute → default-path
+            (Some("/explicit"), Some("/explicit")),
+            (Some("/"), Some("/")),
+        ];
+        for (setting, default) in setting_urls {
+            for (attr, explicit) in path_attrs {
+                let mut directive = SetCookie::new("sid", "1");
+                directive.path = attr.map(str::to_string);
+                let stored = Cookie::from_set_cookie(&directive, &url(setting));
+                let expected = explicit.unwrap_or(default);
+                assert_eq!(
+                    stored.path, expected,
+                    "set from {setting:?} with Path attr {attr:?}"
+                );
+            }
+        }
+
+        // The acceptance-criterion case: a cookie set from `/forum/login.php` must
+        // no longer be in scope for `/blog/…` requests.
+        let stored = Cookie::from_set_cookie(
+            &SetCookie::new("sid", "1"),
+            &url("http://forum.example/forum/login.php"),
+        );
+        assert_eq!(stored.path, "/forum");
+        assert!(stored.in_scope("http", "forum.example", "/forum/viewtopic.php"));
+        assert!(stored.in_scope("http", "forum.example", "/forum"));
+        assert!(!stored.in_scope("http", "forum.example", "/blog/index.php"));
+        assert!(!stored.in_scope("http", "forum.example", "/forumextra"));
+        assert!(!stored.in_scope("http", "forum.example", "/"));
     }
 
     #[test]
@@ -286,7 +394,7 @@ mod tests {
         ] {
             let parsed = SetCookie::parse(header).unwrap();
             assert_eq!(parsed.domain, None, "for header {header:?}");
-            let stored = Cookie::from_set_cookie(&parsed, "http", "forum.example", 80);
+            let stored = Cookie::from_set_cookie(&parsed, &url("http://forum.example/"));
             assert_eq!(stored.host, "forum.example");
             assert!(stored.host_only, "for header {header:?}");
             assert!(
@@ -306,7 +414,7 @@ mod tests {
     fn mixed_case_domains_match_case_insensitively() {
         let parsed = SetCookie::parse("sid=1; Domain=.ExAmPlE.CoM").unwrap();
         assert_eq!(parsed.domain.as_deref(), Some("example.com"));
-        let stored = Cookie::from_set_cookie(&parsed, "http", "WWW.Example.COM", 80);
+        let stored = Cookie::from_set_cookie(&parsed, &url("http://WWW.Example.COM/"));
         assert_eq!(stored.host, "example.com");
         assert!(stored.in_scope("http", "www.example.com", "/"));
         assert!(stored.in_scope("http", "Shop.EXAMPLE.com", "/"));
@@ -314,7 +422,7 @@ mod tests {
 
         // Host-only cookie set from a mixed-case origin host.
         let host_only =
-            Cookie::from_set_cookie(&SetCookie::new("sid", "1"), "HTTP", "Forum.Example", 80);
+            Cookie::from_set_cookie(&SetCookie::new("sid", "1"), &url("HTTP://Forum.Example/"));
         assert_eq!(host_only.host, "forum.example");
         assert!(host_only.in_scope("http", "FORUM.example", "/"));
     }
@@ -354,7 +462,7 @@ mod tests {
 
     #[test]
     fn scope_matching_domain() {
-        let c = Cookie::from_set_cookie(&SetCookie::new("sid", "1"), "http", "forum.example", 80);
+        let c = Cookie::from_set_cookie(&SetCookie::new("sid", "1"), &url("http://forum.example/"));
         assert!(c.host_only);
         assert!(c.in_scope("http", "forum.example", "/"));
         assert!(!c.in_scope("http", "evil.example", "/"));
@@ -366,9 +474,7 @@ mod tests {
                 domain: Some("example.com".into()),
                 ..SetCookie::new("sid", "1")
             },
-            "http",
-            "www.example.com",
-            80,
+            &url("http://www.example.com/"),
         );
         assert!(!wide.host_only);
         assert!(wide.in_scope("http", "www.example.com", "/"));
@@ -380,9 +486,7 @@ mod tests {
     fn scope_matching_path_and_secure() {
         let c = Cookie::from_set_cookie(
             &SetCookie::new("sid", "1").with_path("/forum"),
-            "http",
-            "x.example",
-            80,
+            &url("http://x.example/"),
         );
         assert!(c.in_scope("http", "x.example", "/forum"));
         assert!(c.in_scope("http", "x.example", "/forum/view"));
@@ -394,9 +498,7 @@ mod tests {
                 secure: true,
                 ..SetCookie::new("sid", "1")
             },
-            "https",
-            "x.example",
-            443,
+            &url("https://x.example/"),
         );
         assert!(secure.in_scope("https", "x.example", "/"));
         assert!(!secure.in_scope("http", "x.example", "/"));
@@ -404,7 +506,7 @@ mod tests {
 
     #[test]
     fn cookie_origin_reflects_the_setting_site() {
-        let c = Cookie::from_set_cookie(&SetCookie::new("sid", "1"), "http", "Forum.Example", 80);
+        let c = Cookie::from_set_cookie(&SetCookie::new("sid", "1"), &url("http://Forum.Example/"));
         assert_eq!(
             c.origin(),
             escudo_core::Origin::new("http", "forum.example", 80)
@@ -440,7 +542,7 @@ mod tests {
     fn roundtrip_for_simple_cookies() {
         let names = ["sid", "_tok", "A", "phpbb2mysql_data"];
         let values = ["", "abc123", "ZZZZZZZZZZZZZZZZ"];
-        let paths = ["/", "/app", "/a/b"];
+        let paths = [None, Some("/"), Some("/app"), Some("/a/b")];
         for name in names {
             for value in values {
                 for path in paths {
@@ -450,7 +552,7 @@ mod tests {
                                 name: name.to_string(),
                                 value: value.to_string(),
                                 domain: None,
-                                path: path.to_string(),
+                                path: path.map(str::to_string),
                                 secure,
                                 http_only,
                             };

@@ -35,16 +35,12 @@ impl CookieJar {
     /// top-level label would still let `attacker.example` set a cookie that scopes
     /// over every `*.example` site.
     pub fn store(&mut self, url: &Url, directive: &SetCookie) {
-        if let Some(domain) = directive.normalized_domain() {
-            if !domain.contains('.') && !domain.eq_ignore_ascii_case(url.host()) {
-                return;
-            }
-            if !crate::cookie::domain_matches(domain, url.host()) {
-                return;
-            }
-        }
-        let cookie = Cookie::from_set_cookie(directive, url.scheme(), url.host(), url.port());
-        // Replace an existing cookie with the same (name, host, path) triple.
+        let Some(cookie) = accept(url, directive) else {
+            return;
+        };
+        // Replace an existing cookie with the same (name, host, path) triple. The
+        // replaced cookie keeps its position in the vector, i.e. its creation order —
+        // RFC 6265 §5.3 step 11.3 preserves the original creation-time on update.
         if let Some(existing) = self
             .cookies
             .iter_mut()
@@ -56,13 +52,19 @@ impl CookieJar {
         }
     }
 
-    /// All cookies whose scope matches a request to `url`, regardless of policy.
+    /// All cookies whose scope matches a request to `url`, regardless of policy, in
+    /// RFC 6265 §5.4 attach order: longest path first, then earliest creation first
+    /// (the stable sort preserves the vector's insertion order, which *is* creation
+    /// order — replacement updates in place).
     #[must_use]
     pub fn candidates_for(&self, url: &Url) -> Vec<&Cookie> {
-        self.cookies
+        let mut candidates: Vec<&Cookie> = self
+            .cookies
             .iter()
             .filter(|c| c.in_scope(url.scheme(), url.host(), url.path()))
-            .collect()
+            .collect();
+        candidates.sort_by_key(|c| std::cmp::Reverse(c.path.len()));
+        candidates
     }
 
     /// Builds the `Cookie` request-header value for a request to `url`, attaching only
@@ -87,19 +89,53 @@ impl CookieJar {
         }
     }
 
-    /// Looks up a stored cookie by host and name.
+    /// Looks up a stored cookie by host and name. When the same name exists under
+    /// several paths the winner is deterministic: longest path first, then earliest
+    /// creation — the same §5.4 ordering [`CookieJar::cookie_header_for`] attaches in.
     #[must_use]
     pub fn get(&self, host: &str, name: &str) -> Option<&Cookie> {
         self.cookies
             .iter()
-            .find(|c| c.host.eq_ignore_ascii_case(host) && c.name == name)
+            .enumerate()
+            .filter(|(_, c)| c.host.eq_ignore_ascii_case(host) && c.name == name)
+            .min_by_key(|(index, c)| (std::cmp::Reverse(c.path.len()), *index))
+            .map(|(_, c)| c)
     }
 
-    /// Removes a cookie by host and name. Returns `true` if one was removed.
+    /// Looks up a stored cookie by host, name and exact path scope.
+    #[must_use]
+    pub fn get_with_path(&self, host: &str, name: &str, path: &str) -> Option<&Cookie> {
+        self.cookies
+            .iter()
+            .find(|c| c.host.eq_ignore_ascii_case(host) && c.name == name && c.path == path)
+    }
+
+    /// Removes the single (host, name) cookie that wins the §5.4 ordering — longest
+    /// path first, then earliest creation — leaving same-name cookies under other
+    /// paths in place. Returns `true` if one was removed.
     pub fn remove(&mut self, host: &str, name: &str) -> bool {
+        let victim = self
+            .cookies
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.host.eq_ignore_ascii_case(host) && c.name == name)
+            .min_by_key(|(index, c)| (std::cmp::Reverse(c.path.len()), *index))
+            .map(|(index, _)| index);
+        match victim {
+            Some(index) => {
+                self.cookies.remove(index);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes the cookie with exactly this (host, name, path) scope. Returns `true`
+    /// if one was removed.
+    pub fn remove_with_path(&mut self, host: &str, name: &str, path: &str) -> bool {
         let before = self.cookies.len();
         self.cookies
-            .retain(|c| !(c.host.eq_ignore_ascii_case(host) && c.name == name));
+            .retain(|c| !(c.host.eq_ignore_ascii_case(host) && c.name == name && c.path == path));
         before != self.cookies.len()
     }
 
@@ -125,6 +161,31 @@ impl fmt::Display for CookieJar {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "cookie jar with {} cookies", self.cookies.len())
     }
+}
+
+/// Validates a `Set-Cookie` directive delivered by a response from `url` and builds
+/// the stored cookie, or returns `None` when the directive must be ignored.
+///
+/// This is the single store-time gate shared by [`CookieJar`] and
+/// [`SharedCookieJar`](crate::SharedCookieJar), so the two jars can never disagree
+/// on what is admissible:
+///
+/// * an explicit `Domain` attribute that does not cover the setting host is rejected
+///   (RFC 6265 §5.3 step 6) — otherwise any origin could plant session cookies for
+///   any other domain (cookie injection / session fixation);
+/// * a single-label domain (`Domain=example`, `Domain=com`) is rejected unless it
+///   *is* the setting host: without a public-suffix list, a shared top-level label
+///   would still let `attacker.example` set a cookie scoping over every `*.example`.
+pub(crate) fn accept(url: &Url, directive: &SetCookie) -> Option<Cookie> {
+    if let Some(domain) = directive.normalized_domain() {
+        if !domain.contains('.') && !domain.eq_ignore_ascii_case(url.host()) {
+            return None;
+        }
+        if !crate::cookie::domain_matches(domain, url.host()) {
+            return None;
+        }
+    }
+    Some(Cookie::from_set_cookie(directive, url))
 }
 
 #[cfg(test)]
@@ -299,6 +360,104 @@ mod tests {
         let stored = jar.get("forum.example", "sid").expect("stored host-only");
         assert!(stored.host_only);
         assert_eq!(jar.candidates_for(&url("http://a.forum.example/")).len(), 0);
+    }
+
+    #[test]
+    fn candidates_follow_rfc_6265_attach_order() {
+        let mut jar = CookieJar::new();
+        // Stored shortest-path first; §5.4 orders longest path first.
+        jar.store(&url("http://x.example/"), &SetCookie::new("a", "1"));
+        jar.store(
+            &url("http://x.example/"),
+            &SetCookie::new("b", "2").with_path("/forum/admin"),
+        );
+        jar.store(
+            &url("http://x.example/"),
+            &SetCookie::new("c", "3").with_path("/forum"),
+        );
+        // Same path length as `c` but created later: creation order breaks the tie.
+        jar.store(
+            &url("http://x.example/"),
+            &SetCookie::new("d", "4").with_path("/forum"),
+        );
+        let header = jar
+            .cookie_header_for(&url("http://x.example/forum/admin/tool.php"), |_| true)
+            .unwrap();
+        assert_eq!(header, "b=2; c=3; d=4; a=1");
+
+        // Replacing `c` keeps its creation position (RFC 6265 §5.3 step 11.3).
+        jar.store(
+            &url("http://x.example/"),
+            &SetCookie::new("c", "9").with_path("/forum"),
+        );
+        let header = jar
+            .cookie_header_for(&url("http://x.example/forum/admin/tool.php"), |_| true)
+            .unwrap();
+        assert_eq!(header, "b=2; c=9; d=4; a=1");
+    }
+
+    #[test]
+    fn default_path_scopes_cookies_to_the_setting_directory() {
+        let mut jar = CookieJar::new();
+        // The acceptance-criterion regression: set from `/forum/login.php` with no
+        // `Path` attribute — stored under `/forum`, invisible to `/blog/…`.
+        jar.store(
+            &url("http://app.example/forum/login.php"),
+            &SetCookie::new("sid", "s1"),
+        );
+        assert_eq!(jar.get("app.example", "sid").unwrap().path, "/forum");
+        assert_eq!(
+            jar.candidates_for(&url("http://app.example/forum/viewtopic.php"))
+                .len(),
+            1
+        );
+        assert!(jar
+            .candidates_for(&url("http://app.example/blog/index.php"))
+            .is_empty());
+        assert!(jar.candidates_for(&url("http://app.example/")).is_empty());
+    }
+
+    #[test]
+    fn duplicate_names_under_different_paths_are_deterministic() {
+        let mut jar = CookieJar::new();
+        jar.store(
+            &url("http://x.example/"),
+            &SetCookie::new("sid", "root").with_path("/"),
+        );
+        jar.store(
+            &url("http://x.example/"),
+            &SetCookie::new("sid", "forum").with_path("/forum"),
+        );
+        jar.store(
+            &url("http://x.example/"),
+            &SetCookie::new("sid", "admin").with_path("/forum/admin"),
+        );
+        assert_eq!(jar.len(), 3);
+
+        // `get` returns the longest-path cookie, mirroring §5.4.
+        assert_eq!(jar.get("x.example", "sid").unwrap().value, "admin");
+        // Path-aware lookups are exact.
+        assert_eq!(
+            jar.get_with_path("x.example", "sid", "/forum")
+                .unwrap()
+                .value,
+            "forum"
+        );
+        assert_eq!(
+            jar.get_with_path("x.example", "sid", "/").unwrap().value,
+            "root"
+        );
+        assert!(jar.get_with_path("x.example", "sid", "/blog").is_none());
+
+        // `remove` deletes exactly the §5.4 winner, longest path first…
+        assert!(jar.remove("x.example", "sid"));
+        assert_eq!(jar.get("x.example", "sid").unwrap().value, "forum");
+        // …and the path-aware form deletes an exact scope.
+        assert!(jar.remove_with_path("x.example", "sid", "/"));
+        assert!(!jar.remove_with_path("x.example", "sid", "/"));
+        assert_eq!(jar.get("x.example", "sid").unwrap().value, "forum");
+        assert!(jar.remove("x.example", "sid"));
+        assert!(jar.is_empty());
     }
 
     #[test]

@@ -7,9 +7,10 @@
 //!
 //! * [`Url`] / [`escudo_core::Origin`] — the address space,
 //! * [`Request`] / [`Response`] / [`Headers`] / [`Method`] / [`StatusCode`] — messages,
-//! * [`Cookie`] / [`SetCookie`] / [`CookieJar`] — the cookie store whose *attachment*
-//!   decision is delegated to the caller (the browser's reference monitor decides the
-//!   `use` operation),
+//! * [`Cookie`] / [`SetCookie`] / [`CookieJar`] / [`SharedCookieJar`] — the cookie
+//!   stores (single-threaded and host-sharded concurrent) whose *attachment* decision
+//!   is delegated to the caller (the browser's reference monitor decides the `use`
+//!   operation),
 //! * [`Network`] / [`Server`] — a host registry mapping origins to request handlers,
 //!   with a request log the CSRF experiments read to see whether a session cookie was
 //!   attached to a forged request.
@@ -44,6 +45,7 @@ pub mod headers;
 pub mod jar;
 pub mod message;
 pub mod network;
+pub mod shared_jar;
 pub mod url;
 
 pub use cookie::{Cookie, SetCookie};
@@ -52,4 +54,5 @@ pub use headers::Headers;
 pub use jar::CookieJar;
 pub use message::{Method, Request, Response, StatusCode};
 pub use network::{LoggedRequest, Network, Server};
+pub use shared_jar::{JarShardStats, JarStats, SharedCookieJar};
 pub use url::Url;

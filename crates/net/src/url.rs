@@ -95,6 +95,10 @@ impl Url {
         if let Some(rest) = reference.strip_prefix("//") {
             return Url::parse(&format!("{}://{}", self.scheme, rest));
         }
+        // Strip the fragment before splitting off the query, matching `Url::parse`:
+        // `viewtopic.php#p42` must not leak `#p42` into the path (fragments never
+        // reach the server, and a path containing `#` breaks path-scoped cookies).
+        let reference = reference.split('#').next().unwrap_or("");
         if reference.is_empty() {
             return Ok(self.clone());
         }
@@ -319,6 +323,44 @@ mod tests {
             Some("reply")
         );
         assert_eq!(base.join("").unwrap(), base);
+    }
+
+    #[test]
+    fn join_strips_fragments_from_relative_references() {
+        // Regression: the fragment used to survive `join` and end up in the path
+        // (`/viewtopic.php#p42`) or the query (`x=1#f`), reaching the server and
+        // breaking path-scoped cookie matching.
+        let base = Url::parse("http://forum.example/forum/index.php?f=1").unwrap();
+
+        let joined = base.join("viewtopic.php#p42").unwrap();
+        assert_eq!(joined.path(), "/forum/viewtopic.php");
+        assert_eq!(joined.query(), "");
+
+        let joined = base.join("page?x=1#f").unwrap();
+        assert_eq!(joined.path(), "/forum/page");
+        assert_eq!(joined.query(), "x=1");
+
+        let joined = base.join("/posting.php?mode=reply#top").unwrap();
+        assert_eq!(joined.path(), "/posting.php");
+        assert_eq!(joined.query(), "mode=reply");
+
+        // A fragment-only reference resolves to the base itself.
+        assert_eq!(base.join("#p42").unwrap(), base);
+
+        // Absolute references go through `Url::parse`, which already discards them.
+        let joined = base.join("http://other.example/x?q=1#frag").unwrap();
+        assert_eq!(joined.path(), "/x");
+        assert_eq!(joined.query(), "q=1");
+
+        // No joined URL ever emits a `#`.
+        for reference in ["a#b", "a?c=d#b", "#b", "/a/b#c", "//h/p#f", "http://h/p#f"] {
+            let joined = base.join(reference).unwrap();
+            assert!(!joined.path().contains('#'), "path of join({reference:?})");
+            assert!(
+                !joined.query().contains('#'),
+                "query of join({reference:?})"
+            );
+        }
     }
 
     #[test]
