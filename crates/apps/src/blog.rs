@@ -6,9 +6,8 @@
 //! (ring 3). The quickstart example and the `ad_sandbox` example are built on this
 //! application.
 
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use escudo_core::config::{ApiPolicy, CookiePolicy, NativeApi};
 use escudo_core::{Acl, Ring};
@@ -49,7 +48,7 @@ pub struct BlogApp {
     input_validation: bool,
     /// The third-party advertisement script inlined into the leased slot (ring 2).
     ad_script: String,
-    state: Rc<RefCell<BlogState>>,
+    state: Arc<Mutex<BlogState>>,
 }
 
 impl fmt::Debug for BlogApp {
@@ -73,7 +72,7 @@ impl BlogApp {
             ad_script: "var banner = document.getElementById('ad-slot-text');\
                         if (banner != null) { banner.innerHTML = 'Buy more rust!'; }"
                 .to_string(),
-            state: Rc::new(RefCell::new(BlogState {
+            state: Arc::new(Mutex::new(BlogState {
                 post: "ESCUDO adapts protection rings to the web.".to_string(),
                 comments: Vec::new(),
                 sessions: SessionStore::new(0xB106),
@@ -99,8 +98,8 @@ impl BlogApp {
 
     /// A handle to the server-side state.
     #[must_use]
-    pub fn state(&self) -> Rc<RefCell<BlogState>> {
-        Rc::clone(&self.state)
+    pub fn state(&self) -> Arc<Mutex<BlogState>> {
+        Arc::clone(&self.state)
     }
 
     fn with_policies(&self, response: Response) -> Response {
@@ -117,7 +116,7 @@ impl BlogApp {
 
     fn render_page(&self) -> Response {
         let mut markup = AcMarkup::new(0xB106, self.escudo);
-        let state = self.state.borrow();
+        let state = self.state.lock().expect("app state lock");
 
         // The publisher's post: ring 1 content, writable only by ring 0/1.
         let post = markup.region(
@@ -202,7 +201,12 @@ impl Server for BlogApp {
                 let user = request
                     .param("user")
                     .unwrap_or_else(|| "reader".to_string());
-                let sid = self.state.borrow_mut().sessions.create(&user);
+                let sid = self
+                    .state
+                    .lock()
+                    .expect("app state lock")
+                    .sessions
+                    .create(&user);
                 self.with_policies(
                     Response::redirect("/").with_cookie(SetCookie::new(BLOG_COOKIE, sid)),
                 )
@@ -213,7 +217,7 @@ impl Server for BlogApp {
                     .param("author")
                     .unwrap_or_else(|| "anonymous".to_string());
                 let body = request.param("body").unwrap_or_default();
-                let mut state = self.state.borrow_mut();
+                let mut state = self.state.lock().expect("app state lock");
                 let id = state.comments.len() + 1;
                 state.comments.push(Comment { id, author, body });
                 drop(state);
@@ -250,7 +254,10 @@ mod tests {
             )
             .unwrap(),
         );
-        assert_eq!(app.state().borrow().comments.len(), 1);
+        assert_eq!(
+            app.state().lock().expect("app state lock").comments.len(),
+            1
+        );
         let page = app.handle(&Request::get("http://blog.example/").unwrap());
         assert!(page.body.contains("id=\"comment-1\""));
         assert!(page.body.contains("ring=\"3\""));

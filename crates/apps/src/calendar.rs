@@ -6,9 +6,8 @@
 //! `XMLHttpRequest`; events may not. The ESCUDO configuration implementing this is
 //! Table 5 and is reproduced by [`CalendarApp::escudo_config`].
 
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use escudo_core::config::{ApiPolicy, CookiePolicy, NativeApi};
 use escudo_core::{Acl, Ring};
@@ -113,7 +112,7 @@ impl CalendarState {
 /// The PHP-Calendar-like application.
 pub struct CalendarApp {
     config: CalendarConfig,
-    state: Rc<RefCell<CalendarState>>,
+    state: Arc<Mutex<CalendarState>>,
 }
 
 impl fmt::Debug for CalendarApp {
@@ -130,14 +129,14 @@ impl CalendarApp {
     pub fn new(config: CalendarConfig) -> Self {
         CalendarApp {
             config,
-            state: Rc::new(RefCell::new(CalendarState::new(config.seed))),
+            state: Arc::new(Mutex::new(CalendarState::new(config.seed))),
         }
     }
 
     /// A handle to the server-side state.
     #[must_use]
-    pub fn state(&self) -> Rc<RefCell<CalendarState>> {
-        Rc::clone(&self.state)
+    pub fn state(&self) -> Arc<Mutex<CalendarState>> {
+        Arc::clone(&self.state)
     }
 
     /// The Table 4 security requirements.
@@ -201,7 +200,8 @@ impl CalendarApp {
     fn session_user(&self, request: &Request) -> Option<String> {
         let sid = request.cookie(SESSION_COOKIE)?;
         self.state
-            .borrow()
+            .lock()
+            .expect("app state lock")
             .sessions
             .get(&sid)
             .map(|s| s.user.clone())
@@ -272,7 +272,12 @@ impl CalendarApp {
 
     fn handle_login(&mut self, request: &Request) -> Response {
         let user = request.param("user").unwrap_or_else(|| "guest".to_string());
-        let sid = self.state.borrow_mut().sessions.create(&user);
+        let sid = self
+            .state
+            .lock()
+            .expect("app state lock")
+            .sessions
+            .create(&user);
         self.with_policies(
             Response::redirect("/index.php").with_cookie(SetCookie::new(SESSION_COOKIE, sid)),
         )
@@ -284,7 +289,7 @@ impl CalendarApp {
             Some("edit") => self.handle_edit(request),
             _ => {
                 let mut markup = AcMarkup::new(self.config.seed, self.config.escudo);
-                let state = self.state.borrow();
+                let state = self.state.lock().expect("app state lock");
                 let mut inner = String::new();
                 for event in &state.events {
                     inner.push_str(&self.event_region(&mut markup, event));
@@ -308,7 +313,7 @@ impl CalendarApp {
             .and_then(|d| d.parse::<u8>().ok())
             .unwrap_or(1)
             .clamp(1, 31);
-        let mut state = self.state.borrow_mut();
+        let mut state = self.state.lock().expect("app state lock");
         let id = state.events.len() + 1;
         state.events.push(Event {
             id,
@@ -329,7 +334,7 @@ impl CalendarApp {
             return Response::error(StatusCode::BAD_REQUEST, "missing event id");
         };
         let description = request.param("description").unwrap_or_default();
-        let mut state = self.state.borrow_mut();
+        let mut state = self.state.lock().expect("app state lock");
         let Some(event) = state.events.iter_mut().find(|e| e.id == id) else {
             return Response::error(StatusCode::NOT_FOUND, "no such event");
         };
@@ -402,8 +407,8 @@ mod tests {
             .unwrap(),
             &sid,
         ));
-        assert_eq!(app.state().borrow().events.len(), 1);
-        assert_eq!(app.state().borrow().events[0].day, 5);
+        assert_eq!(app.state().lock().expect("app state lock").events.len(), 1);
+        assert_eq!(app.state().lock().expect("app state lock").events[0].day, 5);
 
         app.handle(&with_session(
             Request::post_form(
@@ -417,7 +422,10 @@ mod tests {
             .unwrap(),
             &sid,
         ));
-        assert_eq!(app.state().borrow().events[0].description, "moved to 10am");
+        assert_eq!(
+            app.state().lock().expect("app state lock").events[0].description,
+            "moved to 10am"
+        );
     }
 
     #[test]

@@ -131,7 +131,7 @@ fn run_forum_xss(mode: PolicyMode, attack: &XssAttack) -> AttackResult {
     // Seed a topic authored by the victim and plant the attacker's payload as a reply
     // (input validation is off, as in the paper's staging).
     {
-        let mut forum_state = state.borrow_mut();
+        let mut forum_state = state.lock().expect("app state lock");
         forum_state.topics.push(Topic {
             id: 1,
             title: "Welcome".to_string(),
@@ -157,7 +157,8 @@ fn run_forum_xss(mode: PolicyMode, attack: &XssAttack) -> AttackResult {
 
     let succeeded = match attack.goal {
         XssGoal::ActOnBehalfOfVictim => state
-            .borrow()
+            .lock()
+            .expect("app state lock")
             .topics
             .iter()
             .any(|t| t.title == "xss-spam" && t.author == "victim"),
@@ -166,7 +167,8 @@ fn run_forum_xss(mode: PolicyMode, attack: &XssAttack) -> AttackResult {
             .text_of("topic-1")
             .is_some_and(|text| text.contains("defaced by xss")),
         XssGoal::StealSessionCookie => stolen
-            .borrow()
+            .lock()
+            .expect("app state lock")
             .iter()
             .any(|query| query.contains(SID_COOKIE)),
         XssGoal::HandlerDefacement => browser
@@ -197,7 +199,7 @@ fn run_calendar_xss(mode: PolicyMode, attack: &XssAttack) -> AttackResult {
         .expect("victim login");
 
     {
-        let mut calendar_state = state.borrow_mut();
+        let mut calendar_state = state.lock().expect("app state lock");
         calendar_state.events.push(Event {
             id: 1,
             day: 10,
@@ -224,7 +226,8 @@ fn run_calendar_xss(mode: PolicyMode, attack: &XssAttack) -> AttackResult {
 
     let succeeded = match attack.goal {
         XssGoal::ActOnBehalfOfVictim => state
-            .borrow()
+            .lock()
+            .expect("app state lock")
             .events
             .iter()
             .any(|e| e.title == "xss-event" && e.author == "victim"),
@@ -233,7 +236,8 @@ fn run_calendar_xss(mode: PolicyMode, attack: &XssAttack) -> AttackResult {
             .text_of("event-1")
             .is_some_and(|text| text.contains("defaced by xss")),
         XssGoal::StealSessionCookie => stolen
-            .borrow()
+            .lock()
+            .expect("app state lock")
             .iter()
             .any(|query| query.contains(SESSION_COOKIE)),
         XssGoal::HandlerDefacement => browser
@@ -273,7 +277,7 @@ fn run_forum_csrf(mode: PolicyMode, attack: &CsrfAttack) -> AttackResult {
     browser
         .navigate("http://forum.example/login.php?user=victim")
         .expect("victim login");
-    state.borrow_mut().topics.push(Topic {
+    state.lock().expect("app state lock").topics.push(Topic {
         id: 1,
         title: "Welcome".to_string(),
         author: "victim".to_string(),
@@ -288,7 +292,7 @@ fn run_forum_csrf(mode: PolicyMode, attack: &CsrfAttack) -> AttackResult {
         let _ = browser.submit_form(page, "csrf-form", &[]);
     }
 
-    let forum_state = state.borrow();
+    let forum_state = state.lock().expect("app state lock");
     let marker = attack.marker;
     let succeeded = forum_state
         .topics
@@ -323,7 +327,7 @@ fn run_calendar_csrf(mode: PolicyMode, attack: &CsrfAttack) -> AttackResult {
     browser
         .navigate("http://calendar.example/login.php?user=victim")
         .expect("victim login");
-    state.borrow_mut().events.push(Event {
+    state.lock().expect("app state lock").events.push(Event {
         id: 1,
         day: 10,
         title: "Welcome party".to_string(),
@@ -338,7 +342,7 @@ fn run_calendar_csrf(mode: PolicyMode, attack: &CsrfAttack) -> AttackResult {
         let _ = browser.submit_form(page, "csrf-form", &[]);
     }
 
-    let calendar_state = state.borrow();
+    let calendar_state = state.lock().expect("app state lock");
     let marker = attack.marker;
     let succeeded = calendar_state.events.iter().any(|e| {
         e.author == "victim" && (e.title.contains(marker) || e.description.contains(marker))

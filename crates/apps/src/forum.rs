@@ -7,9 +7,8 @@
 //! (Table 2). The ESCUDO configuration implementing that policy is Table 3 and is
 //! reproduced by [`ForumApp::escudo_config`].
 
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use escudo_core::config::{ApiPolicy, CookiePolicy, NativeApi};
 use escudo_core::{Acl, Ring};
@@ -115,7 +114,7 @@ pub struct PrivateMessage {
     pub body: String,
 }
 
-/// The forum's server-side state (shared with tests/experiments via `Rc<RefCell<_>>`).
+/// The forum's server-side state (shared with tests/experiments via `Arc<Mutex<_>>`).
 #[derive(Debug)]
 pub struct ForumState {
     /// Topics, oldest first.
@@ -180,7 +179,7 @@ pub struct EscudoConfigRow {
 /// The phpBB-like forum application.
 pub struct ForumApp {
     config: ForumConfig,
-    state: Rc<RefCell<ForumState>>,
+    state: Arc<Mutex<ForumState>>,
 }
 
 impl fmt::Debug for ForumApp {
@@ -197,14 +196,14 @@ impl ForumApp {
     pub fn new(config: ForumConfig) -> Self {
         ForumApp {
             config,
-            state: Rc::new(RefCell::new(ForumState::new(config.seed))),
+            state: Arc::new(Mutex::new(ForumState::new(config.seed))),
         }
     }
 
     /// A handle to the server-side state, for tests and experiments.
     #[must_use]
-    pub fn state(&self) -> Rc<RefCell<ForumState>> {
-        Rc::clone(&self.state)
+    pub fn state(&self) -> Arc<Mutex<ForumState>> {
+        Arc::clone(&self.state)
     }
 
     /// The Table 2 security requirements.
@@ -282,7 +281,8 @@ impl ForumApp {
     fn session_user(&self, request: &Request) -> Option<String> {
         let sid = request.cookie(SID_COOKIE)?;
         self.state
-            .borrow()
+            .lock()
+            .expect("app state lock")
             .sessions
             .get(&sid)
             .map(|s| s.user.clone())
@@ -291,7 +291,8 @@ impl ForumApp {
     fn csrf_token_for(&self, request: &Request) -> Option<String> {
         let sid = request.cookie(SID_COOKIE)?;
         self.state
-            .borrow()
+            .lock()
+            .expect("app state lock")
             .sessions
             .get(&sid)
             .map(|s| s.csrf_token.clone())
@@ -389,7 +390,12 @@ impl ForumApp {
 
     fn handle_login(&mut self, request: &Request) -> Response {
         let user = request.param("user").unwrap_or_else(|| "guest".to_string());
-        let sid = self.state.borrow_mut().sessions.create(&user);
+        let sid = self
+            .state
+            .lock()
+            .expect("app state lock")
+            .sessions
+            .create(&user);
         let response = Response::redirect("/index.php")
             .with_cookie(SetCookie::new(SID_COOKIE, sid))
             .with_cookie(SetCookie::new(DATA_COOKIE, format!("user={user}")));
@@ -399,7 +405,7 @@ impl ForumApp {
     fn handle_index(&mut self, request: &Request) -> Response {
         let token = self.csrf_token_for(request);
         let mut markup = self.markup();
-        let state = self.state.borrow();
+        let state = self.state.lock().expect("app state lock");
         let mut listing = String::new();
         for topic in &state.topics {
             let inner = format!(
@@ -424,7 +430,7 @@ impl ForumApp {
         };
         let token = self.csrf_token_for(request);
         let mut markup = self.markup();
-        let state = self.state.borrow();
+        let state = self.state.lock().expect("app state lock");
         let Some(topic) = state.topics.iter().find(|t| t.id == topic_id) else {
             return Response::error(StatusCode::NOT_FOUND, "no such topic");
         };
@@ -475,7 +481,7 @@ impl ForumApp {
         }
         let mode = request.param("mode").unwrap_or_else(|| "post".to_string());
         let message = request.param("message").unwrap_or_default();
-        let mut state = self.state.borrow_mut();
+        let mut state = self.state.lock().expect("app state lock");
         match mode.as_str() {
             "post" => {
                 let id = state.topics.len() + 1;
@@ -518,7 +524,7 @@ impl ForumApp {
             }
             let to = request.param("to").unwrap_or_else(|| "admin".to_string());
             let body = request.param("message").unwrap_or_default();
-            let mut state = self.state.borrow_mut();
+            let mut state = self.state.lock().expect("app state lock");
             let id = state.private_messages.len() + 1;
             state.private_messages.push(PrivateMessage {
                 id,
@@ -530,7 +536,7 @@ impl ForumApp {
         }
         let token = self.csrf_token_for(request);
         let mut markup = self.markup();
-        let state = self.state.borrow();
+        let state = self.state.lock().expect("app state lock");
         let mut inner = String::new();
         for pm in state.private_messages.iter().filter(|p| p.to == user) {
             inner.push_str(&self.user_region(
@@ -591,7 +597,10 @@ mod tests {
         assert_eq!(response.set_cookies().len(), 2);
         assert_eq!(response.cookie_policies().len(), 2);
         assert_eq!(response.api_policies().len(), 2);
-        assert_eq!(app.state().borrow().sessions.len(), 1);
+        assert_eq!(
+            app.state().lock().expect("app state lock").sessions.len(),
+            1
+        );
     }
 
     #[test]
@@ -619,7 +628,12 @@ mod tests {
             .unwrap(),
         );
         assert_eq!(denied.status, StatusCode::FORBIDDEN);
-        assert!(app.state().borrow().topics.is_empty());
+        assert!(app
+            .state()
+            .lock()
+            .expect("app state lock")
+            .topics
+            .is_empty());
 
         let sid = login(&mut app, "alice");
         let ok = app.handle(&with_session(
@@ -635,8 +649,11 @@ mod tests {
             &sid,
         ));
         assert!(ok.status.is_redirect());
-        assert_eq!(app.state().borrow().topics.len(), 1);
-        assert_eq!(app.state().borrow().topics[0].author, "alice");
+        assert_eq!(app.state().lock().expect("app state lock").topics.len(), 1);
+        assert_eq!(
+            app.state().lock().expect("app state lock").topics[0].author,
+            "alice"
+        );
 
         let reply = app.handle(&with_session(
             Request::post_form(
@@ -647,7 +664,7 @@ mod tests {
             &sid,
         ));
         assert!(reply.status.is_redirect());
-        assert_eq!(app.state().borrow().replies.len(), 1);
+        assert_eq!(app.state().lock().expect("app state lock").replies.len(), 1);
     }
 
     #[test]
@@ -667,7 +684,8 @@ mod tests {
         // With the correct token it succeeds.
         let token = app
             .state()
-            .borrow()
+            .lock()
+            .expect("app state lock")
             .sessions
             .get(&sid)
             .unwrap()
@@ -719,7 +737,8 @@ mod tests {
         let sid = login(&mut safe_app, "mallory");
         let token = safe_app
             .state()
-            .borrow()
+            .lock()
+            .expect("app state lock")
             .sessions
             .get(&sid)
             .unwrap()
@@ -758,7 +777,14 @@ mod tests {
             .unwrap(),
             &alice,
         ));
-        assert_eq!(app.state().borrow().private_messages.len(), 1);
+        assert_eq!(
+            app.state()
+                .lock()
+                .expect("app state lock")
+                .private_messages
+                .len(),
+            1
+        );
         let inbox = app.handle(&with_session(
             Request::get("http://forum.example/pm.php").unwrap(),
             &bob,

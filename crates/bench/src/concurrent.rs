@@ -101,7 +101,7 @@ fn drive_forum(engine: Arc<EscudoEngine>, user: &str, rounds: usize) -> SessionT
         .expect("forum login");
     tally.page_loads += 1;
     {
-        let mut forum_state = state.borrow_mut();
+        let mut forum_state = state.lock().expect("app state lock");
         forum_state.topics.push(escudo_apps::forum::Topic {
             id: 1,
             title: format!("{user}'s topic"),
@@ -156,7 +156,7 @@ fn drive_calendar(engine: Arc<EscudoEngine>, user: &str, rounds: usize) -> Sessi
         .expect("calendar login");
     tally.page_loads += 1;
     {
-        let mut calendar_state = state.borrow_mut();
+        let mut calendar_state = state.lock().expect("app state lock");
         calendar_state.events.push(escudo_apps::calendar::Event {
             id: 1,
             day: 12,
@@ -410,7 +410,7 @@ pub fn run_shared_jar_sessions(
                         .expect("forum login");
                     tally.page_loads += 1;
                     {
-                        let mut forum_state = state.borrow_mut();
+                        let mut forum_state = state.lock().expect("app state lock");
                         forum_state.topics.push(escudo_apps::forum::Topic {
                             id: 1,
                             title: format!("user{t}'s topic"),

@@ -10,6 +10,10 @@
 //! * [`concurrent`] — the multi-session workload: N OS threads driving independent
 //!   forum/blog/calendar sessions against one shared sharded engine, plus the
 //!   concurrent decision-throughput measurement behind `policy_concurrent`,
+//! * [`loader`] — the pipelined-subresource-loader workload over a shared network
+//!   fabric with simulated per-origin latency: pipelined-vs-sequential page-load
+//!   timing, the byte-identical log oracle and the shared-fabric isolation run
+//!   behind `loader_concurrent`,
 //! * [`experiments`] — the report types printed by the `experiments` binary and
 //!   recorded in `EXPERIMENTS.md` (Figure 4, UI events, §6.3, §6.4, Tables 1–5).
 //!
@@ -22,6 +26,7 @@
 pub mod cli;
 pub mod concurrent;
 pub mod experiments;
+pub mod loader;
 pub mod measure;
 pub mod workload;
 

@@ -19,6 +19,13 @@ pub struct LoadSample {
     pub script_ns: u128,
     /// Layout/render time in nanoseconds.
     pub render_ns: u128,
+    /// Subresource fetches dispatched during the load.
+    pub subresource_requests: u64,
+    /// Cookie-`use` denials issued while mediating the load's subresources.
+    pub subresource_denials: u64,
+    /// Wall-clock time of the subresource fetch fan-out, in nanoseconds
+    /// (overlapped time under the pipelined loader).
+    pub subresource_fetch_ns: u128,
 }
 
 impl LoadSample {
@@ -48,6 +55,9 @@ pub fn load_once(mode: PolicyMode, html: &str) -> LoadSample {
         label_ns: stats.label_ns,
         script_ns: stats.script_ns,
         render_ns: stats.render_ns,
+        subresource_requests: stats.subresource_requests,
+        subresource_denials: stats.subresource_denials,
+        subresource_fetch_ns: stats.subresource_fetch_ns,
     }
 }
 

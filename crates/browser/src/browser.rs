@@ -2,7 +2,8 @@
 //! history and visited links.
 
 use std::collections::HashSet;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use escudo_core::config::CookiePolicy;
@@ -10,7 +11,7 @@ use escudo_core::{
     engine_for_mode, Operation, PolicyEngine, PolicyMode, PrincipalContext, PrincipalKind,
 };
 use escudo_dom::EventType;
-use escudo_net::{Method, Network, Request, Response, SharedCookieJar, Url};
+use escudo_net::{Method, Network, Request, Response, SharedCookieJar, SharedNetwork, Url};
 use escudo_script::Interpreter;
 
 use crate::context::SecurityContextTable;
@@ -18,12 +19,28 @@ use crate::erm::Erm;
 use crate::error::BrowserError;
 use crate::host::BrowserHost;
 use crate::loader::{LoadOptions, PageLoader};
-use crate::page::{Page, ScriptOutcome};
+use crate::page::{Page, ScriptOutcome, SubresourceOutcome};
 use crate::render::Renderer;
 
 /// A handle to a loaded page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PageId(usize);
+
+/// Default bound on the pipelined subresource loader's worker pool. Page loads
+/// with a single planned subresource (or a bound of 1) dispatch inline on the
+/// navigating thread — that inline path *is* the sequential oracle the
+/// `loader_concurrent` bench compares against.
+pub const DEFAULT_SUBRESOURCE_WORKERS: usize = 4;
+
+/// Estimated total fetch cost (in nanoseconds) below which the loader dispatches
+/// its plan inline instead of fanning out: spawning scoped worker threads costs
+/// tens of microseconds, so overlapping a batch of memory-speed fetches would
+/// *regress* the page load. The estimate comes from the fabric's per-origin
+/// service-time model ([`SharedNetwork::estimated_service_ns`]: configured
+/// simulated latency or the observed dispatch-time EWMA, whichever is larger),
+/// so slow origins — simulated or genuinely expensive handlers — engage the
+/// pipeline and fast in-memory ones keep the sequential fast path.
+const SUBRESOURCE_FANOUT_THRESHOLD_NS: u64 = 300_000;
 
 /// The browser. One instance corresponds to one browsing session (cookie jar, history,
 /// visited links) enforcing one [`PolicyMode`].
@@ -42,6 +59,8 @@ pub struct Browser {
     visited: HashSet<String>,
     pages: Vec<Option<Page>>,
     viewport_width: u32,
+    /// Bound on the subresource fetch worker pool (≥ 1; 1 = fully sequential).
+    subresource_workers: usize,
     /// Cookie policies remembered per (host, cookie name), so a policy declared when a
     /// cookie was set keeps protecting it on later pages of the same application.
     cookie_policies: Vec<(String, CookiePolicy)>,
@@ -75,22 +94,38 @@ impl Browser {
     }
 
     /// Creates a browser enforcing through an existing engine *and* storing cookies
-    /// in an existing (possibly shared) jar. This is the multi-session deployment:
-    /// N sessions share one warm decision cache and one host-sharded cookie store,
-    /// and every browser- or script-initiated request of every session mediates its
-    /// cookie `use` through the same reference-monitor path.
+    /// in an existing (possibly shared) jar, over a private network fabric. This is
+    /// the multi-session deployment: N sessions share one warm decision cache and
+    /// one host-sharded cookie store, and every browser- or script-initiated
+    /// request of every session mediates its cookie `use` through the same
+    /// reference-monitor path.
     #[must_use]
     pub fn with_jar(engine: Arc<dyn PolicyEngine>, jar: Arc<SharedCookieJar>) -> Self {
+        Browser::with_network(engine, jar, Arc::new(SharedNetwork::new()))
+    }
+
+    /// Creates a browser whose requests travel an existing (possibly shared)
+    /// network fabric, completing the shared-everything deployment: engine, jar
+    /// *and* servers are shared, so N concurrent sessions hit one set of
+    /// registered applications and write one sequence-ordered request log —
+    /// today each session no longer has to clone its own private world.
+    #[must_use]
+    pub fn with_network(
+        engine: Arc<dyn PolicyEngine>,
+        jar: Arc<SharedCookieJar>,
+        fabric: Arc<SharedNetwork>,
+    ) -> Self {
         Browser {
             mode: engine.mode(),
             erm: Erm::with_engine(Arc::clone(&engine)),
             engine,
-            network: Network::new(),
+            network: Network::with_fabric(fabric),
             jar,
             history: Vec::new(),
             visited: HashSet::new(),
             pages: Vec::new(),
             viewport_width: 1024,
+            subresource_workers: DEFAULT_SUBRESOURCE_WORKERS,
             cookie_policies: Vec::new(),
         }
     }
@@ -116,6 +151,26 @@ impl Browser {
     #[must_use]
     pub fn network(&self) -> &Network {
         &self.network
+    }
+
+    /// The shared network fabric (clone the `Arc` to share servers, the request
+    /// log and simulated latencies with another session).
+    #[must_use]
+    pub fn fabric(&self) -> &Arc<SharedNetwork> {
+        self.network.fabric()
+    }
+
+    /// Bounds the pipelined subresource loader's worker pool. `1` makes the
+    /// fetch fan-out fully sequential (the oracle path the bench gates compare
+    /// against); values are clamped to at least 1.
+    pub fn set_subresource_workers(&mut self, workers: usize) {
+        self.subresource_workers = workers.max(1);
+    }
+
+    /// The configured subresource worker-pool bound.
+    #[must_use]
+    pub fn subresource_workers(&self) -> usize {
+        self.subresource_workers
     }
 
     /// The cookie jar handle (clone the `Arc` to share it with another session).
@@ -457,7 +512,7 @@ impl Browser {
                     &mut page.document,
                     &mut page.contexts,
                     &self.jar,
-                    &mut self.network,
+                    &self.network,
                     self.history.len(),
                     page.url.clone(),
                     principal,
@@ -547,7 +602,7 @@ impl Browser {
                 &mut page.document,
                 &mut page.contexts,
                 &self.jar,
-                &mut self.network,
+                &self.network,
                 self.history.len(),
                 page.url.clone(),
                 principal,
@@ -578,7 +633,23 @@ impl Browser {
     /// Issues the HTTP requests for `img` elements. Each image element is an
     /// HTTP-request-issuing principal; cookie attachment for its request is mediated
     /// exactly like any other `use` of the cookies. This is the CSRF-by-image vector.
+    ///
+    /// The loader is a two-phase pipeline, keeping mediation provably independent
+    /// of the transport:
+    ///
+    /// 1. **Plan** — one walk over the document collects every fetchable `img` in
+    ///    document order, and one [`Erm::mediate_jar_many`] batch fixes every
+    ///    request's cookie attachment (one jar walk per distinct URL, one engine
+    ///    batch per page). No fetch has been dispatched yet, so no completion
+    ///    order can influence a decision.
+    /// 2. **Fan out** — the already-mediated requests are dispatched across a
+    ///    bounded scoped-thread worker pool over the shared network fabric, each
+    ///    under a sequence number pre-reserved in document order. Outcomes are
+    ///    recorded back by plan index, so [`Page::subresources`] and the
+    ///    sequence-sorted request log both read in document order regardless of
+    ///    which fetch finished first.
     fn load_subresources(&mut self, page: &mut Page) {
+        // ------------------------------------------------------------- phase 1
         let images: Vec<(escudo_dom::NodeId, String)> = page
             .document
             .elements_by_tag_name("img")
@@ -589,6 +660,7 @@ impl Browser {
                     .map(|src| (node, src.to_string()))
             })
             .collect();
+        let mut planned: Vec<(escudo_dom::NodeId, Url, PrincipalContext)> = Vec::new();
         for (node, src) in images {
             let Ok(target) = page.url.join(&src) else {
                 continue;
@@ -599,9 +671,119 @@ impl Browser {
             let principal = page
                 .contexts
                 .request_issuer_principal(node, &format!("img src={src}"));
-            let mut request = Request::new(Method::Get, target.clone());
-            self.attach_cookies(&mut request, &principal, Some(&page.contexts));
-            let _ = self.network.dispatch(request);
+            planned.push((node, target, principal));
+        }
+        if planned.is_empty() {
+            return;
+        }
+
+        let denials_before = self.erm.denials();
+        let mediation_inputs: Vec<(&Url, &PrincipalContext)> = planned
+            .iter()
+            .map(|(_, url, principal)| (url, principal))
+            .collect();
+        let attachments = self.erm.mediate_jar_many(
+            &self.jar,
+            &mediation_inputs,
+            Operation::Use,
+            |name, origin| page.contexts.cookie_object(name, origin),
+        );
+        page.stats.subresource_denials = self.erm.denials() - denials_before;
+
+        let requests: Vec<Request> = planned
+            .iter()
+            .zip(&attachments)
+            .map(|((_, url, _), attached)| {
+                let mut request = Request::new(Method::Get, url.clone());
+                if !attached.is_empty() {
+                    request.headers.set("Cookie", attached.join("; "));
+                }
+                request
+            })
+            .collect();
+
+        // ------------------------------------------------------------- phase 2
+        let fabric = self.network.fabric();
+        let count = requests.len();
+        let base = fabric.reserve_sequences(count as u64);
+        // Adaptive cutover: fan out only when the estimated total fetch cost can
+        // pay for the worker threads; otherwise the plan dispatches inline (the
+        // sequential fast path — identical semantics, no thread overhead).
+        let estimated_ns: u64 = planned
+            .iter()
+            .map(|(_, url, _)| fabric.estimated_service_ns(&url.origin()))
+            .fold(0, u64::saturating_add);
+        let workers = if estimated_ns < SUBRESOURCE_FANOUT_THRESHOLD_NS {
+            1
+        } else {
+            self.subresource_workers.min(count)
+        };
+        let start = Instant::now();
+        let results: Vec<Option<Result<Response, String>>> = if workers <= 1 {
+            // Sequential path: dispatch in plan (= document = sequence) order on
+            // the navigating thread.
+            requests
+                .iter()
+                .enumerate()
+                .map(|(i, request)| {
+                    Some(
+                        fabric
+                            .dispatch_sequenced(base + i as u64, request.clone())
+                            .map_err(|e| e.to_string()),
+                    )
+                })
+                .collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<Result<Response, String>>>> =
+                (0..count).map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                let worker = || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    let outcome = fabric
+                        .dispatch_sequenced(base + i as u64, requests[i].clone())
+                        .map_err(|e| e.to_string());
+                    *slots[i].lock().expect("subresource result slot") = Some(outcome);
+                };
+                // The navigating thread is worker 0; only workers-1 are spawned.
+                for _ in 0..workers - 1 {
+                    scope.spawn(worker);
+                }
+                worker();
+            });
+            slots
+                .into_iter()
+                .map(|slot| slot.into_inner().expect("subresource result slot"))
+                .collect()
+        };
+        page.stats.subresource_fetch_ns = start.elapsed().as_nanos();
+        page.stats.subresource_requests = count as u64;
+
+        // Record outcomes in plan (document) order, not completion order.
+        for (((node, url, _), attached), result) in
+            planned.into_iter().zip(attachments).zip(results)
+        {
+            let (status, error) = match result.expect("every planned fetch has a result") {
+                Ok(response) => (Some(response.status.0), None),
+                Err(error) => (None, Some(error)),
+            };
+            page.subresources.push(SubresourceOutcome {
+                node,
+                url,
+                attached_cookies: attached
+                    .iter()
+                    .map(|pair| {
+                        pair.split_once('=')
+                            .map_or(pair.as_str(), |(n, _)| n)
+                            .to_string()
+                    })
+                    .collect(),
+                status,
+                error,
+            });
         }
     }
 }
@@ -793,6 +975,81 @@ mod tests {
             .register("http://app.example", SetThenEcho);
         lone.navigate("http://app.example/index.php").unwrap();
         assert!(lone.network().log().last().unwrap().cookie_names.is_empty());
+    }
+
+    #[test]
+    fn subresource_loader_records_document_order_and_stats() {
+        use std::time::Duration;
+
+        let html = r#"<html><body ring=1>
+            <img src="http://img0.example/a.png">
+            <img src="http://img1.example/b.png">
+            <img src="http://img0.example/c.png">
+            <img src="http://missing.example/d.png">
+        </body></html>"#;
+        let mut browser = browser_with(PolicyMode::Escudo, html);
+        for host in ["http://img0.example", "http://img1.example"] {
+            browser.network_mut().register(host, |req: &Request| {
+                Response::ok_text(format!("img {}", req.url.path()))
+            });
+        }
+        // Skew the latencies so the *first* image is the slowest: under the
+        // pipelined loader it completes last, but outcomes and the
+        // sequence-sorted log must still read in document order.
+        browser
+            .fabric()
+            .set_latency("http://img0.example", Duration::from_millis(3));
+        assert_eq!(browser.subresource_workers(), DEFAULT_SUBRESOURCE_WORKERS);
+
+        let page = browser.navigate("http://app.example/index.php").unwrap();
+        let page = browser.page(page);
+        // The unregistered host is filtered at plan time; three fetches dispatch.
+        assert_eq!(page.stats.subresource_requests, 3);
+        assert_eq!(page.subresources.len(), 3);
+        assert!(page.stats.subresource_fetch_ns > 0);
+        let urls: Vec<String> = page
+            .subresources
+            .iter()
+            .map(|s| s.url.to_string())
+            .collect();
+        assert_eq!(
+            urls,
+            vec![
+                "http://img0.example/a.png",
+                "http://img1.example/b.png",
+                "http://img0.example/c.png",
+            ]
+        );
+        assert!(page.subresources.iter().all(SubresourceOutcome::succeeded));
+        // Sequence-sorted shared log: the main page, then the images in document
+        // order — completion order is irrelevant.
+        let paths: Vec<String> = browser
+            .network()
+            .log()
+            .iter()
+            .map(|e| e.url.path().to_string())
+            .collect();
+        assert_eq!(paths, vec!["/index.php", "/a.png", "/b.png", "/c.png"]);
+    }
+
+    #[test]
+    fn sessions_sharing_a_fabric_share_servers_and_log() {
+        let fabric = Arc::new(SharedNetwork::new());
+        let engine = engine_for_mode(PolicyMode::Escudo);
+        let jar = Arc::new(SharedCookieJar::new());
+        let mut a =
+            Browser::with_network(Arc::clone(&engine), Arc::clone(&jar), Arc::clone(&fabric));
+        a.network_mut().register(
+            "http://app.example",
+            Static("<html><body ring=1>shared</body></html>".to_string()),
+        );
+        // Session B registered nothing, but reaches session A's server through the
+        // shared fabric — and both sessions read one request log.
+        let mut b = Browser::with_network(engine, jar, fabric);
+        b.navigate("http://app.example/from-b.php").unwrap();
+        assert_eq!(a.network().log().len(), 1);
+        assert_eq!(a.network().count_requests_to("app.example"), 1);
+        assert_eq!(a.network().log()[0].url.path(), "/from-b.php");
     }
 
     #[test]

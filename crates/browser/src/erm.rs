@@ -232,6 +232,100 @@ impl Erm {
         self.mediate_cookies(&candidates, operation, principal, object_for)
     }
 
+    /// Page-batch jar mediation: decides the cookie attachments of *several*
+    /// requests — one per planned subresource — in **one** engine batch, walking
+    /// the jar once per distinct URL instead of once per request. Returns the
+    /// admitted `name=value` pairs per request, in input order (each request's
+    /// pairs in RFC 6265 §5.4 attach order).
+    ///
+    /// This is phase 1 of the pipelined subresource loader: every decision is
+    /// fixed here, deterministically, *before* any fetch is dispatched, so the
+    /// mediation outcome cannot depend on transport completion order. Counting
+    /// and auditing are identical to issuing one [`Erm::mediate_jar`] call per
+    /// request in input order.
+    pub fn mediate_jar_many(
+        &mut self,
+        jar: &SharedCookieJar,
+        requests: &[(&Url, &PrincipalContext)],
+        operation: Operation,
+        object_for: impl Fn(&str, Origin) -> ObjectContext,
+    ) -> Vec<Vec<String>> {
+        // One jar walk per distinct URL (a page's subresources typically share a
+        // handful of origins, so a linear probe of the seen-list is cheap).
+        let mut unique_urls: Vec<&Url> = Vec::new();
+        let mut candidate_sets: Vec<Vec<CookieCandidate>> = Vec::new();
+        let mut set_index: Vec<usize> = Vec::with_capacity(requests.len());
+        for (url, _) in requests {
+            let index = match unique_urls.iter().position(|u| *u == *url) {
+                Some(index) => index,
+                None => {
+                    unique_urls.push(url);
+                    candidate_sets.push(
+                        jar.candidates_for(url)
+                            .into_iter()
+                            .map(|c| {
+                                let origin = c.origin();
+                                (c.name, c.value, origin)
+                            })
+                            .collect(),
+                    );
+                    candidate_sets.len() - 1
+                }
+            };
+            set_index.push(index);
+        }
+
+        // The same-origin baseline attaches every in-scope candidate without
+        // consulting the engine — exactly like `mediate_cookies`.
+        if self.mode() == PolicyMode::SameOriginOnly {
+            return set_index
+                .iter()
+                .map(|&index| {
+                    candidate_sets[index]
+                        .iter()
+                        .map(|(name, value, _)| format!("{name}={value}"))
+                        .collect()
+                })
+                .collect();
+        }
+
+        // Flatten every (request, candidate) pair into one engine batch.
+        let objects: Vec<ObjectContext> = set_index
+            .iter()
+            .flat_map(|&index| {
+                candidate_sets[index]
+                    .iter()
+                    .map(|(name, _, origin)| object_for(name, origin.clone()))
+            })
+            .collect();
+        let mut checks: Vec<(&PrincipalContext, &ObjectContext, Operation)> =
+            Vec::with_capacity(objects.len());
+        let mut remaining_objects = objects.as_slice();
+        for ((_, principal), &index) in requests.iter().zip(&set_index) {
+            let (head, tail) = remaining_objects.split_at(candidate_sets[index].len());
+            checks.extend(head.iter().map(|object| (*principal, object, operation)));
+            remaining_objects = tail;
+        }
+        let decisions = self.check_many(&checks);
+
+        // Split the flat decision vector back into per-request attachments.
+        let mut offset = 0;
+        set_index
+            .iter()
+            .map(|&index| {
+                let candidates = &candidate_sets[index];
+                let attached = decisions[offset..offset + candidates.len()]
+                    .iter()
+                    .zip(candidates)
+                    .filter(|(decision, _)| decision.is_allowed())
+                    .map(|(_, (name, value, _))| format!("{name}={value}"))
+                    .collect();
+                offset += candidates.len();
+                attached
+            })
+            .collect()
+    }
+
     /// Convenience: mediate and convert a denial into an `Err(String)` describing the
     /// violated rule (used by the script host, where a denial becomes an exception).
     pub fn require(
@@ -421,6 +515,70 @@ mod tests {
         let attached = erm.mediate_jar(&jar, &request, Operation::Use, &script(3), ring1);
         assert!(attached.is_empty());
         assert_eq!(erm.denials(), 3);
+    }
+
+    #[test]
+    fn mediate_jar_many_matches_per_request_mediation() {
+        use escudo_net::SetCookie;
+
+        let jar = SharedCookieJar::new();
+        let setting = Url::parse("http://forum.example/login.php").unwrap();
+        jar.store(&setting, &SetCookie::new("sid", "s1"));
+        jar.store(
+            &setting,
+            &SetCookie::new("admin", "a1").with_path("/forum/admin"),
+        );
+        jar.store(
+            &Url::parse("http://img.example/a.png").unwrap(),
+            &SetCookie::new("imgsid", "i1"),
+        );
+
+        let ring1 = |_: &str, origin: Origin| {
+            ObjectContext::new(ObjectKind::Cookie, origin, Ring::new(1))
+                .with_acl(Acl::uniform(Ring::new(1)))
+        };
+        let admin_url = Url::parse("http://forum.example/forum/admin/tool.php").unwrap();
+        let img_url = Url::parse("http://img.example/b.png").unwrap();
+        let p1 = script(1);
+        let p3 = script(3);
+        let img_principal = PrincipalContext::new(
+            PrincipalKind::Script,
+            Origin::new("http", "img.example", 80),
+            Ring::new(1),
+        );
+        // Mixed principals, repeated URLs (the repeated URL's jar walk happens once).
+        let requests: Vec<(&Url, &PrincipalContext)> = vec![
+            (&admin_url, &p1),
+            (&img_url, &img_principal),
+            (&admin_url, &p3),
+            (&admin_url, &p1),
+        ];
+
+        let mut batch_erm = Erm::new(PolicyMode::Escudo);
+        let batched = batch_erm.mediate_jar_many(&jar, &requests, Operation::Use, ring1);
+
+        let mut oracle_erm = Erm::new(PolicyMode::Escudo);
+        let singly: Vec<Vec<String>> = requests
+            .iter()
+            .map(|(url, principal)| {
+                oracle_erm.mediate_jar(&jar, url, Operation::Use, principal, ring1)
+            })
+            .collect();
+        assert_eq!(batched, singly);
+        // §5.4 order within a request, denial for the ring-3 principal.
+        assert_eq!(batched[0], vec!["admin=a1", "sid=s1"]);
+        assert_eq!(batched[1], vec!["imgsid=i1"]);
+        assert!(batched[2].is_empty());
+        // Counting and auditing identical to the per-request path.
+        assert_eq!(batch_erm.checks(), oracle_erm.checks());
+        assert_eq!(batch_erm.denials(), oracle_erm.denials());
+        assert_eq!(batch_erm.audit().len(), oracle_erm.audit().len());
+
+        // The same-origin baseline attaches every candidate without engine checks.
+        let mut sop = Erm::new(PolicyMode::SameOriginOnly);
+        let sop_batched = sop.mediate_jar_many(&jar, &requests, Operation::Use, ring1);
+        assert_eq!(sop_batched[2], vec!["admin=a1", "sid=s1"]);
+        assert_eq!(sop.checks(), 0);
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub struct BrowserHost<'a> {
     pub(crate) document: &'a mut Document,
     pub(crate) contexts: &'a mut SecurityContextTable,
     pub(crate) jar: &'a SharedCookieJar,
-    pub(crate) network: &'a mut Network,
+    pub(crate) network: &'a Network,
     pub(crate) history_len: usize,
     pub(crate) page_url: Url,
     pub(crate) principal: PrincipalContext,
@@ -54,7 +54,7 @@ impl<'a> BrowserHost<'a> {
         document: &'a mut Document,
         contexts: &'a mut SecurityContextTable,
         jar: &'a SharedCookieJar,
-        network: &'a mut Network,
+        network: &'a Network,
         history_len: usize,
         page_url: Url,
         principal: PrincipalContext,

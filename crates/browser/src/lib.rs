@@ -62,11 +62,11 @@ pub mod loader;
 pub mod page;
 pub mod render;
 
-pub use browser::{Browser, PageId};
+pub use browser::{Browser, PageId, DEFAULT_SUBRESOURCE_WORKERS};
 pub use context::SecurityContextTable;
 pub use erm::Erm;
 pub use error::BrowserError;
 pub use escudo_core::PolicyMode;
 pub use loader::{LoadOptions, PageLoader};
-pub use page::{Page, PageLoadStats, ScriptOutcome};
+pub use page::{Page, PageLoadStats, ScriptOutcome, SubresourceOutcome};
 pub use render::{LayoutBox, RenderStats, Renderer};

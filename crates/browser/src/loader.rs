@@ -115,16 +115,14 @@ impl PageLoader {
             contexts,
             scripts,
             script_outcomes: Vec::new(),
+            subresources: Vec::new(),
             parse_report: parsed.report,
             render_stats,
             stats: PageLoadStats {
                 parse_ns,
                 label_ns,
-                script_ns: 0,
                 render_ns,
-                policy_checks: 0,
-                policy_denials: 0,
-                policy_cache_hits: 0,
+                ..PageLoadStats::default()
             },
             legacy,
         }

@@ -65,6 +65,16 @@ pub struct PageLoadStats {
     /// Decisions the shared engine served from its memoization cache (cumulative for
     /// the engine, like `policy_checks`).
     pub policy_cache_hits: u64,
+    /// Subresource (`img`) fetches dispatched for this page — including ones whose
+    /// dispatch failed (the per-subresource outcome records the error).
+    pub subresource_requests: u64,
+    /// Cookie-`use` denials issued while mediating this page's subresource
+    /// requests (phase 1 of the pipelined loader, before any fetch is dispatched).
+    pub subresource_denials: u64,
+    /// Wall-clock time of the subresource fetch fan-out (phase 2), in nanoseconds.
+    /// With the pipelined loader this is the *overlapped* time, not the sum of
+    /// per-fetch times.
+    pub subresource_fetch_ns: u128,
 }
 
 impl PageLoadStats {
@@ -78,6 +88,33 @@ impl PageLoadStats {
     #[must_use]
     pub fn total_ns(&self) -> u128 {
         self.parse_and_render_ns() + self.script_ns
+    }
+}
+
+/// The recorded outcome of one subresource (`img`) fetch. Outcomes are recorded in
+/// **document order** regardless of which pipelined worker finished first — the
+/// mediation plan is fixed in document order before any fetch is dispatched, and
+/// results are placed back by plan index.
+#[derive(Debug, Clone)]
+pub struct SubresourceOutcome {
+    /// The `img` element that issued the request.
+    pub node: NodeId,
+    /// The resolved request URL.
+    pub url: Url,
+    /// Names of the cookies the reference monitor admitted onto the request
+    /// (decided in phase 1, before the fetch was dispatched).
+    pub attached_cookies: Vec<String>,
+    /// The response status, when the dispatch reached a server.
+    pub status: Option<u16>,
+    /// The dispatch error, when it did not (e.g. the host became unreachable).
+    pub error: Option<String>,
+}
+
+impl SubresourceOutcome {
+    /// `true` when the fetch reached a server and came back 2xx.
+    #[must_use]
+    pub fn succeeded(&self) -> bool {
+        self.status.is_some_and(|s| (200..300).contains(&s))
     }
 }
 
@@ -96,6 +133,8 @@ pub struct Page {
     pub scripts: Vec<ScriptUnit>,
     /// Outcomes of the scripts executed so far.
     pub script_outcomes: Vec<ScriptOutcome>,
+    /// Per-subresource fetch outcomes, in document order.
+    pub subresources: Vec<SubresourceOutcome>,
     /// The parser's report (including rejected node-splitting end tags).
     pub parse_report: ParseReport,
     /// Rendering statistics from the last layout pass.
@@ -142,9 +181,29 @@ mod tests {
             policy_checks: 3,
             policy_denials: 1,
             policy_cache_hits: 2,
+            subresource_requests: 4,
+            subresource_denials: 1,
+            subresource_fetch_ns: 40,
         };
         assert_eq!(stats.parse_and_render_ns(), 30);
         assert_eq!(stats.total_ns(), 50);
+    }
+
+    #[test]
+    fn subresource_outcome_success_requires_a_2xx_status() {
+        let mut outcome = SubresourceOutcome {
+            node: escudo_dom::Document::new().create_element("img"),
+            url: Url::parse("http://img.example/a.png").unwrap(),
+            attached_cookies: vec!["sid".into()],
+            status: Some(200),
+            error: None,
+        };
+        assert!(outcome.succeeded());
+        outcome.status = Some(404);
+        assert!(!outcome.succeeded());
+        outcome.status = None;
+        outcome.error = Some("host unreachable".into());
+        assert!(!outcome.succeeded());
     }
 
     #[test]

@@ -1,14 +1,17 @@
 //! Cookies and `Set-Cookie` parsing.
 
 use std::fmt;
+use std::time::{Duration, SystemTime};
 
 use crate::error::NetError;
 use crate::url::Url;
 
 /// A `Set-Cookie` directive as sent by a server.
 ///
-/// Only the attributes the reproduction needs are modelled: `Domain`, `Path`,
-/// `Secure` and `HttpOnly`. (Expiry is irrelevant for in-memory sessions.)
+/// The attributes the reproduction needs are modelled: `Domain`, `Path`, `Secure`,
+/// `HttpOnly`, and the expiry pair `Max-Age` / `Expires` (RFC 6265 §5.2.1–§5.2.2) —
+/// a long-lived server deployment must stop matching cookies whose lifetime has
+/// elapsed, and `Max-Age=0` is the standard deletion idiom.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SetCookie {
     /// Cookie name.
@@ -21,6 +24,13 @@ pub struct SetCookie {
     /// stored cookie takes the RFC 6265 §5.1.4 *default-path* of the setting URL —
     /// the directory prefix of the setting request's path, **not** `/`.
     pub path: Option<String>,
+    /// Optional `Max-Age` attribute in seconds (may be zero or negative — both mean
+    /// "expire immediately", i.e. delete). Takes precedence over `expires`
+    /// (RFC 6265 §5.3 step 3).
+    pub max_age: Option<i64>,
+    /// Optional `Expires` attribute, parsed to an absolute instant. A malformed
+    /// date is ignored entirely (the attribute is treated as absent).
+    pub expires: Option<SystemTime>,
     /// `Secure` attribute.
     pub secure: bool,
     /// `HttpOnly` attribute.
@@ -38,6 +48,8 @@ impl SetCookie {
             value: value.into(),
             domain: None,
             path: None,
+            max_age: None,
+            expires: None,
             secure: false,
             http_only: false,
         }
@@ -47,6 +59,14 @@ impl SetCookie {
     #[must_use]
     pub fn with_path(mut self, path: impl Into<String>) -> Self {
         self.path = Some(path.into());
+        self
+    }
+
+    /// Sets the `Max-Age` attribute (builder style). Zero or negative means
+    /// "expire immediately" — the RFC 6265 deletion idiom.
+    #[must_use]
+    pub fn with_max_age(mut self, seconds: i64) -> Self {
+        self.max_age = Some(seconds);
         self
     }
 
@@ -96,6 +116,19 @@ impl SetCookie {
                     let path = val.trim();
                     cookie.path = (!path.is_empty()).then(|| path.to_string());
                 }
+                // RFC 6265 §5.2.2: the value must be digits with an optional leading
+                // `-`; anything else means "ignore the attribute entirely".
+                "max-age" => {
+                    let val = val.trim();
+                    let digits = val.strip_prefix('-').unwrap_or(val);
+                    if !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()) {
+                        if let Ok(seconds) = val.parse::<i64>() {
+                            cookie.max_age = Some(seconds);
+                        }
+                    }
+                }
+                // §5.2.1: an unparseable date means "ignore the attribute".
+                "expires" => cookie.expires = parse_cookie_date(val),
                 "secure" => cookie.secure = true,
                 "httponly" => cookie.http_only = true,
                 _ => {}
@@ -127,7 +160,27 @@ impl SetCookie {
         }
     }
 
-    /// Serializes the directive as a `Set-Cookie` header value.
+    /// The absolute instant this directive's cookie stops matching, evaluated
+    /// against `now` (the store time): `Max-Age` relative to `now` when present
+    /// (RFC 6265 §5.3 step 3 gives it precedence), otherwise the `Expires`
+    /// instant, otherwise `None` — a session cookie that never expires.
+    ///
+    /// A zero or negative `Max-Age` yields the earliest representable time
+    /// (§5.2.2), so the resulting cookie is already expired — the deletion idiom.
+    /// A `Max-Age` too large to represent saturates to "no expiry".
+    #[must_use]
+    pub fn expiry_deadline(&self, now: SystemTime) -> Option<SystemTime> {
+        if let Some(seconds) = self.max_age {
+            if seconds <= 0 {
+                return Some(SystemTime::UNIX_EPOCH);
+            }
+            return now.checked_add(Duration::from_secs(seconds as u64));
+        }
+        self.expires
+    }
+
+    /// Serializes the directive as a `Set-Cookie` header value. (`Expires` is not
+    /// re-serialized — programmatic directives use `Max-Age`, which round-trips.)
     #[must_use]
     pub fn to_header_value(&self) -> String {
         let mut out = format!("{}={}", self.name, self.value);
@@ -138,6 +191,10 @@ impl SetCookie {
         if let Some(path) = &self.path {
             out.push_str("; Path=");
             out.push_str(path);
+        }
+        if let Some(seconds) = self.max_age {
+            out.push_str("; Max-Age=");
+            out.push_str(&seconds.to_string());
         }
         if self.secure {
             out.push_str("; Secure");
@@ -176,6 +233,10 @@ pub struct Cookie {
     pub port: u16,
     /// `Path` scope.
     pub path: String,
+    /// The absolute instant the cookie expires (`None` = session cookie). Derived
+    /// at store time from `Max-Age`/`Expires` via [`SetCookie::expiry_deadline`];
+    /// the jars lazily drop cookies whose deadline has passed.
+    pub expires_at: Option<SystemTime>,
     /// `Secure` attribute.
     pub secure: bool,
     /// `HttpOnly` attribute.
@@ -201,9 +262,17 @@ impl Cookie {
             scheme: url.scheme().to_ascii_lowercase(),
             port: url.port(),
             path: directive.effective_path(url.path()),
+            expires_at: directive.expiry_deadline(SystemTime::now()),
             secure: directive.secure,
             http_only: directive.http_only,
         }
+    }
+
+    /// Whether the cookie's expiry deadline has passed at `now`. A session cookie
+    /// (no deadline) never expires.
+    #[must_use]
+    pub fn expired(&self, now: SystemTime) -> bool {
+        self.expires_at.is_some_and(|deadline| deadline <= now)
     }
 
     /// Whether this cookie is in scope for a request to `host` + `path` over `scheme`.
@@ -276,6 +345,91 @@ pub fn default_path(uri_path: &str) -> String {
         Some(0) | None => "/".to_string(),
         Some(last_slash) => uri_path[..last_slash].to_string(),
     }
+}
+
+/// Parses a cookie `Expires` date per the RFC 6265 §5.1.1 algorithm: the value is
+/// split into tokens on non-token delimiters, and the first token matching each of
+/// *time* (`hh:mm:ss`), *day-of-month*, *month* (3-letter name) and *year* wins,
+/// in that priority order — so `Wed, 21 Oct 2015 07:28:00 GMT`,
+/// `21-Oct-15 07:28:00` and other legacy spellings all parse. Returns `None`
+/// (attribute ignored) when a component is missing or out of range. Dates before
+/// the epoch clamp to the earliest representable time — already expired.
+#[must_use]
+pub fn parse_cookie_date(value: &str) -> Option<SystemTime> {
+    let mut time: Option<(u64, u64, u64)> = None;
+    let mut day: Option<u64> = None;
+    let mut month: Option<u64> = None;
+    let mut year: Option<i64> = None;
+    for token in value.split(|c: char| !(c.is_ascii_alphanumeric() || c == ':')) {
+        if token.is_empty() {
+            continue;
+        }
+        if time.is_none() && token.contains(':') {
+            let mut parts = token.splitn(3, ':');
+            let fields: Option<Vec<u64>> = parts
+                .by_ref()
+                .map(|f| {
+                    ((1..=2).contains(&f.len()) && f.bytes().all(|b| b.is_ascii_digit()))
+                        .then(|| f.parse().ok())
+                        .flatten()
+                })
+                .collect();
+            if let Some(fields) = fields {
+                if fields.len() == 3 {
+                    time = Some((fields[0], fields[1], fields[2]));
+                }
+            }
+            continue;
+        }
+        if token.bytes().all(|b| b.is_ascii_digit()) {
+            if day.is_none() && (1..=2).contains(&token.len()) {
+                day = token.parse().ok();
+                continue;
+            }
+            if year.is_none() && (token.len() == 2 || token.len() == 4) {
+                if let Ok(parsed) = token.parse::<i64>() {
+                    // §5.1.1 steps 3–4: two-digit years 70–99 are 19xx, 0–69 are 20xx.
+                    year = Some(match parsed {
+                        70..=99 => parsed + 1900,
+                        0..=69 if token.len() == 2 => parsed + 2000,
+                        other => other,
+                    });
+                }
+            }
+            continue;
+        }
+        if month.is_none() && token.len() >= 3 {
+            let prefix = token[..3].to_ascii_lowercase();
+            month = [
+                "jan", "feb", "mar", "apr", "may", "jun", "jul", "aug", "sep", "oct", "nov", "dec",
+            ]
+            .iter()
+            .position(|m| *m == prefix)
+            .map(|i| i as u64 + 1);
+        }
+    }
+    let ((hour, minute, second), day, month, year) = (time?, day?, month?, year?);
+    if !(1..=31).contains(&day) || year < 1601 || hour > 23 || minute > 59 || second > 59 {
+        return None;
+    }
+    let days = days_from_civil(year, month, day);
+    let seconds = days * 86_400 + (hour * 3600 + minute * 60 + second) as i64;
+    if seconds < 0 {
+        return Some(SystemTime::UNIX_EPOCH);
+    }
+    SystemTime::UNIX_EPOCH.checked_add(Duration::from_secs(seconds as u64))
+}
+
+/// Days since 1970-01-01 for a proleptic Gregorian civil date (Howard Hinnant's
+/// `days_from_civil` algorithm). `month` is 1-based.
+fn days_from_civil(year: i64, month: u64, day: u64) -> i64 {
+    let year = if month <= 2 { year - 1 } else { year };
+    let era = if year >= 0 { year } else { year - 399 } / 400;
+    let year_of_era = year - era * 400;
+    let month_prime = (month + 9) % 12;
+    let day_of_year = (153 * month_prime + 2) / 5 + day - 1;
+    let day_of_era = year_of_era * 365 + year_of_era / 4 - year_of_era / 100 + day_of_year as i64;
+    era * 146_097 + day_of_era - 719_468
 }
 
 /// RFC-6265-style path matching.
@@ -444,6 +598,125 @@ mod tests {
     }
 
     #[test]
+    fn max_age_parses_per_rfc_6265() {
+        // Valid: optional leading `-`, digits only.
+        for (header, expected) in [
+            ("sid=1; Max-Age=3600", Some(3600)),
+            ("sid=1; Max-Age=0", Some(0)),
+            ("sid=1; Max-Age=-1", Some(-1)),
+            ("sid=1; max-age= 60 ", Some(60)),
+            // Invalid values are ignored entirely (§5.2.2).
+            ("sid=1; Max-Age=notanum", None),
+            ("sid=1; Max-Age=1.5", None),
+            ("sid=1; Max-Age=+5", None),
+            ("sid=1; Max-Age=", None),
+            ("sid=1; Max-Age=-", None),
+        ] {
+            assert_eq!(
+                SetCookie::parse(header).unwrap().max_age,
+                expected,
+                "for header {header:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn expires_dates_parse_in_legacy_spellings() {
+        // All three spell the same instant: 2015-10-21 07:28:00 UTC.
+        let expected = SystemTime::UNIX_EPOCH + Duration::from_secs(1_445_412_480);
+        for date in [
+            "Wed, 21 Oct 2015 07:28:00 GMT",
+            "21-Oct-15 07:28:00",
+            "Oct 21 2015 7:28:00",
+        ] {
+            assert_eq!(parse_cookie_date(date), Some(expected), "for date {date:?}");
+            let header = format!("sid=1; Expires={date}");
+            assert_eq!(SetCookie::parse(&header).unwrap().expires, Some(expected));
+        }
+        // The epoch itself and a pre-epoch date both clamp to "already expired".
+        assert_eq!(
+            parse_cookie_date("Thu, 01 Jan 1970 00:00:00 GMT"),
+            Some(SystemTime::UNIX_EPOCH)
+        );
+        assert_eq!(
+            parse_cookie_date("Tue, 31 Dec 1968 23:59:59 GMT"),
+            Some(SystemTime::UNIX_EPOCH)
+        );
+        // Malformed dates are ignored (the attribute is treated as absent).
+        for bad in [
+            "not a date",
+            "32 Oct 2015 07:28:00",
+            "21 Oct 1515 07:28:00",
+            "21 Oct 2015 24:00:00",
+            "21 Oct 2015",
+            "Oct 07:28:00",
+        ] {
+            assert_eq!(parse_cookie_date(bad), None, "for date {bad:?}");
+        }
+    }
+
+    #[test]
+    fn expiry_deadline_prefers_max_age_and_handles_deletion() {
+        let now = SystemTime::UNIX_EPOCH + Duration::from_secs(1_000_000);
+        let later = SystemTime::UNIX_EPOCH + Duration::from_secs(2_000_000);
+
+        // Session cookie: no deadline.
+        assert_eq!(SetCookie::new("a", "1").expiry_deadline(now), None);
+        // Max-Age is relative to the store time.
+        assert_eq!(
+            SetCookie::new("a", "1")
+                .with_max_age(60)
+                .expiry_deadline(now),
+            Some(now + Duration::from_secs(60))
+        );
+        // Max-Age=0 (and negative) → earliest representable time: deletion.
+        for seconds in [0, -5] {
+            assert_eq!(
+                SetCookie::new("a", "1")
+                    .with_max_age(seconds)
+                    .expiry_deadline(now),
+                Some(SystemTime::UNIX_EPOCH)
+            );
+        }
+        // Max-Age wins over Expires (§5.3 step 3).
+        let mut both = SetCookie::new("a", "1").with_max_age(60);
+        both.expires = Some(later);
+        assert_eq!(
+            both.expiry_deadline(now),
+            Some(now + Duration::from_secs(60))
+        );
+        let mut only_expires = SetCookie::new("a", "1");
+        only_expires.expires = Some(later);
+        assert_eq!(only_expires.expiry_deadline(now), Some(later));
+    }
+
+    #[test]
+    fn stored_cookies_report_expiry() {
+        let now = SystemTime::now();
+        let live = Cookie::from_set_cookie(
+            &SetCookie::new("sid", "1").with_max_age(3600),
+            &url("http://a.example/"),
+        );
+        assert!(!live.expired(now));
+        assert!(live.expired(now + Duration::from_secs(4000)));
+        let session =
+            Cookie::from_set_cookie(&SetCookie::new("sid", "1"), &url("http://a.example/"));
+        assert!(!session.expired(now + Duration::from_secs(1 << 40)));
+        let dead = Cookie::from_set_cookie(
+            &SetCookie::new("sid", "1").with_max_age(0),
+            &url("http://a.example/"),
+        );
+        assert!(dead.expired(now));
+    }
+
+    #[test]
+    fn max_age_round_trips_through_the_header_value() {
+        let original = SetCookie::new("sid", "1").with_max_age(600).with_path("/a");
+        let parsed = SetCookie::parse(&original.to_header_value()).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
     fn parse_rejects_nameless_cookies() {
         assert!(SetCookie::parse("=value").is_err());
         assert!(SetCookie::parse("no-equals-sign").is_err());
@@ -553,6 +826,8 @@ mod tests {
                                 value: value.to_string(),
                                 domain: None,
                                 path: path.map(str::to_string),
+                                max_age: None,
+                                expires: None,
                                 secure,
                                 http_only,
                             };

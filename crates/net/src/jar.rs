@@ -35,9 +35,23 @@ impl CookieJar {
     /// top-level label would still let `attacker.example` set a cookie that scopes
     /// over every `*.example` site.
     pub fn store(&mut self, url: &Url, directive: &SetCookie) {
+        let now = std::time::SystemTime::now();
+        // Lazy expiry: the store path is the jar's only `&mut self` probe, so this
+        // is where cookies whose deadline has passed are physically dropped (the
+        // `&self` read paths filter them instead).
+        self.cookies.retain(|c| !c.expired(now));
         let Some(cookie) = accept(url, directive) else {
             return;
         };
+        // RFC 6265 §5.2.2: a directive that is already expired at store time
+        // (`Max-Age=0`, negative `Max-Age`, past `Expires`) *deletes* the matching
+        // (name, host, path) cookie instead of storing anything.
+        if cookie.expired(now) {
+            self.cookies.retain(|c| {
+                !(c.name == cookie.name && c.host == cookie.host && c.path == cookie.path)
+            });
+            return;
+        }
         // Replace an existing cookie with the same (name, host, path) triple. The
         // replaced cookie keeps its position in the vector, i.e. its creation order —
         // RFC 6265 §5.3 step 11.3 preserves the original creation-time on update.
@@ -55,13 +69,14 @@ impl CookieJar {
     /// All cookies whose scope matches a request to `url`, regardless of policy, in
     /// RFC 6265 §5.4 attach order: longest path first, then earliest creation first
     /// (the stable sort preserves the vector's insertion order, which *is* creation
-    /// order — replacement updates in place).
+    /// order — replacement updates in place). Expired cookies never match.
     #[must_use]
     pub fn candidates_for(&self, url: &Url) -> Vec<&Cookie> {
+        let now = std::time::SystemTime::now();
         let mut candidates: Vec<&Cookie> = self
             .cookies
             .iter()
-            .filter(|c| c.in_scope(url.scheme(), url.host(), url.path()))
+            .filter(|c| !c.expired(now) && c.in_scope(url.scheme(), url.host(), url.path()))
             .collect();
         candidates.sort_by_key(|c| std::cmp::Reverse(c.path.len()));
         candidates
@@ -94,10 +109,11 @@ impl CookieJar {
     /// creation — the same §5.4 ordering [`CookieJar::cookie_header_for`] attaches in.
     #[must_use]
     pub fn get(&self, host: &str, name: &str) -> Option<&Cookie> {
+        let now = std::time::SystemTime::now();
         self.cookies
             .iter()
             .enumerate()
-            .filter(|(_, c)| c.host.eq_ignore_ascii_case(host) && c.name == name)
+            .filter(|(_, c)| !c.expired(now) && c.host.eq_ignore_ascii_case(host) && c.name == name)
             .min_by_key(|(index, c)| (std::cmp::Reverse(c.path.len()), *index))
             .map(|(_, c)| c)
     }
@@ -105,20 +121,24 @@ impl CookieJar {
     /// Looks up a stored cookie by host, name and exact path scope.
     #[must_use]
     pub fn get_with_path(&self, host: &str, name: &str, path: &str) -> Option<&Cookie> {
-        self.cookies
-            .iter()
-            .find(|c| c.host.eq_ignore_ascii_case(host) && c.name == name && c.path == path)
+        let now = std::time::SystemTime::now();
+        self.cookies.iter().find(|c| {
+            !c.expired(now) && c.host.eq_ignore_ascii_case(host) && c.name == name && c.path == path
+        })
     }
 
     /// Removes the single (host, name) cookie that wins the §5.4 ordering — longest
     /// path first, then earliest creation — leaving same-name cookies under other
-    /// paths in place. Returns `true` if one was removed.
+    /// paths in place. Returns `true` if one was removed. Expired cookies are
+    /// invisible here exactly as they are to [`CookieJar::get`], so `remove` can
+    /// never delete an expired ghost while the live cookie `get` returns survives.
     pub fn remove(&mut self, host: &str, name: &str) -> bool {
+        let now = std::time::SystemTime::now();
         let victim = self
             .cookies
             .iter()
             .enumerate()
-            .filter(|(_, c)| c.host.eq_ignore_ascii_case(host) && c.name == name)
+            .filter(|(_, c)| !c.expired(now) && c.host.eq_ignore_ascii_case(host) && c.name == name)
             .min_by_key(|(index, c)| (std::cmp::Reverse(c.path.len()), *index))
             .map(|(index, _)| index);
         match victim {
@@ -458,6 +478,91 @@ mod tests {
         assert_eq!(jar.get("x.example", "sid").unwrap().value, "forum");
         assert!(jar.remove("x.example", "sid"));
         assert!(jar.is_empty());
+    }
+
+    #[test]
+    fn expired_cookies_stop_matching_and_are_dropped_on_store() {
+        let mut jar = CookieJar::new();
+        jar.store(
+            &url("http://a.example/"),
+            &SetCookie::new("dead", "1").with_max_age(-1),
+        );
+        // An already-expired directive stores nothing.
+        assert!(jar.is_empty());
+
+        jar.store(&url("http://a.example/"), &SetCookie::new("live", "1"));
+        // Simulate a cookie whose deadline has passed (store-time `now` is opaque,
+        // so backdate the deadline directly).
+        jar.store(
+            &url("http://a.example/"),
+            &SetCookie::new("stale", "1").with_max_age(3600),
+        );
+        jar.cookies
+            .iter_mut()
+            .find(|c| c.name == "stale")
+            .unwrap()
+            .expires_at = Some(std::time::SystemTime::UNIX_EPOCH);
+
+        // Read paths filter the expired cookie…
+        assert!(jar.get("a.example", "stale").is_none());
+        assert!(jar.get_with_path("a.example", "stale", "/").is_none());
+        let names: Vec<&str> = jar
+            .candidates_for(&url("http://a.example/"))
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["live"]);
+        assert_eq!(jar.len(), 2, "expired cookie still resident before a store");
+
+        // …and the next store physically drops it.
+        jar.store(&url("http://b.example/"), &SetCookie::new("other", "1"));
+        assert_eq!(jar.len(), 2);
+        assert!(jar.iter().all(|c| c.name != "stale"));
+    }
+
+    #[test]
+    fn remove_ignores_expired_ghosts() {
+        let mut jar = CookieJar::new();
+        jar.store(
+            &url("http://a.example/"),
+            &SetCookie::new("sid", "live").with_path("/"),
+        );
+        // A longer-path cookie would win the §5.4 ordering — but it is expired.
+        jar.store(
+            &url("http://a.example/"),
+            &SetCookie::new("sid", "ghost")
+                .with_path("/forum/admin")
+                .with_max_age(3600),
+        );
+        jar.cookies
+            .iter_mut()
+            .find(|c| c.value == "ghost")
+            .unwrap()
+            .expires_at = Some(std::time::SystemTime::UNIX_EPOCH);
+        // `get` and `remove` agree: both resolve to the live cookie, so a caller
+        // can never delete a ghost while the cookie it just read survives.
+        assert_eq!(jar.get("a.example", "sid").unwrap().value, "live");
+        assert!(jar.remove("a.example", "sid"));
+        assert!(jar.get("a.example", "sid").is_none());
+    }
+
+    #[test]
+    fn max_age_zero_deletes_the_matching_cookie() {
+        let mut jar = CookieJar::new();
+        jar.store(&url("http://a.example/"), &SetCookie::new("sid", "live"));
+        jar.store(
+            &url("http://a.example/"),
+            &SetCookie::new("sid", "other").with_path("/app"),
+        );
+        assert_eq!(jar.len(), 2);
+        // RFC 6265 §5.2.2 deletion idiom: Max-Age=0 removes exactly the matching
+        // (name, host, path) cookie.
+        jar.store(
+            &url("http://a.example/"),
+            &SetCookie::new("sid", "").with_max_age(0),
+        );
+        assert!(jar.get_with_path("a.example", "sid", "/").is_none());
+        assert_eq!(jar.get("a.example", "sid").unwrap().value, "other");
     }
 
     #[test]

@@ -11,9 +11,12 @@
 //!   stores (single-threaded and host-sharded concurrent) whose *attachment* decision
 //!   is delegated to the caller (the browser's reference monitor decides the `use`
 //!   operation),
-//! * [`Network`] / [`Server`] — a host registry mapping origins to request handlers,
-//!   with a request log the CSRF experiments read to see whether a session cookie was
-//!   attached to a forged request.
+//! * [`Network`] / [`SharedNetwork`] / [`Server`] — a host registry mapping origins
+//!   to request handlers, with a request log the CSRF experiments read to see
+//!   whether a session cookie was attached to a forged request. [`SharedNetwork`]
+//!   is the `Arc`-shareable fabric (per-origin handler mutexes, lock-striped
+//!   sequence-ordered log, simulated latency); [`Network`] is the single-owner
+//!   convenience handle over one.
 //!
 //! # Example
 //!
@@ -46,6 +49,7 @@ pub mod jar;
 pub mod message;
 pub mod network;
 pub mod shared_jar;
+pub mod shared_network;
 pub mod url;
 
 pub use cookie::{Cookie, SetCookie};
@@ -55,4 +59,5 @@ pub use jar::CookieJar;
 pub use message::{Method, Request, Response, StatusCode};
 pub use network::{LoggedRequest, Network, Server};
 pub use shared_jar::{JarShardStats, JarStats, SharedCookieJar};
+pub use shared_network::SharedNetwork;
 pub use url::Url;

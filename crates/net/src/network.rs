@@ -3,20 +3,30 @@
 //! The log records every dispatched request together with the names of the cookies the
 //! browser attached; the defense-effectiveness experiments (§6.4) read it to determine
 //! whether a forged cross-site request carried the victim's session cookie.
+//!
+//! [`Network`] is the single-owner convenience handle: a thin wrapper over the
+//! `Arc`-shareable [`SharedNetwork`](crate::SharedNetwork) fabric, which holds the
+//! actual per-origin handlers, the lock-striped sequence-ordered log and the
+//! simulated latencies. Single-session tests keep the old ergonomics; concurrent
+//! deployments clone the fabric handle ([`Network::fabric`]) and share servers
+//! across sessions.
 
-use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use escudo_core::Origin;
 
 use crate::error::NetError;
 use crate::message::{Method, Request, Response};
+use crate::shared_network::SharedNetwork;
 use crate::url::Url;
 
 /// A server-side request handler registered with the [`Network`].
 ///
 /// The in-memory applications (`escudo-apps`) implement this to stand in for the
-/// PHP applications the paper modified.
+/// PHP applications the paper modified. Handlers must be `Send`: they live behind
+/// a per-origin mutex on the shared fabric and may be driven from any session
+/// thread (the pipelined subresource loader fans fetches out across workers).
 pub trait Server {
     /// Handles one request and produces a response.
     fn handle(&mut self, request: &Request) -> Response;
@@ -61,18 +71,31 @@ impl fmt::Display for LoggedRequest {
     }
 }
 
-/// The in-memory network: maps origins to servers and logs traffic.
+/// The single-owner handle over a (possibly shared) network fabric.
 #[derive(Default)]
 pub struct Network {
-    servers: HashMap<Origin, Box<dyn Server>>,
-    log: Vec<LoggedRequest>,
+    fabric: Arc<SharedNetwork>,
 }
 
 impl Network {
-    /// Creates an empty network.
+    /// Creates a network over a fresh private fabric.
     #[must_use]
     pub fn new() -> Self {
         Network::default()
+    }
+
+    /// Creates a handle over an existing (possibly shared) fabric — this is how
+    /// several concurrent sessions talk to the same servers and write one
+    /// sequence-ordered request log.
+    #[must_use]
+    pub fn with_fabric(fabric: Arc<SharedNetwork>) -> Self {
+        Network { fabric }
+    }
+
+    /// The underlying fabric (clone the `Arc` to share it with another session).
+    #[must_use]
+    pub fn fabric(&self) -> &Arc<SharedNetwork> {
+        &self.fabric
     }
 
     /// Registers a server for an origin given as a URL string (the path is ignored).
@@ -81,21 +104,19 @@ impl Network {
     ///
     /// Panics if `origin_url` cannot be parsed — registration happens at setup time
     /// with literal URLs, so a parse failure is a programming error.
-    pub fn register<S: Server + 'static>(&mut self, origin_url: &str, server: S) {
-        let origin = Origin::parse_url(origin_url)
-            .expect("network registration requires a valid origin URL");
-        self.servers.insert(origin, Box::new(server));
+    pub fn register<S: Server + Send + 'static>(&mut self, origin_url: &str, server: S) {
+        self.fabric.register(origin_url, server);
     }
 
     /// Registers a server for an already-parsed origin.
-    pub fn register_origin<S: Server + 'static>(&mut self, origin: Origin, server: S) {
-        self.servers.insert(origin, Box::new(server));
+    pub fn register_origin<S: Server + Send + 'static>(&mut self, origin: Origin, server: S) {
+        self.fabric.register_origin(origin, server);
     }
 
     /// `true` when a server is registered for the origin of `url`.
     #[must_use]
     pub fn knows(&self, url: &Url) -> bool {
-        self.servers.contains_key(&url.origin())
+        self.fabric.knows(url)
     }
 
     /// Dispatches a request to the server registered for its origin, logging it.
@@ -104,48 +125,40 @@ impl Network {
     ///
     /// Returns [`NetError::HostUnreachable`] when no server is registered for the
     /// request's origin.
-    pub fn dispatch(&mut self, request: Request) -> Result<Response, NetError> {
-        let origin = request.url.origin();
-        let server = self
-            .servers
-            .get_mut(&origin)
-            .ok_or_else(|| NetError::HostUnreachable(origin.to_string()))?;
-        let response = server.handle(&request);
-        self.log.push(LoggedRequest {
-            method: request.method,
-            url: request.url.clone(),
-            cookie_names: request.cookie_names(),
-            status: response.status.0,
-        });
-        Ok(response)
+    pub fn dispatch(&self, request: Request) -> Result<Response, NetError> {
+        self.fabric.dispatch(request)
     }
 
-    /// The request log, oldest first.
+    /// The request log in global sequence order, oldest first. (Owned snapshot:
+    /// the fabric's log is striped across locks, so entries cannot be borrowed.)
     #[must_use]
-    pub fn log(&self) -> &[LoggedRequest] {
-        &self.log
+    pub fn log(&self) -> Vec<LoggedRequest> {
+        self.fabric.log()
     }
 
     /// Clears the request log (e.g. between experiment trials).
-    pub fn clear_log(&mut self) {
-        self.log.clear();
+    pub fn clear_log(&self) {
+        self.fabric.clear_log();
     }
 
     /// Convenience query: the log entries for requests sent to `host`.
     #[must_use]
-    pub fn requests_to(&self, host: &str) -> Vec<&LoggedRequest> {
-        self.log
-            .iter()
-            .filter(|entry| entry.url.host().eq_ignore_ascii_case(host))
-            .collect()
+    pub fn requests_to(&self, host: &str) -> Vec<LoggedRequest> {
+        self.fabric.requests_to(host)
+    }
+
+    /// Counts the log entries for requests sent to `host` without materializing
+    /// them — the common count-only query of the defense experiments.
+    #[must_use]
+    pub fn count_requests_to(&self, host: &str) -> usize {
+        self.fabric.count_requests_to(host)
     }
 }
 
 impl fmt::Debug for Network {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Network")
-            .field("origins", &self.servers.keys().collect::<Vec<_>>())
-            .field("logged_requests", &self.log.len())
+            .field("fabric", &self.fabric)
             .finish()
     }
 }
@@ -179,7 +192,7 @@ mod tests {
 
     #[test]
     fn unknown_hosts_are_unreachable() {
-        let mut net = Network::new();
+        let net = Network::new();
         let err = net
             .dispatch(Request::get("http://nowhere.example/").unwrap())
             .unwrap_err();
@@ -213,7 +226,9 @@ mod tests {
         assert_eq!(net.log()[0].cookie_names, vec!["sid", "data"]);
         assert!(net.log()[1].cookie_names.is_empty());
         assert_eq!(net.requests_to("forum.example").len(), 2);
+        assert_eq!(net.count_requests_to("forum.example"), 2);
         assert!(net.requests_to("other.example").is_empty());
+        assert_eq!(net.count_requests_to("other.example"), 0);
 
         net.clear_log();
         assert!(net.log().is_empty());
@@ -237,6 +252,22 @@ mod tests {
             .unwrap();
         assert_eq!(first.body, "1");
         assert_eq!(second.body, "2");
+    }
+
+    #[test]
+    fn sessions_sharing_a_fabric_see_each_others_servers_and_log() {
+        let fabric = Arc::new(SharedNetwork::new());
+        let mut a = Network::with_fabric(Arc::clone(&fabric));
+        a.register("http://app.example", echo_server);
+        // A second handle over the same fabric reaches the same server…
+        let b = Network::with_fabric(Arc::clone(&fabric));
+        assert!(b.knows(&Url::parse("http://app.example/").unwrap()));
+        b.dispatch(Request::get("http://app.example/from-b").unwrap())
+            .unwrap();
+        // …and both handles read one shared, sequence-ordered log.
+        assert_eq!(a.log().len(), 1);
+        assert_eq!(a.log()[0].url.path(), "/from-b");
+        assert!(Arc::ptr_eq(a.fabric(), b.fabric()));
     }
 
     #[test]

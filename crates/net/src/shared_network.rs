@@ -1,0 +1,602 @@
+//! The thread-safe, `Arc`-shareable network fabric for concurrent sessions and
+//! pipelined loaders.
+//!
+//! [`Network`](crate::Network) used to own its servers and its request log behind
+//! `&mut self`, which serialized every fetch of every session — the contention-free
+//! decision engine and the host-sharded cookie jar were throttled by a sequential
+//! transport. [`SharedNetwork`] is the fabric those components deserve:
+//!
+//! * **Per-origin handlers.** Each registered [`Server`] sits behind its own
+//!   `Mutex`, held only for the duration of one `handle` call — requests to
+//!   *distinct* origins never contend, and requests to the same origin serialize
+//!   exactly as a single-threaded server would. The origin→handler map itself is a
+//!   read-mostly `RwLock` (writes only at registration time).
+//! * **Lock-striped, sequence-ordered request log.** Every dispatch carries a
+//!   sequence number from one atomic counter; the log entry lands in the stripe
+//!   selected by the sequence's low bits (round-robin, so concurrent fetches hit
+//!   different stripes). Reading the log gathers the stripes and sorts by sequence,
+//!   reconstructing one global order. Callers that need *deterministic* order —
+//!   the pipelined subresource loader — reserve a contiguous block of sequence
+//!   numbers up front ([`SharedNetwork::reserve_sequences`]) and dispatch each
+//!   pre-planned request under its pre-assigned number: the sorted log then shows
+//!   document order regardless of completion order.
+//! * **Bounded log.** Like the reference monitor's audit ring, the log keeps at
+//!   most [`SharedNetwork::log_capacity`] entries; overflow drops the
+//!   oldest (lowest-sequence) entries in amortized batches and counts them, so
+//!   long multi-session runs stop growing memory without bound.
+//! * **Simulated per-origin latency.** [`SharedNetwork::set_latency`] attaches a
+//!   synthetic service time to an origin, slept *outside* every lock — so the
+//!   pipelining win of overlapping slow fetches is measurable in-process, without
+//!   sockets.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+use escudo_core::Origin;
+
+use crate::error::NetError;
+use crate::message::{Request, Response};
+use crate::network::{LoggedRequest, Server};
+
+/// Default number of log stripes (a power of two so stripe selection is a mask).
+pub const DEFAULT_LOG_STRIPE_COUNT: usize = 8;
+
+/// Default bound on retained log entries (divided across the stripes).
+pub const DEFAULT_LOG_CAPACITY: usize = 64 * 1024;
+
+/// One registered origin: the handler behind its own short-held mutex, the
+/// synthetic service latency dispatches to this origin pay, and an EWMA of the
+/// observed end-to-end service time (latency sleep + handler call) that lets
+/// planners estimate whether fanning fetches out is worth the thread overhead.
+/// Handlers live behind an `Arc` so a dispatch can clone its handle out of the
+/// origin map and **drop the map's read guard before sleeping or calling the
+/// handler** — a concurrent `register` write therefore only ever waits for the
+/// map lookup itself, never for a slow handler, and (on writer-preferring
+/// rwlocks) cannot convoy dispatches to unrelated origins behind that writer.
+struct OriginHandler {
+    server: Mutex<Box<dyn Server + Send>>,
+    /// Configured simulated latency in nanoseconds (atomic so `set_latency` can
+    /// update it through the map's *read* guard).
+    latency_ns: AtomicU64,
+    /// EWMA of observed dispatch service time in nanoseconds (0 = no samples yet);
+    /// relaxed updates — an estimate, not an accounting invariant.
+    observed_ns: AtomicU64,
+}
+
+impl OriginHandler {
+    fn latency(&self) -> Duration {
+        Duration::from_nanos(self.latency_ns.load(Ordering::Relaxed))
+    }
+}
+
+/// A log entry tagged with its global sequence number. Entries within a stripe are
+/// *not* kept sorted (a pre-reserved sequence may be dispatched late); readers sort
+/// globally when they gather the stripes.
+#[derive(Debug, Clone)]
+struct SequencedEntry {
+    sequence: u64,
+    entry: LoggedRequest,
+}
+
+/// The `Arc`-shareable network fabric: per-origin mutexed handlers, a lock-striped
+/// sequence-ordered request log, and per-origin simulated latency.
+///
+/// Taken by `&self` everywhere; hand sessions an `Arc<SharedNetwork>` (that is what
+/// `Browser::with_network` threads through browser- and script-initiated requests).
+/// The single-owner [`Network`](crate::Network) is a thin wrapper over one of these.
+pub struct SharedNetwork {
+    servers: RwLock<HashMap<Origin, Arc<OriginHandler>>>,
+    stripes: Vec<Mutex<Vec<SequencedEntry>>>,
+    /// Bound on retained entries per stripe; 0 means unbounded.
+    stripe_capacity: usize,
+    dropped: AtomicU64,
+    sequence: AtomicU64,
+}
+
+impl Default for SharedNetwork {
+    fn default() -> Self {
+        SharedNetwork::new()
+    }
+}
+
+impl SharedNetwork {
+    /// Creates an empty fabric with the default log bound.
+    #[must_use]
+    pub fn new() -> Self {
+        SharedNetwork::with_log_capacity(DEFAULT_LOG_CAPACITY)
+    }
+
+    /// Creates an empty fabric whose request log retains at most `capacity`
+    /// entries (0 disables the bound). The capacity is divided across
+    /// [`DEFAULT_LOG_STRIPE_COUNT`] stripes rounding up, so the total bound can
+    /// exceed `capacity` by up to `stripes - 1`.
+    #[must_use]
+    pub fn with_log_capacity(capacity: usize) -> Self {
+        SharedNetwork::with_log_config(DEFAULT_LOG_STRIPE_COUNT, capacity)
+    }
+
+    /// Creates an empty fabric with an explicit stripe count (rounded up to a
+    /// power of two, at least 1) and total log capacity (0 = unbounded).
+    #[must_use]
+    pub fn with_log_config(stripes: usize, capacity: usize) -> Self {
+        let stripes = stripes.max(1).next_power_of_two();
+        let stripe_capacity = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(stripes)
+        };
+        SharedNetwork {
+            servers: RwLock::new(HashMap::new()),
+            stripes: (0..stripes).map(|_| Mutex::new(Vec::new())).collect(),
+            stripe_capacity,
+            dropped: AtomicU64::new(0),
+            sequence: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers a server for an origin given as a URL string (the path is
+    /// ignored). Re-registering an origin replaces the handler but keeps any
+    /// configured latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin_url` cannot be parsed — registration happens at setup
+    /// time with literal URLs, so a parse failure is a programming error.
+    pub fn register<S: Server + Send + 'static>(&self, origin_url: &str, server: S) {
+        let origin = Origin::parse_url(origin_url)
+            .expect("network registration requires a valid origin URL");
+        self.register_origin(origin, server);
+    }
+
+    /// Registers a server for an already-parsed origin.
+    pub fn register_origin<S: Server + Send + 'static>(&self, origin: Origin, server: S) {
+        let mut servers = self.servers.write().expect("network server map lock");
+        let (latency_ns, observed) = servers.get(&origin).map_or((0, 0), |h| {
+            (
+                h.latency_ns.load(Ordering::Relaxed),
+                h.observed_ns.load(Ordering::Relaxed),
+            )
+        });
+        servers.insert(
+            origin,
+            Arc::new(OriginHandler {
+                server: Mutex::new(Box::new(server)),
+                latency_ns: AtomicU64::new(latency_ns),
+                observed_ns: AtomicU64::new(observed),
+            }),
+        );
+    }
+
+    /// Clones the handler handle for an origin out of the map, holding the map's
+    /// read guard only for the lookup — never across a latency sleep or a
+    /// handler call.
+    fn handler(&self, origin: &Origin) -> Result<Arc<OriginHandler>, NetError> {
+        self.servers
+            .read()
+            .expect("network server map lock")
+            .get(origin)
+            .cloned()
+            .ok_or_else(|| NetError::HostUnreachable(origin.to_string()))
+    }
+
+    /// Configures the synthetic service latency every dispatch to this origin
+    /// pays (slept outside all locks, so concurrent fetches overlap their waits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin_url` cannot be parsed or names an unregistered origin —
+    /// latency is benchmark configuration, so a dangling origin is a setup bug.
+    pub fn set_latency(&self, origin_url: &str, latency: Duration) {
+        let origin = Origin::parse_url(origin_url)
+            .expect("latency configuration requires a valid origin URL");
+        self.handler(&origin)
+            .expect("latency configuration requires a registered origin")
+            .latency_ns
+            .store(
+                u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX),
+                Ordering::Relaxed,
+            );
+    }
+
+    /// The configured latency for an origin (zero when unset or unregistered).
+    #[must_use]
+    pub fn latency(&self, origin: &Origin) -> Duration {
+        self.handler(origin).map_or(Duration::ZERO, |h| h.latency())
+    }
+
+    /// Estimated service time of one dispatch to `origin`, in nanoseconds: the
+    /// larger of the configured latency and the EWMA of observed dispatch times
+    /// (so a freshly configured latency counts before any sample exists, and
+    /// expensive handlers count even with no configured latency). Zero when the
+    /// origin is unregistered or nothing is known yet. Planners use this to
+    /// decide whether fanning a batch of fetches out across threads can pay for
+    /// the fan-out overhead.
+    #[must_use]
+    pub fn estimated_service_ns(&self, origin: &Origin) -> u64 {
+        self.handler(origin).map_or(0, |h| {
+            h.latency_ns
+                .load(Ordering::Relaxed)
+                .max(h.observed_ns.load(Ordering::Relaxed))
+        })
+    }
+
+    /// `true` when a server is registered for the origin of `url`.
+    #[must_use]
+    pub fn knows(&self, url: &crate::url::Url) -> bool {
+        self.servers
+            .read()
+            .expect("network server map lock")
+            .contains_key(&url.origin())
+    }
+
+    /// Reserves a contiguous block of `count` sequence numbers and returns the
+    /// first. A planner that fixes its request order up front (the pipelined
+    /// subresource loader fixes *document* order) dispatches request *i* of its
+    /// plan via [`SharedNetwork::dispatch_sequenced`] with `start + i`: the
+    /// sequence-sorted log then reads in plan order no matter which worker
+    /// finished first.
+    pub fn reserve_sequences(&self, count: u64) -> u64 {
+        self.sequence.fetch_add(count, Ordering::Relaxed)
+    }
+
+    /// Dispatches a request under a fresh sequence number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::HostUnreachable`] when no server is registered for the
+    /// request's origin.
+    pub fn dispatch(&self, request: Request) -> Result<Response, NetError> {
+        let sequence = self.reserve_sequences(1);
+        self.dispatch_sequenced(sequence, request)
+    }
+
+    /// Dispatches a request under a caller-reserved sequence number: sleeps the
+    /// origin's simulated latency (outside all locks), takes the origin's handler
+    /// mutex for exactly one `handle` call, and records the log entry under
+    /// `sequence`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::HostUnreachable`] when no server is registered for the
+    /// request's origin. Unreachable dispatches are not logged (there is no
+    /// response to record), matching the single-owner `Network`.
+    pub fn dispatch_sequenced(
+        &self,
+        sequence: u64,
+        request: Request,
+    ) -> Result<Response, NetError> {
+        let origin = request.url.origin();
+        // The map's read guard is dropped inside `handler()`: the sleep and the
+        // handler call below hold only this origin's own mutex, so registration
+        // writes and dispatches to other origins proceed unimpeded.
+        let handler = self.handler(&origin)?;
+        let latency = handler.latency();
+        let service_start = std::time::Instant::now();
+        if !latency.is_zero() {
+            std::thread::sleep(latency);
+        }
+        let response = {
+            let mut server = handler.server.lock().expect("origin handler lock");
+            server.handle(&request)
+        };
+        // Fold the observed service time (sleep + handler) into the EWMA a
+        // planner reads through `estimated_service_ns`: new = 7/8·old + 1/8·sample.
+        let sample = u64::try_from(service_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let old = handler.observed_ns.load(Ordering::Relaxed);
+        let next = if old == 0 {
+            sample
+        } else {
+            old - old / 8 + sample / 8
+        };
+        handler.observed_ns.store(next, Ordering::Relaxed);
+        self.record(
+            sequence,
+            LoggedRequest {
+                method: request.method,
+                url: request.url.clone(),
+                cookie_names: request.cookie_names(),
+                status: response.status.0,
+            },
+        );
+        Ok(response)
+    }
+
+    /// Appends a log entry to the stripe its sequence selects, evicting the
+    /// oldest (lowest-sequence) entries in an amortized batch when the stripe is
+    /// full — one `select_nth` scan pays for ~capacity/8 subsequent appends, the
+    /// same scheme as the shared jar's eviction.
+    fn record(&self, sequence: u64, entry: LoggedRequest) {
+        let stripe = &self.stripes[(sequence as usize) & (self.stripes.len() - 1)];
+        let mut entries = stripe.lock().expect("network log stripe lock");
+        if self.stripe_capacity > 0 && entries.len() >= self.stripe_capacity {
+            let batch = (self.stripe_capacity / 8).max(1).min(entries.len());
+            let mut sequences: Vec<u64> = entries.iter().map(|e| e.sequence).collect();
+            let (_, threshold, _) = sequences.select_nth_unstable(batch - 1);
+            let threshold = *threshold;
+            // Sequences are unique, so exactly `batch` entries are at or below the
+            // threshold.
+            entries.retain(|e| e.sequence > threshold);
+            self.dropped.fetch_add(batch as u64, Ordering::Relaxed);
+        }
+        entries.push(SequencedEntry { sequence, entry });
+    }
+
+    /// The request log in global sequence order (the order dispatches were
+    /// *planned*, which for un-reserved sequences is the order they started).
+    /// Gathers one short-held lock per stripe, then sorts by sequence.
+    #[must_use]
+    pub fn log(&self) -> Vec<LoggedRequest> {
+        let mut all: Vec<SequencedEntry> = Vec::with_capacity(self.log_len());
+        for stripe in &self.stripes {
+            all.extend(
+                stripe
+                    .lock()
+                    .expect("network log stripe lock")
+                    .iter()
+                    .cloned(),
+            );
+        }
+        all.sort_unstable_by_key(|e| e.sequence);
+        all.into_iter().map(|e| e.entry).collect()
+    }
+
+    /// Number of retained log entries (each stripe lock held only to read a
+    /// length).
+    #[must_use]
+    pub fn log_len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("network log stripe lock").len())
+            .sum()
+    }
+
+    /// Clears the request log (e.g. between experiment trials). The drop counter
+    /// is *not* reset — like the audit ring's, it is cumulative.
+    pub fn clear_log(&self) {
+        for stripe in &self.stripes {
+            stripe.lock().expect("network log stripe lock").clear();
+        }
+    }
+
+    /// The log entries for requests sent to `host`, in sequence order.
+    #[must_use]
+    pub fn requests_to(&self, host: &str) -> Vec<LoggedRequest> {
+        let mut matched: Vec<SequencedEntry> = Vec::new();
+        for stripe in &self.stripes {
+            matched.extend(
+                stripe
+                    .lock()
+                    .expect("network log stripe lock")
+                    .iter()
+                    .filter(|e| e.entry.url.host().eq_ignore_ascii_case(host))
+                    .cloned(),
+            );
+        }
+        matched.sort_unstable_by_key(|e| e.sequence);
+        matched.into_iter().map(|e| e.entry).collect()
+    }
+
+    /// Counts the log entries for requests sent to `host` without materializing
+    /// them — the common count-only query of the defense experiments.
+    #[must_use]
+    pub fn count_requests_to(&self, host: &str) -> usize {
+        self.stripes
+            .iter()
+            .map(|stripe| {
+                stripe
+                    .lock()
+                    .expect("network log stripe lock")
+                    .iter()
+                    .filter(|e| e.entry.url.host().eq_ignore_ascii_case(host))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Total bound on retained log entries (0 when unbounded).
+    #[must_use]
+    pub fn log_capacity(&self) -> usize {
+        self.stripe_capacity * self.stripes.len()
+    }
+
+    /// Number of log entries dropped because their stripe was full.
+    #[must_use]
+    pub fn dropped_log_entries(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for SharedNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedNetwork")
+            .field(
+                "origins",
+                &self
+                    .servers
+                    .read()
+                    .expect("network server map lock")
+                    .keys()
+                    .collect::<Vec<_>>(),
+            )
+            .field("logged_requests", &self.log_len())
+            .field("dropped_log_entries", &self.dropped_log_entries())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::StatusCode;
+    use crate::url::Url;
+    use std::sync::Arc;
+
+    fn echo_server(req: &Request) -> Response {
+        Response::ok_text(format!("{} {}", req.method, req.url.path()))
+    }
+
+    #[test]
+    fn dispatch_routes_by_origin_and_logs_in_sequence_order() {
+        let net = SharedNetwork::new();
+        net.register("http://a.example", echo_server);
+        net.register("http://b.example", |_req: &Request| {
+            Response::error(StatusCode::FORBIDDEN, "nope")
+        });
+        let ra = net
+            .dispatch(Request::get("http://a.example/x").unwrap())
+            .unwrap();
+        assert_eq!(ra.body, "GET /x");
+        let rb = net
+            .dispatch(Request::get("http://b.example/y").unwrap())
+            .unwrap();
+        assert_eq!(rb.status, StatusCode::FORBIDDEN);
+        let log = net.log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].url.host(), "a.example");
+        assert_eq!(log[1].url.host(), "b.example");
+        assert_eq!(net.count_requests_to("a.example"), 1);
+        assert!(net
+            .dispatch(Request::get("http://nowhere.example/").unwrap())
+            .is_err());
+        assert_eq!(net.log_len(), 2, "unreachable dispatches are not logged");
+    }
+
+    #[test]
+    fn reserved_sequences_fix_log_order_regardless_of_dispatch_order() {
+        let net = SharedNetwork::new();
+        net.register("http://a.example", echo_server);
+        // Reserve a block, then dispatch in *reverse* plan order — the log still
+        // reads in plan order.
+        let base = net.reserve_sequences(4);
+        for i in (0..4u64).rev() {
+            net.dispatch_sequenced(
+                base + i,
+                Request::get(&format!("http://a.example/plan{i}")).unwrap(),
+            )
+            .unwrap();
+        }
+        let paths: Vec<String> = net.log().iter().map(|e| e.url.path().to_string()).collect();
+        assert_eq!(paths, vec!["/plan0", "/plan1", "/plan2", "/plan3"]);
+        // A later un-reserved dispatch sorts after the block.
+        net.dispatch(Request::get("http://a.example/after").unwrap())
+            .unwrap();
+        assert_eq!(net.log().last().unwrap().url.path(), "/after");
+    }
+
+    #[test]
+    fn concurrent_dispatches_to_distinct_origins_all_complete() {
+        let net = Arc::new(SharedNetwork::new());
+        for t in 0..4 {
+            net.register(&format!("http://h{t}.example"), echo_server);
+        }
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let net = Arc::clone(&net);
+                scope.spawn(move || {
+                    for i in 0..25 {
+                        net.dispatch(Request::get(&format!("http://h{t}.example/{i}")).unwrap())
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(net.log_len(), 100);
+        for t in 0..4 {
+            assert_eq!(net.count_requests_to(&format!("h{t}.example")), 25);
+        }
+        // Sequence numbers are unique and the sorted log is strictly ordered per
+        // origin (each thread dispatched its own origin sequentially).
+        for t in 0..4 {
+            let paths: Vec<String> = net
+                .requests_to(&format!("h{t}.example"))
+                .iter()
+                .map(|e| e.url.path().to_string())
+                .collect();
+            let expected: Vec<String> = (0..25).map(|i| format!("/{i}")).collect();
+            assert_eq!(paths, expected);
+        }
+    }
+
+    #[test]
+    fn log_capacity_drops_oldest_first_and_counts() {
+        // One stripe, capacity 8, batch 1: the ninth entry evicts the oldest.
+        let net = SharedNetwork::with_log_config(1, 8);
+        assert_eq!(net.log_capacity(), 8);
+        net.register("http://a.example", echo_server);
+        for i in 0..12 {
+            net.dispatch(Request::get(&format!("http://a.example/{i}")).unwrap())
+                .unwrap();
+        }
+        assert_eq!(net.log_len(), 8);
+        assert_eq!(net.dropped_log_entries(), 4);
+        let first = net.log()[0].url.path().to_string();
+        assert_eq!(first, "/4", "oldest entries dropped first");
+        net.clear_log();
+        assert_eq!(net.log_len(), 0);
+        assert_eq!(net.dropped_log_entries(), 4, "drop counter is cumulative");
+    }
+
+    #[test]
+    fn latency_is_paid_per_dispatch_and_survives_reregistration() {
+        let net = SharedNetwork::new();
+        net.register("http://slow.example", echo_server);
+        net.set_latency("http://slow.example", Duration::from_millis(5));
+        assert_eq!(
+            net.latency(&Origin::parse_url("http://slow.example").unwrap()),
+            Duration::from_millis(5)
+        );
+        let start = std::time::Instant::now();
+        net.dispatch(Request::get("http://slow.example/").unwrap())
+            .unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(5));
+        // Replacing the handler keeps the configured latency.
+        net.register("http://slow.example", echo_server);
+        assert_eq!(
+            net.latency(&Origin::parse_url("http://slow.example").unwrap()),
+            Duration::from_millis(5)
+        );
+        // Unregistered origins report zero latency.
+        assert_eq!(
+            net.latency(&Origin::parse_url("http://other.example").unwrap()),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn knows_reports_registration() {
+        let net = SharedNetwork::new();
+        net.register("http://a.example", echo_server);
+        assert!(net.knows(&Url::parse("http://a.example/x").unwrap()));
+        assert!(!net.knows(&Url::parse("http://other.example/").unwrap()));
+    }
+
+    #[test]
+    fn stateful_handlers_serialize_behind_their_origin_mutex() {
+        let net = Arc::new(SharedNetwork::new());
+        let mut hits = 0usize;
+        net.register("http://count.example", move |_req: &Request| {
+            hits += 1;
+            Response::ok_text(hits.to_string())
+        });
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let net = Arc::clone(&net);
+                scope.spawn(move || {
+                    for _ in 0..10 {
+                        net.dispatch(Request::get("http://count.example/").unwrap())
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        // 40 concurrent hits, each seeing a consistent counter: the final dispatch
+        // observes 41.
+        let last = net
+            .dispatch(Request::get("http://count.example/").unwrap())
+            .unwrap();
+        assert_eq!(last.body, "41");
+    }
+}

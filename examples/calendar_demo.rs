@@ -70,7 +70,7 @@ fn main() {
     }
     println!();
     println!("Events stored on the server:");
-    for event in &state.borrow().events {
+    for event in &state.lock().unwrap().events {
         println!(
             "  #{} day {} {:?} by {}",
             event.id, event.day, event.title, event.author

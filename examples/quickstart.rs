@@ -17,7 +17,8 @@ fn main() {
     let blog = BlogApp::new();
     let state = blog.state();
     state
-        .borrow_mut()
+        .lock()
+        .unwrap()
         .comments
         .push(escudo::apps::blog::Comment {
             id: 1,
@@ -38,9 +39,10 @@ fn main() {
         // independent.
         let blog = BlogApp::new();
         blog.state()
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .comments
-            .clone_from(&state.borrow().comments);
+            .clone_from(&state.lock().unwrap().comments);
         browser.network_mut().register("http://blog.example", blog);
         browser
             .network_mut()

@@ -78,8 +78,11 @@ fn escudo_enforcement_does_not_break_the_forum() {
             &[("subject", "Hello"), ("message", "First post")],
         )
         .unwrap();
-    assert_eq!(state.borrow().topics.len(), 1);
-    assert_eq!(state.borrow().topics[0].author, "alice");
+    assert_eq!(state.lock().expect("app state lock").topics.len(), 1);
+    assert_eq!(
+        state.lock().expect("app state lock").topics[0].author,
+        "alice"
+    );
 
     // Reply through the topic page's form.
     let topic_page = browser
@@ -88,7 +91,7 @@ fn escudo_enforcement_does_not_break_the_forum() {
     browser
         .submit_form(topic_page, "reply-form", &[("message", "a reply")])
         .unwrap();
-    assert_eq!(state.borrow().replies.len(), 1);
+    assert_eq!(state.lock().expect("app state lock").replies.len(), 1);
 }
 
 #[test]
@@ -113,8 +116,11 @@ fn escudo_enforcement_does_not_break_the_calendar() {
     browser
         .submit_form(page, "add-event", &[("title", "Standup"), ("day", "3")])
         .unwrap();
-    assert_eq!(state.borrow().events.len(), 1);
-    assert_eq!(state.borrow().events[0].author, "bob");
+    assert_eq!(state.lock().expect("app state lock").events.len(), 1);
+    assert_eq!(
+        state.lock().expect("app state lock").events[0].author,
+        "bob"
+    );
 }
 
 /// Escudo-configured pages carry their configuration in ways a legacy browser ignores:

@@ -1,0 +1,164 @@
+//! End-to-end guarantees of the pipelined subresource loader over the shared
+//! network fabric:
+//!
+//! * recorded outcomes and the sequence-sorted request log read in **document
+//!   order** under adversarially skewed (randomized-per-origin) latencies,
+//! * attached cookie names are **byte-identical** to the sequential oracle path
+//!   (workers = 1), because mediation is fixed in phase 1 before any fetch, and
+//! * 8 sessions sharing one fabric + jar + engine leak nothing across sessions.
+//!
+//! The worlds are built by `escudo_bench::loader` — the same builders the
+//! `loader_concurrent` CI gate drives — so the bench and these tests cannot
+//! silently diverge in what they validate.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use escudo::browser::Browser;
+use escudo::core::{engine_for_mode, EscudoEngine, PolicyEngine, PolicyMode};
+use escudo::net::{SharedCookieJar, SharedNetwork};
+use escudo_bench::loader::{register_loader_world, reverse_skewed_latency};
+
+const IMAGES: usize = 8;
+const ORIGINS: usize = 4;
+
+fn browser_over(fabric: &Arc<SharedNetwork>, workers: usize) -> Browser {
+    let mut browser = Browser::with_network(
+        engine_for_mode(PolicyMode::Escudo),
+        Arc::new(SharedCookieJar::new()),
+        Arc::clone(fabric),
+    );
+    browser.set_subresource_workers(workers);
+    browser
+}
+
+/// A fresh fabric serving the standard loader world at `site.example`, image
+/// origins reverse-skewed so the *first* image in document order is the slowest.
+fn skewed_fabric() -> Arc<SharedNetwork> {
+    let fabric = Arc::new(SharedNetwork::new());
+    register_loader_world(&fabric, "site.example", "sid", IMAGES, ORIGINS, |k| {
+        reverse_skewed_latency(ORIGINS, k)
+    });
+    fabric
+}
+
+#[test]
+fn outcomes_and_log_are_in_document_order_under_skewed_latency() {
+    let fabric = skewed_fabric();
+    let mut browser = browser_over(&fabric, 8);
+
+    let page = browser.navigate("http://site.example/index.php").unwrap();
+    let page = browser.page(page);
+    assert_eq!(page.stats.subresource_requests, IMAGES as u64);
+    assert_eq!(page.subresources.len(), IMAGES);
+
+    // Document order: img i lives at img{i % ORIGINS}.site.example/img{i}.png.
+    for (i, outcome) in page.subresources.iter().enumerate() {
+        assert_eq!(
+            outcome.url.to_string(),
+            format!("http://img{}.site.example/img{i}.png", i % ORIGINS),
+            "outcome {i} out of document order"
+        );
+        assert!(outcome.succeeded(), "outcome {i}: {outcome:?}");
+        // Phase-1 mediation attached the ring-1 session cookie to every image.
+        assert_eq!(outcome.attached_cookies, vec!["sid".to_string()]);
+    }
+
+    // The sequence-sorted shared log: main page first, then the images in
+    // document order, every image request carrying the session cookie.
+    let log = fabric.log();
+    assert_eq!(log.len(), IMAGES + 1);
+    assert_eq!(log[0].url.path(), "/index.php");
+    for (i, entry) in log[1..].iter().enumerate() {
+        assert_eq!(entry.url.path(), format!("/img{i}.png"));
+        assert_eq!(entry.cookie_names, vec!["sid".to_string()]);
+        assert_eq!(entry.status, 200);
+    }
+}
+
+#[test]
+fn pipelined_run_matches_the_sequential_oracle_byte_for_byte() {
+    let run = |workers: usize| {
+        let fabric = skewed_fabric();
+        let mut browser = browser_over(&fabric, workers);
+        let mut attached: Vec<Vec<Vec<String>>> = Vec::new();
+        for _ in 0..3 {
+            let page = browser.navigate("http://site.example/index.php").unwrap();
+            attached.push(
+                browser
+                    .page(page)
+                    .subresources
+                    .iter()
+                    .map(|s| s.attached_cookies.clone())
+                    .collect(),
+            );
+        }
+        (fabric.log(), attached)
+    };
+    let (pipelined_log, pipelined_attached) = run(8);
+    let (sequential_log, sequential_attached) = run(1);
+    // Byte-identical logs (method, URL, cookie names, status — in order) and
+    // identical per-subresource attachments: the transport cannot influence
+    // mediation, and sequence reservation fixes the order.
+    assert_eq!(pipelined_log, sequential_log);
+    assert_eq!(pipelined_attached, sequential_attached);
+}
+
+#[test]
+fn eight_sessions_sharing_one_fabric_stay_isolated() {
+    let fabric = Arc::new(SharedNetwork::new());
+    let engine = Arc::new(EscudoEngine::new());
+    let jar = Arc::new(SharedCookieJar::new());
+    const SESSIONS: usize = 8;
+    for t in 0..SESSIONS {
+        register_loader_world(
+            &fabric,
+            &format!("site{t}.example"),
+            &format!("sid{t}"),
+            IMAGES,
+            ORIGINS,
+            |k| Duration::from_micros(k as u64 * 120 + 60),
+        );
+    }
+
+    thread::scope(|scope| {
+        for t in 0..SESSIONS {
+            let fabric = Arc::clone(&fabric);
+            let engine: Arc<dyn PolicyEngine> = Arc::clone(&engine) as _;
+            let jar = Arc::clone(&jar);
+            scope.spawn(move || {
+                let mut browser = Browser::with_network(engine, jar, fabric);
+                browser.set_subresource_workers(4);
+                for _ in 0..2 {
+                    browser
+                        .navigate(&format!("http://site{t}.example/index.php"))
+                        .unwrap();
+                }
+            });
+        }
+    });
+
+    // 8 sessions × 2 rounds × (1 page + IMAGES images), one shared log.
+    let log = fabric.log();
+    assert_eq!(log.len(), SESSIONS * 2 * (IMAGES + 1));
+    for t in 0..SESSIONS {
+        let own = format!("sid{t}");
+        let site = format!("site{t}.example");
+        let mut own_attached = 0usize;
+        for entry in log.iter().filter(|e| e.url.host().ends_with(&site)) {
+            for name in &entry.cookie_names {
+                assert_eq!(
+                    name,
+                    &own,
+                    "cookie {name} leaked onto session {t}'s host {}",
+                    entry.url.host()
+                );
+            }
+            own_attached += entry.cookie_names.len();
+        }
+        // Round 2's page and image requests all carry the session cookie stored
+        // in round 1 (round 1's images attach it too — same-page store).
+        assert!(own_attached >= IMAGES, "session {t} never attached {own}");
+    }
+}

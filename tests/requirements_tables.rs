@@ -19,7 +19,7 @@ fn forum_with_user_script(script: &str) -> (Browser, escudo::browser::PageId) {
         .navigate("http://forum.example/login.php?user=victim")
         .unwrap();
     {
-        let mut s = state.borrow_mut();
+        let mut s = state.lock().expect("app state lock");
         s.topics.push(Topic {
             id: 1,
             title: "Welcome".into(),
@@ -53,7 +53,7 @@ fn table2_application_content_has_all_three_privileges() {
     browser
         .navigate("http://forum.example/login.php?user=victim")
         .unwrap();
-    state.borrow_mut().topics.push(Topic {
+    state.lock().expect("app state lock").topics.push(Topic {
         id: 1,
         title: "Welcome".into(),
         author: "victim".into(),
@@ -76,13 +76,13 @@ fn table2_application_content_has_all_three_privileges() {
     b2.network_mut().register("http://forum.example", forum2);
     b2.navigate("http://forum.example/login.php?user=victim")
         .unwrap();
-    state2.borrow_mut().topics.push(Topic {
+    state2.lock().expect("app state lock").topics.push(Topic {
         id: 1,
         title: "Welcome".into(),
         author: "victim".into(),
         body: "app script will reply".into(),
     });
-    state2.borrow_mut().replies.push(Reply {
+    state2.lock().expect("app state lock").replies.push(Reply {
         id: 1,
         topic_id: 1,
         author: "app".into(),
@@ -140,7 +140,7 @@ fn table3_user_content_is_isolated_between_users() {
         .navigate("http://forum.example/login.php?user=victim")
         .unwrap();
     {
-        let mut s = state.borrow_mut();
+        let mut s = state.lock().expect("app state lock");
         s.topics.push(Topic {
             id: 1,
             title: "Welcome".into(),
@@ -191,7 +191,7 @@ fn table4_events_cannot_touch_dom_cookies_or_xhr() {
             .navigate("http://calendar.example/login.php?user=victim")
             .unwrap();
         {
-            let mut s = state.borrow_mut();
+            let mut s = state.lock().expect("app state lock");
             s.events.push(Event {
                 id: 1,
                 day: 1,
