@@ -7,6 +7,7 @@
 
 use std::time::Instant;
 
+use escudo_bench::cli::JsonReport;
 use escudo_bench::workload::{figure4_scenarios, generate_page};
 use escudo_browser::{Browser, PolicyMode};
 use escudo_dom::EventType;
@@ -53,6 +54,7 @@ fn time_dispatch(
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     let html = generate_page(&figure4_scenarios()[4]);
     const REPS: usize = 7;
     const ITERS: u32 = 300;
@@ -74,4 +76,12 @@ fn main() {
         stats.decisions,
         stats.hit_rate() * 100.0
     );
+
+    let mut json = JsonReport::new("event_dispatch");
+    json.num("without_escudo_ns_per_dispatch", without)
+        .num("with_escudo_ns_per_dispatch", with)
+        .num("overhead_fraction", (with - without) / without)
+        .int("engine_decisions", stats.decisions)
+        .num("hit_rate", stats.hit_rate());
+    json.write_if_requested(&args);
 }

@@ -18,7 +18,7 @@
 
 use std::sync::Arc;
 
-use escudo_bench::cli::{no_collapse_gate, parse_flag};
+use escudo_bench::cli::{no_collapse_gate, parse_flag, JsonReport};
 use escudo_bench::concurrent::{
     best_jar_throughput, run_jar_oracle_sessions, run_shared_jar_sessions, JarThroughputSample,
 };
@@ -137,6 +137,25 @@ fn main() {
         );
         failed = true;
     }
+
+    let mut json = JsonReport::new("jar_concurrent");
+    for sample in &samples {
+        json.num(
+            &format!("headers_per_sec_t{}", sample.threads),
+            sample.headers_per_sec(),
+        );
+    }
+    json.int("oracle_headers", oracle.headers)
+        .int("oracle_mismatches", oracle.mismatches)
+        .int(
+            "session_isolation_violations",
+            report.isolation_violations as u64,
+        )
+        .int("jar_stored", stats.stored)
+        .int("jar_replaced", stats.replaced)
+        .int("jar_evicted", stats.evicted)
+        .flag("gates_passed", !failed);
+    json.write_if_requested(&args);
 
     if failed {
         std::process::exit(1);

@@ -3,6 +3,7 @@
 //!
 //! Run with `cargo bench --bench parse_render` (plain `harness = false` binary).
 
+use escudo_bench::cli::JsonReport;
 use escudo_bench::measure::load_once;
 use escudo_bench::workload::{figure4_scenarios, generate_page};
 use escudo_browser::PolicyMode;
@@ -17,12 +18,14 @@ fn time_load(mode: PolicyMode, html: &str, reps: usize) -> u128 {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     const REPS: usize = 15;
     println!("figure4_parse_render (best of {REPS} loads, parse+label+render ns):");
     println!(
         "  {:<28} {:>14} {:>14} {:>9}",
         "scenario", "without", "with", "overhead"
     );
+    let mut json = JsonReport::new("parse_render");
     for scenario in figure4_scenarios() {
         let html = generate_page(&scenario);
         let without = time_load(PolicyMode::SameOriginOnly, &html, REPS);
@@ -36,5 +39,9 @@ fn main() {
             "  {:<28} {without:>14} {with:>14} {overhead:>8.1}%",
             scenario.name
         );
+        json.int(&format!("{}_without_ns", scenario.name), without as u64)
+            .int(&format!("{}_with_ns", scenario.name), with as u64)
+            .num(&format!("{}_overhead_pct", scenario.name), overhead);
     }
+    json.write_if_requested(&args);
 }

@@ -16,7 +16,7 @@
 
 use std::sync::Arc;
 
-use escudo_bench::cli::{no_collapse_gate, parse_flag};
+use escudo_bench::cli::{no_collapse_gate, parse_flag, JsonReport};
 use escudo_bench::concurrent::{best_throughput, run_concurrent_sessions, ThroughputSample};
 use escudo_bench::workload::decision_workload;
 use escudo_core::EscudoEngine;
@@ -108,6 +108,13 @@ fn main() {
         stats.shards.len(),
         stats.evictions,
     );
+    println!(
+        "interner occupancy: {} principals + {} objects, {} CAS retries, max bucket depth {}",
+        stats.interned_principals,
+        stats.interned_objects,
+        stats.interner_cas_retries,
+        stats.interner_max_bucket_depth,
+    );
     if stats.decisions != stats.cache_hits + stats.cache_misses {
         eprintln!(
             "FAIL: inconsistent engine stats after concurrent sessions: {} decisions vs \
@@ -120,6 +127,24 @@ fn main() {
         eprintln!("FAIL: the multi-session workload performed no mediation at all");
         failed = true;
     }
+
+    let mut json = JsonReport::new("policy_concurrent");
+    for sample in &samples {
+        json.num(
+            &format!("decisions_per_sec_t{}", sample.threads),
+            sample.decisions_per_sec(),
+        )
+        .num(&format!("hit_rate_t{}", sample.threads), sample.hit_rate);
+    }
+    json.int("session_page_loads", report.page_loads())
+        .int("session_checks", report.checks())
+        .num("session_hit_rate", stats.hit_rate())
+        .int("interned_principals", stats.interned_principals)
+        .int("interned_objects", stats.interned_objects)
+        .int("interner_cas_retries", stats.interner_cas_retries)
+        .int("interner_max_bucket_depth", stats.interner_max_bucket_depth)
+        .flag("gates_passed", !failed);
+    json.write_if_requested(&args);
 
     if failed {
         std::process::exit(1);

@@ -7,6 +7,7 @@
 //! decision and decisions per second for each path, and exits non-zero if the cached
 //! path fails to beat the cold path on repeated identical checks.
 
+use escudo_bench::cli::JsonReport;
 use escudo_bench::measure::{measure_decision_paths, DecisionReport};
 use escudo_bench::workload::decision_workload;
 
@@ -18,6 +19,7 @@ fn report_line(name: &str, ns: f64) {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     // 24 × 24 distinct context pairs ≈ a heavy multi-region page; 3 ops interleaved.
     let workload = decision_workload(24, 24);
     println!(
@@ -42,6 +44,17 @@ fn main() {
         report.speedup(),
         report.hit_rate * 100.0
     );
+
+    let mut json = JsonReport::new("policy_decide");
+    json.num("cold_ns_per_decision", report.cold_ns)
+        .num("cached_ns_per_decision", report.cached_ns)
+        .num("batch_cached_ns_per_decision", report.batch_cached_ns)
+        .num("free_fn_ns_per_decision", report.free_fn_ns)
+        .num("sop_ns_per_decision", report.sop_ns)
+        .num("cached_speedup", report.speedup())
+        .num("hit_rate", report.hit_rate)
+        .flag("gates_passed", report.hit_rate >= 0.9);
+    json.write_if_requested(&args);
 
     // The hard gate is behavioural (cache hits actually happen on repeated identical
     // checks) — wall-clock comparisons stay informational so a noisy CI runner cannot

@@ -1,6 +1,8 @@
-//! Shared scaffolding for the `harness = false` bench binaries: flag parsing and
-//! the multi-thread no-collapse gate, kept in one place so `policy_concurrent` and
-//! `jar_concurrent` cannot drift apart.
+//! Shared scaffolding for the `harness = false` bench binaries: flag parsing,
+//! the multi-thread no-collapse gate and the machine-readable `--json` report
+//! writer, kept in one place so the bench binaries cannot drift apart.
+
+use std::fmt::Write as _;
 
 /// Parses `--flag value` or `--flag=value`; exits with a diagnostic on a malformed
 /// value rather than silently benchmarking a different configuration.
@@ -62,6 +64,140 @@ pub fn no_collapse_gate(unit: &str, samples: &[(usize, f64)], fraction: f64) -> 
     failed
 }
 
+/// Parses the `--json <path>` / `--json=<path>` flag: when present, the bench
+/// writes its machine-readable report there ([`JsonReport::write`]). Exits with
+/// a diagnostic on a missing value.
+#[must_use]
+pub fn parse_json_flag(args: &[String]) -> Option<String> {
+    for (i, arg) in args.iter().enumerate() {
+        let value = if arg == "--json" {
+            args.get(i + 1).map(String::as_str)
+        } else if let Some(rest) = arg.strip_prefix("--json=") {
+            Some(rest)
+        } else {
+            continue;
+        };
+        return match value {
+            Some(path) if !path.is_empty() && !path.starts_with("--") => Some(path.to_string()),
+            _ => {
+                eprintln!("error: --json requires a file path");
+                std::process::exit(2);
+            }
+        };
+    }
+    None
+}
+
+/// A flat machine-readable bench report: one named object of numeric/string
+/// results, rendered as JSON without any external dependency. This is what
+/// seeds the perf trajectory (`BENCH_5.json` in CI): throughputs, hit rates and
+/// speedups in a form later PRs can diff and gate against.
+#[derive(Debug, Clone)]
+pub struct JsonReport {
+    bench: String,
+    fields: Vec<(String, String)>,
+}
+
+impl JsonReport {
+    /// Starts a report for the named bench binary.
+    #[must_use]
+    pub fn new(bench: &str) -> Self {
+        JsonReport {
+            bench: bench.to_string(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Records a float result (non-finite values render as `null`).
+    pub fn num(&mut self, key: &str, value: f64) -> &mut Self {
+        let rendered = if value.is_finite() {
+            format!("{value:.3}")
+        } else {
+            "null".to_string()
+        };
+        self.fields.push((key.to_string(), rendered));
+        self
+    }
+
+    /// Records an integer result.
+    pub fn int(&mut self, key: &str, value: u64) -> &mut Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Records a boolean result (e.g. a gate verdict).
+    pub fn flag(&mut self, key: &str, value: bool) -> &mut Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Records a string result.
+    pub fn text(&mut self, key: &str, value: &str) -> &mut Self {
+        self.fields
+            .push((key.to_string(), format!("\"{}\"", escape_json(value))));
+        self
+    }
+
+    /// Renders the report as one JSON object:
+    /// `{"bench": "...", "results": {...}}`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"bench\": \"{}\"", escape_json(&self.bench));
+        out.push_str(", \"results\": {");
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\": {value}", escape_json(key));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Writes the rendered report to `path` (with a trailing newline) and
+    /// prints where it went, so CI logs show the artifact trail.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error (missing directory, permissions).
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.render() + "\n")?;
+        println!("json report written to {path}");
+        Ok(())
+    }
+
+    /// Writes the report if `--json` was given, exiting with a diagnostic when
+    /// the path is unwritable — a CI misconfiguration must fail loudly, not
+    /// silently skip the artifact.
+    pub fn write_if_requested(&self, args: &[String]) {
+        if let Some(path) = parse_json_flag(args) {
+            if let Err(error) = self.write(&path) {
+                eprintln!("error: cannot write --json report to {path}: {error}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,6 +211,53 @@ mod tests {
         assert_eq!(parse_flag(&args, "--threads", 8), 4);
         assert_eq!(parse_flag(&args, "--passes", 800), 200);
         assert_eq!(parse_flag(&args, "--missing", 7), 7);
+    }
+
+    #[test]
+    fn json_flag_is_parsed_in_both_spellings() {
+        let args: Vec<String> = ["bench", "--json", "out.json"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(parse_json_flag(&args).as_deref(), Some("out.json"));
+        let args: Vec<String> = ["bench", "--json=a/b.json"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(parse_json_flag(&args).as_deref(), Some("a/b.json"));
+        assert_eq!(parse_json_flag(&["bench".to_string()]), None);
+    }
+
+    #[test]
+    fn json_report_renders_flat_results() {
+        let mut report = JsonReport::new("demo");
+        report
+            .num("speedup", 2.5)
+            .int("threads", 8)
+            .flag("passed", true)
+            .text("note", "a \"quoted\" path\\");
+        let rendered = report.render();
+        assert_eq!(
+            rendered,
+            "{\"bench\": \"demo\", \"results\": {\"speedup\": 2.500, \"threads\": 8, \
+             \"passed\": true, \"note\": \"a \\\"quoted\\\" path\\\\\"}}"
+        );
+        // Non-finite numbers degrade to null instead of invalid JSON.
+        let mut bad = JsonReport::new("nan");
+        bad.num("x", f64::NAN);
+        assert!(bad.render().contains("\"x\": null"));
+    }
+
+    #[test]
+    fn json_report_round_trips_through_a_file() {
+        let mut report = JsonReport::new("file");
+        report.int("value", 7);
+        let path = std::env::temp_dir().join("escudo_bench_json_test.json");
+        let path = path.to_str().expect("utf-8 temp path");
+        report.write(path).expect("write json report");
+        let read = std::fs::read_to_string(path).expect("read back");
+        assert_eq!(read.trim_end(), report.render());
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

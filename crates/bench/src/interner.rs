@@ -1,0 +1,409 @@
+//! The first-touch-storm workload behind the `interner_concurrent` bench: the
+//! lock-free [`ContextInterner`] raced against the `RwLock<ContextTable>` the
+//! engine used to carry.
+//!
+//! A *first-touch storm* is the interner's worst case: many threads meeting many
+//! genuinely new contexts at once (a multi-tenant deployment absorbing a burst
+//! of fresh origins), so nearly every resolve is a miss and — under the old
+//! design — a write-lock acquisition. The workload mixes
+//!
+//! * an **overlapping** context set every thread interns (so threads race their
+//!   CAS claims / write locks on the *same* keys and must converge on one dense
+//!   id each), with
+//! * a **disjoint** set per thread (so the table genuinely grows under
+//!   contention and density is meaningful).
+//!
+//! [`RwLockContextTable`] is the retained reference implementation: the exact
+//! probe-under-read-lock / intern-under-write-lock protocol `EscudoEngine` used
+//! before the lock-free interner, preserved here so the bench's ≥2× gate always
+//! compares against the real predecessor rather than a strawman.
+
+use std::sync::{Barrier, RwLock};
+use std::thread;
+use std::time::Instant;
+
+use escudo_core::{
+    Acl, ContextInterner, ContextTable, ObjectContext, ObjectKind, Origin, PrincipalContext,
+    PrincipalKind, Ring,
+};
+
+/// One storm participant: anything that can resolve contexts to dense ids
+/// through `&self`. Implemented by the lock-free interner and the retained
+/// `RwLock` reference so the measurement loop is identical for both sides.
+pub trait StormInterner: Sync {
+    /// Human-readable side name for reports.
+    fn label(&self) -> &'static str;
+    /// Interns a principal context, returning its dense id.
+    fn intern_principal(&self, principal: &PrincipalContext) -> u32;
+    /// Interns an object context, returning its dense id.
+    fn intern_object(&self, object: &ObjectContext) -> u32;
+    /// Read-only principal probe.
+    fn lookup_principal(&self, principal: &PrincipalContext) -> Option<u32>;
+    /// Read-only object probe.
+    fn lookup_object(&self, object: &ObjectContext) -> Option<u32>;
+    /// `(principal_count, object_count)` interned so far.
+    fn counts(&self) -> (usize, usize);
+}
+
+impl StormInterner for ContextInterner {
+    fn label(&self) -> &'static str {
+        "lock-free interner"
+    }
+
+    fn intern_principal(&self, principal: &PrincipalContext) -> u32 {
+        ContextInterner::intern_principal(self, principal).index()
+    }
+
+    fn intern_object(&self, object: &ObjectContext) -> u32 {
+        ContextInterner::intern_object(self, object).index()
+    }
+
+    fn lookup_principal(&self, principal: &PrincipalContext) -> Option<u32> {
+        ContextInterner::lookup_principal(self, principal).map(|id| id.index())
+    }
+
+    fn lookup_object(&self, object: &ObjectContext) -> Option<u32> {
+        ContextInterner::lookup_object(self, object).map(|id| id.index())
+    }
+
+    fn counts(&self) -> (usize, usize) {
+        (self.principal_count(), self.object_count())
+    }
+}
+
+/// The retained reference implementation: [`ContextTable`] behind a [`RwLock`],
+/// driven with the probe-then-write protocol the pre-lock-free engine used
+/// (read lock on the warm path, write lock on first touch; `intern_*` re-probes
+/// under the write lock, so racing first touches stay correct).
+#[derive(Debug, Default)]
+pub struct RwLockContextTable {
+    table: RwLock<ContextTable>,
+}
+
+impl RwLockContextTable {
+    /// Creates an empty reference table.
+    #[must_use]
+    pub fn new() -> Self {
+        RwLockContextTable::default()
+    }
+}
+
+impl StormInterner for RwLockContextTable {
+    fn label(&self) -> &'static str {
+        "rwlock reference"
+    }
+
+    fn intern_principal(&self, principal: &PrincipalContext) -> u32 {
+        if let Some(id) = self
+            .table
+            .read()
+            .expect("reference table lock")
+            .lookup_principal(principal)
+        {
+            return id.index();
+        }
+        self.table
+            .write()
+            .expect("reference table lock")
+            .intern_principal(principal)
+            .index()
+    }
+
+    fn intern_object(&self, object: &ObjectContext) -> u32 {
+        if let Some(id) = self
+            .table
+            .read()
+            .expect("reference table lock")
+            .lookup_object(object)
+        {
+            return id.index();
+        }
+        self.table
+            .write()
+            .expect("reference table lock")
+            .intern_object(object)
+            .index()
+    }
+
+    fn lookup_principal(&self, principal: &PrincipalContext) -> Option<u32> {
+        self.table
+            .read()
+            .expect("reference table lock")
+            .lookup_principal(principal)
+            .map(|id| id.index())
+    }
+
+    fn lookup_object(&self, object: &ObjectContext) -> Option<u32> {
+        self.table
+            .read()
+            .expect("reference table lock")
+            .lookup_object(object)
+            .map(|id| id.index())
+    }
+
+    fn counts(&self) -> (usize, usize) {
+        let table = self.table.read().expect("reference table lock");
+        (table.principal_count(), table.object_count())
+    }
+}
+
+/// One decision-relevant context pair of the storm.
+pub type StormPair = (PrincipalContext, ObjectContext);
+
+fn storm_pair(tag: &str, index: usize) -> StormPair {
+    // Distinct origins (the expensive, realistic distinguisher: string hashing
+    // and comparison) with varied rings and ACLs.
+    let origin = Origin::new("http", &format!("{tag}{index}.storm.example"), 80);
+    let ring = Ring::new((index % 4) as u16);
+    let principal = PrincipalContext::new(PrincipalKind::Script, origin.clone(), ring);
+    let object = ObjectContext::new(ObjectKind::DomElement, origin, ring)
+        .with_acl(Acl::uniform(Ring::new((index % 3) as u16)));
+    (principal, object)
+}
+
+/// The storm's context population: one `shared` set every thread interns
+/// (overlap → CAS races / write-lock convoys on the same keys) and one disjoint
+/// set per thread (growth under contention). All contexts are distinct from
+/// each other across the whole population.
+#[must_use]
+pub fn storm_contexts(
+    shared: usize,
+    per_thread: usize,
+    threads: usize,
+) -> (Vec<StormPair>, Vec<Vec<StormPair>>) {
+    let shared_pairs = (0..shared).map(|i| storm_pair("shared", i)).collect();
+    let disjoint = (0..threads)
+        .map(|t| {
+            (0..per_thread)
+                .map(|i| storm_pair(&format!("t{t}d"), i))
+                .collect()
+        })
+        .collect();
+    (shared_pairs, disjoint)
+}
+
+/// One timed first-touch-storm sample.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StormSample {
+    /// Threads in the storm.
+    pub threads: usize,
+    /// Context interns completed inside the timed windows (principals and
+    /// objects each count one).
+    pub interns: u64,
+    /// Summed wall-clock nanoseconds of the timed windows (earliest per-thread
+    /// start to latest per-thread finish, per pass).
+    pub elapsed_ns: u128,
+}
+
+impl StormSample {
+    /// Aggregate interns per second across all storm threads.
+    #[must_use]
+    pub fn interns_per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            0.0
+        } else {
+            self.interns as f64 * 1.0e9 / self.elapsed_ns as f64
+        }
+    }
+
+    /// Mean nanoseconds per intern (aggregate wall time / interns).
+    #[must_use]
+    pub fn ns_per_intern(&self) -> f64 {
+        if self.interns == 0 {
+            0.0
+        } else {
+            self.elapsed_ns as f64 / self.interns as f64
+        }
+    }
+}
+
+/// Runs `passes` first-touch storms of `threads` threads against fresh
+/// interners built by `factory`, and returns the aggregate throughput over the
+/// timed windows. Every pass starts from an **empty** table — that is what
+/// makes it a first-touch storm rather than a warm-lookup measurement — and
+/// every pass verifies density (interned counts equal the distinct population)
+/// and convergence (every shared pair resolves to one id below the count).
+///
+/// # Panics
+///
+/// Panics if a pass breaks density or convergence — a correctness regression,
+/// not noise.
+pub fn measure_storm<I: StormInterner>(
+    factory: impl Fn() -> I,
+    shared: &[StormPair],
+    disjoint: &[Vec<StormPair>],
+    passes: usize,
+) -> StormSample {
+    let threads = disjoint.len();
+    let disjoint_total: usize = disjoint.iter().map(Vec::len).sum();
+    // Distinct context pairs across the whole population (ids must be dense
+    // over exactly this many keys per kind).
+    let expected = shared.len() + disjoint_total;
+    // Intern *operations* per pass: every thread resolves the shared set plus
+    // its own disjoint set, one principal + one object intern per pair.
+    let ops_per_pass = ((threads * shared.len() + disjoint_total) * 2) as u64;
+    let mut sample = StormSample {
+        threads,
+        ..StormSample::default()
+    };
+    for _ in 0..passes {
+        let interner = factory();
+        let barrier = Barrier::new(threads);
+        let window = thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let interner = &interner;
+                    let barrier = &barrier;
+                    let own = &disjoint[t];
+                    scope.spawn(move || {
+                        barrier.wait();
+                        let start = Instant::now();
+                        // Offset walks: threads hit the same shared keys at
+                        // different moments, maximizing distinct interleavings
+                        // while the sets fully overlap.
+                        let offset = t * 37 % shared.len().max(1);
+                        for i in 0..shared.len() {
+                            let (principal, object) = &shared[(offset + i) % shared.len()];
+                            std::hint::black_box(interner.intern_principal(principal));
+                            std::hint::black_box(interner.intern_object(object));
+                        }
+                        for (principal, object) in own {
+                            std::hint::black_box(interner.intern_principal(principal));
+                            std::hint::black_box(interner.intern_object(object));
+                        }
+                        (start, Instant::now())
+                    })
+                })
+                .collect();
+            let mut first_start: Option<Instant> = None;
+            let mut last_finish: Option<Instant> = None;
+            for handle in handles {
+                let (start, finish) = handle.join().expect("storm thread panicked");
+                if first_start.is_none_or(|earliest| start < earliest) {
+                    first_start = Some(start);
+                }
+                if last_finish.is_none_or(|latest| finish > latest) {
+                    last_finish = Some(finish);
+                }
+            }
+            last_finish
+                .expect("at least one storm thread")
+                .duration_since(first_start.expect("at least one storm thread"))
+        });
+        sample.elapsed_ns += window.as_nanos();
+        sample.interns += ops_per_pass;
+
+        // Density: exactly the distinct population was interned, no id burned.
+        let (principals, objects) = interner.counts();
+        assert_eq!(
+            principals,
+            expected,
+            "{}: principal ids not dense",
+            interner.label()
+        );
+        assert_eq!(
+            objects,
+            expected,
+            "{}: object ids not dense",
+            interner.label()
+        );
+        // Convergence: lookup after the storm hits for every shared pair, with
+        // an id inside the dense range.
+        for (principal, object) in shared {
+            let pid = interner
+                .lookup_principal(principal)
+                .expect("interned principal must be found");
+            let oid = interner
+                .lookup_object(object)
+                .expect("interned object must be found");
+            assert!((pid as usize) < expected && (oid as usize) < expected);
+        }
+    }
+    sample
+}
+
+/// Best-of-`samples` storm measurement (scheduler noise only ever slows a storm
+/// down, so the best sample is the least-noisy estimate).
+pub fn best_storm<I: StormInterner>(
+    factory: impl Fn() -> I,
+    shared: &[StormPair],
+    disjoint: &[Vec<StormPair>],
+    passes: usize,
+    samples: usize,
+) -> StormSample {
+    (0..samples.max(1))
+        .map(|_| measure_storm(&factory, shared, disjoint, passes))
+        .max_by(|a, b| a.interns_per_sec().total_cmp(&b.interns_per_sec()))
+        .expect("at least one storm sample")
+}
+
+/// Measures the single-threaded **warm lookup** path: every context is interned
+/// once up front, then `passes` timed walks resolve the whole population
+/// through `lookup_*`. Returns mean nanoseconds per lookup, best of `samples`.
+/// This is the regression guard the lock-free swap must not pay for: removing
+/// the write-lock stall may not slow the steady-state read.
+pub fn measure_warm_lookup<I: StormInterner>(
+    factory: impl Fn() -> I,
+    contexts: &[StormPair],
+    passes: usize,
+    samples: usize,
+) -> f64 {
+    let interner = factory();
+    for (principal, object) in contexts {
+        interner.intern_principal(principal);
+        interner.intern_object(object);
+    }
+    (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..passes {
+                for (principal, object) in contexts {
+                    std::hint::black_box(interner.lookup_principal(principal));
+                    std::hint::black_box(interner.lookup_object(object));
+                }
+            }
+            start.elapsed().as_nanos() as f64 / (passes * contexts.len() * 2) as f64
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storm_population_is_fully_distinct() {
+        let (shared, disjoint) = storm_contexts(8, 4, 3);
+        assert_eq!(shared.len(), 8);
+        assert_eq!(disjoint.len(), 3);
+        let interner = ContextInterner::new();
+        for (p, o) in shared.iter().chain(disjoint.iter().flatten()) {
+            interner.intern_principal(p);
+            interner.intern_object(o);
+        }
+        assert_eq!(interner.principal_count(), 8 + 3 * 4);
+        assert_eq!(interner.object_count(), 8 + 3 * 4);
+    }
+
+    #[test]
+    fn both_sides_survive_a_small_storm() {
+        let (shared, disjoint) = storm_contexts(16, 8, 4);
+        let lockfree = measure_storm(|| ContextInterner::with_buckets(64), &shared, &disjoint, 2);
+        let reference = measure_storm(RwLockContextTable::new, &shared, &disjoint, 2);
+        // (16 shared + 4×8 disjoint) × 2 kinds × 4 threads... interns counts the
+        // *operations*: every thread interns shared + its own set, twice (p+o).
+        assert_eq!(lockfree.interns, reference.interns);
+        assert_eq!(lockfree.threads, 4);
+        assert!(lockfree.interns_per_sec() > 0.0);
+        assert!(reference.ns_per_intern() > 0.0);
+    }
+
+    #[test]
+    fn warm_lookups_resolve_the_whole_population() {
+        let (shared, _) = storm_contexts(32, 0, 1);
+        let ns = measure_warm_lookup(ContextInterner::new, &shared, 3, 2);
+        assert!(ns > 0.0);
+        let ns_ref = measure_warm_lookup(RwLockContextTable::new, &shared, 3, 2);
+        assert!(ns_ref > 0.0);
+    }
+}

@@ -4,8 +4,11 @@
 //!
 //! * [`workload`] — the Figure 4 page generator: eight scenarios with varying numbers
 //!   of AC-tagged regions and dynamic content,
-//! * [`cli`] — flag parsing and the no-collapse gate shared by the `harness = false`
-//!   bench binaries,
+//! * [`cli`] — flag parsing, the no-collapse gate and the `--json` report writer
+//!   shared by the `harness = false` bench binaries,
+//! * [`interner`] — the first-touch-storm workload racing the lock-free
+//!   [`escudo_core::ContextInterner`] against the retained `RwLock<ContextTable>`
+//!   reference, behind `interner_concurrent`,
 //! * [`measure`] — timed page loads and event dispatches under either policy mode,
 //! * [`concurrent`] — the multi-session workload: N OS threads driving independent
 //!   forum/blog/calendar sessions against one shared sharded engine, plus the
@@ -26,6 +29,7 @@
 pub mod cli;
 pub mod concurrent;
 pub mod experiments;
+pub mod interner;
 pub mod loader;
 pub mod measure;
 pub mod workload;

@@ -2,8 +2,7 @@
 //! history and visited links.
 
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 use escudo_core::config::CookiePolicy;
@@ -33,14 +32,19 @@ pub struct PageId(usize);
 pub const DEFAULT_SUBRESOURCE_WORKERS: usize = 4;
 
 /// Estimated total fetch cost (in nanoseconds) below which the loader dispatches
-/// its plan inline instead of fanning out: spawning scoped worker threads costs
-/// tens of microseconds, so overlapping a batch of memory-speed fetches would
-/// *regress* the page load. The estimate comes from the fabric's per-origin
-/// service-time model ([`SharedNetwork::estimated_service_ns`]: configured
-/// simulated latency or the observed dispatch-time EWMA, whichever is larger),
-/// so slow origins — simulated or genuinely expensive handlers — engage the
-/// pipeline and fast in-memory ones keep the sequential fast path.
-const SUBRESOURCE_FANOUT_THRESHOLD_NS: u64 = 300_000;
+/// its plan inline instead of fanning out. The estimate comes from the fabric's
+/// per-origin service-time model ([`SharedNetwork::estimated_service_ns`]:
+/// configured simulated latency or the observed dispatch-time EWMA, whichever is
+/// larger), so slow origins — simulated or genuinely expensive handlers — engage
+/// the pipeline and fast in-memory ones keep the sequential fast path.
+///
+/// The threshold was 300µs when fanning out meant *spawning* scoped threads
+/// (tens of microseconds per worker per page). Fan-out now submits the
+/// pre-mediated plan to the fabric's **persistent parked worker pool**
+/// ([`SharedNetwork::dispatch_batch`]) — a queue push and a condvar notify — so
+/// the machinery pays for itself on much cheaper pages and the cutover dropped
+/// to 150µs.
+const SUBRESOURCE_FANOUT_THRESHOLD_NS: u64 = 150_000;
 
 /// The browser. One instance corresponds to one browsing session (cookie jar, history,
 /// visited links) enforcing one [`PolicyMode`].
@@ -642,10 +646,12 @@ impl Browser {
     ///    request's cookie attachment (one jar walk per distinct URL, one engine
     ///    batch per page). No fetch has been dispatched yet, so no completion
     ///    order can influence a decision.
-    /// 2. **Fan out** — the already-mediated requests are dispatched across a
-    ///    bounded scoped-thread worker pool over the shared network fabric, each
-    ///    under a sequence number pre-reserved in document order. Outcomes are
-    ///    recorded back by plan index, so [`Page::subresources`] and the
+    /// 2. **Fan out** — the already-mediated requests are submitted as one batch
+    ///    to the fabric's persistent worker pool
+    ///    ([`SharedNetwork::dispatch_batch`]; the navigating thread drains the
+    ///    batch alongside the ticketed pool workers, so it is still worker 0),
+    ///    each under a sequence number pre-reserved in document order. Outcomes
+    ///    come back in plan index order, so [`Page::subresources`] and the
     ///    sequence-sorted request log both read in document order regardless of
     ///    which fetch finished first.
     fn load_subresources(&mut self, page: &mut Page) {
@@ -707,8 +713,8 @@ impl Browser {
         let count = requests.len();
         let base = fabric.reserve_sequences(count as u64);
         // Adaptive cutover: fan out only when the estimated total fetch cost can
-        // pay for the worker threads; otherwise the plan dispatches inline (the
-        // sequential fast path — identical semantics, no thread overhead).
+        // pay for the pool submission; otherwise the plan dispatches inline (the
+        // sequential fast path — identical semantics, no queue round-trip).
         let estimated_ns: u64 = planned
             .iter()
             .map(|(_, url, _)| fabric.estimated_service_ns(&url.origin()))
@@ -719,46 +725,15 @@ impl Browser {
             self.subresource_workers.min(count)
         };
         let start = Instant::now();
-        let results: Vec<Option<Result<Response, String>>> = if workers <= 1 {
-            // Sequential path: dispatch in plan (= document = sequence) order on
-            // the navigating thread.
-            requests
-                .iter()
-                .enumerate()
-                .map(|(i, request)| {
-                    Some(
-                        fabric
-                            .dispatch_sequenced(base + i as u64, request.clone())
-                            .map_err(|e| e.to_string()),
-                    )
-                })
-                .collect()
-        } else {
-            let next = AtomicUsize::new(0);
-            let slots: Vec<Mutex<Option<Result<Response, String>>>> =
-                (0..count).map(|_| Mutex::new(None)).collect();
-            std::thread::scope(|scope| {
-                let worker = || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= count {
-                        break;
-                    }
-                    let outcome = fabric
-                        .dispatch_sequenced(base + i as u64, requests[i].clone())
-                        .map_err(|e| e.to_string());
-                    *slots[i].lock().expect("subresource result slot") = Some(outcome);
-                };
-                // The navigating thread is worker 0; only workers-1 are spawned.
-                for _ in 0..workers - 1 {
-                    scope.spawn(worker);
-                }
-                worker();
-            });
-            slots
-                .into_iter()
-                .map(|slot| slot.into_inner().expect("subresource result slot"))
-                .collect()
-        };
+        // The persistent pool replaces the per-page scoped-thread spawn: the
+        // batch is pushed to parked workers the fabric reuses across page loads,
+        // and this thread helps drain it (workers == 1 dispatches inline in
+        // plan order without touching the pool at all).
+        let results: Vec<Result<Response, String>> = fabric
+            .dispatch_batch(base, requests, workers)
+            .into_iter()
+            .map(|outcome| outcome.map_err(|e| e.to_string()))
+            .collect();
         page.stats.subresource_fetch_ns = start.elapsed().as_nanos();
         page.stats.subresource_requests = count as u64;
 
@@ -766,7 +741,7 @@ impl Browser {
         for (((node, url, _), attached), result) in
             planned.into_iter().zip(attachments).zip(results)
         {
-            let (status, error) = match result.expect("every planned fetch has a result") {
+            let (status, error) = match result {
                 Ok(response) => (Some(response.status.0), None),
                 Err(error) => (None, Some(error)),
             };

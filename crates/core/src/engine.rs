@@ -11,12 +11,12 @@
 //! This module provides that factoring:
 //!
 //! * [`PolicyEngine`] — the trait every decision core implements: [`decide`]
-//!   (one mediation) and [`decide_many`] (batch mediation: shared state is
-//!   acquired per batch where the engine's structure allows, e.g. one interner
-//!   read-lock acquisition for a whole slice),
+//!   (one mediation) and [`decide_many`] (batch mediation: engines with shared
+//!   locked state may acquire it once per batch; the lock-free production
+//!   engine simply streams the slice through its wait-free resolve),
 //! * [`EscudoEngine`] — the production engine: it **interns** principal and object
-//!   contexts into small integer ids ([`PrincipalId`], [`ObjectId`]) via a
-//!   read-mostly [`ContextTable`], and **memoizes** decisions in a **sharded** hash
+//!   contexts into small integer ids ([`PrincipalId`], [`ObjectId`]) via the
+//!   lock-free [`ContextInterner`], and **memoizes** decisions in a **sharded** hash
 //!   cache keyed on `(principal_id, object_id, operation)` so hot DOM/event paths
 //!   skip the origin/ring/ACL recomputation entirely,
 //! * [`SameOriginEngine`] — the legacy same-origin baseline behind the same trait,
@@ -28,13 +28,17 @@
 //!
 //! # Concurrency architecture
 //!
-//! The engine is **lock-striped** so concurrent sessions never serialize on one
-//! global mutex:
+//! The engine is **lock-free on the interning path and lock-striped on the cache
+//! path**, so concurrent sessions never serialize on any global lock:
 //!
-//! * the interning table sits behind an [`RwLock`]; the overwhelmingly common case —
-//!   a context already interned — takes only the read lock, so any number of threads
-//!   probe it in parallel. The write lock is taken only on first-touch interning of a
-//!   genuinely new context.
+//! * contexts intern through a [`ContextInterner`] — an append-only, lock-free
+//!   bucket table ([`crate::interner::AtomicInterner`]): warm lookups are a
+//!   wait-free walk of published slots, and first-touch interning is a CAS-append
+//!   where a losing thread adopts the winner's dense id. A first-touch *storm*
+//!   (many threads × many new origins) therefore scales instead of convoying
+//!   behind the write half of the `RwLock<ContextTable>` this replaced; the
+//!   single-threaded [`ContextTable`] is retained as the reference
+//!   implementation the `interner_concurrent` bench gates against.
 //! * the decision cache is split into [`EscudoEngine::shard_count`] independent
 //!   shards, each behind its own small mutex, selected by `hash(pid, oid, op)`.
 //!   Two threads checking different decisions almost always land on different
@@ -72,10 +76,11 @@ use std::collections::HashMap;
 use std::fmt;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex};
 
 use crate::acl::Acl;
 use crate::context::{ObjectContext, PrincipalContext, PrincipalKind};
+use crate::interner::AtomicInterner;
 use crate::operation::Operation;
 use crate::origin::Origin;
 use crate::policy::{decide, Decision, PolicyMode};
@@ -259,6 +264,12 @@ fn hash_object(object: &ObjectContext) -> u64 {
 /// distinguish them — same origin, same ring, same ACL (and, for principals, the same
 /// browser-chrome exemption). Ids are dense (`0, 1, 2, …`), so downstream layers can
 /// index arrays with them.
+///
+/// This is the **single-threaded reference implementation** (`&mut self`
+/// interning). The production engine uses the lock-free [`ContextInterner`]
+/// instead; this table is retained as the oracle the `interner_concurrent` bench
+/// races against (wrapped in the `RwLock` the old engine used) and as the
+/// convenient table for single-owner workload analysis.
 #[derive(Debug, Default)]
 pub struct ContextTable {
     // Keyed by the 64-bit fx hash of the borrowed context fields; the bucket holds the
@@ -279,8 +290,9 @@ impl ContextTable {
 
     /// Looks up an already-interned principal context without mutating the table.
     ///
-    /// This is the read-locked fast path of a sharded engine: once a context has been
-    /// seen, any number of threads can resolve its id concurrently.
+    /// In the retained `RwLock` reference protocol this is the read-locked fast
+    /// path: once a context has been seen, any number of threads can resolve its
+    /// id under the shared lock.
     #[must_use]
     pub fn lookup_principal(&self, principal: &PrincipalContext) -> Option<PrincipalId> {
         self.principals
@@ -340,6 +352,109 @@ impl ContextTable {
     }
 }
 
+/// The lock-free context interner: two [`AtomicInterner`] bucket tables (one per
+/// context kind) mapping decision-relevant contexts onto dense
+/// [`PrincipalId`]/[`ObjectId`]s, through `&self`.
+///
+/// This replaces the `RwLock<ContextTable>` the sharded engine used to carry:
+/// warm lookups are wait-free (no lock at all), and a first-touch storm — many
+/// threads interning many genuinely new contexts at once — proceeds as
+/// concurrent CAS-appends instead of convoying behind one write lock. Ids are
+/// assigned exactly as [`ContextTable`] assigns them (dense, in first-claim
+/// order), so the two implementations are interchangeable for everything
+/// downstream of the id.
+#[derive(Debug, Default)]
+pub struct ContextInterner {
+    principals: AtomicInterner<PrincipalKey>,
+    objects: AtomicInterner<ObjectKey>,
+}
+
+impl ContextInterner {
+    /// Creates an interner sized for an engine's realistic context population
+    /// (tens of distinct contexts; see
+    /// [`DEFAULT_INTERNER_BUCKETS`](crate::interner::DEFAULT_INTERNER_BUCKETS)).
+    #[must_use]
+    pub fn new() -> Self {
+        ContextInterner::default()
+    }
+
+    /// Creates an interner with an explicit bucket count per context kind
+    /// (rounded up to a power of two) — storm-scale tables should size up so
+    /// chains stay shallow.
+    #[must_use]
+    pub fn with_buckets(buckets: usize) -> Self {
+        ContextInterner {
+            principals: AtomicInterner::with_buckets(buckets),
+            objects: AtomicInterner::with_buckets(buckets),
+        }
+    }
+
+    /// Wait-free lookup of an already-interned principal context.
+    #[must_use]
+    pub fn lookup_principal(&self, principal: &PrincipalContext) -> Option<PrincipalId> {
+        self.principals
+            .lookup(hash_principal(principal), |key| key.matches(principal))
+            .map(PrincipalId)
+    }
+
+    /// Wait-free lookup of an already-interned object context.
+    #[must_use]
+    pub fn lookup_object(&self, object: &ObjectContext) -> Option<ObjectId> {
+        self.objects
+            .lookup(hash_object(object), |key| key.matches(object))
+            .map(ObjectId)
+    }
+
+    /// Interns a principal context through `&self`: wait-free when warm, a
+    /// CAS-append on first touch. Racing threads interning the same context all
+    /// observe one dense id.
+    pub fn intern_principal(&self, principal: &PrincipalContext) -> PrincipalId {
+        PrincipalId(self.principals.intern(
+            hash_principal(principal),
+            |key| key.matches(principal),
+            || PrincipalKey::of(principal),
+        ))
+    }
+
+    /// Interns an object context through `&self` (see
+    /// [`ContextInterner::intern_principal`]).
+    pub fn intern_object(&self, object: &ObjectContext) -> ObjectId {
+        ObjectId(self.objects.intern(
+            hash_object(object),
+            |key| key.matches(object),
+            || ObjectKey::of(object),
+        ))
+    }
+
+    /// Number of distinct principal contexts interned so far.
+    #[must_use]
+    pub fn principal_count(&self) -> usize {
+        self.principals.len()
+    }
+
+    /// Number of distinct object contexts interned so far.
+    #[must_use]
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Slot claims (either kind) that lost their CAS to a racing thread — the
+    /// direct measure of first-touch contention.
+    #[must_use]
+    pub fn cas_retries(&self) -> u64 {
+        self.principals.cas_retries() + self.objects.cas_retries()
+    }
+
+    /// The deepest bucket chain across both tables, in entries — the walk length
+    /// of the unluckiest probe (stats-path only; walks the tables).
+    #[must_use]
+    pub fn max_bucket_depth(&self) -> usize {
+        self.principals
+            .max_bucket_depth()
+            .max(self.objects.max_bucket_depth())
+    }
+}
+
 /// Counters of one decision-cache shard.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ShardStats {
@@ -370,6 +485,13 @@ pub struct EngineStats {
     pub interned_principals: u64,
     /// Distinct object contexts interned.
     pub interned_objects: u64,
+    /// First-touch slot claims the lock-free interner lost to a racing thread
+    /// (0 for engines without an interner). A storm of new contexts shows up
+    /// here — warm steady state never increments it.
+    pub interner_cas_retries: u64,
+    /// Deepest interner bucket chain, in entries — the walk length of the
+    /// unluckiest context probe (0 for engines without an interner).
+    pub interner_max_bucket_depth: u64,
     /// Total capacity-triggered wholesale shard clears.
     pub evictions: u64,
     /// Per-shard breakdown (empty for engines without a cache).
@@ -449,10 +571,10 @@ struct CacheShard {
 ///
 /// The three MAC rules are pure functions of `(principal context, object context,
 /// operation)`, so their outcome can be memoized. The engine interns both contexts
-/// into small ids through a read-mostly [`RwLock`]-guarded [`ContextTable`] and keys
-/// the cache on `(principal_id, object_id, op)`; repeated checks on hot DOM and
-/// event-dispatch paths are then a read-lock probe plus one shard-local hash lookup
-/// instead of an origin-string comparison cascade behind a global mutex.
+/// into small ids through the lock-free [`ContextInterner`] and keys the cache on
+/// `(principal_id, object_id, op)`; repeated checks on hot DOM and event-dispatch
+/// paths are then a wait-free interner walk plus one shard-local hash lookup —
+/// no global lock anywhere on the decision path.
 ///
 /// The cache is split into [`EscudoEngine::shard_count`] lock stripes selected by
 /// `hash(pid, oid, op)`, so concurrent sessions contend only when they race on the
@@ -463,7 +585,7 @@ struct CacheShard {
 /// recomputation).
 #[derive(Debug)]
 pub struct EscudoEngine {
-    table: RwLock<ContextTable>,
+    interner: ContextInterner,
     shards: Vec<CacheShard>,
     /// Bound on entries per shard; 0 disables memoization entirely.
     shard_capacity: usize,
@@ -473,9 +595,20 @@ pub struct EscudoEngine {
 /// see [`EscudoEngine::with_cache_capacity`] for the exact shard-granular bound).
 pub const DEFAULT_CACHE_CAPACITY: usize = 64 * 1024;
 
-/// Default number of decision-cache shards (a power of two so shard selection is a
-/// mask, sized to keep same-shard collisions rare at realistic thread counts).
-pub const DEFAULT_SHARD_COUNT: usize = 16;
+/// The default decision-cache shard count: sized from the machine's
+/// [`std::thread::available_parallelism`] (shards exist to keep concurrent
+/// threads off each other's locks, so the thread count is the right yardstick),
+/// rounded up to a power of two and clamped to `[4, 64]` — at least a few
+/// stripes even on a single-core runner (two sessions on one core still
+/// interleave), and bounded so a many-core machine does not fragment the cache
+/// capacity into slivers. [`EscudoEngine::with_shards`] overrides it.
+#[must_use]
+pub fn default_shard_count() -> usize {
+    std::thread::available_parallelism()
+        .map_or(4, std::num::NonZeroUsize::get)
+        .next_power_of_two()
+        .clamp(4, 64)
+}
 
 impl Default for EscudoEngine {
     fn default() -> Self {
@@ -491,7 +624,7 @@ impl EscudoEngine {
     }
 
     /// Creates an engine bounding the decision cache to roughly `capacity` entries,
-    /// spread over [`DEFAULT_SHARD_COUNT`] shards.
+    /// spread over [`default_shard_count()`] shards.
     ///
     /// The bound is shard-granular: `capacity` is divided across the shards rounding
     /// up, so the total resident entries can exceed `capacity` by up to
@@ -502,7 +635,7 @@ impl EscudoEngine {
     /// rules — the configuration the cold-path benchmarks measure).
     #[must_use]
     pub fn with_cache_capacity(capacity: usize) -> Self {
-        EscudoEngine::with_shards(DEFAULT_SHARD_COUNT, capacity)
+        EscudoEngine::with_shards(default_shard_count(), capacity)
     }
 
     /// Creates an engine with an explicit shard count and cache capacity.
@@ -519,10 +652,17 @@ impl EscudoEngine {
             capacity.div_ceil(shard_count)
         };
         EscudoEngine {
-            table: RwLock::new(ContextTable::new()),
+            interner: ContextInterner::new(),
             shards: (0..shard_count).map(|_| CacheShard::default()).collect(),
             shard_capacity,
         }
+    }
+
+    /// The lock-free context interner backing this engine (storm observability:
+    /// occupancy, CAS retries, bucket depth).
+    #[must_use]
+    pub fn interner(&self) -> &ContextInterner {
+        &self.interner
     }
 
     /// Number of lock stripes in the decision cache.
@@ -545,28 +685,18 @@ impl EscudoEngine {
         }
     }
 
-    /// Resolves the interned ids of a context pair: a shared read lock when both are
-    /// already known (the steady-state path), a write lock only on first touch.
+    /// Resolves the interned ids of a context pair: a wait-free published-slot
+    /// walk when both are already known (the steady-state path), a lock-free
+    /// CAS-append only on first touch. Racing first touches of the same context
+    /// converge on one dense id (the losers adopt the winner's).
     fn intern_pair(
         &self,
         principal: &PrincipalContext,
         object: &ObjectContext,
     ) -> (PrincipalId, ObjectId) {
-        {
-            let table = self.table.read().expect("context table lock");
-            if let (Some(pid), Some(oid)) = (
-                table.lookup_principal(principal),
-                table.lookup_object(object),
-            ) {
-                return (pid, oid);
-            }
-        }
-        let mut table = self.table.write().expect("context table lock");
-        // `intern_*` re-probes under the write lock, so a racing thread that interned
-        // the same context between our two lock acquisitions is handled correctly.
         (
-            table.intern_principal(principal),
-            table.intern_object(object),
+            self.interner.intern_principal(principal),
+            self.interner.intern_object(object),
         )
     }
 
@@ -638,37 +768,22 @@ impl PolicyEngine for EscudoEngine {
         &self,
         checks: &[(&PrincipalContext, &ObjectContext, Operation)],
     ) -> Vec<Decision> {
-        // Resolve every id under a single read-lock acquisition (the steady-state
-        // batch path); only genuinely new contexts fall back to the write lock.
-        let mut ids: Vec<(Option<PrincipalId>, Option<ObjectId>)> =
-            Vec::with_capacity(checks.len());
-        {
-            let table = self.table.read().expect("context table lock");
-            for (principal, object, _) in checks {
-                ids.push((
-                    table.lookup_principal(principal),
-                    table.lookup_object(object),
-                ));
-            }
-        }
+        // The old engine resolved a whole batch's ids under one read-lock
+        // acquisition to amortize the lock; the lock-free interner has nothing
+        // to amortize — every resolve is a wait-free walk — so the batch path
+        // is simply the per-check path without any setup.
         checks
             .iter()
-            .zip(ids)
-            .map(|((principal, object, op), resolved)| {
-                let (pid, oid) = match resolved {
-                    (Some(pid), Some(oid)) => (pid, oid),
-                    _ => self.intern_pair(principal, object),
-                };
+            .map(|(principal, object, op)| {
+                let (pid, oid) = self.intern_pair(principal, object);
                 self.decide_interned(pid, oid, principal, object, *op)
             })
             .collect()
     }
 
     fn stats(&self) -> EngineStats {
-        let (principals, objects) = {
-            let table = self.table.read().expect("context table lock");
-            (table.principal_count() as u64, table.object_count() as u64)
-        };
+        let principals = self.interner.principal_count() as u64;
+        let objects = self.interner.object_count() as u64;
         let mut shards = Vec::with_capacity(self.shards.len());
         let (mut hits, mut misses, mut evictions) = (0u64, 0u64, 0u64);
         for shard in &self.shards {
@@ -692,6 +807,8 @@ impl PolicyEngine for EscudoEngine {
             cache_misses: misses,
             interned_principals: principals,
             interned_objects: objects,
+            interner_cas_retries: self.interner.cas_retries(),
+            interner_max_bucket_depth: self.interner.max_bucket_depth() as u64,
             evictions,
             shards,
         }
@@ -946,12 +1063,68 @@ mod tests {
     }
 
     #[test]
+    fn context_interner_matches_the_reference_table() {
+        // Same insertion order → byte-identical ids: the lock-free interner is a
+        // drop-in replacement for the single-threaded reference table.
+        let mut table = ContextTable::new();
+        let interner = ContextInterner::new();
+        let objects: Vec<ObjectContext> = (0u16..6)
+            .map(|ring| dom(ring % 4, Acl::uniform(Ring::new(ring % 3))))
+            .collect();
+        for ring in 0u16..8 {
+            let p = script(ring % 5); // repeats after 5: warm re-interns
+            assert_eq!(
+                table.intern_principal(&p).index(),
+                interner.intern_principal(&p).index()
+            );
+        }
+        for object in &objects {
+            assert_eq!(
+                table.intern_object(object).index(),
+                interner.intern_object(object).index()
+            );
+        }
+        assert_eq!(table.principal_count(), interner.principal_count());
+        assert_eq!(table.object_count(), interner.object_count());
+        // Lookup is the readonly face here too, label-insensitive included.
+        let relabeled = script(2).with_label("renamed");
+        assert_eq!(
+            interner.lookup_principal(&relabeled),
+            Some(interner.intern_principal(&script(2)))
+        );
+        assert_eq!(
+            interner.lookup_object(&dom(19, Acl::uniform(Ring::new(1)))),
+            None
+        );
+        // Single-threaded interning never loses a claim.
+        assert_eq!(interner.cas_retries(), 0);
+        assert!(interner.max_bucket_depth() >= 1);
+    }
+
+    #[test]
+    fn engine_stats_surface_interner_occupancy() {
+        let engine = EscudoEngine::new();
+        let object = dom(1, Acl::uniform(Ring::new(1)));
+        engine.decide(&script(1), &object, Operation::Read);
+        engine.decide(&script(2), &object, Operation::Read);
+        let stats = engine.stats();
+        assert_eq!(stats.interned_principals, 2);
+        assert_eq!(stats.interned_objects, 1);
+        assert_eq!(stats.interner_cas_retries, 0);
+        assert!(stats.interner_max_bucket_depth >= 1);
+    }
+
+    #[test]
     fn shard_count_is_a_power_of_two_and_at_least_one() {
         assert_eq!(EscudoEngine::with_shards(0, 64).shard_count(), 1);
         assert_eq!(EscudoEngine::with_shards(1, 64).shard_count(), 1);
         assert_eq!(EscudoEngine::with_shards(5, 64).shard_count(), 8);
         assert_eq!(EscudoEngine::with_shards(16, 64).shard_count(), 16);
-        assert_eq!(EscudoEngine::new().shard_count(), DEFAULT_SHARD_COUNT);
+        // The default adapts to the machine: a power of two in [4, 64].
+        let default = default_shard_count();
+        assert_eq!(EscudoEngine::new().shard_count(), default);
+        assert!(default.is_power_of_two());
+        assert!((4..=64).contains(&default));
         // Capacity is divided across shards; zero disables memoization everywhere.
         assert_eq!(EscudoEngine::with_shards(4, 64).shard_capacity(), 16);
         assert_eq!(EscudoEngine::with_shards(4, 0).shard_capacity(), 0);
@@ -1000,13 +1173,9 @@ mod tests {
         // survive the other shard overflowing and being cleared.
         let engine = EscudoEngine::with_shards(2, 16);
         let object = dom(3, Acl::uniform(Ring::new(3)));
-        let oid = engine.table.write().unwrap().intern_object(&object);
+        let oid = engine.interner.intern_object(&object);
         let lands_in_shard0 = |ring: u16| {
-            let pid = engine
-                .table
-                .write()
-                .unwrap()
-                .intern_principal(&script(ring));
+            let pid = engine.interner.intern_principal(&script(ring));
             std::ptr::eq(
                 engine.shard_for(pid, oid, Operation::Read),
                 &engine.shards[0],

@@ -1,0 +1,409 @@
+//! A lock-free, append-only interner: the data structure that removed the last
+//! global stall from the decision path.
+//!
+//! The sharded engine of PR 2 kept one `RwLock<ContextTable>` in front of the
+//! decision cache. The read path scaled (any number of threads can hold the read
+//! lock), but a **first-touch storm** — many threads meeting many genuinely new
+//! contexts at once, the signature of a multi-tenant deployment absorbing a burst
+//! of fresh origins — serialized every intern behind the single write lock, and a
+//! writer-preferring `RwLock` stalls the warm readers behind the queued writers
+//! too. [`AtomicInterner`] replaces that lock with an **append-only bucket array
+//! of segment chains** where
+//!
+//! * **lookups are wait-free**: a bucket is selected by the key's hash and its
+//!   chain of immutable, already-published slots is walked with plain acquire
+//!   loads — no lock, no CAS, no retry loop, regardless of how many writers are
+//!   storming the table;
+//! * **interning is a CAS-append**: a thread claims the first empty slot of its
+//!   bucket's chain with a single compare-and-swap (safe Rust spells it
+//!   [`OnceLock::set`] — exactly one caller wins, every loser gets the winner's
+//!   value back); the loser re-examines the slot it lost and either **adopts the
+//!   winner's id** (the winner interned the same key) or probes onward;
+//! * **ids stay dense and stable**: the slot claim decides *who* assigns the id,
+//!   and only the winner draws from the shared counter — a lost race never burns
+//!   an id, so ids are exactly `0, 1, 2, …` in claim order and downstream layers
+//!   (the `(pid, oid, op)` decision-cache shards, `decide_many`) keep indexing
+//!   arrays with them, untouched.
+//!
+//! # The slot protocol
+//!
+//! ```text
+//! bucket[hash] ─► Segment ──next──► Segment ──next──► …
+//!                 ┌──────┬──────┬──────┬──────┐
+//!                 │ slot │ slot │ slot │ slot │   each slot: OnceLock<Entry>
+//!                 └──────┴──────┴──────┴──────┘   Entry { hash, key, id: AtomicU32 }
+//! ```
+//!
+//! Slots fill strictly front to back: a walker only moves past a slot it has
+//! observed to be occupied (its own claim either failed against a winner or the
+//! slot was already published), so an empty slot proves the key is absent from
+//! everything after it. That invariant is what makes the read walk terminate
+//! correctly without any lock: `lookup` stops at the first empty slot.
+//!
+//! The id is published *after* the slot claim (`id` starts at a sentinel and is
+//! stored with release ordering once the winner has drawn it from the dense
+//! counter). A reader that observes a claimed-but-unpublished entry spins briefly
+//! — the window is two instructions wide — and yields if the winner was preempted
+//! inside it, so the structure stays safe on oversubscribed single-core runners.
+//!
+//! Every failed claim bumps a **CAS-retry counter** and chain growth is visible as
+//! **bucket depth**; both surface through `EngineStats` so first-touch storms are
+//! observable in production, not just in benches.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Entries per segment. Small enough that a touched bucket stays within a few
+/// cache lines, large enough that typical buckets (a handful of contexts)
+/// never chain.
+const SEGMENT_SLOTS: usize = 4;
+
+/// Default number of buckets (a power of two so bucket selection is a mask).
+/// Sized for the realistic case — an engine sees tens of distinct contexts, so
+/// chains stay at depth ≤ 1; storm-scale tables should size up via
+/// [`AtomicInterner::with_buckets`].
+pub const DEFAULT_INTERNER_BUCKETS: usize = 128;
+
+/// `id` value meaning "slot claimed, dense id not yet published".
+const ID_PENDING: u32 = u32::MAX;
+
+/// One published intern: the key, its full hash (so probes can skip non-matches
+/// without a field comparison), and its dense id.
+struct Entry<K> {
+    hash: u64,
+    key: K,
+    /// [`ID_PENDING`] between the slot claim and the id publication.
+    id: AtomicU32,
+}
+
+/// A fixed block of append-once slots plus the link to the next block. Segments
+/// are never removed or reordered — the chain only grows — which is what makes
+/// the unlocked read walk sound.
+struct Segment<K> {
+    slots: [OnceLock<Entry<K>>; SEGMENT_SLOTS],
+    next: OnceLock<Box<Segment<K>>>,
+}
+
+impl<K> Segment<K> {
+    fn new() -> Self {
+        Segment {
+            slots: std::array::from_fn(|_| OnceLock::new()),
+            next: OnceLock::new(),
+        }
+    }
+}
+
+/// The lock-free interner: a fixed bucket array of append-only segment chains
+/// mapping keys onto dense `u32` ids.
+///
+/// Generic over the key type; callers drive it with a precomputed 64-bit hash, a
+/// borrowed-match predicate (so probing never clones a key) and a key
+/// constructor that only runs when a claim is actually attempted. The engine
+/// wraps two of these (principal and object keys) behind
+/// [`ContextInterner`](crate::engine::ContextInterner).
+pub struct AtomicInterner<K> {
+    /// The first segment of every bucket lives inline in one eagerly-allocated
+    /// array: a first-touch intern lands in pre-existing memory (no allocation
+    /// on the claim path until a bucket overflows its inline slots), which is
+    /// what keeps a storm's claim cost flat. Only chain growth allocates.
+    buckets: Box<[Segment<K>]>,
+    /// `buckets.len() - 1`; bucket count is a power of two.
+    mask: usize,
+    /// The dense id counter: only slot-claim winners draw from it.
+    count: AtomicU32,
+    /// Slot claims that lost the CAS to a racing thread.
+    cas_retries: AtomicU64,
+}
+
+impl<K> AtomicInterner<K> {
+    /// Creates an interner with [`DEFAULT_INTERNER_BUCKETS`] buckets.
+    #[must_use]
+    pub fn new() -> Self {
+        AtomicInterner::with_buckets(DEFAULT_INTERNER_BUCKETS)
+    }
+
+    /// Creates an interner with `buckets` buckets (rounded up to a power of two,
+    /// at least 1). The bucket array is fixed for the interner's lifetime; more
+    /// keys than `buckets × 4` simply deepen the chains.
+    #[must_use]
+    pub fn with_buckets(buckets: usize) -> Self {
+        let buckets = buckets.max(1).next_power_of_two();
+        AtomicInterner {
+            buckets: (0..buckets).map(|_| Segment::new()).collect(),
+            mask: buckets - 1,
+            count: AtomicU32::new(0),
+            cas_retries: AtomicU64::new(0),
+        }
+    }
+
+    /// Waits out the claim-to-publication window of a freshly claimed entry.
+    /// The window is two instructions wide, so this almost never iterates; the
+    /// yield handles a winner preempted inside it on a saturated core.
+    fn await_id(entry: &Entry<K>) -> u32 {
+        let mut spins = 0u32;
+        loop {
+            let id = entry.id.load(Ordering::Acquire);
+            if id != ID_PENDING {
+                return id;
+            }
+            spins += 1;
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Wait-free lookup: walks the bucket's published slots with acquire loads.
+    /// Returns the dense id when an entry hash-and-field matches; the first
+    /// empty slot proves absence (slots fill strictly front to back).
+    pub fn lookup(&self, hash: u64, matches: impl Fn(&K) -> bool) -> Option<u32> {
+        let mut segment = &self.buckets[((hash >> 32) as usize) & self.mask];
+        loop {
+            for slot in &segment.slots {
+                match slot.get() {
+                    Some(entry) => {
+                        if entry.hash == hash && matches(&entry.key) {
+                            return Some(Self::await_id(entry));
+                        }
+                    }
+                    None => return None,
+                }
+            }
+            segment = segment.next.get()?;
+        }
+    }
+
+    /// Interns a key: returns the existing dense id when any thread has already
+    /// published a matching entry, otherwise CAS-claims the first empty slot of
+    /// the bucket's chain and assigns the next dense id. `make` runs at most
+    /// once, and only when a claim is attempted — the warm path never constructs
+    /// a key.
+    ///
+    /// Losing a claim is handled by *adoption*: the loser re-reads the slot the
+    /// winner filled, and either takes the winner's id (same key) or carries its
+    /// constructed key to the next slot. Ids therefore stay dense — an id is
+    /// drawn only after a claim has irrevocably succeeded.
+    pub fn intern(&self, hash: u64, matches: impl Fn(&K) -> bool, make: impl FnOnce() -> K) -> u32 {
+        let mut make = Some(make);
+        let mut spare: Option<K> = None;
+        let mut segment = &self.buckets[((hash >> 32) as usize) & self.mask];
+        loop {
+            for slot in &segment.slots {
+                loop {
+                    if let Some(entry) = slot.get() {
+                        if entry.hash == hash && matches(&entry.key) {
+                            return Self::await_id(entry);
+                        }
+                        break; // occupied by a different key — probe onward
+                    }
+                    let key = spare
+                        .take()
+                        .unwrap_or_else(|| (make.take().expect("key built at most once"))());
+                    let candidate = Entry {
+                        hash,
+                        key,
+                        id: AtomicU32::new(ID_PENDING),
+                    };
+                    match slot.set(candidate) {
+                        Ok(()) => {
+                            // The claim is ours: draw the dense id and publish it.
+                            let entry = slot.get().expect("entry was just set");
+                            let id = self.count.fetch_add(1, Ordering::Relaxed);
+                            assert!(id < ID_PENDING, "interner id space exhausted");
+                            entry.id.store(id, Ordering::Release);
+                            return id;
+                        }
+                        Err(lost) => {
+                            // A racing thread won this slot; keep our key for a
+                            // later slot and re-examine the winner's entry.
+                            self.cas_retries.fetch_add(1, Ordering::Relaxed);
+                            spare = Some(lost.key);
+                        }
+                    }
+                }
+            }
+            segment = segment.next.get_or_init(|| Box::new(Segment::new()));
+        }
+    }
+
+    /// Number of keys interned so far (= the next dense id).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.count.load(Ordering::Acquire) as usize
+    }
+
+    /// `true` when nothing has been interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Slot claims that lost their CAS to a racing thread — the direct measure
+    /// of first-touch contention (zero in single-threaded use).
+    #[must_use]
+    pub fn cas_retries(&self) -> u64 {
+        self.cas_retries.load(Ordering::Relaxed)
+    }
+
+    /// The deepest bucket chain, in *entries* (not segments): the walk length of
+    /// the unluckiest probe. Computed by walking the table, so it is a
+    /// stats-path operation, not a hot-path one.
+    #[must_use]
+    pub fn max_bucket_depth(&self) -> usize {
+        let mut max = 0;
+        for bucket in self.buckets.iter() {
+            let mut depth = 0;
+            let mut segment = Some(bucket);
+            while let Some(seg) = segment {
+                depth += seg.slots.iter().filter(|slot| slot.get().is_some()).count();
+                segment = seg.next.get().map(Box::as_ref);
+            }
+            max = max.max(depth);
+        }
+        max
+    }
+}
+
+impl<K> Default for AtomicInterner<K> {
+    fn default() -> Self {
+        AtomicInterner::new()
+    }
+}
+
+impl<K> std::fmt::Debug for AtomicInterner<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicInterner")
+            .field("buckets", &(self.mask + 1))
+            .field("len", &self.len())
+            .field("cas_retries", &self.cas_retries())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Barrier;
+
+    fn fx(value: u64) -> u64 {
+        // A cheap spread so test keys land in different buckets.
+        value.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17)
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let interner: AtomicInterner<u64> = AtomicInterner::with_buckets(8);
+        for round in 0..3 {
+            for value in 0u64..100 {
+                let id = interner.intern(fx(value), |k| *k == value, || value);
+                assert_eq!(id, value as u32, "round {round}");
+                assert_eq!(interner.lookup(fx(value), |k| *k == value), Some(id));
+            }
+        }
+        assert_eq!(interner.len(), 100);
+        assert_eq!(interner.cas_retries(), 0, "single-threaded: no lost claims");
+    }
+
+    #[test]
+    fn lookup_misses_without_constructing_anything() {
+        let interner: AtomicInterner<u64> = AtomicInterner::new();
+        assert_eq!(interner.lookup(fx(7), |k| *k == 7), None);
+        interner.intern(fx(7), |k| *k == 7, || 7);
+        assert_eq!(interner.lookup(fx(7), |k| *k == 7), Some(0));
+        assert_eq!(interner.lookup(fx(8), |k| *k == 8), None);
+    }
+
+    #[test]
+    fn make_runs_at_most_once_and_only_on_a_claim() {
+        let interner: AtomicInterner<u64> = AtomicInterner::new();
+        interner.intern(fx(1), |k| *k == 1, || 1);
+        let mut built = 0;
+        interner.intern(
+            fx(1),
+            |k| *k == 1,
+            || {
+                built += 1;
+                1
+            },
+        );
+        assert_eq!(built, 0, "warm intern must not construct a key");
+    }
+
+    #[test]
+    fn chains_grow_past_one_segment_and_depth_is_reported() {
+        // One bucket: every key chains behind it.
+        let interner: AtomicInterner<u64> = AtomicInterner::with_buckets(1);
+        let n = (SEGMENT_SLOTS * 3) as u64;
+        for value in 0..n {
+            interner.intern(fx(value), |k| *k == value, || value);
+        }
+        assert_eq!(interner.len(), n as usize);
+        assert_eq!(interner.max_bucket_depth(), n as usize);
+        // Everything is still found after the chain growth.
+        for value in 0..n {
+            assert_eq!(
+                interner.lookup(fx(value), |k| *k == value),
+                Some(value as u32)
+            );
+        }
+    }
+
+    #[test]
+    fn hash_collisions_are_resolved_by_field_match() {
+        let interner: AtomicInterner<u64> = AtomicInterner::new();
+        // Same hash, different keys: both intern, to different ids.
+        let a = interner.intern(42, |k| *k == 1, || 1);
+        let b = interner.intern(42, |k| *k == 2, || 2);
+        assert_ne!(a, b);
+        assert_eq!(interner.lookup(42, |k| *k == 1), Some(a));
+        assert_eq!(interner.lookup(42, |k| *k == 2), Some(b));
+    }
+
+    #[test]
+    fn racing_first_touches_converge_on_one_dense_id_per_key() {
+        const THREADS: usize = 8;
+        const KEYS: u64 = 64;
+        // One bucket maximizes collisions: every claim races every other.
+        let interner: AtomicInterner<u64> = AtomicInterner::with_buckets(1);
+        let barrier = Barrier::new(THREADS);
+        let ids = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    let interner = &interner;
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        barrier.wait();
+                        (0..KEYS)
+                            .map(|i| {
+                                // Offset walks so threads race on different keys at
+                                // different moments while the sets fully overlap.
+                                let value = (i + t as u64 * 11) % KEYS;
+                                (value, interner.intern(fx(value), |k| *k == value, || value))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("storm thread"))
+                .collect::<Vec<_>>()
+        });
+
+        // Every thread saw the same id per key, ids are dense, lookups all hit.
+        assert_eq!(interner.len(), KEYS as usize);
+        let mut by_key = vec![None; KEYS as usize];
+        for (value, id) in ids {
+            assert!((id as usize) < KEYS as usize, "id {id} out of dense range");
+            match by_key[value as usize] {
+                None => by_key[value as usize] = Some(id),
+                Some(expected) => assert_eq!(id, expected, "key {value} got two ids"),
+            }
+        }
+        let mut seen: Vec<u32> = by_key.into_iter().map(Option::unwrap).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..KEYS as u32).collect::<Vec<_>>());
+    }
+}

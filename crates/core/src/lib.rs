@@ -61,6 +61,7 @@ pub mod config;
 pub mod context;
 pub mod engine;
 pub mod error;
+pub mod interner;
 pub mod nonce;
 pub mod operation;
 pub mod origin;
@@ -72,10 +73,11 @@ pub mod taxonomy;
 pub use acl::Acl;
 pub use context::{ObjectContext, ObjectKind, PrincipalContext, PrincipalKind};
 pub use engine::{
-    engine_for_mode, ContextTable, EngineStats, EscudoEngine, ObjectId, PolicyEngine, PrincipalId,
-    SameOriginEngine, ShardStats, DEFAULT_CACHE_CAPACITY, DEFAULT_SHARD_COUNT,
+    default_shard_count, engine_for_mode, ContextInterner, ContextTable, EngineStats, EscudoEngine,
+    ObjectId, PolicyEngine, PrincipalId, SameOriginEngine, ShardStats, DEFAULT_CACHE_CAPACITY,
 };
 pub use error::{ConfigError, PolicyError};
+pub use interner::AtomicInterner;
 pub use nonce::Nonce;
 pub use operation::Operation;
 pub use origin::Origin;

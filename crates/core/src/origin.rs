@@ -2,6 +2,7 @@
 
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 
 use crate::error::ConfigError;
 
@@ -11,6 +12,12 @@ use crate::error::ConfigError;
 /// Origins compare case-insensitively on scheme and host; the port is significant.
 /// When a URL omits the port, the scheme's default port is used (80 for `http`,
 /// 443 for `https`).
+///
+/// Origins are cloned on every mediation-relevant construction — interner keys,
+/// request-issuing principals, per-node security contexts — so the string
+/// components are stored as shared `Arc<str>` slices: a clone is two reference
+/// count bumps, not two heap allocations. Equality and hashing still compare
+/// the (lower-cased) string contents.
 ///
 /// # Example
 ///
@@ -26,8 +33,8 @@ use crate::error::ConfigError;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Origin {
-    scheme: String,
-    host: String,
+    scheme: Arc<str>,
+    host: Arc<str>,
     port: u16,
 }
 
@@ -36,8 +43,8 @@ impl Origin {
     #[must_use]
     pub fn new(scheme: &str, host: &str, port: u16) -> Self {
         Origin {
-            scheme: scheme.to_ascii_lowercase(),
-            host: host.to_ascii_lowercase(),
+            scheme: scheme.to_ascii_lowercase().into(),
+            host: host.to_ascii_lowercase().into(),
             port,
         }
     }

@@ -14,6 +14,9 @@ pub enum NetError {
     InvalidCookie(String),
     /// No server is registered for the requested host.
     HostUnreachable(String),
+    /// A pooled fetch worker panicked while dispatching this request (the
+    /// origin's handler raised); the rest of the batch is unaffected.
+    FetchPanicked(String),
     /// An HTTP method string was not recognized.
     InvalidMethod(String),
     /// An ESCUDO configuration carried in headers was malformed.
@@ -26,6 +29,7 @@ impl fmt::Display for NetError {
             NetError::InvalidUrl(s) => write!(f, "invalid url `{s}`"),
             NetError::InvalidCookie(s) => write!(f, "invalid cookie `{s}`"),
             NetError::HostUnreachable(host) => write!(f, "no server registered for `{host}`"),
+            NetError::FetchPanicked(what) => write!(f, "fetch worker panicked: {what}"),
             NetError::InvalidMethod(m) => write!(f, "invalid http method `{m}`"),
             NetError::Config(e) => write!(f, "configuration error: {e}"),
         }

@@ -1,0 +1,581 @@
+//! The persistent fetch worker pool: parked OS threads the fabric reuses across
+//! page loads.
+//!
+//! PR 4's pipelined loader fanned each page's pre-mediated fetches out over
+//! *scoped threads spawned per page load*. Spawning costs tens of microseconds a
+//! thread, which is why the loader needed a 300µs adaptive cutover before fanning
+//! out at all — the fan-out machinery had to pay for itself on every single page.
+//! This module replaces the per-page spawn with a **fabric-owned pool of parked
+//! workers**:
+//!
+//! * a plain `Mutex<VecDeque>` job queue plus a `Condvar` the idle workers park
+//!   on — submission is a short lock hold and one notify per woken worker,
+//!   microseconds instead of thread spawns;
+//! * workers are spawned **lazily** the first time a batch actually needs them
+//!   (fabrics that never fan out — most unit tests — never start a thread) and
+//!   then persist, parked, for the fabric's lifetime;
+//! * the pool grows on demand up to [`MAX_POOL_WORKERS`], sized by each batch's
+//!   requested parallelism with [`std::thread::available_parallelism`] as the
+//!   floor for the first growth step;
+//! * the **submitting thread is always worker 0**: it drains its own batch
+//!   alongside the pool, so a batch never deadlocks waiting for pool capacity
+//!   and the sequential semantics of a one-worker batch are exactly the inline
+//!   dispatch path;
+//! * dropping the pool (i.e. the fabric) shuts the workers down and joins them.
+//!
+//! # Tickets, not jobs
+//!
+//! The shared queue holds **claim tickets**, not individual fetches. A batch of
+//! `n` requests submitted at parallelism `w` enqueues `w - 1` tickets; whichever
+//! worker pops a ticket *drains that batch's own pending list* until it is
+//! empty. Concurrency on one batch is therefore **exactly bounded** by its
+//! ticket count plus the submitting thread — a fully grown pool cannot gang up
+//! on a narrow batch — and submission wakes only as many workers as there are
+//! tickets (no thundering herd on small batches).
+//!
+//! A panicking origin handler is contained per request: the unwind is caught,
+//! the request's result slot is completed with [`NetError::FetchPanicked`], and
+//! both the ticket and the worker keep going — one poisoned handler fails its
+//! own fetch, never hangs the navigating thread or kills the pool.
+//!
+//! Because submission is cheap and the workers are already warm, "overlap the
+//! next navigation with the current fan-out" is now just another batch
+//! submission — and the loader's adaptive cutover dropped from 300µs to 150µs.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::thread::JoinHandle;
+
+use crate::error::NetError;
+use crate::message::{Request, Response};
+use crate::shared_network::SharedNetwork;
+
+/// Hard bound on pool threads, far above any realistic fan-out parallelism — a
+/// backstop against a caller requesting absurd batch widths, not a tuning knob.
+pub const MAX_POOL_WORKERS: usize = 64;
+
+/// One submitted batch: the pending requests any ticket holder may claim, the
+/// per-request result slots, and the rendezvous the submitter waits on.
+///
+/// The batch holds the fabric **weakly**: the pool lives *inside* the fabric,
+/// so a worker must never be the one to drop the fabric's last strong
+/// reference — that would run the pool's own `Drop` (which joins the workers)
+/// on a worker thread. The submitter blocked in `dispatch_batch` holds a
+/// strong reference for the whole batch, so the upgrade only fails for work
+/// orphaned by a vanished submitter, which completes with an error.
+struct BatchWork {
+    fabric: Weak<SharedNetwork>,
+    base: u64,
+    /// Requests not yet claimed, as `(plan_index, request)`. One short lock
+    /// hold per claim; ticket holders loop until this is empty.
+    pending: Mutex<VecDeque<(usize, Request)>>,
+    slots: Vec<Mutex<Option<Result<Response, NetError>>>>,
+    remaining: AtomicUsize,
+    done: Mutex<bool>,
+    finished: Condvar,
+}
+
+impl BatchWork {
+    fn new(fabric: &Arc<SharedNetwork>, base: u64, requests: Vec<Request>) -> Arc<Self> {
+        let count = requests.len();
+        Arc::new(BatchWork {
+            fabric: Arc::downgrade(fabric),
+            base,
+            pending: Mutex::new(requests.into_iter().enumerate().collect()),
+            slots: (0..count).map(|_| Mutex::new(None)).collect(),
+            remaining: AtomicUsize::new(count),
+            done: Mutex::new(false),
+            finished: Condvar::new(),
+        })
+    }
+
+    /// Drains the batch's pending list: claim a request, dispatch it under its
+    /// pre-reserved sequence, record the outcome, repeat until no claims
+    /// remain. Run by every ticket holder *and* the submitting thread, so the
+    /// batch's concurrency is exactly `tickets + 1`. Returns how many requests
+    /// this call dispatched.
+    ///
+    /// A panic inside the origin's handler is caught here, per request: the
+    /// slot is completed with [`NetError::FetchPanicked`] and the drain
+    /// continues — one poisoned handler cannot hang the batch or kill a pool
+    /// worker.
+    fn drain(&self) -> u64 {
+        let mut ran = 0;
+        loop {
+            let claimed = self.pending.lock().expect("batch pending list").pop_front();
+            let Some((index, request)) = claimed else {
+                return ran;
+            };
+            ran += 1;
+            let outcome = match self.fabric.upgrade() {
+                Some(fabric) => {
+                    let outcome = dispatch_containing_panics(&fabric, self.base, index, request);
+                    // The strong reference must die *before* the completion
+                    // signal: once `complete` wakes the submitter, the
+                    // fabric's owner may drop it at any moment, and this
+                    // thread must not be holding the last count when it does.
+                    drop(fabric);
+                    outcome
+                }
+                None => Err(NetError::HostUnreachable(format!(
+                    "network fabric dropped before dispatching {}",
+                    request.url
+                ))),
+            };
+            self.complete(index, outcome);
+        }
+    }
+
+    fn complete(&self, index: usize, outcome: Result<Response, NetError>) {
+        *self.slots[index].lock().expect("batch result slot") = Some(outcome);
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            *self.done.lock().expect("batch done flag") = true;
+            self.finished.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().expect("batch done flag");
+        while !*done {
+            done = self.finished.wait(done).expect("batch done flag");
+        }
+    }
+
+    fn take_results(&self) -> Vec<Result<Response, NetError>> {
+        self.slots
+            .iter()
+            .map(|slot| {
+                slot.lock()
+                    .expect("batch result slot")
+                    .take()
+                    .expect("every request of a finished batch has a result")
+            })
+            .collect()
+    }
+}
+
+/// Dispatches batch request `index` under its pre-reserved sequence, catching
+/// a panicking origin handler and converting it into
+/// [`NetError::FetchPanicked`]. Shared by the pooled drain and the inline
+/// (parallelism ≤ 1) path so a batch's panic semantics do not depend on which
+/// side of the fan-out cutover it landed on.
+fn dispatch_containing_panics(
+    fabric: &SharedNetwork,
+    base: u64,
+    index: usize,
+    request: Request,
+) -> Result<Response, NetError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        fabric.dispatch_sequenced(base + index as u64, request)
+    }))
+    .unwrap_or_else(|_| {
+        Err(NetError::FetchPanicked(format!(
+            "origin handler panicked on batch request {index}"
+        )))
+    })
+}
+
+/// The state workers share: the ticket queue and the park/wake machinery.
+/// Workers hold an `Arc` of *this* (never of the fabric), and batches hold the
+/// fabric only weakly, so the fabric → pool → worker ownership chain stays
+/// acyclic and the fabric's last strong reference can never die on a worker
+/// thread.
+struct PoolShared {
+    queue: Mutex<PoolQueue>,
+    /// Parked workers wait here; submission notifies one worker per ticket.
+    available: Condvar,
+    /// Requests dispatched by pool workers (not the helping submitter) —
+    /// observability.
+    executed: AtomicU64,
+}
+
+struct PoolQueue {
+    /// Claim tickets: popping one commits the worker to draining that batch.
+    tickets: VecDeque<Arc<BatchWork>>,
+    shutdown: bool,
+}
+
+/// The persistent, lazily-grown worker pool one [`SharedNetwork`] owns.
+pub(crate) struct FetchPool {
+    shared: Arc<PoolShared>,
+    /// Spawned worker handles; joined on drop. The `Mutex` also serializes
+    /// growth, so two racing `ensure_workers` calls cannot over-spawn.
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Lock-free mirror of `handles.len()` for the stats path.
+    workers: AtomicUsize,
+}
+
+impl FetchPool {
+    pub(crate) fn new() -> Self {
+        FetchPool {
+            shared: Arc::new(PoolShared {
+                queue: Mutex::new(PoolQueue {
+                    tickets: VecDeque::new(),
+                    shutdown: false,
+                }),
+                available: Condvar::new(),
+                executed: AtomicU64::new(0),
+            }),
+            handles: Mutex::new(Vec::new()),
+            workers: AtomicUsize::new(0),
+        }
+    }
+
+    /// Parked worker threads currently alive.
+    pub(crate) fn workers(&self) -> usize {
+        self.workers.load(Ordering::Relaxed)
+    }
+
+    /// Requests dispatched by pool workers (the helping submitter's share is
+    /// not counted here — it never crossed a thread).
+    pub(crate) fn jobs_executed(&self) -> u64 {
+        self.shared.executed.load(Ordering::Relaxed)
+    }
+
+    /// Grows the pool to at least `wanted` workers (capped at
+    /// [`MAX_POOL_WORKERS`]). Existing parked workers are reused; only the
+    /// shortfall is spawned. First growth also covers the machine's available
+    /// parallelism so a warm pool serves later, wider batches without a second
+    /// growth stop.
+    fn ensure_workers(&self, wanted: usize) {
+        let wanted = wanted.min(MAX_POOL_WORKERS);
+        if self.workers() >= wanted {
+            return;
+        }
+        let mut handles = self.handles.lock().expect("pool handle list");
+        let target = wanted
+            .max(
+                std::thread::available_parallelism()
+                    .map_or(1, std::num::NonZeroUsize::get)
+                    .min(MAX_POOL_WORKERS),
+            )
+            .max(handles.len());
+        while handles.len() < target {
+            let shared = Arc::clone(&self.shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name("escudo-fetch".into())
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn fetch worker"),
+            );
+        }
+        self.workers.store(handles.len(), Ordering::Relaxed);
+    }
+
+    /// Enqueues `tickets` claim tickets for `work` under one lock hold and
+    /// wakes exactly that many parked workers — a small batch on a fully grown
+    /// pool does not stampede every thread.
+    fn submit(&self, work: &Arc<BatchWork>, tickets: usize) {
+        {
+            let mut queue = self.shared.queue.lock().expect("fetch pool queue");
+            queue.tickets.extend((0..tickets).map(|_| Arc::clone(work)));
+        }
+        for _ in 0..tickets {
+            self.shared.available.notify_one();
+        }
+    }
+}
+
+impl Drop for FetchPool {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("fetch pool queue");
+            queue.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for handle in self.handles.lock().expect("pool handle list").drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for FetchPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FetchPool")
+            .field("workers", &self.workers())
+            .field("jobs_executed", &self.jobs_executed())
+            .finish()
+    }
+}
+
+/// A worker: park on the condvar, drain a batch per claimed ticket, exit on
+/// shutdown. Pending tickets are drained even after shutdown is flagged, so a
+/// fabric dropped mid-batch still completes the batch before the join.
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let work = {
+            let mut queue = shared.queue.lock().expect("fetch pool queue");
+            loop {
+                if let Some(work) = queue.tickets.pop_front() {
+                    break work;
+                }
+                if queue.shutdown {
+                    return;
+                }
+                queue = shared.available.wait(queue).expect("fetch pool queue");
+            }
+        };
+        let ran = work.drain();
+        shared.executed.fetch_add(ran, Ordering::Relaxed);
+    }
+}
+
+impl SharedNetwork {
+    /// Dispatches a pre-planned batch of requests — request `i` under sequence
+    /// `base + i` — across the fabric's persistent worker pool, returning the
+    /// outcomes in plan order.
+    ///
+    /// `parallelism` bounds how many fetches run concurrently, **exactly**: the
+    /// batch enqueues `parallelism - 1` claim tickets and only ticket holders
+    /// (plus the calling thread) can claim its requests, so even a fully grown
+    /// pool cannot run a narrow batch wider than asked. At `1` the batch
+    /// dispatches inline on the calling thread in plan order — byte-identical
+    /// to the sequential oracle, no pool involvement. Above `1`, the calling
+    /// thread submits the tickets, drains its own batch alongside the woken
+    /// workers (it is worker 0, as the scoped-thread loader's navigating
+    /// thread was), and parks on the batch's condvar only while ticket holders
+    /// finish the tail.
+    ///
+    /// # Errors
+    ///
+    /// Each slot carries its own [`NetError`] — one unreachable origin fails
+    /// that fetch, and a panicking origin handler fails its own slot with
+    /// [`NetError::FetchPanicked`]; neither hangs or fails the batch.
+    pub fn dispatch_batch(
+        self: &Arc<Self>,
+        base: u64,
+        requests: Vec<Request>,
+        parallelism: usize,
+    ) -> Vec<Result<Response, NetError>> {
+        let count = requests.len();
+        if count == 0 {
+            return Vec::new();
+        }
+        let parallelism = parallelism.min(count);
+        if parallelism <= 1 {
+            // Same panic containment as the pooled drain: whether a batch lands
+            // on the inline or the fanned-out side of the cutover must not
+            // change what a poisoned handler does to the navigating thread.
+            return requests
+                .into_iter()
+                .enumerate()
+                .map(|(i, request)| dispatch_containing_panics(self, base, i, request))
+                .collect();
+        }
+        let work = BatchWork::new(self, base, requests);
+        // The submitter is one of the `parallelism` lanes; ticket the rest.
+        self.pool().ensure_workers(parallelism - 1);
+        self.pool().submit(&work, parallelism - 1);
+        work.drain();
+        work.wait();
+        work.take_results()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::StatusCode;
+    use std::time::Duration;
+
+    fn echo(req: &Request) -> Response {
+        Response::ok_text(req.url.path().to_string())
+    }
+
+    fn fabric_with_origins(n: usize, latency: Duration) -> Arc<SharedNetwork> {
+        let fabric = Arc::new(SharedNetwork::new());
+        for k in 0..n {
+            let origin = format!("http://h{k}.example");
+            fabric.register(&origin, echo);
+            fabric.set_latency(&origin, latency);
+        }
+        fabric
+    }
+
+    fn plan(fabric: &Arc<SharedNetwork>, count: usize, origins: usize) -> (u64, Vec<Request>) {
+        let requests: Vec<Request> = (0..count)
+            .map(|i| Request::get(&format!("http://h{}.example/r{i}", i % origins)).unwrap())
+            .collect();
+        (fabric.reserve_sequences(count as u64), requests)
+    }
+
+    #[test]
+    fn batch_results_and_log_read_in_plan_order() {
+        let fabric = fabric_with_origins(4, Duration::ZERO);
+        let (base, requests) = plan(&fabric, 8, 4);
+        let results = fabric.dispatch_batch(base, requests, 4);
+        assert_eq!(results.len(), 8);
+        for (i, result) in results.iter().enumerate() {
+            assert_eq!(result.as_ref().unwrap().body, format!("/r{i}"));
+        }
+        let paths: Vec<String> = fabric.log().iter().map(|e| e.url.path().into()).collect();
+        let expected: Vec<String> = (0..8).map(|i| format!("/r{i}")).collect();
+        assert_eq!(paths, expected);
+    }
+
+    #[test]
+    fn parallelism_one_never_touches_the_pool() {
+        let fabric = fabric_with_origins(2, Duration::ZERO);
+        let (base, requests) = plan(&fabric, 4, 2);
+        let results = fabric.dispatch_batch(base, requests, 1);
+        assert!(results.iter().all(Result::is_ok));
+        assert_eq!(fabric.fetch_pool_workers(), 0, "inline path spawns nothing");
+    }
+
+    #[test]
+    fn workers_persist_across_batches() {
+        let fabric = fabric_with_origins(4, Duration::from_micros(50));
+        for _ in 0..3 {
+            let (base, requests) = plan(&fabric, 8, 4);
+            let results = fabric.dispatch_batch(base, requests, 4);
+            assert!(results.iter().all(Result::is_ok));
+        }
+        let after_first = fabric.fetch_pool_workers();
+        assert!(after_first >= 3, "pool retains its parked workers");
+        let (base, requests) = plan(&fabric, 8, 4);
+        fabric.dispatch_batch(base, requests, 4);
+        assert_eq!(
+            fabric.fetch_pool_workers(),
+            after_first,
+            "a later batch reuses the parked workers instead of spawning"
+        );
+        assert_eq!(fabric.log_len(), 32);
+    }
+
+    #[test]
+    fn unreachable_origins_fail_their_slot_not_the_batch() {
+        let fabric = fabric_with_origins(2, Duration::ZERO);
+        let base = fabric.reserve_sequences(3);
+        let requests = vec![
+            Request::get("http://h0.example/a").unwrap(),
+            Request::get("http://nowhere.example/b").unwrap(),
+            Request::get("http://h1.example/c").unwrap(),
+        ];
+        let results = fabric.dispatch_batch(base, requests, 2);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(NetError::HostUnreachable(_))));
+        assert!(results[2].is_ok());
+        // The unreachable dispatch is not logged, matching dispatch_sequenced.
+        assert_eq!(fabric.log_len(), 2);
+    }
+
+    #[test]
+    fn panicking_handlers_fail_their_slot_and_spare_the_pool() {
+        let fabric = fabric_with_origins(1, Duration::ZERO);
+        fabric.register("http://boom.example", |req: &Request| -> Response {
+            panic!("handler exploded on {}", req.url.path())
+        });
+        let base = fabric.reserve_sequences(4);
+        let requests = vec![
+            Request::get("http://h0.example/a").unwrap(),
+            Request::get("http://boom.example/b").unwrap(),
+            Request::get("http://h0.example/c").unwrap(),
+            Request::get("http://boom.example/d").unwrap(),
+        ];
+        // The batch completes — no hang — with the panicking slots failed.
+        let results = fabric.dispatch_batch(base, requests, 3);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(NetError::FetchPanicked(_))));
+        assert!(results[2].is_ok());
+        assert!(matches!(results[3], Err(NetError::FetchPanicked(_))));
+        // The pool survived: a later healthy batch over the same workers runs
+        // to completion. (The panicked origin's handler mutex is poisoned, but
+        // the pool and every other origin are unaffected.)
+        let (base, requests) = plan(&fabric, 4, 1);
+        let results = fabric.dispatch_batch(base, requests, 3);
+        assert!(results.iter().all(Result::is_ok));
+    }
+
+    #[test]
+    fn inline_batches_contain_panics_like_pooled_ones() {
+        // Parallelism 1 takes the inline path; a panicking handler must fail
+        // its own slot there too — which side of the fan-out cutover a batch
+        // lands on must not decide between a soft error and a crashed
+        // navigating thread.
+        let fabric = fabric_with_origins(1, Duration::ZERO);
+        fabric.register("http://boom.example", |_req: &Request| -> Response {
+            panic!("inline handler exploded")
+        });
+        let base = fabric.reserve_sequences(3);
+        let requests = vec![
+            Request::get("http://h0.example/a").unwrap(),
+            Request::get("http://boom.example/b").unwrap(),
+            Request::get("http://h0.example/c").unwrap(),
+        ];
+        let results = fabric.dispatch_batch(base, requests, 1);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(NetError::FetchPanicked(_))));
+        assert!(results[2].is_ok());
+        assert_eq!(fabric.fetch_pool_workers(), 0, "inline path spawns nothing");
+    }
+
+    #[test]
+    fn parallelism_strictly_bounds_batch_concurrency() {
+        // A grown pool (4 workers) must not gang up on a width-2 batch: with
+        // a handler counting concurrent entries, the high-water mark stays
+        // ≤ 2 even though more workers are parked and hungry.
+        let fabric = Arc::new(SharedNetwork::new());
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let high_water = Arc::new(AtomicUsize::new(0));
+        for k in 0..4 {
+            let in_flight = Arc::clone(&in_flight);
+            let high_water = Arc::clone(&high_water);
+            fabric.register(&format!("http://h{k}.example"), move |req: &Request| {
+                let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                high_water.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_micros(200));
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+                Response::ok_text(req.url.path().to_string())
+            });
+        }
+        // Grow the pool to 4 with a wide batch first.
+        let (base, requests) = plan(&fabric, 8, 4);
+        fabric.dispatch_batch(base, requests, 5);
+        assert!(fabric.fetch_pool_workers() >= 4);
+        // Now a narrow batch: the bound must hold despite the grown pool.
+        high_water.store(0, Ordering::SeqCst);
+        let (base, requests) = plan(&fabric, 12, 4);
+        let results = fabric.dispatch_batch(base, requests, 2);
+        assert!(results.iter().all(Result::is_ok));
+        assert!(
+            high_water.load(Ordering::SeqCst) <= 2,
+            "width-2 batch ran {} fetches concurrently",
+            high_water.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn concurrent_submitters_share_one_pool() {
+        let fabric = fabric_with_origins(4, Duration::from_micros(100));
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let fabric = Arc::clone(&fabric);
+                scope.spawn(move || {
+                    let (base, requests) = plan(&fabric, 8, 4);
+                    let results = fabric.dispatch_batch(base, requests, 4);
+                    assert!(results.iter().all(Result::is_ok));
+                });
+            }
+        });
+        assert_eq!(fabric.log_len(), 24);
+        assert!(fabric.fetch_pool_workers() <= MAX_POOL_WORKERS);
+    }
+
+    #[test]
+    fn status_codes_travel_through_the_pool() {
+        let fabric = Arc::new(SharedNetwork::new());
+        fabric.register("http://deny.example", |_req: &Request| {
+            Response::error(StatusCode::FORBIDDEN, "no")
+        });
+        let base = fabric.reserve_sequences(2);
+        let requests = vec![
+            Request::get("http://deny.example/x").unwrap(),
+            Request::get("http://deny.example/y").unwrap(),
+        ];
+        let results = fabric.dispatch_batch(base, requests, 2);
+        for result in results {
+            assert_eq!(result.unwrap().status, StatusCode::FORBIDDEN);
+        }
+    }
+}

@@ -44,6 +44,7 @@
 
 pub mod cookie;
 pub mod error;
+pub mod fetch_pool;
 pub mod headers;
 pub mod jar;
 pub mod message;

@@ -28,6 +28,10 @@
 //!   synthetic service time to an origin, slept *outside* every lock — so the
 //!   pipelining win of overlapping slow fetches is measurable in-process, without
 //!   sockets.
+//! * **Persistent fetch worker pool.** [`SharedNetwork::dispatch_batch`] fans a
+//!   pre-planned request batch out over parked worker threads the fabric owns
+//!   and reuses across page loads ([`crate::fetch_pool`]) — submission costs a
+//!   queue push and a notify, not a thread spawn per page.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -94,6 +98,10 @@ pub struct SharedNetwork {
     stripe_capacity: usize,
     dropped: AtomicU64,
     sequence: AtomicU64,
+    /// The persistent fetch worker pool behind
+    /// [`dispatch_batch`](SharedNetwork::dispatch_batch): lazily-spawned parked
+    /// threads reused across every page load on this fabric.
+    pool: crate::fetch_pool::FetchPool,
 }
 
 impl Default for SharedNetwork {
@@ -134,7 +142,28 @@ impl SharedNetwork {
             stripe_capacity,
             dropped: AtomicU64::new(0),
             sequence: AtomicU64::new(0),
+            pool: crate::fetch_pool::FetchPool::new(),
         }
+    }
+
+    /// The persistent fetch worker pool (crate-internal; batches go through
+    /// [`SharedNetwork::dispatch_batch`]).
+    pub(crate) fn pool(&self) -> &crate::fetch_pool::FetchPool {
+        &self.pool
+    }
+
+    /// Parked fetch-pool worker threads currently alive (0 until the first
+    /// batch actually fans out — the pool spawns lazily).
+    #[must_use]
+    pub fn fetch_pool_workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Fetch jobs executed by pool workers so far (helping submitters' jobs are
+    /// not counted — they never crossed a thread).
+    #[must_use]
+    pub fn fetch_pool_jobs_executed(&self) -> u64 {
+        self.pool.jobs_executed()
     }
 
     /// Registers a server for an origin given as a URL string (the path is
@@ -423,6 +452,7 @@ impl fmt::Debug for SharedNetwork {
             )
             .field("logged_requests", &self.log_len())
             .field("dropped_log_entries", &self.dropped_log_entries())
+            .field("fetch_pool_workers", &self.fetch_pool_workers())
             .finish()
     }
 }

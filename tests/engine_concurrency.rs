@@ -5,11 +5,13 @@
 //! self-consistent while a concurrent reader watches them.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::thread;
 
 use escudo::core::context::{ObjectContext, ObjectKind, PrincipalContext, PrincipalKind};
-use escudo::core::{decide, Acl, EscudoEngine, Operation, Origin, PolicyEngine, PolicyMode, Ring};
+use escudo::core::{
+    decide, Acl, ContextInterner, EscudoEngine, Operation, Origin, PolicyEngine, PolicyMode, Ring,
+};
 
 const THREADS: usize = 8;
 const PASSES: usize = 20;
@@ -122,6 +124,154 @@ fn eight_threads_match_the_single_threaded_oracle() {
         "misses should be first-touch only: {stats:?}"
     );
     assert!(stats.hit_rate() > 0.9, "steady state: {stats:?}");
+}
+
+/// A fresh context pair no other storm participant shares unless given the same
+/// coordinates — distinct origins are the realistic distinguisher.
+fn storm_pair(tag: &str, index: usize) -> (PrincipalContext, ObjectContext) {
+    let origin = Origin::new("http", &format!("{tag}{index}.fresh.example"), 80);
+    let ring = Ring::new((index % 4) as u16);
+    let principal = PrincipalContext::new(PrincipalKind::Script, origin.clone(), ring);
+    let object = ObjectContext::new(ObjectKind::DomElement, origin, ring)
+        .with_acl(Acl::uniform(Ring::new((index % 3) as u16)));
+    (principal, object)
+}
+
+#[test]
+fn first_touch_storm_interns_densely_without_duplicates() {
+    // 8 threads × (overlapping + disjoint fresh contexts) against one lock-free
+    // interner: every thread must observe ONE dense id per key (losers adopt the
+    // winner's), no id may be burned by a lost claim, and a lookup immediately
+    // after an intern must hit.
+    const SHARED: usize = 48;
+    const DISJOINT: usize = 24;
+    let interner = ContextInterner::new();
+    let shared: Vec<_> = (0..SHARED).map(|i| storm_pair("shared", i)).collect();
+    let barrier = Barrier::new(THREADS);
+
+    let observed: Vec<Vec<(usize, u32, u32)>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let interner = &interner;
+                let shared = &shared;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let own: Vec<_> = (0..DISJOINT)
+                        .map(|i| storm_pair(&format!("t{t}d"), i))
+                        .collect();
+                    barrier.wait();
+                    let mut seen = Vec::new();
+                    // Offset walks: threads hit the same shared keys at
+                    // different moments while the sets fully overlap.
+                    let offset = t * 11 % SHARED;
+                    for i in 0..SHARED {
+                        let idx = (offset + i) % SHARED;
+                        let (principal, object) = &shared[idx];
+                        let pid = interner.intern_principal(principal);
+                        let oid = interner.intern_object(object);
+                        // Lookup after intern always hits, mid-storm included.
+                        assert_eq!(interner.lookup_principal(principal), Some(pid));
+                        assert_eq!(interner.lookup_object(object), Some(oid));
+                        seen.push((idx, pid.index(), oid.index()));
+                    }
+                    for (principal, object) in &own {
+                        let pid = interner.intern_principal(principal);
+                        assert_eq!(interner.lookup_principal(principal), Some(pid));
+                        interner.intern_object(object);
+                    }
+                    seen
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("storm thread panicked"))
+            .collect()
+    });
+
+    // Dense: exactly the distinct population, despite every shared key being
+    // claimed by 8 racing threads.
+    let population = SHARED + THREADS * DISJOINT;
+    assert_eq!(interner.principal_count(), population);
+    assert_eq!(interner.object_count(), population);
+
+    // No duplicates: every thread resolved each shared key to the same id.
+    let mut principal_ids = vec![None; SHARED];
+    let mut object_ids = vec![None; SHARED];
+    for thread_view in &observed {
+        for &(idx, pid, oid) in thread_view {
+            assert!(
+                (pid as usize) < population,
+                "principal id out of dense range"
+            );
+            assert!((oid as usize) < population, "object id out of dense range");
+            match principal_ids[idx] {
+                None => principal_ids[idx] = Some(pid),
+                Some(expected) => {
+                    assert_eq!(pid, expected, "shared key {idx} got two principal ids")
+                }
+            }
+            match object_ids[idx] {
+                None => object_ids[idx] = Some(oid),
+                Some(expected) => assert_eq!(oid, expected, "shared key {idx} got two object ids"),
+            }
+        }
+    }
+    // The shared ids are distinct from one another (no two keys collapsed).
+    let mut unique: Vec<u32> = principal_ids.iter().map(|id| id.unwrap()).collect();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(unique.len(), SHARED, "two shared principals shared an id");
+}
+
+#[test]
+fn first_touch_storm_decisions_match_the_oracle() {
+    // The storm seen through the full engine: 8 threads deciding over fresh
+    // overlapping + disjoint contexts (so interning, cache fills and decision
+    // computation all race on first touch). Every decision must be
+    // byte-identical to the single-threaded `policy::decide` oracle.
+    const SHARED: usize = 32;
+    const DISJOINT: usize = 16;
+    let engine = Arc::new(EscudoEngine::new());
+    let shared: Vec<_> = (0..SHARED).map(|i| storm_pair("dshared", i)).collect();
+    let barrier = Barrier::new(THREADS);
+
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let engine = Arc::clone(&engine);
+            let shared = &shared;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let own: Vec<_> = (0..DISJOINT)
+                    .map(|i| storm_pair(&format!("dt{t}"), i))
+                    .collect();
+                barrier.wait();
+                for (principal, object) in shared.iter().chain(&own) {
+                    for op in Operation::ALL {
+                        assert_eq!(
+                            engine.decide(principal, object, op),
+                            decide(PolicyMode::Escudo, principal, object, op),
+                            "storm decision diverged for {principal} / {object} / {op}"
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = engine.stats();
+    let population = (SHARED + THREADS * DISJOINT) as u64;
+    assert_eq!(stats.interned_principals, population);
+    assert_eq!(stats.interned_objects, population);
+    assert_eq!(stats.decisions, stats.cache_hits + stats.cache_misses);
+    assert_eq!(
+        stats.decisions,
+        (THREADS * (SHARED + DISJOINT) * Operation::ALL.len()) as u64
+    );
+    // The new observability counters are present and sane: depth is at least 1
+    // once anything is interned, and CAS retries only count genuine races.
+    assert!(stats.interner_max_bucket_depth >= 1);
+    assert!(stats.interner_cas_retries <= stats.decisions);
 }
 
 #[test]
