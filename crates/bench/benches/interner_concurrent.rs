@@ -29,7 +29,7 @@ use escudo_bench::cli::{parse_flag, JsonReport};
 use escudo_bench::interner::{
     best_storm, measure_warm_lookup, storm_contexts, RwLockContextTable, StormSample,
 };
-use escudo_core::ContextInterner;
+use escudo_core::{ContextInterner, SPILL_WINDOW_SLOTS};
 
 /// Minimum lock-free-over-reference storm speedup at the highest thread count,
 /// on any host where two threads can actually run in parallel (the convoy the
@@ -212,13 +212,29 @@ fn main() {
         interner.cas_retries(),
         interner.max_bucket_depth()
     );
+    // The spill policy bounds every primary chain's walk to the spill window;
+    // a deeper chain after a storm means the bound regressed.
+    if interner.max_bucket_depth() <= SPILL_WINDOW_SLOTS {
+        println!(
+            "ok: max bucket depth {} within the {SPILL_WINDOW_SLOTS}-slot spill window",
+            interner.max_bucket_depth()
+        );
+    } else {
+        eprintln!(
+            "FAIL: max bucket depth {} exceeds the {SPILL_WINDOW_SLOTS}-slot spill window — \
+             saturated buckets are chaining instead of spilling",
+            interner.max_bucket_depth()
+        );
+        failed = true;
+    }
     json.int("occupancy_principals", interner.principal_count() as u64)
         .int("occupancy_objects", interner.object_count() as u64)
         .int("occupancy_cas_retries", interner.cas_retries())
         .int(
-            "occupancy_max_bucket_depth",
+            "interner_max_bucket_depth",
             interner.max_bucket_depth() as u64,
         )
+        .int("spill_window_slots", SPILL_WINDOW_SLOTS as u64)
         .num("storm_speedup_at_max_threads", speedup_at_max)
         .num("storm_speedup_gate", required)
         .int("hardware_threads", hardware_threads as u64)

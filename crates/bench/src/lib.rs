@@ -17,6 +17,13 @@
 //!   fabric with simulated per-origin latency: pipelined-vs-sequential page-load
 //!   timing, the byte-identical log oracle and the shared-fabric isolation run
 //!   behind `loader_concurrent`,
+//! * [`scheduler`] — the unified-fetch-scheduler workload behind
+//!   `scheduler_concurrent`: navigation-lane p99 latency under a bulk storm,
+//!   the speculative-prefetch speedup, the prefetch-on-vs-off mediation oracle
+//!   and the prefetching-session isolation run,
+//! * [`trajectory`] — the perf-trajectory comparator that diffs a fresh merged
+//!   bench report against the committed `BENCH_<PR>.json` snapshot (the
+//!   `trajectory` binary CI gates each PR with),
 //! * [`experiments`] — the report types printed by the `experiments` binary and
 //!   recorded in `EXPERIMENTS.md` (Figure 4, UI events, §6.3, §6.4, Tables 1–5).
 //!
@@ -32,6 +39,8 @@ pub mod experiments;
 pub mod interner;
 pub mod loader;
 pub mod measure;
+pub mod scheduler;
+pub mod trajectory;
 pub mod workload;
 
 pub use concurrent::{

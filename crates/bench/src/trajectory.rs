@@ -1,0 +1,780 @@
+//! The perf-trajectory comparator: diffs two merged bench reports
+//! (`BENCH_<PR>.json`) metric by metric and classifies every change.
+//!
+//! CI merges each `harness = false` bench's `--json` report into one array,
+//! `[{"bench": "...", "results": {...}}, ...]`, committed in-repo as the PR's
+//! trajectory snapshot. This module reads two such snapshots — the committed
+//! previous one and the freshly measured current one — with a dependency-free
+//! JSON parser, pairs metrics by `(bench, key)` and judges each pair:
+//!
+//! * **correctness metrics** (mismatch/violation/leak counters, `*_passed`
+//!   gate flags) fail on *any* regression — a single leaked cookie is not
+//!   noise,
+//! * **performance metrics** (`*_ns`, `*_per_sec`, `*speedup*`, `*retained*`,
+//!   `*ratio*`, hit rates) warn past [`WARN_FRACTION`] and fail past
+//!   [`FAIL_FRACTION`], with a noise floor: nanosecond-scale timings must also
+//!   move by at least [`TIMING_NOISE_FLOOR_NS`] before a relative change
+//!   counts, because sub-microsecond deltas are timer jitter, not regressions,
+//! * everything else (thread counts, workload sizes, occupancy counters) is
+//!   informational and never gates.
+//!
+//! A metric present before but missing now warns (a silently dropped gate is
+//! itself a regression signal); new metrics and new benches pass freely — the
+//! trajectory must not punish adding coverage. The `trajectory` binary
+//! (`cargo run -p escudo-bench --bin trajectory -- --previous A --current B`)
+//! prints one line per non-Ok verdict and exits non-zero on failure, which is
+//! how CI gates each PR's bench run against the committed snapshot.
+
+use std::fmt::Write as _;
+
+/// Relative regression past which a performance metric warns.
+pub const WARN_FRACTION: f64 = 0.10;
+
+/// Relative regression past which a performance metric fails the comparison.
+pub const FAIL_FRACTION: f64 = 0.35;
+
+/// Noise floor for nanosecond-valued metrics: a relative change whose absolute
+/// delta is below this many nanoseconds is timer jitter, never a verdict.
+pub const TIMING_NOISE_FLOOR_NS: f64 = 1_000.0;
+
+/// One metric value out of a bench report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// A numeric result (integer results parse as floats).
+    Num(f64),
+    /// A boolean result, e.g. a gate verdict.
+    Flag(bool),
+    /// A string result.
+    Text(String),
+    /// An explicit JSON `null` (a non-finite number degraded on write).
+    Null,
+}
+
+impl Metric {
+    fn render(&self) -> String {
+        match self {
+            Metric::Num(v) => format!("{v:.3}"),
+            Metric::Flag(v) => v.to_string(),
+            Metric::Text(v) => format!("\"{v}\""),
+            Metric::Null => "null".to_string(),
+        }
+    }
+}
+
+/// One bench's results out of a merged trajectory snapshot.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// The bench binary's name (`{"bench": ...}`).
+    pub bench: String,
+    /// The flat result metrics, in file order.
+    pub results: Vec<(String, Metric)>,
+}
+
+impl BenchReport {
+    fn get(&self, key: &str) -> Option<&Metric> {
+        self.results.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dependency-free JSON parsing (subset: the shapes JsonReport can emit).
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        match self.peek() {
+            Some(b) if b == byte => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                byte as char,
+                self.pos,
+                other.map(char::from)
+            )),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err("unterminated string".to_string());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err("unterminated escape".to_string());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| "malformed \\u escape".to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(format!("unknown escape '\\{}'", other as char));
+                        }
+                    }
+                }
+                b => {
+                    // Re-assemble multi-byte UTF-8 runs starting at this byte.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    if b >= 0x80 {
+                        while self.bytes.get(end).is_some_and(|b| b & 0xc0 == 0x80) {
+                            end += 1;
+                        }
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                    out.push_str(run);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_metric(&mut self) -> Result<Metric, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Metric::Text(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Metric::Flag(true)),
+            Some(b'f') => self.parse_keyword("false", Metric::Flag(false)),
+            Some(b'n') => self.parse_keyword("null", Metric::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => {
+                let start = self.pos;
+                while self.bytes.get(self.pos).is_some_and(|b| {
+                    b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+                }) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid number bytes".to_string())?;
+                text.parse::<f64>()
+                    .map(Metric::Num)
+                    .map_err(|e| format!("malformed number {text:?}: {e}"))
+            }
+            other => Err(format!(
+                "expected a scalar at byte {}, found {:?}",
+                self.pos,
+                other.map(char::from)
+            )),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Metric) -> Result<Metric, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("expected keyword '{word}' at byte {}", self.pos))
+        }
+    }
+
+    fn parse_results(&mut self) -> Result<Vec<(String, Metric)>, String> {
+        self.expect(b'{')?;
+        let mut results = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(results);
+        }
+        loop {
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            results.push((key, self.parse_metric()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(results);
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' in results, found {:?}",
+                        other.map(char::from)
+                    ));
+                }
+            }
+        }
+    }
+
+    fn parse_report(&mut self) -> Result<BenchReport, String> {
+        self.expect(b'{')?;
+        let mut bench = None;
+        let mut results = None;
+        loop {
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            match key.as_str() {
+                "bench" => bench = Some(self.parse_string()?),
+                "results" => results = Some(self.parse_results()?),
+                other => return Err(format!("unexpected report key {other:?}")),
+            }
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' in report, found {:?}",
+                        other.map(char::from)
+                    ));
+                }
+            }
+        }
+        Ok(BenchReport {
+            bench: bench.ok_or("report missing \"bench\"")?,
+            results: results.ok_or("report missing \"results\"")?,
+        })
+    }
+}
+
+/// Parses a merged trajectory snapshot: a JSON array of
+/// `{"bench": ..., "results": {...}}` objects (a single bare object is also
+/// accepted, so one bench's `--json` output can be compared directly).
+///
+/// # Errors
+///
+/// Returns a positioned diagnostic on any malformed construct — a truncated
+/// artifact must fail the comparison loudly, not diff against half a file.
+pub fn parse_trajectory(input: &str) -> Result<Vec<BenchReport>, String> {
+    let mut parser = Parser::new(input);
+    let mut reports = Vec::new();
+    match parser.peek() {
+        Some(b'[') => {
+            parser.pos += 1;
+            if parser.peek() == Some(b']') {
+                parser.pos += 1;
+            } else {
+                loop {
+                    reports.push(parser.parse_report()?);
+                    match parser.peek() {
+                        Some(b',') => parser.pos += 1,
+                        Some(b']') => {
+                            parser.pos += 1;
+                            break;
+                        }
+                        other => {
+                            return Err(format!(
+                                "expected ',' or ']' between reports, found {:?}",
+                                other.map(char::from)
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Some(b'{') => reports.push(parser.parse_report()?),
+        other => {
+            return Err(format!(
+                "expected a trajectory array, found {:?}",
+                other.map(char::from)
+            ));
+        }
+    }
+    if parser.peek().is_some() {
+        return Err(format!("trailing bytes after trajectory at {}", parser.pos));
+    }
+    Ok(reports)
+}
+
+// ---------------------------------------------------------------------------
+// Metric classification and comparison.
+
+/// Which way a metric should move to count as an improvement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Latencies, counters of bad events: smaller is better.
+    LowerIsBetter,
+    /// Throughputs, speedups, hit rates: larger is better.
+    HigherIsBetter,
+    /// Workload shape and observability counters: never judged.
+    Informational,
+}
+
+/// How strictly a metric's regressions gate the comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strictness {
+    /// Any regression at all fails (correctness counters, gate flags).
+    Correctness,
+    /// Regression warns past [`WARN_FRACTION`], fails past [`FAIL_FRACTION`],
+    /// noise floor permitting.
+    Performance,
+    /// Reported, never judged.
+    Informational,
+}
+
+/// Classifies a metric key by name. The key vocabulary is shared bench
+/// convention (see `cli::JsonReport` call sites), so substring heuristics are
+/// reliable here: `*mismatches*`/`*violations*`/`*leaks*` are correctness
+/// counters, `*_ns`/`*per_sec*`/`*speedup*`/`*retained*`/`*ratio*`/`*rate*`
+/// are performance, and anything unrecognized is informational.
+#[must_use]
+pub fn classify(key: &str) -> (Direction, Strictness) {
+    let correctness_counter = ["mismatch", "violation", "leak", "dropped"]
+        .iter()
+        .any(|tag| key.contains(tag));
+    if correctness_counter {
+        return (Direction::LowerIsBetter, Strictness::Correctness);
+    }
+    let lower_perf = key.ends_with("_ns")
+        || key.contains("ns_per_")
+        || key.contains("_ns_per")
+        || key.contains("ratio")
+        || key.contains("latency_p");
+    if lower_perf {
+        return (Direction::LowerIsBetter, Strictness::Performance);
+    }
+    let higher_perf = key.contains("per_sec")
+        || key.contains("speedup")
+        || key.contains("retained")
+        || key.contains("rate");
+    if higher_perf {
+        return (Direction::HigherIsBetter, Strictness::Performance);
+    }
+    (Direction::Informational, Strictness::Informational)
+}
+
+/// The verdict on one `(bench, key)` metric pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Unchanged, improved, or within the warn threshold / noise floor.
+    Ok,
+    /// A performance regression past [`WARN_FRACTION`], or a dropped metric.
+    Warn,
+    /// A correctness regression, or a performance regression past
+    /// [`FAIL_FRACTION`].
+    Fail,
+}
+
+/// One compared metric with its verdict and a human-readable note.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// The bench the metric belongs to.
+    pub bench: String,
+    /// The metric key.
+    pub key: String,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// What happened, render-ready.
+    pub note: String,
+}
+
+/// The full outcome of diffing two trajectory snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct TrajectoryDiff {
+    /// Every non-Ok comparison plus notable improvements, in report order.
+    pub comparisons: Vec<Comparison>,
+    /// Metric pairs examined.
+    pub compared: usize,
+    /// Warn verdicts.
+    pub warnings: usize,
+    /// Fail verdicts.
+    pub failures: usize,
+}
+
+impl TrajectoryDiff {
+    fn push(&mut self, bench: &str, key: &str, verdict: Verdict, note: String) {
+        match verdict {
+            Verdict::Warn => self.warnings += 1,
+            Verdict::Fail => self.failures += 1,
+            Verdict::Ok => {}
+        }
+        self.comparisons.push(Comparison {
+            bench: bench.to_string(),
+            key: key.to_string(),
+            verdict,
+            note,
+        });
+    }
+}
+
+fn regression_fraction(direction: Direction, previous: f64, current: f64) -> f64 {
+    let baseline = previous.abs().max(f64::EPSILON);
+    match direction {
+        Direction::LowerIsBetter => (current - previous) / baseline,
+        Direction::HigherIsBetter => (previous - current) / baseline,
+        Direction::Informational => 0.0,
+    }
+}
+
+fn within_noise_floor(key: &str, previous: f64, current: f64) -> bool {
+    (key.ends_with("_ns") || key.contains("ns_per_"))
+        && (current - previous).abs() < TIMING_NOISE_FLOOR_NS
+}
+
+fn compare_metric(diff: &mut TrajectoryDiff, bench: &str, key: &str, prev: &Metric, cur: &Metric) {
+    let (direction, strictness) = classify(key);
+    match (prev, cur) {
+        (Metric::Flag(was), Metric::Flag(now)) => {
+            // A gate flag is correctness by definition: true -> false means a
+            // previously passing gate now fails.
+            if *was && !*now {
+                diff.push(
+                    bench,
+                    key,
+                    Verdict::Fail,
+                    "gate flag regressed true -> false".to_string(),
+                );
+            } else {
+                diff.compared += 1;
+            }
+        }
+        (Metric::Num(previous), Metric::Num(current)) => {
+            diff.compared += 1;
+            if strictness == Strictness::Informational {
+                return;
+            }
+            let fraction = regression_fraction(direction, *previous, *current);
+            if strictness == Strictness::Correctness {
+                if fraction > 0.0 {
+                    diff.push(
+                        bench,
+                        key,
+                        Verdict::Fail,
+                        format!("correctness counter rose {previous:.0} -> {current:.0}"),
+                    );
+                }
+                return;
+            }
+            if within_noise_floor(key, *previous, *current) {
+                return;
+            }
+            let note = format!(
+                "{previous:.3} -> {current:.3} ({:+.1}% against the trajectory)",
+                fraction * 100.0
+            );
+            if fraction > FAIL_FRACTION {
+                diff.push(bench, key, Verdict::Fail, note);
+            } else if fraction > WARN_FRACTION {
+                diff.push(bench, key, Verdict::Warn, note);
+            } else if fraction < -WARN_FRACTION {
+                diff.push(bench, key, Verdict::Ok, format!("improved: {note}"));
+            }
+        }
+        _ => {
+            diff.compared += 1;
+            // Type changes and Null/Text drift are shape changes, not perf
+            // regressions; surface them as warnings so they get looked at.
+            if prev != cur && !matches!(prev, Metric::Text(_)) {
+                diff.push(
+                    bench,
+                    key,
+                    Verdict::Warn,
+                    format!(
+                        "metric changed shape: {} -> {}",
+                        prev.render(),
+                        cur.render()
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Diffs `current` against `previous`, metric by metric. Benches and metrics
+/// present only in `current` pass freely; ones that *disappeared* warn.
+#[must_use]
+pub fn compare_trajectories(previous: &[BenchReport], current: &[BenchReport]) -> TrajectoryDiff {
+    let mut diff = TrajectoryDiff::default();
+    for prev_bench in previous {
+        let Some(cur_bench) = current.iter().find(|b| b.bench == prev_bench.bench) else {
+            diff.push(
+                &prev_bench.bench,
+                "*",
+                Verdict::Warn,
+                "bench disappeared from the current trajectory".to_string(),
+            );
+            continue;
+        };
+        for (key, prev_value) in &prev_bench.results {
+            match cur_bench.get(key) {
+                Some(cur_value) => {
+                    compare_metric(&mut diff, &prev_bench.bench, key, prev_value, cur_value);
+                }
+                None => diff.push(
+                    &prev_bench.bench,
+                    key,
+                    Verdict::Warn,
+                    "metric disappeared from the current report".to_string(),
+                ),
+            }
+        }
+    }
+    diff
+}
+
+/// Renders the diff as one line per recorded comparison plus a summary line.
+#[must_use]
+pub fn render_diff(diff: &TrajectoryDiff) -> String {
+    let mut out = String::new();
+    for comparison in &diff.comparisons {
+        let tag = match comparison.verdict {
+            Verdict::Ok => "ok",
+            Verdict::Warn => "WARN",
+            Verdict::Fail => "FAIL",
+        };
+        let _ = writeln!(
+            out,
+            "{tag}: {}/{}: {}",
+            comparison.bench, comparison.key, comparison.note
+        );
+    }
+    let _ = writeln!(
+        out,
+        "trajectory: {} metrics compared, {} warnings, {} failures",
+        diff.compared, diff.warnings, diff.failures
+    );
+    out
+}
+
+/// The `trajectory` binary's entry point: parses `--previous <path>` and
+/// `--current <path>`, prints the rendered diff and returns the process exit
+/// code (0 clean or warnings only, 1 failures, 2 usage/IO errors).
+#[must_use]
+pub fn run_comparator(args: &[String]) -> i32 {
+    let path_flag = |flag: &str| -> Option<String> {
+        args.iter().enumerate().find_map(|(i, arg)| {
+            if arg == flag {
+                args.get(i + 1).cloned()
+            } else {
+                arg.strip_prefix(&format!("{flag}=")).map(String::from)
+            }
+        })
+    };
+    let (Some(previous_path), Some(current_path)) =
+        (path_flag("--previous"), path_flag("--current"))
+    else {
+        eprintln!("usage: trajectory --previous <BENCH_N.json> --current <BENCH_M.json>");
+        return 2;
+    };
+    let load = |path: &str| -> Result<Vec<BenchReport>, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        parse_trajectory(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let previous = match load(&previous_path) {
+        Ok(reports) => reports,
+        Err(error) => {
+            eprintln!("error: {error}");
+            return 2;
+        }
+    };
+    let current = match load(&current_path) {
+        Ok(reports) => reports,
+        Err(error) => {
+            eprintln!("error: {error}");
+            return 2;
+        }
+    };
+    let diff = compare_trajectories(&previous, &current);
+    print!("{}", render_diff(&diff));
+    i32::from(diff.failures > 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(pairs: &[(&str, Metric)]) -> Vec<BenchReport> {
+        vec![BenchReport {
+            bench: "demo".to_string(),
+            results: pairs
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), v.clone()))
+                .collect(),
+        }]
+    }
+
+    #[test]
+    fn the_parser_round_trips_a_rendered_report() {
+        let mut report = crate::cli::JsonReport::new("demo");
+        report
+            .num("latency_speedup", 2.5)
+            .int("oracle_log_mismatches", 0)
+            .flag("gates_passed", true)
+            .text("note", "a \"quoted\" path\\");
+        let merged = format!("[{}]", report.render());
+        let parsed = parse_trajectory(&merged).expect("parse merged report");
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].bench, "demo");
+        assert_eq!(
+            parsed[0].get("latency_speedup"),
+            Some(&Metric::Num(2.5)),
+            "numbers parse"
+        );
+        assert_eq!(parsed[0].get("gates_passed"), Some(&Metric::Flag(true)));
+        assert_eq!(
+            parsed[0].get("note"),
+            Some(&Metric::Text("a \"quoted\" path\\".to_string()))
+        );
+        // A single bare object parses too, and malformed input is an error.
+        assert_eq!(parse_trajectory(&report.render()).unwrap().len(), 1);
+        assert!(parse_trajectory("[{\"bench\": ").is_err());
+        assert!(parse_trajectory("[] trailing").is_err());
+    }
+
+    #[test]
+    fn metric_keys_classify_by_shared_vocabulary() {
+        assert_eq!(
+            classify("oracle_log_mismatches"),
+            (Direction::LowerIsBetter, Strictness::Correctness)
+        );
+        assert_eq!(
+            classify("isolation_violations"),
+            (Direction::LowerIsBetter, Strictness::Correctness)
+        );
+        assert_eq!(
+            classify("sequential_ns_per_page"),
+            (Direction::LowerIsBetter, Strictness::Performance)
+        );
+        assert_eq!(
+            classify("warm_lookup_lockfree_ns"),
+            (Direction::LowerIsBetter, Strictness::Performance)
+        );
+        assert_eq!(
+            classify("storm_speedup_t8"),
+            (Direction::HigherIsBetter, Strictness::Performance)
+        );
+        assert_eq!(
+            classify("pages_per_sec"),
+            (Direction::HigherIsBetter, Strictness::Performance)
+        );
+        assert_eq!(
+            classify("hardware_threads"),
+            (Direction::Informational, Strictness::Informational)
+        );
+    }
+
+    #[test]
+    fn correctness_regressions_fail_regardless_of_size() {
+        let previous = snapshot(&[
+            ("isolation_violations", Metric::Num(0.0)),
+            ("gates_passed", Metric::Flag(true)),
+        ]);
+        let current = snapshot(&[
+            ("isolation_violations", Metric::Num(1.0)),
+            ("gates_passed", Metric::Flag(false)),
+        ]);
+        let diff = compare_trajectories(&previous, &current);
+        assert_eq!(diff.failures, 2);
+        let rendered = render_diff(&diff);
+        assert!(rendered.contains("correctness counter rose"));
+        assert!(rendered.contains("gate flag regressed"));
+    }
+
+    #[test]
+    fn performance_regressions_grade_warn_then_fail() {
+        let previous = snapshot(&[("pipelined_ns_per_page", Metric::Num(1_000_000.0))]);
+        // +8%: inside the warn threshold.
+        let diff = compare_trajectories(
+            &previous,
+            &snapshot(&[("pipelined_ns_per_page", Metric::Num(1_080_000.0))]),
+        );
+        assert_eq!((diff.warnings, diff.failures), (0, 0));
+        // +20%: warns.
+        let diff = compare_trajectories(
+            &previous,
+            &snapshot(&[("pipelined_ns_per_page", Metric::Num(1_200_000.0))]),
+        );
+        assert_eq!((diff.warnings, diff.failures), (1, 0));
+        // +60%: fails.
+        let diff = compare_trajectories(
+            &previous,
+            &snapshot(&[("pipelined_ns_per_page", Metric::Num(1_600_000.0))]),
+        );
+        assert_eq!((diff.warnings, diff.failures), (0, 1));
+        // Higher-is-better metrics judge the opposite direction.
+        let previous = snapshot(&[("latency_speedup", Metric::Num(4.0))]);
+        let diff = compare_trajectories(
+            &previous,
+            &snapshot(&[("latency_speedup", Metric::Num(2.0))]),
+        );
+        assert_eq!((diff.warnings, diff.failures), (0, 1));
+    }
+
+    #[test]
+    fn nanosecond_jitter_stays_under_the_noise_floor() {
+        // 50% relative regression, but only 150ns absolute — timer jitter.
+        let previous = snapshot(&[("warm_lookup_lockfree_ns", Metric::Num(300.0))]);
+        let current = snapshot(&[("warm_lookup_lockfree_ns", Metric::Num(450.0))]);
+        let diff = compare_trajectories(&previous, &current);
+        assert_eq!((diff.warnings, diff.failures), (0, 0));
+        // The same relative move above the floor is judged normally.
+        let previous = snapshot(&[("warm_lookup_lockfree_ns", Metric::Num(30_000.0))]);
+        let current = snapshot(&[("warm_lookup_lockfree_ns", Metric::Num(45_000.0))]);
+        let diff = compare_trajectories(&previous, &current);
+        assert_eq!(diff.failures, 1);
+    }
+
+    #[test]
+    fn dropped_benches_and_metrics_warn_but_new_coverage_passes() {
+        let previous = vec![
+            BenchReport {
+                bench: "kept".to_string(),
+                results: vec![("pages_per_sec".to_string(), Metric::Num(10.0))],
+            },
+            BenchReport {
+                bench: "gone".to_string(),
+                results: vec![],
+            },
+        ];
+        let current = vec![
+            BenchReport {
+                bench: "kept".to_string(),
+                results: vec![("threads".to_string(), Metric::Num(8.0))],
+            },
+            BenchReport {
+                bench: "brand_new".to_string(),
+                results: vec![("violations".to_string(), Metric::Num(0.0))],
+            },
+        ];
+        let diff = compare_trajectories(&previous, &current);
+        // One warn for the vanished bench, one for the vanished metric; the
+        // new bench and metric gate nothing.
+        assert_eq!((diff.warnings, diff.failures), (2, 0));
+    }
+}

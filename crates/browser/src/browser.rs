@@ -10,7 +10,10 @@ use escudo_core::{
     engine_for_mode, Operation, PolicyEngine, PolicyMode, PrincipalContext, PrincipalKind,
 };
 use escudo_dom::EventType;
-use escudo_net::{Method, Network, Request, Response, SharedCookieJar, SharedNetwork, Url};
+use escudo_net::{
+    BackgroundBatch, Method, Network, Priority, Request, Response, SharedCookieJar, SharedNetwork,
+    Url,
+};
 use escudo_script::Interpreter;
 
 use crate::context::SecurityContextTable;
@@ -46,6 +49,12 @@ pub const DEFAULT_SUBRESOURCE_WORKERS: usize = 4;
 /// to 150µs.
 const SUBRESOURCE_FANOUT_THRESHOLD_NS: u64 = 150_000;
 
+/// Bound on the speculative fetches one page load may submit to the background
+/// lane (markup `rel=prefetch` hints first, then visited-link predictions).
+/// Speculation must never be able to crowd out real traffic, so the predictor
+/// is truncated rather than throttled.
+pub const PREFETCH_MAX_CANDIDATES: usize = 8;
+
 /// The browser. One instance corresponds to one browsing session (cookie jar, history,
 /// visited links) enforcing one [`PolicyMode`].
 ///
@@ -68,6 +77,12 @@ pub struct Browser {
     /// Cookie policies remembered per (host, cookie name), so a policy declared when a
     /// cookie was set keeps protecting it on later pages of the same application.
     cookie_policies: Vec<(String, CookiePolicy)>,
+    /// `true` when this session speculatively prefetches likely next navigations
+    /// (markup hints + visited links) on the fabric's background lane. Off by
+    /// default: speculation is a per-session opt-in.
+    prefetch_enabled: bool,
+    /// Navigation fetches this session served from the prefetch cache.
+    prefetch_hits: u64,
 }
 
 impl std::fmt::Debug for Browser {
@@ -131,6 +146,8 @@ impl Browser {
             viewport_width: 1024,
             subresource_workers: DEFAULT_SUBRESOURCE_WORKERS,
             cookie_policies: Vec::new(),
+            prefetch_enabled: false,
+            prefetch_hits: 0,
         }
     }
 
@@ -175,6 +192,28 @@ impl Browser {
     #[must_use]
     pub fn subresource_workers(&self) -> usize {
         self.subresource_workers
+    }
+
+    /// Enables or disables speculative prefetch for this session. When enabled,
+    /// every page load submits its `rel=prefetch` hints and visited-link
+    /// predictions to the fabric's background lane, and later navigations may
+    /// consume the cached responses — but only when the navigation's own
+    /// mediated cookie attachment matches the one the speculation was fetched
+    /// with, so prefetch can never change a mediation decision.
+    pub fn set_prefetch_enabled(&mut self, enabled: bool) {
+        self.prefetch_enabled = enabled;
+    }
+
+    /// `true` when speculative prefetch is enabled for this session.
+    #[must_use]
+    pub fn prefetch_enabled(&self) -> bool {
+        self.prefetch_enabled
+    }
+
+    /// Navigation fetches this session has served from the prefetch cache.
+    #[must_use]
+    pub fn prefetch_hits(&self) -> u64 {
+        self.prefetch_hits
     }
 
     /// The cookie jar handle (clone the `Arc` to share it with another session).
@@ -336,6 +375,7 @@ impl Browser {
         body: String,
         principal: PrincipalContext,
     ) -> Result<PageId, BrowserError> {
+        let prefetch_hits_before = self.prefetch_hits;
         let mut response = self.fetch(url.clone(), method, body, &principal)?;
         let mut final_url = url;
         // Follow a small number of redirects (form POST → see-other → GET).
@@ -383,8 +423,20 @@ impl Browser {
         // Execute the page's scripts in document order.
         self.execute_scripts(&mut page);
 
-        // Issue subresource requests (img). These are HTTP-request-issuing principals.
+        // Start speculating on the *next* navigation before fanning out this
+        // page's subresources: the speculative batch drains on the pool's
+        // background lane while the navigation/bulk fan-out below is in flight,
+        // so prediction overlaps the current page's own fetch work.
+        let speculation = self.begin_prefetch(&page);
+
+        // Issue subresource requests (critical resources and images). These are
+        // HTTP-request-issuing principals.
         self.load_subresources(&mut page);
+
+        // Harvest the speculative responses into the fabric's prefetch cache.
+        let (issued, _) = self.finish_prefetch(speculation);
+        page.stats.prefetch_issued = issued;
+        page.stats.prefetch_hit = self.prefetch_hits > prefetch_hits_before;
 
         // Re-render to account for script-driven DOM changes.
         if !page.scripts.is_empty() {
@@ -422,7 +474,10 @@ impl Browser {
                 .set("Content-Type", "application/x-www-form-urlencoded");
         }
         self.attach_cookies(&mut request, principal, None);
-        let response = self.network.dispatch(request)?;
+        let response = match self.take_prefetched_response(&request) {
+            Some(response) => response,
+            None => self.network.dispatch(request)?,
+        };
         for directive in response.set_cookies() {
             self.jar.store(&url, &directive);
         }
@@ -430,6 +485,28 @@ impl Browser {
             self.remember_cookie_policy(url.host(), policy);
         }
         Ok(response)
+    }
+
+    /// Consumes a prefetched response for `request` if speculation is enabled,
+    /// the request is a cacheable navigation (`GET`, no body), and the cached
+    /// entry's mediation plan — the exact `Cookie` header the reference monitor
+    /// admitted — matches this request's. On a hit the fetch is *not*
+    /// re-dispatched; instead the hit is recorded in the request log under a
+    /// freshly reserved sequence number, byte-identical to what a live dispatch
+    /// would have logged, so prefetch-on and prefetch-off runs stay
+    /// log-equivalent. A stale plan discards the entry and falls back to a live
+    /// fetch (`None`).
+    fn take_prefetched_response(&mut self, request: &Request) -> Option<Response> {
+        if !self.prefetch_enabled || request.method != Method::Get || !request.body.is_empty() {
+            return None;
+        }
+        let fabric = Arc::clone(self.network.fabric());
+        let cookie_header = request.headers.get("Cookie").unwrap_or("").to_string();
+        let response = fabric.take_prefetched(&request.url, &cookie_header)?;
+        let sequence = fabric.reserve_sequences(1);
+        fabric.record_prefetch_hit(sequence, request, response.status.0);
+        self.prefetch_hits += 1;
+        Some(response)
     }
 
     fn remember_cookie_policy(&mut self, host: &str, policy: CookiePolicy) {
@@ -632,30 +709,167 @@ impl Browser {
         Ok(Some(outcome))
     }
 
+    // ------------------------------------------------------------- prefetch
+
+    /// Speculatively fetches `url` on the fabric's background lane and caches
+    /// the response for a later navigation of this session (or any session
+    /// whose mediated cookie attachment for `url` is identical). Blocks until
+    /// the speculative fetch completes; the in-page predictor
+    /// ([`Browser::load_page`]) overlaps the same work with the subresource
+    /// fan-out instead.
+    ///
+    /// Returns `true` when a response was fetched and cached. Returns `false`
+    /// when speculation is disabled ([`Browser::set_prefetch_enabled`]), the
+    /// URL is invalid or unregistered, or the fetch failed.
+    pub fn prefetch(&mut self, url: &str) -> bool {
+        if !self.prefetch_enabled {
+            return false;
+        }
+        let Ok(url) = Url::parse(url) else {
+            return false;
+        };
+        if !self.network.knows(&url) {
+            return false;
+        }
+        let speculation = self.submit_speculative(vec![url]);
+        let (_, stored) = self.finish_prefetch(speculation);
+        stored > 0
+    }
+
+    /// The likely next navigations of this page, most confident first: markup
+    /// `rel=prefetch` hints, then anchors whose target this session has already
+    /// visited (the visited-link predictor). Deduplicated, restricted to
+    /// registered origins, excluding the page itself, truncated to
+    /// [`PREFETCH_MAX_CANDIDATES`].
+    fn prefetch_candidates(&self, page: &Page) -> Vec<Url> {
+        let current = page.url.to_string();
+        let mut seen: Vec<String> = Vec::new();
+        let mut candidates: Vec<Url> = Vec::new();
+        let hinted = page.prefetch_hints.iter().cloned().map(|href| (href, true));
+        let anchors = page
+            .document
+            .elements_by_tag_name("a")
+            .into_iter()
+            .filter_map(|node| page.document.attribute(node, "href").map(str::to_string))
+            .map(|href| (href, false));
+        for (href, hinted) in hinted.chain(anchors) {
+            let Ok(target) = page.url.join(&href) else {
+                continue;
+            };
+            let key = target.to_string();
+            if !hinted && !self.visited.contains(&key) {
+                continue;
+            }
+            if key == current || seen.contains(&key) || !self.network.knows(&target) {
+                continue;
+            }
+            seen.push(key);
+            candidates.push(target);
+            if candidates.len() == PREFETCH_MAX_CANDIDATES {
+                break;
+            }
+        }
+        candidates
+    }
+
+    /// Plans and submits this page's speculative fetches (when enabled),
+    /// returning the in-flight background batch and its cache keys.
+    fn begin_prefetch(&mut self, page: &Page) -> Option<(BackgroundBatch, Vec<(Url, String)>)> {
+        if !self.prefetch_enabled {
+            return None;
+        }
+        let candidates = self.prefetch_candidates(page);
+        self.submit_speculative(candidates)
+    }
+
+    /// Mediates and submits one speculative request per candidate to the
+    /// fabric's background lane. Each request is built exactly as the future
+    /// navigation would build it — browser principal, cookie attachment through
+    /// the same reference-monitor path — so speculation is itself fully
+    /// mediated, and the attached `Cookie` header becomes the cache key the
+    /// real navigation's plan is later validated against.
+    fn submit_speculative(
+        &mut self,
+        candidates: Vec<Url>,
+    ) -> Option<(BackgroundBatch, Vec<(Url, String)>)> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let mut requests = Vec::with_capacity(candidates.len());
+        let mut keys = Vec::with_capacity(candidates.len());
+        for url in candidates {
+            let principal = PrincipalContext::browser(url.origin());
+            let mut request = Request::new(Method::Get, url.clone());
+            self.attach_cookies(&mut request, &principal, None);
+            let cookie_header = request.headers.get("Cookie").unwrap_or("").to_string();
+            keys.push((url, cookie_header));
+            requests.push(request);
+        }
+        let parallelism = keys.len().min(2);
+        let fabric = Arc::clone(self.network.fabric());
+        let batch = fabric.submit_background_batch(requests, parallelism);
+        Some((batch, keys))
+    }
+
+    /// Joins an in-flight speculative batch and stores the successful responses
+    /// in the fabric's prefetch cache. Returns `(issued, stored)` counts.
+    ///
+    /// `Set-Cookie` directives on a speculative response are deliberately *not*
+    /// applied here — speculation must not mutate session state. They are
+    /// applied at consumption time, when the cached response stands in for a
+    /// real navigation ([`Browser::fetch`]).
+    fn finish_prefetch(
+        &mut self,
+        speculation: Option<(BackgroundBatch, Vec<(Url, String)>)>,
+    ) -> (u64, u64) {
+        let Some((batch, keys)) = speculation else {
+            return (0, 0);
+        };
+        let issued = keys.len() as u64;
+        let results = batch.join();
+        let fabric = Arc::clone(self.network.fabric());
+        let mut stored = 0;
+        for ((url, cookie_header), result) in keys.into_iter().zip(results) {
+            if let Ok(response) = result {
+                fabric.store_prefetched(&url, &cookie_header, response);
+                stored += 1;
+            }
+        }
+        (issued, stored)
+    }
+
     // ------------------------------------------------------------- subresources
 
-    /// Issues the HTTP requests for `img` elements. Each image element is an
-    /// HTTP-request-issuing principal; cookie attachment for its request is mediated
-    /// exactly like any other `use` of the cookies. This is the CSRF-by-image vector.
+    /// Issues the HTTP requests for the page's external subresources. The
+    /// render-critical ones (`link rel=stylesheet`, `script src`) ride the
+    /// fetch pool's **navigation lane**, ahead of any session's queued bulk
+    /// traffic; `img` fetches ride the **bulk lane**. Each element is an
+    /// HTTP-request-issuing principal; cookie attachment for its request is
+    /// mediated exactly like any other `use` of the cookies (`img` is the
+    /// CSRF-by-image vector).
     ///
     /// The loader is a two-phase pipeline, keeping mediation provably independent
     /// of the transport:
     ///
-    /// 1. **Plan** — one walk over the document collects every fetchable `img` in
-    ///    document order, and one [`Erm::mediate_jar_many`] batch fixes every
+    /// 1. **Plan** — one walk over the document collects every fetchable
+    ///    subresource (critical resources in document order, then images in
+    ///    document order), and one [`Erm::mediate_jar_many`] batch fixes every
     ///    request's cookie attachment (one jar walk per distinct URL, one engine
     ///    batch per page). No fetch has been dispatched yet, so no completion
-    ///    order can influence a decision.
-    /// 2. **Fan out** — the already-mediated requests are submitted as one batch
-    ///    to the fabric's persistent worker pool
-    ///    ([`SharedNetwork::dispatch_batch`]; the navigating thread drains the
-    ///    batch alongside the ticketed pool workers, so it is still worker 0),
-    ///    each under a sequence number pre-reserved in document order. Outcomes
-    ///    come back in plan index order, so [`Page::subresources`] and the
-    ///    sequence-sorted request log both read in document order regardless of
-    ///    which fetch finished first.
+    ///    order — and no scheduling decision — can influence a decision.
+    /// 2. **Fan out** — the already-mediated critical requests are submitted to
+    ///    the fabric's persistent worker pool at [`Priority::Navigation`], then
+    ///    the image requests at [`Priority::Bulk`] (the navigating thread
+    ///    drains each batch alongside the ticketed pool workers, so it is
+    ///    still worker 0), each under a sequence number pre-reserved in plan
+    ///    order. Outcomes come back in plan index order, so
+    ///    [`Page::subresources`] and the sequence-sorted request log both read
+    ///    in plan order regardless of which fetch finished first.
     fn load_subresources(&mut self, page: &mut Page) {
+        use crate::page::SubresourceKind;
+
         // ------------------------------------------------------------- phase 1
+        let critical = escudo_html::critical_resources(&page.document);
         let images: Vec<(escudo_dom::NodeId, String)> = page
             .document
             .elements_by_tag_name("img")
@@ -666,18 +880,31 @@ impl Browser {
                     .map(|src| (node, src.to_string()))
             })
             .collect();
-        let mut planned: Vec<(escudo_dom::NodeId, Url, PrincipalContext)> = Vec::new();
-        for (node, src) in images {
+        let mut planned: Vec<(escudo_dom::NodeId, Url, PrincipalContext, SubresourceKind)> =
+            Vec::new();
+        for (kind, (node, src)) in critical
+            .into_iter()
+            .map(|entry| (SubresourceKind::Critical, entry))
+            .chain(
+                images
+                    .into_iter()
+                    .map(|entry| (SubresourceKind::Image, entry)),
+            )
+        {
             let Ok(target) = page.url.join(&src) else {
                 continue;
             };
             if !self.network.knows(&target) {
                 continue;
             }
+            let tag = match kind {
+                SubresourceKind::Critical => page.document.tag_name(node).unwrap_or("link"),
+                SubresourceKind::Image => "img",
+            };
             let principal = page
                 .contexts
-                .request_issuer_principal(node, &format!("img src={src}"));
-            planned.push((node, target, principal));
+                .request_issuer_principal(node, &format!("{tag} src={src}"));
+            planned.push((node, target, principal, kind));
         }
         if planned.is_empty() {
             return;
@@ -686,7 +913,7 @@ impl Browser {
         let denials_before = self.erm.denials();
         let mediation_inputs: Vec<(&Url, &PrincipalContext)> = planned
             .iter()
-            .map(|(_, url, principal)| (url, principal))
+            .map(|(_, url, principal, _)| (url, principal))
             .collect();
         let attachments = self.erm.mediate_jar_many(
             &self.jar,
@@ -696,10 +923,10 @@ impl Browser {
         );
         page.stats.subresource_denials = self.erm.denials() - denials_before;
 
-        let requests: Vec<Request> = planned
+        let mut requests: Vec<Request> = planned
             .iter()
             .zip(&attachments)
-            .map(|((_, url, _), attached)| {
+            .map(|((_, url, _, _), attached)| {
                 let mut request = Request::new(Method::Get, url.clone());
                 if !attached.is_empty() {
                     request.headers.set("Cookie", attached.join("; "));
@@ -711,34 +938,46 @@ impl Browser {
         // ------------------------------------------------------------- phase 2
         let fabric = self.network.fabric();
         let count = requests.len();
-        let base = fabric.reserve_sequences(count as u64);
-        // Adaptive cutover: fan out only when the estimated total fetch cost can
-        // pay for the pool submission; otherwise the plan dispatches inline (the
-        // sequential fast path — identical semantics, no queue round-trip).
-        let estimated_ns: u64 = planned
+        let critical_count = planned
             .iter()
-            .map(|(_, url, _)| fabric.estimated_service_ns(&url.origin()))
-            .fold(0, u64::saturating_add);
-        let workers = if estimated_ns < SUBRESOURCE_FANOUT_THRESHOLD_NS {
-            1
-        } else {
-            self.subresource_workers.min(count)
-        };
+            .filter(|(_, _, _, kind)| *kind == SubresourceKind::Critical)
+            .count();
+        let base = fabric.reserve_sequences(count as u64);
+        let image_requests = requests.split_off(critical_count);
         let start = Instant::now();
-        // The persistent pool replaces the per-page scoped-thread spawn: the
-        // batch is pushed to parked workers the fabric reuses across page loads,
-        // and this thread helps drain it (workers == 1 dispatches inline in
-        // plan order without touching the pool at all).
-        let results: Vec<Result<Response, String>> = fabric
-            .dispatch_batch(base, requests, workers)
-            .into_iter()
-            .map(|outcome| outcome.map_err(|e| e.to_string()))
-            .collect();
+        let mut results: Vec<Result<Response, String>> = Vec::with_capacity(count);
+        for (lane_base, lane_requests, priority) in [
+            (base, requests, Priority::Navigation),
+            (base + critical_count as u64, image_requests, Priority::Bulk),
+        ] {
+            if lane_requests.is_empty() {
+                continue;
+            }
+            // Adaptive cutover per lane: fan out only when the estimated total
+            // fetch cost can pay for the pool submission; otherwise the plan
+            // dispatches inline (the sequential fast path — identical
+            // semantics, no queue round-trip).
+            let estimated_ns: u64 = lane_requests
+                .iter()
+                .map(|request| fabric.estimated_service_ns(&request.url.origin()))
+                .fold(0, u64::saturating_add);
+            let workers = if estimated_ns < SUBRESOURCE_FANOUT_THRESHOLD_NS {
+                1
+            } else {
+                self.subresource_workers.min(lane_requests.len())
+            };
+            results.extend(
+                fabric
+                    .dispatch_batch(lane_base, lane_requests, workers, priority)
+                    .into_iter()
+                    .map(|outcome| outcome.map_err(|e| e.to_string())),
+            );
+        }
         page.stats.subresource_fetch_ns = start.elapsed().as_nanos();
         page.stats.subresource_requests = count as u64;
 
-        // Record outcomes in plan (document) order, not completion order.
-        for (((node, url, _), attached), result) in
+        // Record outcomes in plan order, not completion order.
+        for (((node, url, _, kind), attached), result) in
             planned.into_iter().zip(attachments).zip(results)
         {
             let (status, error) = match result {
@@ -747,6 +986,7 @@ impl Browser {
             };
             page.subresources.push(SubresourceOutcome {
                 node,
+                kind,
                 url,
                 attached_cookies: attached
                     .iter()
@@ -1005,6 +1245,117 @@ mod tests {
             .map(|e| e.url.path().to_string())
             .collect();
         assert_eq!(paths, vec!["/index.php", "/a.png", "/b.png", "/c.png"]);
+    }
+
+    #[test]
+    fn critical_resources_ride_the_navigation_lane_ahead_of_images() {
+        use crate::page::SubresourceKind;
+
+        // Document order interleaves an image between the critical resources;
+        // the plan still puts both critical fetches first.
+        let html = r#"<html><head>
+            <link rel="stylesheet" href="http://assets.example/site.css">
+        </head><body ring=1>
+            <img src="http://assets.example/banner.png">
+            <script src="http://assets.example/app.js"></script>
+        </body></html>"#;
+        let mut browser = browser_with(PolicyMode::Escudo, html);
+        browser
+            .network_mut()
+            .register("http://assets.example", |req: &Request| {
+                Response::ok_text(format!("asset {}", req.url.path()))
+            });
+
+        let page = browser.navigate("http://app.example/index.php").unwrap();
+        let page = browser.page(page);
+        let plan: Vec<(SubresourceKind, String)> = page
+            .subresources
+            .iter()
+            .map(|s| (s.kind, s.url.path().to_string()))
+            .collect();
+        assert_eq!(
+            plan,
+            vec![
+                (SubresourceKind::Critical, "/site.css".to_string()),
+                (SubresourceKind::Critical, "/app.js".to_string()),
+                (SubresourceKind::Image, "/banner.png".to_string()),
+            ]
+        );
+        assert!(page.subresources.iter().all(SubresourceOutcome::succeeded));
+        // The sequence-sorted log reads in plan order: critical lane first.
+        let paths: Vec<String> = browser
+            .network()
+            .log()
+            .iter()
+            .map(|e| e.url.path().to_string())
+            .collect();
+        assert_eq!(
+            paths,
+            vec!["/index.php", "/site.css", "/app.js", "/banner.png"]
+        );
+    }
+
+    #[test]
+    fn prefetch_hint_serves_the_next_navigation_from_cache() {
+        let html = concat!(
+            "<html><head>",
+            r#"<link rel="prefetch" href="/next.php">"#,
+            "</head><body ring=1>hub</body></html>"
+        );
+        let mut browser = browser_with(PolicyMode::Escudo, html);
+
+        // Speculation is a per-session opt-in: a default session never touches
+        // the prefetch cache.
+        browser.navigate("http://app.example/hub.php").unwrap();
+        assert_eq!(browser.fabric().prefetched_entries(), 0);
+        assert!(!browser.prefetch("http://app.example/next.php"));
+
+        browser.set_prefetch_enabled(true);
+        let hub = browser.navigate("http://app.example/hub.php").unwrap();
+        assert_eq!(browser.page(hub).stats.prefetch_issued, 1);
+        assert!(!browser.page(hub).stats.prefetch_hit);
+        assert_eq!(browser.fabric().prefetched_entries(), 1);
+
+        // The speculative fetch is unlogged; the log grows only when the hit
+        // is consumed — under the navigation's own sequence number.
+        let logged_before = browser.network().log().len();
+        let next = browser.navigate("http://app.example/next.php").unwrap();
+        assert!(browser.page(next).stats.prefetch_hit);
+        assert_eq!(browser.prefetch_hits(), 1);
+        assert_eq!(browser.fabric().prefetch_hits(), 1);
+        assert_eq!(browser.fabric().prefetched_entries(), 0);
+        let log = browser.network().log();
+        assert_eq!(log.len(), logged_before + 1);
+        assert_eq!(log.last().unwrap().url.path(), "/next.php");
+
+        // The explicit API refills the cache for the next repeat navigation.
+        assert!(browser.prefetch("http://app.example/next.php"));
+        assert_eq!(browser.fabric().prefetched_entries(), 1);
+        assert!(!browser.prefetch("http://unregistered.example/x"));
+        assert!(!browser.prefetch("not a url"));
+    }
+
+    #[test]
+    fn visited_anchors_feed_the_prefetch_predictor() {
+        let html = r#"<html><body ring=1>
+            <a id=seen href="/seen.php">back</a>
+            <a id=new href="/new.php">on</a>
+        </body></html>"#;
+        let mut browser = browser_with(PolicyMode::Escudo, html);
+        browser.set_prefetch_enabled(true);
+
+        // Nothing visited yet: anchors alone predict nothing.
+        let first = browser.navigate("http://app.example/index.php").unwrap();
+        assert_eq!(browser.page(first).stats.prefetch_issued, 0);
+
+        // After visiting /seen.php, re-loading the hub speculates on it (and
+        // only it — /new.php was never visited).
+        browser.navigate("http://app.example/seen.php").unwrap();
+        let again = browser.navigate("http://app.example/index.php").unwrap();
+        assert_eq!(browser.page(again).stats.prefetch_issued, 1);
+        assert_eq!(browser.fabric().prefetched_entries(), 1);
+        let hit = browser.navigate("http://app.example/seen.php").unwrap();
+        assert!(browser.page(hit).stats.prefetch_hit);
     }
 
     #[test]

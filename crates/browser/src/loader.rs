@@ -99,8 +99,14 @@ impl PageLoader {
         };
 
         // 4. Collect scripts (inline `script` elements) in document order, each bound
-        //    to the ring of the scope it appears in.
+        //    to the ring of the scope it appears in — and the page's `rel=prefetch`
+        //    speculation hints, which the browser's predictor feeds to the fetch
+        //    scheduler's background lane.
         let scripts = collect_scripts(&document, &contexts);
+        let prefetch_hints = escudo_html::prefetch_links(&document)
+            .into_iter()
+            .map(|(_, href)| href)
+            .collect();
 
         // 5. Render.
         let render_start = Instant::now();
@@ -116,6 +122,7 @@ impl PageLoader {
             scripts,
             script_outcomes: Vec::new(),
             subresources: Vec::new(),
+            prefetch_hints,
             parse_report: parsed.report,
             render_stats,
             stats: PageLoadStats {

@@ -75,6 +75,13 @@ pub struct PageLoadStats {
     /// With the pipelined loader this is the *overlapped* time, not the sum of
     /// per-fetch times.
     pub subresource_fetch_ns: u128,
+    /// Speculative background fetches submitted while loading this page
+    /// (markup `rel=prefetch` hints plus visited-link predictions).
+    pub prefetch_issued: u64,
+    /// `true` when this page's own navigation fetch was served from the
+    /// fabric's prefetch cache (the mediation plan matched, so the cached
+    /// response is byte-identical to what a live dispatch would have returned).
+    pub prefetch_hit: bool,
 }
 
 impl PageLoadStats {
@@ -91,14 +98,28 @@ impl PageLoadStats {
     }
 }
 
-/// The recorded outcome of one subresource (`img`) fetch. Outcomes are recorded in
-/// **document order** regardless of which pipelined worker finished first — the
-/// mediation plan is fixed in document order before any fetch is dispatched, and
-/// results are placed back by plan index.
+/// Which scheduler lane a planned subresource rides: render-critical resources
+/// (stylesheets, external scripts) preempt bulk image traffic in the fetch
+/// pool's priority queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SubresourceKind {
+    /// Render-blocking (`link rel=stylesheet`, `script src`) — navigation lane.
+    Critical,
+    /// Image (`img src`) — bulk lane.
+    Image,
+}
+
+/// The recorded outcome of one subresource fetch. Outcomes are recorded in
+/// **plan order** (critical resources in document order, then images in
+/// document order) regardless of which pipelined worker finished first — the
+/// mediation plan is fixed before any fetch is dispatched, and results are
+/// placed back by plan index.
 #[derive(Debug, Clone)]
 pub struct SubresourceOutcome {
-    /// The `img` element that issued the request.
+    /// The element that issued the request.
     pub node: NodeId,
+    /// The scheduler lane the fetch rode (critical vs. bulk image).
+    pub kind: SubresourceKind,
     /// The resolved request URL.
     pub url: Url,
     /// Names of the cookies the reference monitor admitted onto the request
@@ -135,6 +156,9 @@ pub struct Page {
     pub script_outcomes: Vec<ScriptOutcome>,
     /// Per-subresource fetch outcomes, in document order.
     pub subresources: Vec<SubresourceOutcome>,
+    /// `link rel=prefetch` speculation hints (raw `href` values), in document
+    /// order, extracted once at load time alongside the scripts.
+    pub prefetch_hints: Vec<String>,
     /// The parser's report (including rejected node-splitting end tags).
     pub parse_report: ParseReport,
     /// Rendering statistics from the last layout pass.
@@ -184,6 +208,8 @@ mod tests {
             subresource_requests: 4,
             subresource_denials: 1,
             subresource_fetch_ns: 40,
+            prefetch_issued: 2,
+            prefetch_hit: true,
         };
         assert_eq!(stats.parse_and_render_ns(), 30);
         assert_eq!(stats.total_ns(), 50);
@@ -193,6 +219,7 @@ mod tests {
     fn subresource_outcome_success_requires_a_2xx_status() {
         let mut outcome = SubresourceOutcome {
             node: escudo_dom::Document::new().create_element("img"),
+            kind: SubresourceKind::Image,
             url: Url::parse("http://img.example/a.png").unwrap(),
             attached_cookies: vec!["sid".into()],
             status: Some(200),

@@ -75,7 +75,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{BuildHasherDefault, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::acl::Acl;
@@ -565,6 +565,20 @@ struct CacheShard {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// This shard's *current* entry bound. Starts at the engine's base
+    /// [`EscudoEngine::shard_capacity`] and is rebalanced from observed
+    /// eviction skew: hot shards borrow budget from cold ones while the total
+    /// across all shards stays exactly `base × shard_count`.
+    capacity: AtomicUsize,
+}
+
+impl CacheShard {
+    fn with_capacity(capacity: usize) -> Self {
+        CacheShard {
+            capacity: AtomicUsize::new(capacity),
+            ..CacheShard::default()
+        }
+    }
 }
 
 /// The production ESCUDO engine: context interning plus a sharded decision cache.
@@ -653,7 +667,9 @@ impl EscudoEngine {
         };
         EscudoEngine {
             interner: ContextInterner::new(),
-            shards: (0..shard_count).map(|_| CacheShard::default()).collect(),
+            shards: (0..shard_count)
+                .map(|_| CacheShard::with_capacity(shard_capacity))
+                .collect(),
             shard_capacity,
         }
     }
@@ -671,10 +687,69 @@ impl EscudoEngine {
         self.shards.len()
     }
 
-    /// Bound on memoized decisions per shard (0 when memoization is disabled).
+    /// *Base* bound on memoized decisions per shard (0 when memoization is
+    /// disabled). Individual shards drift from this base as eviction skew is
+    /// observed — see [`EscudoEngine::shard_capacities`] — but the total across
+    /// all shards stays exactly `shard_capacity() × shard_count()`.
     #[must_use]
     pub fn shard_capacity(&self) -> usize {
         self.shard_capacity
+    }
+
+    /// The current per-shard entry bounds, after any eviction-skew rebalances.
+    /// Always sums to `shard_capacity() × shard_count()`, and every shard keeps
+    /// at least `max(1, shard_capacity() / 2)` (when memoization is enabled).
+    #[must_use]
+    pub fn shard_capacities(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|shard| shard.capacity.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Redistributes the total cache budget across the shards in proportion to
+    /// their observed eviction counts: a shard whose keys keep overflowing its
+    /// slice gets a larger bound, paid for by shards that never evict. Runs on
+    /// each eviction (evictions are rare by construction — each one wipes a
+    /// whole shard — so this O(shards) pass is off the hot path).
+    ///
+    /// Invariants: the per-shard bounds always sum to exactly
+    /// `shard_capacity × shard_count` (the configured total is a hard bound,
+    /// redistributed but never grown), and no shard drops below
+    /// `max(1, shard_capacity / 2)` (a cold shard keeps a useful working set —
+    /// skew is a forecast, not a guarantee).
+    fn rebalance_shards(&self) {
+        if self.shard_capacity == 0 || self.shards.len() < 2 {
+            return;
+        }
+        let total = self.shard_capacity * self.shards.len();
+        let floor = (self.shard_capacity / 2).max(1);
+        let spendable = total - floor * self.shards.len();
+        let weights: Vec<u64> = self
+            .shards
+            .iter()
+            .map(|shard| 1 + shard.evictions.load(Ordering::Relaxed))
+            .collect();
+        let weight_sum: u64 = weights.iter().sum();
+        let mut bounds: Vec<usize> = weights
+            .iter()
+            .map(|w| floor + usize::try_from(spendable as u64 * w / weight_sum).unwrap_or(0))
+            .collect();
+        // Flooring the proportional shares drops at most `shards - 1` entries;
+        // hand the remainder to the hottest shards so the total stays exact.
+        let mut leftover = total - bounds.iter().sum::<usize>();
+        let mut order: Vec<usize> = (0..bounds.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(weights[i]));
+        for index in order {
+            if leftover == 0 {
+                break;
+            }
+            bounds[index] += 1;
+            leftover -= 1;
+        }
+        for (shard, bound) in self.shards.iter().zip(bounds) {
+            shard.capacity.store(bound, Ordering::Relaxed);
+        }
     }
 
     /// Drops every memoized decision (interned ids survive — they are still valid).
@@ -734,16 +809,28 @@ impl EscudoEngine {
         let decision = decide(PolicyMode::Escudo, principal, object, op);
         shard.misses.fetch_add(1, Ordering::Relaxed);
         if self.shard_capacity > 0 {
-            let mut cache = shard.cache.lock().expect("shard lock");
-            if cache.len() >= self.shard_capacity && !cache.contains_key(&key) {
-                // Decisions are pure: a wholesale clear is always safe, keeps the
-                // eviction policy trivial (no LRU bookkeeping on the hot path), and —
-                // because shards are bounded independently — only evicts this shard's
-                // slice of the cache.
-                cache.clear();
-                shard.evictions.fetch_add(1, Ordering::Relaxed);
+            let mut evicted = false;
+            {
+                let mut cache = shard.cache.lock().expect("shard lock");
+                if cache.len() >= shard.capacity.load(Ordering::Relaxed)
+                    && !cache.contains_key(&key)
+                {
+                    // Decisions are pure: a wholesale clear is always safe, keeps the
+                    // eviction policy trivial (no LRU bookkeeping on the hot path), and —
+                    // because shards are bounded independently — only evicts this shard's
+                    // slice of the cache.
+                    cache.clear();
+                    shard.evictions.fetch_add(1, Ordering::Relaxed);
+                    evicted = true;
+                }
+                cache.insert(key, decision.clone());
             }
-            cache.insert(key, decision.clone());
+            if evicted {
+                // Adapt outside the shard lock: this shard just proved its slice
+                // of keys outgrows its bound, so let it borrow budget from
+                // shards that never evict.
+                self.rebalance_shards();
+            }
         }
         decision
     }
@@ -1201,10 +1288,18 @@ mod tests {
         }
         let stats = engine.stats();
         assert!(stats.evictions > 0, "20 keys into 8 slots must evict");
-        for shard in &stats.shards {
+        // Eviction-skew rebalancing may have grown the hot shard's bound, but
+        // every shard must respect its *current* bound and the total budget is
+        // conserved exactly.
+        let capacities = engine.shard_capacities();
+        assert_eq!(
+            capacities.iter().sum::<usize>(),
+            engine.shard_capacity() * engine.shard_count()
+        );
+        for (shard, capacity) in stats.shards.iter().zip(&capacities) {
             assert!(
-                shard.entries <= engine.shard_capacity() as u64,
-                "shard exceeded its bound: {shard:?}"
+                shard.entries <= *capacity as u64,
+                "shard exceeded its bound {capacity}: {shard:?}"
             );
         }
         // The witness sat in the untouched shard: still a cache hit.
@@ -1215,6 +1310,57 @@ mod tests {
             hits_before + 1,
             "eviction in one shard must not clear the other"
         );
+    }
+
+    #[test]
+    fn hot_shards_borrow_capacity_from_cold_ones() {
+        // 2 shards × 8 entries. Every key is steered into one shard, which
+        // keeps overflowing; the rebalancer should shift budget toward it.
+        let engine = EscudoEngine::with_shards(2, 16);
+        let base = engine.shard_capacity();
+        assert_eq!(engine.shard_capacities(), vec![base, base]);
+
+        let object = dom(3, Acl::uniform(Ring::new(3)));
+        let oid = engine.interner.intern_object(&object);
+        let hot_index = {
+            let pid = engine.interner.intern_principal(&script(0));
+            usize::from(!std::ptr::eq(
+                engine.shard_for(pid, oid, Operation::Read),
+                &engine.shards[0],
+            ))
+        };
+        let mut driven = 0u32;
+        for ring in 0u16..4000 {
+            let pid = engine.interner.intern_principal(&script(ring));
+            if !std::ptr::eq(
+                engine.shard_for(pid, oid, Operation::Read),
+                &engine.shards[hot_index],
+            ) {
+                continue;
+            }
+            let p = script(ring);
+            let expected = decide(PolicyMode::Escudo, &p, &object, Operation::Read);
+            assert_eq!(engine.decide(&p, &object, Operation::Read), expected);
+            driven += 1;
+            if driven == 100 {
+                break;
+            }
+        }
+        assert!(engine.stats().evictions > 0, "100 keys into 8 slots evict");
+
+        let capacities = engine.shard_capacities();
+        let cold_index = 1 - hot_index;
+        assert!(
+            capacities[hot_index] > base,
+            "hot shard should have grown: {capacities:?}"
+        );
+        assert!(
+            capacities[cold_index] < base,
+            "cold shard should have shrunk: {capacities:?}"
+        );
+        // Hard invariants: exact total, and the cold shard keeps its floor.
+        assert_eq!(capacities.iter().sum::<usize>(), base * 2);
+        assert!(capacities[cold_index] >= (base / 2).max(1));
     }
 
     #[test]

@@ -46,6 +46,26 @@
 //! — the window is two instructions wide — and yields if the winner was preempted
 //! inside it, so the structure stays safe on oversubscribed single-core runners.
 //!
+//! # Bounded bucket depth: the spill window
+//!
+//! A fixed bucket array has one pathology: keys whose high hash bits collide all
+//! land in one bucket, and its chain — which every probe walks linearly — grows
+//! without bound. To keep the worst-case walk short, a key may only *claim* a
+//! slot inside its primary bucket's **spill window** (the first
+//! [`SPILL_WINDOW_SLOTS`] slots). When the whole window is occupied by other
+//! keys, interning continues in the key's **spill bucket**, selected from a
+//! *different* slice of the hash (`hash >> 16` instead of `hash >> 32`), so keys
+//! that collide on their primary bucket scatter across the table instead of
+//! deepening one chain.
+//!
+//! The absence proof survives: slots still fill strictly front to back, so an
+//! empty slot inside the primary window proves the key never sat down there *and*
+//! never spilled (spilling requires having observed the whole window occupied).
+//! A probe therefore walks at most the window plus one spill chain. Degenerate
+//! case: when the spill bucket coincides with the primary bucket (always true
+//! for a 1-bucket table), the chain simply grows unbounded as before — the
+//! policy needs two distinct buckets to have anywhere to spill to.
+//!
 //! Every failed claim bumps a **CAS-retry counter** and chain growth is visible as
 //! **bucket depth**; both surface through `EngineStats` so first-touch storms are
 //! observable in production, not just in benches.
@@ -66,6 +86,15 @@ pub const DEFAULT_INTERNER_BUCKETS: usize = 128;
 
 /// `id` value meaning "slot claimed, dense id not yet published".
 const ID_PENDING: u32 = u32::MAX;
+
+/// Segments of a key's primary bucket it may claim a slot in before spilling.
+const SPILL_WINDOW_SEGMENTS: usize = 2;
+
+/// Bound on the slots a key may occupy — and a probe must walk — in its
+/// *primary* bucket before interning continues in the key's spill bucket.
+/// With ≥ 2 buckets, no single bucket's pile-up can push probe walks past
+/// `SPILL_WINDOW_SLOTS` plus the (scattered) spill chain.
+pub const SPILL_WINDOW_SLOTS: usize = SPILL_WINDOW_SEGMENTS * SEGMENT_SLOTS;
 
 /// One published intern: the key, its full hash (so probes can skip non-matches
 /// without a field comparison), and its dense id.
@@ -91,6 +120,18 @@ impl<K> Segment<K> {
             next: OnceLock::new(),
         }
     }
+}
+
+/// Outcome of a bounded read-only chain walk.
+enum Probe {
+    /// The key is published in this chain, with this dense id.
+    Found(u32),
+    /// An empty slot was reached: the key is provably absent from this chain
+    /// and everything after it.
+    Absent,
+    /// The probe budget ran out with every slot occupied by other keys — the
+    /// key, if interned at all, lives in its spill bucket.
+    Exhausted,
 }
 
 /// The lock-free interner: a fixed bucket array of append-only segment chains
@@ -155,46 +196,109 @@ impl<K> AtomicInterner<K> {
         }
     }
 
-    /// Wait-free lookup: walks the bucket's published slots with acquire loads.
-    /// Returns the dense id when an entry hash-and-field matches; the first
-    /// empty slot proves absence (slots fill strictly front to back).
-    pub fn lookup(&self, hash: u64, matches: impl Fn(&K) -> bool) -> Option<u32> {
-        let mut segment = &self.buckets[((hash >> 32) as usize) & self.mask];
+    /// A key's primary bucket: selected by the high hash bits.
+    fn primary_index(&self, hash: u64) -> usize {
+        ((hash >> 32) as usize) & self.mask
+    }
+
+    /// A key's spill bucket: selected from a different hash slice, so keys
+    /// whose primary buckets collide scatter instead of piling up.
+    fn spill_index(&self, hash: u64) -> usize {
+        ((hash >> 16) as usize) & self.mask
+    }
+
+    /// The probe budget for a key's primary chain: the spill window when a
+    /// distinct spill bucket exists, unbounded otherwise (nowhere to spill to).
+    fn window(&self, hash: u64) -> Option<usize> {
+        if self.spill_index(hash) == self.primary_index(hash) {
+            None
+        } else {
+            Some(SPILL_WINDOW_SEGMENTS)
+        }
+    }
+
+    /// Walks one chain read-only for up to `remaining` segments (`None` =
+    /// unbounded). Distinguishes *proven absence* (an empty slot — nothing ever
+    /// claimed past it) from an *exhausted window* (every walked slot occupied
+    /// by other keys — the key, if present, spilled).
+    fn lookup_in_chain(
+        &self,
+        mut segment: &Segment<K>,
+        mut remaining: Option<usize>,
+        hash: u64,
+        matches: &impl Fn(&K) -> bool,
+    ) -> Probe {
         loop {
             for slot in &segment.slots {
                 match slot.get() {
                     Some(entry) => {
                         if entry.hash == hash && matches(&entry.key) {
-                            return Some(Self::await_id(entry));
+                            return Probe::Found(Self::await_id(entry));
                         }
                     }
-                    None => return None,
+                    None => return Probe::Absent,
                 }
             }
-            segment = segment.next.get()?;
+            if let Some(budget) = remaining.as_mut() {
+                *budget -= 1;
+                if *budget == 0 {
+                    return Probe::Exhausted;
+                }
+            }
+            match segment.next.get() {
+                Some(next) => segment = next,
+                None => return Probe::Absent,
+            }
         }
     }
 
-    /// Interns a key: returns the existing dense id when any thread has already
-    /// published a matching entry, otherwise CAS-claims the first empty slot of
-    /// the bucket's chain and assigns the next dense id. `make` runs at most
-    /// once, and only when a claim is attempted — the warm path never constructs
-    /// a key.
-    ///
-    /// Losing a claim is handled by *adoption*: the loser re-reads the slot the
-    /// winner filled, and either takes the winner's id (same key) or carries its
-    /// constructed key to the next slot. Ids therefore stay dense — an id is
-    /// drawn only after a claim has irrevocably succeeded.
-    pub fn intern(&self, hash: u64, matches: impl Fn(&K) -> bool, make: impl FnOnce() -> K) -> u32 {
-        let mut make = Some(make);
-        let mut spare: Option<K> = None;
-        let mut segment = &self.buckets[((hash >> 32) as usize) & self.mask];
+    /// Wait-free lookup: walks the primary bucket's published slots with
+    /// acquire loads — at most the spill window deep — and, when the whole
+    /// window is occupied by other keys, the spill bucket's chain. The first
+    /// empty slot on either walk proves absence (slots fill strictly front to
+    /// back, and a key only spills after observing its entire window occupied).
+    pub fn lookup(&self, hash: u64, matches: impl Fn(&K) -> bool) -> Option<u32> {
+        let window = self.window(hash);
+        match self.lookup_in_chain(
+            &self.buckets[self.primary_index(hash)],
+            window,
+            hash,
+            &matches,
+        ) {
+            Probe::Found(id) => Some(id),
+            Probe::Absent => None,
+            Probe::Exhausted => {
+                match self.lookup_in_chain(
+                    &self.buckets[self.spill_index(hash)],
+                    None,
+                    hash,
+                    &matches,
+                ) {
+                    Probe::Found(id) => Some(id),
+                    Probe::Absent | Probe::Exhausted => None,
+                }
+            }
+        }
+    }
+
+    /// Walks one chain for up to `remaining` segments (`None` = unbounded),
+    /// matching or CAS-claiming the first empty slot. Returns `None` only when
+    /// the budget ran out with every slot occupied by other keys.
+    fn intern_in_chain(
+        &self,
+        mut segment: &Segment<K>,
+        mut remaining: Option<usize>,
+        hash: u64,
+        matches: &impl Fn(&K) -> bool,
+        spare: &mut Option<K>,
+        make: &mut Option<impl FnOnce() -> K>,
+    ) -> Option<u32> {
         loop {
             for slot in &segment.slots {
                 loop {
                     if let Some(entry) = slot.get() {
                         if entry.hash == hash && matches(&entry.key) {
-                            return Self::await_id(entry);
+                            return Some(Self::await_id(entry));
                         }
                         break; // occupied by a different key — probe onward
                     }
@@ -213,19 +317,64 @@ impl<K> AtomicInterner<K> {
                             let id = self.count.fetch_add(1, Ordering::Relaxed);
                             assert!(id < ID_PENDING, "interner id space exhausted");
                             entry.id.store(id, Ordering::Release);
-                            return id;
+                            return Some(id);
                         }
                         Err(lost) => {
                             // A racing thread won this slot; keep our key for a
                             // later slot and re-examine the winner's entry.
                             self.cas_retries.fetch_add(1, Ordering::Relaxed);
-                            spare = Some(lost.key);
+                            *spare = Some(lost.key);
                         }
                     }
                 }
             }
+            if let Some(budget) = remaining.as_mut() {
+                *budget -= 1;
+                if *budget == 0 {
+                    return None;
+                }
+            }
             segment = segment.next.get_or_init(|| Box::new(Segment::new()));
         }
+    }
+
+    /// Interns a key: returns the existing dense id when any thread has already
+    /// published a matching entry, otherwise CAS-claims the first empty slot of
+    /// the primary bucket's **spill window** — or, when the whole window is
+    /// occupied by other keys, of the key's spill bucket — and assigns the next
+    /// dense id. `make` runs at most once, and only when a claim is attempted —
+    /// the warm path never constructs a key.
+    ///
+    /// Losing a claim is handled by *adoption*: the loser re-reads the slot the
+    /// winner filled, and either takes the winner's id (same key) or carries its
+    /// constructed key to the next slot. Ids therefore stay dense — an id is
+    /// drawn only after a claim has irrevocably succeeded. The spill decision is
+    /// race-free because slots only ever fill: once a thread has observed the
+    /// whole window occupied by other keys, no thread can ever claim this key
+    /// inside it, so every intern of the key converges on the spill chain.
+    pub fn intern(&self, hash: u64, matches: impl Fn(&K) -> bool, make: impl FnOnce() -> K) -> u32 {
+        let mut make = Some(make);
+        let mut spare: Option<K> = None;
+        let window = self.window(hash);
+        if let Some(id) = self.intern_in_chain(
+            &self.buckets[self.primary_index(hash)],
+            window,
+            hash,
+            &matches,
+            &mut spare,
+            &mut make,
+        ) {
+            return id;
+        }
+        self.intern_in_chain(
+            &self.buckets[self.spill_index(hash)],
+            None,
+            hash,
+            &matches,
+            &mut spare,
+            &mut make,
+        )
+        .expect("an unbounded chain walk always matches or claims")
     }
 
     /// Number of keys interned so far (= the next dense id).
@@ -348,6 +497,40 @@ mod tests {
                 Some(value as u32)
             );
         }
+    }
+
+    #[test]
+    fn saturated_primary_buckets_spill_instead_of_chaining() {
+        let interner: AtomicInterner<u64> = AtomicInterner::with_buckets(16);
+        // Adversarial hashes: every key's primary bucket ((hash >> 32) & 15) is
+        // bucket 0, while the spill buckets ((hash >> 16) & 15) spread over
+        // 1..=15 (multiples of 16 would spill back onto bucket 0, so skip them).
+        let keys: Vec<u64> = (1..=80u64).filter(|i| i % 16 != 0).collect();
+        let mut ids = Vec::new();
+        for &i in &keys {
+            let id = interner.intern(i << 16, |k| *k == i, || i);
+            ids.push(id);
+        }
+        assert_eq!(interner.len(), keys.len());
+
+        // Without the spill window all 75 keys would chain behind bucket 0 and
+        // the unluckiest probe would walk 75 entries; with it, the window fills
+        // and everyone else scatters.
+        assert!(
+            interner.max_bucket_depth() <= SPILL_WINDOW_SLOTS,
+            "worst chain {} exceeds the spill window {}",
+            interner.max_bucket_depth(),
+            SPILL_WINDOW_SLOTS
+        );
+
+        // Every key still resolves to its one dense id, warm and cold.
+        for (&i, &id) in keys.iter().zip(&ids) {
+            assert_eq!(interner.lookup(i << 16, |k| *k == i), Some(id));
+            assert_eq!(interner.intern(i << 16, |k| *k == i, || i), id);
+        }
+        // And absence is still proven, not guessed: a never-interned key whose
+        // primary window is saturated probes the spill bucket and misses there.
+        assert_eq!(interner.lookup(81 << 16, |k| *k == 81), None);
     }
 
     #[test]

@@ -77,7 +77,7 @@ pub use engine::{
     ObjectId, PolicyEngine, PrincipalId, SameOriginEngine, ShardStats, DEFAULT_CACHE_CAPACITY,
 };
 pub use error::{ConfigError, PolicyError};
-pub use interner::AtomicInterner;
+pub use interner::{AtomicInterner, SPILL_WINDOW_SLOTS};
 pub use nonce::Nonce;
 pub use operation::Operation;
 pub use origin::Origin;

@@ -35,9 +35,11 @@
 
 pub mod builder;
 pub mod entities;
+pub mod hints;
 pub mod token;
 pub mod tokenizer;
 
 pub use builder::{parse_document, ParseOptions, ParseReport, ParseResult};
+pub use hints::{critical_resources, prefetch_links};
 pub use token::Token;
 pub use tokenizer::Tokenizer;

@@ -1,5 +1,5 @@
 //! The persistent fetch worker pool: parked OS threads the fabric reuses across
-//! page loads.
+//! page loads, scheduled over a **two-lane priority queue**.
 //!
 //! PR 4's pipelined loader fanned each page's pre-mediated fetches out over
 //! *scoped threads spawned per page load*. Spawning costs tens of microseconds a
@@ -8,8 +8,8 @@
 //! This module replaces the per-page spawn with a **fabric-owned pool of parked
 //! workers**:
 //!
-//! * a plain `Mutex<VecDeque>` job queue plus a `Condvar` the idle workers park
-//!   on — submission is a short lock hold and one notify per woken worker,
+//! * a lane-split job queue plus a `Condvar` the idle workers park on —
+//!   submission is a short lock hold and one notify per woken worker,
 //!   microseconds instead of thread spawns;
 //! * workers are spawned **lazily** the first time a batch actually needs them
 //!   (fabrics that never fan out — most unit tests — never start a thread) and
@@ -22,6 +22,25 @@
 //!   and the sequential semantics of a one-worker batch are exactly the inline
 //!   dispatch path;
 //! * dropping the pool (i.e. the fabric) shuts the workers down and joins them.
+//!
+//! # Priority lanes
+//!
+//! The queue is no longer strict FIFO. Every ticket carries a [`Priority`] lane
+//! tag and workers serve lanes in order — [`Priority::Navigation`] first, then
+//! [`Priority::Bulk`], then [`Priority::Background`] — so a navigation-critical
+//! batch submitted behind a sibling session's deep bulk-image storm does not
+//! wait its full FIFO turn. Two mechanisms keep the lanes honest:
+//!
+//! * **Preemption.** A worker draining a bulk or background batch polls a
+//!   lock-free "navigation tickets queued" signal between requests; when
+//!   navigation work is waiting, it parks its unfinished batch back at the
+//!   *front* of its lane (preserving that batch's exact concurrency bound) and
+//!   goes to claim the navigation ticket instead. A batch is only ever
+//!   preempted at request boundaries — an in-flight fetch always completes.
+//! * **Anti-starvation credit.** After [`NAVIGATION_CREDIT`] consecutive
+//!   navigation tickets handed out while lower-lane work waited, the queue
+//!   serves one bulk/background ticket regardless, so a navigation storm can
+//!   slow the bulk lanes but never halt them.
 //!
 //! # Tickets, not jobs
 //!
@@ -40,7 +59,10 @@
 //!
 //! Because submission is cheap and the workers are already warm, "overlap the
 //! next navigation with the current fan-out" is now just another batch
-//! submission — and the loader's adaptive cutover dropped from 300µs to 150µs.
+//! submission: [`SharedNetwork::submit_background_batch`] enqueues speculative
+//! prefetch work on the background lane and returns immediately, so the
+//! navigating thread fans the current page out while the pool fills the
+//! prefetch cache behind it.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -55,6 +77,30 @@ use crate::shared_network::SharedNetwork;
 /// backstop against a caller requesting absurd batch widths, not a tuning knob.
 pub const MAX_POOL_WORKERS: usize = 64;
 
+/// Anti-starvation credit: after this many consecutive navigation tickets
+/// served while bulk/background work waited, one lower-lane ticket is served
+/// even though navigation work remains queued.
+pub const NAVIGATION_CREDIT: u32 = 4;
+
+/// The scheduling lane a fetch batch rides through the pool's priority queue.
+///
+/// Lanes are served strictly in order — `Navigation`, then `Bulk`, then
+/// `Background` — subject to the [`NAVIGATION_CREDIT`] anti-starvation valve,
+/// and a worker draining a lower lane yields to freshly queued navigation work
+/// at the next request boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Priority {
+    /// Navigation-critical work: the document fetch's render-blocking
+    /// companions (stylesheets, scripts). Preempts the lower lanes.
+    Navigation,
+    /// Ordinary page fan-out — images and other non-blocking subresources.
+    #[default]
+    Bulk,
+    /// Speculative work (prefetch). Runs only when nothing better is queued
+    /// and yields to navigation work between requests.
+    Background,
+}
+
 /// One submitted batch: the pending requests any ticket holder may claim, the
 /// per-request result slots, and the rendezvous the submitter waits on.
 ///
@@ -66,7 +112,10 @@ pub const MAX_POOL_WORKERS: usize = 64;
 /// orphaned by a vanished submitter, which completes with an error.
 struct BatchWork {
     fabric: Weak<SharedNetwork>,
-    base: u64,
+    /// Sequence base for the request log; `None` for speculative batches,
+    /// which dispatch unlogged so prefetch cannot perturb the sequence-ordered
+    /// log the oracle-equivalence harness compares.
+    base: Option<u64>,
     /// Requests not yet claimed, as `(plan_index, request)`. One short lock
     /// hold per claim; ticket holders loop until this is empty.
     pending: Mutex<VecDeque<(usize, Request)>>,
@@ -77,7 +126,7 @@ struct BatchWork {
 }
 
 impl BatchWork {
-    fn new(fabric: &Arc<SharedNetwork>, base: u64, requests: Vec<Request>) -> Arc<Self> {
+    fn new(fabric: &Arc<SharedNetwork>, base: Option<u64>, requests: Vec<Request>) -> Arc<Self> {
         let count = requests.len();
         Arc::new(BatchWork {
             fabric: Arc::downgrade(fabric),
@@ -85,46 +134,60 @@ impl BatchWork {
             pending: Mutex::new(requests.into_iter().enumerate().collect()),
             slots: (0..count).map(|_| Mutex::new(None)).collect(),
             remaining: AtomicUsize::new(count),
-            done: Mutex::new(false),
+            // An empty batch is born finished; `wait` must not park on it.
+            done: Mutex::new(count == 0),
             finished: Condvar::new(),
         })
     }
 
-    /// Drains the batch's pending list: claim a request, dispatch it under its
-    /// pre-reserved sequence, record the outcome, repeat until no claims
-    /// remain. Run by every ticket holder *and* the submitting thread, so the
-    /// batch's concurrency is exactly `tickets + 1`. Returns how many requests
-    /// this call dispatched.
+    /// Claims and dispatches **one** pending request. Returns `false` when no
+    /// claim remained — the batch's pending list is empty (though ticket
+    /// holders may still be finishing claims made earlier).
     ///
     /// A panic inside the origin's handler is caught here, per request: the
-    /// slot is completed with [`NetError::FetchPanicked`] and the drain
-    /// continues — one poisoned handler cannot hang the batch or kill a pool
+    /// slot is completed with [`NetError::FetchPanicked`] and the caller keeps
+    /// going — one poisoned handler cannot hang the batch or kill a pool
     /// worker.
+    fn drain_one(&self) -> bool {
+        let claimed = self.pending.lock().expect("batch pending list").pop_front();
+        let Some((index, request)) = claimed else {
+            return false;
+        };
+        let outcome = match self.fabric.upgrade() {
+            Some(fabric) => {
+                let outcome = dispatch_containing_panics(&fabric, self.base, index, request);
+                // The strong reference must die *before* the completion
+                // signal: once `complete` wakes the submitter, the
+                // fabric's owner may drop it at any moment, and this
+                // thread must not be holding the last count when it does.
+                drop(fabric);
+                outcome
+            }
+            None => Err(NetError::HostUnreachable(format!(
+                "network fabric dropped before dispatching {}",
+                request.url
+            ))),
+        };
+        self.complete(index, outcome);
+        true
+    }
+
+    /// Drains the batch's pending list to empty. Run by the submitting thread
+    /// (and by workers holding navigation tickets, which are never preempted),
+    /// so the batch's concurrency is exactly `tickets + 1`. Returns how many
+    /// requests this call dispatched.
     fn drain(&self) -> u64 {
         let mut ran = 0;
-        loop {
-            let claimed = self.pending.lock().expect("batch pending list").pop_front();
-            let Some((index, request)) = claimed else {
-                return ran;
-            };
+        while self.drain_one() {
             ran += 1;
-            let outcome = match self.fabric.upgrade() {
-                Some(fabric) => {
-                    let outcome = dispatch_containing_panics(&fabric, self.base, index, request);
-                    // The strong reference must die *before* the completion
-                    // signal: once `complete` wakes the submitter, the
-                    // fabric's owner may drop it at any moment, and this
-                    // thread must not be holding the last count when it does.
-                    drop(fabric);
-                    outcome
-                }
-                None => Err(NetError::HostUnreachable(format!(
-                    "network fabric dropped before dispatching {}",
-                    request.url
-                ))),
-            };
-            self.complete(index, outcome);
         }
+        ran
+    }
+
+    /// `true` while unclaimed requests remain — the preemption path only parks
+    /// a ticket that still has work behind it.
+    fn has_pending(&self) -> bool {
+        !self.pending.lock().expect("batch pending list").is_empty()
     }
 
     fn complete(&self, index: usize, outcome: Result<Response, NetError>) {
@@ -155,19 +218,20 @@ impl BatchWork {
     }
 }
 
-/// Dispatches batch request `index` under its pre-reserved sequence, catching
-/// a panicking origin handler and converting it into
-/// [`NetError::FetchPanicked`]. Shared by the pooled drain and the inline
-/// (parallelism ≤ 1) path so a batch's panic semantics do not depend on which
-/// side of the fan-out cutover it landed on.
+/// Dispatches batch request `index` — under its pre-reserved sequence when the
+/// batch is logged, or unlogged for speculative batches — catching a panicking
+/// origin handler and converting it into [`NetError::FetchPanicked`]. Shared by
+/// the pooled drain and the inline (parallelism ≤ 1) path so a batch's panic
+/// semantics do not depend on which side of the fan-out cutover it landed on.
 fn dispatch_containing_panics(
     fabric: &SharedNetwork,
-    base: u64,
+    base: Option<u64>,
     index: usize,
     request: Request,
 ) -> Result<Response, NetError> {
-    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        fabric.dispatch_sequenced(base + index as u64, request)
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match base {
+        Some(base) => fabric.dispatch_sequenced(base + index as u64, request),
+        None => fabric.dispatch_unlogged(request),
     }))
     .unwrap_or_else(|_| {
         Err(NetError::FetchPanicked(format!(
@@ -176,11 +240,11 @@ fn dispatch_containing_panics(
     })
 }
 
-/// The state workers share: the ticket queue and the park/wake machinery.
-/// Workers hold an `Arc` of *this* (never of the fabric), and batches hold the
-/// fabric only weakly, so the fabric → pool → worker ownership chain stays
-/// acyclic and the fabric's last strong reference can never die on a worker
-/// thread.
+/// The state workers share: the lane-split ticket queue and the park/wake
+/// machinery. Workers hold an `Arc` of *this* (never of the fabric), and
+/// batches hold the fabric only weakly, so the fabric → pool → worker
+/// ownership chain stays acyclic and the fabric's last strong reference can
+/// never die on a worker thread.
 struct PoolShared {
     queue: Mutex<PoolQueue>,
     /// Parked workers wait here; submission notifies one worker per ticket.
@@ -188,12 +252,62 @@ struct PoolShared {
     /// Requests dispatched by pool workers (not the helping submitter) —
     /// observability.
     executed: AtomicU64,
+    /// Unclaimed navigation tickets, mirrored outside the queue lock: the
+    /// signal bulk/background drains poll between requests to decide whether
+    /// to yield. Mutated only under the queue lock; read lock-free.
+    navigation_queued: AtomicUsize,
+    /// Times a worker parked a bulk/background ticket mid-batch to pick up
+    /// queued navigation work.
+    preemptions: AtomicU64,
 }
 
 struct PoolQueue {
-    /// Claim tickets: popping one commits the worker to draining that batch.
-    tickets: VecDeque<Arc<BatchWork>>,
+    /// Claim tickets per lane: popping one commits the worker to draining that
+    /// batch (until preempted, for the lower lanes).
+    navigation: VecDeque<Arc<BatchWork>>,
+    bulk: VecDeque<Arc<BatchWork>>,
+    background: VecDeque<Arc<BatchWork>>,
+    /// Consecutive navigation tickets handed out while lower-lane work waited;
+    /// at [`NAVIGATION_CREDIT`] the next pop serves a lower lane instead.
+    navigation_streak: u32,
     shutdown: bool,
+}
+
+impl PoolQueue {
+    fn lane_mut(&mut self, lane: Priority) -> &mut VecDeque<Arc<BatchWork>> {
+        match lane {
+            Priority::Navigation => &mut self.navigation,
+            Priority::Bulk => &mut self.bulk,
+            Priority::Background => &mut self.background,
+        }
+    }
+
+    /// Pops the next ticket by lane priority — navigation first, bulk, then
+    /// background — with the anti-starvation credit letting one lower-lane
+    /// ticket through after every [`NAVIGATION_CREDIT`] navigation pops made
+    /// while lower-lane work sat waiting.
+    fn pop_ticket(&mut self) -> Option<(Arc<BatchWork>, Priority)> {
+        let lower_waiting = !self.bulk.is_empty() || !self.background.is_empty();
+        if !self.navigation.is_empty()
+            && (!lower_waiting || self.navigation_streak < NAVIGATION_CREDIT)
+        {
+            self.navigation_streak += 1;
+            return self
+                .navigation
+                .pop_front()
+                .map(|w| (w, Priority::Navigation));
+        }
+        self.navigation_streak = 0;
+        if let Some(work) = self.bulk.pop_front() {
+            return Some((work, Priority::Bulk));
+        }
+        if let Some(work) = self.background.pop_front() {
+            return Some((work, Priority::Background));
+        }
+        self.navigation
+            .pop_front()
+            .map(|w| (w, Priority::Navigation))
+    }
 }
 
 /// The persistent, lazily-grown worker pool one [`SharedNetwork`] owns.
@@ -211,11 +325,16 @@ impl FetchPool {
         FetchPool {
             shared: Arc::new(PoolShared {
                 queue: Mutex::new(PoolQueue {
-                    tickets: VecDeque::new(),
+                    navigation: VecDeque::new(),
+                    bulk: VecDeque::new(),
+                    background: VecDeque::new(),
+                    navigation_streak: 0,
                     shutdown: false,
                 }),
                 available: Condvar::new(),
                 executed: AtomicU64::new(0),
+                navigation_queued: AtomicUsize::new(0),
+                preemptions: AtomicU64::new(0),
             }),
             handles: Mutex::new(Vec::new()),
             workers: AtomicUsize::new(0),
@@ -231,6 +350,12 @@ impl FetchPool {
     /// not counted here — it never crossed a thread).
     pub(crate) fn jobs_executed(&self) -> u64 {
         self.shared.executed.load(Ordering::Relaxed)
+    }
+
+    /// Times a worker parked a bulk/background batch mid-drain to serve queued
+    /// navigation work.
+    pub(crate) fn preemptions(&self) -> u64 {
+        self.shared.preemptions.load(Ordering::Relaxed)
     }
 
     /// Grows the pool to at least `wanted` workers (capped at
@@ -263,13 +388,22 @@ impl FetchPool {
         self.workers.store(handles.len(), Ordering::Relaxed);
     }
 
-    /// Enqueues `tickets` claim tickets for `work` under one lock hold and
-    /// wakes exactly that many parked workers — a small batch on a fully grown
-    /// pool does not stampede every thread.
-    fn submit(&self, work: &Arc<BatchWork>, tickets: usize) {
+    /// Enqueues `tickets` claim tickets for `work` on `priority`'s lane under
+    /// one lock hold and wakes exactly that many parked workers — a small
+    /// batch on a fully grown pool does not stampede every thread.
+    fn submit(&self, work: &Arc<BatchWork>, tickets: usize, priority: Priority) {
         {
             let mut queue = self.shared.queue.lock().expect("fetch pool queue");
-            queue.tickets.extend((0..tickets).map(|_| Arc::clone(work)));
+            queue
+                .lane_mut(priority)
+                .extend((0..tickets).map(|_| Arc::clone(work)));
+            if priority == Priority::Navigation {
+                // Mirrored under the queue lock so pops (which decrement, also
+                // under the lock) can never race it below zero.
+                self.shared
+                    .navigation_queued
+                    .fetch_add(tickets, Ordering::Relaxed);
+            }
         }
         for _ in 0..tickets {
             self.shared.available.notify_one();
@@ -295,6 +429,7 @@ impl std::fmt::Debug for FetchPool {
         f.debug_struct("FetchPool")
             .field("workers", &self.workers())
             .field("jobs_executed", &self.jobs_executed())
+            .field("preemptions", &self.preemptions())
             .finish()
     }
 }
@@ -302,13 +437,23 @@ impl std::fmt::Debug for FetchPool {
 /// A worker: park on the condvar, drain a batch per claimed ticket, exit on
 /// shutdown. Pending tickets are drained even after shutdown is flagged, so a
 /// fabric dropped mid-batch still completes the batch before the join.
+///
+/// Bulk and background tickets are drained **preemptibly**: between requests
+/// the worker polls the navigation-queued signal, and when navigation work is
+/// waiting it parks the unfinished batch back at the front of its lane (the
+/// batch's concurrency bound is a ticket count, so parking the ticket keeps
+/// the bound exact) and loops around — the lane order then hands it the
+/// navigation ticket. Navigation tickets drain to completion.
 fn worker_loop(shared: &PoolShared) {
     loop {
-        let work = {
+        let (work, lane) = {
             let mut queue = shared.queue.lock().expect("fetch pool queue");
             loop {
-                if let Some(work) = queue.tickets.pop_front() {
-                    break work;
+                if let Some((work, lane)) = queue.pop_ticket() {
+                    if lane == Priority::Navigation {
+                        shared.navigation_queued.fetch_sub(1, Ordering::Relaxed);
+                    }
+                    break (work, lane);
                 }
                 if queue.shutdown {
                     return;
@@ -316,15 +461,61 @@ fn worker_loop(shared: &PoolShared) {
                 queue = shared.available.wait(queue).expect("fetch pool queue");
             }
         };
-        let ran = work.drain();
+        let mut ran = 0;
+        while work.drain_one() {
+            ran += 1;
+            if lane != Priority::Navigation
+                && shared.navigation_queued.load(Ordering::Relaxed) > 0
+                && work.has_pending()
+            {
+                {
+                    let mut queue = shared.queue.lock().expect("fetch pool queue");
+                    queue.lane_mut(lane).push_front(Arc::clone(&work));
+                }
+                shared.preemptions.fetch_add(1, Ordering::Relaxed);
+                shared.available.notify_one();
+                break;
+            }
+        }
         shared.executed.fetch_add(ran, Ordering::Relaxed);
+    }
+}
+
+/// An in-flight speculative batch on the background lane, created by
+/// [`SharedNetwork::submit_background_batch`]. The submitter is **not** a
+/// drain lane while the batch is in flight — the whole point is overlapping
+/// the speculation with other work — and collects the outcomes by joining.
+pub struct BackgroundBatch {
+    work: Arc<BatchWork>,
+}
+
+impl BackgroundBatch {
+    /// Blocks until every request has an outcome and returns them in plan
+    /// order. The joining thread helps drain whatever the pool has not claimed
+    /// yet, so a background batch completes even on a fabric whose pool is
+    /// saturated with higher-priority work.
+    #[must_use]
+    pub fn join(self) -> Vec<Result<Response, NetError>> {
+        self.work.drain();
+        self.work.wait();
+        self.work.take_results()
+    }
+}
+
+impl std::fmt::Debug for BackgroundBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BackgroundBatch")
+            .field("requests", &self.work.slots.len())
+            .finish()
     }
 }
 
 impl SharedNetwork {
     /// Dispatches a pre-planned batch of requests — request `i` under sequence
     /// `base + i` — across the fabric's persistent worker pool, returning the
-    /// outcomes in plan order.
+    /// outcomes in plan order. `priority` picks the queue lane the batch's
+    /// claim tickets ride (see [`Priority`]); it never changes the results,
+    /// only how soon a loaded pool gets to them.
     ///
     /// `parallelism` bounds how many fetches run concurrently, **exactly**: the
     /// batch enqueues `parallelism - 1` claim tickets and only ticket holders
@@ -347,6 +538,7 @@ impl SharedNetwork {
         base: u64,
         requests: Vec<Request>,
         parallelism: usize,
+        priority: Priority,
     ) -> Vec<Result<Response, NetError>> {
         let count = requests.len();
         if count == 0 {
@@ -360,16 +552,42 @@ impl SharedNetwork {
             return requests
                 .into_iter()
                 .enumerate()
-                .map(|(i, request)| dispatch_containing_panics(self, base, i, request))
+                .map(|(i, request)| dispatch_containing_panics(self, Some(base), i, request))
                 .collect();
         }
-        let work = BatchWork::new(self, base, requests);
+        let work = BatchWork::new(self, Some(base), requests);
         // The submitter is one of the `parallelism` lanes; ticket the rest.
         self.pool().ensure_workers(parallelism - 1);
-        self.pool().submit(&work, parallelism - 1);
+        self.pool().submit(&work, parallelism - 1, priority);
         work.drain();
         work.wait();
         work.take_results()
+    }
+
+    /// Submits an **unlogged** speculative batch on the background lane and
+    /// returns immediately — the prefetch side of the scheduler. The requests
+    /// dispatch with full latency and panic containment but are never recorded
+    /// in the sequence-ordered log (a consumed prefetch hit is logged at
+    /// consumption time instead), so speculation cannot perturb what the
+    /// oracle-equivalence harness compares.
+    ///
+    /// Unlike [`dispatch_batch`](SharedNetwork::dispatch_batch), the caller is
+    /// not a drain lane: all `parallelism` tickets go to the pool so the
+    /// speculation overlaps whatever the caller does next. Collect the
+    /// outcomes with [`BackgroundBatch::join`].
+    pub fn submit_background_batch(
+        self: &Arc<Self>,
+        requests: Vec<Request>,
+        parallelism: usize,
+    ) -> BackgroundBatch {
+        let count = requests.len();
+        let work = BatchWork::new(self, None, requests);
+        if count > 0 {
+            let tickets = parallelism.clamp(1, count);
+            self.pool().ensure_workers(tickets);
+            self.pool().submit(&work, tickets, Priority::Background);
+        }
+        BackgroundBatch { work }
     }
 }
 
@@ -404,7 +622,7 @@ mod tests {
     fn batch_results_and_log_read_in_plan_order() {
         let fabric = fabric_with_origins(4, Duration::ZERO);
         let (base, requests) = plan(&fabric, 8, 4);
-        let results = fabric.dispatch_batch(base, requests, 4);
+        let results = fabric.dispatch_batch(base, requests, 4, Priority::Bulk);
         assert_eq!(results.len(), 8);
         for (i, result) in results.iter().enumerate() {
             assert_eq!(result.as_ref().unwrap().body, format!("/r{i}"));
@@ -418,7 +636,7 @@ mod tests {
     fn parallelism_one_never_touches_the_pool() {
         let fabric = fabric_with_origins(2, Duration::ZERO);
         let (base, requests) = plan(&fabric, 4, 2);
-        let results = fabric.dispatch_batch(base, requests, 1);
+        let results = fabric.dispatch_batch(base, requests, 1, Priority::Navigation);
         assert!(results.iter().all(Result::is_ok));
         assert_eq!(fabric.fetch_pool_workers(), 0, "inline path spawns nothing");
     }
@@ -428,13 +646,13 @@ mod tests {
         let fabric = fabric_with_origins(4, Duration::from_micros(50));
         for _ in 0..3 {
             let (base, requests) = plan(&fabric, 8, 4);
-            let results = fabric.dispatch_batch(base, requests, 4);
+            let results = fabric.dispatch_batch(base, requests, 4, Priority::Bulk);
             assert!(results.iter().all(Result::is_ok));
         }
         let after_first = fabric.fetch_pool_workers();
         assert!(after_first >= 3, "pool retains its parked workers");
         let (base, requests) = plan(&fabric, 8, 4);
-        fabric.dispatch_batch(base, requests, 4);
+        fabric.dispatch_batch(base, requests, 4, Priority::Bulk);
         assert_eq!(
             fabric.fetch_pool_workers(),
             after_first,
@@ -452,7 +670,7 @@ mod tests {
             Request::get("http://nowhere.example/b").unwrap(),
             Request::get("http://h1.example/c").unwrap(),
         ];
-        let results = fabric.dispatch_batch(base, requests, 2);
+        let results = fabric.dispatch_batch(base, requests, 2, Priority::Bulk);
         assert!(results[0].is_ok());
         assert!(matches!(results[1], Err(NetError::HostUnreachable(_))));
         assert!(results[2].is_ok());
@@ -474,7 +692,7 @@ mod tests {
             Request::get("http://boom.example/d").unwrap(),
         ];
         // The batch completes — no hang — with the panicking slots failed.
-        let results = fabric.dispatch_batch(base, requests, 3);
+        let results = fabric.dispatch_batch(base, requests, 3, Priority::Bulk);
         assert!(results[0].is_ok());
         assert!(matches!(results[1], Err(NetError::FetchPanicked(_))));
         assert!(results[2].is_ok());
@@ -483,7 +701,7 @@ mod tests {
         // to completion. (The panicked origin's handler mutex is poisoned, but
         // the pool and every other origin are unaffected.)
         let (base, requests) = plan(&fabric, 4, 1);
-        let results = fabric.dispatch_batch(base, requests, 3);
+        let results = fabric.dispatch_batch(base, requests, 3, Priority::Bulk);
         assert!(results.iter().all(Result::is_ok));
     }
 
@@ -503,7 +721,7 @@ mod tests {
             Request::get("http://boom.example/b").unwrap(),
             Request::get("http://h0.example/c").unwrap(),
         ];
-        let results = fabric.dispatch_batch(base, requests, 1);
+        let results = fabric.dispatch_batch(base, requests, 1, Priority::Bulk);
         assert!(results[0].is_ok());
         assert!(matches!(results[1], Err(NetError::FetchPanicked(_))));
         assert!(results[2].is_ok());
@@ -531,12 +749,12 @@ mod tests {
         }
         // Grow the pool to 4 with a wide batch first.
         let (base, requests) = plan(&fabric, 8, 4);
-        fabric.dispatch_batch(base, requests, 5);
+        fabric.dispatch_batch(base, requests, 5, Priority::Bulk);
         assert!(fabric.fetch_pool_workers() >= 4);
         // Now a narrow batch: the bound must hold despite the grown pool.
         high_water.store(0, Ordering::SeqCst);
         let (base, requests) = plan(&fabric, 12, 4);
-        let results = fabric.dispatch_batch(base, requests, 2);
+        let results = fabric.dispatch_batch(base, requests, 2, Priority::Bulk);
         assert!(results.iter().all(Result::is_ok));
         assert!(
             high_water.load(Ordering::SeqCst) <= 2,
@@ -553,7 +771,7 @@ mod tests {
                 let fabric = Arc::clone(&fabric);
                 scope.spawn(move || {
                     let (base, requests) = plan(&fabric, 8, 4);
-                    let results = fabric.dispatch_batch(base, requests, 4);
+                    let results = fabric.dispatch_batch(base, requests, 4, Priority::Bulk);
                     assert!(results.iter().all(Result::is_ok));
                 });
             }
@@ -573,9 +791,115 @@ mod tests {
             Request::get("http://deny.example/x").unwrap(),
             Request::get("http://deny.example/y").unwrap(),
         ];
-        let results = fabric.dispatch_batch(base, requests, 2);
+        let results = fabric.dispatch_batch(base, requests, 2, Priority::Bulk);
         for result in results {
             assert_eq!(result.unwrap().status, StatusCode::FORBIDDEN);
         }
+    }
+
+    #[test]
+    fn navigation_tickets_pop_before_queued_bulk_with_anti_starvation_credit() {
+        // Pure queue-policy test: queue 6 navigation tickets behind 2 bulk and
+        // 1 background ticket. Pops must serve navigation first, let exactly
+        // one bulk ticket through after NAVIGATION_CREDIT consecutive
+        // navigation pops, and drain background last.
+        let fabric = fabric_with_origins(1, Duration::ZERO);
+        let nav = BatchWork::new(&fabric, Some(0), Vec::new());
+        let bulk = BatchWork::new(&fabric, Some(0), Vec::new());
+        let background = BatchWork::new(&fabric, None, Vec::new());
+        let mut queue = PoolQueue {
+            navigation: (0..6).map(|_| Arc::clone(&nav)).collect(),
+            bulk: (0..2).map(|_| Arc::clone(&bulk)).collect(),
+            background: VecDeque::from([Arc::clone(&background)]),
+            navigation_streak: 0,
+            shutdown: false,
+        };
+        let mut order = Vec::new();
+        while let Some((_, lane)) = queue.pop_ticket() {
+            order.push(lane);
+        }
+        use Priority::{Background, Bulk, Navigation};
+        assert_eq!(
+            order,
+            vec![
+                Navigation, Navigation, Navigation, Navigation, // credit exhausted
+                Bulk,       // anti-starvation valve fires
+                Navigation, Navigation, // remaining navigation work
+                Bulk, Background, // lanes drain in priority order
+            ]
+        );
+    }
+
+    #[test]
+    fn background_batches_dispatch_unlogged_and_join_in_plan_order() {
+        let fabric = fabric_with_origins(2, Duration::from_micros(50));
+        let requests: Vec<Request> = (0..4)
+            .map(|i| Request::get(&format!("http://h{}.example/bg{i}", i % 2)).unwrap())
+            .collect();
+        let batch = fabric.submit_background_batch(requests, 2);
+        let results = batch.join();
+        assert_eq!(results.len(), 4);
+        for (i, result) in results.iter().enumerate() {
+            assert_eq!(result.as_ref().unwrap().body, format!("/bg{i}"));
+        }
+        // Speculative dispatches never touch the sequence-ordered log.
+        assert_eq!(fabric.log_len(), 0);
+        // An empty batch joins immediately instead of parking forever.
+        assert!(fabric
+            .submit_background_batch(Vec::new(), 4)
+            .join()
+            .is_empty());
+    }
+
+    #[test]
+    fn queued_navigation_work_preempts_a_draining_bulk_batch() {
+        // Saturate the pool with one wide, slow bulk batch from a helper
+        // thread, then submit a navigation batch: workers finishing a bulk
+        // request must park the bulk ticket and serve navigation first. The
+        // preemption counter is the witness; the bulk batch still completes
+        // (anti-starvation is about fairness, completion is structural — the
+        // submitter always drains its own batch).
+        let fabric = Arc::new(SharedNetwork::new());
+        fabric.register("http://slow.example", |req: &Request| {
+            std::thread::sleep(Duration::from_millis(2));
+            Response::ok_text(req.url.path().to_string())
+        });
+        fabric.register("http://nav.example", echo);
+        // Many more requests than drain lanes: the batch's pending list must
+        // still hold work when the navigation batch arrives, because only a
+        // ticket with work behind it parks.
+        const BULK_REQUESTS: usize = 192;
+        let bulk_fabric = Arc::clone(&fabric);
+        let storm = std::thread::spawn(move || {
+            let base = bulk_fabric.reserve_sequences(BULK_REQUESTS as u64);
+            let requests = (0..BULK_REQUESTS)
+                .map(|i| Request::get(&format!("http://slow.example/b{i}")).unwrap())
+                .collect();
+            let results = bulk_fabric.dispatch_batch(base, requests, 48, Priority::Bulk);
+            assert!(results.iter().all(Result::is_ok));
+        });
+        // Wait until the storm's first round has demonstrably completed (its
+        // entries reach the log) so every pool worker is mid-drain, then ask
+        // for navigation work.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while fabric.log_len() < 8 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let base = fabric.reserve_sequences(4);
+        let requests = (0..4)
+            .map(|i| Request::get(&format!("http://nav.example/n{i}")).unwrap())
+            .collect();
+        let results = fabric.dispatch_batch(base, requests, 4, Priority::Navigation);
+        assert!(results.iter().all(Result::is_ok));
+        storm.join().unwrap();
+        assert!(
+            fabric.fetch_pool_preemptions() >= 1,
+            "no bulk worker yielded to the queued navigation batch"
+        );
+        assert_eq!(
+            fabric.log_len(),
+            BULK_REQUESTS + 4,
+            "both batches completed"
+        );
     }
 }

@@ -55,6 +55,7 @@ pub mod url;
 
 pub use cookie::{Cookie, SetCookie};
 pub use error::NetError;
+pub use fetch_pool::{BackgroundBatch, Priority};
 pub use headers::Headers;
 pub use jar::CookieJar;
 pub use message::{Method, Request, Response, StatusCode};

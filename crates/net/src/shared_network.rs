@@ -31,9 +31,19 @@
 //! * **Persistent fetch worker pool.** [`SharedNetwork::dispatch_batch`] fans a
 //!   pre-planned request batch out over parked worker threads the fabric owns
 //!   and reuses across page loads ([`crate::fetch_pool`]) — submission costs a
-//!   queue push and a notify, not a thread spawn per page.
+//!   queue push and a notify, not a thread spawn per page. The pool's queue has
+//!   two effective priority tiers (navigation preempts bulk/background, see
+//!   [`crate::fetch_pool::Priority`]).
+//! * **Bounded prefetch cache.** Speculative background fetches park their
+//!   responses here, keyed by `(url, cookie-header)`. A later navigation may
+//!   consume an entry **only** when the cookie header it just mediated for
+//!   itself matches the one the prefetch was dispatched with — the mediation
+//!   plan is the key, so a stale plan (cookies or policy changed since the
+//!   speculation) discards the entry and the navigation fetches live. Prefetch
+//!   can therefore never change a security decision, only skip a wire round
+//!   trip whose request bytes it already proved identical.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -50,6 +60,25 @@ pub const DEFAULT_LOG_STRIPE_COUNT: usize = 8;
 
 /// Default bound on retained log entries (divided across the stripes).
 pub const DEFAULT_LOG_CAPACITY: usize = 64 * 1024;
+
+/// Bound on retained prefetched responses. Speculation is a latency hedge, not
+/// a store: entries are consumed once, overwritten by fresher speculation for
+/// the same URL, and evicted oldest-first past this bound.
+pub const PREFETCH_CACHE_CAPACITY: usize = 32;
+
+/// One parked speculative response, valid only for the exact mediation plan
+/// (cookie header) it was fetched under.
+struct PrefetchEntry {
+    cookie_header: String,
+    response: Response,
+}
+
+/// The bounded prefetched-response store: URL-keyed entries plus insertion
+/// order for oldest-first eviction.
+struct PrefetchCache {
+    entries: HashMap<String, PrefetchEntry>,
+    order: VecDeque<String>,
+}
 
 /// One registered origin: the handler behind its own short-held mutex, the
 /// synthetic service latency dispatches to this origin pay, and an EWMA of the
@@ -102,6 +131,11 @@ pub struct SharedNetwork {
     /// [`dispatch_batch`](SharedNetwork::dispatch_batch): lazily-spawned parked
     /// threads reused across every page load on this fabric.
     pool: crate::fetch_pool::FetchPool,
+    /// Parked speculative responses, keyed by URL and validated against the
+    /// consuming navigation's freshly mediated cookie header.
+    prefetch: Mutex<PrefetchCache>,
+    prefetch_hits: AtomicU64,
+    prefetch_stale: AtomicU64,
 }
 
 impl Default for SharedNetwork {
@@ -143,6 +177,12 @@ impl SharedNetwork {
             dropped: AtomicU64::new(0),
             sequence: AtomicU64::new(0),
             pool: crate::fetch_pool::FetchPool::new(),
+            prefetch: Mutex::new(PrefetchCache {
+                entries: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            prefetch_hits: AtomicU64::new(0),
+            prefetch_stale: AtomicU64::new(0),
         }
     }
 
@@ -164,6 +204,13 @@ impl SharedNetwork {
     #[must_use]
     pub fn fetch_pool_jobs_executed(&self) -> u64 {
         self.pool.jobs_executed()
+    }
+
+    /// Times a pool worker parked a bulk/background batch mid-drain to serve
+    /// queued navigation work — the priority queue's preemption witness.
+    #[must_use]
+    pub fn fetch_pool_preemptions(&self) -> u64 {
+        self.pool.preemptions()
     }
 
     /// Registers a server for an origin given as a URL string (the path is
@@ -297,6 +344,39 @@ impl SharedNetwork {
         sequence: u64,
         request: Request,
     ) -> Result<Response, NetError> {
+        let response = self.service(&request)?;
+        self.record(
+            sequence,
+            LoggedRequest {
+                method: request.method,
+                url: request.url.clone(),
+                cookie_names: request.cookie_names(),
+                status: response.status.0,
+            },
+        );
+        Ok(response)
+    }
+
+    /// Dispatches a request **without** recording a log entry: the speculative
+    /// (prefetch) path. Latency, the origin's handler mutex and the EWMA all
+    /// behave exactly as in [`dispatch_sequenced`](SharedNetwork::dispatch_sequenced);
+    /// only the sequence-ordered log is untouched, so speculation cannot
+    /// perturb what the oracle-equivalence harness compares. A consumed
+    /// prefetch hit is logged at consumption time via
+    /// [`record_prefetch_hit`](SharedNetwork::record_prefetch_hit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::HostUnreachable`] when no server is registered for
+    /// the request's origin.
+    pub fn dispatch_unlogged(&self, request: Request) -> Result<Response, NetError> {
+        self.service(&request)
+    }
+
+    /// The shared dispatch machinery: sleep the origin's simulated latency
+    /// (outside all locks), take the origin's handler mutex for exactly one
+    /// `handle` call, and fold the observed service time into the planner EWMA.
+    fn service(&self, request: &Request) -> Result<Response, NetError> {
         let origin = request.url.origin();
         // The map's read guard is dropped inside `handler()`: the sleep and the
         // handler call below hold only this origin's own mutex, so registration
@@ -309,7 +389,7 @@ impl SharedNetwork {
         }
         let response = {
             let mut server = handler.server.lock().expect("origin handler lock");
-            server.handle(&request)
+            server.handle(request)
         };
         // Fold the observed service time (sleep + handler) into the EWMA a
         // planner reads through `estimated_service_ns`: new = 7/8·old + 1/8·sample.
@@ -321,16 +401,98 @@ impl SharedNetwork {
             old - old / 8 + sample / 8
         };
         handler.observed_ns.store(next, Ordering::Relaxed);
+        Ok(response)
+    }
+
+    /// Parks a speculative response for `url`, fetched under the mediation
+    /// plan summarized by `cookie_header` (the exact `Cookie` header value the
+    /// monitor attached, empty string for none). Fresher speculation for the
+    /// same URL overwrites; past [`PREFETCH_CACHE_CAPACITY`] entries the
+    /// oldest is evicted.
+    pub fn store_prefetched(&self, url: &crate::url::Url, cookie_header: &str, response: Response) {
+        let key = url.to_string();
+        let mut cache = self.prefetch.lock().expect("prefetch cache lock");
+        if cache.entries.remove(&key).is_some() {
+            cache.order.retain(|k| k != &key);
+        }
+        while cache.entries.len() >= PREFETCH_CACHE_CAPACITY {
+            let Some(oldest) = cache.order.pop_front() else {
+                break;
+            };
+            cache.entries.remove(&oldest);
+        }
+        cache.entries.insert(
+            key.clone(),
+            PrefetchEntry {
+                cookie_header: cookie_header.to_string(),
+                response,
+            },
+        );
+        cache.order.push_back(key);
+    }
+
+    /// Consumes the parked speculative response for `url`, but **only** when
+    /// `cookie_header` — the header the consuming navigation just mediated for
+    /// itself — matches the plan the speculation was dispatched with. On a
+    /// mismatch the entry is discarded (stale plan) and `None` is returned, so
+    /// a prefetched response can never substitute for a request the monitor
+    /// would build differently today. Entries are one-shot either way.
+    #[must_use]
+    pub fn take_prefetched(&self, url: &crate::url::Url, cookie_header: &str) -> Option<Response> {
+        let key = url.to_string();
+        let mut cache = self.prefetch.lock().expect("prefetch cache lock");
+        let entry = cache.entries.remove(&key)?;
+        cache.order.retain(|k| k != &key);
+        drop(cache);
+        if entry.cookie_header == cookie_header {
+            self.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+            Some(entry.response)
+        } else {
+            self.prefetch_stale.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Logs a consumed prefetch hit under the consuming navigation's reserved
+    /// `sequence`, exactly as the live dispatch it replaced would have been
+    /// logged. The consumption is only legal when the mediation plan matched
+    /// ([`take_prefetched`](SharedNetwork::take_prefetched)), so method, URL
+    /// and cookie names here are byte-identical to the request a prefetch-free
+    /// run would have put on the wire — which is what keeps the log equivalent.
+    pub fn record_prefetch_hit(&self, sequence: u64, request: &Request, status: u16) {
         self.record(
             sequence,
             LoggedRequest {
                 method: request.method,
                 url: request.url.clone(),
                 cookie_names: request.cookie_names(),
-                status: response.status.0,
+                status,
             },
         );
-        Ok(response)
+    }
+
+    /// Speculative responses consumed by a navigation whose mediation plan
+    /// still matched.
+    #[must_use]
+    pub fn prefetch_hits(&self) -> u64 {
+        self.prefetch_hits.load(Ordering::Relaxed)
+    }
+
+    /// Speculative responses discarded because the consuming navigation's
+    /// mediation plan no longer matched the one they were fetched under.
+    #[must_use]
+    pub fn prefetch_stale_discards(&self) -> u64 {
+        self.prefetch_stale.load(Ordering::Relaxed)
+    }
+
+    /// Parked speculative responses currently cached.
+    #[must_use]
+    pub fn prefetched_entries(&self) -> usize {
+        self.prefetch
+            .lock()
+            .expect("prefetch cache lock")
+            .entries
+            .len()
     }
 
     /// Appends a log entry to the stripe its sequence selects, evicting the
@@ -453,6 +615,8 @@ impl fmt::Debug for SharedNetwork {
             .field("logged_requests", &self.log_len())
             .field("dropped_log_entries", &self.dropped_log_entries())
             .field("fetch_pool_workers", &self.fetch_pool_workers())
+            .field("prefetched_entries", &self.prefetched_entries())
+            .field("prefetch_hits", &self.prefetch_hits())
             .finish()
     }
 }
@@ -601,6 +765,80 @@ mod tests {
         net.register("http://a.example", echo_server);
         assert!(net.knows(&Url::parse("http://a.example/x").unwrap()));
         assert!(!net.knows(&Url::parse("http://other.example/").unwrap()));
+    }
+
+    #[test]
+    fn prefetch_cache_hits_only_on_a_matching_mediation_plan() {
+        let net = SharedNetwork::new();
+        net.register("http://a.example", echo_server);
+        let url = Url::parse("http://a.example/page").unwrap();
+        let response = net
+            .dispatch_unlogged(Request::get("http://a.example/page").unwrap())
+            .unwrap();
+        assert_eq!(net.log_len(), 0, "speculative dispatches are unlogged");
+        net.store_prefetched(&url, "sid=abc", response);
+        assert_eq!(net.prefetched_entries(), 1);
+
+        // A different plan (the jar changed since the speculation) discards
+        // the entry instead of serving it.
+        assert!(net.take_prefetched(&url, "sid=zzz").is_none());
+        assert_eq!(net.prefetch_stale_discards(), 1);
+        assert_eq!(net.prefetched_entries(), 0, "stale entries are discarded");
+
+        // A matching plan consumes the entry exactly once.
+        let response = net
+            .dispatch_unlogged(Request::get("http://a.example/page").unwrap())
+            .unwrap();
+        net.store_prefetched(&url, "sid=abc", response);
+        let hit = net.take_prefetched(&url, "sid=abc").unwrap();
+        assert_eq!(hit.body, "GET /page");
+        assert_eq!(net.prefetch_hits(), 1);
+        assert!(net.take_prefetched(&url, "sid=abc").is_none());
+        assert_eq!(
+            net.prefetch_stale_discards(),
+            1,
+            "a plain miss is not a stale discard"
+        );
+    }
+
+    #[test]
+    fn prefetch_cache_is_bounded_and_overwrites_per_url() {
+        let net = SharedNetwork::new();
+        net.register("http://a.example", echo_server);
+        let ok = Response::ok_text("x");
+        for i in 0..PREFETCH_CACHE_CAPACITY + 4 {
+            let url = Url::parse(&format!("http://a.example/{i}")).unwrap();
+            net.store_prefetched(&url, "", ok.clone());
+        }
+        assert_eq!(net.prefetched_entries(), PREFETCH_CACHE_CAPACITY);
+        // The oldest entries were evicted; the newest survive.
+        let oldest = Url::parse("http://a.example/0").unwrap();
+        assert!(net.take_prefetched(&oldest, "").is_none());
+        let newest =
+            Url::parse(&format!("http://a.example/{}", PREFETCH_CACHE_CAPACITY + 3)).unwrap();
+        assert!(net.take_prefetched(&newest, "").is_some());
+        // Re-storing a URL overwrites in place rather than duplicating.
+        let url = Url::parse("http://a.example/again").unwrap();
+        net.store_prefetched(&url, "a=1", ok.clone());
+        net.store_prefetched(&url, "a=2", ok);
+        assert!(net.take_prefetched(&url, "a=2").is_some());
+        assert!(net.take_prefetched(&url, "a=2").is_none());
+    }
+
+    #[test]
+    fn prefetch_hits_log_under_their_reserved_sequence() {
+        let net = SharedNetwork::new();
+        net.register("http://a.example", echo_server);
+        let sequence = net.reserve_sequences(1);
+        let request = Request::get("http://a.example/hit")
+            .unwrap()
+            .with_header("Cookie", "sid=abc");
+        net.record_prefetch_hit(sequence, &request, 200);
+        let log = net.log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].url.path(), "/hit");
+        assert_eq!(log[0].cookie_names, vec!["sid".to_string()]);
+        assert_eq!(log[0].status, 200);
     }
 
     #[test]

@@ -4,21 +4,29 @@
 //! * recorded outcomes and the sequence-sorted request log read in **document
 //!   order** under adversarially skewed (randomized-per-origin) latencies,
 //! * attached cookie names are **byte-identical** to the sequential oracle path
-//!   (workers = 1), because mediation is fixed in phase 1 before any fetch, and
-//! * 8 sessions sharing one fabric + jar + engine leak nothing across sessions.
+//!   (workers = 1), because mediation is fixed in phase 1 before any fetch,
+//! * 8 sessions sharing one fabric + jar + engine leak nothing across sessions,
+//! * a navigation's critical batch **preempts** a draining bulk batch at a
+//!   request boundary, and a continuous navigation storm never **starves** the
+//!   bulk lane (the anti-starvation credit), and
+//! * speculative prefetch is **oracle-equivalent**: prefetch on vs off produces
+//!   byte-identical mediation decisions, attachments and request logs.
 //!
-//! The worlds are built by `escudo_bench::loader` — the same builders the
-//! `loader_concurrent` CI gate drives — so the bench and these tests cannot
-//! silently diverge in what they validate.
+//! The worlds are built by `escudo_bench::loader` and `escudo_bench::scheduler`
+//! — the same builders the `loader_concurrent` and `scheduler_concurrent` CI
+//! gates drive — so the benches and these tests cannot silently diverge in
+//! what they validate.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use escudo::browser::Browser;
 use escudo::core::{engine_for_mode, EscudoEngine, PolicyEngine, PolicyMode};
 use escudo::net::{SharedCookieJar, SharedNetwork};
 use escudo_bench::loader::{register_loader_world, reverse_skewed_latency};
+use escudo_bench::scheduler::{register_nav_world, run_prefetch_oracle, NAV_PAGE_URL};
 
 const IMAGES: usize = 8;
 const ORIGINS: usize = 4;
@@ -161,4 +169,125 @@ fn eight_sessions_sharing_one_fabric_stay_isolated() {
         // in round 1 (round 1's images attach it too — same-page store).
         assert!(own_attached >= IMAGES, "session {t} never attached {own}");
     }
+}
+
+#[test]
+fn a_navigation_preempts_a_draining_bulk_batch() {
+    // One fabric, two sessions: a bulk session loops slow image-heavy page
+    // loads at 2 workers (so one pool worker drains most of each batch and has
+    // request boundaries to yield at), while the navigating session loads a
+    // page whose three critical subresources ride the navigation lane. A bulk
+    // worker must park its ticket for the queued navigation work — witnessed
+    // by the fabric's preemption counter.
+    let fabric = Arc::new(SharedNetwork::new());
+    register_nav_world(&fabric, "nav.example");
+    register_loader_world(&fabric, "bulk.example", "sid", IMAGES, ORIGINS, |_| {
+        Duration::from_micros(500)
+    });
+    let engine = Arc::new(EscudoEngine::new());
+    let jar = Arc::new(SharedCookieJar::new());
+    let stop = AtomicBool::new(false);
+
+    thread::scope(|scope| {
+        let storm_fabric = Arc::clone(&fabric);
+        let storm_engine: Arc<dyn PolicyEngine> = Arc::clone(&engine) as _;
+        let storm_jar = Arc::clone(&jar);
+        let stop = &stop;
+        scope.spawn(move || {
+            let mut browser = Browser::with_network(storm_engine, storm_jar, storm_fabric);
+            browser.set_subresource_workers(2);
+            while !stop.load(Ordering::Acquire) {
+                browser.navigate("http://bulk.example/index.php").unwrap();
+            }
+        });
+
+        let mut browser = Browser::with_network(
+            Arc::clone(&engine) as _,
+            Arc::clone(&jar),
+            Arc::clone(&fabric),
+        );
+        browser.set_subresource_workers(8);
+        // Navigate until a bulk drain demonstrably yielded; the counter is
+        // monotonic, so one observation settles it.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while fabric.fetch_pool_preemptions() == 0 && Instant::now() < deadline {
+            let page = browser.navigate(NAV_PAGE_URL).unwrap();
+            assert!(browser
+                .page(page)
+                .subresources
+                .iter()
+                .all(|s| s.error.is_none()));
+        }
+        stop.store(true, Ordering::Release);
+        assert!(
+            fabric.fetch_pool_preemptions() >= 1,
+            "no bulk worker ever yielded to queued navigation work"
+        );
+    });
+}
+
+#[test]
+fn a_navigation_storm_never_starves_the_bulk_lane() {
+    // The inverse pressure: a session hammers the navigation lane continuously
+    // while the bulk session loads its image page. The anti-starvation credit
+    // (one lower-lane ticket per NAVIGATION_CREDIT consecutive navigation
+    // pops) plus the submitter-drains-its-own-batch rule mean the bulk loads
+    // complete, correctly, in bounded time.
+    let fabric = Arc::new(SharedNetwork::new());
+    register_nav_world(&fabric, "nav.example");
+    register_loader_world(&fabric, "bulk.example", "sid", IMAGES, ORIGINS, |_| {
+        Duration::from_micros(300)
+    });
+    let engine = Arc::new(EscudoEngine::new());
+    let jar = Arc::new(SharedCookieJar::new());
+    let stop = AtomicBool::new(false);
+
+    thread::scope(|scope| {
+        let storm_fabric = Arc::clone(&fabric);
+        let storm_engine: Arc<dyn PolicyEngine> = Arc::clone(&engine) as _;
+        let storm_jar = Arc::clone(&jar);
+        let stop = &stop;
+        scope.spawn(move || {
+            let mut browser = Browser::with_network(storm_engine, storm_jar, storm_fabric);
+            browser.set_subresource_workers(8);
+            while !stop.load(Ordering::Acquire) {
+                browser.navigate(NAV_PAGE_URL).unwrap();
+            }
+        });
+
+        let mut browser = Browser::with_network(
+            Arc::clone(&engine) as _,
+            Arc::clone(&jar),
+            Arc::clone(&fabric),
+        );
+        browser.set_subresource_workers(8);
+        for _ in 0..3 {
+            let page = browser.navigate("http://bulk.example/index.php").unwrap();
+            let page = browser.page(page);
+            assert_eq!(page.subresources.len(), IMAGES);
+            for (i, outcome) in page.subresources.iter().enumerate() {
+                assert!(outcome.succeeded(), "bulk outcome {i} starved: {outcome:?}");
+            }
+        }
+        stop.store(true, Ordering::Release);
+    });
+}
+
+#[test]
+fn prefetch_on_and_off_are_oracle_equivalent() {
+    // The scheduler bench's twin-fabric run: the same hub -> item navigation
+    // sequence with speculation enabled vs disabled must leave byte-identical
+    // sequence-sorted request logs (method, URL, cookie names, status) and
+    // identical per-subresource attachments — prefetch may change *when* bytes
+    // move, never what ESCUDO decides.
+    let report = run_prefetch_oracle(3);
+    assert_eq!(report.prefetch_hits, 3, "speculation never engaged");
+    assert_eq!(
+        report.log_mismatches, 0,
+        "prefetch perturbed the request log"
+    );
+    assert_eq!(
+        report.attachment_mismatches, 0,
+        "prefetch changed a mediation outcome"
+    );
 }
