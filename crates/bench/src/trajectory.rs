@@ -12,9 +12,15 @@
 //!   noise,
 //! * **performance metrics** (`*_ns`, `*_per_sec`, `*speedup*`, `*retained*`,
 //!   `*ratio*`, hit rates) warn past [`WARN_FRACTION`] and fail past
-//!   [`FAIL_FRACTION`], with a noise floor: nanosecond-scale timings must also
-//!   move by at least [`TIMING_NOISE_FLOOR_NS`] before a relative change
-//!   counts, because sub-microsecond deltas are timer jitter, not regressions,
+//!   [`FAIL_FRACTION`], with a **per-metric noise floor**: when a bench
+//!   records a best-of-N spread beside a metric (`<key>_spread`, the max−min
+//!   across its repeats), the metric's floor is
+//!   [`SPREAD_FLOOR_MULTIPLIER`] × the larger of the two snapshots' spreads —
+//!   a delta the bench itself cannot reproduce across repeats is noise, not a
+//!   regression. Metrics without a recorded spread fall back to the global
+//!   [`TIMING_NOISE_FLOOR_NS`] if they are nanosecond-valued. `*_spread` keys
+//!   themselves are informational — they calibrate floors, they are not
+//!   latencies,
 //! * everything else (thread counts, workload sizes, occupancy counters) is
 //!   informational and never gates.
 //!
@@ -24,6 +30,11 @@
 //! (`cargo run -p escudo-bench --bin trajectory -- --previous A --current B`)
 //! prints one line per non-Ok verdict and exits non-zero on failure, which is
 //! how CI gates each PR's bench run against the committed snapshot.
+//!
+//! The binary's second mode, `trajectory --history <dir>`, scans every
+//! committed `BENCH_<n>.json` in the directory and prints a per-metric trend
+//! table — one sparkline row per gated (non-informational) metric across all
+//! snapshots in PR order — so the whole perf story is visible in every PR.
 
 use std::fmt::Write as _;
 
@@ -33,9 +44,16 @@ pub const WARN_FRACTION: f64 = 0.10;
 /// Relative regression past which a performance metric fails the comparison.
 pub const FAIL_FRACTION: f64 = 0.35;
 
-/// Noise floor for nanosecond-valued metrics: a relative change whose absolute
-/// delta is below this many nanoseconds is timer jitter, never a verdict.
+/// Noise floor for nanosecond-valued metrics **without a recorded spread**: a
+/// relative change whose absolute delta is below this many nanoseconds is
+/// timer jitter, never a verdict.
 pub const TIMING_NOISE_FLOOR_NS: f64 = 1_000.0;
+
+/// Per-metric floor derivation: a metric with a recorded `<key>_spread` gets a
+/// noise floor of this multiple of the larger snapshot's spread. Two spreads'
+/// worth of movement is distinguishable from best-of-N repeat scatter; less is
+/// not.
+pub const SPREAD_FLOOR_MULTIPLIER: f64 = 2.0;
 
 /// One metric value out of a bench report.
 #[derive(Debug, Clone, PartialEq)]
@@ -355,6 +373,12 @@ pub enum Strictness {
 /// are performance, and anything unrecognized is informational.
 #[must_use]
 pub fn classify(key: &str) -> (Direction, Strictness) {
+    // Spread recordings calibrate noise floors; they are measurement-scatter
+    // metadata, never judged — and this rule must run first, because a spread
+    // key inherits its parent metric's vocabulary (`..._p99_ns_spread`).
+    if key.ends_with("_spread") {
+        return (Direction::Informational, Strictness::Informational);
+    }
     let correctness_counter = ["mismatch", "violation", "leak", "dropped"]
         .iter()
         .any(|tag| key.contains(tag));
@@ -442,12 +466,37 @@ fn regression_fraction(direction: Direction, previous: f64, current: f64) -> f64
     }
 }
 
-fn within_noise_floor(key: &str, previous: f64, current: f64) -> bool {
+/// The noise floor derived from the snapshots' own `<key>_spread` recordings,
+/// if either side recorded one: [`SPREAD_FLOOR_MULTIPLIER`] × the larger
+/// spread (a missing side counts as zero).
+fn spread_floor(key: &str, previous: &BenchReport, current: &BenchReport) -> Option<f64> {
+    let spread_key = format!("{key}_spread");
+    let read = |report: &BenchReport| match report.get(&spread_key) {
+        Some(Metric::Num(spread)) => Some(spread.abs()),
+        _ => None,
+    };
+    match (read(previous), read(current)) {
+        (None, None) => None,
+        (a, b) => Some(SPREAD_FLOOR_MULTIPLIER * a.unwrap_or(0.0).max(b.unwrap_or(0.0))),
+    }
+}
+
+fn within_noise_floor(key: &str, previous: f64, current: f64, derived_floor: Option<f64>) -> bool {
+    if let Some(floor) = derived_floor {
+        return (current - previous).abs() < floor.max(f64::EPSILON);
+    }
     (key.ends_with("_ns") || key.contains("ns_per_"))
         && (current - previous).abs() < TIMING_NOISE_FLOOR_NS
 }
 
-fn compare_metric(diff: &mut TrajectoryDiff, bench: &str, key: &str, prev: &Metric, cur: &Metric) {
+fn compare_metric(
+    diff: &mut TrajectoryDiff,
+    bench: &str,
+    key: &str,
+    prev: &Metric,
+    cur: &Metric,
+    derived_floor: Option<f64>,
+) {
     let (direction, strictness) = classify(key);
     match (prev, cur) {
         (Metric::Flag(was), Metric::Flag(now)) => {
@@ -481,7 +530,7 @@ fn compare_metric(diff: &mut TrajectoryDiff, bench: &str, key: &str, prev: &Metr
                 }
                 return;
             }
-            if within_noise_floor(key, *previous, *current) {
+            if within_noise_floor(key, *previous, *current, derived_floor) {
                 return;
             }
             let note = format!(
@@ -534,7 +583,15 @@ pub fn compare_trajectories(previous: &[BenchReport], current: &[BenchReport]) -
         for (key, prev_value) in &prev_bench.results {
             match cur_bench.get(key) {
                 Some(cur_value) => {
-                    compare_metric(&mut diff, &prev_bench.bench, key, prev_value, cur_value);
+                    let floor = spread_floor(key, prev_bench, cur_bench);
+                    compare_metric(
+                        &mut diff,
+                        &prev_bench.bench,
+                        key,
+                        prev_value,
+                        cur_value,
+                        floor,
+                    );
                 }
                 None => diff.push(
                     &prev_bench.bench,
@@ -572,9 +629,157 @@ pub fn render_diff(diff: &TrajectoryDiff) -> String {
     out
 }
 
-/// The `trajectory` binary's entry point: parses `--previous <path>` and
-/// `--current <path>`, prints the rendered diff and returns the process exit
-/// code (0 clean or warnings only, 1 failures, 2 usage/IO errors).
+// ---------------------------------------------------------------------------
+// The history trend table (`--history <dir>`).
+
+/// Renders `values` as a unicode sparkline, one block per sample, min..max
+/// normalized (`None` samples — the metric did not exist yet — render as `·`).
+#[must_use]
+pub fn sparkline(values: &[Option<f64>]) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let present: Vec<f64> = values.iter().flatten().copied().collect();
+    let (min, max) = present
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+            (lo.min(*v), hi.max(*v))
+        });
+    let range = max - min;
+    values
+        .iter()
+        .map(|value| match value {
+            None => '·',
+            Some(_) if range <= f64::EPSILON => BLOCKS[3],
+            Some(v) => {
+                let normalized = (v - min) / range;
+                let index = (normalized * 7.0).round();
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                BLOCKS[(index as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Renders the per-metric trend table across `snapshots` (in PR order, each
+/// tagged with its `BENCH_<n>` number): one sparkline row per **gated**
+/// metric — correctness counters and performance metrics; informational keys
+/// (workload shape, spreads, observability counters) are omitted to keep the
+/// table the perf story, not a firehose.
+#[must_use]
+pub fn render_history(snapshots: &[(u64, Vec<BenchReport>)]) -> String {
+    let mut out = String::new();
+    let numbers: Vec<String> = snapshots
+        .iter()
+        .map(|(n, _)| format!("BENCH_{n}"))
+        .collect();
+    let _ = writeln!(
+        out,
+        "trajectory history: {} snapshots ({})",
+        snapshots.len(),
+        numbers.join(" -> ")
+    );
+
+    // Rows keyed (bench, key) in first-appearance order across the history.
+    let mut rows: Vec<(String, String)> = Vec::new();
+    for (_, reports) in snapshots {
+        for report in reports {
+            for (key, value) in &report.results {
+                if !matches!(value, Metric::Num(_)) {
+                    continue;
+                }
+                if classify(key).1 == Strictness::Informational {
+                    continue;
+                }
+                let row = (report.bench.clone(), key.clone());
+                if !rows.contains(&row) {
+                    rows.push(row);
+                }
+            }
+        }
+    }
+
+    let label_width = rows
+        .iter()
+        .map(|(bench, key)| bench.len() + key.len() + 1)
+        .max()
+        .unwrap_or(0);
+    for (bench, key) in &rows {
+        let values: Vec<Option<f64>> = snapshots
+            .iter()
+            .map(|(_, reports)| {
+                reports
+                    .iter()
+                    .find(|report| &report.bench == bench)
+                    .and_then(|report| match report.get(key) {
+                        Some(Metric::Num(value)) => Some(*value),
+                        _ => None,
+                    })
+            })
+            .collect();
+        let first = values.iter().flatten().next().copied().unwrap_or(0.0);
+        let last = values.iter().flatten().next_back().copied().unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "{:label_width$}  {}  {first:.3} -> {last:.3}",
+            format!("{bench}/{key}"),
+            sparkline(&values),
+        );
+    }
+    out
+}
+
+/// Scans `dir` for committed `BENCH_<n>.json` snapshots, parses them in PR
+/// order and prints the trend table. Returns the process exit code.
+fn run_history(dir: &str) -> i32 {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(error) => {
+            eprintln!("error: cannot read directory {dir}: {error}");
+            return 2;
+        }
+    };
+    let mut snapshots: Vec<(u64, Vec<BenchReport>)> = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let Some(number) = name
+            .strip_prefix("BENCH_")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        let path = entry.path();
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(error) => {
+                eprintln!("error: cannot read {}: {error}", path.display());
+                return 2;
+            }
+        };
+        match parse_trajectory(&text) {
+            Ok(reports) => snapshots.push((number, reports)),
+            Err(error) => {
+                eprintln!("error: {}: {error}", path.display());
+                return 2;
+            }
+        }
+    }
+    if snapshots.is_empty() {
+        eprintln!("error: no BENCH_<n>.json snapshots found in {dir}");
+        return 2;
+    }
+    snapshots.sort_by_key(|(number, _)| *number);
+    print!("{}", render_history(&snapshots));
+    0
+}
+
+/// The `trajectory` binary's entry point. Two modes:
+///
+/// * `--previous <BENCH_N.json> --current <BENCH_M.json>` — diff the two
+///   snapshots; exit 0 clean or warnings only, 1 on failures, 2 on usage/IO
+///   errors,
+/// * `--history <dir>` — print the sparkline trend table across every
+///   committed `BENCH_<n>.json` in the directory; exit 0, or 2 when the
+///   directory holds no parseable snapshots.
 #[must_use]
 pub fn run_comparator(args: &[String]) -> i32 {
     let path_flag = |flag: &str| -> Option<String> {
@@ -586,10 +791,16 @@ pub fn run_comparator(args: &[String]) -> i32 {
             }
         })
     };
+    if let Some(dir) = path_flag("--history") {
+        return run_history(&dir);
+    }
     let (Some(previous_path), Some(current_path)) =
         (path_flag("--previous"), path_flag("--current"))
     else {
-        eprintln!("usage: trajectory --previous <BENCH_N.json> --current <BENCH_M.json>");
+        eprintln!(
+            "usage: trajectory --previous <BENCH_N.json> --current <BENCH_M.json>\n\
+             \u{20}      trajectory --history <dir>"
+        );
         return 2;
     };
     let load = |path: &str| -> Result<Vec<BenchReport>, String> {
@@ -748,6 +959,95 @@ mod tests {
         let current = snapshot(&[("warm_lookup_lockfree_ns", Metric::Num(45_000.0))]);
         let diff = compare_trajectories(&previous, &current);
         assert_eq!(diff.failures, 1);
+    }
+
+    #[test]
+    fn recorded_spreads_derive_per_metric_noise_floors() {
+        // The spread key itself is calibration metadata, never judged.
+        assert_eq!(
+            classify("neighbor_contended_p99_ns_spread"),
+            (Direction::Informational, Strictness::Informational)
+        );
+        assert_eq!(
+            classify("victim_rate_spread"),
+            (Direction::Informational, Strictness::Informational)
+        );
+
+        // +50% and 15µs absolute — far past the global 1µs floor — but the
+        // bench recorded a 20µs best-of-N spread, so the move is repeat
+        // scatter, not a regression.
+        let previous = snapshot(&[
+            ("neighbor_contended_p99_ns", Metric::Num(30_000.0)),
+            ("neighbor_contended_p99_ns_spread", Metric::Num(20_000.0)),
+        ]);
+        let current = snapshot(&[
+            ("neighbor_contended_p99_ns", Metric::Num(45_000.0)),
+            ("neighbor_contended_p99_ns_spread", Metric::Num(18_000.0)),
+        ]);
+        let diff = compare_trajectories(&previous, &current);
+        assert_eq!((diff.warnings, diff.failures), (0, 0));
+
+        // The same move with a tight spread is judged normally (and fails).
+        let previous = snapshot(&[
+            ("neighbor_contended_p99_ns", Metric::Num(30_000.0)),
+            ("neighbor_contended_p99_ns_spread", Metric::Num(500.0)),
+        ]);
+        let current = snapshot(&[
+            ("neighbor_contended_p99_ns", Metric::Num(45_000.0)),
+            ("neighbor_contended_p99_ns_spread", Metric::Num(400.0)),
+        ]);
+        let diff = compare_trajectories(&previous, &current);
+        assert_eq!((diff.warnings, diff.failures), (0, 1));
+
+        // A derived floor covers non-nanosecond metrics too: the global floor
+        // never applied to rates, but a recorded spread does.
+        let previous = snapshot(&[
+            ("victim_rate", Metric::Num(1.0)),
+            ("victim_rate_spread", Metric::Num(0.2)),
+        ]);
+        let current = snapshot(&[
+            ("victim_rate", Metric::Num(0.7)),
+            ("victim_rate_spread", Metric::Num(0.2)),
+        ]);
+        let diff = compare_trajectories(&previous, &current);
+        assert_eq!((diff.warnings, diff.failures), (0, 0));
+    }
+
+    #[test]
+    fn sparkline_normalizes_and_marks_missing_samples() {
+        assert_eq!(
+            sparkline(&[Some(0.0), Some(3.5), Some(7.0)]),
+            "▁▅█".to_string()
+        );
+        assert_eq!(sparkline(&[Some(5.0), None, Some(5.0)]), "▄·▄".to_string());
+        assert_eq!(sparkline(&[None, None]), "··".to_string());
+    }
+
+    #[test]
+    fn history_table_tracks_gated_metrics_across_snapshots() {
+        let older = snapshot(&[
+            ("pages_per_sec", Metric::Num(100.0)),
+            ("threads", Metric::Num(8.0)),
+            ("p99_ns_spread", Metric::Num(50.0)),
+        ]);
+        let newer = snapshot(&[
+            ("pages_per_sec", Metric::Num(200.0)),
+            ("violations", Metric::Num(0.0)),
+            ("threads", Metric::Num(8.0)),
+        ]);
+        let table = render_history(&[(6, older), (7, newer)]);
+        assert!(table.contains("BENCH_6 -> BENCH_7"), "got:\n{table}");
+        // The throughput metric trends across both snapshots...
+        assert!(
+            table.contains("demo/pages_per_sec") && table.contains("100.000 -> 200.000"),
+            "got:\n{table}"
+        );
+        // ...a late-added correctness counter shows a leading gap...
+        assert!(table.contains("demo/violations"), "got:\n{table}");
+        assert!(table.contains('·'), "got:\n{table}");
+        // ...and informational keys (workload shape, spreads) stay out.
+        assert!(!table.contains("demo/threads"), "got:\n{table}");
+        assert!(!table.contains("spread"), "got:\n{table}");
     }
 
     #[test]

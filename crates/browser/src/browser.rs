@@ -6,6 +6,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use escudo_core::config::CookiePolicy;
+use escudo_core::tenant::Tenant;
 use escudo_core::{
     engine_for_mode, Operation, PolicyEngine, PolicyMode, PrincipalContext, PrincipalKind,
 };
@@ -63,8 +64,6 @@ pub const PREFETCH_MAX_CANDIDATES: usize = 8;
 /// sessions share one host-sharded store (the server-side multi-session deployment),
 /// exactly as [`Browser::with_engine`] shares one decision cache.
 pub struct Browser {
-    mode: PolicyMode,
-    engine: Arc<dyn PolicyEngine>,
     network: Network,
     jar: Arc<SharedCookieJar>,
     erm: Erm,
@@ -88,7 +87,7 @@ pub struct Browser {
 impl std::fmt::Debug for Browser {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Browser")
-            .field("mode", &self.mode)
+            .field("mode", &self.erm.mode())
             .field("pages", &self.pages.len())
             .field("cookies", &self.jar.len())
             .field("history", &self.history.len())
@@ -134,10 +133,39 @@ impl Browser {
         jar: Arc<SharedCookieJar>,
         fabric: Arc<SharedNetwork>,
     ) -> Self {
+        Browser::from_erm(Erm::with_engine(engine), jar, fabric)
+    }
+
+    /// Creates a browser session bound to a control-plane tenant: every
+    /// enforcement point routes through the tenant's generation-swapped
+    /// [`EngineHandle`](escudo_core::tenant::EngineHandle) and its token-bucket
+    /// admission control. A hot policy reload ([`Tenant::reload`]) published by
+    /// the control plane is picked up at the next mediation plan boundary — a
+    /// reload mid-navigation never splits one plan across generations.
+    #[must_use]
+    pub fn with_tenant(tenant: Arc<Tenant>) -> Self {
+        Browser::with_tenant_network(
+            tenant,
+            Arc::new(SharedCookieJar::new()),
+            Arc::new(SharedNetwork::new()),
+        )
+    }
+
+    /// Tenant-bound counterpart of [`Browser::with_network`]: the session binds
+    /// to `tenant` for policy and admission while sharing the given cookie jar
+    /// and network fabric with other sessions (of this tenant or others).
+    #[must_use]
+    pub fn with_tenant_network(
+        tenant: Arc<Tenant>,
+        jar: Arc<SharedCookieJar>,
+        fabric: Arc<SharedNetwork>,
+    ) -> Self {
+        Browser::from_erm(Erm::with_tenant(tenant), jar, fabric)
+    }
+
+    fn from_erm(erm: Erm, jar: Arc<SharedCookieJar>, fabric: Arc<SharedNetwork>) -> Self {
         Browser {
-            mode: engine.mode(),
-            erm: Erm::with_engine(Arc::clone(&engine)),
-            engine,
+            erm,
             network: Network::with_fabric(fabric),
             jar,
             history: Vec::new(),
@@ -151,16 +179,25 @@ impl Browser {
         }
     }
 
-    /// The policy mode in force.
+    /// The policy mode in force. For a tenant-bound session this reflects the
+    /// tenant's *current* engine generation and may change across a hot reload.
     #[must_use]
     pub fn mode(&self) -> PolicyMode {
-        self.mode
+        self.erm.mode()
     }
 
-    /// The shared policy engine backing every enforcement point of this browser.
+    /// The policy engine backing every enforcement point of this browser: the
+    /// static engine it was constructed with, or — for a tenant-bound session —
+    /// the engine of the generation pinned by the last mediation plan.
     #[must_use]
     pub fn engine(&self) -> &Arc<dyn PolicyEngine> {
-        &self.engine
+        self.erm.engine()
+    }
+
+    /// The control-plane tenant this session is bound to, if any.
+    #[must_use]
+    pub fn tenant(&self) -> Option<&Arc<Tenant>> {
+        self.erm.tenant()
     }
 
     /// Mutable access to the in-memory network (for registering servers).
@@ -395,9 +432,11 @@ impl Browser {
             redirects += 1;
         }
 
-        // Build the page.
+        // Build the page. The mode is read once here — the same plan-boundary
+        // snapshot the mediation batches below use — so a tenant hot reload
+        // mid-navigation cannot split this page across policy modes.
         let options = LoadOptions {
-            mode: self.mode,
+            mode: self.erm.mode(),
             viewport_width: self.viewport_width,
         };
         let mut page = PageLoader::load(&final_url, &response, &options);
@@ -451,7 +490,7 @@ impl Browser {
         page.stats.policy_denials = self.erm.denials();
         // Lock-free counter read: a full `stats()` snapshot sweeps every cache
         // shard, which would serialize concurrent sessions once per page load.
-        page.stats.policy_cache_hits = self.engine.cache_hits();
+        page.stats.policy_cache_hits = self.erm.engine().cache_hits();
 
         self.pages.push(Some(page));
         Ok(PageId(self.pages.len() - 1))
@@ -586,9 +625,10 @@ impl Browser {
             let principal = page
                 .contexts
                 .script_principal(unit.node, &format!("script in {}", unit.ring));
+            let mode = self.erm.mode();
             let outcome = {
                 let mut host = BrowserHost::new(
-                    self.mode,
+                    mode,
                     &mut self.erm,
                     &mut page.document,
                     &mut page.contexts,
@@ -676,9 +716,10 @@ impl Browser {
             label: format!("on{event} handler of #{element_id}"),
         };
         let ring = principal.ring;
+        let mode = self.erm.mode();
         let outcome = {
             let mut host = BrowserHost::new(
-                self.mode,
+                mode,
                 &mut self.erm,
                 &mut page.document,
                 &mut page.contexts,
@@ -1376,6 +1417,90 @@ mod tests {
         assert_eq!(a.network().log().len(), 1);
         assert_eq!(a.network().count_requests_to("app.example"), 1);
         assert_eq!(a.network().log()[0].url.path(), "/from-b.php");
+    }
+
+    #[test]
+    fn tenant_bound_session_observes_hot_reload_at_the_next_navigation() {
+        use escudo_core::tenant::{Tenant, TenantConfig};
+
+        let html = r#"<html><body ring=1 r=1 w=1 x=1>
+            <div ring=1 r=1 w=1 x=1 id=post>Original</div>
+            <div ring=3 r=3 w=3 x=3 id=comment>
+              <script>document.getElementById('post').innerHTML = 'defaced';</script>
+            </div>
+        </body></html>"#;
+        let tenant = Arc::new(Tenant::new("acme", TenantConfig::default()));
+        let mut browser = Browser::with_tenant(Arc::clone(&tenant));
+        browser
+            .network_mut()
+            .register("http://app.example", Static(html.to_string()));
+        assert_eq!(browser.tenant().unwrap().id(), "acme");
+        assert_eq!(browser.mode(), PolicyMode::Escudo);
+
+        // Generation 1 (ESCUDO): the ring-3 script is denied.
+        let page = browser.navigate("http://app.example/").unwrap();
+        assert!(browser.page(page).any_script_denied());
+        assert_eq!(
+            browser.page(page).text_of("post").as_deref(),
+            Some("Original")
+        );
+
+        // The control plane hot-reloads the tenant to the SOP baseline. The
+        // already-loaded page is untouched; the *next* navigation pins the new
+        // generation and the same attack now succeeds.
+        tenant.reload_with(
+            TenantConfig::default()
+                .with_mode(PolicyMode::SameOriginOnly)
+                .build_engine(),
+        );
+        let page = browser.navigate("http://app.example/").unwrap();
+        assert!(!browser.page(page).any_script_denied());
+        assert_eq!(
+            browser.page(page).text_of("post").as_deref(),
+            Some("defaced")
+        );
+        assert_eq!(browser.mode(), PolicyMode::SameOriginOnly);
+        assert_eq!(tenant.generation(), 2);
+    }
+
+    #[test]
+    fn tenant_admission_sheds_navigation_mediation() {
+        use escudo_core::tenant::{Tenant, TenantConfig};
+        use escudo_net::SetCookie;
+
+        struct SetThenEcho;
+        impl Server for SetThenEcho {
+            fn handle(&mut self, req: &Request) -> Response {
+                if req.url.path() == "/login.php" {
+                    Response::ok_html("<html><body ring=1>in</body></html>")
+                        .with_cookie(SetCookie::new("sid", "s1"))
+                } else {
+                    Response::ok_html("<html><body ring=1>page</body></html>")
+                }
+            }
+        }
+
+        // One token, no refill: the login's cookie mediation (zero candidates —
+        // free) stores the cookie; the next navigation's single-cookie plan
+        // consumes the token; the one after that is shed and attaches nothing.
+        let tenant = Arc::new(Tenant::new(
+            "metered",
+            TenantConfig::default().with_admission(1, 0),
+        ));
+        let mut browser = Browser::with_tenant(Arc::clone(&tenant));
+        browser
+            .network_mut()
+            .register("http://app.example", SetThenEcho);
+        browser.navigate("http://app.example/login.php").unwrap();
+        browser.navigate("http://app.example/a.php").unwrap();
+        let log = browser.network().log();
+        assert_eq!(log.last().unwrap().cookie_names, vec!["sid"]);
+
+        browser.navigate("http://app.example/b.php").unwrap();
+        let log = browser.network().log();
+        assert!(log.last().unwrap().cookie_names.is_empty());
+        let stats = tenant.admission().stats();
+        assert_eq!((stats.admitted, stats.rejected), (1, 1));
     }
 
     #[test]

@@ -12,14 +12,23 @@
 //! The audit log is a **bounded ring buffer**: long-running workloads keep the most
 //! recent [`Erm::audit_capacity`] records and count what was dropped, so memory no
 //! longer grows without limit.
+//!
+//! In the multi-tenant control plane the monitor binds to a [`Tenant`] instead of a
+//! fixed engine ([`Erm::with_tenant`]): every mediation entry point revalidates the
+//! tenant's generation-swapped [`EngineHandle`](escudo_core::EngineHandle) **once**,
+//! so a hot policy reload lands between mediation plans, never inside one — and the
+//! tenant's token-bucket [`AdmissionControl`](escudo_core::AdmissionControl) is
+//! enforced here, covering browser- and script-initiated paths alike. A throttled
+//! check is denied fail-closed with [`DenyReason::Throttled`].
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 use escudo_core::policy::AuditRecord;
+use escudo_core::tenant::{AdmissionStats, EngineReader, Tenant};
 use escudo_core::{
-    engine_for_mode, Decision, EngineStats, ObjectContext, Operation, Origin, PolicyEngine,
-    PolicyMode, PrincipalContext,
+    engine_for_mode, Decision, DenyReason, EngineStats, ObjectContext, Operation, Origin,
+    PolicyEngine, PolicyMode, PrincipalContext,
 };
 use escudo_net::{SharedCookieJar, Url};
 
@@ -29,11 +38,25 @@ pub type CookieCandidate = (String, String, Origin);
 /// Default bound on retained audit records.
 pub const DEFAULT_AUDIT_CAPACITY: usize = 4096;
 
+/// What the monitor decides through: a fixed engine, or a tenant whose
+/// generation-swapped handle is revalidated at each mediation entry point.
+#[derive(Debug, Clone)]
+enum EngineBinding {
+    /// One engine for the monitor's lifetime (the library deployment).
+    Static(Arc<dyn PolicyEngine>),
+    /// A control-plane tenant: engine reads go through a generation-checked
+    /// reader, admission goes through the tenant's token bucket.
+    Tenant {
+        tenant: Arc<Tenant>,
+        reader: EngineReader,
+    },
+}
+
 /// The reference monitor: a facade over a shared [`PolicyEngine`] plus a bounded
 /// audit ring buffer and plain counters.
 #[derive(Debug, Clone)]
 pub struct Erm {
-    engine: Arc<dyn PolicyEngine>,
+    binding: EngineBinding,
     audit: VecDeque<AuditRecord>,
     audit_capacity: usize,
     audit_dropped: u64,
@@ -58,8 +81,22 @@ impl Erm {
     /// cache.
     #[must_use]
     pub fn with_engine(engine: Arc<dyn PolicyEngine>) -> Self {
+        Erm::with_binding(EngineBinding::Static(engine))
+    }
+
+    /// Creates a reference monitor bound to a control-plane tenant: decisions go
+    /// through the tenant's generation-swapped engine handle (revalidated once per
+    /// mediation plan, so a hot reload is never observed mid-plan), and every plan
+    /// first passes the tenant's admission bucket.
+    #[must_use]
+    pub fn with_tenant(tenant: Arc<Tenant>) -> Self {
+        let reader = EngineReader::new(tenant.handle().clone());
+        Erm::with_binding(EngineBinding::Tenant { tenant, reader })
+    }
+
+    fn with_binding(binding: EngineBinding) -> Self {
         Erm {
-            engine,
+            binding,
             audit: VecDeque::new(),
             audit_capacity: DEFAULT_AUDIT_CAPACITY,
             audit_dropped: 0,
@@ -89,22 +126,72 @@ impl Erm {
         self
     }
 
-    /// The policy mode in force.
+    /// The policy mode in force. For a tenant binding this is the mode of the
+    /// generation pinned by the last mediation (a hot reload shows up here once
+    /// the next plan revalidates the handle).
     #[must_use]
     pub fn mode(&self) -> PolicyMode {
-        self.engine.mode()
+        self.engine().mode()
     }
 
-    /// The shared decision engine.
+    /// The decision engine: the static engine, or the tenant engine generation
+    /// pinned by the last mediation.
     #[must_use]
     pub fn engine(&self) -> &Arc<dyn PolicyEngine> {
-        &self.engine
+        match &self.binding {
+            EngineBinding::Static(engine) => engine,
+            EngineBinding::Tenant { reader, .. } => reader.pinned().engine(),
+        }
+    }
+
+    /// The bound tenant, when this monitor enforces for one.
+    #[must_use]
+    pub fn tenant(&self) -> Option<&Arc<Tenant>> {
+        match &self.binding {
+            EngineBinding::Static(_) => None,
+            EngineBinding::Tenant { tenant, .. } => Some(tenant),
+        }
+    }
+
+    /// The engine generation the last mediation plan was pinned to (`None` for a
+    /// static binding).
+    #[must_use]
+    pub fn generation(&self) -> Option<u64> {
+        match &self.binding {
+            EngineBinding::Static(_) => None,
+            EngineBinding::Tenant { reader, .. } => Some(reader.pinned().generation()),
+        }
+    }
+
+    /// The bound tenant's admission-bucket counters (`None` for a static binding).
+    #[must_use]
+    pub fn admission_stats(&self) -> Option<AdmissionStats> {
+        self.tenant().map(|tenant| tenant.admission().stats())
     }
 
     /// Interning/cache statistics of the underlying engine.
     #[must_use]
     pub fn engine_stats(&self) -> EngineStats {
-        self.engine.stats()
+        self.engine().stats()
+    }
+
+    /// Revalidates a tenant binding against the handle's published generation.
+    /// Called exactly once at each public mediation entry point: everything a
+    /// single plan decides afterwards reads the pinned generation, so the plan
+    /// is generation-consistent even while a hot reload lands concurrently.
+    fn sync_generation(&mut self) {
+        if let EngineBinding::Tenant { reader, .. } = &mut self.binding {
+            reader.refresh();
+        }
+    }
+
+    /// Requests admission for `n` checks from the bound tenant's token bucket.
+    /// Static bindings admit everything.
+    fn admit(&self, n: u64) -> bool {
+        match &self.binding {
+            EngineBinding::Static(_) => true,
+            EngineBinding::Tenant { tenant, .. } => tenant.admission().try_admit(n),
+        }
     }
 
     fn record(&mut self, record: AuditRecord) {
@@ -119,38 +206,48 @@ impl Erm {
         self.audit.push_back(record);
     }
 
-    /// Mediates one access. Returns the decision and records it.
+    /// Mediates one access. Returns the decision and records it. A tenant-bound
+    /// monitor revalidates the engine generation first and passes the tenant's
+    /// admission bucket; a throttled check is denied with
+    /// [`DenyReason::Throttled`].
     pub fn check(
         &mut self,
         principal: &PrincipalContext,
         object: &ObjectContext,
         operation: Operation,
     ) -> Decision {
-        let decision = self.engine.decide(principal, object, operation);
-        self.checks += 1;
-        if decision.is_denied() {
-            self.denials += 1;
-        }
-        if self.record_audit {
-            self.record(AuditRecord {
-                principal: principal.clone(),
-                object: object.clone(),
-                operation,
-                mode: self.engine.mode(),
-                decision: decision.clone(),
-            });
-        }
-        decision
+        self.sync_generation();
+        self.decide_batch(&[(principal, object, operation)])
+            .pop()
+            .expect("one check yields one decision")
     }
 
     /// Batch mediation: one engine-lock acquisition for the whole slice. Returns the
     /// decisions in order, with counting and auditing identical to repeated
-    /// [`Erm::check`] calls.
+    /// [`Erm::check`] calls. For a tenant binding the whole batch is decided by
+    /// **one** engine generation (pinned before the first decision) and admitted
+    /// all-or-nothing by the token bucket.
     pub fn check_many(
         &mut self,
         checks: &[(&PrincipalContext, &ObjectContext, Operation)],
     ) -> Vec<Decision> {
-        let decisions = self.engine.decide_many(checks);
+        self.sync_generation();
+        self.decide_batch(checks)
+    }
+
+    /// Decides one already-pinned mediation plan: no generation revalidation
+    /// happens here, so every caller that syncs once and then issues one or more
+    /// `decide_batch` calls stays on a single generation for the whole plan.
+    fn decide_batch(
+        &mut self,
+        checks: &[(&PrincipalContext, &ObjectContext, Operation)],
+    ) -> Vec<Decision> {
+        let decisions = if self.admit(checks.len() as u64) {
+            self.engine().decide_many(checks)
+        } else {
+            vec![Decision::Deny(DenyReason::Throttled); checks.len()]
+        };
+        let mode = self.mode();
         self.checks += checks.len() as u64;
         for ((principal, object, operation), decision) in checks.iter().zip(&decisions) {
             if decision.is_denied() {
@@ -161,7 +258,7 @@ impl Erm {
                     principal: (*principal).clone(),
                     object: (*object).clone(),
                     operation: *operation,
-                    mode: self.engine.mode(),
+                    mode,
                     decision: decision.clone(),
                 });
             }
@@ -185,7 +282,13 @@ impl Erm {
         principal: &PrincipalContext,
         object_for: impl Fn(&str, Origin) -> ObjectContext,
     ) -> Vec<String> {
+        self.sync_generation();
         if self.mode() == PolicyMode::SameOriginOnly {
+            // The baseline consults no engine, but admission still meters the
+            // mediation (fail-closed: a throttled plan attaches nothing).
+            if !self.admit(candidates.len() as u64) {
+                return Vec::new();
+            }
             return candidates
                 .iter()
                 .map(|(name, value, _)| format!("{name}={value}"))
@@ -199,7 +302,7 @@ impl Erm {
             .iter()
             .map(|object| (principal, object, operation))
             .collect();
-        self.check_many(&checks)
+        self.decide_batch(&checks)
             .iter()
             .zip(candidates)
             .filter(|(decision, _)| decision.is_allowed())
@@ -250,6 +353,7 @@ impl Erm {
         operation: Operation,
         object_for: impl Fn(&str, Origin) -> ObjectContext,
     ) -> Vec<Vec<String>> {
+        self.sync_generation();
         // One jar walk per distinct URL (a page's subresources typically share a
         // handful of origins, so a linear probe of the seen-list is cheap).
         let mut unique_urls: Vec<&Url> = Vec::new();
@@ -276,8 +380,13 @@ impl Erm {
         }
 
         // The same-origin baseline attaches every in-scope candidate without
-        // consulting the engine — exactly like `mediate_cookies`.
+        // consulting the engine — exactly like `mediate_cookies`, including the
+        // admission meter (all-or-nothing over the whole plan).
         if self.mode() == PolicyMode::SameOriginOnly {
+            let total: usize = set_index.iter().map(|&i| candidate_sets[i].len()).sum();
+            if !self.admit(total as u64) {
+                return vec![Vec::new(); requests.len()];
+            }
             return set_index
                 .iter()
                 .map(|&index| {
@@ -306,7 +415,7 @@ impl Erm {
             checks.extend(head.iter().map(|object| (*principal, object, operation)));
             remaining_objects = tail;
         }
-        let decisions = self.check_many(&checks);
+        let decisions = self.decide_batch(&checks);
 
         // Split the flat decision vector back into per-request attachments.
         let mut offset = 0;
@@ -579,6 +688,104 @@ mod tests {
         let sop_batched = sop.mediate_jar_many(&jar, &requests, Operation::Use, ring1);
         assert_eq!(sop_batched[2], vec!["admin=a1", "sid=s1"]);
         assert_eq!(sop.checks(), 0);
+    }
+
+    #[test]
+    fn tenant_binding_pins_a_generation_per_plan_and_throttles_fail_closed() {
+        use escudo_core::tenant::{Tenant, TenantConfig};
+        use escudo_core::DenyReason;
+
+        // --- generation pinning: a reload is observed between plans, not inside.
+        let tenant = Arc::new(Tenant::new("acme", TenantConfig::default()));
+        let mut erm = Erm::with_tenant(Arc::clone(&tenant));
+        assert_eq!(erm.generation(), Some(1));
+        assert_eq!(erm.mode(), PolicyMode::Escudo);
+        assert!(erm
+            .check(&script(3), &cookie(), Operation::Read)
+            .is_denied());
+
+        tenant.reload_with(
+            TenantConfig::default()
+                .with_mode(PolicyMode::SameOriginOnly)
+                .build_engine(),
+        );
+        // Until the next mediation the monitor still reports the pinned epoch.
+        assert_eq!(erm.generation(), Some(1));
+        // The next plan revalidates: same check, new generation, SOP semantics.
+        assert!(erm
+            .check(&script(3), &cookie(), Operation::Read)
+            .is_allowed());
+        assert_eq!(erm.generation(), Some(2));
+        assert_eq!(erm.mode(), PolicyMode::SameOriginOnly);
+        assert_eq!(erm.tenant().unwrap().id(), "acme");
+
+        // --- admission: burst 3, no refill — the 4th check is shed, denied
+        // fail-closed with the distinct Throttled attribution, and audited.
+        let throttled = Arc::new(Tenant::new(
+            "metered",
+            TenantConfig::default().with_admission(3, 0),
+        ));
+        let mut erm = Erm::with_tenant(Arc::clone(&throttled));
+        for _ in 0..3 {
+            assert!(erm
+                .check(&script(1), &cookie(), Operation::Read)
+                .is_allowed());
+        }
+        let shed = erm.check(&script(1), &cookie(), Operation::Read);
+        assert_eq!(shed.deny_reason(), Some(&DenyReason::Throttled));
+        assert_eq!(erm.checks(), 4);
+        assert_eq!(erm.denials(), 1);
+        assert!(erm.audit()[3].decision.is_denied());
+        let stats = erm.admission_stats().unwrap();
+        assert_eq!((stats.admitted, stats.rejected), (3, 1));
+
+        // Batches are all-or-nothing: an empty bucket rejects the whole plan.
+        let p1 = script(1);
+        let object = cookie();
+        let decisions = erm.check_many(&[(&p1, &object, Operation::Read); 2]);
+        assert!(decisions
+            .iter()
+            .all(|d| d.deny_reason() == Some(&DenyReason::Throttled)));
+        assert_eq!(erm.admission_stats().unwrap().rejected, 3);
+
+        // A static binding exposes no tenant surface and never throttles.
+        let unbound = Erm::new(PolicyMode::Escudo);
+        assert!(unbound.tenant().is_none());
+        assert_eq!(unbound.generation(), None);
+        assert!(unbound.admission_stats().is_none());
+    }
+
+    #[test]
+    fn sop_tenant_mediation_is_metered_too() {
+        use escudo_core::tenant::{Tenant, TenantConfig};
+        use escudo_net::SetCookie;
+
+        let jar = SharedCookieJar::new();
+        let url = Url::parse("http://forum.example/index.php").unwrap();
+        jar.store(&url, &SetCookie::new("sid", "s1"));
+        let tenant = Arc::new(Tenant::new(
+            "legacy",
+            TenantConfig::default()
+                .with_mode(PolicyMode::SameOriginOnly)
+                .with_admission(1, 0),
+        ));
+        let ring1 = |_: &str, origin: Origin| {
+            ObjectContext::new(ObjectKind::Cookie, origin, Ring::new(1))
+                .with_acl(Acl::uniform(Ring::new(1)))
+        };
+        let mut erm = Erm::with_tenant(Arc::clone(&tenant));
+        // First plan: one candidate, one token — attaches.
+        let attached = erm.mediate_jar(&jar, &url, Operation::Use, &script(1), ring1);
+        assert_eq!(attached, vec!["sid=s1"]);
+        // Bucket empty: the baseline fast path is still metered, attaches nothing.
+        let attached = erm.mediate_jar(&jar, &url, Operation::Use, &script(1), ring1);
+        assert!(attached.is_empty());
+        assert_eq!(tenant.admission().stats().rejected, 1);
+        // The batched plan path sheds whole as well.
+        let p1 = script(1);
+        let requests: Vec<(&Url, &PrincipalContext)> = vec![(&url, &p1)];
+        let batched = erm.mediate_jar_many(&jar, &requests, Operation::Use, ring1);
+        assert_eq!(batched, vec![Vec::<String>::new()]);
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!   every DOM, cookie, XMLHttpRequest and history call a script makes,
 //! * [`render`] — a deterministic layout pass so "parsing and rendering time"
 //!   measurements exercise realistic work,
+//! * [`snapshot`] — the [`ControlPlaneSnapshot`] observability surface: every
+//!   counter in the stack (engine, monitor, jar, fabric, tenants) in one
+//!   struct with a stable exported field layout,
 //! * [`Browser`] — navigation, cookie attachment (the `use` operation), subresource
 //!   and form/anchor request issuance, UI-event dispatch, history and visited links.
 //!
@@ -61,6 +64,7 @@ pub mod host;
 pub mod loader;
 pub mod page;
 pub mod render;
+pub mod snapshot;
 
 pub use browser::{Browser, PageId, DEFAULT_SUBRESOURCE_WORKERS};
 pub use context::SecurityContextTable;
@@ -70,3 +74,4 @@ pub use escudo_core::PolicyMode;
 pub use loader::{LoadOptions, PageLoader};
 pub use page::{Page, PageLoadStats, ScriptOutcome, SubresourceOutcome};
 pub use render::{LayoutBox, RenderStats, Renderer};
+pub use snapshot::{ControlPlaneSnapshot, ErmCounters, FabricCounters, TenantSnapshot};

@@ -1,0 +1,387 @@
+//! One coherent observability surface for the whole control plane.
+//!
+//! Every layer of the stack keeps its own counters — the engine's cache
+//! shards, the reference monitor's check/denial/audit-drop tallies, the cookie
+//! jar's shard statistics, the network fabric's request log, prefetch cache and
+//! fetch-pool lanes, and each tenant's admission bucket. Before this module,
+//! some of those counters ([`Erm::audit_dropped`], the
+//! [`SameOriginEngine`](escudo_core::SameOriginEngine) baseline's stats) had no
+//! exported surface at all: they could be asserted in unit tests but never
+//! observed from a running deployment.
+//!
+//! [`ControlPlaneSnapshot`] gathers all of them into a single struct with a
+//! **stable field layout** ([`ControlPlaneSnapshot::fields`]): every snapshot
+//! renders the same keys in the same order, so the benches' `--json` writer can
+//! export it verbatim and the trajectory comparator can diff snapshots across
+//! commits without schema drift.
+
+use escudo_core::tenant::{AdmissionStats, TenantRegistry};
+use escudo_core::EngineStats;
+use escudo_net::{JarStats, SharedCookieJar, SharedNetwork};
+
+use crate::browser::Browser;
+use crate::erm::Erm;
+
+/// Counters of one [`Erm`] reference monitor, including the audit-ring drop
+/// counter that previously had no exported surface.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ErmCounters {
+    /// Total mediated checks.
+    pub checks: u64,
+    /// Checks that were denied (including admission-control shedding).
+    pub denials: u64,
+    /// Audit records currently retained in the ring.
+    pub audit_retained: u64,
+    /// Bound on retained audit records.
+    pub audit_capacity: u64,
+    /// Audit records dropped because the ring was full.
+    pub audit_dropped: u64,
+}
+
+impl ErmCounters {
+    /// Reads the counters of `erm`.
+    #[must_use]
+    pub fn gather(erm: &Erm) -> Self {
+        ErmCounters {
+            checks: erm.checks(),
+            denials: erm.denials(),
+            audit_retained: erm.audit().len() as u64,
+            audit_capacity: erm.audit_capacity() as u64,
+            audit_dropped: erm.audit_dropped(),
+        }
+    }
+}
+
+/// Counters of one [`SharedNetwork`] fabric: request log, prefetch cache and
+/// the persistent fetch pool's lane/preemption tallies.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FabricCounters {
+    /// Requests currently resident in the bounded log.
+    pub log_len: u64,
+    /// Bound on retained log entries.
+    pub log_capacity: u64,
+    /// Log entries dropped because the log was full.
+    pub dropped_log_entries: u64,
+    /// Navigations served from the prefetch cache.
+    pub prefetch_hits: u64,
+    /// Prefetched entries discarded because their mediation plan went stale.
+    pub prefetch_stale_discards: u64,
+    /// Entries resident in the prefetch cache.
+    pub prefetched_entries: u64,
+    /// Workers in the persistent fetch pool.
+    pub pool_workers: u64,
+    /// Jobs the pool's parked workers have executed.
+    pub pool_jobs_executed: u64,
+    /// Bulk-lane jobs preempted by navigation-lane arrivals.
+    pub pool_preemptions: u64,
+}
+
+impl FabricCounters {
+    /// Reads the counters of `fabric`.
+    #[must_use]
+    pub fn gather(fabric: &SharedNetwork) -> Self {
+        FabricCounters {
+            log_len: fabric.log_len() as u64,
+            log_capacity: fabric.log_capacity() as u64,
+            dropped_log_entries: fabric.dropped_log_entries(),
+            prefetch_hits: fabric.prefetch_hits(),
+            prefetch_stale_discards: fabric.prefetch_stale_discards(),
+            prefetched_entries: fabric.prefetched_entries() as u64,
+            pool_workers: fabric.fetch_pool_workers() as u64,
+            pool_jobs_executed: fabric.fetch_pool_jobs_executed(),
+            pool_preemptions: fabric.fetch_pool_preemptions(),
+        }
+    }
+}
+
+/// One tenant's slice of the control plane: its engine generation, the
+/// generation's cache statistics, and its admission bucket.
+#[derive(Debug, Clone)]
+pub struct TenantSnapshot {
+    /// The tenant id.
+    pub id: String,
+    /// The currently published engine generation.
+    pub generation: u64,
+    /// The current generation's engine statistics.
+    pub engine: EngineStats,
+    /// The tenant's admission-control counters.
+    pub admission: AdmissionStats,
+}
+
+/// The unified observability snapshot of ISSUE 7: engine + reference monitor +
+/// cookie jar + network fabric + per-tenant admission, in one struct.
+#[derive(Debug, Clone)]
+pub struct ControlPlaneSnapshot {
+    /// Statistics of the engine the observed session currently enforces
+    /// through (works for [`EscudoEngine`](escudo_core::EscudoEngine) and the
+    /// [`SameOriginEngine`](escudo_core::SameOriginEngine) baseline alike).
+    pub engine: EngineStats,
+    /// The observed session's reference-monitor counters.
+    pub erm: ErmCounters,
+    /// The shared cookie jar's shard statistics.
+    pub jar: JarStats,
+    /// The shared network fabric's counters.
+    pub fabric: FabricCounters,
+    /// Per-tenant snapshots, sorted by tenant id (empty without a registry).
+    pub tenants: Vec<TenantSnapshot>,
+}
+
+impl ControlPlaneSnapshot {
+    /// Gathers a snapshot from the individual layers. Pass the control plane's
+    /// [`TenantRegistry`] to include every registered tenant; `None` snapshots
+    /// a single-tenant (library-mode) deployment.
+    #[must_use]
+    pub fn gather(
+        erm: &Erm,
+        jar: &SharedCookieJar,
+        fabric: &SharedNetwork,
+        registry: Option<&TenantRegistry>,
+    ) -> Self {
+        let mut tenants: Vec<TenantSnapshot> = registry
+            .map(|registry| {
+                registry
+                    .tenants()
+                    .iter()
+                    .map(|tenant| TenantSnapshot {
+                        id: tenant.id().to_string(),
+                        generation: tenant.generation(),
+                        engine: tenant.engine_stats(),
+                        admission: tenant.admission().stats(),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        tenants.sort_by(|a, b| a.id.cmp(&b.id));
+        ControlPlaneSnapshot {
+            engine: erm.engine_stats(),
+            erm: ErmCounters::gather(erm),
+            jar: jar.stats(),
+            fabric: FabricCounters::gather(fabric),
+            tenants,
+        }
+    }
+
+    /// Gathers a snapshot through a [`Browser`] session's own handles. If the
+    /// session is tenant-bound and no registry is given, the snapshot still
+    /// carries that one tenant's slice.
+    #[must_use]
+    pub fn from_browser(browser: &Browser, registry: Option<&TenantRegistry>) -> Self {
+        let mut snapshot = ControlPlaneSnapshot::gather(
+            browser.erm(),
+            browser.cookie_jar(),
+            browser.fabric(),
+            registry,
+        );
+        if registry.is_none() {
+            if let Some(tenant) = browser.tenant() {
+                snapshot.tenants.push(TenantSnapshot {
+                    id: tenant.id().to_string(),
+                    generation: tenant.generation(),
+                    engine: tenant.engine_stats(),
+                    admission: tenant.admission().stats(),
+                });
+            }
+        }
+        snapshot
+    }
+
+    /// The snapshot flattened to `(key, value)` pairs in a **stable order**:
+    /// `engine_*`, then `erm_*`, then `jar_*`, then `fabric_*`, then one
+    /// `tenant_<id>_*` block per tenant in id order. This is the layout the
+    /// benches' `--json` writer exports, so adding a field here (always at the
+    /// end of its block) is the only way the exported schema may evolve.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn fields(&self) -> Vec<(String, f64)> {
+        let mut fields: Vec<(String, f64)> = Vec::new();
+        let mut push = |key: String, value: f64| fields.push((key, value));
+
+        push("engine_decisions".into(), self.engine.decisions as f64);
+        push("engine_cache_hits".into(), self.engine.cache_hits as f64);
+        push(
+            "engine_cache_misses".into(),
+            self.engine.cache_misses as f64,
+        );
+        push("engine_hit_rate".into(), self.engine.hit_rate());
+        push(
+            "engine_interned_principals".into(),
+            self.engine.interned_principals as f64,
+        );
+        push(
+            "engine_interned_objects".into(),
+            self.engine.interned_objects as f64,
+        );
+        push(
+            "engine_interner_cas_retries".into(),
+            self.engine.interner_cas_retries as f64,
+        );
+        push(
+            "engine_interner_max_bucket_depth".into(),
+            self.engine.interner_max_bucket_depth as f64,
+        );
+        push("engine_evictions".into(), self.engine.evictions as f64);
+        push(
+            "engine_cache_shards".into(),
+            self.engine.shards.len() as f64,
+        );
+
+        push("erm_checks".into(), self.erm.checks as f64);
+        push("erm_denials".into(), self.erm.denials as f64);
+        push("erm_audit_retained".into(), self.erm.audit_retained as f64);
+        push("erm_audit_capacity".into(), self.erm.audit_capacity as f64);
+        push("erm_audit_dropped".into(), self.erm.audit_dropped as f64);
+
+        push("jar_stored".into(), self.jar.stored as f64);
+        push("jar_replaced".into(), self.jar.replaced as f64);
+        push("jar_evicted".into(), self.jar.evicted as f64);
+        push("jar_expired".into(), self.jar.expired as f64);
+        push("jar_resident".into(), self.jar.resident as f64);
+        push("jar_shards".into(), self.jar.shards.len() as f64);
+
+        push("fabric_log_len".into(), self.fabric.log_len as f64);
+        push(
+            "fabric_log_capacity".into(),
+            self.fabric.log_capacity as f64,
+        );
+        push(
+            "fabric_dropped_log_entries".into(),
+            self.fabric.dropped_log_entries as f64,
+        );
+        push(
+            "fabric_prefetch_hits".into(),
+            self.fabric.prefetch_hits as f64,
+        );
+        push(
+            "fabric_prefetch_stale_discards".into(),
+            self.fabric.prefetch_stale_discards as f64,
+        );
+        push(
+            "fabric_prefetched_entries".into(),
+            self.fabric.prefetched_entries as f64,
+        );
+        push(
+            "fabric_pool_workers".into(),
+            self.fabric.pool_workers as f64,
+        );
+        push(
+            "fabric_pool_jobs_executed".into(),
+            self.fabric.pool_jobs_executed as f64,
+        );
+        push(
+            "fabric_pool_preemptions".into(),
+            self.fabric.pool_preemptions as f64,
+        );
+
+        for tenant in &self.tenants {
+            let prefix = format!("tenant_{}", tenant.id);
+            push(format!("{prefix}_generation"), tenant.generation as f64);
+            push(
+                format!("{prefix}_decisions"),
+                tenant.engine.decisions as f64,
+            );
+            push(format!("{prefix}_hit_rate"), tenant.engine.hit_rate());
+            push(
+                format!("{prefix}_admitted"),
+                tenant.admission.admitted as f64,
+            );
+            push(
+                format!("{prefix}_rejected"),
+                tenant.admission.rejected as f64,
+            );
+        }
+        fields
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use escudo_core::tenant::{Tenant, TenantConfig};
+    use escudo_core::PolicyMode;
+    use std::sync::Arc;
+
+    #[test]
+    fn snapshot_reaches_every_layer_including_audit_drops_and_sop_stats() {
+        use escudo_core::context::{ObjectContext, ObjectKind, PrincipalContext, PrincipalKind};
+        use escudo_core::{Operation, Origin, Ring};
+
+        let origin = Origin::new("http", "app.example", 80);
+        let principal = PrincipalContext::new(PrincipalKind::Script, origin.clone(), Ring::new(1));
+        let object = ObjectContext::new(ObjectKind::Cookie, origin, Ring::new(1));
+
+        // A SameOriginEngine-backed monitor with a tiny audit ring: after three
+        // checks the ring has dropped one record — and both the baseline's
+        // stats and the drop counter are now reachable through the snapshot.
+        let mut erm = Erm::new(PolicyMode::SameOriginOnly).with_audit_capacity(2);
+        for _ in 0..3 {
+            erm.check(&principal, &object, Operation::Read);
+        }
+        let jar = SharedCookieJar::new();
+        let fabric = SharedNetwork::new();
+        let snapshot = ControlPlaneSnapshot::gather(&erm, &jar, &fabric, None);
+        assert_eq!(snapshot.engine.decisions, 3);
+        assert_eq!(snapshot.erm.checks, 3);
+        assert_eq!(snapshot.erm.audit_retained, 2);
+        assert_eq!(snapshot.erm.audit_dropped, 1);
+        assert!(snapshot.tenants.is_empty());
+    }
+
+    #[test]
+    fn fields_layout_is_stable_and_covers_registered_tenants() {
+        let registry = TenantRegistry::new();
+        registry.register("beta", TenantConfig::default());
+        registry.register("alpha", TenantConfig::default().with_admission(2, 0));
+        // A batch over the burst bound is rejected whole.
+        assert!(!registry.get("alpha").unwrap().admission().try_admit(5));
+        let erm = Erm::new(PolicyMode::Escudo);
+        let jar = SharedCookieJar::new();
+        let fabric = SharedNetwork::new();
+        let snapshot = ControlPlaneSnapshot::gather(&erm, &jar, &fabric, Some(&registry));
+
+        // Tenants come back sorted by id regardless of registration order.
+        let ids: Vec<&str> = snapshot.tenants.iter().map(|t| t.id.as_str()).collect();
+        assert_eq!(ids, ["alpha", "beta"]);
+
+        let fields = snapshot.fields();
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        // The four layer blocks appear in order, each block contiguous.
+        let first_of = |prefix: &str| keys.iter().position(|k| k.starts_with(prefix)).unwrap();
+        assert!(first_of("engine_") < first_of("erm_"));
+        assert!(first_of("erm_") < first_of("jar_"));
+        assert!(first_of("jar_") < first_of("fabric_"));
+        assert!(first_of("fabric_") < first_of("tenant_alpha_"));
+        assert!(first_of("tenant_alpha_") < first_of("tenant_beta_"));
+
+        let get = |key: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        // Rejection counts shed *checks*, not batches: the whole 5-check plan.
+        assert_eq!(get("tenant_alpha_rejected"), 5.0);
+        assert_eq!(get("tenant_alpha_generation"), 1.0);
+        assert_eq!(get("erm_audit_dropped"), 0.0);
+
+        // Gathering twice yields the identical key sequence — the stable layout
+        // the JSON exporter depends on.
+        let again = ControlPlaneSnapshot::gather(&erm, &jar, &fabric, Some(&registry));
+        let keys_again: Vec<String> = again.fields().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, keys_again);
+    }
+
+    #[test]
+    fn from_browser_includes_the_sessions_own_tenant_without_a_registry() {
+        let tenant = Arc::new(Tenant::new("solo", TenantConfig::default()));
+        let browser = Browser::with_tenant(Arc::clone(&tenant));
+        let snapshot = ControlPlaneSnapshot::from_browser(&browser, None);
+        assert_eq!(snapshot.tenants.len(), 1);
+        assert_eq!(snapshot.tenants[0].id, "solo");
+        assert_eq!(snapshot.tenants[0].generation, 1);
+
+        let plain = Browser::new(PolicyMode::Escudo);
+        let snapshot = ControlPlaneSnapshot::from_browser(&plain, None);
+        assert!(snapshot.tenants.is_empty());
+    }
+}

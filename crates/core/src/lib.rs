@@ -26,6 +26,9 @@
 //! * [`config`] — the AC-tag attribute format and the optional HTTP headers used to
 //!   label cookies and native APIs,
 //! * [`scoping`] — the scoping rule that clamps children to their parent's privilege,
+//! * [`tenant`] — the multi-tenant control plane: generation-swapped engine
+//!   handles for hot policy reload, per-tenant token-bucket admission control
+//!   and the tenant registry,
 //! * [`nonce`] — markup-randomization nonces that defeat node-splitting attacks,
 //! * [`taxonomy`] — the principal/object inventory of the paper's Table 1.
 //!
@@ -69,6 +72,7 @@ pub mod policy;
 pub mod ring;
 pub mod scoping;
 pub mod taxonomy;
+pub mod tenant;
 
 pub use acl::Acl;
 pub use context::{ObjectContext, ObjectKind, PrincipalContext, PrincipalKind};
@@ -83,3 +87,7 @@ pub use operation::Operation;
 pub use origin::Origin;
 pub use policy::{decide, Decision, DenyReason, PolicyMode};
 pub use ring::Ring;
+pub use tenant::{
+    AdmissionControl, AdmissionStats, EngineGeneration, EngineHandle, EngineReader, Tenant,
+    TenantConfig, TenantRegistry,
+};

@@ -56,6 +56,11 @@ pub enum DenyReason {
         /// The attempted operation.
         operation: Operation,
     },
+    /// Admission control shed the check before any rule was evaluated: the
+    /// tenant's token bucket was empty. Fail-closed — an over-rate mediation
+    /// is denied, never waved through — and attributed distinctly so audit
+    /// logs can separate throttling from policy denials.
+    Throttled,
 }
 
 impl fmt::Display for DenyReason {
@@ -78,6 +83,9 @@ impl fmt::Display for DenyReason {
                 f,
                 "acl rule: {operation} requires {bound} or better, principal is in {principal}"
             ),
+            DenyReason::Throttled => {
+                f.write_str("admission control: mediation throttled (token bucket empty)")
+            }
         }
     }
 }

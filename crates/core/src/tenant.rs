@@ -1,0 +1,679 @@
+//! The multi-tenant policy control plane: generation-swapped engine handles,
+//! token-bucket admission control and the tenant registry.
+//!
+//! ESCUDO's protection model assumes one reference monitor per browser; a
+//! served deployment runs many origin-groups (*tenants*) in one process. This
+//! module is the routing layer above the sharded [`EscudoEngine`]:
+//!
+//! * [`EngineHandle`] — an epoch/generation-swapped `Arc` pointer to a
+//!   [`PolicyEngine`]. A hot policy reload ([`EngineHandle::swap`]) publishes a
+//!   new [`EngineGeneration`] without stalling in-flight `decide_many`
+//!   batches: readers pin a generation with one `Arc` clone and keep deciding
+//!   against it; the retired generation is freed when its last reader drops.
+//!   This is a std-only `ArcSwap` equivalent — a `Mutex`-guarded writer plus a
+//!   generation-checked `Arc` clone on the read side ([`EngineReader`]), so
+//!   the steady-state read path is a single atomic load.
+//! * [`AdmissionControl`] — a token bucket rate-limiting mediation throughput
+//!   per tenant, with configurable burst/refill and a saturating `rejected`
+//!   counter. Enforced at the `Erm` facade so browser- and script-initiated
+//!   paths are both covered.
+//! * [`TenantRegistry`] — tenant id → [`Tenant`], each tenant owning an
+//!   independent engine (own cache/interner bounds, own
+//!   [`ShardStats`](crate::ShardStats)) and its own admission bucket, so a
+//!   noisy tenant can neither evict another's warm decisions nor starve its
+//!   mediation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock, Weak};
+use std::time::Instant;
+
+use crate::engine::{EngineStats, EscudoEngine, PolicyEngine, SameOriginEngine};
+use crate::policy::PolicyMode;
+
+// ---------------------------------------------------------------------------
+// Engine generations.
+
+/// One published policy-engine generation. Readers pin a generation by cloning
+/// its `Arc`; the generation stays alive exactly as long as someone still
+/// decides against it.
+#[derive(Debug)]
+pub struct EngineGeneration {
+    engine: Arc<dyn PolicyEngine>,
+    generation: u64,
+}
+
+impl EngineGeneration {
+    /// The engine of this generation.
+    #[must_use]
+    pub fn engine(&self) -> &Arc<dyn PolicyEngine> {
+        &self.engine
+    }
+
+    /// The generation number (1 for the engine a handle was created with,
+    /// incremented by every [`EngineHandle::swap`]).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+/// A generation-swapped engine pointer: the writer publishes a new engine
+/// under a mutex, readers validate a cached `Arc` clone against an atomic
+/// generation counter ([`EngineReader`]). Cloning the handle shares the same
+/// underlying slot.
+#[derive(Debug, Clone)]
+pub struct EngineHandle {
+    shared: Arc<HandleShared>,
+}
+
+#[derive(Debug)]
+struct HandleShared {
+    /// Published generation number; read-side fast path. Written under the
+    /// `current` mutex, so it never runs ahead of the published `Arc`.
+    generation: AtomicU64,
+    current: Mutex<Arc<EngineGeneration>>,
+}
+
+impl EngineHandle {
+    /// Creates a handle publishing `engine` as generation 1.
+    #[must_use]
+    pub fn new(engine: Arc<dyn PolicyEngine>) -> Self {
+        EngineHandle {
+            shared: Arc::new(HandleShared {
+                generation: AtomicU64::new(1),
+                current: Mutex::new(Arc::new(EngineGeneration {
+                    engine,
+                    generation: 1,
+                })),
+            }),
+        }
+    }
+
+    /// The currently published generation number (one atomic load).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.shared.generation.load(Ordering::Acquire)
+    }
+
+    /// Clones the currently published generation (brief mutex hold; use an
+    /// [`EngineReader`] on hot paths so this only happens after a swap).
+    #[must_use]
+    pub fn current(&self) -> Arc<EngineGeneration> {
+        Arc::clone(&self.shared.current.lock().expect("engine slot poisoned"))
+    }
+
+    /// Hot policy reload: publishes `engine` as a new generation and returns
+    /// the retired one. In-flight batches pinned to the retired generation
+    /// finish against it undisturbed; it is freed when its last reader drops.
+    pub fn swap(&self, engine: Arc<dyn PolicyEngine>) -> Arc<EngineGeneration> {
+        let mut slot = self.shared.current.lock().expect("engine slot poisoned");
+        let next = slot.generation + 1;
+        let retired = std::mem::replace(
+            &mut *slot,
+            Arc::new(EngineGeneration {
+                engine,
+                generation: next,
+            }),
+        );
+        // Publish the number only after the Arc is in place, still under the
+        // lock: a reader that observes `next` will find generation `>= next`
+        // in the slot.
+        self.shared.generation.store(next, Ordering::Release);
+        retired
+    }
+
+    /// A `Weak` witness on the currently published generation — lets tests
+    /// verify that a generation retired by [`EngineHandle::swap`] is actually
+    /// dropped once its last reader finishes (no leak).
+    #[must_use]
+    pub fn witness(&self) -> Weak<EngineGeneration> {
+        Arc::downgrade(&self.current())
+    }
+}
+
+/// The read side of an [`EngineHandle`]: caches an `Arc` clone of one
+/// generation and revalidates it with a single atomic load. The mutex is only
+/// touched when a swap actually happened, so steady-state mediation never
+/// contends with other readers or the writer.
+#[derive(Debug, Clone)]
+pub struct EngineReader {
+    handle: EngineHandle,
+    cached: Arc<EngineGeneration>,
+}
+
+impl EngineReader {
+    /// Creates a reader pinned to the handle's current generation.
+    #[must_use]
+    pub fn new(handle: EngineHandle) -> Self {
+        let cached = handle.current();
+        EngineReader { handle, cached }
+    }
+
+    /// Revalidates the cached generation, re-pinning to the newest published
+    /// one if a swap happened. Returns the (now current) pinned generation.
+    pub fn refresh(&mut self) -> &Arc<EngineGeneration> {
+        if self.handle.generation() != self.cached.generation {
+            self.cached = self.handle.current();
+        }
+        &self.cached
+    }
+
+    /// The pinned generation, without revalidating. Batches use this so every
+    /// decision of one mediation plan comes from one generation.
+    #[must_use]
+    pub fn pinned(&self) -> &Arc<EngineGeneration> {
+        &self.cached
+    }
+
+    /// The handle this reader validates against.
+    #[must_use]
+    pub fn handle(&self) -> &EngineHandle {
+        &self.handle
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Admission control.
+
+/// Counters of one tenant's admission bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdmissionStats {
+    /// Mediation checks admitted.
+    pub admitted: u64,
+    /// Mediation checks rejected (saturating — the counter never wraps).
+    pub rejected: u64,
+    /// Bucket capacity (0 = unlimited).
+    pub burst: u64,
+    /// Refill rate in tokens per second.
+    pub refill_per_sec: u64,
+}
+
+/// A token-bucket rate limiter on mediation throughput. One token admits one
+/// policy check; a batch is admitted all-or-nothing (a partial plan would not
+/// be generation- or audit-coherent). A `burst` of 0 disables limiting.
+#[derive(Debug)]
+pub struct AdmissionControl {
+    burst: u64,
+    refill_per_sec: u64,
+    state: Mutex<BucketState>,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+}
+
+#[derive(Debug)]
+struct BucketState {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+impl AdmissionControl {
+    /// An unlimited bucket: every check admits, nothing is counted rejected.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        AdmissionControl::new(0, 0)
+    }
+
+    /// A bucket holding at most `burst` tokens, refilled continuously at
+    /// `refill_per_sec` tokens per second (starts full). `burst == 0` means
+    /// unlimited; `refill_per_sec == 0` with a burst means the bucket never
+    /// refills (useful for deterministic tests and hard caps).
+    #[must_use]
+    pub fn new(burst: u64, refill_per_sec: u64) -> Self {
+        AdmissionControl {
+            burst,
+            refill_per_sec,
+            state: Mutex::new(BucketState {
+                tokens: burst as f64,
+                last_refill: Instant::now(),
+            }),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// `true` when this bucket never rejects.
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.burst == 0
+    }
+
+    /// Requests admission for `n` checks, all-or-nothing. Admission consumes
+    /// `n` tokens; rejection bumps the saturating `rejected` counter by `n`
+    /// and consumes nothing.
+    pub fn try_admit(&self, n: u64) -> bool {
+        if n == 0 {
+            return true;
+        }
+        if self.is_unlimited() {
+            saturating_bump(&self.admitted, n);
+            return true;
+        }
+        let admitted = {
+            let mut state = self.state.lock().expect("admission bucket poisoned");
+            let now = Instant::now();
+            let refill =
+                now.duration_since(state.last_refill).as_secs_f64() * self.refill_per_sec as f64;
+            state.tokens = (state.tokens + refill).min(self.burst as f64);
+            state.last_refill = now;
+            if state.tokens >= n as f64 {
+                state.tokens -= n as f64;
+                true
+            } else {
+                false
+            }
+        };
+        if admitted {
+            saturating_bump(&self.admitted, n);
+        } else {
+            saturating_bump(&self.rejected, n);
+        }
+        admitted
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> AdmissionStats {
+        AdmissionStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            burst: self.burst,
+            refill_per_sec: self.refill_per_sec,
+        }
+    }
+}
+
+fn saturating_bump(counter: &AtomicU64, n: u64) {
+    let _ = counter.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+        Some(v.saturating_add(n))
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Tenants and the registry.
+
+/// Per-tenant engine and admission configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantConfig {
+    /// The policy mode the tenant's engine enforces.
+    pub mode: PolicyMode,
+    /// Decision-cache bound of the tenant's engine (entries across shards).
+    pub cache_capacity: usize,
+    /// Cache shard count (0 = [`default_shard_count`](crate::default_shard_count)).
+    pub shard_count: usize,
+    /// Admission-bucket capacity (0 = unlimited).
+    pub admission_burst: u64,
+    /// Admission refill rate, tokens per second.
+    pub admission_refill_per_sec: u64,
+}
+
+impl Default for TenantConfig {
+    fn default() -> Self {
+        TenantConfig {
+            mode: PolicyMode::Escudo,
+            cache_capacity: crate::engine::DEFAULT_CACHE_CAPACITY,
+            shard_count: 0,
+            admission_burst: 0,
+            admission_refill_per_sec: 0,
+        }
+    }
+}
+
+impl TenantConfig {
+    /// Sets the policy mode (builder style).
+    #[must_use]
+    pub fn with_mode(mut self, mode: PolicyMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Bounds the tenant's decision cache (builder style).
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the cache shard count (builder style; 0 = auto).
+    #[must_use]
+    pub fn with_shards(mut self, shard_count: usize) -> Self {
+        self.shard_count = shard_count;
+        self
+    }
+
+    /// Sets the admission token bucket (builder style).
+    #[must_use]
+    pub fn with_admission(mut self, burst: u64, refill_per_sec: u64) -> Self {
+        self.admission_burst = burst;
+        self.admission_refill_per_sec = refill_per_sec;
+        self
+    }
+
+    /// Builds a fresh engine for this configuration — an independently bounded
+    /// [`EscudoEngine`] or the [`SameOriginEngine`] baseline.
+    #[must_use]
+    pub fn build_engine(&self) -> Arc<dyn PolicyEngine> {
+        match self.mode {
+            PolicyMode::Escudo => {
+                if self.shard_count == 0 {
+                    Arc::new(EscudoEngine::with_cache_capacity(self.cache_capacity))
+                } else {
+                    Arc::new(EscudoEngine::with_shards(
+                        self.shard_count,
+                        self.cache_capacity,
+                    ))
+                }
+            }
+            PolicyMode::SameOriginOnly => Arc::new(SameOriginEngine::new()),
+        }
+    }
+}
+
+/// One tenant of the control plane: a generation-swapped engine plus an
+/// admission bucket. Cheap to share (`Arc<Tenant>`); every browser session
+/// bound to the tenant reads the same handle and bucket.
+#[derive(Debug)]
+pub struct Tenant {
+    id: String,
+    config: TenantConfig,
+    handle: EngineHandle,
+    admission: AdmissionControl,
+}
+
+impl Tenant {
+    /// Creates a free-standing tenant (registry-less tests and benches).
+    #[must_use]
+    pub fn new(id: &str, config: TenantConfig) -> Self {
+        Tenant {
+            id: id.to_string(),
+            config,
+            handle: EngineHandle::new(config.build_engine()),
+            admission: AdmissionControl::new(
+                config.admission_burst,
+                config.admission_refill_per_sec,
+            ),
+        }
+    }
+
+    /// The tenant id.
+    #[must_use]
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The configuration the tenant was registered with.
+    #[must_use]
+    pub fn config(&self) -> &TenantConfig {
+        &self.config
+    }
+
+    /// The generation-swapped engine handle.
+    #[must_use]
+    pub fn handle(&self) -> &EngineHandle {
+        &self.handle
+    }
+
+    /// The admission bucket.
+    #[must_use]
+    pub fn admission(&self) -> &AdmissionControl {
+        &self.admission
+    }
+
+    /// The currently published generation number.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.handle.generation()
+    }
+
+    /// Statistics of the currently published engine generation.
+    #[must_use]
+    pub fn engine_stats(&self) -> EngineStats {
+        self.handle.current().engine().stats()
+    }
+
+    /// Hot policy reload with a fresh engine built from this tenant's own
+    /// configuration (new cache, new interner — a true policy epoch). Returns
+    /// the retired generation.
+    pub fn reload(&self) -> Arc<EngineGeneration> {
+        self.handle.swap(self.config.build_engine())
+    }
+
+    /// Hot policy reload publishing the given engine as the next generation.
+    pub fn reload_with(&self, engine: Arc<dyn PolicyEngine>) -> Arc<EngineGeneration> {
+        self.handle.swap(engine)
+    }
+}
+
+/// The tenant routing layer: tenant id → [`Tenant`]. Registration is
+/// get-or-create; lookups clone the `Arc`, so the read lock is held only for
+/// the probe.
+#[derive(Debug, Default)]
+pub struct TenantRegistry {
+    tenants: RwLock<Vec<Arc<Tenant>>>,
+}
+
+impl TenantRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        TenantRegistry::default()
+    }
+
+    /// Returns the tenant registered under `id`, creating it with `config` if
+    /// absent. An existing tenant is returned unchanged — re-registration
+    /// never resets a live engine or its counters (use [`Tenant::reload`]).
+    pub fn register(&self, id: &str, config: TenantConfig) -> Arc<Tenant> {
+        if let Some(existing) = self.get(id) {
+            return existing;
+        }
+        let mut tenants = self.tenants.write().expect("tenant registry poisoned");
+        // Re-probe under the write lock: another thread may have registered
+        // the id between our read probe and here.
+        if let Some(existing) = tenants.iter().find(|t| t.id == id) {
+            return Arc::clone(existing);
+        }
+        let tenant = Arc::new(Tenant::new(id, config));
+        tenants.push(Arc::clone(&tenant));
+        tenant
+    }
+
+    /// Looks up a tenant by id.
+    #[must_use]
+    pub fn get(&self, id: &str) -> Option<Arc<Tenant>> {
+        self.tenants
+            .read()
+            .expect("tenant registry poisoned")
+            .iter()
+            .find(|t| t.id == id)
+            .map(Arc::clone)
+    }
+
+    /// Snapshot of every registered tenant, in registration order.
+    #[must_use]
+    pub fn tenants(&self) -> Vec<Arc<Tenant>> {
+        self.tenants
+            .read()
+            .expect("tenant registry poisoned")
+            .iter()
+            .map(Arc::clone)
+            .collect()
+    }
+
+    /// Number of registered tenants.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tenants.read().expect("tenant registry poisoned").len()
+    }
+
+    /// `true` when no tenant is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hot-reloads the tenant registered under `id` (fresh engine from its own
+    /// config). Returns the retired generation, or `None` for an unknown id.
+    pub fn reload(&self, id: &str) -> Option<Arc<EngineGeneration>> {
+        self.get(id).map(|tenant| tenant.reload())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{ObjectContext, ObjectKind, PrincipalContext, PrincipalKind};
+    use crate::{Operation, Origin, Ring};
+
+    fn check_pair() -> (PrincipalContext, ObjectContext) {
+        let origin = Origin::new("http", "app.example", 80);
+        (
+            PrincipalContext::new(PrincipalKind::Script, origin.clone(), Ring::new(3)),
+            ObjectContext::new(ObjectKind::Cookie, origin, Ring::new(1)),
+        )
+    }
+
+    #[test]
+    fn swap_publishes_a_new_generation_without_disturbing_pinned_readers() {
+        let tenant = Tenant::new("acme", TenantConfig::default());
+        let mut reader = EngineReader::new(tenant.handle().clone());
+        assert_eq!(reader.pinned().generation(), 1);
+        assert_eq!(reader.pinned().engine().mode(), PolicyMode::Escudo);
+
+        let retired = tenant.reload_with(
+            TenantConfig::default()
+                .with_mode(PolicyMode::SameOriginOnly)
+                .build_engine(),
+        );
+        assert_eq!(retired.generation(), 1);
+        assert_eq!(tenant.generation(), 2);
+
+        // The reader stays pinned to generation 1 until it refreshes — an
+        // in-flight batch is never torn across the swap.
+        let (principal, object) = check_pair();
+        assert!(reader
+            .pinned()
+            .engine()
+            .decide(&principal, &object, Operation::Read)
+            .is_denied());
+        assert_eq!(reader.refresh().generation(), 2);
+        assert!(reader
+            .pinned()
+            .engine()
+            .decide(&principal, &object, Operation::Read)
+            .is_allowed());
+    }
+
+    #[test]
+    fn retired_generations_are_dropped_when_the_last_reader_lets_go() {
+        let handle = EngineHandle::new(TenantConfig::default().build_engine());
+        let witness = handle.witness();
+        let pinned = handle.current();
+        let retired = handle.swap(TenantConfig::default().build_engine());
+        assert_eq!(retired.generation(), 1);
+        drop(retired);
+        // Still alive: `pinned` reads against it.
+        assert!(witness.upgrade().is_some());
+        drop(pinned);
+        assert!(
+            witness.upgrade().is_none(),
+            "retired generation must be freed once its last reader drops"
+        );
+    }
+
+    #[test]
+    fn token_bucket_admits_the_burst_and_counts_the_rest_rejected() {
+        // refill 0: deterministic — exactly `burst` tokens, ever.
+        let bucket = AdmissionControl::new(4, 0);
+        assert!(bucket.try_admit(3));
+        assert!(!bucket.try_admit(2), "only 1 token left");
+        assert!(bucket.try_admit(1));
+        assert!(!bucket.try_admit(1));
+        let stats = bucket.stats();
+        assert_eq!(stats.admitted, 4);
+        assert_eq!(stats.rejected, 3);
+        assert_eq!(stats.burst, 4);
+
+        // Batches are all-or-nothing: an over-burst batch rejects whole.
+        let batch = AdmissionControl::new(8, 0);
+        assert!(!batch.try_admit(9));
+        assert!(batch.try_admit(8));
+        assert_eq!(batch.stats().rejected, 9);
+
+        let open = AdmissionControl::unlimited();
+        assert!(open.is_unlimited());
+        assert!(open.try_admit(1_000_000));
+        assert_eq!(open.stats().rejected, 0);
+        assert!(open.try_admit(0));
+    }
+
+    #[test]
+    fn token_bucket_refills_over_time() {
+        // 1M tokens/sec: a few milliseconds refill the 2-token burst.
+        let bucket = AdmissionControl::new(2, 1_000_000);
+        assert!(bucket.try_admit(2));
+        assert!(!bucket.try_admit(2));
+        let deadline = Instant::now() + std::time::Duration::from_secs(2);
+        while !bucket.try_admit(2) {
+            assert!(Instant::now() < deadline, "bucket never refilled");
+            std::thread::yield_now();
+        }
+        assert!(bucket.stats().rejected >= 2);
+    }
+
+    #[test]
+    fn registry_routes_by_id_with_independent_engines() {
+        let registry = TenantRegistry::new();
+        assert!(registry.is_empty());
+        let a = registry.register("a", TenantConfig::default().with_cache_capacity(256));
+        let b = registry.register(
+            "b",
+            TenantConfig::default()
+                .with_cache_capacity(64)
+                .with_shards(4)
+                .with_admission(10, 100),
+        );
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.get("a").unwrap().id(), "a");
+        assert!(registry.get("ghost").is_none());
+
+        // Re-registration returns the live tenant unchanged.
+        let again = registry.register("a", TenantConfig::default());
+        assert!(Arc::ptr_eq(&a, &again));
+
+        // Independent engines: deciding through A warms only A's cache.
+        let (principal, object) = check_pair();
+        a.handle()
+            .current()
+            .engine()
+            .decide(&principal, &object, Operation::Read);
+        assert_eq!(a.engine_stats().decisions, 1);
+        assert_eq!(b.engine_stats().decisions, 0);
+        assert_eq!(b.config().cache_capacity, 64);
+        assert_eq!(b.admission().stats().burst, 10);
+
+        // Registry-level reload bumps only the named tenant's generation.
+        assert!(registry.reload("a").is_some());
+        assert_eq!(a.generation(), 2);
+        assert_eq!(b.generation(), 1);
+        assert_eq!(a.engine_stats().decisions, 0, "reload is a fresh epoch");
+        assert!(registry.reload("ghost").is_none());
+        assert_eq!(registry.tenants().len(), 2);
+    }
+
+    #[test]
+    fn sop_tenants_build_the_baseline_engine() {
+        let tenant = Tenant::new(
+            "legacy",
+            TenantConfig::default().with_mode(PolicyMode::SameOriginOnly),
+        );
+        let generation = tenant.handle().current();
+        assert_eq!(generation.engine().mode(), PolicyMode::SameOriginOnly);
+        let (principal, object) = check_pair();
+        assert!(generation
+            .engine()
+            .decide(&principal, &object, Operation::Read)
+            .is_allowed());
+        // The baseline's stats surface through the same path as Escudo's.
+        assert_eq!(tenant.engine_stats().decisions, 1);
+        assert_eq!(tenant.engine_stats().cache_misses, 1);
+    }
+}

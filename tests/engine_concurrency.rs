@@ -373,3 +373,95 @@ fn stats_snapshots_stay_consistent_while_deciders_run() {
     );
     assert_eq!(stats.decisions, stats.cache_hits + stats.cache_misses);
 }
+
+/// ISSUE 7's hot-reload storm: 8 threads stream `decide_many` plans through a
+/// tenant's generation-swapped [`EngineHandle`] while the control plane swaps
+/// the engine between the ESCUDO and same-origin generations mid-flight.
+///
+/// * every observed plan must be byte-identical to exactly **one** generation's
+///   `policy::decide` oracle — a plan matching neither tore across a swap,
+/// * retired generations must actually drop once their last reader lets go:
+///   a [`Weak`] witness per swap proves no generation leaks through the handle.
+#[test]
+fn generation_swaps_mid_flight_never_tear_a_plan_and_never_leak() {
+    use escudo::core::tenant::{EngineReader, Tenant, TenantConfig};
+    use escudo::core::Decision;
+    use std::sync::Weak;
+
+    const SWAPS: usize = 12;
+
+    let checks = overlapping_checks();
+    let escudo_oracle: Vec<Decision> = checks
+        .iter()
+        .map(|(p, o, op)| decide(PolicyMode::Escudo, p, o, *op))
+        .collect();
+    let sop_oracle: Vec<Decision> = checks
+        .iter()
+        .map(|(p, o, op)| decide(PolicyMode::SameOriginOnly, p, o, *op))
+        .collect();
+    // The grid must distinguish the generations or the torn-plan check is vacuous
+    // (same-origin ring-crossing pairs decide differently under the two modes).
+    assert_ne!(escudo_oracle, sop_oracle);
+
+    let tenant = Arc::new(Tenant::new("storm", TenantConfig::default()));
+    let barrier = Barrier::new(THREADS + 1);
+    let witnesses: Vec<Weak<escudo::core::tenant::EngineGeneration>> = thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let tenant = Arc::clone(&tenant);
+            let barrier = &barrier;
+            let checks = &checks;
+            let escudo_oracle = &escudo_oracle;
+            let sop_oracle = &sop_oracle;
+            scope.spawn(move || {
+                // Each reader pins a generation per plan, exactly like the Erm:
+                // refresh at the plan boundary, decide the whole batch on the
+                // pinned engine, never mid-plan.
+                let mut reader = EngineReader::new(tenant.handle().clone());
+                let refs: Vec<_> = checks.iter().map(|(p, o, op)| (p, o, *op)).collect();
+                barrier.wait();
+                for pass in 0..PASSES {
+                    let generation = Arc::clone(reader.refresh());
+                    let observed = generation.engine().decide_many(&refs);
+                    assert_eq!(observed.len(), refs.len(), "dropped decisions");
+                    assert!(
+                        observed == *escudo_oracle || observed == *sop_oracle,
+                        "pass {pass} tore across generations: plan matches neither \
+                         generation's oracle (generation {})",
+                        generation.generation()
+                    );
+                    // The plan's mode must agree with the generation it pinned.
+                    let expected: &Vec<Decision> = match generation.engine().mode() {
+                        PolicyMode::Escudo => escudo_oracle,
+                        PolicyMode::SameOriginOnly => sop_oracle,
+                    };
+                    assert_eq!(&observed, expected, "plan diverged from its own generation");
+                }
+            });
+        }
+
+        // The control plane swaps generations while the readers stream plans,
+        // keeping a Weak witness on every retired generation.
+        barrier.wait();
+        let mut witnesses = Vec::with_capacity(SWAPS);
+        for swap in 0..SWAPS {
+            let mode = if swap % 2 == 0 {
+                PolicyMode::SameOriginOnly
+            } else {
+                PolicyMode::Escudo
+            };
+            let retired =
+                tenant.reload_with(TenantConfig::default().with_mode(mode).build_engine());
+            witnesses.push(Arc::downgrade(&retired));
+            drop(retired);
+            thread::yield_now();
+        }
+        witnesses
+    });
+
+    // Every reader has exited, dropping its pinned generation; the handle holds
+    // only the current generation, which was never retired. Every witness must
+    // be dead — a live one is a leaked generation.
+    assert_eq!(tenant.generation(), (SWAPS + 1) as u64);
+    let alive = witnesses.iter().filter(|w| w.upgrade().is_some()).count();
+    assert_eq!(alive, 0, "{alive} retired generations still alive (leak)");
+}
