@@ -1,24 +1,20 @@
-//! The defense-effectiveness harness (§6.4).
+//! The defense-effectiveness harness (§6.4), as a view over the scenario matrix.
 //!
-//! Every attack from [`crate::attacks`] is staged end-to-end: the victim logs into the
-//! vulnerable application, attacker-controlled content is planted (XSS) or a malicious
-//! site is visited (CSRF), and the harness then inspects the *server-side state* and
-//! the attacker's exfiltration log to decide whether the attack achieved its goal.
-//! Running the same staging under [`PolicyMode::SameOriginOnly`] and
-//! [`PolicyMode::Escudo`] reproduces the paper's result: every attack that succeeds
-//! under the same-origin policy is neutralized by ESCUDO.
+//! The staging itself lives in [`crate::scenario`]: the forum and calendar
+//! registry entries carry every attack from [`crate::attacks`], staged
+//! end-to-end by the generic executor (victim login, payload planted or
+//! malicious site visited, server-side state and exfiltration logs probed).
+//! This module keeps the paper-shaped report — one [`AttackResult`] per
+//! (attack × policy mode) — by projecting the matrix cells of the two §6.4
+//! scenarios. Running both modes reproduces the paper's result: every attack
+//! that succeeds under the same-origin policy is neutralized by ESCUDO.
 
 use std::fmt;
 
-use escudo_browser::{Browser, PolicyMode};
-use escudo_dom::EventType;
+use escudo_browser::PolicyMode;
 
-use crate::attacker::{AttackerSite, CsrfVector};
-use crate::attacks::{
-    all_csrf_attacks, all_xss_attacks, AttackKind, CsrfAttack, TargetApp, XssAttack, XssGoal,
-};
-use crate::calendar::{CalendarApp, CalendarConfig, Event, SESSION_COOKIE};
-use crate::forum::{ForumApp, ForumConfig, Reply, Topic, SID_COOKIE};
+use crate::attacks::{AttackKind, TargetApp};
+use crate::scenario::{registry, CaseKind, MatrixReport, ScenarioOutcome, Verdict};
 
 /// The outcome of staging one attack under one policy mode.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,6 +33,30 @@ pub struct AttackResult {
     pub succeeded: bool,
     /// How many reference-monitor denials were recorded while staging the attack.
     pub denials: u64,
+}
+
+impl AttackResult {
+    fn from_outcome(outcome: &ScenarioOutcome) -> Option<Self> {
+        let kind = match outcome.kind {
+            CaseKind::Xss => AttackKind::Xss,
+            CaseKind::Csrf => AttackKind::Csrf,
+            CaseKind::Leak | CaseKind::Probe => return None,
+        };
+        let app = match outcome.scenario {
+            "forum" => TargetApp::Forum,
+            "calendar" => TargetApp::Calendar,
+            _ => return None,
+        };
+        Some(AttackResult {
+            id: outcome.case.clone(),
+            name: outcome.name.clone(),
+            kind,
+            app,
+            mode: outcome.mode,
+            succeeded: outcome.observed == Verdict::Succeeds,
+            denials: outcome.denials,
+        })
+    }
 }
 
 impl fmt::Display for AttackResult {
@@ -64,19 +84,28 @@ pub struct DefenseReport {
 }
 
 impl DefenseReport {
-    /// Stages the complete corpus under both policy modes.
+    /// Stages the complete §6.4 corpus under both policy modes by running the
+    /// forum and calendar entries of the scenario registry.
     #[must_use]
     pub fn run_full() -> Self {
-        let mut results = Vec::new();
-        for mode in [PolicyMode::SameOriginOnly, PolicyMode::Escudo] {
-            for attack in all_xss_attacks() {
-                results.push(run_xss(mode, &attack));
-            }
-            for attack in all_csrf_attacks() {
-                results.push(run_csrf(mode, &attack));
-            }
+        let classics: Vec<_> = registry()
+            .into_iter()
+            .filter(|s| s.id == "forum" || s.id == "calendar")
+            .collect();
+        DefenseReport::from_matrix(&MatrixReport::run(&classics))
+    }
+
+    /// Projects the attack cells (XSS and CSRF on the §6.4 apps) out of an
+    /// executed matrix.
+    #[must_use]
+    pub fn from_matrix(matrix: &MatrixReport) -> Self {
+        DefenseReport {
+            results: matrix
+                .outcomes
+                .iter()
+                .filter_map(AttackResult::from_outcome)
+                .collect(),
         }
-        DefenseReport { results }
     }
 
     /// Results for one policy mode.
@@ -98,354 +127,51 @@ impl DefenseReport {
     }
 }
 
-// --------------------------------------------------------------------- XSS staging
-
-/// Stages one XSS attack under one policy mode.
-#[must_use]
-pub fn run_xss(mode: PolicyMode, attack: &XssAttack) -> AttackResult {
-    match attack.app {
-        TargetApp::Forum => run_forum_xss(mode, attack),
-        TargetApp::Calendar => run_calendar_xss(mode, attack),
-    }
-}
-
-fn run_forum_xss(mode: PolicyMode, attack: &XssAttack) -> AttackResult {
-    let forum = ForumApp::new(ForumConfig::vulnerable());
-    let state = forum.state();
-    let attacker = AttackerSite::new();
-    let stolen = attacker.stolen();
-
-    let mut browser = Browser::new(mode);
-    browser
-        .network_mut()
-        .register("http://forum.example", forum);
-    browser
-        .network_mut()
-        .register("http://evil.example", attacker);
-
-    // The victim logs in, establishing the session cookie ESCUDO protects.
-    browser
-        .navigate("http://forum.example/login.php?user=victim")
-        .expect("victim login");
-
-    // Seed a topic authored by the victim and plant the attacker's payload as a reply
-    // (input validation is off, as in the paper's staging).
-    {
-        let mut forum_state = state.lock().expect("app state lock");
-        forum_state.topics.push(Topic {
-            id: 1,
-            title: "Welcome".to_string(),
-            author: "victim".to_string(),
-            body: "original message".to_string(),
-        });
-        forum_state.replies.push(Reply {
-            id: 1,
-            topic_id: 1,
-            author: "mallory".to_string(),
-            body: attack.payload.clone(),
-        });
-    }
-
-    // The victim views the topic, which executes whatever the payload injected.
-    let page = browser
-        .navigate("http://forum.example/viewtopic.php?t=1")
-        .expect("victim views the topic");
-    if let Some((element, event)) = attack.trigger_event {
-        let event: EventType = event.parse().expect("known event type");
-        let _ = browser.fire_event(page, element, event);
-    }
-
-    let succeeded = match attack.goal {
-        XssGoal::ActOnBehalfOfVictim => state
-            .lock()
-            .expect("app state lock")
-            .topics
-            .iter()
-            .any(|t| t.title == "xss-spam" && t.author == "victim"),
-        XssGoal::ModifyExistingContent => browser
-            .page(page)
-            .text_of("topic-1")
-            .is_some_and(|text| text.contains("defaced by xss")),
-        XssGoal::StealSessionCookie => stolen
-            .lock()
-            .expect("app state lock")
-            .iter()
-            .any(|query| query.contains(SID_COOKIE)),
-        XssGoal::HandlerDefacement => browser
-            .page(page)
-            .text_of("app-status")
-            .is_some_and(|text| text.contains("xss-by-handler")),
-    };
-
-    result(attack, mode, succeeded, browser.erm().denials())
-}
-
-fn run_calendar_xss(mode: PolicyMode, attack: &XssAttack) -> AttackResult {
-    let calendar = CalendarApp::new(CalendarConfig::vulnerable());
-    let state = calendar.state();
-    let attacker = AttackerSite::new();
-    let stolen = attacker.stolen();
-
-    let mut browser = Browser::new(mode);
-    browser
-        .network_mut()
-        .register("http://calendar.example", calendar);
-    browser
-        .network_mut()
-        .register("http://evil.example", attacker);
-
-    browser
-        .navigate("http://calendar.example/login.php?user=victim")
-        .expect("victim login");
-
-    {
-        let mut calendar_state = state.lock().expect("app state lock");
-        calendar_state.events.push(Event {
-            id: 1,
-            day: 10,
-            title: "Welcome party".to_string(),
-            description: "original description".to_string(),
-            author: "victim".to_string(),
-        });
-        calendar_state.events.push(Event {
-            id: 2,
-            day: 11,
-            title: "Potluck".to_string(),
-            description: attack.payload.clone(),
-            author: "mallory".to_string(),
-        });
-    }
-
-    let page = browser
-        .navigate("http://calendar.example/index.php")
-        .expect("victim views the calendar");
-    if let Some((element, event)) = attack.trigger_event {
-        let event: EventType = event.parse().expect("known event type");
-        let _ = browser.fire_event(page, element, event);
-    }
-
-    let succeeded = match attack.goal {
-        XssGoal::ActOnBehalfOfVictim => state
-            .lock()
-            .expect("app state lock")
-            .events
-            .iter()
-            .any(|e| e.title == "xss-event" && e.author == "victim"),
-        XssGoal::ModifyExistingContent => browser
-            .page(page)
-            .text_of("event-1")
-            .is_some_and(|text| text.contains("defaced by xss")),
-        XssGoal::StealSessionCookie => stolen
-            .lock()
-            .expect("app state lock")
-            .iter()
-            .any(|query| query.contains(SESSION_COOKIE)),
-        XssGoal::HandlerDefacement => browser
-            .page(page)
-            .text_of("app-status")
-            .is_some_and(|text| text.contains("xss-by-handler")),
-    };
-
-    result(attack, mode, succeeded, browser.erm().denials())
-}
-
-// --------------------------------------------------------------------- CSRF staging
-
-/// Stages one CSRF attack under one policy mode.
-#[must_use]
-pub fn run_csrf(mode: PolicyMode, attack: &CsrfAttack) -> AttackResult {
-    match attack.app {
-        TargetApp::Forum => run_forum_csrf(mode, attack),
-        TargetApp::Calendar => run_calendar_csrf(mode, attack),
-    }
-}
-
-fn run_forum_csrf(mode: PolicyMode, attack: &CsrfAttack) -> AttackResult {
-    let forum = ForumApp::new(ForumConfig::vulnerable());
-    let state = forum.state();
-    let attacker = AttackerSite::with_csrf(attack.vector.clone());
-
-    let mut browser = Browser::new(mode);
-    browser
-        .network_mut()
-        .register("http://forum.example", forum);
-    browser
-        .network_mut()
-        .register("http://evil.example", attacker);
-
-    // The victim has an active session with the trusted site…
-    browser
-        .navigate("http://forum.example/login.php?user=victim")
-        .expect("victim login");
-    state.lock().expect("app state lock").topics.push(Topic {
-        id: 1,
-        title: "Welcome".to_string(),
-        author: "victim".to_string(),
-        body: "original message".to_string(),
-    });
-
-    // …and then visits the malicious site, which forges a request for the trusted one.
-    let page = browser
-        .navigate("http://evil.example/csrf")
-        .expect("victim visits the attacker page");
-    if matches!(attack.vector, CsrfVector::FormPost { .. }) {
-        let _ = browser.submit_form(page, "csrf-form", &[]);
-    }
-
-    let forum_state = state.lock().expect("app state lock");
-    let marker = attack.marker;
-    let succeeded = forum_state
-        .topics
-        .iter()
-        .any(|t| t.title.contains(marker) && t.author == "victim")
-        || forum_state
-            .replies
-            .iter()
-            .any(|r| r.body.contains(marker) && r.author == "victim")
-        || forum_state
-            .private_messages
-            .iter()
-            .any(|p| p.body.contains(marker) && p.from == "victim");
-    drop(forum_state);
-
-    result_csrf(attack, mode, succeeded, browser.erm().denials())
-}
-
-fn run_calendar_csrf(mode: PolicyMode, attack: &CsrfAttack) -> AttackResult {
-    let calendar = CalendarApp::new(CalendarConfig::vulnerable());
-    let state = calendar.state();
-    let attacker = AttackerSite::with_csrf(attack.vector.clone());
-
-    let mut browser = Browser::new(mode);
-    browser
-        .network_mut()
-        .register("http://calendar.example", calendar);
-    browser
-        .network_mut()
-        .register("http://evil.example", attacker);
-
-    browser
-        .navigate("http://calendar.example/login.php?user=victim")
-        .expect("victim login");
-    state.lock().expect("app state lock").events.push(Event {
-        id: 1,
-        day: 10,
-        title: "Welcome party".to_string(),
-        description: "original description".to_string(),
-        author: "victim".to_string(),
-    });
-
-    let page = browser
-        .navigate("http://evil.example/csrf")
-        .expect("victim visits the attacker page");
-    if matches!(attack.vector, CsrfVector::FormPost { .. }) {
-        let _ = browser.submit_form(page, "csrf-form", &[]);
-    }
-
-    let calendar_state = state.lock().expect("app state lock");
-    let marker = attack.marker;
-    let succeeded = calendar_state.events.iter().any(|e| {
-        e.author == "victim" && (e.title.contains(marker) || e.description.contains(marker))
-    });
-    drop(calendar_state);
-
-    result_csrf(attack, mode, succeeded, browser.erm().denials())
-}
-
-fn result(attack: &XssAttack, mode: PolicyMode, succeeded: bool, denials: u64) -> AttackResult {
-    AttackResult {
-        id: attack.id.to_string(),
-        name: attack.name.to_string(),
-        kind: AttackKind::Xss,
-        app: attack.app,
-        mode,
-        succeeded,
-        denials,
-    }
-}
-
-fn result_csrf(
-    attack: &CsrfAttack,
-    mode: PolicyMode,
-    succeeded: bool,
-    denials: u64,
-) -> AttackResult {
-    AttackResult {
-        id: attack.id.to_string(),
-        name: attack.name.to_string(),
-        kind: AttackKind::Csrf,
-        app: attack.app,
-        mode,
-        succeeded,
-        denials,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::attacks::{calendar_xss_attacks, forum_csrf_attacks, forum_xss_attacks};
 
     #[test]
-    fn forum_xss_attacks_succeed_under_sop_and_are_neutralized_by_escudo() {
-        for attack in forum_xss_attacks() {
-            let sop = run_xss(PolicyMode::SameOriginOnly, &attack);
-            assert!(
-                sop.succeeded,
-                "{} should succeed under the SOP baseline",
-                attack.id
-            );
-            let escudo = run_xss(PolicyMode::Escudo, &attack);
-            assert!(
-                !escudo.succeeded,
-                "{} should be neutralized by ESCUDO",
-                attack.id
-            );
-            assert!(escudo.denials > 0, "{} should record a denial", attack.id);
+    fn the_full_report_reproduces_the_paper_headline() {
+        let report = DefenseReport::run_full();
+        // 4 XSS + 5 CSRF per app, two apps, two modes.
+        assert_eq!(report.results.len(), 36);
+        assert_eq!(report.successes(PolicyMode::SameOriginOnly), 18);
+        assert_eq!(report.neutralized(PolicyMode::Escudo), 18);
+    }
+
+    #[test]
+    fn escudo_neutralizations_record_reference_monitor_denials() {
+        let report = DefenseReport::run_full();
+        for result in report.for_mode(PolicyMode::Escudo) {
+            assert!(!result.succeeded, "{} should be neutralized", result.id);
+            if result.kind == AttackKind::Xss {
+                assert!(result.denials > 0, "{} should record a denial", result.id);
+            }
         }
     }
 
     #[test]
-    fn calendar_xss_attacks_succeed_under_sop_and_are_neutralized_by_escudo() {
-        for attack in calendar_xss_attacks() {
-            let sop = run_xss(PolicyMode::SameOriginOnly, &attack);
-            assert!(
-                sop.succeeded,
-                "{} should succeed under the SOP baseline",
-                attack.id
-            );
-            let escudo = run_xss(PolicyMode::Escudo, &attack);
-            assert!(
-                !escudo.succeeded,
-                "{} should be neutralized by ESCUDO",
-                attack.id
-            );
-        }
-    }
-
-    #[test]
-    fn forum_csrf_attacks_succeed_under_sop_and_are_neutralized_by_escudo() {
-        for attack in forum_csrf_attacks() {
-            let sop = run_csrf(PolicyMode::SameOriginOnly, &attack);
-            assert!(
-                sop.succeeded,
-                "{} should succeed under the SOP baseline",
-                attack.id
-            );
-            let escudo = run_csrf(PolicyMode::Escudo, &attack);
-            assert!(
-                !escudo.succeeded,
-                "{} should be neutralized by ESCUDO",
-                attack.id
-            );
-        }
+    fn attack_results_carry_their_app_and_kind() {
+        let report = DefenseReport::run_full();
+        assert!(report
+            .results
+            .iter()
+            .any(|r| r.app == TargetApp::Forum && r.kind == AttackKind::Xss));
+        assert!(report
+            .results
+            .iter()
+            .any(|r| r.app == TargetApp::Calendar && r.kind == AttackKind::Csrf));
     }
 
     #[test]
     fn attack_result_display_is_readable() {
-        let attack = &forum_xss_attacks()[0];
-        let line = run_xss(PolicyMode::Escudo, attack).to_string();
-        assert!(line.contains("forum-xss-1"));
-        assert!(line.contains("neutralized"));
+        let report = DefenseReport::run_full();
+        let neutralized = report
+            .for_mode(PolicyMode::Escudo)
+            .first()
+            .map(ToString::to_string)
+            .expect("at least one result");
+        assert!(neutralized.contains("neutralized"));
     }
 }

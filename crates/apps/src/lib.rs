@@ -11,8 +11,12 @@
 //!   advertising slot), used by the quickstart example,
 //! * [`attacker`] — a malicious site that mounts the cross-site request forgeries,
 //! * [`attacks`] — the §6.4 attack corpus: 4 XSS and 5 CSRF attacks per application,
-//! * [`evaluate`] — the harness that stages each attack against a browser in either
-//!   policy mode and reports whether it succeeded or was neutralized,
+//! * [`spa`] — a single-page app whose content is script-assembled at load time,
+//! * [`adnet`] — a news publisher leasing N ad slots to distinct third-party origins,
+//! * [`vault`] — a WebPol-style profile whose protection sits on individual elements,
+//! * [`scenario`] — the scenario registry: every app, attack set and expected verdict
+//!   behind one (app × attack × policy-mode) matrix with a generic executor,
+//! * [`evaluate`] — the §6.4 defense-effectiveness view over the matrix,
 //! * [`template`] / [`markup`] / [`session`] — the supporting pieces (a small template
 //!   engine, AC-tag emission with markup-randomization nonces, session management).
 //!
@@ -25,6 +29,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod adnet;
 pub mod attacker;
 pub mod attacks;
 pub mod blog;
@@ -32,11 +37,21 @@ pub mod calendar;
 pub mod evaluate;
 pub mod forum;
 pub mod markup;
+pub mod scenario;
 pub mod session;
+pub mod spa;
 pub mod template;
+pub mod vault;
 
+pub use adnet::{AdServer, NewsSite};
 pub use attacks::{AttackKind, CsrfAttack, XssAttack};
 pub use blog::BlogApp;
 pub use calendar::{CalendarApp, CalendarConfig, CalendarState};
 pub use evaluate::{AttackResult, DefenseReport};
 pub use forum::{ForumApp, ForumConfig, ForumState};
+pub use scenario::{
+    registry, CaseKind, CellRun, Expectation, MatrixReport, Scenario, ScenarioCase,
+    ScenarioOutcome, Verdict, WorkloadTag,
+};
+pub use spa::SpaApp;
+pub use vault::VaultApp;

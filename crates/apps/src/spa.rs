@@ -1,0 +1,241 @@
+//! A single-page application whose content is assembled by the script
+//! interpreter at load time.
+//!
+//! The server ships an almost-empty shell: a status line, an empty `#view`
+//! container, and a ring-1 bootstrap script that builds the actual page —
+//! notes rendered into `#view`, status flipped to `ready` — through the DOM
+//! API. This stresses the *dynamic* labeling path (`label_dynamic_subtree`):
+//! every node the user sees was created by a script, so its ring comes from
+//! the creator-∧-parent clamp rather than from AC tags in the markup. A
+//! third-party widget (ring 3) can be mounted after the shell to play the
+//! attacker.
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use escudo_core::config::{ApiPolicy, CookiePolicy, NativeApi};
+use escudo_core::{Acl, Ring};
+use escudo_net::{Request, Response, Server, SetCookie, StatusCode};
+
+use crate::markup::AcMarkup;
+use crate::session::SessionStore;
+
+/// The SPA's session cookie.
+pub const SPA_COOKIE: &str = "spa_session";
+
+/// A note saved through the `/api/save` endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SavedNote {
+    /// The user the session resolved to (`anonymous` without a session).
+    pub author: String,
+    /// The note body.
+    pub note: String,
+}
+
+/// Server-side state of the SPA.
+#[derive(Debug)]
+pub struct SpaState {
+    /// Notes saved via the API, oldest first.
+    pub saved: Vec<SavedNote>,
+    /// Live sessions.
+    pub sessions: SessionStore,
+}
+
+/// The single-page application.
+pub struct SpaApp {
+    escudo: bool,
+    /// The third-party widget script mounted in the ring-3 slot, if any.
+    widget_script: Option<String>,
+    state: Arc<Mutex<SpaState>>,
+}
+
+impl fmt::Debug for SpaApp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpaApp")
+            .field("escudo", &self.escudo)
+            .field("widget", &self.widget_script.is_some())
+            .finish()
+    }
+}
+
+impl SpaApp {
+    /// Creates the SPA with ESCUDO configuration on and no widget.
+    #[must_use]
+    pub fn new() -> Self {
+        SpaApp {
+            escudo: true,
+            widget_script: None,
+            state: Arc::new(Mutex::new(SpaState {
+                saved: Vec::new(),
+                sessions: SessionStore::new(0x59A0),
+            })),
+        }
+    }
+
+    /// Mounts a third-party widget script in the ring-3 slot (builder style).
+    #[must_use]
+    pub fn with_widget(mut self, script: &str) -> Self {
+        self.widget_script = Some(script.to_string());
+        self
+    }
+
+    /// A handle to the server-side state.
+    #[must_use]
+    pub fn state(&self) -> Arc<Mutex<SpaState>> {
+        Arc::clone(&self.state)
+    }
+
+    fn with_policies(&self, response: Response) -> Response {
+        if !self.escudo {
+            return response;
+        }
+        response
+            .with_cookie_policy(
+                &CookiePolicy::new(SPA_COOKIE, Ring::new(1)).with_acl(Acl::uniform(Ring::new(1))),
+            )
+            .with_api_policy(&ApiPolicy::new(NativeApi::XmlHttpRequest, Ring::new(1)))
+            .with_api_policy(&ApiPolicy::new(NativeApi::CookieApi, Ring::new(1)))
+    }
+
+    fn render_shell(&self) -> Response {
+        let mut markup = AcMarkup::new(0x59A0, self.escudo);
+
+        // The bootstrap builds the page the user actually sees: everything
+        // inside #view is script-created, so its labels come from the dynamic
+        // clamp (ring-1 creator inside a ring-1 parent), not from AC tags.
+        let bootstrap = "var view = document.getElementById('view');\
+                         view.innerHTML = '<div id=\"note-1\">first note</div>\
+                         <div id=\"note-2\">second note</div>';\
+                         var status = document.getElementById('status');\
+                         status.innerHTML = 'ready';";
+
+        let shell = markup.region(
+            Ring::new(1),
+            Acl::uniform(Ring::new(1)),
+            "id=\"shell\"",
+            &format!(
+                "<h1>Notes</h1><div id=\"status\">booting</div><div id=\"view\"></div>\
+                 <script>{bootstrap}</script>"
+            ),
+        );
+
+        // The widget slot: ring 3, confined to itself like a reader comment.
+        let widget = match &self.widget_script {
+            Some(script) => markup.region(
+                Ring::new(3),
+                Acl::uniform(Ring::new(3)),
+                "id=\"widget\"",
+                &format!("<span id=\"widget-out\">widget</span><script>{script}</script>"),
+            ),
+            None => String::new(),
+        };
+
+        let body = markup.region_with_tag(
+            "body",
+            Ring::new(1),
+            Acl::uniform(Ring::new(1)),
+            "",
+            &format!("{shell}{widget}"),
+        );
+        self.with_policies(Response::ok_html(format!(
+            "<!DOCTYPE html><html><head><title>SPA</title></head>{body}</html>"
+        )))
+    }
+
+    fn session_user(&self, request: &Request) -> Option<String> {
+        let sid = request.cookie(SPA_COOKIE)?;
+        self.state
+            .lock()
+            .expect("app state lock")
+            .sessions
+            .get(&sid)
+            .map(|s| s.user.clone())
+    }
+}
+
+impl Default for SpaApp {
+    fn default() -> Self {
+        SpaApp::new()
+    }
+}
+
+impl Server for SpaApp {
+    fn handle(&mut self, request: &Request) -> Response {
+        match request.url.path() {
+            "/login" | "/login.php" => {
+                let user = request.param("user").unwrap_or_else(|| "guest".to_string());
+                let sid = self
+                    .state
+                    .lock()
+                    .expect("app state lock")
+                    .sessions
+                    .create(&user);
+                self.with_policies(
+                    Response::redirect("/").with_cookie(SetCookie::new(SPA_COOKIE, sid)),
+                )
+            }
+            "/" | "/index.html" => self.render_shell(),
+            "/api/save" => {
+                let author = self
+                    .session_user(request)
+                    .unwrap_or_else(|| "anonymous".to_string());
+                let note = request.param("note").unwrap_or_default();
+                self.state
+                    .lock()
+                    .expect("app state lock")
+                    .saved
+                    .push(SavedNote { author, note });
+                self.with_policies(Response::ok_text("saved"))
+            }
+            _ => Response::error(StatusCode::NOT_FOUND, "not found"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_shell_ships_empty_and_the_bootstrap_builds_the_view() {
+        let mut app = SpaApp::new();
+        let page = app.handle(&Request::get("http://spa.example/").unwrap());
+        // The server never renders the notes — the #view container ships
+        // empty and only the bootstrap script's source mentions them.
+        assert!(page.body.contains("<div id=\"view\"></div>"));
+        assert!(page.body.contains("view.innerHTML"));
+        assert!(page.body.contains("ring=\"1\""));
+        assert_eq!(page.api_policies().len(), 2);
+    }
+
+    #[test]
+    fn widgets_mount_in_a_ring_3_slot() {
+        let mut app = SpaApp::new().with_widget("var x = 1;");
+        let page = app.handle(&Request::get("http://spa.example/").unwrap());
+        assert!(page.body.contains("id=\"widget\""));
+        assert!(page.body.contains("ring=\"3\""));
+        assert!(page.body.contains("var x = 1;"));
+    }
+
+    #[test]
+    fn the_save_api_attributes_notes_to_the_session_user() {
+        let mut app = SpaApp::new();
+        let login = app.handle(&Request::get("http://spa.example/login?user=victim").unwrap());
+        let sid = login.set_cookies()[0].value.clone();
+        let mut save =
+            Request::post_form("http://spa.example/api/save", &[("note", "hi")]).unwrap();
+        save.headers.set("Cookie", format!("{SPA_COOKIE}={sid}"));
+        app.handle(&save);
+        let state = app.state();
+        let state = state.lock().expect("app state lock");
+        assert_eq!(state.saved.len(), 1);
+        assert_eq!(state.saved[0].author, "victim");
+
+        let mut app2 = SpaApp::new();
+        app2.handle(&Request::post_form("http://spa.example/api/save", &[("note", "x")]).unwrap());
+        assert_eq!(
+            app2.state().lock().expect("app state lock").saved[0].author,
+            "anonymous"
+        );
+    }
+}

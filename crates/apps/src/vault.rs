@@ -1,0 +1,219 @@
+//! A profile "vault" whose protection is attached to individual DOM nodes.
+//!
+//! The origin- and region-level scenarios label whole page areas; this one is
+//! WebPol-style per-element policy: three sibling fields of one profile carry
+//! three different labels — the display name is public (ring 3, readable by
+//! anyone), the e-mail is confidential (ring 2), and the API token is secret
+//! (ring 1, ring-1-only ACL). A ring-3 gadget script mounted next to them is
+//! the probe: the executor checks each field leak-by-leak, one cell per
+//! element, rather than one verdict for the page.
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use escudo_core::config::{ApiPolicy, CookiePolicy, NativeApi};
+use escudo_core::{Acl, Ring};
+use escudo_net::{Request, Response, Server, SetCookie, StatusCode};
+
+use crate::markup::AcMarkup;
+use crate::session::SessionStore;
+
+/// The vault's session cookie.
+pub const VAULT_COOKIE: &str = "vault_session";
+
+/// The profile's public display name.
+pub const DISPLAY_NAME: &str = "Pat Doe";
+/// The profile's confidential e-mail address.
+pub const EMAIL: &str = "pat@vault.example";
+/// The profile's secret API token.
+pub const API_TOKEN: &str = "tok-9f3a77c1";
+
+/// Server-side state of the vault.
+#[derive(Debug)]
+pub struct VaultState {
+    /// Live sessions.
+    pub sessions: SessionStore,
+}
+
+/// The per-element-policy profile application.
+pub struct VaultApp {
+    escudo: bool,
+    /// The gadget script mounted in the ring-3 slot, if any.
+    gadget_script: Option<String>,
+    state: Arc<Mutex<VaultState>>,
+}
+
+impl fmt::Debug for VaultApp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VaultApp")
+            .field("escudo", &self.escudo)
+            .field("gadget", &self.gadget_script.is_some())
+            .finish()
+    }
+}
+
+impl VaultApp {
+    /// Creates the vault with ESCUDO configuration on and no gadget.
+    #[must_use]
+    pub fn new() -> Self {
+        VaultApp {
+            escudo: true,
+            gadget_script: None,
+            state: Arc::new(Mutex::new(VaultState {
+                sessions: SessionStore::new(0x7A01),
+            })),
+        }
+    }
+
+    /// Mounts a gadget script in the ring-3 slot (builder style).
+    #[must_use]
+    pub fn with_gadget(mut self, script: &str) -> Self {
+        self.gadget_script = Some(script.to_string());
+        self
+    }
+
+    /// A handle to the server-side state.
+    #[must_use]
+    pub fn state(&self) -> Arc<Mutex<VaultState>> {
+        Arc::clone(&self.state)
+    }
+
+    fn with_policies(&self, response: Response) -> Response {
+        if !self.escudo {
+            return response;
+        }
+        response
+            .with_cookie_policy(
+                &CookiePolicy::new(VAULT_COOKIE, Ring::new(1)).with_acl(Acl::uniform(Ring::new(1))),
+            )
+            .with_api_policy(&ApiPolicy::new(NativeApi::XmlHttpRequest, Ring::new(1)))
+            .with_api_policy(&ApiPolicy::new(NativeApi::CookieApi, Ring::new(1)))
+    }
+
+    fn render_profile(&self) -> Response {
+        let mut markup = AcMarkup::new(0x7A01, self.escudo);
+
+        // Per-element labels: each field is its own AC-tagged node with its
+        // own ring and ACL, not a shared region label.
+        let name = markup.region_with_tag(
+            "span",
+            Ring::new(3),
+            Acl::uniform(Ring::new(3)),
+            "id=\"display-name\"",
+            DISPLAY_NAME,
+        );
+        let email = markup.region_with_tag(
+            "span",
+            Ring::new(2),
+            Acl::uniform(Ring::new(2)),
+            "id=\"email\"",
+            EMAIL,
+        );
+        let token = markup.region_with_tag(
+            "span",
+            Ring::new(1),
+            Acl::uniform(Ring::new(1)),
+            "id=\"api-token\"",
+            API_TOKEN,
+        );
+        let profile = markup.region(
+            Ring::new(1),
+            Acl::uniform(Ring::new(1)),
+            "id=\"profile\"",
+            &format!("<h1>Profile</h1>{name}{email}{token}"),
+        );
+
+        let gadget = match &self.gadget_script {
+            Some(script) => markup.region(
+                Ring::new(3),
+                Acl::uniform(Ring::new(3)),
+                "id=\"gadget\"",
+                &format!("<span id=\"gadget-out\">gadget</span><script>{script}</script>"),
+            ),
+            None => String::new(),
+        };
+
+        let body = markup.region_with_tag(
+            "body",
+            Ring::new(1),
+            Acl::uniform(Ring::new(1)),
+            "",
+            &format!("{profile}{gadget}"),
+        );
+        self.with_policies(Response::ok_html(format!(
+            "<!DOCTYPE html><html><head><title>Vault</title></head>{body}</html>"
+        )))
+    }
+}
+
+impl Default for VaultApp {
+    fn default() -> Self {
+        VaultApp::new()
+    }
+}
+
+impl Server for VaultApp {
+    fn handle(&mut self, request: &Request) -> Response {
+        match request.url.path() {
+            "/login" | "/login.php" => {
+                let user = request.param("user").unwrap_or_else(|| "pat".to_string());
+                let sid = self
+                    .state
+                    .lock()
+                    .expect("app state lock")
+                    .sessions
+                    .create(&user);
+                self.with_policies(
+                    Response::redirect("/profile").with_cookie(SetCookie::new(VAULT_COOKIE, sid)),
+                )
+            }
+            "/" | "/profile" => self.render_profile(),
+            _ => Response::error(StatusCode::NOT_FOUND, "not found"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn each_profile_field_carries_its_own_label() {
+        let mut app = VaultApp::new();
+        let page = app.handle(&Request::get("http://vault.example/profile").unwrap());
+        // Three sibling fields, three different rings on individual elements.
+        assert!(page.body.contains("id=\"display-name\""));
+        assert!(page.body.contains("id=\"email\""));
+        assert!(page.body.contains("id=\"api-token\""));
+        assert!(page.body.contains("ring=\"3\""));
+        assert!(page.body.contains("ring=\"2\""));
+        let token_tag = page
+            .body
+            .split("<span ")
+            .find(|chunk| chunk.contains("id=\"api-token\""))
+            .expect("token span present");
+        assert!(token_tag.contains("ring=\"1\""));
+        assert!(token_tag.contains("r=\"1\""));
+    }
+
+    #[test]
+    fn gadgets_mount_in_a_ring_3_slot() {
+        let mut app = VaultApp::new().with_gadget("var g = 1;");
+        let page = app.handle(&Request::get("http://vault.example/profile").unwrap());
+        assert!(page.body.contains("id=\"gadget\""));
+        assert!(page.body.contains("var g = 1;"));
+        assert_eq!(page.api_policies().len(), 2);
+    }
+
+    #[test]
+    fn login_and_unknown_routes() {
+        let mut app = VaultApp::new();
+        let response = app.handle(&Request::get("http://vault.example/login?user=pat").unwrap());
+        assert_eq!(response.set_cookies().len(), 1);
+        assert_eq!(
+            app.handle(&Request::get("http://vault.example/missing").unwrap())
+                .status,
+            StatusCode::NOT_FOUND
+        );
+    }
+}

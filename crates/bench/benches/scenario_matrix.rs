@@ -1,0 +1,133 @@
+//! The scenario fleet as a behavioural benchmark: the full
+//! (app × attack × policy-mode) matrix, gated cell by cell.
+//!
+//! Run with `cargo bench --bench scenario_matrix` (optionally
+//! `-- --repeats N --json path`). This is a plain `harness = false` binary; it
+//! exits non-zero if a behavioural gate fails:
+//!
+//! * **verdict gate** — every cell of the registry matrix must land on its
+//!   declared verdict: attacks succeed under the same-origin baseline and are
+//!   neutralized under ESCUDO, compatibility probes keep working under both.
+//!   **Zero** unexpected cells,
+//! * **mediation gate** — the ESCUDO half of the matrix must actually mediate
+//!   (non-zero reference-monitor checks and denials), and the baseline half
+//!   must not deny anything the registry expects to succeed.
+//!
+//! The report exports per-mode verdict counts, per-scenario cell counts and
+//! the mediation cost (checks/denials per mode, wall-clock per full matrix
+//! pass) as `--json` keys.
+
+use std::time::Instant;
+
+use escudo_apps::scenario::{registry, CaseKind, MatrixReport};
+use escudo_bench::cli::{parse_flag, JsonReport};
+use escudo_browser::PolicyMode;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let repeats = parse_flag(&args, "--repeats", 3).max(1);
+
+    let scenarios = registry();
+    let case_count: usize = scenarios.iter().map(|s| s.cases.len()).sum();
+    println!(
+        "scenario_matrix: {} scenarios, {case_count} cases, 2 policy modes, {repeats} repeats",
+        scenarios.len()
+    );
+
+    // Repeated full passes give a stable wall-clock figure; the verdicts must
+    // be identical on every pass (the staging is deterministic), so the last
+    // report is the one gated and exported.
+    let started = Instant::now();
+    let mut report = MatrixReport::run(&scenarios);
+    for _ in 1..repeats {
+        report = MatrixReport::run(&scenarios);
+    }
+    let elapsed = started.elapsed();
+    let per_pass_ms = elapsed.as_secs_f64() * 1e3 / repeats as f64;
+
+    let mut failed = false;
+    let mut json = JsonReport::new("scenario_matrix");
+    json.int("matrix_scenarios", scenarios.len() as u64)
+        .int("matrix_cases", case_count as u64)
+        .int("matrix_cells", report.cells() as u64)
+        .int("matrix_unexpected", report.unexpected().len() as u64)
+        .int("matrix_repeats", repeats as u64)
+        .num("matrix_pass_ms", per_pass_ms);
+
+    for scenario in &scenarios {
+        let cells = report.for_scenario(scenario.id);
+        let unexpected = cells.iter().filter(|o| !o.as_expected()).count();
+        println!(
+            "  {:<10} {:>2} cells, {} unexpected",
+            scenario.id,
+            cells.len(),
+            unexpected
+        );
+        json.int(&format!("matrix_{}_cells", scenario.id), cells.len() as u64);
+        json.int(
+            &format!("matrix_{}_unexpected", scenario.id),
+            unexpected as u64,
+        );
+    }
+
+    for (mode, key) in [
+        (PolicyMode::SameOriginOnly, "sop"),
+        (PolicyMode::Escudo, "escudo"),
+    ] {
+        println!(
+            "  {:<12} {:>2} succeed / {:>2} neutralized   {:>5} checks, {:>3} denials",
+            mode.to_string(),
+            report.successes(mode),
+            report.neutralized(mode),
+            report.total_checks(mode),
+            report.total_denials(mode)
+        );
+        json.int(&format!("{key}_successes"), report.successes(mode) as u64)
+            .int(
+                &format!("{key}_neutralized"),
+                report.neutralized(mode) as u64,
+            )
+            .int(&format!("{key}_checks"), report.total_checks(mode))
+            .int(&format!("{key}_denials"), report.total_denials(mode));
+    }
+
+    // ----------------------------------------------------------- verdict gate
+    if report.unexpected().is_empty() {
+        println!("ok: every cell landed on its declared verdict");
+    } else {
+        for outcome in report.unexpected() {
+            eprintln!("FAIL: unexpected cell: {outcome}");
+        }
+        failed = true;
+    }
+
+    // --------------------------------------------------------- mediation gate
+    if report.total_checks(PolicyMode::Escudo) == 0 || report.total_denials(PolicyMode::Escudo) == 0
+    {
+        eprintln!(
+            "FAIL: the ESCUDO half of the matrix recorded {} checks and {} denials — the \
+             reference monitor is not mediating the fleet",
+            report.total_checks(PolicyMode::Escudo),
+            report.total_denials(PolicyMode::Escudo)
+        );
+        failed = true;
+    }
+    let sop_attack_neutralized = report
+        .for_mode(PolicyMode::SameOriginOnly)
+        .iter()
+        .filter(|o| o.kind != CaseKind::Probe && o.observed != o.expected)
+        .count();
+    if sop_attack_neutralized != 0 {
+        eprintln!(
+            "FAIL: {sop_attack_neutralized} baseline attack cells deviated — the SOP baseline \
+             is blocking what it should admit"
+        );
+        failed = true;
+    }
+
+    json.flag("gates_passed", !failed);
+    json.write_if_requested(&args);
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -17,6 +17,10 @@
 //! * **admission gate** — a token bucket with `burst` tokens and no refill
 //!   must admit exactly `burst` of the fired checks and shed every other one
 //!   fail-closed with the distinct `Throttled` attribution,
+//! * **refill gate** — under an injected [`ManualClock`] the bucket's refill
+//!   is exactly countable: each hand-advanced step mints
+//!   `floor(step × rate)` tokens, every one of which admits exactly one
+//!   check and the probe beyond it is shed,
 //! * **reload gate** — reader threads streaming `check_many` plans through one
 //!   tenant while the control plane swaps ESCUDO ↔ same-origin generations
 //!   must observe **zero** torn plans (every plan byte-identical to exactly
@@ -24,12 +28,17 @@
 //!   decisions, and **zero** leaked retired generations (`Weak` witnesses).
 //!
 //! The report also exports one [`ControlPlaneSnapshot`] of a deterministic
-//! two-tenant browsing scenario (`cp_*` keys) — the unified observability
-//! surface the control plane promises, flattened through its stable field
-//! layout.
+//! two-tenant browsing scenario (`cp_*` keys, including the rolled-up
+//! `cp_health` verdict: 0 ok / 1 degraded / 2 failing) — the unified
+//! observability surface the control plane promises, flattened through its
+//! stable field layout.
+//!
+//! [`ManualClock`]: escudo_core::tenant::ManualClock
 
 use escudo_bench::cli::{parse_flag, JsonReport};
-use escudo_bench::tenant::{run_admission_burst, run_hot_reload_storm, run_noisy_neighbor};
+use escudo_bench::tenant::{
+    run_admission_burst, run_admission_refill, run_hot_reload_storm, run_noisy_neighbor,
+};
 use escudo_browser::{Browser, ControlPlaneSnapshot};
 use escudo_core::tenant::{TenantConfig, TenantRegistry};
 use escudo_net::{Request, Response, Server};
@@ -72,6 +81,9 @@ fn export_snapshot(json: &mut JsonReport) {
     for (key, value) in snapshot.fields() {
         json.num(&format!("cp_{key}"), value);
     }
+    let health = snapshot.health();
+    println!("control-plane health: {health}");
+    json.int("cp_health", health.code());
 }
 
 #[allow(clippy::too_many_lines)]
@@ -182,6 +194,41 @@ fn main() {
             admission.admitted,
             admission.rejected,
             admission.throttled_denials
+        );
+        failed = true;
+    }
+
+    // ----------------------------------------------------------- refill gate
+    // 125 ms steps at 8 tokens/sec mint exactly one token per step (0.125 is
+    // binary-exact), so the refilled bucket is as countable as the burst one.
+    let refill = run_admission_refill(4, 8, 6, 125_000_000);
+    let minted_per_step =
+        (refill.step_ns as f64 / 1e9 * refill.refill_per_sec as f64).floor() as u64;
+    let expected_admitted = refill.burst + refill.steps * minted_per_step;
+    let expected_rejected = 1 + refill.steps;
+    println!(
+        "refill: burst {} + {} steps x {} minted -> {} admitted, {} rejected, {} throttled denials",
+        refill.burst,
+        refill.steps,
+        minted_per_step,
+        refill.admitted,
+        refill.rejected,
+        refill.throttled_denials
+    );
+    json.int("refill_burst", refill.burst)
+        .int("refill_steps", refill.steps)
+        .int("refill_minted_per_step", minted_per_step)
+        .int("refill_admitted", refill.admitted)
+        .int("refill_rejected", refill.rejected)
+        .int("refill_throttled", refill.throttled_denials);
+    if refill.admitted != expected_admitted
+        || refill.rejected != expected_rejected
+        || refill.throttled_denials != expected_rejected
+    {
+        eprintln!(
+            "FAIL: refill not exactly countable under the manual clock (want {expected_admitted} \
+             admitted / {expected_rejected} shed, got {} / {} with {} throttled denials)",
+            refill.admitted, refill.rejected, refill.throttled_denials
         );
         failed = true;
     }

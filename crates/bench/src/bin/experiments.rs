@@ -4,6 +4,7 @@
 //! cargo run --release --bin experiments              # everything, 90 runs (the paper's count)
 //! cargo run --release --bin experiments figure4      # only Figure 4
 //! cargo run --release --bin experiments defense      # only §6.4
+//! cargo run --release --bin experiments matrix       # only the scenario matrix
 //! cargo run --release --bin experiments -- --runs 30 # fewer timed runs
 //! cargo run --release --bin experiments -- --raw     # machine-readable (Debug) output
 //! ```
@@ -11,9 +12,10 @@
 use std::env;
 
 use escudo_apps::evaluate::DefenseReport;
+use escudo_apps::scenario::MatrixReport;
 use escudo_bench::experiments::{
-    format_case_study_tables, format_defense_report, format_table1, CompatReport, EventReport,
-    Figure4Report,
+    format_case_study_tables, format_defense_report, format_matrix_report, format_table1,
+    CompatReport, EventReport, Figure4Report,
 };
 
 #[derive(Debug)]
@@ -56,6 +58,7 @@ fn parse_args() -> Options {
             "figure4".to_string(),
             "events".to_string(),
             "defense".to_string(),
+            "matrix".to_string(),
             "compat".to_string(),
         ];
     }
@@ -97,6 +100,14 @@ fn main() {
                     println!("{}", format_defense_report(&report));
                 }
             }
+            "matrix" => {
+                let report = MatrixReport::run_registry();
+                if options.raw {
+                    println!("{report:#?}");
+                } else {
+                    println!("{}", format_matrix_report(&report));
+                }
+            }
             "compat" => {
                 let report = CompatReport::run();
                 if options.raw {
@@ -106,7 +117,7 @@ fn main() {
                 }
             }
             other => {
-                eprintln!("unknown section `{other}` (expected taxonomy, tables, figure4, events, defense, compat)");
+                eprintln!("unknown section `{other}` (expected taxonomy, tables, figure4, events, defense, matrix, compat)");
                 std::process::exit(2);
             }
         }

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use escudo_apps::evaluate::DefenseReport;
+use escudo_apps::scenario::MatrixReport;
 use escudo_apps::{CalendarApp, ForumApp, ForumConfig};
 use escudo_browser::{Browser, PolicyMode};
 use escudo_core::taxonomy;
@@ -346,6 +347,32 @@ pub fn format_defense_report(report: &DefenseReport) -> String {
     out
 }
 
+/// Formats the full (app × attack × mode) scenario matrix.
+#[must_use]
+pub fn format_matrix_report(report: &MatrixReport) -> String {
+    let mut out = String::from("Scenario matrix (app × attack × policy mode)\n");
+    out.push_str(&format!(
+        "  cells: {}   unexpected: {}\n",
+        report.cells(),
+        report.unexpected().len()
+    ));
+    for mode in [PolicyMode::SameOriginOnly, PolicyMode::Escudo] {
+        out.push_str(&format!(
+            "  {:<12} {:>2} succeed / {:>2} neutralized   {:>5} checks, {:>3} denials\n",
+            mode.to_string(),
+            report.successes(mode),
+            report.neutralized(mode),
+            report.total_checks(mode),
+            report.total_denials(mode)
+        ));
+    }
+    out.push_str("  per cell (ESCUDO):\n");
+    for outcome in report.for_mode(PolicyMode::Escudo) {
+        out.push_str(&format!("    {outcome}\n"));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,6 +400,16 @@ mod tests {
         assert!(compat.escudo_app_on_legacy_browser_works);
         assert!(compat.legacy_app_on_escudo_browser_works);
         assert_eq!(compat.denials, 0);
+    }
+
+    #[test]
+    fn matrix_report_formats_every_escudo_cell() {
+        let report = MatrixReport::run_registry();
+        let formatted = format_matrix_report(&report);
+        assert!(formatted.contains("unexpected: 0"));
+        assert!(formatted.contains("forum-xss-1"));
+        assert!(formatted.contains("vault-leak-token"));
+        assert!(formatted.contains("adnet-banners"));
     }
 
     #[test]

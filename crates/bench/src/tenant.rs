@@ -15,6 +15,10 @@
 //!   countable: firing `fired` single-check plans against `burst` tokens must
 //!   admit precisely `burst` and shed the rest fail-closed
 //!   ([`DenyReason::Throttled`]).
+//! * [`run_admission_refill`] — refill is exactly countable too, now that the
+//!   bucket meters against an injectable clock: a [`ManualClock`] is stepped
+//!   window-by-window and every window must mint precisely
+//!   `step_ns × refill_per_sec / 1e9` tokens, no more, no fewer.
 //! * [`run_hot_reload_storm`] — reader threads stream `check_many` plans
 //!   through a shared [`Tenant`] while the control plane swaps the engine
 //!   between the ESCUDO and same-origin generations. Every observed plan must
@@ -31,7 +35,7 @@ use std::thread;
 use std::time::Instant;
 
 use escudo_core::policy::decide;
-use escudo_core::tenant::{Tenant, TenantConfig, TenantRegistry};
+use escudo_core::tenant::{Clock, ManualClock, Tenant, TenantConfig, TenantRegistry};
 use escudo_core::{Decision, DenyReason, EngineStats, PolicyMode};
 
 use escudo_browser::Erm;
@@ -224,6 +228,79 @@ pub fn run_admission_burst(burst: u64, fired: u64) -> AdmissionReport {
     }
 }
 
+/// Outcome of the deterministic virtual-clock refill run.
+#[derive(Debug, Clone, Copy)]
+pub struct RefillReport {
+    /// Token-bucket burst capacity.
+    pub burst: u64,
+    /// Refill rate in tokens per second.
+    pub refill_per_sec: u64,
+    /// Refill windows the manual clock stepped through.
+    pub steps: u64,
+    /// Nanoseconds the clock advanced per step.
+    pub step_ns: u64,
+    /// Checks admitted across the run (the initial burst plus every refilled
+    /// token — exactly `burst + steps * step_ns * refill_per_sec / 1e9` when
+    /// each window's mint is drained in full).
+    pub admitted: u64,
+    /// Checks shed by the probe that closes each drained window.
+    pub rejected: u64,
+    /// Denials attributed to [`DenyReason::Throttled`] (must equal `rejected`).
+    pub throttled_denials: u64,
+}
+
+/// Drains a refilling bucket window-by-window against a [`ManualClock`]:
+/// drain the initial burst, then `steps` times advance the clock by `step_ns`
+/// and drain exactly the tokens that window minted, probing once past empty
+/// each window so the shed count is exact too. Wall-clock speed never changes
+/// the outcome — the clock only moves when the driver says so.
+#[must_use]
+pub fn run_admission_refill(
+    burst: u64,
+    refill_per_sec: u64,
+    steps: u64,
+    step_ns: u64,
+) -> RefillReport {
+    let clock = Arc::new(ManualClock::new());
+    let tenant = Arc::new(Tenant::with_clock(
+        "refilled",
+        TenantConfig::default().with_admission(burst, refill_per_sec),
+        Arc::clone(&clock) as Arc<dyn Clock>,
+    ));
+    let mut erm = Erm::with_tenant(Arc::clone(&tenant)).without_audit();
+    let grid = decision_workload(2, 2);
+    let (principal, object, operation) = &grid[0];
+    let mut throttled_denials = 0u64;
+    let mut fire = |shots: u64, throttled_denials: &mut u64| {
+        for _ in 0..shots {
+            let decision = erm.check(principal, object, *operation);
+            if decision.deny_reason() == Some(&DenyReason::Throttled) {
+                *throttled_denials += 1;
+            }
+        }
+    };
+
+    // Drain the initial burst, then probe once to prove the bucket is empty.
+    fire(burst + 1, &mut throttled_denials);
+    let minted_per_step = (step_ns as f64 / 1e9 * refill_per_sec as f64).floor() as u64;
+    for _ in 0..steps {
+        clock.advance_ns(step_ns);
+        // Drain exactly what the window minted, plus one probe past empty.
+        fire(minted_per_step + 1, &mut throttled_denials);
+    }
+
+    let stats = tenant.admission().stats();
+    RefillReport {
+        burst,
+        refill_per_sec,
+        steps,
+        step_ns,
+        admitted: stats.admitted,
+        rejected: stats.rejected,
+        throttled_denials,
+    }
+}
+
 /// Outcome of the hot-reload-under-storm run.
 #[derive(Debug, Clone, Copy)]
 pub struct HotReloadReport {
@@ -387,6 +464,16 @@ mod tests {
         assert_eq!(report.admitted, 5);
         assert_eq!(report.rejected, 7);
         assert_eq!(report.throttled_denials, 7);
+    }
+
+    #[test]
+    fn admission_refill_is_exact_under_the_manual_clock() {
+        // 8 tokens/sec, 125 ms windows: each window mints exactly one token
+        // (0.125 is exact in binary, so no float drift across windows).
+        let report = run_admission_refill(4, 8, 6, 125_000_000);
+        assert_eq!(report.admitted, 4 + 6);
+        assert_eq!(report.rejected, 1 + 6, "one probe past empty per window");
+        assert_eq!(report.throttled_denials, report.rejected);
     }
 
     #[test]

@@ -370,7 +370,9 @@ pub enum Strictness {
 /// convention (see `cli::JsonReport` call sites), so substring heuristics are
 /// reliable here: `*mismatches*`/`*violations*`/`*leaks*` are correctness
 /// counters, `*_ns`/`*per_sec*`/`*speedup*`/`*retained*`/`*ratio*`/`*rate*`
-/// are performance, and anything unrecognized is informational.
+/// are performance, and anything unrecognized is informational. `ratio` must
+/// match as a whole `_`-delimited segment: `generation`/`generations` keys
+/// (counters, not measurements) contain it as an accidental substring.
 #[must_use]
 pub fn classify(key: &str) -> (Direction, Strictness) {
     // Spread recordings calibrate noise floors; they are measurement-scatter
@@ -388,7 +390,7 @@ pub fn classify(key: &str) -> (Direction, Strictness) {
     let lower_perf = key.ends_with("_ns")
         || key.contains("ns_per_")
         || key.contains("_ns_per")
-        || key.contains("ratio")
+        || key.split('_').any(|segment| segment == "ratio")
         || key.contains("latency_p");
     if lower_perf {
         return (Direction::LowerIsBetter, Strictness::Performance);
@@ -896,6 +898,21 @@ mod tests {
         );
         assert_eq!(
             classify("hardware_threads"),
+            (Direction::Informational, Strictness::Informational)
+        );
+        // `ratio` only counts as a whole `_`-delimited segment: generation
+        // counters contain it as an accidental substring ("gene-ratio-ns")
+        // and must stay informational, not become lower-is-better timing.
+        assert_eq!(
+            classify("nav_p99_ratio"),
+            (Direction::LowerIsBetter, Strictness::Performance)
+        );
+        assert_eq!(
+            classify("reload_generations_seen"),
+            (Direction::Informational, Strictness::Informational)
+        );
+        assert_eq!(
+            classify("cp_tenant_alpha_generation"),
             (Direction::Informational, Strictness::Informational)
         );
     }

@@ -74,4 +74,6 @@ pub use escudo_core::PolicyMode;
 pub use loader::{LoadOptions, PageLoader};
 pub use page::{Page, PageLoadStats, ScriptOutcome, SubresourceOutcome};
 pub use render::{LayoutBox, RenderStats, Renderer};
-pub use snapshot::{ControlPlaneSnapshot, ErmCounters, FabricCounters, TenantSnapshot};
+pub use snapshot::{
+    ControlPlaneSnapshot, ErmCounters, FabricCounters, HealthVerdict, TenantSnapshot,
+};

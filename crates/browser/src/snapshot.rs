@@ -108,6 +108,46 @@ pub struct TenantSnapshot {
     pub admission: AdmissionStats,
 }
 
+/// A one-word judgement over a [`ControlPlaneSnapshot`]'s own fields: is this
+/// deployment keeping up, visibly straining, or shedding so hard its numbers
+/// can no longer be trusted?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthVerdict {
+    /// All thresholds comfortably clear.
+    Ok,
+    /// Operating, but losing fidelity: noticeable admission shedding, audit
+    /// records dropping, log entries dropping, or a mostly-stale prefetch
+    /// cache.
+    Degraded,
+    /// Shedding or dropping a majority of its work — counters understate what
+    /// actually happened.
+    Failing,
+}
+
+impl HealthVerdict {
+    /// A stable numeric code for JSON export: `Ok` = 0, `Degraded` = 1,
+    /// `Failing` = 2.
+    #[must_use]
+    pub fn code(self) -> u64 {
+        match self {
+            HealthVerdict::Ok => 0,
+            HealthVerdict::Degraded => 1,
+            HealthVerdict::Failing => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for HealthVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let word = match self {
+            HealthVerdict::Ok => "ok",
+            HealthVerdict::Degraded => "degraded",
+            HealthVerdict::Failing => "failing",
+        };
+        write!(f, "{word}")
+    }
+}
+
 /// The unified observability snapshot of ISSUE 7: engine + reference monitor +
 /// cookie jar + network fabric + per-tenant admission, in one struct.
 #[derive(Debug, Clone)]
@@ -183,6 +223,58 @@ impl ControlPlaneSnapshot {
             }
         }
         snapshot
+    }
+
+    /// Judges the snapshot against fixed thresholds over its own fields.
+    ///
+    /// * **Shed rate** — rejected / (admitted + rejected) summed over every
+    ///   tenant's admission bucket. Over 5% is [`HealthVerdict::Degraded`];
+    ///   over 50% is [`HealthVerdict::Failing`].
+    /// * **Audit drop rate** — audit records dropped per mediated check. Over
+    ///   5% is `Degraded`; over 50% is `Failing` (the audit trail no longer
+    ///   reflects enforcement).
+    /// * **Prefetch staleness** — stale discards / (hits + stale discards).
+    ///   Over 50% is `Degraded`: the prefetcher is mostly wasted work.
+    /// * **Log drops** — any dropped request-log entry is `Degraded` (the
+    ///   fabric log understates traffic).
+    ///
+    /// The verdict is the worst of the four signals.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn health(&self) -> HealthVerdict {
+        let rate = |part: u64, whole: u64| {
+            if whole == 0 {
+                0.0
+            } else {
+                part as f64 / whole as f64
+            }
+        };
+        let (admitted, rejected) = self.tenants.iter().fold((0u64, 0u64), |(a, r), t| {
+            (
+                a.saturating_add(t.admission.admitted),
+                r.saturating_add(t.admission.rejected),
+            )
+        });
+        let shed_rate = rate(rejected, admitted.saturating_add(rejected));
+        let audit_drop_rate = rate(self.erm.audit_dropped, self.erm.checks);
+        let prefetch_stale_rate = rate(
+            self.fabric.prefetch_stale_discards,
+            self.fabric
+                .prefetch_hits
+                .saturating_add(self.fabric.prefetch_stale_discards),
+        );
+
+        if shed_rate > 0.5 || audit_drop_rate > 0.5 {
+            HealthVerdict::Failing
+        } else if shed_rate > 0.05
+            || audit_drop_rate > 0.05
+            || prefetch_stale_rate > 0.5
+            || self.fabric.dropped_log_entries > 0
+        {
+            HealthVerdict::Degraded
+        } else {
+            HealthVerdict::Ok
+        }
     }
 
     /// The snapshot flattened to `(key, value)` pairs in a **stable order**:
@@ -369,6 +461,63 @@ mod tests {
         let again = ControlPlaneSnapshot::gather(&erm, &jar, &fabric, Some(&registry));
         let keys_again: Vec<String> = again.fields().into_iter().map(|(k, _)| k).collect();
         assert_eq!(keys, keys_again);
+    }
+
+    #[test]
+    fn health_verdict_worsens_with_shedding_and_audit_drops() {
+        let erm = Erm::new(PolicyMode::Escudo);
+        let jar = SharedCookieJar::new();
+        let fabric = SharedNetwork::new();
+        let mut snapshot = ControlPlaneSnapshot::gather(&erm, &jar, &fabric, None);
+        assert_eq!(snapshot.health(), HealthVerdict::Ok);
+        assert_eq!(snapshot.health().code(), 0);
+
+        // 10% of admission traffic shed → Degraded.
+        snapshot.tenants.push(TenantSnapshot {
+            id: "metered".into(),
+            generation: 1,
+            engine: EngineStats::default(),
+            admission: AdmissionStats {
+                admitted: 90,
+                rejected: 10,
+                burst: 8,
+                refill_per_sec: 0,
+            },
+        });
+        assert_eq!(snapshot.health(), HealthVerdict::Degraded);
+
+        // A majority shed → Failing, regardless of the other signals.
+        snapshot.tenants[0].admission.rejected = 200;
+        assert_eq!(snapshot.health(), HealthVerdict::Failing);
+        assert_eq!(snapshot.health().code(), 2);
+        assert_eq!(snapshot.health().to_string(), "failing");
+
+        // Audit drops alone degrade, then fail.
+        snapshot.tenants.clear();
+        snapshot.erm.checks = 100;
+        snapshot.erm.audit_dropped = 10;
+        assert_eq!(snapshot.health(), HealthVerdict::Degraded);
+        snapshot.erm.audit_dropped = 80;
+        assert_eq!(snapshot.health(), HealthVerdict::Failing);
+    }
+
+    #[test]
+    fn health_flags_stale_prefetch_and_log_drops_as_degraded() {
+        let erm = Erm::new(PolicyMode::Escudo);
+        let jar = SharedCookieJar::new();
+        let fabric = SharedNetwork::new();
+        let mut snapshot = ControlPlaneSnapshot::gather(&erm, &jar, &fabric, None);
+
+        // A mostly-stale prefetch cache is wasted work, not lost data.
+        snapshot.fabric.prefetch_hits = 1;
+        snapshot.fabric.prefetch_stale_discards = 9;
+        assert_eq!(snapshot.health(), HealthVerdict::Degraded);
+        snapshot.fabric.prefetch_stale_discards = 0;
+        assert_eq!(snapshot.health(), HealthVerdict::Ok);
+
+        // Any dropped request-log entry understates traffic.
+        snapshot.fabric.dropped_log_entries = 1;
+        assert_eq!(snapshot.health(), HealthVerdict::Degraded);
     }
 
     #[test]

@@ -88,6 +88,6 @@ pub use origin::Origin;
 pub use policy::{decide, Decision, DenyReason, PolicyMode};
 pub use ring::Ring;
 pub use tenant::{
-    AdmissionControl, AdmissionStats, EngineGeneration, EngineHandle, EngineReader, Tenant,
-    TenantConfig, TenantRegistry,
+    AdmissionControl, AdmissionStats, Clock, EngineGeneration, EngineHandle, EngineReader,
+    ManualClock, MonotonicClock, Tenant, TenantConfig, TenantRegistry,
 };

@@ -23,9 +23,10 @@
 //!   noisy tenant can neither evict another's warm decisions nor starve its
 //!   mediation.
 
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock, Weak};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::engine::{EngineStats, EscudoEngine, PolicyEngine, SameOriginEngine};
 use crate::policy::PolicyMode;
@@ -173,6 +174,83 @@ impl EngineReader {
 }
 
 // ---------------------------------------------------------------------------
+// Clocks.
+
+/// The time source an [`AdmissionControl`] bucket refills against.
+///
+/// `std::time::Instant` cannot be constructed at arbitrary points, so the
+/// bucket meters against a monotonic nanosecond counter instead: the wall
+/// clock in production ([`MonotonicClock`]), a hand-advanced counter in tests
+/// and benches ([`ManualClock`]) so refill behaviour is deterministic and
+/// exactly gateable rather than pinned to `refill_per_sec = 0`.
+pub trait Clock: fmt::Debug + Send + Sync {
+    /// Nanoseconds elapsed since the clock's own epoch. Must be monotonic.
+    fn now_ns(&self) -> u64;
+}
+
+/// The production clock: nanoseconds since the clock was created.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    anchor: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock anchored at the moment of creation.
+    #[must_use]
+    pub fn new() -> Self {
+        MonotonicClock {
+            anchor: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.anchor.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A hand-advanced clock: time moves only when the test says so.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    ns: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock starting at 0 ns.
+    #[must_use]
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// Advances the clock by `delta`.
+    pub fn advance(&self, delta: Duration) {
+        self.advance_ns(u64::try_from(delta.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Advances the clock by `delta_ns` nanoseconds.
+    pub fn advance_ns(&self, delta_ns: u64) {
+        let _ = self
+            .ns
+            .fetch_update(Ordering::Release, Ordering::Relaxed, |v| {
+                Some(v.saturating_add(delta_ns))
+            });
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.ns.load(Ordering::Acquire)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Admission control.
 
 /// Counters of one tenant's admission bucket.
@@ -195,6 +273,7 @@ pub struct AdmissionStats {
 pub struct AdmissionControl {
     burst: u64,
     refill_per_sec: u64,
+    clock: Arc<dyn Clock>,
     state: Mutex<BucketState>,
     admitted: AtomicU64,
     rejected: AtomicU64,
@@ -203,7 +282,7 @@ pub struct AdmissionControl {
 #[derive(Debug)]
 struct BucketState {
     tokens: f64,
-    last_refill: Instant,
+    last_refill_ns: u64,
 }
 
 impl AdmissionControl {
@@ -216,15 +295,25 @@ impl AdmissionControl {
     /// A bucket holding at most `burst` tokens, refilled continuously at
     /// `refill_per_sec` tokens per second (starts full). `burst == 0` means
     /// unlimited; `refill_per_sec == 0` with a burst means the bucket never
-    /// refills (useful for deterministic tests and hard caps).
+    /// refills (useful for deterministic tests and hard caps). Meters against
+    /// the wall clock; use [`AdmissionControl::with_clock`] to inject a
+    /// [`ManualClock`] instead.
     #[must_use]
     pub fn new(burst: u64, refill_per_sec: u64) -> Self {
+        AdmissionControl::with_clock(burst, refill_per_sec, Arc::new(MonotonicClock::new()))
+    }
+
+    /// A bucket metering refill against an injected [`Clock`].
+    #[must_use]
+    pub fn with_clock(burst: u64, refill_per_sec: u64, clock: Arc<dyn Clock>) -> Self {
+        let now_ns = clock.now_ns();
         AdmissionControl {
             burst,
             refill_per_sec,
+            clock,
             state: Mutex::new(BucketState {
                 tokens: burst as f64,
-                last_refill: Instant::now(),
+                last_refill_ns: now_ns,
             }),
             admitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
@@ -250,11 +339,11 @@ impl AdmissionControl {
         }
         let admitted = {
             let mut state = self.state.lock().expect("admission bucket poisoned");
-            let now = Instant::now();
-            let refill =
-                now.duration_since(state.last_refill).as_secs_f64() * self.refill_per_sec as f64;
+            let now_ns = self.clock.now_ns();
+            let elapsed_secs = now_ns.saturating_sub(state.last_refill_ns) as f64 / 1e9;
+            let refill = elapsed_secs * self.refill_per_sec as f64;
             state.tokens = (state.tokens + refill).min(self.burst as f64);
-            state.last_refill = now;
+            state.last_refill_ns = now_ns;
             if state.tokens >= n as f64 {
                 state.tokens -= n as f64;
                 true
@@ -383,13 +472,21 @@ impl Tenant {
     /// Creates a free-standing tenant (registry-less tests and benches).
     #[must_use]
     pub fn new(id: &str, config: TenantConfig) -> Self {
+        Tenant::with_clock(id, config, Arc::new(MonotonicClock::new()))
+    }
+
+    /// Creates a tenant whose admission bucket refills against the given
+    /// [`Clock`] — a [`ManualClock`] makes throttling fully deterministic.
+    #[must_use]
+    pub fn with_clock(id: &str, config: TenantConfig, clock: Arc<dyn Clock>) -> Self {
         Tenant {
             id: id.to_string(),
             config,
             handle: EngineHandle::new(config.build_engine()),
-            admission: AdmissionControl::new(
+            admission: AdmissionControl::with_clock(
                 config.admission_burst,
                 config.admission_refill_per_sec,
+                clock,
             ),
         }
     }
@@ -606,17 +703,63 @@ mod tests {
     }
 
     #[test]
-    fn token_bucket_refills_over_time() {
-        // 1M tokens/sec: a few milliseconds refill the 2-token burst.
-        let bucket = AdmissionControl::new(2, 1_000_000);
+    fn token_bucket_refills_against_the_injected_clock() {
+        // 10 tokens/sec against a manual clock: refill is exact, not racy.
+        let clock = Arc::new(ManualClock::new());
+        let bucket = AdmissionControl::with_clock(2, 10, Arc::clone(&clock) as Arc<dyn Clock>);
+        assert!(bucket.try_admit(2), "starts full");
+        assert!(!bucket.try_admit(1), "drained; clock has not moved");
+
+        // 100 ms at 10 tokens/sec refills exactly one token.
+        clock.advance(Duration::from_millis(100));
+        assert!(bucket.try_admit(1));
+        assert!(!bucket.try_admit(1), "the single refilled token is spent");
+
+        // A long sleep clamps at the burst: 10 s would mint 100 tokens but
+        // the bucket holds 2.
+        clock.advance(Duration::from_secs(10));
         assert!(bucket.try_admit(2));
-        assert!(!bucket.try_admit(2));
-        let deadline = Instant::now() + std::time::Duration::from_secs(2);
-        while !bucket.try_admit(2) {
-            assert!(Instant::now() < deadline, "bucket never refilled");
-            std::thread::yield_now();
-        }
-        assert!(bucket.stats().rejected >= 2);
+        assert!(!bucket.try_admit(1));
+
+        let stats = bucket.stats();
+        assert_eq!(stats.admitted, 5);
+        assert_eq!(stats.rejected, 3);
+    }
+
+    #[test]
+    fn manual_clock_advances_only_by_hand() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now_ns(), 0);
+        clock.advance_ns(7);
+        clock.advance(Duration::from_micros(1));
+        assert_eq!(clock.now_ns(), 1_007);
+        // Saturates instead of wrapping.
+        clock.advance_ns(u64::MAX);
+        assert_eq!(clock.now_ns(), u64::MAX);
+    }
+
+    #[test]
+    fn monotonic_clock_moves_forward() {
+        let clock = MonotonicClock::new();
+        let first = clock.now_ns();
+        std::thread::yield_now();
+        assert!(clock.now_ns() >= first);
+    }
+
+    #[test]
+    fn tenant_with_clock_throttles_deterministically() {
+        let clock = Arc::new(ManualClock::new());
+        let tenant = Tenant::with_clock(
+            "metered",
+            TenantConfig::default().with_admission(4, 1),
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        assert!(tenant.admission().try_admit(4));
+        assert!(!tenant.admission().try_admit(1));
+        clock.advance(Duration::from_secs(2));
+        assert!(tenant.admission().try_admit(2));
+        assert_eq!(tenant.admission().stats().admitted, 6);
+        assert_eq!(tenant.admission().stats().rejected, 1);
     }
 
     #[test]

@@ -1,35 +1,51 @@
 //! The §6.4 defense-effectiveness experiment, narrated for the phpBB-like forum.
 //!
-//! Stages the four XSS attacks and five CSRF attacks against the forum under both the
-//! same-origin-policy baseline and ESCUDO, and prints what happened to the server-side
-//! state in each case.
+//! Pulls the forum entry out of the scenario registry and runs every one of its
+//! cases — four XSS and five CSRF attacks — under both the same-origin-policy
+//! baseline and ESCUDO, printing what happened to the server-side state in each
+//! cell of the matrix.
 //!
 //! Run with: `cargo run --example forum_attack_demo`
 
-use escudo::apps::attacks::{forum_csrf_attacks, forum_xss_attacks};
-use escudo::apps::evaluate::{run_csrf, run_xss};
+use escudo::apps::scenario::{registry, CaseKind, Verdict};
 use escudo::browser::PolicyMode;
 
 fn main() {
     println!("phpBB-like forum: staged attacks (input validation and token checks disabled)");
     println!("{}", "-".repeat(78));
 
-    println!("\nCross-site scripting (4 attacks):");
-    for attack in forum_xss_attacks() {
-        let sop = run_xss(PolicyMode::SameOriginOnly, &attack);
-        let escudo = run_xss(PolicyMode::Escudo, &attack);
-        print_pair(attack.name, sop.succeeded, escudo.succeeded, escudo.denials);
-    }
+    let scenarios = registry();
+    let forum = scenarios
+        .iter()
+        .find(|s| s.id == "forum")
+        .expect("the registry carries the forum scenario");
 
-    println!("\nCross-site request forgery (5 attacks):");
-    for attack in forum_csrf_attacks() {
-        let sop = run_csrf(PolicyMode::SameOriginOnly, &attack);
-        let escudo = run_csrf(PolicyMode::Escudo, &attack);
-        print_pair(attack.name, sop.succeeded, escudo.succeeded, escudo.denials);
+    for kind in [CaseKind::Xss, CaseKind::Csrf] {
+        let cases: Vec<_> = forum.cases.iter().filter(|c| c.kind == kind).collect();
+        println!("\n{} ({} attacks):", heading(kind), cases.len());
+        for case in cases {
+            let sop = case.run(PolicyMode::SameOriginOnly);
+            let escudo = case.run(PolicyMode::Escudo);
+            print_pair(&case.name, sop.succeeded, escudo.succeeded, escudo.denials);
+            assert_eq!(
+                case.expected.expected(PolicyMode::Escudo),
+                Verdict::from_success(escudo.succeeded),
+                "{} deviated from its declared verdict",
+                case.id
+            );
+        }
     }
 
     println!("\nEvery attack that succeeds under the same-origin policy is neutralized by ESCUDO,");
     println!("matching the paper: \"All the attacks were neutralized in the presence of ESCUDO.\"");
+}
+
+fn heading(kind: CaseKind) -> &'static str {
+    match kind {
+        CaseKind::Xss => "Cross-site scripting",
+        CaseKind::Csrf => "Cross-site request forgery",
+        CaseKind::Leak | CaseKind::Probe => "Other",
+    }
 }
 
 fn print_pair(name: &str, sop_succeeded: bool, escudo_succeeded: bool, denials: u64) {
