@@ -50,8 +50,8 @@ pub use calendar::{CalendarApp, CalendarConfig, CalendarState};
 pub use evaluate::{AttackResult, DefenseReport};
 pub use forum::{ForumApp, ForumConfig, ForumState};
 pub use scenario::{
-    registry, CaseKind, CellRun, Expectation, MatrixReport, Scenario, ScenarioCase,
-    ScenarioOutcome, Verdict, WorkloadTag,
+    install_chaos_hook, registry, CaseKind, CellRun, ChaosGuard, ChaosHook, Expectation,
+    MatrixReport, Scenario, ScenarioCase, ScenarioOutcome, Verdict, WorkloadTag,
 };
 pub use spa::SpaApp;
 pub use vault::VaultApp;

@@ -42,6 +42,77 @@ use crate::spa::{SpaApp, SPA_COOKIE};
 use crate::vault::{VaultApp, API_TOKEN, DISPLAY_NAME, EMAIL};
 
 // ---------------------------------------------------------------------------
+// Chaos hooks.
+
+/// A configuration hook the scenario executor applies to every [`Browser`]
+/// session it stages — the seam the chaos harness uses to run the whole
+/// matrix under fault injection (install per-origin
+/// [`FaultPlan`](escudo_net::FaultPlan)s on the session's fabric, set a
+/// [`FetchPolicy`](escudo_net::FetchPolicy), collect the fabric handle for
+/// counter audits). A hook configures the *transport*; it runs before any
+/// application is registered or any page is staged, and it cannot touch
+/// mediation — which is exactly the point: the matrix's verdicts must come
+/// out identical with or without one.
+pub type ChaosHook = Arc<dyn Fn(&mut Browser) + Send + Sync>;
+
+thread_local! {
+    static CHAOS_HOOK: std::cell::RefCell<Option<ChaosHook>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Installs a [`ChaosHook`] for the current thread and returns a guard that
+/// restores the previous hook (if any) when dropped. Thread-local on purpose:
+/// [`MatrixReport::run`] stages its cells single-threaded, so a thread-local
+/// hook makes a chaos run exactly as deterministic as a clean one, and two
+/// tests injecting different chaos never race each other's hooks.
+pub fn install_chaos_hook(hook: ChaosHook) -> ChaosGuard {
+    let previous = CHAOS_HOOK.with(|slot| slot.borrow_mut().replace(hook));
+    ChaosGuard {
+        previous,
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// RAII guard for an installed [`ChaosHook`]; dropping it restores whatever
+/// hook (or none) was installed before.
+pub struct ChaosGuard {
+    previous: Option<ChaosHook>,
+    /// The hook slot is thread-local; sending the guard across threads would
+    /// restore the wrong thread's slot.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for ChaosGuard {
+    fn drop(&mut self) {
+        let previous = self.previous.take();
+        CHAOS_HOOK.with(|slot| *slot.borrow_mut() = previous);
+    }
+}
+
+impl fmt::Debug for ChaosGuard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChaosGuard")
+            .field("restores_previous", &self.previous.is_some())
+            .finish()
+    }
+}
+
+/// Creates the [`Browser`] session for one matrix cell: a fresh browser for
+/// `mode`, passed through the thread's installed [`ChaosHook`] (if any)
+/// before any staging happens. Every stager in this module builds its
+/// sessions here, so one installed hook covers the entire registry.
+#[must_use]
+pub fn session_browser(mode: PolicyMode) -> Browser {
+    let mut browser = Browser::new(mode);
+    CHAOS_HOOK.with(|slot| {
+        if let Some(hook) = slot.borrow().as_ref() {
+            hook(&mut browser);
+        }
+    });
+    browser
+}
+
+// ---------------------------------------------------------------------------
 // Verdicts and expectations.
 
 /// What happened (or should happen) to one case under one policy mode.
@@ -483,7 +554,7 @@ pub fn stage_xss(mode: PolicyMode, attack: &XssAttack) -> CellRun {
     let attacker = AttackerSite::new();
     let stolen = attacker.stolen();
 
-    let mut browser = Browser::new(mode);
+    let mut browser = session_browser(mode);
     let target = install_xss_target(&mut browser, attack);
     browser
         .network_mut()
@@ -595,7 +666,7 @@ fn install_csrf_target(browser: &mut Browser, attack: &CsrfAttack) -> CsrfTarget
 pub fn stage_csrf(mode: PolicyMode, attack: &CsrfAttack) -> CellRun {
     let attacker = AttackerSite::with_csrf(attack.vector.clone());
 
-    let mut browser = Browser::new(mode);
+    let mut browser = session_browser(mode);
     let target = install_csrf_target(&mut browser, attack);
     browser
         .network_mut()
@@ -659,7 +730,7 @@ fn blog_scenario() -> Scenario {
         CaseKind::Probe,
         Expectation::harmless(),
         |mode| {
-            let mut browser = Browser::new(mode);
+            let mut browser = session_browser(mode);
             browser
                 .network_mut()
                 .register("http://blog.example", BlogApp::new());
@@ -683,7 +754,7 @@ fn blog_scenario() -> Scenario {
                 "var post = document.getElementById('post-body');\
                  post.innerHTML = 'ad takeover';",
             );
-            let mut browser = Browser::new(mode);
+            let mut browser = session_browser(mode);
             browser.network_mut().register("http://blog.example", app);
             let page = browser
                 .navigate("http://blog.example/")
@@ -714,7 +785,7 @@ fn blog_scenario() -> Scenario {
                        'defaced by comment';</script>"
                         .to_string(),
                 });
-            let mut browser = Browser::new(mode);
+            let mut browser = session_browser(mode);
             browser.network_mut().register("http://blog.example", app);
             let page = browser
                 .navigate("http://blog.example/")
@@ -735,7 +806,7 @@ fn blog_scenario() -> Scenario {
 }
 
 fn spa_session(mode: PolicyMode, app: SpaApp) -> (Browser, PageId) {
-    let mut browser = Browser::new(mode);
+    let mut browser = session_browser(mode);
     browser.network_mut().register("http://spa.example", app);
     browser
         .network_mut()
@@ -800,7 +871,7 @@ fn spa_scenario() -> Scenario {
             // Register a dedicated attacker so this cell reads its own log.
             let attacker = AttackerSite::new();
             let stolen = attacker.stolen();
-            let mut browser = Browser::new(mode);
+            let mut browser = session_browser(mode);
             browser.network_mut().register("http://spa.example", app);
             browser
                 .network_mut()
@@ -855,7 +926,7 @@ pub const AD_SLOTS: usize = 4;
 const ROGUE_SLOT: usize = 2;
 
 fn adnet_session(mode: PolicyMode, site: NewsSite) -> (Browser, PageId, Vec<AdServerHandles>) {
-    let mut browser = Browser::new(mode);
+    let mut browser = session_browser(mode);
     let mut handles = Vec::new();
     for i in 0..AD_SLOTS {
         let server = AdServer::new();
@@ -964,7 +1035,7 @@ fn vault_session(
 ) -> (Browser, PageId, Arc<std::sync::Mutex<Vec<String>>>) {
     let attacker = AttackerSite::new();
     let stolen = attacker.stolen();
-    let mut browser = Browser::new(mode);
+    let mut browser = session_browser(mode);
     browser.network_mut().register("http://vault.example", app);
     browser
         .network_mut()

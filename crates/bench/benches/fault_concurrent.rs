@@ -1,0 +1,176 @@
+//! Chaos under the reference monitor: the fault-injection fabric driven
+//! against the full scenario fleet, gated on the paper's fail-closed claim.
+//!
+//! Run with `cargo bench --bench fault_concurrent` (optionally
+//! `-- --repeats N --json path`). This is a plain `harness = false` binary; it
+//! exits non-zero if a resilience gate fails:
+//!
+//! * **chaos verdict gate** — the whole (app × attack × policy-mode) matrix
+//!   is replayed under each fault schedule; **zero** cells may change verdict
+//!   and the reference-monitor check/denial counts must equal the fault-free
+//!   matrix exactly (retries re-send the mediated request verbatim — chaos
+//!   may move bytes in time, never move a security decision),
+//! * **amplification gate** — retries stay bounded by injected faults
+//!   (`retry_attempts <= faults_injected`: every retry is caused by a fault),
+//!   and no breaker fast-fails fire under the breaker-less matrix schedules,
+//! * **retry oracle gate** — a faulted-then-retried session's request log and
+//!   per-subresource attached cookies are byte-identical to the fault-free
+//!   run, under both policy modes,
+//! * **breaker gate** — the Closed → Open → HalfOpen → Closed walk on a
+//!   manual clock lands on exact counter constants (trips, fast-fails,
+//!   probes, recoveries, retry budget, deadline refusals).
+
+use std::time::Instant;
+
+use escudo_apps::scenario::{registry, MatrixReport};
+use escudo_bench::cli::{parse_flag, JsonReport};
+use escudo_bench::fault::{run_breaker_drill, run_matrix_under_chaos, run_retry_oracle, schedules};
+use escudo_browser::PolicyMode;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let repeats = parse_flag(&args, "--repeats", 1).max(1);
+
+    let mut failed = false;
+    let mut json = JsonReport::new("fault_concurrent");
+
+    // ------------------------------------------------- fault-free baseline
+    let scenarios = registry();
+    let baseline = MatrixReport::run(&scenarios);
+    println!(
+        "fault_concurrent: {} cells fault-free, {} schedules, {repeats} repeats",
+        baseline.cells(),
+        schedules().len()
+    );
+    if !baseline.unexpected().is_empty() {
+        eprintln!("FAIL: the fault-free baseline matrix itself has unexpected cells");
+        failed = true;
+    }
+
+    // ------------------------------------------------- chaos verdict gate
+    for schedule in &schedules() {
+        let started = Instant::now();
+        let mut chaos = run_matrix_under_chaos(schedule);
+        for _ in 1..repeats {
+            chaos = run_matrix_under_chaos(schedule);
+        }
+        let per_pass_ms = started.elapsed().as_secs_f64() * 1e3 / f64::from(repeats as u32);
+
+        let unexpected = chaos.report.unexpected().len();
+        let mut verdicts_stable = unexpected == 0;
+        for mode in [PolicyMode::SameOriginOnly, PolicyMode::Escudo] {
+            verdicts_stable &= chaos.report.successes(mode) == baseline.successes(mode)
+                && chaos.report.neutralized(mode) == baseline.neutralized(mode)
+                && chaos.report.total_checks(mode) == baseline.total_checks(mode)
+                && chaos.report.total_denials(mode) == baseline.total_denials(mode);
+        }
+        println!(
+            "  {:<12} {:>2} unexpected, {:>4} faults, {:>4} retries, {:>3} sessions, {per_pass_ms:.1}ms",
+            chaos.schedule, unexpected, chaos.faults_injected, chaos.retry_attempts, chaos.sessions
+        );
+        let key = |suffix: &str| format!("chaos_{}_{suffix}", chaos.schedule);
+        json.int(&key("unexpected"), unexpected as u64)
+            .int(&key("sessions"), chaos.sessions as u64)
+            .int(&key("faults_injected"), chaos.faults_injected)
+            .int(&key("fault_slowdowns"), chaos.fault_slowdowns)
+            .int(&key("retry_attempts"), chaos.retry_attempts)
+            .int(&key("retry_successes"), chaos.retry_successes)
+            .num(&key("pass_ms"), per_pass_ms);
+
+        if !verdicts_stable {
+            eprintln!(
+                "FAIL: schedule `{}` moved a security verdict or a mediation count",
+                chaos.schedule
+            );
+            failed = true;
+        }
+        if chaos.faults_injected == 0 || chaos.retry_attempts == 0 {
+            eprintln!(
+                "FAIL: schedule `{}` injected {} faults and granted {} retries — the chaos \
+                 hook is not reaching the fetch path",
+                chaos.schedule, chaos.faults_injected, chaos.retry_attempts
+            );
+            failed = true;
+        }
+        if chaos.retry_attempts > chaos.faults_injected
+            || chaos.retry_deadline_exhausted != 0
+            || chaos.breaker_fast_fails != 0
+        {
+            eprintln!(
+                "FAIL: schedule `{}` amplified: {} retries for {} faults, {} deadline \
+                 refusals, {} breaker fast-fails",
+                chaos.schedule,
+                chaos.retry_attempts,
+                chaos.faults_injected,
+                chaos.retry_deadline_exhausted,
+                chaos.breaker_fast_fails
+            );
+            failed = true;
+        }
+    }
+
+    // --------------------------------------------------- retry oracle gate
+    for (mode, key) in [
+        (PolicyMode::SameOriginOnly, "sop"),
+        (PolicyMode::Escudo, "escudo"),
+    ] {
+        let oracle = run_retry_oracle(mode);
+        println!(
+            "  oracle {key:<7} logs={} cookies={} mediation={} ({} retries over {} subresources)",
+            oracle.logs_identical,
+            oracle.attachments_identical,
+            oracle.mediation_identical,
+            oracle.faulted_retries,
+            oracle.subresources
+        );
+        json.flag(
+            &format!("oracle_{key}_logs_identical"),
+            oracle.logs_identical,
+        )
+        .flag(
+            &format!("oracle_{key}_cookies_identical"),
+            oracle.attachments_identical,
+        )
+        .int(
+            &format!("oracle_{key}_retry_attempts"),
+            oracle.faulted_retries,
+        );
+        let holds = oracle.logs_identical
+            && oracle.attachments_identical
+            && oracle.mediation_identical
+            && oracle.clean_retries == 0
+            && oracle.faulted_retries > 0;
+        if !holds {
+            eprintln!("FAIL: the retry oracle does not hold under {mode}");
+            failed = true;
+        }
+    }
+
+    // -------------------------------------------------------- breaker gate
+    let drill = run_breaker_drill();
+    println!(
+        "  breaker trips={} fast_fails={} probes={} recoveries={} retries={} deadline={}",
+        drill.trips,
+        drill.fast_fails,
+        drill.probes,
+        drill.recoveries,
+        drill.retry_attempts,
+        drill.deadline_exhausted
+    );
+    json.int("breaker_trips", drill.trips)
+        .int("breaker_fast_fails", drill.fast_fails)
+        .int("breaker_probes", drill.probes)
+        .int("breaker_recoveries", drill.recoveries)
+        .int("drill_retry_attempts", drill.retry_attempts)
+        .int("drill_retry_deadline_exhausted", drill.deadline_exhausted);
+    if !drill.exact() {
+        eprintln!("FAIL: the breaker drill's counters drifted off their manual-clock constants: {drill:?}");
+        failed = true;
+    }
+
+    json.flag("gates_passed", !failed);
+    json.write_if_requested(&args);
+    if failed {
+        std::process::exit(1);
+    }
+}

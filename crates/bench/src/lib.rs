@@ -21,6 +21,10 @@
 //!   `scheduler_concurrent`: navigation-lane p99 latency under a bulk storm,
 //!   the speculative-prefetch speedup, the prefetch-on-vs-off mediation oracle
 //!   and the prefetching-session isolation run,
+//! * [`fault`] — the chaos workloads behind `fault_concurrent`: the scenario
+//!   matrix replayed under injected fault schedules (verdicts and mediation
+//!   counts must not move), the retry mediation oracle, and the
+//!   exactly-countable breaker drill on a manual clock,
 //! * [`tenant`] — the control-plane workloads behind `tenant_concurrent`:
 //!   noisy-neighbor isolation across per-tenant engines, deterministic
 //!   token-bucket admission, and the hot-reload-under-storm oracle run,
@@ -39,6 +43,7 @@
 pub mod cli;
 pub mod concurrent;
 pub mod experiments;
+pub mod fault;
 pub mod interner;
 pub mod loader;
 pub mod measure;

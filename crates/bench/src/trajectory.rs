@@ -373,12 +373,25 @@ pub enum Strictness {
 /// are performance, and anything unrecognized is informational. `ratio` must
 /// match as a whole `_`-delimited segment: `generation`/`generations` keys
 /// (counters, not measurements) contain it as an accidental substring.
+/// `*fault*`/`*breaker*`/`*retry*`/`*retries*` keys are chaos accounting —
+/// always informational, since they measure the injected schedule.
 #[must_use]
 pub fn classify(key: &str) -> (Direction, Strictness) {
     // Spread recordings calibrate noise floors; they are measurement-scatter
     // metadata, never judged — and this rule must run first, because a spread
     // key inherits its parent metric's vocabulary (`..._p99_ns_spread`).
     if key.ends_with("_spread") {
+        return (Direction::Informational, Strictness::Informational);
+    }
+    // Chaos accounting from `fault_concurrent` (faults injected, retries
+    // granted, breaker transitions) describes the *injected* schedule, not a
+    // quality of the build — how much chaos a run absorbs is a workload
+    // parameter. Must run before the correctness/perf vocabularies:
+    // `retry_deadline_exhausted` would otherwise read as a rate-like key.
+    let chaos_counter = ["fault", "breaker", "retry", "retries"]
+        .iter()
+        .any(|tag| key.contains(tag));
+    if chaos_counter {
         return (Direction::Informational, Strictness::Informational);
     }
     let correctness_counter = ["mismatch", "violation", "leak", "dropped"]

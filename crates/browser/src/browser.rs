@@ -12,8 +12,8 @@ use escudo_core::{
 };
 use escudo_dom::EventType;
 use escudo_net::{
-    BackgroundBatch, Method, Network, Priority, Request, Response, SharedCookieJar, SharedNetwork,
-    Url,
+    BackgroundBatch, FetchPolicy, Method, Network, Priority, Request, Response, SharedCookieJar,
+    SharedNetwork, Url,
 };
 use escudo_script::Interpreter;
 
@@ -82,6 +82,10 @@ pub struct Browser {
     prefetch_enabled: bool,
     /// Navigation fetches this session served from the prefetch cache.
     prefetch_hits: u64,
+    /// The resilience policy every fetch of this session dispatches under
+    /// (navigation, subresources and script-initiated XHR alike). Disabled by
+    /// default — the bare dispatch path, byte-identical to pre-policy sessions.
+    fetch_policy: FetchPolicy,
 }
 
 impl std::fmt::Debug for Browser {
@@ -176,6 +180,7 @@ impl Browser {
             cookie_policies: Vec::new(),
             prefetch_enabled: false,
             prefetch_hits: 0,
+            fetch_policy: FetchPolicy::disabled(),
         }
     }
 
@@ -251,6 +256,22 @@ impl Browser {
     #[must_use]
     pub fn prefetch_hits(&self) -> u64 {
         self.prefetch_hits
+    }
+
+    /// Sets the resilience policy for every fetch this session makes —
+    /// navigations, the subresource fan-out and script-initiated XHR. Retries
+    /// re-dispatch the already-mediated request **verbatim** (one mediation
+    /// plan, one engine generation, no re-mediation), so the policy can mask
+    /// transient fabric faults but never widen a security decision. The
+    /// default is [`FetchPolicy::disabled`] — the exact bare dispatch path.
+    pub fn set_fetch_policy(&mut self, policy: FetchPolicy) {
+        self.fetch_policy = policy;
+    }
+
+    /// The resilience policy in force for this session's fetches.
+    #[must_use]
+    pub fn fetch_policy(&self) -> FetchPolicy {
+        self.fetch_policy
     }
 
     /// The cookie jar handle (clone the `Arc` to share it with another session).
@@ -515,7 +536,10 @@ impl Browser {
         self.attach_cookies(&mut request, principal, None);
         let response = match self.take_prefetched_response(&request) {
             Some(response) => response,
-            None => self.network.dispatch(request)?,
+            None => self
+                .network
+                .fabric()
+                .dispatch_with_policy(request, &self.fetch_policy)?,
         };
         for directive in response.set_cookies() {
             self.jar.store(&url, &directive);
@@ -637,6 +661,7 @@ impl Browser {
                     self.history.len(),
                     page.url.clone(),
                     principal,
+                    self.fetch_policy,
                 );
                 let mut interpreter = Interpreter::new(&mut host);
                 let result = interpreter.run(&unit.source);
@@ -728,6 +753,7 @@ impl Browser {
                 self.history.len(),
                 page.url.clone(),
                 principal,
+                self.fetch_policy,
             );
             let mut interpreter = Interpreter::new(&mut host);
             match interpreter.run(&source) {
@@ -986,7 +1012,8 @@ impl Browser {
         let base = fabric.reserve_sequences(count as u64);
         let image_requests = requests.split_off(critical_count);
         let start = Instant::now();
-        let mut results: Vec<Result<Response, String>> = Vec::with_capacity(count);
+        let policy = self.fetch_policy;
+        let mut results: Vec<(Result<Response, String>, u32)> = Vec::with_capacity(count);
         for (lane_base, lane_requests, priority) in [
             (base, requests, Priority::Navigation),
             (base + critical_count as u64, image_requests, Priority::Bulk),
@@ -1009,16 +1036,24 @@ impl Browser {
             };
             results.extend(
                 fabric
-                    .dispatch_batch(lane_base, lane_requests, workers, priority)
+                    .dispatch_batch_with_policy(
+                        lane_base,
+                        lane_requests,
+                        workers,
+                        priority,
+                        &policy,
+                    )
                     .into_iter()
-                    .map(|outcome| outcome.map_err(|e| e.to_string())),
+                    .map(|(outcome, retries)| (outcome.map_err(|e| e.to_string()), retries)),
             );
         }
         page.stats.subresource_fetch_ns = start.elapsed().as_nanos();
         page.stats.subresource_requests = count as u64;
 
-        // Record outcomes in plan order, not completion order.
-        for (((node, url, _, kind), attached), result) in
+        // Record outcomes in plan order, not completion order. A slot whose
+        // retries ran dry degrades into `error` — the page load itself never
+        // fails on a subresource.
+        for (((node, url, _, kind), attached), (result, retries)) in
             planned.into_iter().zip(attachments).zip(results)
         {
             let (status, error) = match result {
@@ -1039,6 +1074,7 @@ impl Browser {
                     .collect(),
                 status,
                 error,
+                retries,
             });
         }
     }

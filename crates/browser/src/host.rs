@@ -12,7 +12,7 @@ use escudo_core::config::{NativeApi, AC_ATTRIBUTES};
 use escudo_core::{Operation, PolicyMode, PrincipalContext};
 use escudo_dom::{Document, NodeId};
 use escudo_html::{Token, Tokenizer};
-use escudo_net::{Method, Network, Request, SetCookie, SharedCookieJar, Url};
+use escudo_net::{FetchPolicy, Method, Network, Request, SetCookie, SharedCookieJar, Url};
 use escudo_script::{Host, HostError, HostNodeId, HostXhrId, XhrOutcome};
 
 use crate::context::SecurityContextTable;
@@ -31,6 +31,9 @@ pub struct BrowserHost<'a> {
     pub(crate) page_url: Url,
     pub(crate) principal: PrincipalContext,
     pub(crate) console: Vec<String>,
+    /// The session's resilience policy, applied to script-initiated XHR
+    /// dispatches exactly as the browser applies it to navigations.
+    pub(crate) fetch_policy: FetchPolicy,
     xhrs: HashMap<HostXhrId, (String, String)>,
     next_xhr: HostXhrId,
 }
@@ -58,6 +61,7 @@ impl<'a> BrowserHost<'a> {
         history_len: usize,
         page_url: Url,
         principal: PrincipalContext,
+        fetch_policy: FetchPolicy,
     ) -> Self {
         BrowserHost {
             mode,
@@ -70,6 +74,7 @@ impl<'a> BrowserHost<'a> {
             page_url,
             principal,
             console: Vec::new(),
+            fetch_policy,
             xhrs: HashMap::new(),
             next_xhr: 0,
         }
@@ -445,7 +450,13 @@ impl Host for BrowserHost<'_> {
         }
         let principal = self.principal.clone();
         self.attach_cookies(&mut request, &principal);
-        match self.network.dispatch(request) {
+        // The resilient dispatch re-sends the mediated request verbatim on a
+        // retry — the attachment above is the one plan this XHR ever gets.
+        match self
+            .network
+            .fabric()
+            .dispatch_with_policy(request, &self.fetch_policy)
+        {
             Ok(response) => Ok(XhrOutcome {
                 status: response.status.0,
                 body: response.body,

@@ -127,8 +127,13 @@ pub struct SubresourceOutcome {
     pub attached_cookies: Vec<String>,
     /// The response status, when the dispatch reached a server.
     pub status: Option<u16>,
-    /// The dispatch error, when it did not (e.g. the host became unreachable).
+    /// The dispatch error, when it did not (e.g. the host became unreachable,
+    /// or a faulted origin exhausted the session's retry budget — subresource
+    /// failures degrade into this field rather than failing the page).
     pub error: Option<String>,
+    /// Retries the session's [`FetchPolicy`](escudo_net::FetchPolicy) spent on
+    /// this fetch (0 when it succeeded first try or the policy is disabled).
+    pub retries: u32,
 }
 
 impl SubresourceOutcome {
@@ -224,6 +229,7 @@ mod tests {
             attached_cookies: vec!["sid".into()],
             status: Some(200),
             error: None,
+            retries: 0,
         };
         assert!(outcome.succeeded());
         outcome.status = Some(404);

@@ -74,6 +74,24 @@ pub struct FabricCounters {
     pub pool_jobs_executed: u64,
     /// Bulk-lane jobs preempted by navigation-lane arrivals.
     pub pool_preemptions: u64,
+    /// Failing faults injected by installed fault plans (timeouts + panics).
+    pub fault_injected: u64,
+    /// Dispatches slowed by an injected `SlowBy` schedule.
+    pub fault_slowdowns: u64,
+    /// Retry attempts granted across all resilient dispatches.
+    pub retry_attempts: u64,
+    /// Resilient dispatches that succeeded only after retrying.
+    pub retry_successes: u64,
+    /// Retries refused because a batch deadline budget ran dry.
+    pub retry_deadline_exhausted: u64,
+    /// Circuit-breaker trips (including half-open re-trips).
+    pub breaker_trips: u64,
+    /// Half-open probes admitted after a breaker cooldown.
+    pub breaker_probes: u64,
+    /// Breakers closed by a successful half-open probe.
+    pub breaker_recoveries: u64,
+    /// Dispatches refused outright by an open breaker.
+    pub breaker_fast_fails: u64,
 }
 
 impl FabricCounters {
@@ -90,6 +108,15 @@ impl FabricCounters {
             pool_workers: fabric.fetch_pool_workers() as u64,
             pool_jobs_executed: fabric.fetch_pool_jobs_executed(),
             pool_preemptions: fabric.fetch_pool_preemptions(),
+            fault_injected: fabric.faults_injected(),
+            fault_slowdowns: fabric.fault_slowdowns(),
+            retry_attempts: fabric.retry_attempts(),
+            retry_successes: fabric.retry_successes(),
+            retry_deadline_exhausted: fabric.retry_deadline_exhausted(),
+            breaker_trips: fabric.breaker_trips(),
+            breaker_probes: fabric.breaker_probes(),
+            breaker_recoveries: fabric.breaker_recoveries(),
+            breaker_fast_fails: fabric.breaker_fast_fails(),
         }
     }
 }
@@ -362,6 +389,28 @@ impl ControlPlaneSnapshot {
         push(
             "fabric_pool_preemptions".into(),
             self.fabric.pool_preemptions as f64,
+        );
+
+        // Chaos counters, exported by the benches as `cp_fault_*` /
+        // `cp_retry_*` / `cp_breaker_*` — the trajectory comparator treats
+        // them as informational so chaos tallies can never flake a perf gate.
+        push("fault_injected".into(), self.fabric.fault_injected as f64);
+        push("fault_slowdowns".into(), self.fabric.fault_slowdowns as f64);
+        push("retry_attempts".into(), self.fabric.retry_attempts as f64);
+        push("retry_successes".into(), self.fabric.retry_successes as f64);
+        push(
+            "retry_deadline_exhausted".into(),
+            self.fabric.retry_deadline_exhausted as f64,
+        );
+        push("breaker_trips".into(), self.fabric.breaker_trips as f64);
+        push("breaker_probes".into(), self.fabric.breaker_probes as f64);
+        push(
+            "breaker_recoveries".into(),
+            self.fabric.breaker_recoveries as f64,
+        );
+        push(
+            "breaker_fast_fails".into(),
+            self.fabric.breaker_fast_fails as f64,
         );
 
         for tenant in &self.tenants {

@@ -21,6 +21,36 @@ pub enum NetError {
     InvalidMethod(String),
     /// An ESCUDO configuration carried in headers was malformed.
     Config(ConfigError),
+    /// The dispatch timed out (today always by an injected
+    /// [`FaultSchedule::Timeout`-class](crate::fault::FaultSchedule) fault).
+    /// Carries the origin and how long the attempt had been running.
+    Timeout {
+        /// The origin whose dispatch timed out.
+        origin: String,
+        /// Elapsed service time when the timeout fired, in nanoseconds.
+        elapsed_ns: u64,
+    },
+    /// The per-origin circuit breaker refused the dispatch outright — the
+    /// origin failed too many times in a row and is cooling off. Nothing was
+    /// put on the wire.
+    CircuitOpen {
+        /// The origin whose breaker is open.
+        origin: String,
+        /// Remaining cooldown before a half-open probe is admitted, in
+        /// nanoseconds on the fabric clock (0 when a probe is already in
+        /// flight).
+        cooldown_ns: u64,
+    },
+}
+
+impl NetError {
+    /// `true` for failures worth retrying: injected timeouts and contained
+    /// handler panics. A missing server is permanent and an open breaker is
+    /// the *decision* not to retry, so neither is transient.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(self, NetError::Timeout { .. } | NetError::FetchPanicked(_))
+    }
 }
 
 impl fmt::Display for NetError {
@@ -32,6 +62,18 @@ impl fmt::Display for NetError {
             NetError::FetchPanicked(what) => write!(f, "fetch worker panicked: {what}"),
             NetError::InvalidMethod(m) => write!(f, "invalid http method `{m}`"),
             NetError::Config(e) => write!(f, "configuration error: {e}"),
+            NetError::Timeout { origin, elapsed_ns } => {
+                write!(f, "request to `{origin}` timed out after {elapsed_ns}ns")
+            }
+            NetError::CircuitOpen {
+                origin,
+                cooldown_ns,
+            } => {
+                write!(
+                    f,
+                    "circuit breaker open for `{origin}` ({cooldown_ns}ns of cooldown remaining)"
+                )
+            }
         }
     }
 }
@@ -66,5 +108,85 @@ mod tests {
         let e: NetError = ConfigError::InvalidRing("x".into()).into();
         assert!(e.to_string().contains("invalid ring"));
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn every_variant_displays_its_context() {
+        let cases: Vec<(NetError, &[&str])> = vec![
+            (
+                NetError::InvalidUrl("not a url".into()),
+                &["invalid url", "not a url"],
+            ),
+            (
+                NetError::InvalidCookie("a;;b".into()),
+                &["invalid cookie", "a;;b"],
+            ),
+            (
+                NetError::HostUnreachable("gone.example".into()),
+                &["no server registered", "gone.example"],
+            ),
+            (
+                NetError::FetchPanicked("slot 3".into()),
+                &["fetch worker panicked", "slot 3"],
+            ),
+            (
+                NetError::InvalidMethod("YEET".into()),
+                &["invalid http method", "YEET"],
+            ),
+            (
+                NetError::Config(ConfigError::InvalidRing("9".into())),
+                &["configuration error", "invalid ring"],
+            ),
+            (
+                NetError::Timeout {
+                    origin: "http://slow.example".into(),
+                    elapsed_ns: 1234,
+                },
+                &["timed out", "slow.example", "1234ns"],
+            ),
+            (
+                NetError::CircuitOpen {
+                    origin: "http://sick.example".into(),
+                    cooldown_ns: 5678,
+                },
+                &["circuit breaker open", "sick.example", "5678ns"],
+            ),
+        ];
+        for (error, fragments) in cases {
+            let shown = error.to_string();
+            for fragment in fragments {
+                assert!(
+                    shown.contains(fragment),
+                    "`{shown}` should contain `{fragment}`"
+                );
+            }
+            // Round trip: every variant clones to an equal value.
+            assert_eq!(error.clone(), error);
+            // Only Config wraps a source.
+            assert_eq!(
+                error.source().is_some(),
+                matches!(error, NetError::Config(_))
+            );
+        }
+    }
+
+    #[test]
+    fn transience_is_limited_to_timeouts_and_contained_panics() {
+        assert!(NetError::Timeout {
+            origin: "o".into(),
+            elapsed_ns: 0
+        }
+        .is_transient());
+        assert!(NetError::FetchPanicked("p".into()).is_transient());
+        assert!(!NetError::HostUnreachable("h".into()).is_transient());
+        assert!(!NetError::CircuitOpen {
+            origin: "o".into(),
+            cooldown_ns: 0
+        }
+        .is_transient());
+        assert!(!NetError::InvalidUrl("u".into()).is_transient());
+        assert!(!NetError::InvalidCookie("c".into()).is_transient());
+        assert!(!NetError::InvalidMethod("m".into()).is_transient());
+        assert!(!NetError::Config(ConfigError::InvalidRing("r".into())).is_transient());
     }
 }

@@ -70,6 +70,7 @@ use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread::JoinHandle;
 
 use crate::error::NetError;
+use crate::fault::{dispatch_slot_resilient, BatchBudget, FetchPolicy};
 use crate::message::{Request, Response};
 use crate::shared_network::SharedNetwork;
 
@@ -101,6 +102,9 @@ pub enum Priority {
     Background,
 }
 
+/// One slot's final outcome plus the retries that slot consumed.
+type SlotResult = (Result<Response, NetError>, u32);
+
 /// One submitted batch: the pending requests any ticket holder may claim, the
 /// per-request result slots, and the rendezvous the submitter waits on.
 ///
@@ -119,14 +123,25 @@ struct BatchWork {
     /// Requests not yet claimed, as `(plan_index, request)`. One short lock
     /// hold per claim; ticket holders loop until this is empty.
     pending: Mutex<VecDeque<(usize, Request)>>,
-    slots: Vec<Mutex<Option<Result<Response, NetError>>>>,
+    /// Per-request outcome plus the retries that slot consumed (always 0
+    /// without a retry budget).
+    slots: Vec<Mutex<Option<SlotResult>>>,
     remaining: AtomicUsize,
     done: Mutex<bool>,
     finished: Condvar,
+    /// The batch's shared retry budget; `None` runs the bare single-attempt
+    /// dispatch (the disabled-policy fast path — no request clones, no
+    /// breaker lookups).
+    budget: Option<Arc<BatchBudget>>,
 }
 
 impl BatchWork {
-    fn new(fabric: &Arc<SharedNetwork>, base: Option<u64>, requests: Vec<Request>) -> Arc<Self> {
+    fn new(
+        fabric: &Arc<SharedNetwork>,
+        base: Option<u64>,
+        requests: Vec<Request>,
+        budget: Option<Arc<BatchBudget>>,
+    ) -> Arc<Self> {
         let count = requests.len();
         Arc::new(BatchWork {
             fabric: Arc::downgrade(fabric),
@@ -137,6 +152,7 @@ impl BatchWork {
             // An empty batch is born finished; `wait` must not park on it.
             done: Mutex::new(count == 0),
             finished: Condvar::new(),
+            budget,
         })
     }
 
@@ -155,7 +171,15 @@ impl BatchWork {
         };
         let outcome = match self.fabric.upgrade() {
             Some(fabric) => {
-                let outcome = dispatch_containing_panics(&fabric, self.base, index, request);
+                let outcome = match &self.budget {
+                    Some(budget) => {
+                        dispatch_slot_resilient(&fabric, self.base, index, request, budget)
+                    }
+                    None => (
+                        dispatch_containing_panics(&fabric, self.base, index, request),
+                        0,
+                    ),
+                };
                 // The strong reference must die *before* the completion
                 // signal: once `complete` wakes the submitter, the
                 // fabric's owner may drop it at any moment, and this
@@ -163,10 +187,13 @@ impl BatchWork {
                 drop(fabric);
                 outcome
             }
-            None => Err(NetError::HostUnreachable(format!(
-                "network fabric dropped before dispatching {}",
-                request.url
-            ))),
+            None => (
+                Err(NetError::HostUnreachable(format!(
+                    "network fabric dropped before dispatching {}",
+                    request.url
+                ))),
+                0,
+            ),
         };
         self.complete(index, outcome);
         true
@@ -190,7 +217,7 @@ impl BatchWork {
         !self.pending.lock().expect("batch pending list").is_empty()
     }
 
-    fn complete(&self, index: usize, outcome: Result<Response, NetError>) {
+    fn complete(&self, index: usize, outcome: (Result<Response, NetError>, u32)) {
         *self.slots[index].lock().expect("batch result slot") = Some(outcome);
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             *self.done.lock().expect("batch done flag") = true;
@@ -205,7 +232,7 @@ impl BatchWork {
         }
     }
 
-    fn take_results(&self) -> Vec<Result<Response, NetError>> {
+    fn take_results(&self) -> Vec<(Result<Response, NetError>, u32)> {
         self.slots
             .iter()
             .map(|slot| {
@@ -221,9 +248,10 @@ impl BatchWork {
 /// Dispatches batch request `index` — under its pre-reserved sequence when the
 /// batch is logged, or unlogged for speculative batches — catching a panicking
 /// origin handler and converting it into [`NetError::FetchPanicked`]. Shared by
-/// the pooled drain and the inline (parallelism ≤ 1) path so a batch's panic
-/// semantics do not depend on which side of the fan-out cutover it landed on.
-fn dispatch_containing_panics(
+/// the pooled drain, the inline (parallelism ≤ 1) path and the resilient retry
+/// loop ([`crate::fault`]) so a batch's panic semantics do not depend on which
+/// side of the fan-out cutover it landed on.
+pub(crate) fn dispatch_containing_panics(
     fabric: &SharedNetwork,
     base: Option<u64>,
     index: usize,
@@ -498,7 +526,11 @@ impl BackgroundBatch {
     pub fn join(self) -> Vec<Result<Response, NetError>> {
         self.work.drain();
         self.work.wait();
-        self.work.take_results()
+        self.work
+            .take_results()
+            .into_iter()
+            .map(|(outcome, _retries)| outcome)
+            .collect()
     }
 }
 
@@ -540,10 +572,45 @@ impl SharedNetwork {
         parallelism: usize,
         priority: Priority,
     ) -> Vec<Result<Response, NetError>> {
+        self.dispatch_batch_with_policy(
+            base,
+            requests,
+            parallelism,
+            priority,
+            &FetchPolicy::disabled(),
+        )
+        .into_iter()
+        .map(|(outcome, _retries)| outcome)
+        .collect()
+    }
+
+    /// [`dispatch_batch`](SharedNetwork::dispatch_batch) through the resilient
+    /// fetch path: each slot runs the bounded-retry loop of
+    /// [`crate::fault`] (breaker admission, verbatim re-dispatch of the
+    /// already-mediated request, virtual backoff metered against the batch's
+    /// shared deadline budget on the fabric clock) and reports how many
+    /// retries it consumed alongside its outcome. A disabled policy is the
+    /// exact bare path — no budget allocation, no request clones.
+    ///
+    /// # Errors
+    ///
+    /// Each slot carries its own final [`NetError`] exactly as in
+    /// [`dispatch_batch`](SharedNetwork::dispatch_batch), plus
+    /// [`NetError::Timeout`] for exhausted injected faults and
+    /// [`NetError::CircuitOpen`] when the origin's breaker refused admission.
+    pub fn dispatch_batch_with_policy(
+        self: &Arc<Self>,
+        base: u64,
+        requests: Vec<Request>,
+        parallelism: usize,
+        priority: Priority,
+        policy: &FetchPolicy,
+    ) -> Vec<(Result<Response, NetError>, u32)> {
         let count = requests.len();
         if count == 0 {
             return Vec::new();
         }
+        let budget = (!policy.is_disabled()).then(|| Arc::new(BatchBudget::new(self, *policy)));
         let parallelism = parallelism.min(count);
         if parallelism <= 1 {
             // Same panic containment as the pooled drain: whether a batch lands
@@ -552,10 +619,13 @@ impl SharedNetwork {
             return requests
                 .into_iter()
                 .enumerate()
-                .map(|(i, request)| dispatch_containing_panics(self, Some(base), i, request))
+                .map(|(i, request)| match &budget {
+                    Some(budget) => dispatch_slot_resilient(self, Some(base), i, request, budget),
+                    None => (dispatch_containing_panics(self, Some(base), i, request), 0),
+                })
                 .collect();
         }
-        let work = BatchWork::new(self, Some(base), requests);
+        let work = BatchWork::new(self, Some(base), requests, budget);
         // The submitter is one of the `parallelism` lanes; ticket the rest.
         self.pool().ensure_workers(parallelism - 1);
         self.pool().submit(&work, parallelism - 1, priority);
@@ -581,7 +651,7 @@ impl SharedNetwork {
         parallelism: usize,
     ) -> BackgroundBatch {
         let count = requests.len();
-        let work = BatchWork::new(self, None, requests);
+        let work = BatchWork::new(self, None, requests, None);
         if count > 0 {
             let tickets = parallelism.clamp(1, count);
             self.pool().ensure_workers(tickets);
@@ -804,9 +874,9 @@ mod tests {
         // one bulk ticket through after NAVIGATION_CREDIT consecutive
         // navigation pops, and drain background last.
         let fabric = fabric_with_origins(1, Duration::ZERO);
-        let nav = BatchWork::new(&fabric, Some(0), Vec::new());
-        let bulk = BatchWork::new(&fabric, Some(0), Vec::new());
-        let background = BatchWork::new(&fabric, None, Vec::new());
+        let nav = BatchWork::new(&fabric, Some(0), Vec::new(), None);
+        let bulk = BatchWork::new(&fabric, Some(0), Vec::new(), None);
+        let background = BatchWork::new(&fabric, None, Vec::new(), None);
         let mut queue = PoolQueue {
             navigation: (0..6).map(|_| Arc::clone(&nav)).collect(),
             bulk: (0..2).map(|_| Arc::clone(&bulk)).collect(),
@@ -849,6 +919,28 @@ mod tests {
             .submit_background_batch(Vec::new(), 4)
             .join()
             .is_empty());
+    }
+
+    #[test]
+    fn resilient_batches_retry_faulted_slots_and_keep_the_log_in_plan_order() {
+        use crate::fault::FaultPlan;
+        let fabric = fabric_with_origins(2, Duration::ZERO);
+        // The first dispatch to h0 times out once; a single retry heals it.
+        fabric.inject_fault("http://h0.example", FaultPlan::new().fail_first(1));
+        let (base, requests) = plan(&fabric, 6, 2);
+        let policy = FetchPolicy::default().with_max_retries(2);
+        let results = fabric.dispatch_batch_with_policy(base, requests, 3, Priority::Bulk, &policy);
+        assert!(results.iter().all(|(outcome, _)| outcome.is_ok()));
+        let total_retries: u32 = results.iter().map(|(_, retries)| *retries).sum();
+        assert_eq!(total_retries, 1, "exactly the one faulted slot retried");
+        assert_eq!(fabric.faults_injected(), 1);
+        assert_eq!(fabric.retry_attempts(), 1);
+        assert_eq!(fabric.retry_successes(), 1);
+        // The healed retry logged under its originally reserved sequence, so
+        // the sequence-sorted log still reads in exact plan order.
+        let paths: Vec<String> = fabric.log().iter().map(|e| e.url.path().into()).collect();
+        let expected: Vec<String> = (0..6).map(|i| format!("/r{i}")).collect();
+        assert_eq!(paths, expected);
     }
 
     #[test]

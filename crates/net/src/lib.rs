@@ -44,6 +44,7 @@
 
 pub mod cookie;
 pub mod error;
+pub mod fault;
 pub mod fetch_pool;
 pub mod headers;
 pub mod jar;
@@ -55,6 +56,7 @@ pub mod url;
 
 pub use cookie::{Cookie, SetCookie};
 pub use error::NetError;
+pub use fault::{BreakerPhase, FaultOutcome, FaultPlan, FaultSchedule, FetchPolicy};
 pub use fetch_pool::{BackgroundBatch, Priority};
 pub use headers::Headers;
 pub use jar::CookieJar;

@@ -49,9 +49,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
-use escudo_core::Origin;
+use escudo_core::{Clock, MonotonicClock, Origin};
 
 use crate::error::NetError;
+use crate::fault::FaultOutcome;
 use crate::message::{Request, Response};
 use crate::network::{LoggedRequest, Server};
 
@@ -136,6 +137,17 @@ pub struct SharedNetwork {
     prefetch: Mutex<PrefetchCache>,
     prefetch_hits: AtomicU64,
     prefetch_stale: AtomicU64,
+    /// Installed per-origin fault plans (independent of server registration —
+    /// a plan may precede the origin it targets). See [`crate::fault`].
+    pub(crate) faults: RwLock<HashMap<Origin, Arc<crate::fault::FaultState>>>,
+    /// Lazily-created per-origin circuit breakers (only policies with a
+    /// breaker threshold ever populate this).
+    pub(crate) breakers: RwLock<HashMap<Origin, Arc<crate::fault::Breaker>>>,
+    /// The injectable clock that meters retry backoff, batch deadlines and
+    /// breaker cooldowns; a `ManualClock` makes all three exactly countable.
+    pub(crate) clock: RwLock<Arc<dyn Clock>>,
+    /// Monotonic chaos observability counters (faults, retries, breakers).
+    chaos: crate::fault::ChaosCounters,
 }
 
 impl Default for SharedNetwork {
@@ -183,7 +195,17 @@ impl SharedNetwork {
             }),
             prefetch_hits: AtomicU64::new(0),
             prefetch_stale: AtomicU64::new(0),
+            faults: RwLock::new(HashMap::new()),
+            breakers: RwLock::new(HashMap::new()),
+            clock: RwLock::new(Arc::new(MonotonicClock::new())),
+            chaos: crate::fault::ChaosCounters::default(),
         }
+    }
+
+    /// The fabric's chaos counters (crate-internal; read through the public
+    /// per-counter getters in [`crate::fault`]).
+    pub(crate) fn chaos(&self) -> &crate::fault::ChaosCounters {
+        &self.chaos
     }
 
     /// The persistent fetch worker pool (crate-internal; batches go through
@@ -373,19 +395,46 @@ impl SharedNetwork {
         self.service(&request)
     }
 
-    /// The shared dispatch machinery: sleep the origin's simulated latency
-    /// (outside all locks), take the origin's handler mutex for exactly one
-    /// `handle` call, and fold the observed service time into the planner EWMA.
+    /// The shared dispatch machinery: consult the origin's fault plan, sleep
+    /// the origin's simulated latency plus any injected slowdown (outside all
+    /// locks), take the origin's handler mutex for exactly one `handle` call,
+    /// and fold the observed service time into the planner EWMA — but **only
+    /// for clean dispatches**: faulted or slowed dispatches never feed the
+    /// EWMA, so injected chaos cannot poison the adaptive fan-out cutover.
     fn service(&self, request: &Request) -> Result<Response, NetError> {
         let origin = request.url.origin();
         // The map's read guard is dropped inside `handler()`: the sleep and the
         // handler call below hold only this origin's own mutex, so registration
         // writes and dispatches to other origins proceed unimpeded.
         let handler = self.handler(&origin)?;
+        let fault = self.fault_decision(&origin);
         let latency = handler.latency();
         let service_start = std::time::Instant::now();
-        if !latency.is_zero() {
-            std::thread::sleep(latency);
+        let sleep_for = latency.saturating_add(Duration::from_nanos(fault.slow_ns));
+        if !sleep_for.is_zero() {
+            std::thread::sleep(sleep_for);
+        }
+        if fault.slow_ns > 0 {
+            self.chaos.fault_slowdowns.fetch_add(1, Ordering::Relaxed);
+        }
+        match fault.outcome {
+            FaultOutcome::Panic => {
+                self.chaos.faults_injected.fetch_add(1, Ordering::Relaxed);
+                // Deliberately *before* the handler lock: an injected panic
+                // must not poison the origin's mutex, so the origin heals the
+                // moment its schedule (or a retry) lets a dispatch through.
+                panic!("injected fault: origin `{origin}` panicked by plan");
+            }
+            FaultOutcome::Timeout => {
+                self.chaos.faults_injected.fetch_add(1, Ordering::Relaxed);
+                let elapsed_ns =
+                    u64::try_from(service_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                return Err(NetError::Timeout {
+                    origin: origin.to_string(),
+                    elapsed_ns,
+                });
+            }
+            FaultOutcome::Proceed => {}
         }
         let response = {
             let mut server = handler.server.lock().expect("origin handler lock");
@@ -393,14 +442,16 @@ impl SharedNetwork {
         };
         // Fold the observed service time (sleep + handler) into the EWMA a
         // planner reads through `estimated_service_ns`: new = 7/8·old + 1/8·sample.
-        let sample = u64::try_from(service_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        let old = handler.observed_ns.load(Ordering::Relaxed);
-        let next = if old == 0 {
-            sample
-        } else {
-            old - old / 8 + sample / 8
-        };
-        handler.observed_ns.store(next, Ordering::Relaxed);
+        if fault.is_clean() {
+            let sample = u64::try_from(service_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let old = handler.observed_ns.load(Ordering::Relaxed);
+            let next = if old == 0 {
+                sample
+            } else {
+                old - old / 8 + sample / 8
+            };
+            handler.observed_ns.store(next, Ordering::Relaxed);
+        }
         Ok(response)
     }
 
@@ -866,5 +917,43 @@ mod tests {
             .dispatch(Request::get("http://count.example/").unwrap())
             .unwrap();
         assert_eq!(last.body, "41");
+    }
+
+    #[test]
+    fn fault_storms_leave_the_service_time_ewma_untouched() {
+        use crate::fault::FaultPlan;
+        let net = SharedNetwork::new();
+        net.register("http://a.example", echo_server);
+        let origin = Origin::parse_url("http://a.example").unwrap();
+        // Establish a clean baseline estimate.
+        for i in 0..5 {
+            net.dispatch(Request::get(&format!("http://a.example/warm{i}")).unwrap())
+                .unwrap();
+        }
+        let baseline = net.estimated_service_ns(&origin);
+        assert!(baseline > 0, "warm dispatches seeded the EWMA");
+        // A storm of 5ms slowdowns and timeouts: every dispatch is faulted,
+        // so *no* sample reaches the EWMA and the estimate stays exactly at
+        // its pre-storm value — injected chaos cannot poison the planner's
+        // fan-out cutover.
+        net.inject_fault(
+            "http://a.example",
+            FaultPlan::new().slow_by(5_000_000).every_nth(2),
+        );
+        for i in 0..10 {
+            let _ = net.dispatch(Request::get(&format!("http://a.example/storm{i}")).unwrap());
+        }
+        assert_eq!(
+            net.estimated_service_ns(&origin),
+            baseline,
+            "faulted dispatches must be excluded from the EWMA"
+        );
+        assert_eq!(net.fault_slowdowns(), 10);
+        assert_eq!(net.faults_injected(), 5);
+        // Healing the origin resumes EWMA updates.
+        net.clear_fault("http://a.example");
+        net.dispatch(Request::get("http://a.example/healed").unwrap())
+            .unwrap();
+        assert!(net.estimated_service_ns(&origin) > 0);
     }
 }

@@ -1,0 +1,197 @@
+//! End-to-end guarantees of the fault-injection fabric and the resilient
+//! fetch path:
+//!
+//! * a retry reuses the original mediation plan **verbatim** — the faulted
+//!   run's request log, attached cookie names and reference-monitor counters
+//!   are byte-identical to the fault-free oracle,
+//! * the per-origin circuit breaker walks Closed → Open → HalfOpen → Closed
+//!   on a [`ManualClock`], with exactly countable trips, fast-fails, probes
+//!   and recoveries,
+//! * an injected **panic** in the middle of a pooled batch is contained to
+//!   its own slot, releases its claim ticket (the pool survives for the next
+//!   batch) and never widens the batch beyond its parallelism bound, and
+//! * a subresource whose origin never heals **degrades** into its outcome's
+//!   `error` field with the full retry budget spent — the page still loads.
+//!
+//! The oracle and breaker drills are `escudo_bench::fault`'s — the same code
+//! the `fault_concurrent` CI gate drives — so the bench and these tests
+//! cannot silently diverge in what they validate.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use escudo::browser::{Browser, PolicyMode};
+use escudo::core::ManualClock;
+use escudo::net::{
+    BreakerPhase, FaultPlan, FetchPolicy, NetError, Priority, Request, Response, SharedNetwork,
+};
+use escudo_bench::fault::{run_breaker_drill, run_retry_oracle};
+use escudo_bench::loader::register_loader_world;
+
+#[test]
+fn a_retry_reuses_the_mediation_plan_verbatim() {
+    for mode in [PolicyMode::SameOriginOnly, PolicyMode::Escudo] {
+        let oracle = run_retry_oracle(mode);
+        assert!(
+            oracle.logs_identical,
+            "{mode}: faulted run's request log diverged from the fault-free oracle"
+        );
+        assert!(
+            oracle.attachments_identical,
+            "{mode}: faulted run attached different cookies"
+        );
+        assert!(
+            oracle.mediation_identical,
+            "{mode}: retries re-mediated — check/denial counts moved"
+        );
+        assert_eq!(oracle.clean_retries, 0);
+        assert!(oracle.faulted_retries > 0, "{mode}: no retry was exercised");
+        assert_eq!(oracle.faulted_retries, oracle.faulted_faults);
+    }
+}
+
+#[test]
+fn the_breaker_walks_its_phases_on_a_manual_clock() {
+    let fabric = SharedNetwork::new();
+    let clock = Arc::new(ManualClock::new());
+    fabric.set_clock(clock.clone());
+    fabric.register("http://api.example", |_req: &Request| {
+        Response::ok_text("pong")
+    });
+    let request = || Request::get("http://api.example/ping").unwrap();
+    let origin = request().url.origin();
+    let policy = FetchPolicy::disabled().with_breaker(2, 500_000_000);
+
+    // No breaker exists until a breaker-carrying policy touches the origin.
+    assert_eq!(fabric.breaker_phase(&origin), None);
+
+    fabric.inject_fault("http://api.example", FaultPlan::new().timeout());
+    assert!(fabric.dispatch_with_policy(request(), &policy).is_err());
+    assert_eq!(fabric.breaker_phase(&origin), Some(BreakerPhase::Closed));
+    assert!(fabric.dispatch_with_policy(request(), &policy).is_err());
+    assert_eq!(fabric.breaker_phase(&origin), Some(BreakerPhase::Open));
+    assert_eq!(fabric.breaker_trips(), 1);
+
+    // Open: fail fast with the remaining cooldown, without dispatching.
+    let faults_before = fabric.faults_injected();
+    match fabric.dispatch_with_policy(request(), &policy) {
+        Err(NetError::CircuitOpen { cooldown_ns, .. }) => {
+            assert_eq!(cooldown_ns, 500_000_000);
+        }
+        other => panic!("expected CircuitOpen, got {other:?}"),
+    }
+    assert_eq!(fabric.faults_injected(), faults_before);
+    assert_eq!(fabric.breaker_fast_fails(), 1);
+
+    // Cooldown elapses on the manual clock; the healed probe re-closes it.
+    clock.advance(Duration::from_millis(500));
+    fabric.clear_fault("http://api.example");
+    assert!(fabric.dispatch_with_policy(request(), &policy).is_ok());
+    assert_eq!(fabric.breaker_phase(&origin), Some(BreakerPhase::Closed));
+    assert_eq!(fabric.breaker_probes(), 1);
+    assert_eq!(fabric.breaker_recoveries(), 1);
+
+    // The full drill (including a failed probe's re-open and the deadline
+    // arithmetic) lands on its exact constants.
+    assert!(run_breaker_drill().exact());
+}
+
+#[test]
+fn a_panic_mid_batch_is_contained_released_and_width_bounded() {
+    let fabric = Arc::new(SharedNetwork::new());
+    let in_flight = Arc::new(AtomicUsize::new(0));
+    let high_water = Arc::new(AtomicUsize::new(0));
+    let (flight, water) = (Arc::clone(&in_flight), Arc::clone(&high_water));
+    fabric.register("http://ok.example", move |req: &Request| {
+        let now = flight.fetch_add(1, Ordering::SeqCst) + 1;
+        water.fetch_max(now, Ordering::SeqCst);
+        std::thread::sleep(Duration::from_micros(200));
+        flight.fetch_sub(1, Ordering::SeqCst);
+        Response::ok_text(format!("ok {}", req.url.path()))
+    });
+    fabric.register("http://boom.example", |_req: &Request| {
+        unreachable!("faulted before the handler")
+    });
+    fabric.inject_fault("http://boom.example", FaultPlan::new().panicking());
+
+    let policy = FetchPolicy::disabled()
+        .with_max_retries(1)
+        .with_backoff_base_ns(1_000);
+    let requests: Vec<Request> = (0..6)
+        .map(|i| {
+            let host = if i % 3 == 1 { "boom" } else { "ok" };
+            Request::get(&format!("http://{host}.example/r{i}")).unwrap()
+        })
+        .collect();
+    let base = fabric.reserve_sequences(requests.len() as u64);
+    let results = fabric.dispatch_batch_with_policy(base, requests, 2, Priority::Bulk, &policy);
+
+    for (i, (outcome, retries)) in results.iter().enumerate() {
+        if i % 3 == 1 {
+            assert!(
+                matches!(outcome, Err(NetError::FetchPanicked { .. })),
+                "slot {i}: expected a contained panic, got {outcome:?}"
+            );
+            assert_eq!(
+                *retries, 1,
+                "slot {i}: the panic is transient — one retry owed"
+            );
+        } else {
+            assert!(
+                outcome.is_ok(),
+                "slot {i}: healthy slot failed: {outcome:?}"
+            );
+            assert_eq!(*retries, 0);
+        }
+    }
+    assert!(
+        high_water.load(Ordering::SeqCst) <= 2,
+        "panic containment must not widen the batch past its parallelism bound"
+    );
+
+    // Claim tickets were released: a follow-up batch on the same pool drains.
+    let follow_up: Vec<Request> = (0..4)
+        .map(|i| Request::get(&format!("http://ok.example/again{i}")).unwrap())
+        .collect();
+    let base = fabric.reserve_sequences(follow_up.len() as u64);
+    let results = fabric.dispatch_batch(base, follow_up, 2, Priority::Bulk);
+    assert!(results.iter().all(Result::is_ok));
+    assert!(high_water.load(Ordering::SeqCst) <= 2);
+}
+
+#[test]
+fn an_unhealed_subresource_degrades_into_its_outcome_with_the_budget_spent() {
+    let fabric = Arc::new(SharedNetwork::new());
+    register_loader_world(&fabric, "site.example", "sid", 4, 2, |_| Duration::ZERO);
+    fabric.inject_fault("http://img0.site.example", FaultPlan::new().timeout());
+
+    let mut browser = Browser::with_network(
+        escudo::core::engine_for_mode(PolicyMode::Escudo),
+        Arc::new(escudo::net::SharedCookieJar::new()),
+        Arc::clone(&fabric),
+    );
+    browser.set_fetch_policy(
+        FetchPolicy::disabled()
+            .with_max_retries(2)
+            .with_backoff_base_ns(1_000),
+    );
+
+    let page = browser.navigate("http://site.example/index.php").unwrap();
+    let page = browser.page(page);
+    assert_eq!(page.subresources.len(), 4);
+    for outcome in &page.subresources {
+        if outcome.url.origin().to_string().contains("img0") {
+            let error = outcome.error.as_deref().expect("faulted slot must degrade");
+            assert!(error.contains("timed out"), "unexpected error: {error}");
+            assert_eq!(outcome.status, None);
+            assert_eq!(outcome.retries, 2, "the whole retry budget must be spent");
+        } else {
+            assert!(outcome.succeeded(), "healthy origin failed: {outcome:?}");
+            assert_eq!(outcome.retries, 0);
+        }
+    }
+    // Faulted dispatches are never logged: the log holds only the page fetch
+    // and the two healthy images.
+    assert_eq!(fabric.log().len(), 3);
+}
