@@ -222,7 +222,11 @@ impl Server for AdServer {
         match request.url.path() {
             "/banner.png" => {
                 *self.banners_served.lock().expect("app state lock") += 1;
-                Response::ok_text("PNG")
+                // The banner is a static asset: declare it cacheable so
+                // cache-enabled sessions can serve repeat impressions as
+                // response-cache hits (the served counter then counts origin
+                // fetches, not impressions).
+                Response::ok_text("PNG").with_max_age(300)
             }
             "/steal" => {
                 self.stolen

@@ -1,0 +1,235 @@
+//! The mediation-keyed shared response cache under its acceptance gates:
+//! repeat-navigation speedup, cache-on-vs-off matrix invariance, cookie-header
+//! key isolation, exactly-countable TTL expiry, and single-flight coalescing.
+//!
+//! Run with `cargo bench --bench cache_concurrent` (optionally
+//! `-- --threads N --passes P --json path`). This is a plain `harness = false`
+//! binary; it exits non-zero if a behavioural gate fails:
+//!
+//! * **speedup gate** — at 200µs origin latency a cache-warm repeat navigation
+//!   (document + three subresources, all `max-age`'d) must be at least
+//!   **1.5×** faster than the cache-off run, and every warm fetch must be a
+//!   cache hit — a hit is an `Arc` refcount bump, never a body copy,
+//! * **matrix gate** — the full scenario registry replayed with every
+//!   session's response cache enabled must match the cache-off replay
+//!   cell-for-cell: verdicts **and** reference-monitor check/denial counts.
+//!   The cache key is the mediation plan (method, URL, exact mediated
+//!   `Cookie` header) and mediation always executes — only transport is
+//!   skipped — so caching can never move an ESCUDO decision,
+//! * **isolation gate** — N cache-enabled sessions with distinct session
+//!   cookies sharing one fabric and one cacheable URL must observe **zero**
+//!   foreign cookie echoes: an entry is served only under the exact header it
+//!   was stored under, and discarded fail-closed otherwise,
+//! * **TTL gate** — a `max-age=5` entry walked on a hand-advanced
+//!   [`ManualClock`] must produce exactly one hit, one store and (after the
+//!   first cycle) one expiry discard per cycle — no wall time enters the
+//!   freshness check,
+//! * **single-flight gate** — a plan repeating one uncacheable image URL must
+//!   dispatch it once per batch, fan the response out to every duplicate
+//!   slot, and still log each slot under its own sequence number.
+//!
+//! [`ManualClock`]: escudo_core::ManualClock
+
+use escudo_bench::cache::{
+    run_cache_isolation, run_cache_matrix_oracle, run_cache_single_flight, run_cache_speedup,
+    run_cache_ttl_walk, CacheMatrixOracleReport, CACHE_GATE_LATENCY,
+};
+use escudo_bench::cli::{parse_flag, JsonReport};
+
+/// Minimum cold-over-warm speedup of the cache-warm repeat navigation.
+const MIN_CACHE_SPEEDUP: f64 = 1.5;
+
+/// Identical image slots the single-flight page carries.
+const SINGLE_FLIGHT_DUPLICATES: usize = 4;
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let threads = parse_flag(&args, "--threads", 8).max(2);
+    let passes = parse_flag(&args, "--passes", 30).max(3);
+    println!("cache_concurrent: {threads} isolation sessions, {passes} repeat-navigation passes");
+
+    let mut failed = false;
+    let mut json = JsonReport::new("cache_concurrent");
+    json.int("isolation_sessions", threads as u64)
+        .int("cache_passes", passes as u64);
+
+    // --------------------------------------------------------- speedup gate
+    let speedup = run_cache_speedup(CACHE_GATE_LATENCY, passes);
+    println!(
+        "repeat navigation at {}µs origin latency: {:.0} ns cache-off, {:.0} ns cache-warm \
+         ({:.2}x, {} hits / {} expected, {} responses stored)",
+        CACHE_GATE_LATENCY.as_micros(),
+        speedup.cold_ns,
+        speedup.warm_ns,
+        speedup.speedup(),
+        speedup.hits,
+        speedup.expected_hits(),
+        speedup.stored
+    );
+    json.num("cache_cold_ns", speedup.cold_ns)
+        .num("cache_warm_ns", speedup.warm_ns)
+        .num("cache_speedup", speedup.speedup())
+        .int("cache_warm_hits", speedup.hits)
+        .int("cache_warm_stored", speedup.stored);
+    if speedup.hits != speedup.expected_hits() {
+        eprintln!(
+            "FAIL: only {} of {} warm fetches hit the response cache",
+            speedup.hits,
+            speedup.expected_hits()
+        );
+        failed = true;
+    }
+    if speedup.speedup() >= MIN_CACHE_SPEEDUP {
+        println!(
+            "ok: the response cache speeds the repeat navigation up {:.2}x (gate: ≥ \
+             {MIN_CACHE_SPEEDUP:.1}x)",
+            speedup.speedup()
+        );
+    } else {
+        eprintln!(
+            "FAIL: cache-warm repeat navigation only {:.2}x faster (gate: ≥ \
+             {MIN_CACHE_SPEEDUP:.1}x)",
+            speedup.speedup()
+        );
+        failed = true;
+    }
+
+    // ---------------------------------------------------------- matrix gate
+    let matrix = run_cache_matrix_oracle();
+    let checks_cached = CacheMatrixOracleReport::total_checks(&matrix.cached);
+    let checks_plain = CacheMatrixOracleReport::total_checks(&matrix.plain);
+    let denials_cached = CacheMatrixOracleReport::total_denials(&matrix.cached);
+    let denials_plain = CacheMatrixOracleReport::total_denials(&matrix.plain);
+    println!(
+        "cache-on matrix: {} cells vs {} cache-off, {} outcome mismatches, \
+         checks {checks_cached} vs {checks_plain}, denials {denials_cached} vs \
+         {denials_plain}; {} sessions did {} hits / {} stores / {} coalesced",
+        matrix.cached.cells(),
+        matrix.plain.cells(),
+        matrix.outcome_mismatches(),
+        matrix.sessions,
+        matrix.cache_hits,
+        matrix.cache_stored,
+        matrix.cache_coalesced
+    );
+    json.int("matrix_cells", matrix.cached.cells() as u64)
+        .int(
+            "matrix_outcome_mismatches",
+            matrix.outcome_mismatches() as u64,
+        )
+        .int(
+            "matrix_unexpected_cached",
+            matrix.cached.unexpected().len() as u64,
+        )
+        .int(
+            "matrix_unexpected_plain",
+            matrix.plain.unexpected().len() as u64,
+        )
+        .int("matrix_checks", checks_plain)
+        .int("matrix_denials", denials_plain)
+        .int("matrix_cache_hits", matrix.cache_hits)
+        .int("matrix_cache_stored", matrix.cache_stored)
+        .int("matrix_cache_coalesced", matrix.cache_coalesced);
+    if matrix.cached.cells() != matrix.plain.cells()
+        || matrix.outcome_mismatches() != 0
+        || !matrix.cached.unexpected().is_empty()
+        || !matrix.plain.unexpected().is_empty()
+    {
+        eprintln!(
+            "FAIL: enabling the response cache moved {} matrix outcomes \
+             ({} + {} unexpected verdicts) — caching must be mediation-invariant",
+            matrix.outcome_mismatches(),
+            matrix.cached.unexpected().len(),
+            matrix.plain.unexpected().len()
+        );
+        failed = true;
+    }
+    if checks_cached != checks_plain || denials_cached != denials_plain {
+        eprintln!(
+            "FAIL: mediation counts moved under the cache (checks {checks_cached} vs \
+             {checks_plain}, denials {denials_cached} vs {denials_plain}) — only transport \
+             may be skipped, never a check"
+        );
+        failed = true;
+    }
+
+    // ------------------------------------------------------- isolation gate
+    let isolation = run_cache_isolation(threads.min(8), 4);
+    println!(
+        "cache-enabled sessions on one fabric: {} sessions x {} rounds, {} foreign cookie \
+         echoes, {} own-header hits, {} mismatched plans discarded fail-closed",
+        isolation.sessions,
+        isolation.rounds,
+        isolation.violations,
+        isolation.cache_hits,
+        isolation.stale_discards
+    );
+    json.int("isolation_violations", isolation.violations as u64)
+        .int("isolation_cache_hits", isolation.cache_hits)
+        .int("isolation_stale_discards", isolation.stale_discards);
+    if isolation.violations != 0 {
+        eprintln!(
+            "FAIL: {} page loads observed another session's cookie echo — a cache entry \
+             crossed cookie headers",
+            isolation.violations
+        );
+        failed = true;
+    }
+
+    // ------------------------------------------------------------- TTL gate
+    let ttl = run_cache_ttl_walk(5);
+    println!(
+        "manual-clock TTL walk: {} cycles, {} hits, {} expiries, {} stores",
+        ttl.cycles, ttl.hits, ttl.expired, ttl.stored
+    );
+    json.int("ttl_cycles", ttl.cycles as u64)
+        .int("ttl_cache_hits", ttl.hits)
+        .int("ttl_cache_expired", ttl.expired)
+        .int("ttl_cache_stored", ttl.stored);
+    let cycles = ttl.cycles as u64;
+    if ttl.hits != cycles || ttl.expired != cycles - 1 || ttl.stored != cycles {
+        eprintln!(
+            "FAIL: TTL walk not exactly countable (expected {cycles} hits / {} expiries / \
+             {cycles} stores, got {} / {} / {})",
+            cycles - 1,
+            ttl.hits,
+            ttl.expired,
+            ttl.stored
+        );
+        failed = true;
+    }
+
+    // --------------------------------------------------- single-flight gate
+    let flight = run_cache_single_flight(SINGLE_FLIGHT_DUPLICATES, 3);
+    println!(
+        "single-flight: {} duplicate slots x {} loads -> {} origin dispatches, {} slots \
+         coalesced, {} log entries",
+        flight.duplicates, flight.loads, flight.dispatches, flight.coalesced, flight.logged
+    );
+    json.int("singleflight_duplicates", flight.duplicates as u64)
+        .int("singleflight_loads", flight.loads as u64)
+        .int("singleflight_dispatches", flight.dispatches)
+        .int("singleflight_cache_coalesced", flight.coalesced)
+        .int("singleflight_logged", flight.logged as u64);
+    let loads = flight.loads as u64;
+    let expected_coalesced = loads * (flight.duplicates as u64 - 1);
+    let expected_logged = flight.loads * (1 + flight.duplicates);
+    if flight.dispatches != loads
+        || flight.coalesced != expected_coalesced
+        || flight.logged != expected_logged
+    {
+        eprintln!(
+            "FAIL: single-flight did not coalesce exactly (expected {loads} dispatches / \
+             {expected_coalesced} coalesced / {expected_logged} logged, got {} / {} / {})",
+            flight.dispatches, flight.coalesced, flight.logged
+        );
+        failed = true;
+    }
+
+    json.flag("gates_passed", !failed);
+    json.write_if_requested(&args);
+    if failed {
+        std::process::exit(1);
+    }
+}

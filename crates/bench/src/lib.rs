@@ -21,6 +21,10 @@
 //!   `scheduler_concurrent`: navigation-lane p99 latency under a bulk storm,
 //!   the speculative-prefetch speedup, the prefetch-on-vs-off mediation oracle
 //!   and the prefetching-session isolation run,
+//! * [`cache`] — the mediation-keyed response-cache workloads behind
+//!   `cache_concurrent`: repeat-navigation speedup, the cache-on-vs-off
+//!   scenario-matrix oracle, cookie-header key isolation, the exactly-countable
+//!   manual-clock TTL walk and batch-level single-flight coalescing,
 //! * [`fault`] — the chaos workloads behind `fault_concurrent`: the scenario
 //!   matrix replayed under injected fault schedules (verdicts and mediation
 //!   counts must not move), the retry mediation oracle, and the
@@ -40,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod cli;
 pub mod concurrent;
 pub mod experiments;

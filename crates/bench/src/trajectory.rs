@@ -374,7 +374,9 @@ pub enum Strictness {
 /// match as a whole `_`-delimited segment: `generation`/`generations` keys
 /// (counters, not measurements) contain it as an accidental substring.
 /// `*fault*`/`*breaker*`/`*retry*`/`*retries*` keys are chaos accounting —
-/// always informational, since they measure the injected schedule.
+/// always informational, since they measure the injected schedule. `*cache*`
+/// keys are response-cache accounting — informational unless rate- or
+/// speedup-shaped (still judged) or correctness-tagged (still failing).
 #[must_use]
 pub fn classify(key: &str) -> (Direction, Strictness) {
     // Spread recordings calibrate noise floors; they are measurement-scatter
@@ -399,6 +401,17 @@ pub fn classify(key: &str) -> (Direction, Strictness) {
         .any(|tag| key.contains(tag));
     if correctness_counter {
         return (Direction::LowerIsBetter, Strictness::Correctness);
+    }
+    // Response-cache accounting (`cache_*` and `*_cache_*` keys, including
+    // the control plane's `cp_cache_*` exports) counts hits, stores, expiries
+    // and coalesced slots — workload-shaped counters, not build quality; the
+    // speedup and exact-count *gates* live in `cache_concurrent` itself. Must
+    // run after the correctness vocabulary (a cache mismatch is still a bug)
+    // and must not capture rate- or speedup-shaped keys, which stay judged
+    // performance metrics.
+    let cache_counter = key.contains("cache") && !key.contains("rate") && !key.contains("speedup");
+    if cache_counter {
+        return (Direction::Informational, Strictness::Informational);
     }
     let lower_perf = key.ends_with("_ns")
         || key.contains("ns_per_")
@@ -927,6 +940,34 @@ mod tests {
         assert_eq!(
             classify("cp_tenant_alpha_generation"),
             (Direction::Informational, Strictness::Informational)
+        );
+        // Cache accounting is informational — even `_ns`-suffixed raw
+        // timings, whose judged form is the speedup ratio — but rate- and
+        // speedup-shaped cache keys stay performance, and a cache mismatch
+        // stays correctness.
+        assert_eq!(
+            classify("ttl_cache_expired"),
+            (Direction::Informational, Strictness::Informational)
+        );
+        assert_eq!(
+            classify("cache_warm_ns"),
+            (Direction::Informational, Strictness::Informational)
+        );
+        assert_eq!(
+            classify("cp_cache_hits"),
+            (Direction::Informational, Strictness::Informational)
+        );
+        assert_eq!(
+            classify("cache_speedup"),
+            (Direction::HigherIsBetter, Strictness::Performance)
+        );
+        assert_eq!(
+            classify("cache_hit_rate"),
+            (Direction::HigherIsBetter, Strictness::Performance)
+        );
+        assert_eq!(
+            classify("cache_log_mismatches"),
+            (Direction::LowerIsBetter, Strictness::Correctness)
         );
     }
 

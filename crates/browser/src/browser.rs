@@ -1,7 +1,7 @@
 //! The browser: navigation, script execution, request issuance, event dispatch,
 //! history and visited links.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -50,6 +50,9 @@ pub const DEFAULT_SUBRESOURCE_WORKERS: usize = 4;
 /// to 150µs.
 const SUBRESOURCE_FANOUT_THRESHOLD_NS: u64 = 150_000;
 
+/// Per-slot result of a subresource plan dispatch: `(status, error, retries)`.
+type SlotOutcome = (Option<u16>, Option<String>, u32);
+
 /// Bound on the speculative fetches one page load may submit to the background
 /// lane (markup `rel=prefetch` hints first, then visited-link predictions).
 /// Speculation must never be able to crowd out real traffic, so the predictor
@@ -82,6 +85,14 @@ pub struct Browser {
     prefetch_enabled: bool,
     /// Navigation fetches this session served from the prefetch cache.
     prefetch_hits: u64,
+    /// `true` when this session serves repeat fetches from the fabric's shared
+    /// response cache (persistent `max-age` entries) and coalesces duplicate
+    /// subresource fetches within one plan. Off by default: caching is a
+    /// per-session opt-in, exactly like speculation.
+    response_cache_enabled: bool,
+    /// Fetches this session served from persistent response-cache entries
+    /// (navigations and subresources; one-shot prefetch hits count separately).
+    cache_hits: u64,
     /// The resilience policy every fetch of this session dispatches under
     /// (navigation, subresources and script-initiated XHR alike). Disabled by
     /// default — the bare dispatch path, byte-identical to pre-policy sessions.
@@ -158,13 +169,33 @@ impl Browser {
     /// Tenant-bound counterpart of [`Browser::with_network`]: the session binds
     /// to `tenant` for policy and admission while sharing the given cookie jar
     /// and network fabric with other sessions (of this tenant or others).
+    ///
+    /// When the tenant's [`TenantConfig`](escudo_core::tenant::TenantConfig)
+    /// declares a fetch fault budget, the session's [`FetchPolicy`] is
+    /// assembled from it here — resilience posture is tenant policy, not
+    /// per-session code. [`Browser::set_fetch_policy`] still overrides.
     #[must_use]
     pub fn with_tenant_network(
         tenant: Arc<Tenant>,
         jar: Arc<SharedCookieJar>,
         fabric: Arc<SharedNetwork>,
     ) -> Self {
-        Browser::from_erm(Erm::with_tenant(tenant), jar, fabric)
+        let config = *tenant.config();
+        let mut browser = Browser::from_erm(Erm::with_tenant(tenant), jar, fabric);
+        if config.has_fetch_budget() {
+            let mut policy = FetchPolicy::disabled()
+                .with_max_retries(config.fetch_max_retries)
+                .with_backoff_base_ns(config.fetch_backoff_base_ns)
+                .with_deadline_ns(config.fetch_deadline_ns);
+            if config.fetch_breaker_threshold > 0 {
+                policy = policy.with_breaker(
+                    config.fetch_breaker_threshold,
+                    config.fetch_breaker_cooldown_ns,
+                );
+            }
+            browser.fetch_policy = policy;
+        }
+        browser
     }
 
     fn from_erm(erm: Erm, jar: Arc<SharedCookieJar>, fabric: Arc<SharedNetwork>) -> Self {
@@ -180,6 +211,8 @@ impl Browser {
             cookie_policies: Vec::new(),
             prefetch_enabled: false,
             prefetch_hits: 0,
+            response_cache_enabled: false,
+            cache_hits: 0,
             fetch_policy: FetchPolicy::disabled(),
         }
     }
@@ -256,6 +289,29 @@ impl Browser {
     #[must_use]
     pub fn prefetch_hits(&self) -> u64 {
         self.prefetch_hits
+    }
+
+    /// Enables or disables the shared response cache for this session. When
+    /// enabled, `GET` fetches whose mediated `Cookie` header matches a fresh
+    /// cached entry are served as a refcount bump — mediation still runs in
+    /// full, only the transport is skipped, and the hit is logged under the
+    /// fetch's own sequence number — and duplicate URLs within one subresource
+    /// plan dispatch once (single-flight). Responses become cacheable only by
+    /// declaring `Cache-Control: max-age=N`.
+    pub fn set_response_cache_enabled(&mut self, enabled: bool) {
+        self.response_cache_enabled = enabled;
+    }
+
+    /// `true` when the shared response cache is enabled for this session.
+    #[must_use]
+    pub fn response_cache_enabled(&self) -> bool {
+        self.response_cache_enabled
+    }
+
+    /// Fetches this session has served from persistent response-cache entries.
+    #[must_use]
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
     }
 
     /// Sets the resilience policy for every fetch this session makes —
@@ -525,7 +581,7 @@ impl Browser {
         method: Method,
         body: String,
         principal: &PrincipalContext,
-    ) -> Result<Response, BrowserError> {
+    ) -> Result<Arc<Response>, BrowserError> {
         let mut request = Request::new(method, url.clone());
         if !body.is_empty() {
             request.body = body;
@@ -534,12 +590,32 @@ impl Browser {
                 .set("Content-Type", "application/x-www-form-urlencoded");
         }
         self.attach_cookies(&mut request, principal, None);
-        let response = match self.take_prefetched_response(&request) {
+        let cacheable = method == Method::Get && request.body.is_empty();
+        let cookie_header = request.headers.get("Cookie").unwrap_or("").to_string();
+        let response = match self.take_cached_response(&request) {
             Some(response) => response,
-            None => self
-                .network
-                .fabric()
-                .dispatch_with_policy(request, &self.fetch_policy)?,
+            None => {
+                let fetched = self
+                    .network
+                    .fabric()
+                    .dispatch_with_policy(request, &self.fetch_policy)?;
+                let response = Arc::new(fetched);
+                if self.response_cache_enabled
+                    && cacheable
+                    && response.status.is_success()
+                    && !response.headers.cache_no_store()
+                    && response.headers.cache_max_age().is_some()
+                {
+                    self.network.fabric().cache_store(
+                        Method::Get,
+                        &url,
+                        &cookie_header,
+                        (*response).clone(),
+                        false,
+                    );
+                }
+                response
+            }
         };
         for directive in response.set_cookies() {
             self.jar.store(&url, &directive);
@@ -550,26 +626,34 @@ impl Browser {
         Ok(response)
     }
 
-    /// Consumes a prefetched response for `request` if speculation is enabled,
-    /// the request is a cacheable navigation (`GET`, no body), and the cached
-    /// entry's mediation plan — the exact `Cookie` header the reference monitor
-    /// admitted — matches this request's. On a hit the fetch is *not*
-    /// re-dispatched; instead the hit is recorded in the request log under a
-    /// freshly reserved sequence number, byte-identical to what a live dispatch
-    /// would have logged, so prefetch-on and prefetch-off runs stay
-    /// log-equivalent. A stale plan discards the entry and falls back to a live
-    /// fetch (`None`).
-    fn take_prefetched_response(&mut self, request: &Request) -> Option<Response> {
-        if !self.prefetch_enabled || request.method != Method::Get || !request.body.is_empty() {
+    /// Serves `request` from the fabric's response cache if this session opted
+    /// into speculation or caching, the request is a cacheable fetch (`GET`, no
+    /// body), and the cached entry's mediation plan — the exact `Cookie` header
+    /// the reference monitor admitted — matches this request's. On a hit the
+    /// fetch is *not* re-dispatched; instead the hit is recorded in the request
+    /// log under a freshly reserved sequence number, byte-identical to what a
+    /// live dispatch would have logged, so cache-on and cache-off runs stay
+    /// log-equivalent — and the returned `Arc` is a refcount bump, not a body
+    /// clone. A stale plan or expired TTL discards the entry and falls back to
+    /// a live fetch (`None`).
+    fn take_cached_response(&mut self, request: &Request) -> Option<Arc<Response>> {
+        if (!self.prefetch_enabled && !self.response_cache_enabled)
+            || request.method != Method::Get
+            || !request.body.is_empty()
+        {
             return None;
         }
         let fabric = Arc::clone(self.network.fabric());
         let cookie_header = request.headers.get("Cookie").unwrap_or("").to_string();
-        let response = fabric.take_prefetched(&request.url, &cookie_header)?;
+        let hit = fabric.cache_lookup(Method::Get, &request.url, &cookie_header)?;
         let sequence = fabric.reserve_sequences(1);
-        fabric.record_prefetch_hit(sequence, request, response.status.0);
-        self.prefetch_hits += 1;
-        Some(response)
+        fabric.record_cache_hit(sequence, request, hit.response.status.0);
+        if hit.one_shot {
+            self.prefetch_hits += 1;
+        } else {
+            self.cache_hits += 1;
+        }
+        Some(hit.response)
     }
 
     fn remember_cookie_policy(&mut self, host: &str, policy: CookiePolicy) {
@@ -662,6 +746,7 @@ impl Browser {
                     page.url.clone(),
                     principal,
                     self.fetch_policy,
+                    self.response_cache_enabled,
                 );
                 let mut interpreter = Interpreter::new(&mut host);
                 let result = interpreter.run(&unit.source);
@@ -754,6 +839,7 @@ impl Browser {
                 page.url.clone(),
                 principal,
                 self.fetch_policy,
+                self.response_cache_enabled,
             );
             let mut interpreter = Interpreter::new(&mut host);
             match interpreter.run(&source) {
@@ -874,7 +960,12 @@ impl Browser {
         }
         let parallelism = keys.len().min(2);
         let fabric = Arc::clone(self.network.fabric());
-        let batch = fabric.submit_background_batch(requests, parallelism);
+        // Speculation spends the session's own retry budget: a transiently
+        // faulted prefetch may still land in the cache. The batch stays on the
+        // background lane and stays unlogged either way, so retrying here can
+        // never perturb the request-log oracle.
+        let batch =
+            fabric.submit_background_batch_with_policy(requests, parallelism, &self.fetch_policy);
         Some((batch, keys))
     }
 
@@ -990,7 +1081,7 @@ impl Browser {
         );
         page.stats.subresource_denials = self.erm.denials() - denials_before;
 
-        let mut requests: Vec<Request> = planned
+        let requests: Vec<Request> = planned
             .iter()
             .zip(&attachments)
             .map(|((_, url, _, _), attached)| {
@@ -1003,63 +1094,160 @@ impl Browser {
             .collect();
 
         // ------------------------------------------------------------- phase 2
-        let fabric = self.network.fabric();
+        let fabric = Arc::clone(self.network.fabric());
         let count = requests.len();
         let critical_count = planned
             .iter()
             .filter(|(_, _, _, kind)| *kind == SubresourceKind::Critical)
             .count();
         let base = fabric.reserve_sequences(count as u64);
-        let image_requests = requests.split_off(critical_count);
         let start = Instant::now();
         let policy = self.fetch_policy;
-        let mut results: Vec<(Result<Response, String>, u32)> = Vec::with_capacity(count);
-        for (lane_base, lane_requests, priority) in [
-            (base, requests, Priority::Navigation),
-            (base + critical_count as u64, image_requests, Priority::Bulk),
+
+        // Per-slot outcomes in plan order.
+        let mut outcomes: Vec<Option<SlotOutcome>> = vec![None; count];
+
+        // Cache consult + single-flight planning (cache-enabled sessions only;
+        // a default session takes the exact pre-cache dispatch path). A fresh
+        // mediation-matching cache entry serves its slot outright, logged under
+        // the slot's own pre-reserved sequence; among the remaining misses,
+        // later slots repeating an earlier slot's (URL, mediated `Cookie`
+        // header) ride that slot's single dispatch instead of their own.
+        let mut primary_of: Vec<Option<usize>> = vec![None; count];
+        if self.response_cache_enabled {
+            let mut first_slot: HashMap<(String, String), usize> = HashMap::new();
+            for (i, request) in requests.iter().enumerate() {
+                let cookie_header = request.headers.get("Cookie").unwrap_or("").to_string();
+                if let Some(hit) = fabric.cache_lookup(Method::Get, &request.url, &cookie_header) {
+                    fabric.record_cache_hit(base + i as u64, request, hit.response.status.0);
+                    if hit.one_shot {
+                        self.prefetch_hits += 1;
+                    } else {
+                        self.cache_hits += 1;
+                    }
+                    outcomes[i] = Some((Some(hit.response.status.0), None, 0));
+                    continue;
+                }
+                match first_slot.entry((request.url.to_string(), cookie_header)) {
+                    std::collections::hash_map::Entry::Occupied(entry) => {
+                        primary_of[i] = Some(*entry.get());
+                    }
+                    std::collections::hash_map::Entry::Vacant(entry) => {
+                        entry.insert(i);
+                    }
+                }
+            }
+        }
+
+        // Dispatch the unserved primary slots, critical lane first. Entries
+        // carry their *global* plan offset, so each fetch logs under
+        // `base + slot` no matter how the lanes were thinned.
+        let mut slot_requests: Vec<Option<Request>> = requests.into_iter().map(Some).collect();
+        for (range, priority) in [
+            (0..critical_count, Priority::Navigation),
+            (critical_count..count, Priority::Bulk),
         ] {
-            if lane_requests.is_empty() {
+            let mut entries: Vec<(usize, Request)> = Vec::new();
+            for i in range {
+                if outcomes[i].is_none() && primary_of[i].is_none() {
+                    entries.push((
+                        i,
+                        slot_requests[i].take().expect("primary slot has request"),
+                    ));
+                }
+            }
+            if entries.is_empty() {
                 continue;
             }
             // Adaptive cutover per lane: fan out only when the estimated total
             // fetch cost can pay for the pool submission; otherwise the plan
             // dispatches inline (the sequential fast path — identical
             // semantics, no queue round-trip).
-            let estimated_ns: u64 = lane_requests
+            let estimated_ns: u64 = entries
                 .iter()
-                .map(|request| fabric.estimated_service_ns(&request.url.origin()))
+                .map(|(_, request)| fabric.estimated_service_ns(&request.url.origin()))
                 .fold(0, u64::saturating_add);
             let workers = if estimated_ns < SUBRESOURCE_FANOUT_THRESHOLD_NS {
                 1
             } else {
-                self.subresource_workers.min(lane_requests.len())
+                self.subresource_workers.min(entries.len())
             };
-            results.extend(
-                fabric
-                    .dispatch_batch_with_policy(
-                        lane_base,
-                        lane_requests,
-                        workers,
-                        priority,
-                        &policy,
-                    )
-                    .into_iter()
-                    .map(|(outcome, retries)| (outcome.map_err(|e| e.to_string()), retries)),
-            );
+            let store_keys: Vec<(Url, String)> = if self.response_cache_enabled {
+                entries
+                    .iter()
+                    .map(|(_, request)| {
+                        let cookie = request.headers.get("Cookie").unwrap_or("").to_string();
+                        (request.url.clone(), cookie)
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let slots: Vec<usize> = entries.iter().map(|(slot, _)| *slot).collect();
+            let results = fabric
+                .dispatch_batch_offsets_with_policy(base, entries, workers, priority, &policy);
+            for (j, (result, retries)) in results.into_iter().enumerate() {
+                if self.response_cache_enabled {
+                    if let Ok(response) = &result {
+                        if response.status.is_success()
+                            && !response.headers.cache_no_store()
+                            && response.headers.cache_max_age().is_some()
+                        {
+                            let (url, cookie_header) = &store_keys[j];
+                            fabric.cache_store(
+                                Method::Get,
+                                url,
+                                cookie_header,
+                                response.clone(),
+                                false,
+                            );
+                        }
+                    }
+                }
+                outcomes[slots[j]] = Some(match result {
+                    Ok(response) => (Some(response.status.0), None, retries),
+                    Err(error) => (None, Some(error.to_string()), retries),
+                });
+            }
         }
+
+        // Fan each coalesced duplicate out from its primary's single dispatch:
+        // the hit is logged under the duplicate's own pre-reserved sequence, so
+        // the sequence-sorted log is byte-identical to one live dispatch per
+        // slot. A failed primary can't stand in for its duplicates — those
+        // fall back to a live dispatch (the log sorts by sequence, so a late
+        // dispatch still reads in plan order).
+        for i in 0..count {
+            let Some(primary) = primary_of[i] else {
+                continue;
+            };
+            let request = slot_requests[i].take().expect("duplicate slot has request");
+            match outcomes[primary] {
+                Some((Some(status), None, _)) => {
+                    fabric.record_cache_hit(base + i as u64, &request, status);
+                    fabric.note_cache_coalesced(1);
+                    outcomes[i] = Some((Some(status), None, 0));
+                }
+                _ => {
+                    let result = fabric.dispatch_sequenced(base + i as u64, request);
+                    outcomes[i] = Some(match result {
+                        Ok(response) => (Some(response.status.0), None, 0),
+                        Err(error) => (None, Some(error.to_string()), 0),
+                    });
+                }
+            }
+        }
+
         page.stats.subresource_fetch_ns = start.elapsed().as_nanos();
         page.stats.subresource_requests = count as u64;
 
         // Record outcomes in plan order, not completion order. A slot whose
         // retries ran dry degrades into `error` — the page load itself never
         // fails on a subresource.
-        for (((node, url, _, kind), attached), (result, retries)) in
-            planned.into_iter().zip(attachments).zip(results)
+        for (((node, url, _, kind), attached), outcome) in
+            planned.into_iter().zip(attachments).zip(outcomes)
         {
-            let (status, error) = match result {
-                Ok(response) => (Some(response.status.0), None),
-                Err(error) => (None, Some(error)),
-            };
+            let (status, error, retries) = outcome.expect("every plan slot resolved");
             page.subresources.push(SubresourceOutcome {
                 node,
                 kind,

@@ -34,6 +34,9 @@ pub struct BrowserHost<'a> {
     /// The session's resilience policy, applied to script-initiated XHR
     /// dispatches exactly as the browser applies it to navigations.
     pub(crate) fetch_policy: FetchPolicy,
+    /// Whether the session opted into the fabric's shared response cache;
+    /// script-initiated `GET` XHRs then consult it exactly like navigations.
+    pub(crate) response_cache_enabled: bool,
     xhrs: HashMap<HostXhrId, (String, String)>,
     next_xhr: HostXhrId,
 }
@@ -62,6 +65,7 @@ impl<'a> BrowserHost<'a> {
         page_url: Url,
         principal: PrincipalContext,
         fetch_policy: FetchPolicy,
+        response_cache_enabled: bool,
     ) -> Self {
         BrowserHost {
             mode,
@@ -75,6 +79,7 @@ impl<'a> BrowserHost<'a> {
             principal,
             console: Vec::new(),
             fetch_policy,
+            response_cache_enabled,
             xhrs: HashMap::new(),
             next_xhr: 0,
         }
@@ -450,17 +455,44 @@ impl Host for BrowserHost<'_> {
         }
         let principal = self.principal.clone();
         self.attach_cookies(&mut request, &principal);
+        let fabric = self.network.fabric();
+        let cacheable =
+            self.response_cache_enabled && request.method == Method::Get && request.body.is_empty();
+        let cookie_header = if cacheable {
+            request.headers.get("Cookie").unwrap_or("").to_string()
+        } else {
+            String::new()
+        };
+        // A fresh cache entry whose mediated `Cookie` header matches this
+        // XHR's plan serves the call without a dispatch — logged under a
+        // freshly reserved sequence, byte-identical to a live fetch.
+        if cacheable {
+            if let Some(hit) = fabric.cache_lookup(Method::Get, &request.url, &cookie_header) {
+                let sequence = fabric.reserve_sequences(1);
+                fabric.record_cache_hit(sequence, &request, hit.response.status.0);
+                return Ok(XhrOutcome {
+                    status: hit.response.status.0,
+                    body: hit.response.body.clone(),
+                });
+            }
+        }
         // The resilient dispatch re-sends the mediated request verbatim on a
         // retry — the attachment above is the one plan this XHR ever gets.
-        match self
-            .network
-            .fabric()
-            .dispatch_with_policy(request, &self.fetch_policy)
-        {
-            Ok(response) => Ok(XhrOutcome {
-                status: response.status.0,
-                body: response.body,
-            }),
+        let store_url = cacheable.then(|| request.url.clone());
+        match fabric.dispatch_with_policy(request, &self.fetch_policy) {
+            Ok(response) => {
+                if let Some(url) = store_url.filter(|_| {
+                    response.status.is_success()
+                        && !response.headers.cache_no_store()
+                        && response.headers.cache_max_age().is_some()
+                }) {
+                    fabric.cache_store(Method::Get, &url, &cookie_header, response.clone(), false);
+                }
+                Ok(XhrOutcome {
+                    status: response.status.0,
+                    body: response.body,
+                })
+            }
             Err(e) => Err(HostError::Network(e.to_string())),
         }
     }

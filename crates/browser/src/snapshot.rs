@@ -15,7 +15,7 @@
 //! export it verbatim and the trajectory comparator can diff snapshots across
 //! commits without schema drift.
 
-use escudo_core::tenant::{AdmissionStats, TenantRegistry};
+use escudo_core::tenant::{AdmissionStats, TenantConfig, TenantRegistry};
 use escudo_core::EngineStats;
 use escudo_net::{JarStats, SharedCookieJar, SharedNetwork};
 
@@ -92,6 +92,18 @@ pub struct FabricCounters {
     pub breaker_recoveries: u64,
     /// Dispatches refused outright by an open breaker.
     pub breaker_fast_fails: u64,
+    /// Fetches served from persistent response-cache entries (zero-copy hits).
+    pub cache_hits: u64,
+    /// Cache entries discarded because their freshness TTL had lapsed.
+    pub cache_expired: u64,
+    /// Cache entries evicted by the per-shard LRU capacity bound.
+    pub cache_evictions: u64,
+    /// Responses inserted into the cache (both layers).
+    pub cache_stored: u64,
+    /// Duplicate plan slots served by batch-level single-flight coalescing.
+    pub cache_coalesced: u64,
+    /// Entries currently resident in the response cache (both layers).
+    pub cache_entries: u64,
 }
 
 impl FabricCounters {
@@ -117,12 +129,20 @@ impl FabricCounters {
             breaker_probes: fabric.breaker_probes(),
             breaker_recoveries: fabric.breaker_recoveries(),
             breaker_fast_fails: fabric.breaker_fast_fails(),
+            cache_hits: fabric.cache_hits(),
+            cache_expired: fabric.cache_expired(),
+            cache_evictions: fabric.cache_evictions(),
+            cache_stored: fabric.cache_stored(),
+            cache_coalesced: fabric.cache_coalesced(),
+            cache_entries: fabric.cache_entries() as u64,
         }
     }
 }
 
 /// One tenant's slice of the control plane: its engine generation, the
-/// generation's cache statistics, and its admission bucket.
+/// generation's cache statistics, its admission bucket and its fetch fault
+/// budget (the [`FetchPolicy`](escudo_net::FetchPolicy) posture tenant-bound
+/// sessions dispatch under).
 #[derive(Debug, Clone)]
 pub struct TenantSnapshot {
     /// The tenant id.
@@ -133,6 +153,8 @@ pub struct TenantSnapshot {
     pub engine: EngineStats,
     /// The tenant's admission-control counters.
     pub admission: AdmissionStats,
+    /// The tenant's configuration (admission posture + fetch fault budget).
+    pub config: TenantConfig,
 }
 
 /// A one-word judgement over a [`ControlPlaneSnapshot`]'s own fields: is this
@@ -214,6 +236,7 @@ impl ControlPlaneSnapshot {
                         generation: tenant.generation(),
                         engine: tenant.engine_stats(),
                         admission: tenant.admission().stats(),
+                        config: *tenant.config(),
                     })
                     .collect()
             })
@@ -246,6 +269,7 @@ impl ControlPlaneSnapshot {
                     generation: tenant.generation(),
                     engine: tenant.engine_stats(),
                     admission: tenant.admission().stats(),
+                    config: *tenant.config(),
                 });
             }
         }
@@ -413,6 +437,16 @@ impl ControlPlaneSnapshot {
             self.fabric.breaker_fast_fails as f64,
         );
 
+        // Response-cache counters, exported by the benches as `cp_cache_*` —
+        // informational to the trajectory comparator (hit-rate *gates* stay in
+        // the benches themselves, where the workload is controlled).
+        push("cache_hits".into(), self.fabric.cache_hits as f64);
+        push("cache_expired".into(), self.fabric.cache_expired as f64);
+        push("cache_evictions".into(), self.fabric.cache_evictions as f64);
+        push("cache_stored".into(), self.fabric.cache_stored as f64);
+        push("cache_coalesced".into(), self.fabric.cache_coalesced as f64);
+        push("cache_entries".into(), self.fabric.cache_entries as f64);
+
         for tenant in &self.tenants {
             let prefix = format!("tenant_{}", tenant.id);
             push(format!("{prefix}_generation"), tenant.generation as f64);
@@ -428,6 +462,14 @@ impl ControlPlaneSnapshot {
             push(
                 format!("{prefix}_rejected"),
                 tenant.admission.rejected as f64,
+            );
+            push(
+                format!("{prefix}_fetch_max_retries"),
+                tenant.config.fetch_max_retries as f64,
+            );
+            push(
+                format!("{prefix}_fetch_breaker_threshold"),
+                tenant.config.fetch_breaker_threshold as f64,
             );
         }
         fields
@@ -532,6 +574,7 @@ mod tests {
                 burst: 8,
                 refill_per_sec: 0,
             },
+            config: TenantConfig::default(),
         });
         assert_eq!(snapshot.health(), HealthVerdict::Degraded);
 

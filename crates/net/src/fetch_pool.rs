@@ -120,9 +120,14 @@ struct BatchWork {
     /// which dispatch unlogged so prefetch cannot perturb the sequence-ordered
     /// log the oracle-equivalence harness compares.
     base: Option<u64>,
-    /// Requests not yet claimed, as `(plan_index, request)`. One short lock
-    /// hold per claim; ticket holders loop until this is empty.
-    pending: Mutex<VecDeque<(usize, Request)>>,
+    /// Requests not yet claimed, as `(slot, sequence_offset, request)`. The
+    /// slot indexes the result array; the sequence offset is added to `base`
+    /// for the log. They coincide for ordinary batches, but a single-flight
+    /// plan with coalesced duplicates dispatches only the first occurrences —
+    /// each still under its *own* plan position's sequence, so the sorted log
+    /// keeps exact plan order. One short lock hold per claim; ticket holders
+    /// loop until this is empty.
+    pending: Mutex<VecDeque<(usize, usize, Request)>>,
     /// Per-request outcome plus the retries that slot consumed (always 0
     /// without a retry budget).
     slots: Vec<Mutex<Option<SlotResult>>>,
@@ -142,11 +147,31 @@ impl BatchWork {
         requests: Vec<Request>,
         budget: Option<Arc<BatchBudget>>,
     ) -> Arc<Self> {
-        let count = requests.len();
+        let entries = requests.into_iter().enumerate().collect();
+        BatchWork::with_offsets(fabric, base, entries, budget)
+    }
+
+    /// A batch whose requests carry explicit sequence offsets (`base + offset`
+    /// in the log) decoupled from their result-slot positions — the
+    /// single-flight loader dispatches a plan with duplicate slots removed,
+    /// leaving offset gaps the coalesced hits fill in at consumption time.
+    fn with_offsets(
+        fabric: &Arc<SharedNetwork>,
+        base: Option<u64>,
+        entries: Vec<(usize, Request)>,
+        budget: Option<Arc<BatchBudget>>,
+    ) -> Arc<Self> {
+        let count = entries.len();
         Arc::new(BatchWork {
             fabric: Arc::downgrade(fabric),
             base,
-            pending: Mutex::new(requests.into_iter().enumerate().collect()),
+            pending: Mutex::new(
+                entries
+                    .into_iter()
+                    .enumerate()
+                    .map(|(slot, (offset, request))| (slot, offset, request))
+                    .collect(),
+            ),
             slots: (0..count).map(|_| Mutex::new(None)).collect(),
             remaining: AtomicUsize::new(count),
             // An empty batch is born finished; `wait` must not park on it.
@@ -166,17 +191,17 @@ impl BatchWork {
     /// worker.
     fn drain_one(&self) -> bool {
         let claimed = self.pending.lock().expect("batch pending list").pop_front();
-        let Some((index, request)) = claimed else {
+        let Some((index, offset, request)) = claimed else {
             return false;
         };
         let outcome = match self.fabric.upgrade() {
             Some(fabric) => {
                 let outcome = match &self.budget {
                     Some(budget) => {
-                        dispatch_slot_resilient(&fabric, self.base, index, request, budget)
+                        dispatch_slot_resilient(&fabric, self.base, offset, request, budget)
                     }
                     None => (
-                        dispatch_containing_panics(&fabric, self.base, index, request),
+                        dispatch_containing_panics(&fabric, self.base, offset, request),
                         0,
                     ),
                 };
@@ -606,7 +631,32 @@ impl SharedNetwork {
         priority: Priority,
         policy: &FetchPolicy,
     ) -> Vec<(Result<Response, NetError>, u32)> {
-        let count = requests.len();
+        let entries = requests.into_iter().enumerate().collect();
+        self.dispatch_batch_offsets_with_policy(base, entries, parallelism, priority, policy)
+    }
+
+    /// [`dispatch_batch_with_policy`](SharedNetwork::dispatch_batch_with_policy)
+    /// with explicit per-request sequence offsets: entry `(offset, request)`
+    /// logs under `base + offset`, and results come back in entry order. The
+    /// single-flight loader uses this to dispatch a plan whose duplicate slots
+    /// were coalesced away — the surviving first occurrences keep their exact
+    /// plan positions in the sequence-sorted log, and the skipped duplicates'
+    /// sequences are filled by [`record_cache_hit`](SharedNetwork::record_cache_hit)
+    /// at fan-out time.
+    ///
+    /// # Errors
+    ///
+    /// Per-slot, exactly as
+    /// [`dispatch_batch_with_policy`](SharedNetwork::dispatch_batch_with_policy).
+    pub fn dispatch_batch_offsets_with_policy(
+        self: &Arc<Self>,
+        base: u64,
+        entries: Vec<(usize, Request)>,
+        parallelism: usize,
+        priority: Priority,
+        policy: &FetchPolicy,
+    ) -> Vec<(Result<Response, NetError>, u32)> {
+        let count = entries.len();
         if count == 0 {
             return Vec::new();
         }
@@ -616,16 +666,20 @@ impl SharedNetwork {
             // Same panic containment as the pooled drain: whether a batch lands
             // on the inline or the fanned-out side of the cutover must not
             // change what a poisoned handler does to the navigating thread.
-            return requests
+            return entries
                 .into_iter()
-                .enumerate()
-                .map(|(i, request)| match &budget {
-                    Some(budget) => dispatch_slot_resilient(self, Some(base), i, request, budget),
-                    None => (dispatch_containing_panics(self, Some(base), i, request), 0),
+                .map(|(offset, request)| match &budget {
+                    Some(budget) => {
+                        dispatch_slot_resilient(self, Some(base), offset, request, budget)
+                    }
+                    None => (
+                        dispatch_containing_panics(self, Some(base), offset, request),
+                        0,
+                    ),
                 })
                 .collect();
         }
-        let work = BatchWork::new(self, Some(base), requests, budget);
+        let work = BatchWork::with_offsets(self, Some(base), entries, budget);
         // The submitter is one of the `parallelism` lanes; ticket the rest.
         self.pool().ensure_workers(parallelism - 1);
         self.pool().submit(&work, parallelism - 1, priority);
@@ -650,8 +704,25 @@ impl SharedNetwork {
         requests: Vec<Request>,
         parallelism: usize,
     ) -> BackgroundBatch {
+        self.submit_background_batch_with_policy(requests, parallelism, &FetchPolicy::disabled())
+    }
+
+    /// [`submit_background_batch`](SharedNetwork::submit_background_batch)
+    /// through the resilient fetch path: each speculative slot spends the
+    /// bounded retry budget of `policy` (breaker admission, virtual backoff
+    /// against the batch deadline), raising prefetch hit rates under flaky
+    /// origins. Speculation stays unlogged either way — retries happen on the
+    /// background lane and only a consumed hit ever reaches the log — so the
+    /// oracle-equivalence harness sees nothing new.
+    pub fn submit_background_batch_with_policy(
+        self: &Arc<Self>,
+        requests: Vec<Request>,
+        parallelism: usize,
+        policy: &FetchPolicy,
+    ) -> BackgroundBatch {
         let count = requests.len();
-        let work = BatchWork::new(self, None, requests, None);
+        let budget = (!policy.is_disabled()).then(|| Arc::new(BatchBudget::new(self, *policy)));
+        let work = BatchWork::new(self, None, requests, budget);
         if count > 0 {
             let tickets = parallelism.clamp(1, count);
             self.pool().ensure_workers(tickets);

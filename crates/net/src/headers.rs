@@ -76,6 +76,33 @@ impl Headers {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// The comma-separated directives of every `Cache-Control` header line,
+    /// trimmed and lower-cased.
+    fn cache_directives(&self) -> impl Iterator<Item = String> + '_ {
+        self.get_all("Cache-Control")
+            .into_iter()
+            .flat_map(|value| value.split(','))
+            .map(|directive| directive.trim().to_ascii_lowercase())
+    }
+
+    /// The `max-age=N` freshness lifetime in seconds from `Cache-Control`, if any.
+    /// Malformed values are ignored (the response is then simply not cacheable).
+    #[must_use]
+    pub fn cache_max_age(&self) -> Option<u64> {
+        self.cache_directives().find_map(|directive| {
+            let seconds = directive.strip_prefix("max-age=")?;
+            seconds.trim().parse().ok()
+        })
+    }
+
+    /// `true` when `Cache-Control` carries a `no-store` directive — the response
+    /// must never enter any cache.
+    #[must_use]
+    pub fn cache_no_store(&self) -> bool {
+        self.cache_directives()
+            .any(|directive| directive == "no-store")
+    }
 }
 
 impl fmt::Display for Headers {
@@ -151,6 +178,31 @@ mod tests {
     fn display_is_http_like() {
         let h: Headers = [("Host", "example.com")].into_iter().collect();
         assert_eq!(h.to_string(), "Host: example.com\n");
+    }
+
+    #[test]
+    fn cache_control_max_age_parses_case_insensitively() {
+        let h: Headers = [("cache-control", "public, MAX-AGE=60")]
+            .into_iter()
+            .collect();
+        assert_eq!(h.cache_max_age(), Some(60));
+        assert!(!h.cache_no_store());
+
+        let h: Headers = [("Cache-Control", "max-age=abc")].into_iter().collect();
+        assert_eq!(h.cache_max_age(), None);
+
+        let h = Headers::new();
+        assert_eq!(h.cache_max_age(), None);
+        assert!(!h.cache_no_store());
+    }
+
+    #[test]
+    fn cache_control_no_store_wins_even_next_to_max_age() {
+        let h: Headers = [("Cache-Control", "No-Store, max-age=300")]
+            .into_iter()
+            .collect();
+        assert!(h.cache_no_store());
+        assert_eq!(h.cache_max_age(), Some(300));
     }
 
     #[test]

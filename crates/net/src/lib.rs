@@ -50,6 +50,7 @@ pub mod headers;
 pub mod jar;
 pub mod message;
 pub mod network;
+pub mod response_cache;
 pub mod shared_jar;
 pub mod shared_network;
 pub mod url;
@@ -62,6 +63,7 @@ pub use headers::Headers;
 pub use jar::CookieJar;
 pub use message::{Method, Request, Response, StatusCode};
 pub use network::{LoggedRequest, Network, Server};
+pub use response_cache::{CacheHit, ResponseCache};
 pub use shared_jar::{JarShardStats, JarStats, SharedCookieJar};
 pub use shared_network::SharedNetwork;
 pub use url::Url;

@@ -273,6 +273,16 @@ impl Response {
         }
     }
 
+    /// Declares the response cacheable for `seconds` via `Cache-Control: max-age`
+    /// (builder style). The shared response cache only stores responses that opt
+    /// in explicitly, so static assets use this to become cache-eligible.
+    #[must_use]
+    pub fn with_max_age(mut self, seconds: u64) -> Self {
+        self.headers
+            .set("Cache-Control", format!("max-age={seconds}"));
+        self
+    }
+
     /// Adds a `Set-Cookie` header (builder style).
     #[must_use]
     pub fn with_cookie(mut self, cookie: SetCookie) -> Self {

@@ -34,16 +34,19 @@
 //!   queue push and a notify, not a thread spawn per page. The pool's queue has
 //!   two effective priority tiers (navigation preempts bulk/background, see
 //!   [`crate::fetch_pool::Priority`]).
-//! * **Bounded prefetch cache.** Speculative background fetches park their
-//!   responses here, keyed by `(url, cookie-header)`. A later navigation may
-//!   consume an entry **only** when the cookie header it just mediated for
-//!   itself matches the one the prefetch was dispatched with — the mediation
-//!   plan is the key, so a stale plan (cookies or policy changed since the
-//!   speculation) discards the entry and the navigation fetches live. Prefetch
-//!   can therefore never change a security decision, only skip a wire round
-//!   trip whose request bytes it already proved identical.
+//! * **Mediation-keyed response cache.** The fabric owns one shared
+//!   [`ResponseCache`](crate::response_cache::ResponseCache): sharded,
+//!   capacity-bounded, holding `Arc<Response>` entries keyed by
+//!   `(method, url)` and validated against the **mediated cookie header** the
+//!   consuming request just computed for itself. The mediation plan is the
+//!   key, so a stale plan (cookies or policy changed since the entry was
+//!   stored) discards the entry and the request fetches live — a hit can
+//!   never change a security decision, only skip a wire round trip whose
+//!   request bytes it already proved identical. Speculative prefetch is the
+//!   cache's *one-shot* layer: entries parked by background speculation are
+//!   consumed at most once, exactly as the old bespoke prefetch cache did.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -53,33 +56,17 @@ use escudo_core::{Clock, MonotonicClock, Origin};
 
 use crate::error::NetError;
 use crate::fault::FaultOutcome;
-use crate::message::{Request, Response};
+use crate::message::{Method, Request, Response};
 use crate::network::{LoggedRequest, Server};
+use crate::response_cache::{
+    CacheHit, ResponseCache, RESPONSE_CACHE_CAPACITY, RESPONSE_CACHE_SHARDS,
+};
 
 /// Default number of log stripes (a power of two so stripe selection is a mask).
 pub const DEFAULT_LOG_STRIPE_COUNT: usize = 8;
 
 /// Default bound on retained log entries (divided across the stripes).
 pub const DEFAULT_LOG_CAPACITY: usize = 64 * 1024;
-
-/// Bound on retained prefetched responses. Speculation is a latency hedge, not
-/// a store: entries are consumed once, overwritten by fresher speculation for
-/// the same URL, and evicted oldest-first past this bound.
-pub const PREFETCH_CACHE_CAPACITY: usize = 32;
-
-/// One parked speculative response, valid only for the exact mediation plan
-/// (cookie header) it was fetched under.
-struct PrefetchEntry {
-    cookie_header: String,
-    response: Response,
-}
-
-/// The bounded prefetched-response store: URL-keyed entries plus insertion
-/// order for oldest-first eviction.
-struct PrefetchCache {
-    entries: HashMap<String, PrefetchEntry>,
-    order: VecDeque<String>,
-}
 
 /// One registered origin: the handler behind its own short-held mutex, the
 /// synthetic service latency dispatches to this origin pay, and an EWMA of the
@@ -132,11 +119,9 @@ pub struct SharedNetwork {
     /// [`dispatch_batch`](SharedNetwork::dispatch_batch): lazily-spawned parked
     /// threads reused across every page load on this fabric.
     pool: crate::fetch_pool::FetchPool,
-    /// Parked speculative responses, keyed by URL and validated against the
-    /// consuming navigation's freshly mediated cookie header.
-    prefetch: Mutex<PrefetchCache>,
-    prefetch_hits: AtomicU64,
-    prefetch_stale: AtomicU64,
+    /// The shared mediation-keyed response cache (persistent `max-age` layer
+    /// plus the one-shot speculative-prefetch layer).
+    cache: ResponseCache,
     /// Installed per-origin fault plans (independent of server registration —
     /// a plan may precede the origin it targets). See [`crate::fault`].
     pub(crate) faults: RwLock<HashMap<Origin, Arc<crate::fault::FaultState>>>,
@@ -189,12 +174,7 @@ impl SharedNetwork {
             dropped: AtomicU64::new(0),
             sequence: AtomicU64::new(0),
             pool: crate::fetch_pool::FetchPool::new(),
-            prefetch: Mutex::new(PrefetchCache {
-                entries: HashMap::new(),
-                order: VecDeque::new(),
-            }),
-            prefetch_hits: AtomicU64::new(0),
-            prefetch_stale: AtomicU64::new(0),
+            cache: ResponseCache::new(RESPONSE_CACHE_CAPACITY, RESPONSE_CACHE_SHARDS),
             faults: RwLock::new(HashMap::new()),
             breakers: RwLock::new(HashMap::new()),
             clock: RwLock::new(Arc::new(MonotonicClock::new())),
@@ -384,8 +364,8 @@ impl SharedNetwork {
     /// behave exactly as in [`dispatch_sequenced`](SharedNetwork::dispatch_sequenced);
     /// only the sequence-ordered log is untouched, so speculation cannot
     /// perturb what the oracle-equivalence harness compares. A consumed
-    /// prefetch hit is logged at consumption time via
-    /// [`record_prefetch_hit`](SharedNetwork::record_prefetch_hit).
+    /// cache hit is logged at consumption time via
+    /// [`record_cache_hit`](SharedNetwork::record_cache_hit).
     ///
     /// # Errors
     ///
@@ -455,62 +435,73 @@ impl SharedNetwork {
         Ok(response)
     }
 
-    /// Parks a speculative response for `url`, fetched under the mediation
+    /// Stores a response in the shared mediation-keyed cache, fetched under the
     /// plan summarized by `cookie_header` (the exact `Cookie` header value the
-    /// monitor attached, empty string for none). Fresher speculation for the
-    /// same URL overwrites; past [`PREFETCH_CACHE_CAPACITY`] entries the
-    /// oldest is evicted.
-    pub fn store_prefetched(&self, url: &crate::url::Url, cookie_header: &str, response: Response) {
-        let key = url.to_string();
-        let mut cache = self.prefetch.lock().expect("prefetch cache lock");
-        if cache.entries.remove(&key).is_some() {
-            cache.order.retain(|k| k != &key);
-        }
-        while cache.entries.len() >= PREFETCH_CACHE_CAPACITY {
-            let Some(oldest) = cache.order.pop_front() else {
-                break;
-            };
-            cache.entries.remove(&oldest);
-        }
-        cache.entries.insert(
-            key.clone(),
-            PrefetchEntry {
-                cookie_header: cookie_header.to_string(),
-                response,
-            },
-        );
-        cache.order.push_back(key);
+    /// monitor attached, empty string for none). `one_shot` entries (speculative
+    /// prefetch) are consumed on first hit and stored regardless of `max-age`;
+    /// persistent entries require an explicit `Cache-Control: max-age=N`.
+    /// `no-store` responses are never stored. Returns `true` when the response
+    /// entered the cache.
+    pub fn cache_store(
+        &self,
+        method: Method,
+        url: &crate::url::Url,
+        cookie_header: &str,
+        response: Response,
+        one_shot: bool,
+    ) -> bool {
+        self.cache.store(
+            method,
+            &url.to_string(),
+            cookie_header,
+            response,
+            self.clock_now_ns(),
+            one_shot,
+        )
     }
 
-    /// Consumes the parked speculative response for `url`, but **only** when
-    /// `cookie_header` — the header the consuming navigation just mediated for
-    /// itself — matches the plan the speculation was dispatched with. On a
+    /// Looks up the shared cache for `(method, url)`, but **only** serves an
+    /// entry when `cookie_header` — the header the consuming request just
+    /// mediated for itself — matches the plan the entry was stored under. On a
     /// mismatch the entry is discarded (stale plan) and `None` is returned, so
-    /// a prefetched response can never substitute for a request the monitor
-    /// would build differently today. Entries are one-shot either way.
+    /// a cached response can never substitute for a request the monitor would
+    /// build differently today. Expired entries (`max-age` lifetime passed on
+    /// the fabric's injectable clock) are discarded and counted the same way.
+    #[must_use]
+    pub fn cache_lookup(
+        &self,
+        method: Method,
+        url: &crate::url::Url,
+        cookie_header: &str,
+    ) -> Option<CacheHit> {
+        self.cache
+            .lookup(method, &url.to_string(), cookie_header, self.clock_now_ns())
+    }
+
+    /// Parks a speculative response for `url` as a one-shot cache entry (see
+    /// [`cache_store`](SharedNetwork::cache_store)). Fresher speculation for
+    /// the same URL overwrites.
+    pub fn store_prefetched(&self, url: &crate::url::Url, cookie_header: &str, response: Response) {
+        self.cache_store(Method::Get, url, cookie_header, response, true);
+    }
+
+    /// Consumes the cached response for a GET of `url` under the mediation plan
+    /// `cookie_header` (see [`cache_lookup`](SharedNetwork::cache_lookup)),
+    /// returning an owned clone of the entry. One-shot entries are consumed;
+    /// persistent entries survive for the next hit.
     #[must_use]
     pub fn take_prefetched(&self, url: &crate::url::Url, cookie_header: &str) -> Option<Response> {
-        let key = url.to_string();
-        let mut cache = self.prefetch.lock().expect("prefetch cache lock");
-        let entry = cache.entries.remove(&key)?;
-        cache.order.retain(|k| k != &key);
-        drop(cache);
-        if entry.cookie_header == cookie_header {
-            self.prefetch_hits.fetch_add(1, Ordering::Relaxed);
-            Some(entry.response)
-        } else {
-            self.prefetch_stale.fetch_add(1, Ordering::Relaxed);
-            None
-        }
+        self.cache_lookup(Method::Get, url, cookie_header)
+            .map(|hit| Arc::try_unwrap(hit.response).unwrap_or_else(|arc| (*arc).clone()))
     }
 
-    /// Logs a consumed prefetch hit under the consuming navigation's reserved
-    /// `sequence`, exactly as the live dispatch it replaced would have been
-    /// logged. The consumption is only legal when the mediation plan matched
-    /// ([`take_prefetched`](SharedNetwork::take_prefetched)), so method, URL
-    /// and cookie names here are byte-identical to the request a prefetch-free
-    /// run would have put on the wire — which is what keeps the log equivalent.
-    pub fn record_prefetch_hit(&self, sequence: u64, request: &Request, status: u16) {
+    /// Logs a cache hit under the consuming request's reserved `sequence`,
+    /// exactly as the live dispatch it replaced would have been logged. The
+    /// hit is only legal when the mediation plan matched
+    /// ([`cache_lookup`](SharedNetwork::cache_lookup)), so method, URL and
+    /// cookie names here are byte-identical to the request a cache-free run
+    /// would have put on the wire — which is what keeps the log equivalent.
+    pub fn record_cache_hit(&self, sequence: u64, request: &Request, status: u16) {
         self.record(
             sequence,
             LoggedRequest {
@@ -522,28 +513,68 @@ impl SharedNetwork {
         );
     }
 
-    /// Speculative responses consumed by a navigation whose mediation plan
-    /// still matched.
+    /// One-shot (speculative) cache entries consumed by a request whose
+    /// mediation plan still matched.
     #[must_use]
     pub fn prefetch_hits(&self) -> u64 {
-        self.prefetch_hits.load(Ordering::Relaxed)
+        self.cache.one_shot_hits()
     }
 
-    /// Speculative responses discarded because the consuming navigation's
-    /// mediation plan no longer matched the one they were fetched under.
+    /// Cache entries discarded because the consuming request's mediation plan
+    /// no longer matched the one they were stored under.
     #[must_use]
     pub fn prefetch_stale_discards(&self) -> u64 {
-        self.prefetch_stale.load(Ordering::Relaxed)
+        self.cache.stale_discards()
     }
 
-    /// Parked speculative responses currently cached.
+    /// Parked speculative (one-shot) responses currently cached.
     #[must_use]
     pub fn prefetched_entries(&self) -> usize {
-        self.prefetch
-            .lock()
-            .expect("prefetch cache lock")
-            .entries
-            .len()
+        self.cache.one_shot_len()
+    }
+
+    /// Persistent cache entries served (one-shot hits count separately under
+    /// [`prefetch_hits`](SharedNetwork::prefetch_hits)).
+    #[must_use]
+    pub fn cache_hits(&self) -> u64 {
+        self.cache.hits()
+    }
+
+    /// Cache entries discarded at lookup because their `max-age` lifetime had
+    /// passed on the fabric's clock.
+    #[must_use]
+    pub fn cache_expired(&self) -> u64 {
+        self.cache.expired()
+    }
+
+    /// Cache entries evicted to keep a shard within capacity.
+    #[must_use]
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache.evictions()
+    }
+
+    /// Successful cache stores (including overwrites), both layers.
+    #[must_use]
+    pub fn cache_stored(&self) -> u64 {
+        self.cache.stored()
+    }
+
+    /// Duplicate plan slots served from a single dispatch by batch-level
+    /// single-flight coalescing.
+    #[must_use]
+    pub fn cache_coalesced(&self) -> u64 {
+        self.cache.coalesced()
+    }
+
+    /// Records `n` duplicate plan slots coalesced onto one dispatch.
+    pub fn note_cache_coalesced(&self, n: u64) {
+        self.cache.note_coalesced(n);
+    }
+
+    /// Total live cache entries, both layers.
+    #[must_use]
+    pub fn cache_entries(&self) -> usize {
+        self.cache.len()
     }
 
     /// Appends a log entry to the stripe its sequence selects, evicting the
@@ -854,24 +885,30 @@ mod tests {
 
     #[test]
     fn prefetch_cache_is_bounded_and_overwrites_per_url() {
+        use crate::response_cache::RESPONSE_CACHE_CAPACITY;
         let net = SharedNetwork::new();
         net.register("http://a.example", echo_server);
         let ok = Response::ok_text("x");
-        for i in 0..PREFETCH_CACHE_CAPACITY + 4 {
+        let stored = 4 * RESPONSE_CACHE_CAPACITY;
+        for i in 0..stored {
             let url = Url::parse(&format!("http://a.example/{i}")).unwrap();
             net.store_prefetched(&url, "", ok.clone());
         }
-        assert_eq!(net.prefetched_entries(), PREFETCH_CACHE_CAPACITY);
-        // The oldest entries were evicted; the newest survive.
-        let oldest = Url::parse("http://a.example/0").unwrap();
-        assert!(net.take_prefetched(&oldest, "").is_none());
-        let newest =
-            Url::parse(&format!("http://a.example/{}", PREFETCH_CACHE_CAPACITY + 3)).unwrap();
-        assert!(net.take_prefetched(&newest, "").is_some());
-        // Re-storing a URL overwrites in place rather than duplicating.
-        let url = Url::parse("http://a.example/again").unwrap();
+        assert!(
+            net.prefetched_entries() <= RESPONSE_CACHE_CAPACITY,
+            "the cache stays within its capacity bound"
+        );
+        assert_eq!(
+            net.cache_evictions() + net.prefetched_entries() as u64,
+            stored as u64,
+            "every overflow store evicted exactly one entry"
+        );
+        // Re-storing a URL overwrites in place rather than duplicating or evicting.
+        let url = Url::parse(&format!("http://a.example/{}", stored - 1)).unwrap();
+        let evictions_before = net.cache_evictions();
         net.store_prefetched(&url, "a=1", ok.clone());
         net.store_prefetched(&url, "a=2", ok);
+        assert_eq!(net.cache_evictions(), evictions_before);
         assert!(net.take_prefetched(&url, "a=2").is_some());
         assert!(net.take_prefetched(&url, "a=2").is_none());
     }
@@ -884,7 +921,7 @@ mod tests {
         let request = Request::get("http://a.example/hit")
             .unwrap()
             .with_header("Cookie", "sid=abc");
-        net.record_prefetch_hit(sequence, &request, 200);
+        net.record_cache_hit(sequence, &request, 200);
         let log = net.log();
         assert_eq!(log.len(), 1);
         assert_eq!(log[0].url.path(), "/hit");

@@ -1,0 +1,198 @@
+//! End-to-end guarantees of the mediation-keyed shared response cache:
+//!
+//! * cache on vs off is **oracle-equivalent**: byte-identical sequence-sorted
+//!   request logs, per-subresource attached cookie names and verdict-relevant
+//!   page state — a hit skips transport, never a mediation step,
+//! * the cache key includes the exact mediated `Cookie` header, so two
+//!   sessions with different cookies **never** share an entry: the foreign
+//!   entry is discarded fail-closed and refetched,
+//! * `Cache-Control: no-store` is honored and a response without an explicit
+//!   `max-age` is never persisted,
+//! * `max-age` expiry is **exactly countable** under a hand-advanced
+//!   [`ManualClock`], and
+//! * duplicate URLs within one subresource plan **single-flight**: one
+//!   dispatch serves every duplicate slot, each still logged under its own
+//!   sequence number.
+//!
+//! The worlds are built by `escudo_bench::cache` — the same builders the
+//! `cache_concurrent` CI gates drive — so the benches and these tests cannot
+//! silently diverge in what they validate.
+//!
+//! [`ManualClock`]: escudo::core::ManualClock
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use escudo::browser::Browser;
+use escudo::core::config::CookiePolicy;
+use escudo::core::{engine_for_mode, Acl, PolicyMode, Ring};
+use escudo::net::{Request, Response, SetCookie, SharedCookieJar, SharedNetwork};
+use escudo_bench::cache::{
+    register_cache_world, run_cache_single_flight, run_cache_ttl_walk, CACHE_WORLD_SUBRESOURCES,
+};
+
+fn cache_browser(fabric: &Arc<SharedNetwork>, enabled: bool) -> Browser {
+    let mut browser = Browser::with_network(
+        engine_for_mode(PolicyMode::Escudo),
+        Arc::new(SharedCookieJar::new()),
+        Arc::clone(fabric),
+    );
+    browser.set_response_cache_enabled(enabled);
+    browser
+}
+
+#[test]
+fn cache_on_and_off_runs_are_oracle_equivalent() {
+    let run = |enabled: bool| {
+        let fabric = Arc::new(SharedNetwork::new());
+        register_cache_world(&fabric, "shop.example", "sid", Duration::from_micros(50));
+        let mut browser = cache_browser(&fabric, enabled);
+        let mut attachments: Vec<Vec<Vec<String>>> = Vec::new();
+        browser.navigate("http://shop.example/login.php").unwrap();
+        for _ in 0..3 {
+            let page = browser.navigate("http://shop.example/index.php").unwrap();
+            attachments.push(
+                browser
+                    .page(page)
+                    .subresources
+                    .iter()
+                    .map(|s| s.attached_cookies.clone())
+                    .collect(),
+            );
+        }
+        (fabric.log(), attachments, browser.cache_hits())
+    };
+
+    let (on_log, on_attached, hits) = run(true);
+    let (off_log, off_attached, off_hits) = run(false);
+
+    // Repeat navigations 2 and 3 served document + every subresource from the
+    // cache; the disabled side touched the origin each time.
+    assert_eq!(hits, 2 * (1 + CACHE_WORLD_SUBRESOURCES));
+    assert_eq!(off_hits, 0);
+
+    // The sequence-sorted logs are byte-identical: a hit is logged under the
+    // consuming navigation's own sequence exactly as the live dispatch would
+    // have been (method, URL, cookie names, status).
+    assert_eq!(on_log.len(), off_log.len());
+    for (a, b) in on_log.iter().zip(&off_log) {
+        assert_eq!(a, b, "cache-on log diverged from the cache-off oracle");
+    }
+    assert_eq!(on_attached, off_attached, "mediation plans diverged");
+}
+
+#[test]
+fn sessions_with_different_cookie_headers_never_share_entries() {
+    let fabric = Arc::new(SharedNetwork::new());
+    let policy = CookiePolicy::new("sid", Ring::new(1)).with_acl(Acl::uniform(Ring::new(1)));
+    {
+        let policy = policy.clone();
+        fabric.register("http://portal.example", move |req: &Request| {
+            if req.url.path() == "/login.php" {
+                let user = req.param("user").unwrap_or_default();
+                Response::ok_html("<html><body ring=\"1\" r=\"1\" w=\"1\" x=\"1\">in</body></html>")
+                    .with_cookie(SetCookie::new("sid", user))
+                    .with_cookie_policy(&policy)
+            } else {
+                // The body names the exact Cookie header the origin received:
+                // a cross-header cache hit would surface the wrong echo.
+                let echo = req.headers.get("Cookie").unwrap_or("").to_string();
+                Response::ok_html(format!(
+                    "<html><body ring=\"1\" r=\"1\" w=\"1\" x=\"1\">\
+                     <p id=\"who\">{echo}</p></body></html>"
+                ))
+                .with_max_age(3600)
+                .with_cookie_policy(&policy)
+            }
+        });
+    }
+
+    let mut alice = cache_browser(&fabric, true);
+    let mut bob = cache_browser(&fabric, true);
+    alice
+        .navigate("http://portal.example/login.php?user=alice")
+        .unwrap();
+    bob.navigate("http://portal.example/login.php?user=bob")
+        .unwrap();
+
+    // Alice stores the entry under her header; Bob's lookup must refuse it.
+    let page = alice.navigate("http://portal.example/page.php").unwrap();
+    assert_eq!(alice.page(page).text_of("who").unwrap(), "sid=alice");
+    let page = bob.navigate("http://portal.example/page.php").unwrap();
+    assert_eq!(bob.page(page).text_of("who").unwrap(), "sid=bob");
+    assert_eq!(bob.cache_hits(), 0, "Bob must not hit Alice's entry");
+    assert_eq!(
+        fabric.prefetch_stale_discards(),
+        1,
+        "Alice's entry is discarded fail-closed, not served"
+    );
+
+    // Bob's refetch overwrote the entry under his header; his repeat hits it
+    // and Alice's next lookup refuses it in turn.
+    let page = bob.navigate("http://portal.example/page.php").unwrap();
+    assert_eq!(bob.page(page).text_of("who").unwrap(), "sid=bob");
+    assert_eq!(bob.cache_hits(), 1);
+    let page = alice.navigate("http://portal.example/page.php").unwrap();
+    assert_eq!(alice.page(page).text_of("who").unwrap(), "sid=alice");
+    assert_eq!(alice.cache_hits(), 0);
+    assert_eq!(fabric.prefetch_stale_discards(), 2);
+}
+
+#[test]
+fn no_store_and_unmarked_responses_are_never_persisted() {
+    let fabric = Arc::new(SharedNetwork::new());
+    let dispatches = Arc::new(AtomicU64::new(0));
+    {
+        let dispatches = Arc::clone(&dispatches);
+        fabric.register("http://plain.example", move |req: &Request| {
+            dispatches.fetch_add(1, Ordering::Relaxed);
+            let page = Response::ok_html(
+                "<html><body ring=\"1\" r=\"1\" w=\"1\" x=\"1\">fresh</body></html>",
+            );
+            match req.url.path() {
+                // Explicitly uncacheable — even alongside a max-age.
+                "/secret.php" => {
+                    let mut page = page;
+                    page.headers.set("Cache-Control", "no-store, max-age=60");
+                    page
+                }
+                // No explicit max-age: the persistent layer requires one.
+                _ => page,
+            }
+        });
+    }
+
+    let mut browser = cache_browser(&fabric, true);
+    for _ in 0..2 {
+        browser.navigate("http://plain.example/secret.php").unwrap();
+        browser.navigate("http://plain.example/page.php").unwrap();
+    }
+    assert_eq!(
+        dispatches.load(Ordering::Relaxed),
+        4,
+        "every load refetched"
+    );
+    assert_eq!(browser.cache_hits(), 0);
+    assert_eq!(fabric.cache_stored(), 0);
+    assert_eq!(fabric.cache_entries(), 0);
+}
+
+#[test]
+fn ttl_expiry_is_exactly_countable_on_a_manual_clock() {
+    let report = run_cache_ttl_walk(4);
+    assert_eq!(report.hits, 4, "one fresh hit per cycle");
+    assert_eq!(report.expired, 3, "each later cycle finds the last expired");
+    assert_eq!(report.stored, 4, "each cycle refills the entry");
+}
+
+#[test]
+fn duplicate_plan_slots_dispatch_once_and_log_each() {
+    let report = run_cache_single_flight(5, 2);
+    assert_eq!(report.dispatches, 2, "one origin fetch per batch");
+    assert_eq!(
+        report.coalesced, 8,
+        "four duplicate slots coalesced per load"
+    );
+    assert_eq!(report.logged, 2 * 6, "every slot logs its own sequence");
+}
