@@ -12,8 +12,8 @@ use escudo_core::{
 };
 use escudo_dom::EventType;
 use escudo_net::{
-    BackgroundBatch, FetchPolicy, Method, Network, Priority, Request, Response, SharedCookieJar,
-    SharedNetwork, Url,
+    BackgroundBatch, CacheLayers, FetchPolicy, Method, Network, Priority, Request, Response,
+    SharedCookieJar, SharedNetwork, Url,
 };
 use escudo_script::Interpreter;
 
@@ -297,7 +297,10 @@ impl Browser {
     /// full, only the transport is skipped, and the hit is logged under the
     /// fetch's own sequence number — and duplicate URLs within one subresource
     /// plan dispatch once (single-flight). Responses become cacheable only by
-    /// declaring `Cache-Control: max-age=N`.
+    /// declaring `Cache-Control: max-age=N`, and a response carrying
+    /// `Set-Cookie` is never cached (per-recipient state must not be shared
+    /// across sessions). This opt-in serves only persistent entries; one-shot
+    /// prefetch entries stay behind [`Browser::set_prefetch_enabled`].
     pub fn set_response_cache_enabled(&mut self, enabled: bool) {
         self.response_cache_enabled = enabled;
     }
@@ -592,8 +595,8 @@ impl Browser {
         self.attach_cookies(&mut request, principal, None);
         let cacheable = method == Method::Get && request.body.is_empty();
         let cookie_header = request.headers.get("Cookie").unwrap_or("").to_string();
-        let response = match self.take_cached_response(&request) {
-            Some(response) => response,
+        let (response, from_cache) = match self.take_cached_response(&request) {
+            Some(response) => (response, true),
             None => {
                 let fetched = self
                     .network
@@ -604,6 +607,7 @@ impl Browser {
                     && cacheable
                     && response.status.is_success()
                     && !response.headers.cache_no_store()
+                    && response.headers.get("Set-Cookie").is_none()
                     && response.headers.cache_max_age().is_some()
                 {
                     self.network.fabric().cache_store(
@@ -614,11 +618,16 @@ impl Browser {
                         false,
                     );
                 }
-                response
+                (response, false)
             }
         };
-        for directive in response.set_cookies() {
-            self.jar.store(&url, &directive);
+        // `Set-Cookie` is applied only when the response came off the wire: the
+        // cache refuses Set-Cookie-bearing responses outright, and a hit must
+        // never be able to write another session's credential into this jar.
+        if !from_cache {
+            for directive in response.set_cookies() {
+                self.jar.store(&url, &directive);
+            }
         }
         for policy in response.cookie_policies() {
             self.remember_cookie_policy(url.host(), policy);
@@ -629,15 +638,22 @@ impl Browser {
     /// Serves `request` from the fabric's response cache if this session opted
     /// into speculation or caching, the request is a cacheable fetch (`GET`, no
     /// body), and the cached entry's mediation plan — the exact `Cookie` header
-    /// the reference monitor admitted — matches this request's. On a hit the
-    /// fetch is *not* re-dispatched; instead the hit is recorded in the request
-    /// log under a freshly reserved sequence number, byte-identical to what a
-    /// live dispatch would have logged, so cache-on and cache-off runs stay
-    /// log-equivalent — and the returned `Arc` is a refcount bump, not a body
-    /// clone. A stale plan or expired TTL discards the entry and falls back to
-    /// a live fetch (`None`).
+    /// the reference monitor admitted — matches this request's. Each opt-in
+    /// unlocks exactly its own layer: speculation serves one-shot prefetch
+    /// entries, the response cache serves persistent `max-age` entries, and an
+    /// entry in a layer this session did not opt into is an ordinary miss. On a
+    /// hit the fetch is *not* re-dispatched; instead the hit is recorded in the
+    /// request log under a freshly reserved sequence number, byte-identical to
+    /// what a live dispatch would have logged, so cache-on and cache-off runs
+    /// stay log-equivalent — and the returned `Arc` is a refcount bump, not a
+    /// body clone. A stale plan or expired TTL discards the entry and falls
+    /// back to a live fetch (`None`).
     fn take_cached_response(&mut self, request: &Request) -> Option<Arc<Response>> {
-        if (!self.prefetch_enabled && !self.response_cache_enabled)
+        let layers = CacheLayers {
+            one_shot: self.prefetch_enabled,
+            persistent: self.response_cache_enabled,
+        };
+        if (!layers.one_shot && !layers.persistent)
             || request.method != Method::Get
             || !request.body.is_empty()
         {
@@ -645,7 +661,7 @@ impl Browser {
         }
         let fabric = Arc::clone(self.network.fabric());
         let cookie_header = request.headers.get("Cookie").unwrap_or("").to_string();
-        let hit = fabric.cache_lookup(Method::Get, &request.url, &cookie_header)?;
+        let hit = fabric.cache_lookup(Method::Get, &request.url, &cookie_header, layers)?;
         let sequence = fabric.reserve_sequences(1);
         fabric.record_cache_hit(sequence, request, hit.response.status.0);
         if hit.one_shot {
@@ -972,10 +988,11 @@ impl Browser {
     /// Joins an in-flight speculative batch and stores the successful responses
     /// in the fabric's prefetch cache. Returns `(issued, stored)` counts.
     ///
-    /// `Set-Cookie` directives on a speculative response are deliberately *not*
-    /// applied here — speculation must not mutate session state. They are
-    /// applied at consumption time, when the cached response stands in for a
-    /// real navigation ([`Browser::fetch`]).
+    /// `Set-Cookie` directives on a speculative response are *never* applied —
+    /// speculation must not mutate session state, and the shared cache refuses
+    /// Set-Cookie-bearing responses outright (per-recipient state must not be
+    /// shared across sessions), so such a speculation is simply dropped and the
+    /// real navigation pays the wire cost.
     fn finish_prefetch(
         &mut self,
         speculation: Option<(BackgroundBatch, Vec<(Url, String)>)>,
@@ -989,8 +1006,9 @@ impl Browser {
         let mut stored = 0;
         for ((url, cookie_header), result) in keys.into_iter().zip(results) {
             if let Ok(response) = result {
-                fabric.store_prefetched(&url, &cookie_header, response);
-                stored += 1;
+                if fabric.store_prefetched(&url, &cookie_header, response) {
+                    stored += 1;
+                }
             }
         }
         (issued, stored)
@@ -1115,10 +1133,16 @@ impl Browser {
         // header) ride that slot's single dispatch instead of their own.
         let mut primary_of: Vec<Option<usize>> = vec![None; count];
         if self.response_cache_enabled {
+            let layers = CacheLayers {
+                one_shot: self.prefetch_enabled,
+                persistent: true,
+            };
             let mut first_slot: HashMap<(String, String), usize> = HashMap::new();
             for (i, request) in requests.iter().enumerate() {
                 let cookie_header = request.headers.get("Cookie").unwrap_or("").to_string();
-                if let Some(hit) = fabric.cache_lookup(Method::Get, &request.url, &cookie_header) {
+                if let Some(hit) =
+                    fabric.cache_lookup(Method::Get, &request.url, &cookie_header, layers)
+                {
                     fabric.record_cache_hit(base + i as u64, request, hit.response.status.0);
                     if hit.one_shot {
                         self.prefetch_hits += 1;
@@ -1191,6 +1215,7 @@ impl Browser {
                     if let Ok(response) = &result {
                         if response.status.is_success()
                             && !response.headers.cache_no_store()
+                            && response.headers.get("Set-Cookie").is_none()
                             && response.headers.cache_max_age().is_some()
                         {
                             let (url, cookie_header) = &store_keys[j];
@@ -1215,8 +1240,11 @@ impl Browser {
         // the hit is logged under the duplicate's own pre-reserved sequence, so
         // the sequence-sorted log is byte-identical to one live dispatch per
         // slot. A failed primary can't stand in for its duplicates — those
-        // fall back to a live dispatch (the log sorts by sequence, so a late
-        // dispatch still reads in plan order).
+        // fall back to a live dispatch under the session's own `FetchPolicy`
+        // (full retry budget and breaker admission, exactly as a non-coalesced
+        // slot), so a faulted cache-on run degrades no differently than the
+        // cache-off oracle; the log sorts by sequence, so a late dispatch
+        // still reads in plan order.
         for i in 0..count {
             let Some(primary) = primary_of[i] else {
                 continue;
@@ -1229,10 +1257,32 @@ impl Browser {
                     outcomes[i] = Some((Some(status), None, 0));
                 }
                 _ => {
-                    let result = fabric.dispatch_sequenced(base + i as u64, request);
+                    let store_key = (
+                        request.url.clone(),
+                        request.headers.get("Cookie").unwrap_or("").to_string(),
+                    );
+                    let (result, retries) =
+                        fabric.dispatch_sequenced_with_policy(base + i as u64, request, &policy);
+                    if self.response_cache_enabled {
+                        if let Ok(response) = &result {
+                            if response.status.is_success()
+                                && !response.headers.cache_no_store()
+                                && response.headers.get("Set-Cookie").is_none()
+                                && response.headers.cache_max_age().is_some()
+                            {
+                                fabric.cache_store(
+                                    Method::Get,
+                                    &store_key.0,
+                                    &store_key.1,
+                                    response.clone(),
+                                    false,
+                                );
+                            }
+                        }
+                    }
                     outcomes[i] = Some(match result {
-                        Ok(response) => (Some(response.status.0), None, 0),
-                        Err(error) => (None, Some(error.to_string()), 0),
+                        Ok(response) => (Some(response.status.0), None, retries),
+                        Err(error) => (None, Some(error.to_string()), retries),
                     });
                 }
             }

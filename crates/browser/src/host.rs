@@ -465,9 +465,16 @@ impl Host for BrowserHost<'_> {
         };
         // A fresh cache entry whose mediated `Cookie` header matches this
         // XHR's plan serves the call without a dispatch — logged under a
-        // freshly reserved sequence, byte-identical to a live fetch.
+        // freshly reserved sequence, byte-identical to a live fetch. XHR
+        // consults only the persistent layer: one-shot prefetch entries are
+        // reserved for the navigation that speculation predicted.
         if cacheable {
-            if let Some(hit) = fabric.cache_lookup(Method::Get, &request.url, &cookie_header) {
+            if let Some(hit) = fabric.cache_lookup(
+                Method::Get,
+                &request.url,
+                &cookie_header,
+                escudo_net::CacheLayers::PERSISTENT,
+            ) {
                 let sequence = fabric.reserve_sequences(1);
                 fabric.record_cache_hit(sequence, &request, hit.response.status.0);
                 return Ok(XhrOutcome {
@@ -484,6 +491,7 @@ impl Host for BrowserHost<'_> {
                 if let Some(url) = store_url.filter(|_| {
                     response.status.is_success()
                         && !response.headers.cache_no_store()
+                        && response.headers.get("Set-Cookie").is_none()
                         && response.headers.cache_max_age().is_some()
                 }) {
                     fabric.cache_store(Method::Get, &url, &cookie_header, response.clone(), false);

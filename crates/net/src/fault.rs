@@ -671,6 +671,32 @@ impl SharedNetwork {
         dispatch_slot_resilient(self, Some(sequence), 0, request, &budget).0
     }
 
+    /// Dispatches one request under a **caller-reserved** sequence number
+    /// through the resilient loop, returning the outcome plus the retries the
+    /// slot consumed. This is the coalesced-duplicate fallback of the
+    /// subresource loader: when a single-flight primary failed, each duplicate
+    /// slot re-dispatches itself under its own pre-reserved sequence with the
+    /// session's full retry budget, exactly as a non-coalesced plan slot would
+    /// have. A disabled policy falls through to the bare
+    /// [`dispatch_sequenced`](SharedNetwork::dispatch_sequenced).
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's error, exactly as
+    /// [`dispatch_with_policy`](SharedNetwork::dispatch_with_policy).
+    pub fn dispatch_sequenced_with_policy(
+        &self,
+        sequence: u64,
+        request: Request,
+        policy: &FetchPolicy,
+    ) -> (Result<Response, NetError>, u32) {
+        if policy.is_disabled() {
+            return (self.dispatch_sequenced(sequence, request), 0);
+        }
+        let budget = BatchBudget::new(self, *policy);
+        dispatch_slot_resilient(self, Some(sequence), 0, request, &budget)
+    }
+
     /// Failing faults injected so far (timeouts and planned panics).
     #[must_use]
     pub fn faults_injected(&self) -> u64 {

@@ -63,7 +63,7 @@ pub use headers::Headers;
 pub use jar::CookieJar;
 pub use message::{Method, Request, Response, StatusCode};
 pub use network::{LoggedRequest, Network, Server};
-pub use response_cache::{CacheHit, ResponseCache};
+pub use response_cache::{CacheHit, CacheLayers, ResponseCache};
 pub use shared_jar::{JarShardStats, JarStats, SharedCookieJar};
 pub use shared_network::SharedNetwork;
 pub use url::Url;

@@ -16,10 +16,16 @@
 //! body clone. Freshness comes from `Cache-Control: max-age=N` metered against a
 //! caller-supplied clock reading (the fabric injects its [`Clock`], so expiry is
 //! exactly countable under a manual clock); `no-store` responses are never
-//! inserted. Speculative prefetch rides the same structure as a *one-shot* layer:
-//! one-shot entries are stored regardless of `max-age` (the very next navigation
-//! consumes them) and are removed on first hit, preserving the old `PrefetchCache`
-//! contract.
+//! inserted, and neither is any response carrying `Set-Cookie` — per shared-cache
+//! semantics a response that sets cookies is per-recipient state, and storing it
+//! would replay one session's credential into every later consumer whose mediated
+//! header happens to match. Speculative prefetch rides the same structure as a
+//! *one-shot* layer: one-shot entries are stored without requiring `max-age`
+//! (falling back to [`ONE_SHOT_DEFAULT_TTL_NS`] so unconsumed speculation cannot
+//! linger) and are removed on first hit, preserving the old `PrefetchCache`
+//! contract. Lookups name the [`CacheLayers`] the caller opted into; an entry in
+//! a foreign layer is an ordinary miss and stays in place for the sessions that
+//! did opt in.
 //!
 //! [`Clock`]: escudo_core::tenant::Clock
 
@@ -35,6 +41,11 @@ pub const RESPONSE_CACHE_CAPACITY: usize = 128;
 /// Default shard count (power of two, per the jar precedent).
 pub const RESPONSE_CACHE_SHARDS: usize = 8;
 
+/// Freshness bound for one-shot (prefetch) entries whose response declared no
+/// `max-age`: speculation is meant to be consumed by the very next navigation,
+/// so an unconsumed entry expires instead of lingering until LRU pressure.
+pub const ONE_SHOT_DEFAULT_TTL_NS: u64 = 30_000_000_000;
+
 const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
@@ -47,6 +58,45 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// Which layers of the cache a lookup may serve. A session consults only the
+/// layers it opted into — speculative prefetch serves one-shot entries, the
+/// persistent response cache serves `max-age` entries — and an entry in a
+/// foreign layer is an ordinary miss, left untouched for the sessions that did
+/// opt in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLayers {
+    /// Serve (and consume) one-shot speculative-prefetch entries.
+    pub one_shot: bool,
+    /// Serve persistent `max-age` entries.
+    pub persistent: bool,
+}
+
+impl CacheLayers {
+    /// Both layers — the historical `take_prefetched` contract.
+    pub const BOTH: CacheLayers = CacheLayers {
+        one_shot: true,
+        persistent: true,
+    };
+    /// Only one-shot speculative entries (a prefetch-only session).
+    pub const ONE_SHOT: CacheLayers = CacheLayers {
+        one_shot: true,
+        persistent: false,
+    };
+    /// Only persistent entries (a cache-only session, or mediated XHR).
+    pub const PERSISTENT: CacheLayers = CacheLayers {
+        one_shot: false,
+        persistent: true,
+    };
+
+    fn serves(self, one_shot: bool) -> bool {
+        if one_shot {
+            self.one_shot
+        } else {
+            self.persistent
+        }
+    }
+}
+
 /// One cached response plus the metadata needed to validate a hit.
 #[derive(Debug)]
 struct CacheEntry {
@@ -54,8 +104,9 @@ struct CacheEntry {
     cookie_header: String,
     response: Arc<Response>,
     stored_at_ns: u64,
-    /// Freshness lifetime from `max-age`; `None` means no expiry (one-shot only).
-    ttl_ns: Option<u64>,
+    /// Freshness lifetime: `max-age`, or [`ONE_SHOT_DEFAULT_TTL_NS`] for a
+    /// one-shot entry whose response declared none.
+    ttl_ns: u64,
     /// Prefetch layer: remove on first hit.
     one_shot: bool,
     /// Recency stamp for LRU eviction within the shard.
@@ -64,10 +115,7 @@ struct CacheEntry {
 
 impl CacheEntry {
     fn is_expired(&self, now_ns: u64) -> bool {
-        match self.ttl_ns {
-            Some(ttl) => now_ns.saturating_sub(self.stored_at_ns) >= ttl,
-            None => false,
-        }
+        now_ns.saturating_sub(self.stored_at_ns) >= self.ttl_ns
     }
 }
 
@@ -136,10 +184,14 @@ impl ResponseCache {
 
     /// Stores a response fetched under `cookie_header`, overwriting any previous
     /// entry for `(method, url)`. Returns `false` (and stores nothing) when the
-    /// response refuses caching: `no-store` always wins, and persistent entries
-    /// additionally require an explicit `max-age` so dynamic pages never enter the
-    /// shared cache. One-shot (prefetch) entries are stored regardless of
-    /// `max-age` — the very next navigation consumes them.
+    /// response refuses caching: `no-store` always wins, a response carrying
+    /// `Set-Cookie` is never shared (it is per-recipient state — caching it
+    /// would replay one session's credential into another session whose
+    /// mediated header matches), and persistent entries additionally require an
+    /// explicit `max-age` so dynamic pages never enter the shared cache.
+    /// One-shot (prefetch) entries are stored without requiring `max-age`
+    /// (falling back to [`ONE_SHOT_DEFAULT_TTL_NS`]) — but a one-shot store
+    /// never downgrades a fresh persistent entry to consumed-on-first-hit.
     pub fn store(
         &self,
         method: Method,
@@ -149,18 +201,27 @@ impl ResponseCache {
         now_ns: u64,
         one_shot: bool,
     ) -> bool {
-        if response.headers.cache_no_store() {
+        if response.headers.cache_no_store() || response.headers.get("Set-Cookie").is_some() {
             return false;
         }
-        let ttl_ns = response
+        let max_age_ns = response
             .headers
             .cache_max_age()
             .map(|seconds| seconds.saturating_mul(1_000_000_000));
-        if !one_shot && ttl_ns.is_none() {
-            return false;
-        }
+        let ttl_ns = match (max_age_ns, one_shot) {
+            (Some(ttl), _) => ttl,
+            (None, true) => ONE_SHOT_DEFAULT_TTL_NS,
+            (None, false) => return false,
+        };
         let key = ResponseCache::key(method, url);
         let mut shard = self.shard_for(&key).lock().expect("cache shard lock");
+        if one_shot {
+            if let Some(existing) = shard.entries.get(&key) {
+                if !existing.one_shot && !existing.is_expired(now_ns) {
+                    return false;
+                }
+            }
+        }
         shard.tick += 1;
         let touched = shard.tick;
         let entry = CacheEntry {
@@ -187,19 +248,26 @@ impl ResponseCache {
         true
     }
 
-    /// Looks up `(method, url)` under the mediated `cookie_header`.
+    /// Looks up `(method, url)` under the mediated `cookie_header`, serving
+    /// only the `layers` the caller opted into.
     ///
-    /// An expired entry is removed and counted (`None`); an entry fetched under a
-    /// *different* mediated header is removed and counted as stale (`None`) — the
-    /// fail-closed path. A one-shot hit consumes the entry; a persistent hit bumps
-    /// its recency. A plain miss touches no counter.
+    /// An expired entry is removed and counted (`None`). An entry in a layer
+    /// the caller did not opt into is an ordinary miss — it stays in place,
+    /// undiscarded, for the sessions that did opt in. An in-layer entry fetched
+    /// under a *different* mediated header is removed and counted as stale
+    /// (`None`) — the fail-closed path. A one-shot hit consumes the entry; a
+    /// persistent hit bumps its recency. A plain miss touches no counter.
     pub fn lookup(
         &self,
         method: Method,
         url: &str,
         cookie_header: &str,
         now_ns: u64,
+        layers: CacheLayers,
     ) -> Option<CacheHit> {
+        if !layers.one_shot && !layers.persistent {
+            return None;
+        }
         let key = ResponseCache::key(method, url);
         let mut shard = self.shard_for(&key).lock().expect("cache shard lock");
         let entry = shard.entries.get(&key)?;
@@ -207,6 +275,9 @@ impl ResponseCache {
             shard.entries.remove(&key);
             drop(shard);
             self.expired.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        if !layers.serves(entry.one_shot) {
             return None;
         }
         if entry.cookie_header != cookie_header {
@@ -344,12 +415,16 @@ mod tests {
             false
         ));
         assert_eq!(cache.len(), 1);
-        let hit = cache.lookup(Method::Get, "http://a/x", "", 0).expect("hit");
+        let hit = cache
+            .lookup(Method::Get, "http://a/x", "", 0, CacheLayers::BOTH)
+            .expect("hit");
         assert!(!hit.one_shot);
         assert_eq!(hit.response.body, "static");
         assert_eq!(cache.hits(), 1);
         // A hit leaves a persistent entry in place.
-        assert!(cache.lookup(Method::Get, "http://a/x", "", 0).is_some());
+        assert!(cache
+            .lookup(Method::Get, "http://a/x", "", 0, CacheLayers::BOTH)
+            .is_some());
     }
 
     #[test]
@@ -376,12 +451,12 @@ mod tests {
         ));
         assert_eq!(cache.one_shot_len(), 1);
         let hit = cache
-            .lookup(Method::Get, "http://a/p", "sid=1", 0)
+            .lookup(Method::Get, "http://a/p", "sid=1", 0, CacheLayers::BOTH)
             .expect("hit");
         assert!(hit.one_shot);
         assert_eq!(cache.one_shot_hits(), 1);
         assert!(cache
-            .lookup(Method::Get, "http://a/p", "sid=1", 0)
+            .lookup(Method::Get, "http://a/p", "sid=1", 0, CacheLayers::BOTH)
             .is_none());
         assert!(cache.is_empty());
     }
@@ -398,12 +473,18 @@ mod tests {
             false,
         );
         assert!(cache
-            .lookup(Method::Get, "http://a/x", "sid=mallory", 0)
+            .lookup(
+                Method::Get,
+                "http://a/x",
+                "sid=mallory",
+                0,
+                CacheLayers::BOTH
+            )
             .is_none());
         assert_eq!(cache.stale_discards(), 1);
         // Fail closed: the entry is gone, even for the original header.
         assert!(cache
-            .lookup(Method::Get, "http://a/x", "sid=alice", 0)
+            .lookup(Method::Get, "http://a/x", "sid=alice", 0, CacheLayers::BOTH)
             .is_none());
         assert_eq!(cache.stale_discards(), 1);
     }
@@ -421,10 +502,22 @@ mod tests {
         );
         let just_before = 1_000 + 5_000_000_000 - 1;
         assert!(cache
-            .lookup(Method::Get, "http://a/x", "", just_before)
+            .lookup(
+                Method::Get,
+                "http://a/x",
+                "",
+                just_before,
+                CacheLayers::BOTH
+            )
             .is_some());
         assert!(cache
-            .lookup(Method::Get, "http://a/x", "", just_before + 1)
+            .lookup(
+                Method::Get,
+                "http://a/x",
+                "",
+                just_before + 1,
+                CacheLayers::BOTH
+            )
             .is_none());
         assert_eq!(cache.expired(), 1);
         assert!(cache.is_empty());
@@ -442,19 +535,171 @@ mod tests {
         // Overwriting an existing URL does not evict.
         let survivor = (0..32)
             .map(|i| format!("http://a/{i}"))
-            .find(|url| cache.lookup(Method::Get, url, "", 0).is_some())
+            .find(|url| {
+                cache
+                    .lookup(Method::Get, url, "", 0, CacheLayers::BOTH)
+                    .is_some()
+            })
             .expect("some entry survives");
         let before = cache.evictions();
         cache.store(Method::Get, &survivor, "", cacheable("y", 60), 0, false);
         assert_eq!(cache.evictions(), before);
         assert_eq!(
             cache
-                .lookup(Method::Get, &survivor, "", 0)
+                .lookup(Method::Get, &survivor, "", 0, CacheLayers::BOTH)
                 .expect("overwritten entry")
                 .response
                 .body,
             "y"
         );
+    }
+
+    #[test]
+    fn set_cookie_responses_are_refused_by_both_layers() {
+        let cache = ResponseCache::new(8, 2);
+        let mut tainted = cacheable("per-user", 60);
+        tainted.headers.append("Set-Cookie", "token=alice");
+        assert!(!cache.store(Method::Get, "http://a/t", "", tainted.clone(), 0, false));
+        assert!(!cache.store(Method::Get, "http://a/t", "", tainted, 0, true));
+        assert!(cache.is_empty());
+        assert_eq!(cache.stored(), 0);
+    }
+
+    #[test]
+    fn a_one_shot_store_never_downgrades_a_fresh_persistent_entry() {
+        let cache = ResponseCache::new(8, 2);
+        assert!(cache.store(
+            Method::Get,
+            "http://a/x",
+            "",
+            cacheable("keep", 60),
+            0,
+            false
+        ));
+        assert!(!cache.store(
+            Method::Get,
+            "http://a/x",
+            "",
+            Response::ok_text("spec"),
+            0,
+            true
+        ));
+        let hit = cache
+            .lookup(Method::Get, "http://a/x", "", 0, CacheLayers::BOTH)
+            .expect("hit");
+        assert!(!hit.one_shot, "the persistent entry survives");
+        assert_eq!(hit.response.body, "keep");
+        // Once the persistent entry's lifetime has passed, speculation may
+        // replace it.
+        let after_expiry = 60_000_000_001;
+        assert!(cache.store(
+            Method::Get,
+            "http://a/x",
+            "",
+            Response::ok_text("spec"),
+            after_expiry,
+            true
+        ));
+        let hit = cache
+            .lookup(
+                Method::Get,
+                "http://a/x",
+                "",
+                after_expiry,
+                CacheLayers::BOTH,
+            )
+            .expect("hit");
+        assert!(hit.one_shot);
+    }
+
+    #[test]
+    fn ttl_less_one_shot_entries_expire_at_the_default_bound() {
+        let cache = ResponseCache::new(8, 2);
+        cache.store(
+            Method::Get,
+            "http://a/p",
+            "",
+            Response::ok_text("pre"),
+            0,
+            true,
+        );
+        assert!(cache
+            .lookup(
+                Method::Get,
+                "http://a/p",
+                "",
+                ONE_SHOT_DEFAULT_TTL_NS - 1,
+                CacheLayers::BOTH
+            )
+            .is_some());
+        cache.store(
+            Method::Get,
+            "http://a/p",
+            "",
+            Response::ok_text("pre"),
+            0,
+            true,
+        );
+        assert!(cache
+            .lookup(
+                Method::Get,
+                "http://a/p",
+                "",
+                ONE_SHOT_DEFAULT_TTL_NS,
+                CacheLayers::BOTH
+            )
+            .is_none());
+        assert_eq!(cache.expired(), 1);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn lookups_serve_only_opted_in_layers_and_leave_the_rest_in_place() {
+        let cache = ResponseCache::new(8, 2);
+        cache.store(
+            Method::Get,
+            "http://a/p",
+            "",
+            Response::ok_text("pre"),
+            0,
+            true,
+        );
+        cache.store(
+            Method::Get,
+            "http://a/x",
+            "",
+            cacheable("per", 60),
+            0,
+            false,
+        );
+        // A persistent-only consumer must not consume the one-shot entry…
+        assert!(cache
+            .lookup(Method::Get, "http://a/p", "", 0, CacheLayers::PERSISTENT)
+            .is_none());
+        assert_eq!(cache.one_shot_len(), 1, "the one-shot entry stays");
+        // …and a one-shot-only consumer must not serve the persistent one.
+        assert!(cache
+            .lookup(Method::Get, "http://a/x", "", 0, CacheLayers::ONE_SHOT)
+            .is_none());
+        assert_eq!(cache.len(), 2);
+        // A foreign-layer miss is not a discard, even under a foreign header.
+        assert!(cache
+            .lookup(
+                Method::Get,
+                "http://a/p",
+                "sid=other",
+                0,
+                CacheLayers::PERSISTENT
+            )
+            .is_none());
+        assert_eq!(cache.stale_discards(), 0);
+        // Each entry still serves its own layer.
+        assert!(cache
+            .lookup(Method::Get, "http://a/p", "", 0, CacheLayers::ONE_SHOT)
+            .is_some());
+        assert!(cache
+            .lookup(Method::Get, "http://a/x", "", 0, CacheLayers::PERSISTENT)
+            .is_some());
     }
 
     #[test]
@@ -468,7 +713,11 @@ mod tests {
             0,
             false,
         );
-        assert!(cache.lookup(Method::Head, "http://a/x", "", 0).is_none());
-        assert!(cache.lookup(Method::Get, "http://a/x", "", 0).is_some());
+        assert!(cache
+            .lookup(Method::Head, "http://a/x", "", 0, CacheLayers::BOTH)
+            .is_none());
+        assert!(cache
+            .lookup(Method::Get, "http://a/x", "", 0, CacheLayers::BOTH)
+            .is_some());
     }
 }

@@ -59,7 +59,7 @@ use crate::fault::FaultOutcome;
 use crate::message::{Method, Request, Response};
 use crate::network::{LoggedRequest, Server};
 use crate::response_cache::{
-    CacheHit, ResponseCache, RESPONSE_CACHE_CAPACITY, RESPONSE_CACHE_SHARDS,
+    CacheHit, CacheLayers, ResponseCache, RESPONSE_CACHE_CAPACITY, RESPONSE_CACHE_SHARDS,
 };
 
 /// Default number of log stripes (a power of two so stripe selection is a mask).
@@ -438,10 +438,11 @@ impl SharedNetwork {
     /// Stores a response in the shared mediation-keyed cache, fetched under the
     /// plan summarized by `cookie_header` (the exact `Cookie` header value the
     /// monitor attached, empty string for none). `one_shot` entries (speculative
-    /// prefetch) are consumed on first hit and stored regardless of `max-age`;
-    /// persistent entries require an explicit `Cache-Control: max-age=N`.
-    /// `no-store` responses are never stored. Returns `true` when the response
-    /// entered the cache.
+    /// prefetch) are consumed on first hit and need no `max-age`; persistent
+    /// entries require an explicit `Cache-Control: max-age=N`. `no-store`
+    /// responses are never stored, and neither is any response carrying
+    /// `Set-Cookie` — per-recipient state must not enter a cache shared across
+    /// sessions. Returns `true` when the response entered the cache.
     pub fn cache_store(
         &self,
         method: Method,
@@ -460,29 +461,44 @@ impl SharedNetwork {
         )
     }
 
-    /// Looks up the shared cache for `(method, url)`, but **only** serves an
-    /// entry when `cookie_header` — the header the consuming request just
-    /// mediated for itself — matches the plan the entry was stored under. On a
-    /// mismatch the entry is discarded (stale plan) and `None` is returned, so
-    /// a cached response can never substitute for a request the monitor would
-    /// build differently today. Expired entries (`max-age` lifetime passed on
-    /// the fabric's injectable clock) are discarded and counted the same way.
+    /// Looks up the shared cache for `(method, url)`, serving only the
+    /// [`CacheLayers`] the caller opted into (an entry in a foreign layer is an
+    /// ordinary miss, left in place), and **only** when `cookie_header` — the
+    /// header the consuming request just mediated for itself — matches the plan
+    /// the entry was stored under. On an in-layer mismatch the entry is
+    /// discarded (stale plan) and `None` is returned, so a cached response can
+    /// never substitute for a request the monitor would build differently
+    /// today. Expired entries (`max-age` lifetime passed on the fabric's
+    /// injectable clock) are discarded and counted the same way.
     #[must_use]
     pub fn cache_lookup(
         &self,
         method: Method,
         url: &crate::url::Url,
         cookie_header: &str,
+        layers: CacheLayers,
     ) -> Option<CacheHit> {
-        self.cache
-            .lookup(method, &url.to_string(), cookie_header, self.clock_now_ns())
+        self.cache.lookup(
+            method,
+            &url.to_string(),
+            cookie_header,
+            self.clock_now_ns(),
+            layers,
+        )
     }
 
     /// Parks a speculative response for `url` as a one-shot cache entry (see
     /// [`cache_store`](SharedNetwork::cache_store)). Fresher speculation for
-    /// the same URL overwrites.
-    pub fn store_prefetched(&self, url: &crate::url::Url, cookie_header: &str, response: Response) {
-        self.cache_store(Method::Get, url, cookie_header, response, true);
+    /// the same URL overwrites a previous one-shot entry — but never a fresh
+    /// persistent one. Returns `true` when the response entered the cache
+    /// (`no-store` and `Set-Cookie`-bearing responses are refused).
+    pub fn store_prefetched(
+        &self,
+        url: &crate::url::Url,
+        cookie_header: &str,
+        response: Response,
+    ) -> bool {
+        self.cache_store(Method::Get, url, cookie_header, response, true)
     }
 
     /// Consumes the cached response for a GET of `url` under the mediation plan
@@ -491,7 +507,7 @@ impl SharedNetwork {
     /// persistent entries survive for the next hit.
     #[must_use]
     pub fn take_prefetched(&self, url: &crate::url::Url, cookie_header: &str) -> Option<Response> {
-        self.cache_lookup(Method::Get, url, cookie_header)
+        self.cache_lookup(Method::Get, url, cookie_header, CacheLayers::BOTH)
             .map(|hit| Arc::try_unwrap(hit.response).unwrap_or_else(|arc| (*arc).clone()))
     }
 

@@ -12,7 +12,16 @@
 //!   [`ManualClock`], and
 //! * duplicate URLs within one subresource plan **single-flight**: one
 //!   dispatch serves every duplicate slot, each still logged under its own
-//!   sequence number.
+//!   sequence number,
+//! * responses that carry `Set-Cookie` are **never** admitted into the shared
+//!   cache — per-recipient session state cannot leak across sessions whose
+//!   mediated `Cookie` headers happen to match,
+//! * each opt-in consumes only its own layer: a prefetch-only session never
+//!   drains another session's persistent entry and a cache-only session never
+//!   drains a one-shot speculative entry, and
+//! * a coalesced duplicate whose primary dispatch failed falls back under the
+//!   session's own `FetchPolicy`, spending the same retry budget a
+//!   non-coalesced slot would.
 //!
 //! The worlds are built by `escudo_bench::cache` — the same builders the
 //! `cache_concurrent` CI gates drive — so the benches and these tests cannot
@@ -27,7 +36,9 @@ use std::time::Duration;
 use escudo::browser::Browser;
 use escudo::core::config::CookiePolicy;
 use escudo::core::{engine_for_mode, Acl, PolicyMode, Ring};
-use escudo::net::{Request, Response, SetCookie, SharedCookieJar, SharedNetwork};
+use escudo::net::{
+    FaultPlan, FetchPolicy, Request, Response, SetCookie, SharedCookieJar, SharedNetwork,
+};
 use escudo_bench::cache::{
     register_cache_world, run_cache_single_flight, run_cache_ttl_walk, CACHE_WORLD_SUBRESOURCES,
 };
@@ -195,4 +206,180 @@ fn duplicate_plan_slots_dispatch_once_and_log_each() {
         "four duplicate slots coalesced per load"
     );
     assert_eq!(report.logged, 2 * 6, "every slot logs its own sequence");
+}
+
+#[test]
+fn set_cookie_responses_are_never_shared_across_sessions() {
+    // Every response mints a fresh per-recipient token via `Set-Cookie` —
+    // while also (adversarially) declaring itself cacheable with a max-age.
+    // Replaying such a response from the shared cache would hand one
+    // session's credential to another whose mediated Cookie header happens
+    // to match; the cache must refuse the entry outright.
+    let fabric = Arc::new(SharedNetwork::new());
+    let minted = Arc::new(AtomicU64::new(0));
+    {
+        let minted = Arc::clone(&minted);
+        fabric.register("http://acct.example", move |_req: &Request| {
+            let n = minted.fetch_add(1, Ordering::Relaxed);
+            Response::ok_html(
+                "<html><body ring=\"1\" r=\"1\" w=\"1\" x=\"1\">account</body></html>",
+            )
+            .with_cookie(SetCookie::new("token", format!("u{n}")))
+            .with_max_age(3600)
+        });
+    }
+
+    let mut first = cache_browser(&fabric, true);
+    let mut second = cache_browser(&fabric, true);
+    first.navigate("http://acct.example/page.php").unwrap();
+    second.navigate("http://acct.example/page.php").unwrap();
+
+    assert_eq!(
+        fabric.cache_stored(),
+        0,
+        "a Set-Cookie response must never be admitted"
+    );
+    assert_eq!(fabric.cache_entries(), 0);
+    assert_eq!(second.cache_hits(), 0, "the second session fetched live");
+
+    // Each session holds the token its own live response minted.
+    let token = |browser: &Browser| {
+        browser
+            .cookie_jar()
+            .get("acct.example", "token")
+            .expect("token stored")
+            .value
+    };
+    assert_eq!(token(&first), "u0");
+    assert_eq!(token(&second), "u1");
+
+    // Even a repeat by the storing session refetches: nothing was cached, so
+    // the origin mints a third token and the jar follows the live response.
+    first.navigate("http://acct.example/page.php").unwrap();
+    assert_eq!(first.cache_hits(), 0);
+    assert_eq!(token(&first), "u2");
+    assert_eq!(minted.load(Ordering::Relaxed), 3);
+}
+
+#[test]
+fn a_prefetch_only_session_never_consumes_a_persistent_entry() {
+    let fabric = Arc::new(SharedNetwork::new());
+    let dispatches = Arc::new(AtomicU64::new(0));
+    {
+        let dispatches = Arc::clone(&dispatches);
+        fabric.register("http://news.example", move |_req: &Request| {
+            dispatches.fetch_add(1, Ordering::Relaxed);
+            Response::ok_html("<html><body ring=\"1\" r=\"1\" w=\"1\" x=\"1\">news</body></html>")
+                .with_max_age(3600)
+        });
+    }
+
+    // A cache-enabled session stores the persistent entry.
+    let mut cacher = cache_browser(&fabric, true);
+    cacher.navigate("http://news.example/page.php").unwrap();
+    assert_eq!(fabric.cache_stored(), 1);
+
+    // A session that opted into speculation only (cache off) looks up with
+    // the one-shot layer alone: the persistent entry is neither served nor
+    // consumed, and the navigation dispatches live.
+    let mut speculator = cache_browser(&fabric, false);
+    speculator.set_prefetch_enabled(true);
+    speculator.navigate("http://news.example/page.php").unwrap();
+    assert_eq!(speculator.cache_hits(), 0);
+    assert_eq!(speculator.prefetch_hits(), 0);
+    assert_eq!(dispatches.load(Ordering::Relaxed), 2, "refetched live");
+
+    // The persistent entry survived the foreign-layer lookup: the storing
+    // session's repeat still hits it.
+    cacher.navigate("http://news.example/page.php").unwrap();
+    assert_eq!(cacher.cache_hits(), 1);
+    assert_eq!(dispatches.load(Ordering::Relaxed), 2);
+}
+
+#[test]
+fn a_cache_only_session_never_consumes_a_one_shot_entry() {
+    let fabric = Arc::new(SharedNetwork::new());
+    let dispatches = Arc::new(AtomicU64::new(0));
+    {
+        let dispatches = Arc::clone(&dispatches);
+        // No max-age: only the speculative one-shot layer may hold this page.
+        fabric.register("http://feed.example", move |_req: &Request| {
+            dispatches.fetch_add(1, Ordering::Relaxed);
+            Response::ok_html("<html><body ring=\"1\" r=\"1\" w=\"1\" x=\"1\">feed</body></html>")
+        });
+    }
+
+    let mut speculator = cache_browser(&fabric, false);
+    speculator.set_prefetch_enabled(true);
+    assert!(speculator.prefetch("http://feed.example/next.php"));
+    assert_eq!(fabric.prefetched_entries(), 1);
+
+    // A cache-only session looks up with the persistent layer alone: the
+    // one-shot entry is left in place and the navigation dispatches live.
+    let mut cache_only = cache_browser(&fabric, true);
+    cache_only.navigate("http://feed.example/next.php").unwrap();
+    assert_eq!(cache_only.cache_hits(), 0);
+    assert_eq!(cache_only.prefetch_hits(), 0);
+    assert_eq!(fabric.prefetch_hits(), 0);
+    assert_eq!(
+        fabric.prefetched_entries(),
+        1,
+        "the speculative entry must survive a cache-only lookup"
+    );
+    assert_eq!(dispatches.load(Ordering::Relaxed), 2);
+
+    // The speculating session's own navigation consumes it as planned.
+    speculator.navigate("http://feed.example/next.php").unwrap();
+    assert_eq!(speculator.prefetch_hits(), 1);
+    assert_eq!(fabric.prefetched_entries(), 0);
+    assert_eq!(dispatches.load(Ordering::Relaxed), 2);
+}
+
+#[test]
+fn a_coalesced_duplicate_falls_back_with_the_sessions_retry_budget() {
+    let fabric = Arc::new(SharedNetwork::new());
+    fabric.register("http://dup.example", |_req: &Request| {
+        Response::ok_html(
+            "<html><body ring=\"1\" r=\"1\" w=\"1\" x=\"1\">\
+             <img src=\"http://img.dup.example/x.png\">\
+             <img src=\"http://img.dup.example/x.png\"></body></html>",
+        )
+    });
+    fabric.register("http://img.dup.example", |_req: &Request| {
+        Response::ok_html("<html><body ring=\"1\" r=\"1\" w=\"1\" x=\"1\">px</body></html>")
+    });
+    // The first three dispatches to the image origin time out. With a
+    // one-retry budget the primary slot spends attempts 0 and 1 and fails;
+    // its coalesced duplicate cannot ride the failed dispatch and falls
+    // back — attempt 2 fails, its own retry (attempt 3) succeeds. Before
+    // the fallback honored the session policy, the duplicate died on its
+    // first attempt, degrading harder than the cache-off oracle would.
+    fabric.inject_fault("http://img.dup.example", FaultPlan::new().fail_first(3));
+
+    let mut browser = cache_browser(&fabric, true);
+    browser.set_fetch_policy(
+        FetchPolicy::disabled()
+            .with_max_retries(1)
+            .with_backoff_base_ns(1),
+    );
+
+    let page = browser.navigate("http://dup.example/index.php").unwrap();
+    let subs = &browser.page(page).subresources;
+    assert_eq!(subs.len(), 2);
+
+    let primary = &subs[0];
+    assert_eq!(primary.status, None);
+    assert!(
+        primary.error.as_deref().unwrap_or("").contains("timed out"),
+        "primary slot must exhaust its budget: {primary:?}"
+    );
+    assert_eq!(primary.retries, 1, "primary spent the full retry budget");
+
+    let duplicate = &subs[1];
+    assert_eq!(duplicate.status, Some(200), "fallback retry must succeed");
+    assert_eq!(duplicate.error, None);
+    assert_eq!(
+        duplicate.retries, 1,
+        "the fallback dispatch honors the session's retry budget"
+    );
 }
